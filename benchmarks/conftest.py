@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures via
+the experiment registry, times it with pytest-benchmark, prints the
+reproduced rows, and asserts the paper's shape criteria.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import e870
+
+
+@pytest.fixture(scope="session")
+def system():
+    return e870()
+
+
+@pytest.fixture(scope="session")
+def report(request):
+    """Print a reproduced table once, at the end of the run."""
+
+    def _print(result):
+        capmanager = request.config.pluginmanager.getplugin("capturemanager")
+        with capmanager.global_and_fixture_disabled():
+            print()
+            print(result.render())
+
+    return _print

@@ -1,0 +1,58 @@
+"""Ablation bench: closed-form hierarchy model vs trace-driven simulator.
+
+DESIGN.md's first ablation: quantify what the analytic capacity model
+gives up relative to the cycle-level trace simulation, and what it buys
+in speed.  The analytic model must stay within 40% on every plateau
+while being orders of magnitude faster.
+"""
+
+import time
+
+from repro.bench.latency import traced_latency_ns
+from repro.mem.analytic import AnalyticHierarchy
+
+KIB = 1024
+MIB = 1024 * KIB
+PLATEAUS = [32 * KIB, 256 * KIB, 2 * MIB]
+
+
+def test_analytic_speed(benchmark, system):
+    model = AnalyticHierarchy(system.chip)
+
+    def sweep():
+        return [model.latency_ns(w) for w in PLATEAUS]
+
+    values = benchmark(sweep)
+    assert values == sorted(values)
+
+
+def test_trace_speed_and_fidelity(benchmark, system):
+    analytic = AnalyticHierarchy(system.chip)
+
+    def traced_sweep():
+        return [traced_latency_ns(system, w, passes=2) for w in PLATEAUS]
+
+    traced = benchmark.pedantic(traced_sweep, rounds=1, iterations=1)
+    for w, t in zip(PLATEAUS, traced):
+        a = analytic.latency_ns(w)
+        assert abs(a - t) / t < 0.4, (w, t, a)
+
+
+def test_analytic_is_much_faster(benchmark, system):
+    """The reason the sweeps use the analytic model: >100x speedup."""
+    analytic = AnalyticHierarchy(system.chip)
+
+    def timed_comparison():
+        t0 = time.perf_counter()
+        for _ in range(100):
+            analytic.latency_ns(2 * MIB)
+        analytic_time = (time.perf_counter() - t0) / 100
+        t0 = time.perf_counter()
+        traced_latency_ns(system, 2 * MIB, passes=2)
+        traced_time = time.perf_counter() - t0
+        return analytic_time, traced_time
+
+    analytic_time, traced_time = benchmark.pedantic(
+        timed_comparison, rounds=1, iterations=1
+    )
+    assert traced_time > 100 * analytic_time

@@ -1,0 +1,75 @@
+"""Ablation bench: replicated vs distributed SpMV input vector (§V-B.1).
+
+The paper's CSR SpMV replicates the input vector once per socket
+because distributing it "will significantly lower the bandwidth".
+This ablation quantifies that choice through the NUMA traffic model:
+with per-socket replicas every x-read is chip-local; with a single
+distributed copy 7/8 of the reads cross the SMP fabric.
+"""
+
+import pytest
+
+from repro.numa import AffinityMap, Allocation, InterleavePolicy, LocalPolicy, NumaModel
+
+MB = 1 << 20
+GB = 1e9
+
+
+@pytest.fixture(scope="module")
+def setup(system):
+    model = NumaModel(system)
+    affinity = AffinityMap.compact(system, 512, smt=8)
+    return system, model, affinity
+
+
+def replicated_estimate(system, model, affinity):
+    """One x replica per socket: every thread reads its local copy.
+
+    Modelled as each chip's threads reading a chip-local allocation —
+    per-chip flows are independent, so the aggregate is 8x one chip.
+    """
+    one_chip = AffinityMap.compact(system, 64, smt=8)
+    est = model.estimate(
+        one_chip, [(Allocation("x-replica", 0, 16 * MB, LocalPolicy(0)), 1.0)]
+    )
+    return est.bandwidth * system.num_chips, est
+
+
+def distributed_estimate(system, model, affinity):
+    """A single x interleaved across all sockets: 7/8 remote reads."""
+    est = model.estimate(
+        affinity, [(Allocation("x-dist", 0, 16 * MB, InterleavePolicy(range(8))), 1.0)]
+    )
+    return est.bandwidth, est
+
+
+def test_replicated_vector(benchmark, setup, report):
+    system, model, affinity = setup
+    bw, est = benchmark(replicated_estimate, system, model, affinity)
+    assert est.local_fraction == pytest.approx(1.0)
+    assert bw / GB > 800  # all sockets stream locally
+
+
+def test_distributed_vector(benchmark, setup):
+    system, model, affinity = setup
+    bw, est = benchmark(distributed_estimate, system, model, affinity)
+    assert est.local_fraction == pytest.approx(1 / 8, abs=0.01)
+    assert bw / GB < 500  # fabric-bound
+
+
+def test_replication_wins_big(benchmark, setup):
+    """The paper's design point: replication is worth >2x bandwidth,
+    at a memory cost of at most one vector copy per socket."""
+    system, model, affinity = setup
+
+    def both():
+        return (
+            replicated_estimate(system, model, affinity)[0],
+            distributed_estimate(system, model, affinity)[0],
+        )
+
+    replicated, distributed = benchmark(both)
+    assert replicated > 2.0 * distributed
+    # Replication cost: 8 copies of x (tiny next to the matrix).
+    copies = system.num_chips
+    assert copies <= 16  # the paper's "at most 16 copies" bound

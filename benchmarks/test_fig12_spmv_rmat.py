@@ -1,0 +1,25 @@
+"""Bench: Figure 12 — two-scan SpMV on R-MAT graphs up to scale 31."""
+
+import numpy as np
+
+from repro.apps.spmv import TwoScanSpMV
+from repro.bench.runner import run_experiment
+from repro.workloads.rmat import RMATConfig, rmat_adjacency
+
+
+def test_fig12(benchmark, system, report):
+    result = benchmark(run_experiment, "fig12", system)
+    report(result)
+    gflops = [r[1] for r in result.rows]
+    assert gflops == sorted(gflops, reverse=True)
+    assert gflops[0] > 1.3 * gflops[-1]
+
+
+def test_twoscan_real_execution(benchmark):
+    """Time the real two-scan kernel on an R-MAT scale-13 graph."""
+    adj = rmat_adjacency(RMATConfig(scale=13, edge_factor=16, seed=1))
+    x = np.random.default_rng(0).standard_normal(adj.shape[1])
+    kernel = TwoScanSpMV(adj, block_width=2048)
+
+    y = benchmark(kernel.multiply, x)
+    np.testing.assert_allclose(y, adj @ x, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,27 @@
+"""Bench: Figure 2 — memory read latency vs working set (both page sizes)."""
+
+from repro.bench.runner import run_experiment
+
+
+def test_fig2(benchmark, system, report):
+    result = benchmark(run_experiment, "fig2", system)
+    report(result)
+    m = result.metrics
+    # The staircase: L1 < L2 < L3 < remote L3 < L4 < DRAM.
+    assert (
+        m["plateau_l1"] < m["plateau_l2"] < m["plateau_l3"]
+        < m["plateau_l3_remote"] < m["plateau_l4"] < m["plateau_dram"]
+    )
+    # Huge pages never slower than 64 KB pages.
+    assert all(r[2] <= r[1] + 1e-9 for r in result.rows)
+
+
+def test_fig2_trace_driven_point(benchmark, system):
+    """Time one trace-driven latency measurement (1 MB working set)."""
+    from repro.bench.latency import traced_latency_ns
+
+    latency = benchmark.pedantic(
+        traced_latency_ns, args=(system, 1 << 20), rounds=1, iterations=1
+    )
+    # 1 MB working set sits on the L3 plateau.
+    assert 3.0 < latency < 30.0

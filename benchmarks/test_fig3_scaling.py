@@ -1,0 +1,14 @@
+"""Bench: Figure 3 — STREAM bandwidth scaling (threads/core, cores/chip)."""
+
+from repro.bench.runner import run_experiment
+from repro.reporting.compare import within_factor
+
+
+def test_fig3(benchmark, system, report):
+    result = benchmark(run_experiment, "fig3", system)
+    report(result)
+    assert within_factor(result.metrics["core_peak_gbs"], 26.0, 1.05)
+    assert within_factor(result.metrics["chip_peak_gbs"], 189.0, 1.05)
+    # Bandwidth grows monotonically with threads at one core.
+    one_core = [r[2] for r in result.rows if r[0] == "1 core"]
+    assert one_core == sorted(one_core)

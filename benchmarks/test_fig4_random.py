@@ -1,0 +1,14 @@
+"""Bench: Figure 4 — random-access bandwidth vs SMT level and streams."""
+
+from repro.bench.runner import run_experiment
+from repro.reporting.compare import within_factor
+
+
+def test_fig4(benchmark, system, report):
+    result = benchmark(run_experiment, "fig4", system)
+    report(result)
+    assert within_factor(result.metrics["peak_gbs"], 500.0, 1.10)
+    assert abs(result.metrics["fraction_of_read_peak"] - 0.41) < 0.03
+    # SMT8 with 4 streams per thread reaches >90% of the ceiling.
+    by_key = {(r[0], r[1]): r[2] for r in result.rows}
+    assert by_key[(8, 4)] > 0.9 * result.metrics["peak_gbs"]

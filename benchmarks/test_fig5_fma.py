@@ -1,0 +1,17 @@
+"""Bench: Figure 5 — FMA throughput vs threads/core and loop length."""
+
+from repro.bench.runner import run_experiment
+
+
+def test_fig5(benchmark, system, report):
+    result = benchmark(run_experiment, "fig5", system)
+    report(result)
+    by_key = {(r[0], r[1]): r[3] for r in result.rows}
+    # Peak needs threads x FMAs >= 12.
+    assert by_key[(2, 6)] == 100.0
+    assert by_key[(1, 12)] == 100.0
+    assert by_key[(1, 6)] < 60.0
+    # Register cliff on the 12-FMA curve beyond 6 threads.
+    assert by_key[(8, 12)] < by_key[(6, 12)]
+    # Odd-thread imbalance.
+    assert by_key[(3, 2)] < by_key[(4, 2)]

@@ -1,0 +1,14 @@
+"""Bench: Figure 6 — latency/bandwidth vs DSCR prefetch depth."""
+
+from repro.bench.runner import run_experiment
+
+
+def test_fig6(benchmark, system, report):
+    result = benchmark(run_experiment, "fig6", system)
+    report(result)
+    lats = [r[2] for r in result.rows]
+    bws = [r[3] for r in result.rows]
+    assert lats == sorted(lats, reverse=True)
+    assert bws == sorted(bws)
+    # Deepest prefetch: latency collapses by >10x vs prefetch-off.
+    assert lats[-1] < lats[0] / 10

@@ -1,0 +1,15 @@
+"""Bench: Figure 7 — stride-256 latency with stride-N detection on/off."""
+
+from repro.bench.runner import run_experiment
+from repro.reporting.compare import within_factor
+
+
+def test_fig7(benchmark, system, report):
+    result = benchmark(run_experiment, "fig7", system)
+    report(result)
+    disabled = [r[1] for r in result.rows]
+    enabled = [r[2] for r in result.rows]
+    # Disabled: flat around ~50 ns; enabled: drops to the paper's ~14 ns.
+    assert within_factor(disabled[0], 50.0, 1.2)
+    assert within_factor(min(enabled), 14.0, 1.5)
+    assert min(enabled) < 0.5 * disabled[0]

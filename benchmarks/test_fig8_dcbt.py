@@ -1,0 +1,12 @@
+"""Bench: Figure 8 — DCBT gains for randomly-ordered block scans."""
+
+from repro.bench.runner import run_experiment
+
+
+def test_fig8(benchmark, system, report):
+    result = benchmark(run_experiment, "fig8", system)
+    report(result)
+    small = [r for r in result.rows if r[0] <= 2048]
+    large = [r for r in result.rows if r[0] >= (1 << 20)]
+    assert any(r[3] > 25.0 for r in small), "small blocks must gain >25%"
+    assert all(r[3] < 5.0 for r in large), "large blocks must gain ~nothing"

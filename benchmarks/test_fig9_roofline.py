@@ -1,0 +1,14 @@
+"""Bench: Figure 9 — the E870 roofline with the asymmetric write roof."""
+
+from repro.bench.runner import run_experiment
+
+
+def test_fig9(benchmark, system, report):
+    result = benchmark(run_experiment, "fig9", system)
+    report(result)
+    assert abs(result.metrics["balance"] - 1.2) < 0.05
+    rows = {r[0]: r for r in result.rows}
+    assert abs(rows["LBMHD"][2] - 1843.2) < 25
+    assert abs(rows["LBMHD (write-only mix)"][2] - 614.4) < 10
+    assert rows["SpMV"][3] == "memory"
+    assert rows["3D FFT"][3] == "compute"

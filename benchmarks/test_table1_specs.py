@@ -1,0 +1,12 @@
+"""Bench: Table I — POWER7 vs POWER8 spec comparison."""
+
+from repro.bench.runner import run_experiment
+
+
+def test_table1(benchmark, system, report):
+    result = benchmark(run_experiment, "table1", system)
+    report(result)
+    rows = {r[0]: (r[1], r[2]) for r in result.rows}
+    assert rows["Threads/core"] == (4, 8)
+    assert rows["L2 cache/core (KB)"] == (256, 512)
+    assert rows["Instruction issue/cycle"] == (8, 10)

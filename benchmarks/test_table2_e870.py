@@ -1,0 +1,11 @@
+"""Bench: Table II — E870 characteristics."""
+
+from repro.bench.runner import run_experiment
+from repro.reporting.compare import within_factor
+
+
+def test_table2(benchmark, system, report):
+    result = benchmark(run_experiment, "table2", system)
+    report(result)
+    for name, model, paper in result.rows:
+        assert within_factor(float(model), float(paper), 1.02), name

@@ -1,0 +1,15 @@
+"""Bench: Table III — STREAM bandwidth vs read:write ratio."""
+
+from repro.bench.runner import run_experiment
+from repro.reporting.compare import within_factor
+
+
+def test_table3(benchmark, system, report):
+    result = benchmark(run_experiment, "table3", system)
+    report(result)
+    rows = {r[0]: (r[1], r[2]) for r in result.rows}
+    # Peak at 2:1; write-only is the weakest mix; all rows within 10%.
+    assert max(rows, key=lambda k: rows[k][0]) == "2:1"
+    assert min(rows, key=lambda k: rows[k][0]) == "Write Only"
+    for label, (model, paper) in rows.items():
+        assert within_factor(model, paper, 1.10), label

@@ -1,0 +1,17 @@
+"""Bench: Table IV — SMP interconnect latency and bandwidth."""
+
+from repro.bench.runner import run_experiment
+from repro.reporting import paper_values as paper
+from repro.reporting.compare import within_factor
+
+
+def test_table4(benchmark, system, report):
+    result = benchmark(run_experiment, "table4", system)
+    report(result)
+    for row in result.rows:
+        name, lat, lat_p, _, _, uni, uni_p, bi, bi_p = row
+        assert within_factor(lat, lat_p, 1.10), (name, "latency")
+        assert within_factor(uni, uni_p, 1.10), (name, "uni bw")
+        assert within_factor(bi, bi_p, 1.10), (name, "bi bw")
+    for key, value in paper.TABLE4_AGGREGATES_GBS.items():
+        assert within_factor(result.metrics[f"agg_{key}"], value, 1.15), key

@@ -1,0 +1,14 @@
+"""Bench: Table V — molecular systems and their ERI statistics."""
+
+from repro.bench.runner import run_experiment
+
+
+def test_table5(benchmark, system, report):
+    result = benchmark(run_experiment, "table5", system)
+    report(result)
+    assert len(result.rows) == 5
+    # Storage per surviving ERI is consistent (~7.4 B) across molecules.
+    per_eri = [r[5] for r in result.rows]
+    assert max(per_eri) - min(per_eri) < 0.1
+    # Screening keeps only a few percent of the n^4/8 quartets.
+    assert all(r[6] < 7.0 for r in result.rows)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Hartree-Fock with recomputed vs in-memory ERIs (paper §V-C, Table VI).
+
+Runs the *real* restricted-HF SCF on small s-orbital systems (textbook
+energies), demonstrates that HF-Comp and HF-Mem are numerically
+identical while trading integral evaluations for memory, and then
+regenerates Table VI for the paper's cc-pVDZ molecules through the
+calibrated E870 timing model.
+
+Run:  python examples/hartree_fock_scf.py
+"""
+
+import time
+
+from repro import P8Machine
+from repro.apps.hf import (
+    HFPerfModel,
+    SCFDriver,
+    SchwarzScreening,
+    h2,
+    h_chain,
+    helium,
+)
+
+
+def main() -> None:
+    print("=== Real SCF: textbook energies (STO-3G, s orbitals) ===")
+    for mol, reference in [(h2(), -1.1167), (helium(), -2.8078)]:
+        res = SCFDriver(mol).run()
+        print(f"  {res.molecule:4}  E = {res.energy:10.5f} Eh "
+              f"(literature {reference:.4f}), {res.iterations} iterations")
+
+    print("\n=== HF-Comp vs HF-Mem on an H8 chain: same math, different cost ===")
+    timings = {}
+    for mode in ("mem", "comp"):
+        driver = SCFDriver(h_chain(8), mode=mode)
+        t0 = time.perf_counter()
+        res = driver.run()
+        timings[mode] = time.perf_counter() - t0
+        print(f"  HF-{mode:4}: E = {res.energy:.8f} Eh, "
+              f"{res.iterations} iterations, "
+              f"{driver.eri_evaluations} ERI-tensor evaluations, "
+              f"{timings[mode]:.2f} s wall")
+    print(f"  real speedup from storing the ERIs: "
+          f"{timings['comp'] / timings['mem']:.1f}x")
+
+    print("\n=== Screening: how many quartets survive at 1e-10? ===")
+    mol = h_chain(10, spacing=2.5)
+    scr = SchwarzScreening(mol, tolerance=1e-10)
+    print(f"  H10 chain: {scr.surviving_count()} of the unique quartets "
+          f"survive ({100 * scr.survival_fraction():.1f}%)")
+
+    print("\n=== Table VI on the modelled E870 (cc-pVDZ molecules) ===")
+    model = HFPerfModel(P8Machine.e870().spec)
+    print(f"  {'molecule':14} {'iters':>5} {'HF-Comp':>9} {'Precomp':>8} "
+          f"{'Fock':>6} {'Density':>8} {'HF-Mem':>8} {'speedup':>7}")
+    for t in model.table6():
+        print(f"  {t.molecule:14} {t.iterations:>5} {t.hf_comp_total:>9.1f} "
+              f"{t.precompute:>8.1f} {t.fock_per_iteration:>6.1f} "
+              f"{t.density_per_iteration:>8.2f} {t.hf_mem_total:>8.1f} "
+              f"{t.speedup:>7.2f}")
+    print("  (HF-Mem wins 3-6x by exploiting the E870's TB-class memory - "
+          "the paper's Table VI story)")
+
+
+if __name__ == "__main__":
+    main()

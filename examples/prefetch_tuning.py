@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Prefetch tuning walkthrough: DSCR depths, stride-N, DCBT (§III-D).
+
+Reproduces Figures 6-8 on the modelled E870 and then drives the
+*operational* stream-prefetch engine against the trace-driven cache
+simulator to show the same effects appearing from the state machine
+itself.
+
+Run:  python examples/prefetch_tuning.py
+"""
+
+from repro import P8Machine
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.trace import blocked_random, sequential
+from repro.prefetch import StreamPrefetcher, dcbt_sweep, dscr_sweep, stride_sweep
+
+GB = 1e9
+
+
+def demo_models(machine: P8Machine) -> None:
+    print("=== Figure 6: DSCR depth vs latency and bandwidth ===")
+    print(f"  {'DSCR':>4} {'lines ahead':>11} {'latency ns':>10} {'GB/s':>7}")
+    for p in dscr_sweep(machine.spec):
+        print(f"  {p.depth:>4} {p.distance_lines:>11} {p.latency_ns:>10.1f} "
+              f"{p.bandwidth / GB:>7.0f}")
+
+    print("\n=== Figure 7: stride-256 stream, stride-N detection off/on ===")
+    rows = stride_sweep(machine.spec.chip, stride_lines=256)
+    deepest = rows[-1]
+    print(f"  disabled: {deepest['latency_disabled_ns']:.0f} ns  ->  "
+          f"enabled: {deepest['latency_enabled_ns']:.0f} ns "
+          "(the paper measures 50 -> 14 ns)")
+
+    print("\n=== Figure 8: DCBT for randomly-ordered small blocks ===")
+    print(f"  {'block':>8} {'hw-only':>8} {'DCBT':>6} {'gain':>6}")
+    for r in dcbt_sweep(machine.spec.chip, [512, 2048, 8192, 65536, 1 << 20]):
+        print(f"  {r['bsize']:>8} {100 * r['efficiency_hw']:>7.0f}% "
+              f"{100 * r['efficiency_dcbt']:>5.0f}% {100 * r['gain']:>5.0f}%")
+
+
+def scaled_chip():
+    """A shrunken single-core POWER8 so a few-MB buffer is out-of-cache.
+
+    The trace simulator runs one Python-level event per access; scaling
+    the caches down (same ratios) keeps the demo faithful *and* fast.
+    """
+    import dataclasses
+
+    from repro.arch.specs import CentaurSpec
+
+    chip = P8Machine.e870().spec.chip
+    core = dataclasses.replace(
+        chip.core,
+        l3_slice=dataclasses.replace(chip.core.l3_slice, capacity=1 << 20),
+    )
+    return dataclasses.replace(
+        chip,
+        core=core,
+        cores_per_chip=1,
+        centaurs_per_chip=1,
+        centaur=CentaurSpec(l4_capacity=2 << 20),
+    )
+
+
+def demo_engine(machine: P8Machine) -> None:
+    print("\n=== The operational engine on the trace-driven simulator ===")
+    chip = scaled_chip()
+    line = chip.core.l1d.line_size
+
+    for depth in (1, 4, 7):
+        pf = StreamPrefetcher(line_size=line, depth=depth)
+        hier = MemoryHierarchy(chip, prefetcher=pf)
+        total, count = 0.0, 0
+        for addr in sequential(0, 4096 * line, line):
+            total += hier.access(addr).latency_ns
+            count += 1
+        print(f"  sequential scan, DSCR={depth}: "
+              f"mean {total / count:5.1f} ns/access, "
+              f"{hier.stats.level_hits['DRAM']} demand DRAM misses "
+              f"of {count}")
+
+    print("\n  random small blocks (2 KB) over an out-of-cache 8 MB array,")
+    print("  hardware stream detection vs DCBT hints:")
+    results = {}
+    for use_dcbt in (False, True):
+        pf = StreamPrefetcher(line_size=line, depth=7)
+        hier = MemoryHierarchy(chip, prefetcher=pf)
+        bsize = 16 * line
+        total, count = 0.0, 0
+        last_block = None
+        for addr in blocked_random(8 << 20, bsize, line, seed=3):
+            block = addr - addr % bsize
+            if use_dcbt and block != last_block:
+                for pf_addr in pf.declare_stream(block, bsize):
+                    hier._prefetch_fill(pf_addr // line)
+                last_block = block
+            total += hier.access(addr).latency_ns
+            count += 1
+        label = "DCBT hints" if use_dcbt else "hw-only   "
+        results[use_dcbt] = total / count
+        print(f"    {label}: mean {total / count:5.1f} ns/access")
+    gain = results[False] / results[True] - 1.0
+    print(f"    -> DCBT gains {100 * gain:.0f}% "
+          "(the paper reports >25% on small arrays)")
+
+
+def main() -> None:
+    machine = P8Machine.e870()
+    demo_models(machine)
+    demo_engine(machine)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: build the E870 model and ask it the paper's headline questions.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import KernelProfile, P8Machine
+
+GB = 1e9
+
+
+def main() -> None:
+    machine = P8Machine.e870()
+
+    print("=== The machine (Table II) ===")
+    for key, value in machine.summary().items():
+        print(f"  {key:24}: {value}")
+
+    print("\n=== STREAM bandwidth vs read:write mix (Table III) ===")
+    for ratio in [(1, 0), (4, 1), (2, 1), (1, 1), (0, 1)]:
+        bw = machine.stream_bandwidth(*ratio)
+        label = {(1, 0): "read only", (0, 1): "write only"}.get(ratio, f"{ratio[0]}:{ratio[1]}")
+        print(f"  {label:10} -> {bw / GB:7.0f} GB/s")
+    print("  (the 2:1 peak comes from the two-read/one-write Centaur links)")
+
+    print("\n=== Memory latency vs working set (Figure 2) ===")
+    hier = machine.hierarchy()
+    for size in [32 << 10, 256 << 10, 4 << 20, 32 << 20, 120 << 20, 2 << 30]:
+        print(f"  {size >> 10:>9} KiB -> {hier.latency_ns(size):6.1f} ns")
+
+    print("\n=== Remote memory access (Table IV) ===")
+    for home in (1, 4, 7):
+        cold = machine.remote_latency_ns(0, home)
+        warm = machine.remote_latency_ns(0, home, prefetch=True)
+        print(f"  chip0 -> chip{home}: {cold:5.0f} ns cold, {warm:4.1f} ns with prefetch")
+
+    print("\n=== Roofline placement (Figure 9) ===")
+    print(f"  balance (ridge point): {machine.roofline.balance:.2f} FLOP/byte")
+    for name, oi in [("SpMV", 1 / 6), ("Stencil", 0.5), ("LBMHD", 1.0), ("3D FFT", 1.5)]:
+        bound = machine.attainable_gflops(oi)
+        print(f"  {name:8} (OI={oi:4.2f}) -> bound {bound:7.0f} GFLOP/s")
+
+    print("\n=== Timing a custom kernel through the machine model ===")
+    kernel = KernelProfile(
+        name="my-stencil",
+        flops=8e12,
+        bytes_read=12e12,
+        bytes_written=4e12,
+        pattern="stream",
+    )
+    seconds = machine.time_kernel(kernel)
+    print(f"  my-stencil: {seconds:.2f} s  "
+          f"({kernel.flops / seconds / 1e9:.0f} GFLOP/s achieved)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — reproduction of "An Early Performance Study of Large-scale
+POWER8 SMP Systems" (Liu et al., 2016).
+
+The package models the paper's IBM Power System E870 — cache hierarchy,
+Centaur memory links, SMP fabric, SMT core, prefetch engine — and
+reproduces every table and figure of the evaluation, plus real
+implementations of the three applications (all-pairs Jaccard, SpMV,
+Hartree-Fock).
+
+Quick start::
+
+    from repro import P8Machine
+    machine = P8Machine.e870()
+    print(machine.summary())
+
+    from repro.bench import run_experiment
+    print(run_experiment("table3").render())
+"""
+
+from .arch import e870, power8_192way
+from .machine import P8Machine
+from .perfmodel import KernelProfile
+
+__version__ = "1.0.0"
+
+__all__ = ["KernelProfile", "P8Machine", "e870", "power8_192way", "__version__"]

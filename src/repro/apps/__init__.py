@@ -1,0 +1,5 @@
+"""The paper's three applications: Jaccard, SpMV, and Hartree-Fock (§V)."""
+
+from . import hf, jaccard, spmv
+
+__all__ = ["hf", "jaccard", "spmv"]

@@ -1,0 +1,73 @@
+"""Hartree-Fock application (§V-C): real s-orbital SCF + Table V/VI models."""
+
+from .basis import Atom, ContractedGaussian, Molecule, h2, h_chain, h_ring, helium
+from .diis import DIIS
+from .purification import (
+    PurificationError,
+    PurificationResult,
+    density_via_purification,
+    idempotency_error,
+    mcweeny_purify,
+    occupied_count,
+)
+from .integrals import (
+    boys_f0,
+    core_hamiltonian,
+    eri_ssss,
+    eri_tensor,
+    kinetic,
+    nuclear_attraction,
+    overlap,
+    overlap_matrix,
+)
+from .molecules import MoleculeRecord, by_name, table5_catalogue
+from .perf import HFPerfModel, HFTimings
+from .scf import (
+    SCFConvergenceError,
+    SCFDriver,
+    SCFResult,
+    build_fock,
+    density_from_fock,
+    electronic_energy,
+    run_rhf,
+)
+from .screening import DEFAULT_TOLERANCE, SchwarzScreening
+
+__all__ = [
+    "Atom",
+    "ContractedGaussian",
+    "DIIS",
+    "DEFAULT_TOLERANCE",
+    "HFPerfModel",
+    "HFTimings",
+    "Molecule",
+    "MoleculeRecord",
+    "PurificationError",
+    "PurificationResult",
+    "SCFConvergenceError",
+    "density_via_purification",
+    "idempotency_error",
+    "mcweeny_purify",
+    "occupied_count",
+    "SCFDriver",
+    "SCFResult",
+    "SchwarzScreening",
+    "boys_f0",
+    "build_fock",
+    "by_name",
+    "core_hamiltonian",
+    "density_from_fock",
+    "electronic_energy",
+    "eri_ssss",
+    "eri_tensor",
+    "h2",
+    "h_chain",
+    "h_ring",
+    "helium",
+    "kinetic",
+    "nuclear_attraction",
+    "overlap",
+    "overlap_matrix",
+    "run_rhf",
+    "table5_catalogue",
+]

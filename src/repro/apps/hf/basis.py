@@ -1,0 +1,167 @@
+"""Gaussian basis sets for the Hartree-Fock engine.
+
+The real-math SCF path uses contracted s-type Gaussian basis functions
+(the integral formulas in :mod:`repro.apps.hf.integrals` are exact for
+s orbitals).  STO-3G s-shell parameters for H and He are included; they
+make H2, He, H4 chains etc. reproduce textbook restricted-HF energies,
+which is what the correctness tests pin down.
+
+The paper's cc-pVDZ molecules (Table V) are far beyond an s-only
+engine; they enter through the catalogue in
+:mod:`repro.apps.hf.molecules` and the calibrated timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+# STO-3G s-shell exponents and contraction coefficients.
+STO3G_S = {
+    "H": (
+        (3.42525091, 0.15432897),
+        (0.62391373, 0.53532814),
+        (0.16885540, 0.44463454),
+    ),
+    "He": (
+        (6.36242139, 0.15432897),
+        (1.15892300, 0.53532814),
+        (0.31364979, 0.44463454),
+    ),
+}
+
+ATOMIC_NUMBERS = {"H": 1, "He": 2}
+
+
+@dataclass(frozen=True)
+class ContractedGaussian:
+    """A contracted s-type Gaussian basis function at ``center``."""
+
+    center: Tuple[float, float, float]
+    exponents: Tuple[float, ...]
+    coefficients: Tuple[float, ...]  # normalised primitive coefficients
+
+    def __post_init__(self) -> None:
+        if len(self.exponents) != len(self.coefficients):
+            raise ValueError("exponents and coefficients must align")
+        if any(a <= 0 for a in self.exponents):
+            raise ValueError("Gaussian exponents must be positive")
+
+    @property
+    def nprim(self) -> int:
+        return len(self.exponents)
+
+
+def s_normalisation(alpha: float) -> float:
+    """Normalisation constant of a primitive s Gaussian."""
+    return (2.0 * alpha / np.pi) ** 0.75
+
+
+def contracted_s(center: Sequence[float], primitives: Sequence[Tuple[float, float]]) -> ContractedGaussian:
+    """Build a normalised contracted s function from (exponent, coeff) pairs."""
+    exps = tuple(a for a, _ in primitives)
+    coeffs = tuple(c * s_normalisation(a) for a, c in primitives)
+    return ContractedGaussian(tuple(float(x) for x in center), exps, coeffs)
+
+
+@dataclass(frozen=True)
+class Atom:
+    symbol: str
+    position: Tuple[float, float, float]  # bohr
+
+    @property
+    def charge(self) -> int:
+        try:
+            return ATOMIC_NUMBERS[self.symbol]
+        except KeyError:
+            raise ValueError(
+                f"s-only engine supports {sorted(ATOMIC_NUMBERS)}, got {self.symbol!r}"
+            ) from None
+
+
+@dataclass
+class Molecule:
+    """A molecule with an s-only Gaussian basis."""
+
+    name: str
+    atoms: List[Atom]
+    basis: List[ContractedGaussian] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise ValueError(f"{self.name}: molecule needs at least one atom")
+        if not self.basis:
+            unknown = sorted({a.symbol for a in self.atoms} - set(STO3G_S))
+            if unknown:
+                raise ValueError(
+                    f"{self.name}: s-only STO-3G parameters exist for "
+                    f"{sorted(STO3G_S)}; unsupported: {unknown}"
+                )
+            self.basis = [
+                contracted_s(atom.position, STO3G_S[atom.symbol])
+                for atom in self.atoms
+            ]
+
+    @property
+    def nbf(self) -> int:
+        return len(self.basis)
+
+    @property
+    def num_electrons(self) -> int:
+        return sum(a.charge for a in self.atoms)
+
+    def nuclear_repulsion(self) -> float:
+        """Classical nucleus-nucleus repulsion energy (hartree)."""
+        energy = 0.0
+        for i, a in enumerate(self.atoms):
+            for b in self.atoms[i + 1 :]:
+                r = np.linalg.norm(np.subtract(a.position, b.position))
+                if r == 0.0:
+                    raise ValueError(f"{self.name}: coincident nuclei")
+                energy += a.charge * b.charge / r
+        return energy
+
+
+# -- ready-made test molecules ------------------------------------------------
+
+def h2(bond_length: float = 1.4) -> Molecule:
+    """H2 at its near-equilibrium STO-3G geometry (E_RHF ~ -1.117 Eh)."""
+    return Molecule(
+        "H2",
+        [Atom("H", (0.0, 0.0, 0.0)), Atom("H", (0.0, 0.0, bond_length))],
+    )
+
+
+def helium() -> Molecule:
+    """A single He atom (E_RHF(STO-3G) ~ -2.8078 Eh)."""
+    return Molecule("He", [Atom("He", (0.0, 0.0, 0.0))])
+
+
+def h_chain(n: int, spacing: float = 1.8) -> Molecule:
+    """Linear chain of ``n`` hydrogens — the scalable alkane stand-in."""
+    if n < 1 or n % 2:
+        raise ValueError(f"closed-shell chain needs an even positive n, got {n}")
+    atoms = [Atom("H", (0.0, 0.0, i * spacing)) for i in range(n)]
+    return Molecule(f"H{n}-chain", atoms)
+
+
+def h_ring(n: int, radius: float | None = None, spacing: float = 1.8) -> Molecule:
+    """Ring of ``n`` hydrogens — a compact 2D test geometry."""
+    if n < 3 or n % 2:
+        raise ValueError(f"closed-shell ring needs an even n >= 4, got {n}")
+    if radius is None:
+        radius = spacing / (2.0 * np.sin(np.pi / n))
+    atoms = [
+        Atom(
+            "H",
+            (
+                radius * np.cos(2 * np.pi * i / n),
+                radius * np.sin(2 * np.pi * i / n),
+                0.0,
+            ),
+        )
+        for i in range(n)
+    ]
+    return Molecule(f"H{n}-ring", atoms)

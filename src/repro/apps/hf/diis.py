@@ -1,0 +1,84 @@
+"""DIIS (Pulay) convergence acceleration for the SCF loop.
+
+The paper's HF timings use plain fixed-point SCF iteration; production
+codes (NWChem included) accelerate it with Direct Inversion in the
+Iterative Subspace: the next Fock matrix is the linear combination of
+recent Fock matrices that minimises the norm of the combined error
+vector ``e = F D S - S D F`` (which vanishes at self-consistency).
+Fewer iterations means HF-Comp pays for fewer ERI re-evaluations, so
+DIIS *narrows* the HF-Mem speedup — an ablation worth quantifying
+(``benchmarks/test_ablation_diis.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class DIIS:
+    """Pulay-DIIS extrapolator over Fock/error pairs."""
+
+    def __init__(self, max_vectors: int = 8, min_vectors: int = 2) -> None:
+        if max_vectors < 2:
+            raise ValueError(f"DIIS needs at least 2 stored vectors, got {max_vectors}")
+        if not 1 <= min_vectors <= max_vectors:
+            raise ValueError("min_vectors must be in [1, max_vectors]")
+        self.max_vectors = max_vectors
+        self.min_vectors = min_vectors
+        self._focks: List[np.ndarray] = []
+        self._errors: List[np.ndarray] = []
+
+    @staticmethod
+    def error_vector(fock: np.ndarray, density: np.ndarray, overlap: np.ndarray) -> np.ndarray:
+        """The DIIS residual F D S - S D F (zero at convergence)."""
+        fds = fock @ density @ overlap
+        return fds - fds.T
+
+    def push(self, fock: np.ndarray, error: np.ndarray) -> None:
+        self._focks.append(fock.copy())
+        self._errors.append(error.copy())
+        if len(self._focks) > self.max_vectors:
+            self._focks.pop(0)
+            self._errors.pop(0)
+
+    @property
+    def size(self) -> int:
+        return len(self._focks)
+
+    def extrapolate(self) -> Optional[np.ndarray]:
+        """Best Fock combination, or None while the history is short.
+
+        Solves the constrained least-squares system
+
+            [B  1] [c]   [0]
+            [1  0] [L] = [1]
+
+        with ``B_ij = <e_i, e_j>``; falls back to the latest Fock when
+        the system is singular (collinear error vectors).
+        """
+        m = self.size
+        if m < self.min_vectors:
+            return None
+        b = np.empty((m + 1, m + 1))
+        for i in range(m):
+            for j in range(m):
+                b[i, j] = float(np.vdot(self._errors[i], self._errors[j]))
+        b[m, :m] = 1.0
+        b[:m, m] = 1.0
+        b[m, m] = 0.0
+        rhs = np.zeros(m + 1)
+        rhs[m] = 1.0
+        try:
+            coeffs = np.linalg.solve(b, rhs)[:m]
+        except np.linalg.LinAlgError:
+            return self._focks[-1].copy()
+        fock = np.zeros_like(self._focks[0])
+        for c, f in zip(coeffs, self._focks):
+            fock += c * f
+        return fock
+
+    def reset(self) -> None:
+        self._focks.clear()
+        self._errors.clear()

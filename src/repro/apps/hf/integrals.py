@@ -1,0 +1,158 @@
+"""Analytic one- and two-electron integrals over s-type Gaussians.
+
+Implements the closed-form expressions (Szabo & Ostlund, appendix A)
+for overlap, kinetic, nuclear-attraction and electron-repulsion
+integrals between contracted s Gaussians.  These are exact, so the SCF
+tests can pin textbook energies; the Boys function F0 is evaluated via
+``scipy.special.erf`` with a series fallback near zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import erf
+
+from .basis import ContractedGaussian, Molecule
+
+
+def boys_f0(t: np.ndarray | float) -> np.ndarray | float:
+    """The Boys function F0(t) = integral_0^1 exp(-t u^2) du."""
+    t_arr = np.asarray(t, dtype=np.float64)
+    out = np.ones_like(t_arr)
+    mask = t_arr > 1e-12
+    tm = t_arr[mask]
+    out[mask] = 0.5 * np.sqrt(np.pi / tm) * erf(np.sqrt(tm))
+    small = ~mask
+    # Series around zero: F0(t) = 1 - t/3 + t^2/10 - ...
+    ts = t_arr[small]
+    out[small] = 1.0 - ts / 3.0 + ts**2 / 10.0
+    if np.isscalar(t):
+        return float(out)
+    return out
+
+
+def _primitive_pairs(a: ContractedGaussian, b: ContractedGaussian):
+    """Broadcasted primitive-pair quantities for two contracted functions."""
+    alpha = np.asarray(a.exponents)[:, None]
+    beta = np.asarray(b.exponents)[None, :]
+    ca = np.asarray(a.coefficients)[:, None]
+    cb = np.asarray(b.coefficients)[None, :]
+    p = alpha + beta
+    ab2 = float(np.sum((np.subtract(a.center, b.center)) ** 2))
+    k = np.exp(-alpha * beta / p * ab2)
+    center = (
+        alpha[..., None] * np.asarray(a.center)[None, None, :]
+        + beta[..., None] * np.asarray(b.center)[None, None, :]
+    ) / p[..., None]
+    return alpha, beta, ca, cb, p, ab2, k, center
+
+
+def overlap(a: ContractedGaussian, b: ContractedGaussian) -> float:
+    """Overlap integral <a|b>."""
+    alpha, beta, ca, cb, p, ab2, k, _ = _primitive_pairs(a, b)
+    s = (np.pi / p) ** 1.5 * k
+    return float(np.sum(ca * cb * s))
+
+
+def kinetic(a: ContractedGaussian, b: ContractedGaussian) -> float:
+    """Kinetic-energy integral <a|-(1/2)del^2|b>."""
+    alpha, beta, ca, cb, p, ab2, k, _ = _primitive_pairs(a, b)
+    mu = alpha * beta / p
+    t = mu * (3.0 - 2.0 * mu * ab2) * (np.pi / p) ** 1.5 * k
+    return float(np.sum(ca * cb * t))
+
+
+def nuclear_attraction(a: ContractedGaussian, b: ContractedGaussian, molecule: Molecule) -> float:
+    """Nuclear-attraction integral <a| -sum_C Z_C / r_C |b>."""
+    alpha, beta, ca, cb, p, ab2, k, center = _primitive_pairs(a, b)
+    total = 0.0
+    for atom in molecule.atoms:
+        pc2 = np.sum((center - np.asarray(atom.position)[None, None, :]) ** 2, axis=-1)
+        v = -2.0 * np.pi / p * atom.charge * k * boys_f0(p * pc2)
+        total += float(np.sum(ca * cb * v))
+    return total
+
+
+def eri_ssss(
+    a: ContractedGaussian,
+    b: ContractedGaussian,
+    c: ContractedGaussian,
+    d: ContractedGaussian,
+) -> float:
+    """Electron-repulsion integral (ab|cd) in chemists' notation."""
+    alpha, beta, ca, cb, p, ab2, k_ab, p_center = _primitive_pairs(a, b)
+    gamma, delta, cc, cd, q, cd2, k_cd, q_center = _primitive_pairs(c, d)
+    # Broadcast bra (i,j) against ket (k,l): shapes (i,j,1,1) and (1,1,k,l).
+    p4 = p[:, :, None, None]
+    q4 = q[None, None, :, :]
+    k4 = k_ab[:, :, None, None] * k_cd[None, None, :, :]
+    pq = p_center[:, :, None, None, :] - q_center[None, None, :, :, :]
+    pq2 = np.sum(pq**2, axis=-1)
+    t = p4 * q4 / (p4 + q4) * pq2
+    pref = 2.0 * np.pi**2.5 / (p4 * q4 * np.sqrt(p4 + q4))
+    coeff = (
+        ca[:, :, None, None]
+        * cb[:, :, None, None]
+        * cc[None, None, :, :]
+        * cd[None, None, :, :]
+    )
+    return float(np.sum(coeff * pref * k4 * boys_f0(t)))
+
+
+# -- matrix builders -----------------------------------------------------------
+
+def overlap_matrix(molecule: Molecule) -> np.ndarray:
+    n = molecule.nbf
+    s = np.empty((n, n))
+    for i in range(n):
+        for j in range(i, n):
+            s[i, j] = s[j, i] = overlap(molecule.basis[i], molecule.basis[j])
+    return s
+
+
+def core_hamiltonian(molecule: Molecule) -> np.ndarray:
+    """H_core = T + V_ne for the molecule's basis."""
+    n = molecule.nbf
+    h = np.empty((n, n))
+    for i in range(n):
+        for j in range(i, n):
+            bi, bj = molecule.basis[i], molecule.basis[j]
+            val = kinetic(bi, bj) + nuclear_attraction(bi, bj, molecule)
+            h[i, j] = h[j, i] = val
+    return h
+
+
+def eri_tensor(molecule: Molecule, screening=None) -> np.ndarray:
+    """Full (ij|kl) tensor with 8-fold symmetry; optional screening.
+
+    ``screening`` is an object with ``significant(i, j, k, l) -> bool``
+    (see :mod:`repro.apps.hf.screening`); screened-out integrals stay 0.
+    """
+    n = molecule.nbf
+    eri = np.zeros((n, n, n, n))
+    basis = molecule.basis
+    for i in range(n):
+        for j in range(i + 1):
+            for k in range(i + 1):
+                l_max = j if k == i else k
+                for l in range(l_max + 1):
+                    if screening is not None and not screening.significant(i, j, k, l):
+                        continue
+                    val = eri_ssss(basis[i], basis[j], basis[k], basis[l])
+                    for (p, q, r, s) in _symmetry_images(i, j, k, l):
+                        eri[p, q, r, s] = val
+    return eri
+
+
+def _symmetry_images(i: int, j: int, k: int, l: int):
+    """All 8-fold symmetric index images of (ij|kl)."""
+    return {
+        (i, j, k, l),
+        (j, i, k, l),
+        (i, j, l, k),
+        (j, i, l, k),
+        (k, l, i, j),
+        (l, k, i, j),
+        (k, l, j, i),
+        (l, k, j, i),
+    }

@@ -1,0 +1,68 @@
+"""Cauchy-Schwarz integral screening (§V-C).
+
+Every ERI obeys ``|(ij|kl)| <= sqrt((ij|ij)) * sqrt((kl|kl))``, so
+precomputing the ``n^2`` diagonal quantities lets the engine drop
+quartets below a tolerance without evaluating them.  The paper screens
+at 1e-10 and reports the surviving ("non-screened") ERI counts in
+Table V.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .basis import Molecule
+from .integrals import eri_ssss
+
+#: The paper's screening tolerance for dropping small ERIs.
+DEFAULT_TOLERANCE = 1e-10
+
+
+class SchwarzScreening:
+    """Schwarz-bound screening oracle for a molecule's basis."""
+
+    def __init__(self, molecule: Molecule, tolerance: float = DEFAULT_TOLERANCE) -> None:
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be positive, got {tolerance}")
+        self.tolerance = tolerance
+        n = molecule.nbf
+        q = np.empty((n, n))
+        basis = molecule.basis
+        for i in range(n):
+            for j in range(i + 1):
+                val = eri_ssss(basis[i], basis[j], basis[i], basis[j])
+                q[i, j] = q[j, i] = np.sqrt(max(val, 0.0))
+        self.q = q
+
+    def bound(self, i: int, j: int, k: int, l: int) -> float:
+        """Schwarz upper bound on |(ij|kl)|."""
+        return float(self.q[i, j] * self.q[k, l])
+
+    def significant(self, i: int, j: int, k: int, l: int) -> bool:
+        return self.bound(i, j, k, l) >= self.tolerance
+
+    def surviving_count(self) -> int:
+        """Number of unique quartets that survive screening.
+
+        Counts the canonical quartets (the 8-fold-symmetry
+        representatives), mirroring Table V's "non-screened ERIs".
+        """
+        n = self.q.shape[0]
+        count = 0
+        for i in range(n):
+            for j in range(i + 1):
+                for k in range(i + 1):
+                    l_max = j if k == i else k
+                    for l in range(l_max + 1):
+                        if self.significant(i, j, k, l):
+                            count += 1
+        return count
+
+    def survival_fraction(self) -> float:
+        n = self.q.shape[0]
+        total = 0
+        for i in range(n):
+            for j in range(i + 1):
+                for k in range(i + 1):
+                    total += (j if k == i else k) + 1
+        return self.surviving_count() / total if total else 0.0

@@ -1,0 +1,32 @@
+"""All-pairs Jaccard similarity application (§V-A)."""
+
+from .blocked import all_pairs_jaccard_blocked, jaccard_blocks, top_k_reducer
+from .minhash import (
+    MinHashSignatures,
+    approximate_all_pairs,
+    lsh_candidate_pairs,
+    minhash_signatures,
+)
+from .perf import Fig10Point, JaccardPerfModel
+from .similarity import (
+    JaccardResult,
+    all_pairs_jaccard,
+    jaccard_reference,
+    spgemm_flops,
+)
+
+__all__ = [
+    "Fig10Point",
+    "JaccardPerfModel",
+    "JaccardResult",
+    "MinHashSignatures",
+    "approximate_all_pairs",
+    "lsh_candidate_pairs",
+    "minhash_signatures",
+    "all_pairs_jaccard",
+    "all_pairs_jaccard_blocked",
+    "jaccard_blocks",
+    "jaccard_reference",
+    "spgemm_flops",
+    "top_k_reducer",
+]

@@ -1,0 +1,118 @@
+"""Figure 10 performance/footprint model for all-pairs Jaccard.
+
+The paper runs R-MAT scales 17-23 (128K to 8M vertices, degree 16) on
+the E870 with one thread per core and reports execution time and memory
+footprint, the latter dominated by the output ("substantially larger
+than the input matrices").
+
+Graphs at the paper's upper scales do not fit this container, so the
+model *measures* the scale-dependent quantities — adjacency nonzeros,
+SpGEMM work (sum of squared degrees) and output nonzeros — on real
+R-MAT samples at small scales, fits their log-linear growth, and
+extrapolates.  Time then comes from the calibrated machine model with
+the paper's 64-thread (one per core) configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ...arch.specs import SystemSpec
+from ...perfmodel.kernel_time import KernelProfile, MachineModel
+from ...workloads.rmat import RMATConfig, rmat_adjacency
+
+#: CSR storage cost per nonzero: 8-byte value + 4-byte index.
+CSR_BYTES_PER_NNZ = 12
+
+#: SpGEMM reads roughly one 12-byte B-row entry per multiply-add pair
+#: and writes each output entry once; the blocked algorithm keeps the
+#: accumulator cache-resident.
+SPGEMM_READ_BYTES_PER_FLOP = 6.0
+
+
+@dataclass(frozen=True)
+class Fig10Point:
+    scale: int
+    time_seconds: float
+    input_bytes: float
+    output_bytes: float
+    flops: float
+
+    @property
+    def total_memory_bytes(self) -> float:
+        return self.input_bytes + self.output_bytes
+
+    @property
+    def output_to_input_ratio(self) -> float:
+        return self.output_bytes / self.input_bytes if self.input_bytes else 0.0
+
+
+class JaccardPerfModel:
+    """Measured-and-extrapolated Figure 10 estimator."""
+
+    def __init__(
+        self,
+        system: SystemSpec,
+        sample_scales: Sequence[int] = (10, 11, 12, 13),
+        edge_factor: int = 16,
+        seed: int = 1,
+    ) -> None:
+        if len(sample_scales) < 2:
+            raise ValueError("need at least two sample scales to fit growth")
+        self.system = system
+        self.edge_factor = edge_factor
+        self._model = MachineModel(system)
+        self._fits = self._fit(sample_scales, seed)
+
+    def _fit(self, scales: Sequence[int], seed: int) -> Dict[str, np.ndarray]:
+        log_nnz_a, log_flops, log_nnz_c = [], [], []
+        for s in scales:
+            adj = rmat_adjacency(RMATConfig(s, self.edge_factor, seed=seed))
+            degrees = np.diff(adj.indptr).astype(np.float64)
+            c_nnz = (adj @ adj).nnz
+            log_nnz_a.append(np.log2(max(adj.nnz, 1)))
+            log_flops.append(np.log2(max(2.0 * np.sum(degrees**2), 1.0)))
+            log_nnz_c.append(np.log2(max(c_nnz, 1)))
+        xs = np.asarray(scales, dtype=np.float64)
+        return {
+            "nnz_a": np.polyfit(xs, log_nnz_a, 1),
+            "flops": np.polyfit(xs, log_flops, 1),
+            "nnz_c": np.polyfit(xs, log_nnz_c, 1),
+        }
+
+    def _extrapolate(self, key: str, scale: int) -> float:
+        slope, intercept = self._fits[key]
+        return float(2.0 ** (slope * scale + intercept))
+
+    def estimate(self, scale: int) -> Fig10Point:
+        """Time and footprint of all-pairs Jaccard at an R-MAT scale."""
+        if scale < 1:
+            raise ValueError(f"scale must be positive, got {scale}")
+        nnz_a = self._extrapolate("nnz_a", scale)
+        flops = self._extrapolate("flops", scale)
+        nnz_c = self._extrapolate("nnz_c", scale)
+        input_bytes = nnz_a * CSR_BYTES_PER_NNZ
+        output_bytes = nnz_c * CSR_BYTES_PER_NNZ
+        profile = KernelProfile(
+            name=f"jaccard-rmat{scale}",
+            flops=flops,
+            bytes_read=flops * SPGEMM_READ_BYTES_PER_FLOP + input_bytes,
+            bytes_written=output_bytes,
+            pattern="blocked",
+            block_bytes=64 * 1024,
+            threads_per_core=1,  # the paper runs one thread per core
+            flop_efficiency=0.25,  # irregular SpGEMM, scalar accumulation
+        )
+        return Fig10Point(
+            scale=scale,
+            time_seconds=self._model.time(profile),
+            input_bytes=input_bytes,
+            output_bytes=output_bytes,
+            flops=flops,
+        )
+
+    def fig10_curve(self, scales=range(17, 24)) -> list[Fig10Point]:
+        return [self.estimate(s) for s in scales]

@@ -1,0 +1,54 @@
+"""SpMV application (§V-B): CSR on HPC matrices, two-scan on graphs."""
+
+from .anomaly import (
+    AnomalyResult,
+    SpectralModel,
+    dominant_singular_triplet,
+    spectral_anomaly_scores,
+)
+from .csr import CSRSpMV, ReplicatedVector
+from .graphkernels import (
+    ConvergenceError,
+    IterativeResult,
+    hits,
+    pagerank,
+    random_walk_with_restart,
+)
+from .partition import RowPartition, imbalance, partition_rows
+from .perf import (
+    SpMVRate,
+    csr_performance,
+    fig12_curve,
+    rmat_tile_elements,
+    suite_performance,
+    twoscan_performance,
+    vector_traffic_bytes,
+)
+from .twoscan import DEFAULT_BLOCK_WIDTH, TileStats, TwoScanSpMV
+
+__all__ = [
+    "AnomalyResult",
+    "CSRSpMV",
+    "ConvergenceError",
+    "SpectralModel",
+    "dominant_singular_triplet",
+    "spectral_anomaly_scores",
+    "DEFAULT_BLOCK_WIDTH",
+    "IterativeResult",
+    "hits",
+    "pagerank",
+    "random_walk_with_restart",
+    "ReplicatedVector",
+    "RowPartition",
+    "SpMVRate",
+    "TileStats",
+    "TwoScanSpMV",
+    "csr_performance",
+    "fig12_curve",
+    "imbalance",
+    "partition_rows",
+    "rmat_tile_elements",
+    "suite_performance",
+    "twoscan_performance",
+    "vector_traffic_bytes",
+]

@@ -1,0 +1,135 @@
+"""Graph-analytics kernels built on the two-scan SpMV engine.
+
+§V-B motivates graph SpMV with "anomaly detection, PageRank, HITS and
+random walk with restart"; this module implements those algorithms on
+top of :class:`repro.apps.spmv.twoscan.TwoScanSpMV`, so each iteration
+exercises exactly the blocked kernel the paper optimises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from .twoscan import DEFAULT_BLOCK_WIDTH, TwoScanSpMV
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when an iterative kernel exhausts its iteration budget."""
+
+
+@dataclass(frozen=True)
+class IterativeResult:
+    values: np.ndarray
+    iterations: int
+    residual: float
+
+
+def _column_stochastic(adj: sp.spmatrix) -> sp.csr_matrix:
+    """Column-normalised transition matrix (dangling columns left zero)."""
+    a = sp.csr_matrix(adj, dtype=np.float64)
+    out_degree = np.asarray(a.sum(axis=0)).ravel()
+    scale = np.divide(1.0, out_degree, out=np.zeros_like(out_degree),
+                      where=out_degree > 0)
+    return (a @ sp.diags(scale)).tocsr()
+
+
+def pagerank(
+    adj: sp.spmatrix,
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iterations: int = 200,
+    block_width: int = DEFAULT_BLOCK_WIDTH,
+) -> IterativeResult:
+    """Power-iteration PageRank driven by the two-scan kernel.
+
+    ``adj[i, j] != 0`` denotes an edge j -> i is *not* assumed; we use
+    the common convention that ``adj`` is the (possibly symmetric)
+    adjacency matrix and walk along its columns.
+    """
+    if not 0.0 < damping < 1.0:
+        raise ValueError(f"damping must be in (0,1), got {damping}")
+    n = adj.shape[0]
+    transition = TwoScanSpMV(_column_stochastic(adj), block_width)
+    dangling = np.asarray(sp.csr_matrix(adj).sum(axis=0)).ravel() == 0
+    rank = np.full(n, 1.0 / n)
+    teleport = (1.0 - damping) / n
+    for iteration in range(1, max_iterations + 1):
+        spread = transition.multiply(rank)
+        # Dangling mass is redistributed uniformly.
+        lost = damping * rank[dangling].sum() / n
+        new_rank = damping * spread + teleport + lost
+        residual = float(np.abs(new_rank - rank).sum())
+        rank = new_rank
+        if residual < tol:
+            return IterativeResult(rank, iteration, residual)
+    raise ConvergenceError(f"PageRank did not converge in {max_iterations} iterations")
+
+
+def random_walk_with_restart(
+    adj: sp.spmatrix,
+    seed_vertex: int,
+    restart: float = 0.15,
+    tol: float = 1e-10,
+    max_iterations: int = 500,
+    block_width: int = DEFAULT_BLOCK_WIDTH,
+) -> IterativeResult:
+    """RWR proximity scores from one seed (Tong et al., cited as [31])."""
+    n = adj.shape[0]
+    if not 0 <= seed_vertex < n:
+        raise ValueError(f"seed {seed_vertex} out of range for {n} vertices")
+    if not 0.0 < restart < 1.0:
+        raise ValueError(f"restart must be in (0,1), got {restart}")
+    transition = TwoScanSpMV(_column_stochastic(adj), block_width)
+    e = np.zeros(n)
+    e[seed_vertex] = 1.0
+    scores = e.copy()
+    for iteration in range(1, max_iterations + 1):
+        new_scores = (1.0 - restart) * transition.multiply(scores) + restart * e
+        residual = float(np.abs(new_scores - scores).sum())
+        scores = new_scores
+        if residual < tol:
+            return IterativeResult(scores, iteration, residual)
+    raise ConvergenceError(f"RWR did not converge in {max_iterations} iterations")
+
+
+def hits(
+    adj: sp.spmatrix,
+    tol: float = 1e-10,
+    max_iterations: int = 500,
+    block_width: int = DEFAULT_BLOCK_WIDTH,
+) -> tuple[IterativeResult, IterativeResult]:
+    """HITS hubs and authorities (Kleinberg, cited as [19]).
+
+    Returns ``(hubs, authorities)``; both are computed with the
+    two-scan kernel on A and its transpose.
+    """
+    a = sp.csr_matrix(adj, dtype=np.float64)
+    forward = TwoScanSpMV(a, block_width)
+    backward = TwoScanSpMV(a.T.tocsr(), block_width)
+    n = a.shape[0]
+    hubs = np.full(n, 1.0 / np.sqrt(n))
+    iterations = 0
+    residual = float("inf")
+    for iterations in range(1, max_iterations + 1):
+        authorities = backward.multiply(hubs)
+        norm = np.linalg.norm(authorities)
+        if norm == 0:
+            raise ValueError("graph has no edges")
+        authorities /= norm
+        new_hubs = forward.multiply(authorities)
+        new_hubs /= np.linalg.norm(new_hubs)
+        residual = float(np.abs(new_hubs - hubs).max())
+        hubs = new_hubs
+        if residual < tol:
+            break
+    else:
+        raise ConvergenceError(f"HITS did not converge in {max_iterations} iterations")
+    authorities = backward.multiply(hubs)
+    authorities /= np.linalg.norm(authorities)
+    return (
+        IterativeResult(hubs, iterations, residual),
+        IterativeResult(authorities, iterations, residual),
+    )

@@ -1,0 +1,67 @@
+"""1D row partitioning for SpMV (§V-B.1).
+
+The paper assigns contiguous row blocks to threads, balancing nonzeros
+per partition, and pins each partition to the owning thread's socket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass(frozen=True)
+class RowPartition:
+    """Contiguous row range owned by one thread."""
+
+    thread: int
+    socket: int
+    row_start: int
+    row_end: int  # exclusive
+    nnz: int
+
+    @property
+    def rows(self) -> int:
+        return self.row_end - self.row_start
+
+
+def partition_rows(
+    matrix: sp.csr_matrix, num_threads: int, threads_per_socket: int | None = None
+) -> List[RowPartition]:
+    """Split rows into ``num_threads`` contiguous, nnz-balanced ranges."""
+    if num_threads < 1:
+        raise ValueError(f"need at least one thread, got {num_threads}")
+    n = matrix.shape[0]
+    indptr = matrix.indptr
+    total_nnz = int(indptr[-1])
+    # Ideal split points in nnz space, mapped back to row indices.
+    targets = np.linspace(0, total_nnz, num_threads + 1)
+    boundaries = np.searchsorted(indptr, targets, side="left")
+    boundaries[0], boundaries[-1] = 0, n
+    boundaries = np.maximum.accumulate(boundaries)
+    parts = []
+    for t in range(num_threads):
+        start, end = int(boundaries[t]), int(boundaries[t + 1])
+        socket = t // threads_per_socket if threads_per_socket else 0
+        parts.append(
+            RowPartition(
+                thread=t,
+                socket=socket,
+                row_start=start,
+                row_end=end,
+                nnz=int(indptr[end] - indptr[start]),
+            )
+        )
+    return parts
+
+
+def imbalance(parts: List[RowPartition]) -> float:
+    """Max/mean nnz ratio across partitions (1.0 is perfect balance)."""
+    sizes = [p.nnz for p in parts]
+    mean = sum(sizes) / len(sizes)
+    if mean == 0:
+        return 1.0
+    return max(sizes) / mean

@@ -1,0 +1,111 @@
+"""Two-scan blocked SpMV for scale-free graphs (§V-B.2).
+
+Adjacency matrices of social-network graphs defeat plain CSR SpMV: the
+input-vector access pattern is essentially random.  The paper's
+algorithm (from Buono et al. [8]) makes both sources of sparsity
+cache-resident by splitting the multiply into two streaming scans:
+
+1. *Scale scan* — traverse the matrix in **column-blocked** order and
+   multiply every nonzero by its column's ``x`` value.  Within a block
+   the live slice of ``x`` fits in cache, and each nonzero is read once
+   and its scaled value written once (the paper's "read 10 and write 8
+   bytes per nonzero" — the phase that exploits POWER8's concurrent
+   read+write links).
+2. *Sum scan* — traverse the scaled values in **row-blocked** order and
+   accumulate each row into ``y``; now the live slice of ``y`` is the
+   cache-resident side.
+
+Re-blocking between scans is a pointer exchange, not a copy: we
+precompute, once at construction, the permutation that reorders the
+column-sorted nonzeros into row-sorted order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+#: Default column-block width: 2**17 doubles of `x` = 1 MB, sized to sit
+#: in the L2 + local L3 slice.
+DEFAULT_BLOCK_WIDTH = 1 << 17
+
+
+@dataclass(frozen=True)
+class TileStats:
+    """Blocking statistics driving the Figure 12 performance analysis."""
+
+    block_width: int
+    col_blocks: int
+    row_blocks: int
+    mean_tile_elements: float
+
+    @property
+    def mean_tile_bytes(self) -> float:
+        return self.mean_tile_elements * 8.0
+
+
+class TwoScanSpMV:
+    """Blocked two-scan SpMV executor for (power-law) sparse matrices."""
+
+    def __init__(self, matrix: sp.spmatrix, block_width: int = DEFAULT_BLOCK_WIDTH) -> None:
+        if block_width < 1:
+            raise ValueError(f"block width must be positive, got {block_width}")
+        coo = sp.coo_matrix(matrix)
+        self.shape = coo.shape
+        self.block_width = block_width
+        # Column-sorted storage for the scale scan.
+        col_order = np.argsort(coo.col, kind="stable")
+        self._cols = coo.col[col_order].astype(np.int64)
+        self._rows = coo.row[col_order].astype(np.int64)
+        self._data = coo.data[col_order].astype(np.float64)
+        # The "pointer exchange": permutation into row-sorted order.
+        self._to_row_order = np.argsort(self._rows, kind="stable")
+        self._rows_sorted = self._rows[self._to_row_order]
+        # Column-block boundaries within the column-sorted arrays.
+        n_cols = self.shape[1]
+        self._col_block_edges = np.searchsorted(
+            self._cols, np.arange(0, n_cols + block_width, block_width)
+        )
+
+    @property
+    def nnz(self) -> int:
+        return len(self._data)
+
+    def multiply(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``y = A @ x`` with the two blocked scans."""
+        n_rows, n_cols = self.shape
+        if x.shape != (n_cols,):
+            raise ValueError(f"x has shape {x.shape}, expected ({n_cols},)")
+        # Scan 1: scale by x, one column block at a time.
+        scaled = np.empty_like(self._data)
+        edges = self._col_block_edges
+        for b in range(len(edges) - 1):
+            lo, hi = edges[b], edges[b + 1]
+            if lo == hi:
+                continue
+            scaled[lo:hi] = self._data[lo:hi] * x[self._cols[lo:hi]]
+        # Scan 2: permute to row order (pointer exchange) and reduce rows.
+        scaled_rows = scaled[self._to_row_order]
+        y = np.zeros(n_rows, dtype=np.float64)
+        if len(scaled_rows):
+            np.add.at(y, self._rows_sorted, scaled_rows)
+        return y
+
+    def flops(self) -> int:
+        return 2 * self.nnz
+
+    def tile_stats(self) -> TileStats:
+        """Mean elements per (row-block x column-block) tile.
+
+        This is the quantity the paper quotes to explain Figure 12's
+        decline: ~12,000 elements per tile at R-MAT 24 versus ~63 at
+        R-MAT 31 (about 4 cache lines), too short for the prefetch
+        engine to ramp up.
+        """
+        n_rows, n_cols = self.shape
+        col_blocks = max(1, -(-n_cols // self.block_width))
+        row_blocks = max(1, -(-n_rows // self.block_width))
+        mean = self.nnz / (col_blocks * row_blocks)
+        return TileStats(self.block_width, col_blocks, row_blocks, mean)

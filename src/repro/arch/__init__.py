@@ -1,0 +1,47 @@
+"""Machine descriptions: POWER7/POWER8 chips and SMP system topologies."""
+
+from .e870 import e870, power8_192way
+from .power7 import power7_chip, power7_core
+from .power8 import PAGE_16M, PAGE_64K, POWER8_LINE_SIZE, power8_chip, power8_core
+from .specs import (
+    GB,
+    GIB,
+    KIB,
+    MIB,
+    TIB,
+    BusSpec,
+    CacheSpec,
+    CentaurSpec,
+    ChipSpec,
+    CoreSpec,
+    RegisterFileSpec,
+    SpecError,
+    SystemSpec,
+    TLBSpec,
+)
+
+__all__ = [
+    "GB",
+    "GIB",
+    "KIB",
+    "MIB",
+    "TIB",
+    "PAGE_16M",
+    "PAGE_64K",
+    "POWER8_LINE_SIZE",
+    "BusSpec",
+    "CacheSpec",
+    "CentaurSpec",
+    "ChipSpec",
+    "CoreSpec",
+    "RegisterFileSpec",
+    "SpecError",
+    "SystemSpec",
+    "TLBSpec",
+    "e870",
+    "power7_chip",
+    "power7_core",
+    "power8_192way",
+    "power8_chip",
+    "power8_core",
+]

@@ -1,0 +1,39 @@
+"""The IBM Power System E870 evaluated in the paper (Table II, Figure 1).
+
+Eight sockets, each carrying an 8-core POWER8 chip at 4.35 GHz with eight
+Centaur buffer chips.  Chips 0-3 form group 0 and chips 4-7 form group 1;
+inside a group every pair of chips shares an X-bus, and chip *i* of group
+0 is tied to chip *i* of group 1 by an A-bus.
+"""
+
+from __future__ import annotations
+
+from .power8 import power8_chip, power8_max_chip
+from .specs import GB, BusSpec, SystemSpec
+
+
+def e870(num_chips: int = 8) -> SystemSpec:
+    """Build the paper's E870 (or a truncated variant for tests)."""
+    return SystemSpec(
+        name="IBM Power System E870",
+        chip=power8_chip(cores=8, frequency_ghz=4.35, centaurs=8),
+        num_chips=num_chips,
+        group_size=4,
+        x_bus=BusSpec("X-bus", 39.2 * GB, latency_ns=35.0),
+        a_bus=BusSpec("A-bus", 12.8 * GB, latency_ns=123.0),
+    )
+
+
+def power8_192way() -> SystemSpec:
+    """The largest POWER8 SMP: 16 sockets x 12 cores at 4 GHz (§I).
+
+    Delivers 6,144 GFLOP/s DP and 3,686 GB/s of memory bandwidth with
+    16 TB of DRAM — the headline configuration quoted in the paper's
+    introduction.
+    """
+    return SystemSpec(
+        name="POWER8 192-way SMP",
+        chip=power8_max_chip(),
+        num_chips=16,
+        group_size=4,
+    )

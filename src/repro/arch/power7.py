@@ -1,0 +1,55 @@
+"""POWER7 description — the Table I comparison baseline."""
+
+from __future__ import annotations
+
+from .specs import KIB, MIB, CacheSpec, CentaurSpec, ChipSpec, CoreSpec, TLBSpec
+
+POWER7_LINE_SIZE = 128
+
+
+def power7_core() -> CoreSpec:
+    """The POWER7 core column of Table I (half the SMT and cache of POWER8)."""
+    return CoreSpec(
+        name="POWER7",
+        smt_ways=4,
+        issue_width=8,
+        commit_width=6,
+        load_ports=2,
+        store_ports=2,
+        vsx_pipes=2,
+        fma_latency_cycles=6,
+        vector_width_dp=2,
+        l1i=CacheSpec("L1I", 32 * KIB, POWER7_LINE_SIZE, 4, 3.0, "store-in"),
+        l1d=CacheSpec("L1D", 32 * KIB, POWER7_LINE_SIZE, 8, 3.0, "store-through"),
+        l2=CacheSpec("L2", 256 * KIB, POWER7_LINE_SIZE, 8, 12.0),
+        l3_slice=CacheSpec("L3", 4 * MIB, POWER7_LINE_SIZE, 8, 28.0, victim=True),
+        tlb=TLBSpec(erat_entries=32, tlb_entries=512),
+        max_outstanding_misses=8,
+    )
+
+
+def power7_chip(cores: int = 8, frequency_ghz: float = 3.8) -> ChipSpec:
+    """A POWER7 chip: no Centaur/L4; on-chip memory controllers.
+
+    We express the POWER7 memory attach as a degenerate "Centaur" with no
+    L4 (capacity one line) and symmetric-ish link bandwidth so the same
+    hierarchy machinery can simulate both generations.
+    """
+    core = power7_core()
+    return ChipSpec(
+        name="POWER7",
+        core=core,
+        cores_per_chip=cores,
+        frequency_hz=frequency_ghz * 1e9,
+        centaurs_per_chip=2,
+        centaur=CentaurSpec(
+            l4_capacity=POWER7_LINE_SIZE,  # effectively no L4
+            dram_capacity=128 * 1024**3,
+            read_bandwidth=25.6e9,
+            write_bandwidth=25.6e9,
+            l4_latency_ns=90.0,
+            dram_latency_ns=95.0,
+        ),
+        x_links=3,
+        a_links=3,
+    )

@@ -1,0 +1,79 @@
+"""Canned POWER8 chip and core descriptions (paper Table I / §II-A)."""
+
+from __future__ import annotations
+
+from .specs import (
+    KIB,
+    MIB,
+    CacheSpec,
+    CentaurSpec,
+    ChipSpec,
+    CoreSpec,
+    RegisterFileSpec,
+    TLBSpec,
+)
+
+#: Cache line size shared by every POWER8 cache level.
+POWER8_LINE_SIZE = 128
+
+#: Regular and huge page sizes available on the E870 (Figure 2).
+PAGE_64K = 64 * KIB
+PAGE_16M = 16 * MIB
+
+
+def power8_core() -> CoreSpec:
+    """The POWER8 core of Table I.
+
+    Latency values are in core cycles and follow the public POWER8
+    user's manual: ~3-cycle L1D, ~12-cycle L2, ~28-cycle local L3.
+    """
+    return CoreSpec(
+        name="POWER8",
+        smt_ways=8,
+        issue_width=10,
+        commit_width=8,
+        load_ports=4,
+        store_ports=2,
+        vsx_pipes=2,
+        fma_latency_cycles=6,
+        vector_width_dp=2,
+        l1i=CacheSpec("L1I", 32 * KIB, POWER8_LINE_SIZE, 8, 3.0, "store-in"),
+        l1d=CacheSpec("L1D", 64 * KIB, POWER8_LINE_SIZE, 8, 3.0, "store-through"),
+        l2=CacheSpec("L2", 512 * KIB, POWER8_LINE_SIZE, 8, 12.0),
+        l3_slice=CacheSpec("L3", 8 * MIB, POWER8_LINE_SIZE, 8, 28.0, victim=True),
+        registers=RegisterFileSpec(architected=128, renames=106,
+                                   spill_penalty_cycles=2.0),
+        tlb=TLBSpec(erat_entries=48, tlb_entries=2048,
+                    erat_miss_penalty_cycles=13.0,
+                    tlb_miss_penalty_cycles=160.0),
+        max_outstanding_misses=16,
+    )
+
+
+def power8_chip(
+    cores: int = 8,
+    frequency_ghz: float = 4.35,
+    centaurs: int = 8,
+    name: str = "POWER8",
+) -> ChipSpec:
+    """A POWER8 processor chip.
+
+    The paper's E870 uses 8-core chips at 4.35 GHz with eight Centaur
+    buffer chips each; the largest POWER8 configuration has 12 cores at
+    4 GHz (see :func:`power8_max_chip`).
+    """
+    return ChipSpec(
+        name=name,
+        core=power8_core(),
+        cores_per_chip=cores,
+        frequency_hz=frequency_ghz * 1e9,
+        centaurs_per_chip=centaurs,
+        centaur=CentaurSpec(),
+        x_links=3,
+        a_links=3,
+    )
+
+
+def power8_max_chip() -> ChipSpec:
+    """The maximal 12-core 4 GHz POWER8 used for the headline 192-way SMP."""
+    return power8_chip(cores=12, frequency_ghz=4.0, centaurs=8, name="POWER8-12c")

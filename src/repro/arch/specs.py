@@ -1,0 +1,375 @@
+"""Machine description dataclasses for POWER-family SMP systems.
+
+Every simulator in this package is *parametric*: it consumes one of the
+frozen spec dataclasses defined here rather than hard-coding POWER8
+constants.  This lets the test-suite instantiate tiny synthetic machines
+(two cores, 4-line caches) and lets the benchmark harness instantiate the
+full IBM Power System E870 from the paper's Tables I and II.
+
+Units
+-----
+* capacities  : bytes
+* latencies   : processor cycles unless the name says ``_ns``
+* bandwidths  : bytes / second
+* frequencies : Hz
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+GB = 1e9  # decimal gigabyte, used for link bandwidths quoted in GB/s
+
+
+class SpecError(ValueError):
+    """Raised when a machine description is internally inconsistent."""
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry and timing of a single cache level.
+
+    Parameters
+    ----------
+    name:
+        Human-readable level name (``"L1D"``, ``"L2"``, ...).
+    capacity:
+        Total capacity in bytes.
+    line_size:
+        Cache line size in bytes (128 on all POWER8 levels).
+    associativity:
+        Number of ways per set.
+    latency_cycles:
+        Load-to-use latency of a hit in this level, in core cycles.
+    write_policy:
+        ``"store-through"`` (L1 on POWER8) or ``"store-in"`` (L2/L3/L4).
+    victim:
+        True when the level also acts as a victim cache for peer caches
+        (the POWER8 L3 NUCA design).
+    """
+
+    name: str
+    capacity: int
+    line_size: int
+    associativity: int
+    latency_cycles: float
+    write_policy: str = "store-in"
+    victim: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise SpecError(f"{self.name}: capacity must be positive")
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise SpecError(f"{self.name}: line size must be a power of two")
+        if self.capacity % self.line_size:
+            raise SpecError(f"{self.name}: capacity not a multiple of line size")
+        if self.associativity <= 0:
+            raise SpecError(f"{self.name}: associativity must be positive")
+        if self.num_lines % self.associativity:
+            raise SpecError(
+                f"{self.name}: {self.num_lines} lines not divisible into "
+                f"{self.associativity}-way sets"
+            )
+        if self.write_policy not in ("store-through", "store-in"):
+            raise SpecError(f"{self.name}: unknown write policy {self.write_policy!r}")
+
+    @property
+    def num_lines(self) -> int:
+        return self.capacity // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+    def scaled(self, factor: int) -> "CacheSpec":
+        """Return a copy with ``factor``x the capacity (same geometry otherwise)."""
+        return replace(self, capacity=self.capacity * factor)
+
+
+@dataclass(frozen=True)
+class TLBSpec:
+    """Two-level address-translation structure (ERAT + TLB).
+
+    POWER8 translates through a small fully-associative ERAT backed by a
+    larger TLB.  A miss in either adds a fixed penalty.  Entry counts are
+    per page size class; the reach of a level is ``entries * page_size``.
+    """
+
+    erat_entries: int = 48
+    tlb_entries: int = 2048
+    erat_miss_penalty_cycles: float = 13.0
+    tlb_miss_penalty_cycles: float = 160.0
+
+    def erat_reach(self, page_size: int) -> int:
+        return self.erat_entries * page_size
+
+    def tlb_reach(self, page_size: int) -> int:
+        return self.tlb_entries * page_size
+
+
+@dataclass(frozen=True)
+class RegisterFileSpec:
+    """Two-level VSX register hierarchy (§III-C of the paper).
+
+    POWER8 keeps 128 architected VSX registers per core in a fast first
+    level; additional rename registers live in a slower second level.
+    When the working register set of all resident threads exceeds
+    ``architected``, accesses start paying ``spill_penalty`` extra cycles
+    on a fraction of operations.
+    """
+
+    architected: int = 128
+    renames: int = 106
+    spill_penalty_cycles: float = 2.0
+
+    @property
+    def total(self) -> int:
+        return self.architected + self.renames
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """A POWER-family core: SMT, pipelines, LSU and L1/L2/L3 slices."""
+
+    name: str
+    smt_ways: int
+    issue_width: int
+    commit_width: int
+    load_ports: int
+    store_ports: int
+    vsx_pipes: int
+    fma_latency_cycles: int
+    vector_width_dp: int  # double-precision lanes per VSX pipe (2 on POWER8)
+    l1i: CacheSpec
+    l1d: CacheSpec
+    l2: CacheSpec
+    l3_slice: CacheSpec
+    registers: RegisterFileSpec = field(default_factory=RegisterFileSpec)
+    tlb: TLBSpec = field(default_factory=TLBSpec)
+    # Maximum outstanding demand L1D misses a single core can sustain
+    # (load-miss queue / LMQ size).
+    max_outstanding_misses: int = 16
+
+    def __post_init__(self) -> None:
+        if self.smt_ways not in (1, 2, 4, 8):
+            raise SpecError(f"{self.name}: SMT ways must be 1, 2, 4 or 8")
+        if self.vsx_pipes <= 0 or self.fma_latency_cycles <= 0:
+            raise SpecError(f"{self.name}: pipeline parameters must be positive")
+
+    def peak_flops_per_cycle(self) -> int:
+        """Double-precision FLOPs per cycle: pipes x lanes x 2 (mul+add)."""
+        return self.vsx_pipes * self.vector_width_dp * 2
+
+
+@dataclass(frozen=True)
+class CentaurSpec:
+    """Centaur memory-buffer chip: L4 slice + DRAM ports (§II-A).
+
+    Each Centaur provides 16 MiB of eDRAM acting as L4, up to 128 GiB of
+    DRAM, and connects to the processor through two read links and one
+    write link, yielding an asymmetric 2:1 read:write bandwidth ratio.
+    """
+
+    l4_capacity: int = 16 * MIB
+    dram_capacity: int = 128 * GIB
+    read_bandwidth: float = 19.2 * GB
+    write_bandwidth: float = 9.6 * GB
+    l4_latency_ns: float = 55.0
+    dram_latency_ns: float = 90.0
+
+    def __post_init__(self) -> None:
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise SpecError("Centaur link bandwidths must be positive")
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Best sustainable bandwidth, achieved at a 2:1 read:write mix."""
+        return self.read_bandwidth + self.write_bandwidth
+
+
+@dataclass(frozen=True)
+class BusSpec:
+    """A chip-to-chip SMP link (X-bus intra-group, A-bus inter-group)."""
+
+    name: str
+    bandwidth: float  # unidirectional bytes/s
+    latency_ns: float
+    bidirectional: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise SpecError(f"{self.name}: bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """One processor chip: cores + memory attach + SMP ports."""
+
+    name: str
+    core: CoreSpec
+    cores_per_chip: int
+    frequency_hz: float
+    centaurs_per_chip: int
+    centaur: CentaurSpec = field(default_factory=CentaurSpec)
+    x_links: int = 3
+    a_links: int = 3
+
+    def __post_init__(self) -> None:
+        if self.cores_per_chip <= 0:
+            raise SpecError(f"{self.name}: need at least one core")
+        if self.frequency_hz <= 0:
+            raise SpecError(f"{self.name}: frequency must be positive")
+
+    # -- derived capacities -------------------------------------------------
+    @property
+    def threads_per_chip(self) -> int:
+        return self.cores_per_chip * self.core.smt_ways
+
+    @property
+    def l3_capacity(self) -> int:
+        """Aggregate NUCA L3: every core's slice is reachable chip-wide."""
+        return self.cores_per_chip * self.core.l3_slice.capacity
+
+    @property
+    def l4_capacity(self) -> int:
+        return self.centaurs_per_chip * self.centaur.l4_capacity
+
+    @property
+    def dram_capacity(self) -> int:
+        return self.centaurs_per_chip * self.centaur.dram_capacity
+
+    # -- derived throughputs ------------------------------------------------
+    @property
+    def read_bandwidth(self) -> float:
+        return self.centaurs_per_chip * self.centaur.read_bandwidth
+
+    @property
+    def write_bandwidth(self) -> float:
+        return self.centaurs_per_chip * self.centaur.write_bandwidth
+
+    @property
+    def peak_memory_bandwidth(self) -> float:
+        """Sustainable local-memory bandwidth at the optimal 2:1 mix."""
+        return self.read_bandwidth + self.write_bandwidth
+
+    @property
+    def peak_gflops(self) -> float:
+        return (
+            self.cores_per_chip
+            * self.core.peak_flops_per_cycle()
+            * self.frequency_hz
+            / 1e9
+        )
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles / self.frequency_hz * 1e9
+
+    def ns_to_cycles(self, ns: float) -> float:
+        return ns * self.frequency_hz / 1e9
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A full SMP system: ``num_chips`` chips wired into 4-chip groups.
+
+    The POWER8 SMP fabric groups chips by four: inside a group every chip
+    pair is directly connected by an X-bus; chip *i* of one group connects
+    to chip *i* of every other group by an A-bus (§II-B, Figure 1).
+    """
+
+    name: str
+    chip: ChipSpec
+    num_chips: int
+    group_size: int = 4
+    x_bus: BusSpec = field(
+        default_factory=lambda: BusSpec("X-bus", 39.2 * GB, latency_ns=35.0)
+    )
+    a_bus: BusSpec = field(
+        default_factory=lambda: BusSpec("A-bus", 12.8 * GB, latency_ns=123.0)
+    )
+
+    def __post_init__(self) -> None:
+        if self.num_chips <= 0:
+            raise SpecError(f"{self.name}: need at least one chip")
+        if self.group_size <= 0:
+            raise SpecError(f"{self.name}: group size must be positive")
+        num_groups = math.ceil(self.num_chips / self.group_size)
+        # Each chip owns a fixed number of X and A ports; check the wiring
+        # demanded by the grouped topology is realisable.
+        if self.group_size - 1 > self.chip.x_links:
+            raise SpecError(
+                f"{self.name}: group of {self.group_size} needs "
+                f"{self.group_size - 1} X-links but chip has {self.chip.x_links}"
+            )
+        if num_groups - 1 > self.chip.a_links:
+            raise SpecError(
+                f"{self.name}: {num_groups} groups need {num_groups - 1} "
+                f"A-links but chip has {self.chip.a_links}"
+            )
+
+    # -- topology helpers ----------------------------------------------------
+    @property
+    def num_groups(self) -> int:
+        return math.ceil(self.num_chips / self.group_size)
+
+    def group_of(self, chip_id: int) -> int:
+        self._check_chip(chip_id)
+        return chip_id // self.group_size
+
+    def position_in_group(self, chip_id: int) -> int:
+        self._check_chip(chip_id)
+        return chip_id % self.group_size
+
+    def same_group(self, a: int, b: int) -> bool:
+        return self.group_of(a) == self.group_of(b)
+
+    def _check_chip(self, chip_id: int) -> None:
+        if not 0 <= chip_id < self.num_chips:
+            raise SpecError(
+                f"chip id {chip_id} out of range for {self.num_chips}-chip system"
+            )
+
+    # -- derived system-level numbers -----------------------------------------
+    @property
+    def num_cores(self) -> int:
+        return self.num_chips * self.chip.cores_per_chip
+
+    @property
+    def num_threads(self) -> int:
+        return self.num_chips * self.chip.threads_per_chip
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.num_chips * self.chip.peak_gflops
+
+    @property
+    def peak_memory_bandwidth(self) -> float:
+        """System bandwidth at the optimal 2:1 read:write mix, bytes/s."""
+        return self.num_chips * self.chip.peak_memory_bandwidth
+
+    @property
+    def peak_read_bandwidth(self) -> float:
+        return self.num_chips * self.chip.read_bandwidth
+
+    @property
+    def peak_write_bandwidth(self) -> float:
+        return self.num_chips * self.chip.write_bandwidth
+
+    @property
+    def dram_capacity(self) -> int:
+        return self.num_chips * self.chip.dram_capacity
+
+    @property
+    def l4_capacity(self) -> int:
+        return self.num_chips * self.chip.l4_capacity
+
+    @property
+    def balance(self) -> float:
+        """FLOP:byte system balance (the paper's headline 1.2 for E870)."""
+        return self.peak_gflops * 1e9 / self.peak_memory_bandwidth

@@ -1,0 +1,32 @@
+"""Experiment drivers for every table and figure in the paper."""
+
+from .latency import default_working_sets, fig2_rows, plateau_summary, traced_latency_ns
+from .stream_kernels import (
+    StreamKernels,
+    StreamResult,
+    best_kernel_for_machine,
+    kernel_mix_table,
+)
+from .runner import (
+    ExperimentResult,
+    experiment,
+    experiment_ids,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "StreamKernels",
+    "StreamResult",
+    "best_kernel_for_machine",
+    "default_working_sets",
+    "kernel_mix_table",
+    "experiment",
+    "experiment_ids",
+    "fig2_rows",
+    "plateau_summary",
+    "run_all",
+    "run_experiment",
+    "traced_latency_ns",
+]

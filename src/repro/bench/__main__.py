@@ -1,0 +1,50 @@
+"""Command-line runner: ``python -m repro.bench [experiment ...]``.
+
+Without arguments, runs every registered experiment on the E870 and
+prints each reproduced table/figure.  Pass experiment ids (``table3``,
+``fig4``, ...) to run a subset; ``--list`` shows the available ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .runner import experiment_ids, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's tables and figures on the modelled E870.",
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment ids to run (default: all)")
+    parser.add_argument("--list", action="store_true", help="list available experiment ids")
+    parser.add_argument(
+        "--csv", metavar="DIR", help="also write each experiment's rows to DIR/<id>.csv"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for eid in experiment_ids():
+            print(eid)
+        return 0
+
+    targets = args.experiments or experiment_ids()
+    unknown = [t for t in targets if t not in experiment_ids()]
+    if unknown:
+        parser.error(f"unknown experiment(s): {unknown}; use --list")
+    for eid in targets:
+        result = run_experiment(eid)
+        print(result.render())
+        if args.csv:
+            from ..reporting.figures import write_csv
+
+            path = write_csv(args.csv, result.experiment_id, result.headers, result.rows)
+            print(f"[wrote {path}]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

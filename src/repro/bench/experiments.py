@@ -1,0 +1,380 @@
+"""All registered experiments: Tables I-VI and Figures 2-12.
+
+Each function reproduces one table or figure of the paper on the
+supplied system description (the E870 by default), returning the rows
+the paper reports side by side with the paper's own values where they
+are known.
+"""
+
+from __future__ import annotations
+
+from ..apps.hf.perf import HFPerfModel
+from ..apps.hf.molecules import table5_catalogue
+from ..apps.jaccard.perf import JaccardPerfModel
+from ..apps.spmv.perf import fig12_curve, suite_performance
+from ..arch.power7 import power7_core
+from ..arch.power8 import power8_core
+from ..arch.specs import SystemSpec
+from ..core.fma import fma_efficiency
+from ..interconnect.bandwidth import BandwidthModel
+from ..interconnect.latency import LatencyModel
+from ..interconnect.topology import SMPTopology
+from ..perfmodel.littles_law import RandomAccessModel
+from ..perfmodel.stream_model import fig3a_points, fig3b_points, table3_rows
+from ..prefetch.dcbt import dcbt_sweep
+from ..prefetch.dscr import dscr_sweep
+from ..prefetch.stride import stride_sweep
+from ..reporting import paper_values as paper
+from ..roofline.model import Roofline
+from ..roofline.kernels import paper_kernels_with_write_case
+from ..workloads.suitesparse import SUITE
+from .latency import fig2_rows, plateau_summary
+from .runner import ExperimentResult, experiment
+
+GB = 1e9
+
+
+@experiment("table1")
+def table1_specs(system: SystemSpec) -> ExperimentResult:
+    """Table I: POWER7 vs POWER8 at a glance (from the machine specs)."""
+    del system
+    p7, p8 = power7_core(), power8_core()
+    rows = [
+        ("Threads/core", p7.smt_ways, p8.smt_ways),
+        ("L1 instruction cache/core (KB)", p7.l1i.capacity // 1024, p8.l1i.capacity // 1024),
+        ("L1 data cache/core (KB)", p7.l1d.capacity // 1024, p8.l1d.capacity // 1024),
+        ("L2 cache/core (KB)", p7.l2.capacity // 1024, p8.l2.capacity // 1024),
+        ("L3 cache/core (MB)", p7.l3_slice.capacity >> 20, p8.l3_slice.capacity >> 20),
+        ("Instruction issue/cycle", p7.issue_width, p8.issue_width),
+        ("Instruction completion/cycle", p7.commit_width, p8.commit_width),
+        ("Load ports", p7.load_ports, p8.load_ports),
+        ("Store ports", p7.store_ports, p8.store_ports),
+    ]
+    return ExperimentResult("table1", "POWER7 and POWER8 at a glance",
+                            ["characteristic", "POWER7", "POWER8"], rows)
+
+
+@experiment("table2")
+def table2_e870(system: SystemSpec) -> ExperimentResult:
+    """Table II: characteristics of the evaluated E870."""
+    rows = [
+        ("Sockets", system.num_chips, paper.TABLE2["sockets"]),
+        ("Cores/socket", system.chip.cores_per_chip, paper.TABLE2["cores_per_socket"]),
+        ("Frequency (GHz)", system.chip.frequency_hz / 1e9, paper.TABLE2["frequency_ghz"]),
+        ("Hardware threads", system.num_threads, paper.TABLE2["threads"]),
+        ("Peak DP (GFLOP/s)", system.peak_gflops, paper.TABLE2["peak_gflops"]),
+        ("Peak memory BW (GB/s)", system.peak_memory_bandwidth / GB,
+         paper.TABLE2["peak_memory_bw_gbs"]),
+        ("Write-only BW (GB/s)", system.peak_write_bandwidth / GB,
+         paper.TABLE2["write_only_bw_gbs"]),
+        ("Balance (FLOP/byte)", system.balance, paper.TABLE2["balance"]),
+        ("Cache line (B)", system.chip.core.l1d.line_size, paper.TABLE2["line_size"]),
+    ]
+    return ExperimentResult("table2", "IBM Power System E870 characteristics",
+                            ["characteristic", "model", "paper"], rows)
+
+
+@experiment("fig2")
+def fig2_latency(system: SystemSpec) -> ExperimentResult:
+    """Figure 2: memory read latency vs working set, both page sizes."""
+    rows_raw = fig2_rows(system)
+    rows = [
+        (r["working_set"], r["latency_64k_ns"], r["latency_16m_ns"])
+        for r in rows_raw
+    ]
+    plateaus = plateau_summary(rows_raw)
+    notes = "plateaus(64K pages): " + ", ".join(
+        f"{k}={v:.1f}ns" for k, v in plateaus.items()
+    )
+    return ExperimentResult(
+        "fig2", "Observed memory read latency on E870",
+        ["working_set_bytes", "latency_64K_pages_ns", "latency_16M_pages_ns"],
+        rows, notes=notes, metrics={f"plateau_{k}": v for k, v in plateaus.items()},
+    )
+
+
+@experiment("table3")
+def table3_stream(system: SystemSpec) -> ExperimentResult:
+    """Table III: STREAM bandwidth vs read:write ratio."""
+    rows = []
+    for row in table3_rows(system):
+        key = (int(row["read"]), int(row["write"]))
+        label = {(1, 0): "Read Only", (0, 1): "Write Only"}.get(
+            key, f"{key[0]}:{key[1]}"
+        )
+        rows.append((label, row["bandwidth"] / GB, paper.TABLE3_GBS[key]))
+    return ExperimentResult(
+        "table3", "Observed memory bandwidth vs read:write ratio",
+        ["read:write", "model (GB/s)", "paper (GB/s)"], rows,
+        notes="peak occurs at 2:1, matching the two-read/one-write Centaur links",
+    )
+
+
+@experiment("fig3")
+def fig3_scaling(system: SystemSpec) -> ExperimentResult:
+    """Figure 3: bandwidth scaling with threads/core and cores/chip."""
+    rows = []
+    for p in fig3a_points(system.chip):
+        rows.append(("1 core", p.threads_per_core, p.bandwidth / GB))
+    for p in fig3b_points(system.chip):
+        if p.cores == 1:
+            continue  # identical to the fig3a sweep above
+        rows.append((f"{p.cores} cores", p.threads_per_core, p.bandwidth / GB))
+    chip_peak = max(r[2] for r in rows)
+    core_peak = max(r[2] for r in rows if r[0] == "1 core")
+    return ExperimentResult(
+        "fig3", "STREAM bandwidth scaling (2:1 mix)",
+        ["configuration", "threads/core", "bandwidth (GB/s)"], rows,
+        notes=(
+            f"single-core peak {core_peak:.1f} GB/s (paper ~{paper.FIG3['single_core_peak_gbs']:.0f}); "
+            f"single-chip peak {chip_peak:.1f} GB/s (paper ~{paper.FIG3['single_chip_peak_gbs']:.0f})"
+        ),
+        metrics={"core_peak_gbs": core_peak, "chip_peak_gbs": chip_peak},
+    )
+
+
+@experiment("table4")
+def table4_interconnect(system: SystemSpec) -> ExperimentResult:
+    """Table IV: chip-to-chip latency and bandwidth."""
+    topo = SMPTopology(system)
+    lat, bwm = LatencyModel(topo), BandwidthModel(topo)
+    rows = []
+    for home in range(1, system.num_chips):
+        pair = bwm.pair_bandwidth(home, 0)
+        rows.append((
+            f"Chip0<->Chip{home}",
+            lat.pair_latency_ns(0, home), paper.TABLE4_LATENCY_NS[home],
+            lat.pair_latency_prefetched_ns(0, home), paper.TABLE4_LATENCY_PREFETCH_NS[home],
+            pair.one_direction / GB, paper.TABLE4_UNI_BW_GBS[home],
+            pair.bidirectional / GB, paper.TABLE4_BI_BW_GBS[home],
+        ))
+    agg = {
+        "chip0_interleaved": bwm.interleaved_bandwidth(0) / GB,
+        "all_to_all": bwm.all_to_all_bandwidth() / GB,
+        "x_bus_aggregate": bwm.x_bus_aggregate() / GB,
+        "a_bus_aggregate": bwm.a_bus_aggregate() / GB,
+    }
+    notes_parts = [
+        f"{k}: model {v:.0f} GB/s vs paper {paper.TABLE4_AGGREGATES_GBS[k]:.0f}"
+        for k, v in agg.items()
+    ]
+    notes_parts.append(
+        f"interleaved latency: model {lat.interleaved_latency_ns(0):.0f} ns "
+        f"vs paper {paper.TABLE4_INTERLEAVED_LATENCY_NS:.0f}"
+    )
+    return ExperimentResult(
+        "table4", "SMP interconnect latency and bandwidth",
+        ["pair", "lat ns", "paper", "lat+pf ns", "paper",
+         "uni GB/s", "paper", "bi GB/s", "paper"],
+        rows, notes="; ".join(notes_parts),
+        metrics={f"agg_{k}": v for k, v in agg.items()},
+    )
+
+
+@experiment("fig4")
+def fig4_random(system: SystemSpec) -> ExperimentResult:
+    """Figure 4: random-access bandwidth vs SMT level and streams."""
+    model = RandomAccessModel(system)
+    rows = [
+        (p.threads_per_core, p.streams_per_thread, p.bandwidth / GB)
+        for p in model.sweep()
+    ]
+    peak = max(r[2] for r in rows)
+    frac = peak * GB / (system.peak_read_bandwidth)
+    return ExperimentResult(
+        "fig4", "Random-access read bandwidth",
+        ["threads/core", "streams/thread", "bandwidth (GB/s)"], rows,
+        notes=(
+            f"peak {peak:.0f} GB/s = {100 * frac:.0f}% of theoretical read peak "
+            f"(paper: ~{paper.FIG4['peak_random_gbs']:.0f} GB/s, "
+            f"{100 * paper.FIG4['fraction_of_read_peak']:.0f}%)"
+        ),
+        metrics={"peak_gbs": peak, "fraction_of_read_peak": frac},
+    )
+
+
+@experiment("fig5")
+def fig5_fma(system: SystemSpec) -> ExperimentResult:
+    """Figure 5: FMA throughput vs threads/core and FMAs per loop."""
+    core = system.chip.core
+    rows = []
+    for threads in range(1, core.smt_ways + 1):
+        for fmas in (1, 2, 3, 4, 6, 8, 12, 16, 24):
+            rows.append((threads, fmas, 2 * fmas * threads,
+                         100.0 * fma_efficiency(core, threads, fmas)))
+    return ExperimentResult(
+        "fig5", "FMA performance (percent of peak)",
+        ["threads/core", "FMAs/loop", "registers", "percent of peak"], rows,
+        notes="peak requires threads x FMAs >= 12; degrades past 128 registers "
+              "and on odd thread counts (thread-set imbalance)",
+    )
+
+
+@experiment("fig6")
+def fig6_dscr(system: SystemSpec) -> ExperimentResult:
+    """Figure 6: latency and bandwidth vs DSCR prefetch depth."""
+    rows = [
+        (p.depth, p.distance_lines, p.latency_ns, p.bandwidth / GB)
+        for p in dscr_sweep(system)
+    ]
+    return ExperimentResult(
+        "fig6", "Sequential latency / STREAM bandwidth vs DSCR depth",
+        ["DSCR", "lines ahead", "latency (ns)", "bandwidth (GB/s)"], rows,
+        notes="deepest prefetching gives both the lowest latency and the "
+              "highest bandwidth for sequential access",
+    )
+
+
+@experiment("fig7")
+def fig7_striden(system: SystemSpec) -> ExperimentResult:
+    """Figure 7: stride-256 latency with stride-N detection on/off."""
+    rows = [
+        (r["depth"], r["latency_disabled_ns"], r["latency_enabled_ns"])
+        for r in stride_sweep(system.chip, stride_lines=256)
+    ]
+    return ExperimentResult(
+        "fig7", "Stride-256 stream latency, stride-N detection on/off",
+        ["DSCR depth", "disabled (ns)", "enabled (ns)"], rows,
+        notes=f"paper: {paper.FIG7['latency_disabled_ns']:.0f} ns -> "
+              f"{paper.FIG7['latency_enabled_ns']:.0f} ns when enabled",
+    )
+
+
+@experiment("fig8")
+def fig8_dcbt(system: SystemSpec) -> ExperimentResult:
+    """Figure 8: DCBT benefit for randomly-ordered small-block scans."""
+    sizes = [1 << s for s in range(8, 21)]  # 256 B .. 1 MB
+    rows = [
+        (r["bsize"], 100 * r["efficiency_hw"], 100 * r["efficiency_dcbt"],
+         100 * r["gain"])
+        for r in dcbt_sweep(system.chip, sizes)
+    ]
+    return ExperimentResult(
+        "fig8", "Block-scan read bandwidth (% of peak), DCBT vs hardware-only",
+        ["block bytes", "hw-only %", "DCBT %", "gain %"], rows,
+        notes="DCBT gains exceed 25% on small blocks and vanish on large ones",
+    )
+
+
+@experiment("fig9")
+def fig9_roofline(system: SystemSpec) -> ExperimentResult:
+    """Figure 9: the E870 roofline with the asymmetric write roof."""
+    roof = Roofline(system)
+    rows = []
+    for point in roof.place_all(paper_kernels_with_write_case()):
+        rows.append((
+            point.name, point.operational_intensity, point.bound_gflops,
+            "memory" if point.memory_bound else "compute",
+        ))
+    return ExperimentResult(
+        "fig9", "Roofline bounds for the scientific-kernel suite",
+        ["kernel", "OI (flop/byte)", "bound (GFLOP/s)", "bound by"], rows,
+        notes=(
+            f"peak {roof.peak_gflops:.0f} GFLOP/s, memory roof "
+            f"{roof.memory_bandwidth / GB:.0f} GB/s, write-only roof "
+            f"{roof.write_only_bandwidth / GB:.0f} GB/s, balance {roof.balance:.2f}"
+        ),
+        metrics={"balance": roof.balance,
+                 "peak_gflops": roof.peak_gflops,
+                 "write_roof_gbs": roof.write_only_bandwidth / GB},
+    )
+
+
+@experiment("fig10")
+def fig10_jaccard(system: SystemSpec) -> ExperimentResult:
+    """Figure 10: all-pairs Jaccard time and memory vs R-MAT scale."""
+    model = JaccardPerfModel(system, sample_scales=(9, 10, 11, 12))
+    rows = []
+    for p in model.fig10_curve(range(17, 24)):
+        rows.append((
+            p.scale, p.time_seconds, p.input_bytes / GB,
+            p.output_bytes / GB, p.output_to_input_ratio,
+        ))
+    return ExperimentResult(
+        "fig10", "All-pairs Jaccard on R-MAT graphs (scales 17-23)",
+        ["scale", "time (s)", "input (GB)", "output (GB)", "out/in"], rows,
+        notes="output footprint greatly exceeds the input, the effect that "
+              "forces distributed implementations on ordinary nodes",
+    )
+
+
+@experiment("fig11")
+def fig11_spmv_csr(system: SystemSpec) -> ExperimentResult:
+    """Figure 11: CSR SpMV across the (synthetic) UF matrix suite."""
+    rates = suite_performance(system, SUITE, rows=16_000)
+    dense = next(r for r in rates if r.name == "Dense")
+    rows = [
+        (r.name, r.gflops, r.gflops / dense.gflops, r.bytes_per_nnz)
+        for r in rates
+    ]
+    return ExperimentResult(
+        "fig11", "CSR SpMV performance across the matrix suite",
+        ["matrix", "GFLOP/s", "vs Dense", "bytes/nnz"], rows,
+        notes="Dense is the attainable-peak reference; structured matrices "
+              "track it closely, scattered ones pay extra vector traffic",
+        metrics={"dense_gflops": dense.gflops},
+    )
+
+
+@experiment("fig12")
+def fig12_spmv_rmat(system: SystemSpec) -> ExperimentResult:
+    """Figure 12: two-scan SpMV on R-MAT graphs up to scale 31."""
+    from ..apps.spmv.perf import rmat_tile_elements
+
+    rows = []
+    for rate in fig12_curve(system, range(20, 32)):
+        scale = int(rate.name.split()[-1])
+        rows.append((scale, rate.gflops, rmat_tile_elements(scale)))
+    return ExperimentResult(
+        "fig12", "Two-scan SpMV on R-MAT graphs",
+        ["scale", "GFLOP/s", "mean tile elements"], rows,
+        notes="performance declines as tiles shrink below the prefetch ramp "
+              f"(paper: ~12,000 elements at scale 24, ~63 at scale 31)",
+    )
+
+
+@experiment("table5")
+def table5_molecules(system: SystemSpec) -> ExperimentResult:
+    """Table V: the molecular systems and their ERI statistics."""
+    del system
+    rows = []
+    for record in table5_catalogue():
+        rows.append((
+            record.name, record.atoms, record.basis_functions,
+            record.nonscreened_eris, record.memory_gb,
+            record.bytes_per_eri, 100 * record.screening_survival,
+        ))
+    return ExperimentResult(
+        "table5", "Test molecular systems (cc-pVDZ)",
+        ["molecule", "atoms", "functions", "non-screened ERIs", "memory (GB)",
+         "B/ERI", "survival %"], rows,
+        notes="catalogue carries the paper's published statistics; the "
+              "real-math SCF path runs s-only systems (see tests)",
+    )
+
+
+@experiment("table6")
+def table6_hf(system: SystemSpec) -> ExperimentResult:
+    """Table VI: HF-Comp vs HF-Mem timings."""
+    model = HFPerfModel(system)
+    rows = []
+    for t in model.table6():
+        p = paper.TABLE6[t.molecule]
+        rows.append((
+            t.molecule, t.iterations,
+            t.hf_comp_total, p["hf_comp"],
+            t.precompute, p["precomp"],
+            t.fock_per_iteration, p["fock"],
+            t.density_per_iteration, p["density"],
+            t.hf_mem_total, p["hf_mem"],
+            t.speedup, p["speedup"],
+        ))
+    return ExperimentResult(
+        "table6", "HF-Comp vs HF-Mem timings (seconds)",
+        ["molecule", "iters", "HF-Comp", "paper", "Precomp", "paper",
+         "Fock", "paper", "Density", "paper", "HF-Mem", "paper",
+         "speedup", "paper"],
+        rows,
+        notes="HF-Mem exploits the E870's memory capacity to store the ERIs "
+              "and wins 3-6x, matching the paper's 3.0-5.3x band",
+    )

@@ -1,0 +1,87 @@
+"""Figure 2 driver: lmbench-style memory-read latency vs working set.
+
+Sweeps working sets from 16 KB to 8 GB through the closed-form
+hierarchy model for both page sizes (64 KB and 16 MB), with hardware
+prefetching disabled — exactly the configuration of Figure 2.  A
+trace-driven variant over the real cache simulator is provided for
+small working sets and used by the model-fidelity tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..arch.power8 import PAGE_16M, PAGE_64K
+from ..arch.specs import SystemSpec
+from ..mem.analytic import AnalyticHierarchy
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.trace import random_chase
+
+
+def default_working_sets(min_bytes: int = 16 * 1024, max_bytes: int = 8 << 30) -> List[int]:
+    """Log-spaced working-set sizes, four points per octave."""
+    sizes = []
+    size = float(min_bytes)
+    while size <= max_bytes:
+        sizes.append(int(size))
+        size *= 2 ** 0.25
+    return sizes
+
+
+def fig2_rows(system: SystemSpec, working_sets: Sequence[int] | None = None) -> List[dict]:
+    """Latency at each working set for 64 KB and 16 MB pages."""
+    if working_sets is None:
+        working_sets = default_working_sets()
+    regular = AnalyticHierarchy(system.chip, page_size=PAGE_64K)
+    huge = AnalyticHierarchy(system.chip, page_size=PAGE_16M)
+    return [
+        {
+            "working_set": int(w),
+            "latency_64k_ns": regular.latency_ns(w),
+            "latency_16m_ns": huge.latency_ns(w),
+        }
+        for w in working_sets
+    ]
+
+
+def traced_latency_ns(
+    system: SystemSpec,
+    working_set: int,
+    page_size: int = PAGE_64K,
+    passes: int = 3,
+    seed: int = 0,
+) -> float:
+    """Mean chase latency measured on the trace-driven simulator.
+
+    One warm-up pass populates the hierarchy; latency is averaged over
+    the remaining passes.  Only practical for working sets up to a few
+    tens of MB (each line is a simulated event).
+    """
+    if passes < 2:
+        raise ValueError("need a warm-up pass plus at least one measured pass")
+    hier = MemoryHierarchy(system.chip, page_size=page_size)
+    line = hier.line_size
+    hier.warm(random_chase(working_set, line, passes=1, seed=seed))
+    total, count = 0.0, 0
+    for addr in random_chase(working_set, line, passes=passes - 1, seed=seed):
+        total += hier.access(addr).latency_ns
+        count += 1
+    return total / count
+
+
+def plateau_summary(rows: List[dict], key: str = "latency_64k_ns") -> dict:
+    """Latency at the centre of each cache plateau (for shape checks)."""
+    def at(size: int) -> float:
+        best = min(rows, key=lambda r: abs(np.log(r["working_set"] / size)))
+        return best[key]
+
+    return {
+        "l1": at(32 * 1024),
+        "l2": at(256 * 1024),
+        "l3": at(4 << 20),
+        "l3_remote": at(32 << 20),
+        "l4": at(120 << 20),
+        "dram": at(2 << 30),
+    }

@@ -1,0 +1,78 @@
+"""Experiment registry: one entry per table/figure of the paper.
+
+Every experiment is a callable producing an :class:`ExperimentResult`
+with the same rows the paper reports, plus the corresponding paper
+values where they are known.  The ``benchmarks/`` harness, the examples
+and ``python -m repro.bench`` all run experiments through this
+registry, so the reproduced numbers are defined in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from ..arch import e870
+from ..arch.specs import SystemSpec
+from ..reporting.tables import format_table
+
+
+@dataclass
+class ExperimentResult:
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence]
+    notes: str = ""
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        text = format_table(self.headers, self.rows, title=f"{self.experiment_id}: {self.title}")
+        if self.notes:
+            text += f"\n{self.notes}"
+        return text
+
+
+ExperimentFn = Callable[[SystemSpec], ExperimentResult]
+
+_REGISTRY: Dict[str, ExperimentFn] = {}
+
+
+def experiment(experiment_id: str) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Register a function as the driver for one table/figure."""
+
+    def decorator(fn: ExperimentFn) -> ExperimentFn:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = fn
+        return fn
+
+    return decorator
+
+
+def experiment_ids() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def run_experiment(experiment_id: str, system: SystemSpec | None = None) -> ExperimentResult:
+    """Run one registered experiment (on the E870 by default)."""
+    _ensure_loaded()
+    try:
+        fn = _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {experiment_ids()}"
+        ) from None
+    return fn(system if system is not None else e870())
+
+
+def run_all(system: SystemSpec | None = None) -> List[ExperimentResult]:
+    _ensure_loaded()
+    sys = system if system is not None else e870()
+    return [run_experiment(eid, sys) for eid in experiment_ids()]
+
+
+def _ensure_loaded() -> None:
+    # The experiment modules self-register on import.
+    from . import experiments  # noqa: F401

@@ -1,0 +1,21 @@
+"""Explicit calibration pass: fit model constants from measured tables."""
+
+from .fit import (
+    LatencyFit,
+    MixFit,
+    fit_hop_latencies,
+    fit_mix_efficiency,
+    paper_table3_measurements,
+    paper_table4_latencies,
+    predict_bandwidth,
+)
+
+__all__ = [
+    "LatencyFit",
+    "MixFit",
+    "fit_hop_latencies",
+    "fit_mix_efficiency",
+    "paper_table3_measurements",
+    "paper_table4_latencies",
+    "predict_bandwidth",
+]

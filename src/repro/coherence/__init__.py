@@ -1,0 +1,14 @@
+"""On-chip coherence: MESI directory and the multi-core chip simulator."""
+
+from .chipsim import ChipSimulator, ChipStats
+from .mesi import CoherenceError, Directory, LineState, State, Transition
+
+__all__ = [
+    "ChipSimulator",
+    "ChipStats",
+    "CoherenceError",
+    "Directory",
+    "LineState",
+    "State",
+    "Transition",
+]

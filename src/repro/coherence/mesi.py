@@ -1,0 +1,183 @@
+"""MESI coherence directory for the multi-core chip simulator.
+
+POWER8 keeps coherence with a snoop/directory hybrid across the on-chip
+L2/L3 caches; for the simulator we model a per-line directory with the
+classic MESI states.  The directory answers, for every (core, access)
+pair, which transition occurs and whether another core must be snooped
+— the information :class:`repro.coherence.chipsim.ChipSimulator` needs
+for latency accounting, and the state machine whose invariants the
+property tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Set
+
+
+class State(Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+class CoherenceError(RuntimeError):
+    """Raised when the directory is driven into an illegal transition."""
+
+
+@dataclass
+class LineState:
+    """Directory entry for one cache line."""
+
+    sharers: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None  # holder in M or E; None when S/I
+
+    def state_for(self, core: int) -> State:
+        if self.owner == core:
+            return self._owner_state
+        if core in self.sharers:
+            return State.SHARED
+        return State.INVALID
+
+    @property
+    def _owner_state(self) -> State:
+        # The directory cannot distinguish silent E->M upgrades; we track
+        # dirtiness explicitly.
+        return State.MODIFIED if self.dirty else State.EXCLUSIVE
+
+    dirty: bool = False
+
+
+@dataclass(frozen=True)
+class Transition:
+    """Outcome of one coherence action."""
+
+    new_state: State
+    snooped_core: Optional[int]  # core whose cache supplied/invalidated
+    writeback: bool  # dirty data pushed toward memory
+    invalidations: int  # sharer copies killed
+
+
+class Directory:
+    """Chip-level MESI directory, one entry per touched line."""
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores < 1:
+            raise ValueError(f"need at least one core, got {num_cores}")
+        self.num_cores = num_cores
+        self._lines: Dict[int, LineState] = {}
+        self.stats = {"reads": 0, "writes": 0, "invalidations": 0,
+                      "interventions": 0, "writebacks": 0}
+
+    def _entry(self, line: int) -> LineState:
+        return self._lines.setdefault(line, LineState())
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise CoherenceError(f"core {core} out of range")
+
+    # -- the two demand actions ------------------------------------------------
+    def read(self, core: int, line: int) -> Transition:
+        """Core issues a load for a line it does not hold in M/E/S."""
+        self._check_core(core)
+        entry = self._entry(line)
+        self.stats["reads"] += 1
+        if entry.state_for(core) is not State.INVALID:
+            # Read hit: no directory action.
+            return Transition(entry.state_for(core), None, False, 0)
+        snooped = None
+        writeback = False
+        if entry.owner is not None:
+            # Intervention: owner downgrades M/E -> S and supplies data.
+            snooped = entry.owner
+            writeback = entry.dirty
+            if writeback:
+                self.stats["writebacks"] += 1
+            self.stats["interventions"] += 1
+            entry.sharers.add(entry.owner)
+            entry.owner = None
+            entry.dirty = False
+        if entry.sharers:
+            entry.sharers.add(core)
+            return Transition(State.SHARED, snooped, writeback, 0)
+        # Nobody holds it: grant Exclusive.
+        entry.owner = core
+        entry.dirty = False
+        return Transition(State.EXCLUSIVE, snooped, writeback, 0)
+
+    def write(self, core: int, line: int) -> Transition:
+        """Core issues a store; acquires M, invalidating other copies."""
+        self._check_core(core)
+        entry = self._entry(line)
+        self.stats["writes"] += 1
+        if entry.owner == core:
+            # Silent E->M upgrade or M hit.
+            entry.dirty = True
+            return Transition(State.MODIFIED, None, False, 0)
+        snooped = None
+        writeback = False
+        invalidations = 0
+        if entry.owner is not None:
+            snooped = entry.owner
+            writeback = entry.dirty
+            if writeback:
+                self.stats["writebacks"] += 1
+            self.stats["interventions"] += 1
+            invalidations += 1
+            entry.owner = None
+        others = entry.sharers - {core}
+        invalidations += len(others)
+        self.stats["invalidations"] += invalidations
+        entry.sharers.clear()
+        entry.owner = core
+        entry.dirty = True
+        return Transition(State.MODIFIED, snooped, writeback, invalidations)
+
+    def evict(self, core: int, line: int) -> bool:
+        """Core drops its copy; returns True when dirty data left the core."""
+        self._check_core(core)
+        entry = self._lines.get(line)
+        if entry is None:
+            return False
+        if entry.owner == core:
+            dirty = entry.dirty
+            entry.owner = None
+            entry.dirty = False
+            if dirty:
+                self.stats["writebacks"] += 1
+            if not entry.sharers:
+                del self._lines[line]
+            return dirty
+        entry.sharers.discard(core)
+        if entry.owner is None and not entry.sharers:
+            del self._lines[line]
+        return False
+
+    # -- introspection --------------------------------------------------------------
+    def state(self, core: int, line: int) -> State:
+        entry = self._lines.get(line)
+        if entry is None:
+            return State.INVALID
+        return entry.state_for(core)
+
+    def holders(self, line: int) -> Set[int]:
+        entry = self._lines.get(line)
+        if entry is None:
+            return set()
+        holders = set(entry.sharers)
+        if entry.owner is not None:
+            holders.add(entry.owner)
+        return holders
+
+    def check_invariants(self) -> None:
+        """SWMR: a modified line has exactly one holder; owners never
+        coexist with sharers; every entry has at least one holder."""
+        for line, entry in self._lines.items():
+            if entry.owner is not None and entry.sharers:
+                raise CoherenceError(f"line {line}: owner coexists with sharers")
+            if entry.dirty and entry.owner is None:
+                raise CoherenceError(f"line {line}: dirty without an owner")
+            if entry.owner is None and not entry.sharers:
+                raise CoherenceError(f"line {line}: empty directory entry retained")

@@ -1,0 +1,30 @@
+"""POWER8 core models: SMT thread-sets, register file, VSX pipelines, LSU."""
+
+from .fma import fma_efficiency, fma_gflops, fma_sweep
+from .lsu import (
+    CORE_MEMORY_BYTES_PER_CYCLE,
+    STREAMS_PER_THREAD,
+    core_stream_bandwidth,
+    lsu_issue_bandwidth,
+)
+from .pipeline import core_utilization_st, pipe_utilization
+from .registers import REG_SPILL_SLOWDOWN, registers_used, spill_factor
+from .smt import SMTMode, ThreadSets, split_threads
+
+__all__ = [
+    "CORE_MEMORY_BYTES_PER_CYCLE",
+    "REG_SPILL_SLOWDOWN",
+    "STREAMS_PER_THREAD",
+    "SMTMode",
+    "ThreadSets",
+    "core_stream_bandwidth",
+    "core_utilization_st",
+    "fma_efficiency",
+    "fma_gflops",
+    "fma_sweep",
+    "lsu_issue_bandwidth",
+    "pipe_utilization",
+    "registers_used",
+    "spill_factor",
+    "split_threads",
+]

@@ -1,0 +1,79 @@
+"""The FMA saturation microbenchmark model (Figure 5).
+
+Reproduces the paper's §III-C experiment: each of ``threads`` hardware
+threads executes a loop of ``fmas_per_loop`` *independent* vector FMA
+instructions (``R1 = R1 * R2 + R1``).  The model combines three
+microarchitectural effects:
+
+1. **Pipeline saturation** — each VSX pipe needs 6 independent FMAs in
+   flight; peak requires ``threads x fmas_per_loop >= 12``.
+2. **Thread-set imbalance** — in SMT modes the threads are split into
+   two sets, each owning one pipe; odd thread counts under-fill a set.
+3. **Register pressure** — beyond 128 architected VSX registers
+   (``2 x fmas x threads``), operand accesses spill to the slow rename
+   level and throughput degrades.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..arch.specs import CoreSpec
+from .pipeline import core_utilization_st, pipe_utilization
+from .registers import registers_used, spill_factor
+from .smt import SMTMode, split_threads
+
+
+def fma_efficiency(core: CoreSpec, threads: int, fmas_per_loop: int) -> float:
+    """Fraction of the core's peak FMA throughput achieved.
+
+    Parameters mirror Figure 5: ``threads`` per core (1-8 on POWER8)
+    and ``fmas_per_loop`` independent FMA instructions per thread.
+    """
+    if threads < 1 or threads > core.smt_ways:
+        raise ValueError(f"threads must be in [1, {core.smt_ways}], got {threads}")
+    if fmas_per_loop < 1:
+        raise ValueError(f"need at least one FMA in the loop, got {fmas_per_loop}")
+
+    mode = SMTMode.for_threads(threads)
+    if mode is SMTMode.ST:
+        util = core_utilization_st(
+            fmas_per_loop, core.vsx_pipes, core.fma_latency_cycles
+        )
+    else:
+        sets = split_threads(threads)
+        per_set = []
+        for set_threads in sets:
+            independent = set_threads * fmas_per_loop
+            per_set.append(pipe_utilization(independent, core.fma_latency_cycles))
+        # Each thread-set owns half the pipes; average their utilisation.
+        util = sum(per_set) / len(per_set)
+
+    regs = registers_used(fmas_per_loop, threads)
+    return util * spill_factor(regs, core.registers)
+
+
+def fma_gflops(core: CoreSpec, frequency_hz: float, threads: int, fmas_per_loop: int) -> float:
+    """Absolute double-precision GFLOP/s for the Figure 5 configuration."""
+    peak = core.peak_flops_per_cycle() * frequency_hz / 1e9
+    return peak * fma_efficiency(core, threads, fmas_per_loop)
+
+
+def fma_sweep(
+    core: CoreSpec,
+    thread_counts: Iterable[int],
+    fma_counts: Iterable[int],
+) -> List[dict]:
+    """Dense sweep used by the Figure 5 benchmark and example scripts."""
+    rows = []
+    for t in thread_counts:
+        for n in fma_counts:
+            rows.append(
+                {
+                    "threads": t,
+                    "fmas_per_loop": n,
+                    "registers": registers_used(n, t),
+                    "efficiency": fma_efficiency(core, t, n),
+                }
+            )
+    return rows

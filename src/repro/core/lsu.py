@@ -1,0 +1,45 @@
+"""Load/store unit throughput limits.
+
+POWER8 issues up to 4 loads and 2 stores per cycle (Table I).  For the
+bandwidth models the relevant derived quantity is the core's sustained
+memory-interface rate, which on POWER8 is bounded by the core-to-NEST
+interface rather than the LSU issue rate; the paper measures ~26 GB/s
+of STREAM bandwidth from one core (Figure 3a).
+"""
+
+from __future__ import annotations
+
+from ..arch.specs import ChipSpec, CoreSpec
+
+#: Sustained bytes/cycle one core can move to/from the memory subsystem
+#: (core-to-NEST interface limit; 6 B/cy x 4.35 GHz = 26.1 GB/s,
+#: matching the paper's single-core STREAM plateau).
+CORE_MEMORY_BYTES_PER_CYCLE = 6.0
+
+#: Prefetch streams one thread sustains toward memory; limits how much
+#: of the core interface a low-SMT configuration can fill.
+STREAMS_PER_THREAD = 6
+
+
+def lsu_issue_bandwidth(core: CoreSpec, frequency_hz: float, vector_bytes: int = 16) -> float:
+    """Upper bound from raw LSU issue: (loads+stores)/cycle x access width."""
+    ports = core.load_ports + core.store_ports
+    return ports * vector_bytes * frequency_hz
+
+
+def core_stream_bandwidth(chip: ChipSpec, threads: int) -> float:
+    """Sustained STREAM bandwidth of one core running ``threads`` threads.
+
+    Each thread contributes up to ``STREAMS_PER_THREAD`` in-flight lines
+    against the memory latency (Little's law); the total is capped by
+    the core's NEST interface.  Reproduces Figure 3a: roughly linear
+    growth for 1-3 threads, saturation near 26 GB/s beyond.
+    """
+    core = chip.core
+    if threads < 1 or threads > core.smt_ways:
+        raise ValueError(f"threads must be in [1, {core.smt_ways}], got {threads}")
+    line = core.l1d.line_size
+    latency_s = chip.centaur.dram_latency_ns * 1e-9
+    per_thread = STREAMS_PER_THREAD * line / latency_s
+    cap = CORE_MEMORY_BYTES_PER_CYCLE * chip.frequency_hz
+    return min(threads * per_thread, cap)

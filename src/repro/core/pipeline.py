@@ -1,0 +1,31 @@
+"""VSX execution-pipeline saturation model.
+
+A pipelined functional unit with ``latency`` cycles of result latency
+needs ``latency`` independent instructions in flight to issue one per
+cycle.  A POWER8 core has two symmetric VSX pipes with 6-cycle FMA
+latency, hence the paper's "at least 12 independent VSX instructions in
+flight" requirement for peak (§III-C).
+"""
+
+from __future__ import annotations
+
+
+def pipe_utilization(independent_ops: float, latency_cycles: float) -> float:
+    """Fraction of peak issue rate one pipe achieves.
+
+    With ``k`` independent operations available per thread-set and a
+    ``latency``-cycle pipe, steady-state utilisation is ``k/latency``
+    capped at 1 (the classic latency-bandwidth saturation law).
+    """
+    if latency_cycles <= 0:
+        raise ValueError(f"latency must be positive, got {latency_cycles}")
+    if independent_ops < 0:
+        raise ValueError(f"op count cannot be negative, got {independent_ops}")
+    return min(1.0, independent_ops / latency_cycles)
+
+
+def core_utilization_st(independent_ops: float, pipes: int, latency_cycles: float) -> float:
+    """Single-thread mode: one thread feeds all ``pipes`` pipes round-robin."""
+    if pipes <= 0:
+        raise ValueError(f"pipe count must be positive, got {pipes}")
+    return pipe_utilization(independent_ops / pipes, latency_cycles)

@@ -1,0 +1,41 @@
+"""Two-level VSX register-file model (§III-C, Figure 5).
+
+A POWER8 core has 128 architected VSX registers held in a fast first
+level; the rename pool behind them has a higher access cost.  When the
+combined architectural working set of all resident threads exceeds 128
+registers, a growing fraction of operand accesses spill to the slow
+level and throughput degrades — the paper observes the 12-FMA curve
+(2 x 12 x t registers) starting to fall beyond six threads per core,
+i.e. at 144 registers.
+"""
+
+from __future__ import annotations
+
+from ..arch.specs import RegisterFileSpec
+
+#: Throughput loss per unit of relative register-file oversubscription
+#: (calibrated so the paper's 144- and 192-register points degrade by
+#: roughly 5% and 15% respectively).
+REG_SPILL_SLOWDOWN = 0.35
+
+
+def registers_used(fmas_per_loop: int, threads: int, regs_per_fma: int = 2) -> int:
+    """Architected registers demanded by ``threads`` copies of the loop.
+
+    The paper's microbenchmark computes ``R1 = R1 * R2 + R1``, touching
+    two VSX registers per FMA instruction.
+    """
+    if fmas_per_loop < 1 or threads < 1:
+        raise ValueError("loop length and thread count must be positive")
+    return regs_per_fma * fmas_per_loop * threads
+
+
+def spill_factor(regs_used: int, spec: RegisterFileSpec) -> float:
+    """Multiplicative throughput factor in [0, 1] for register pressure."""
+    if regs_used <= 0:
+        raise ValueError(f"register demand must be positive, got {regs_used}")
+    excess = max(0, regs_used - spec.architected)
+    if excess == 0:
+        return 1.0
+    oversubscription = excess / spec.architected
+    return 1.0 / (1.0 + REG_SPILL_SLOWDOWN * oversubscription)

@@ -1,0 +1,67 @@
+"""SMT mode management (§III-C of the paper).
+
+The POWER8 core supports four SMT modes — ST, SMT2, SMT4 and SMT8 —
+and switches dynamically with the number of active threads.  In every
+mode except ST the hardware threads are statically split into *two
+thread-sets*, each of which can use only half of the core's issue
+resources (one of the two VSX pipes, half the issue queue, ...).  An
+odd number of active threads therefore leaves the two sets imbalanced,
+which is why the paper's Figure 5 shows dips at 3, 5 and 7 threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class SMTMode(Enum):
+    ST = 1
+    SMT2 = 2
+    SMT4 = 4
+    SMT8 = 8
+
+    @classmethod
+    def for_threads(cls, active_threads: int) -> "SMTMode":
+        """Mode the core selects for a given number of active threads."""
+        if active_threads < 1:
+            raise ValueError(f"need at least one active thread, got {active_threads}")
+        if active_threads == 1:
+            return cls.ST
+        if active_threads == 2:
+            return cls.SMT2
+        if active_threads <= 4:
+            return cls.SMT4
+        if active_threads <= 8:
+            return cls.SMT8
+        raise ValueError(f"POWER8 cores support at most 8 threads, got {active_threads}")
+
+
+@dataclass(frozen=True)
+class ThreadSets:
+    """The two static thread-sets of a multi-threaded core."""
+
+    set_a: int
+    set_b: int
+
+    @property
+    def balanced(self) -> bool:
+        return self.set_a == self.set_b
+
+    def __iter__(self):
+        return iter((self.set_a, self.set_b))
+
+
+def split_threads(active_threads: int) -> ThreadSets:
+    """Split active threads into the two hardware thread-sets.
+
+    In ST mode the single thread owns the whole core, which we encode
+    as both "sets" holding the one thread with full-width resources —
+    callers must special-case :attr:`SMTMode.ST` (see
+    :func:`repro.core.fma.fma_efficiency`).
+    """
+    mode = SMTMode.for_threads(active_threads)
+    if mode is SMTMode.ST:
+        return ThreadSets(1, 0)
+    half = active_threads // 2
+    return ThreadSets(active_threads - half, half)

@@ -1,0 +1,15 @@
+"""Deterministic discrete-event kernel and shared-resource models."""
+
+from .clock import SimClock
+from .events import Event, EventQueue, SimulationError
+from .resources import Channel, aggregate_throughput, max_min_fair
+
+__all__ = [
+    "Channel",
+    "Event",
+    "EventQueue",
+    "SimClock",
+    "SimulationError",
+    "aggregate_throughput",
+    "max_min_fair",
+]

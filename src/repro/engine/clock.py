@@ -1,0 +1,56 @@
+"""Simulated machine clock.
+
+Application performance models advance a :class:`SimClock` instead of
+reading wall time, which keeps every reported "timing" a deterministic
+function of the machine description and the workload.  The clock also
+accumulates named cost buckets so benchmarks can report per-phase
+breakdowns (e.g. Table VI's Precomp/Fock/Density columns).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class SimClock:
+    """Accumulating simulated-time clock with named phase buckets."""
+
+    def __init__(self) -> None:
+        self._elapsed = 0.0
+        self._phases: Dict[str, float] = defaultdict(float)
+        self._stack: list[str] = []
+
+    @property
+    def elapsed(self) -> float:
+        """Total simulated seconds advanced so far."""
+        return self._elapsed
+
+    def advance(self, seconds: float) -> None:
+        """Advance the clock; attributes the time to the current phase."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds} s")
+        self._elapsed += seconds
+        if self._stack:
+            self._phases[self._stack[-1]] += seconds
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute time advanced inside the block to bucket ``name``."""
+        self._stack.append(name)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    def phase_time(self, name: str) -> float:
+        return self._phases.get(name, 0.0)
+
+    def phases(self) -> Dict[str, float]:
+        return dict(self._phases)
+
+    def reset(self) -> None:
+        self._elapsed = 0.0
+        self._phases.clear()
+        self._stack.clear()

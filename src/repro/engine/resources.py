@@ -1,0 +1,136 @@
+"""Shared-resource models: bandwidth channels and max-min fair allocation.
+
+The SMP bandwidth benchmarks in the paper (Table III, Table IV, Figures
+3/4/6) saturate shared links from many concurrent requesters.  We model
+each link as a :class:`Channel` with a fixed capacity and solve the
+steady-state allocation across flows with progressive-filling max-min
+fairness (:func:`max_min_fair`), the standard model for fair-queued
+interconnects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+FlowId = Hashable
+LinkId = Hashable
+
+
+@dataclass
+class Channel:
+    """A finite-bandwidth pipe with utilisation accounting.
+
+    Used by the discrete-event models for serialised transfers: a
+    transfer of ``nbytes`` occupies the channel for ``nbytes/capacity``
+    seconds.
+    """
+
+    name: str
+    capacity: float  # bytes/s
+    busy_until: float = 0.0
+    bytes_moved: float = 0.0
+
+    def transfer_time(self, nbytes: float) -> float:
+        if self.capacity <= 0:
+            raise ValueError(f"{self.name}: non-positive capacity")
+        return nbytes / self.capacity
+
+    def acquire(self, now: float, nbytes: float) -> Tuple[float, float]:
+        """Serialise a transfer starting no earlier than ``now``.
+
+        Returns ``(start, finish)`` times and advances the channel's
+        busy horizon — a simple store-and-forward queueing model.
+        """
+        start = max(now, self.busy_until)
+        finish = start + self.transfer_time(nbytes)
+        self.busy_until = finish
+        self.bytes_moved += nbytes
+        return start, finish
+
+    def utilisation(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.bytes_moved / (self.capacity * elapsed))
+
+
+def max_min_fair(
+    flows: Mapping[FlowId, Sequence[LinkId]],
+    capacities: Mapping[LinkId, float],
+    demands: Mapping[FlowId, float] | None = None,
+) -> Dict[FlowId, float]:
+    """Progressive-filling max-min fair bandwidth allocation.
+
+    Parameters
+    ----------
+    flows:
+        Maps each flow to the sequence of links it traverses.
+    capacities:
+        Link capacities in bytes/s.
+    demands:
+        Optional per-flow demand ceilings; unbounded when omitted.
+
+    Returns
+    -------
+    dict
+        Allocated rate for every flow.  The allocation is the unique
+        max-min fair point: no flow's rate can be increased without
+        decreasing the rate of a flow with an equal or smaller rate.
+    """
+    remaining = {l: float(c) for l, c in capacities.items()}
+    for flow, path in flows.items():
+        for link in path:
+            if link not in remaining:
+                raise KeyError(f"flow {flow!r} uses unknown link {link!r}")
+    alloc: Dict[FlowId, float] = {f: 0.0 for f in flows}
+    active = {f for f, path in flows.items() if len(path) > 0}
+    # Flows with no links are only limited by their demand.
+    for f, path in flows.items():
+        if not path:
+            alloc[f] = float("inf") if demands is None else float(demands.get(f, float("inf")))
+            if alloc[f] == float("inf"):
+                raise ValueError(f"flow {f!r} has no links and no demand bound")
+
+    cap_left = dict(remaining)
+    demand_left = None
+    if demands is not None:
+        demand_left = {f: float(demands.get(f, float("inf"))) for f in flows}
+
+    for _ in range(len(flows) + len(capacities) + 1):
+        if not active:
+            break
+        # Fair-share increment: tightest link determines the step.
+        link_users: Dict[LinkId, int] = {}
+        for f in active:
+            for link in flows[f]:
+                link_users[link] = link_users.get(link, 0) + 1
+        step = min(
+            cap_left[link] / users for link, users in link_users.items() if users
+        )
+        if demand_left is not None:
+            step = min(
+                step, min(demand_left[f] - alloc[f] for f in active)
+            )
+        if step <= 0:
+            step = 0.0
+        for f in active:
+            alloc[f] += step
+            for link in flows[f]:
+                cap_left[link] -= step
+        # Freeze flows on saturated links or at their demand ceiling.
+        saturated = {l for l, c in cap_left.items() if c <= 1e-9}
+        newly_frozen = {
+            f
+            for f in active
+            if any(l in saturated for l in flows[f])
+            or (demand_left is not None and alloc[f] >= demand_left[f] - 1e-9)
+        }
+        if not newly_frozen:
+            break
+        active -= newly_frozen
+    return alloc
+
+
+def aggregate_throughput(alloc: Mapping[FlowId, float]) -> float:
+    """Sum of allocated flow rates, ignoring infinite link-free flows."""
+    return sum(v for v in alloc.values() if v != float("inf"))

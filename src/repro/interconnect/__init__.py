@@ -1,0 +1,44 @@
+"""SMP interconnect: topology, routing, latency and bandwidth models."""
+
+from .bandwidth import (
+    BIDIR_EFF_INTER_DIRECT,
+    BIDIR_EFF_INTER_INDIRECT,
+    BIDIR_EFF_INTRA,
+    EFF_SATURATED_FABRIC,
+    EFF_SATURATED_LINK,
+    EFF_SINGLE_FLOW,
+    INDIRECT_SPILL_FRACTION,
+    BandwidthModel,
+    PairBandwidth,
+)
+from .latency import (
+    PREFETCH_RESIDUAL_FRACTION,
+    TRANSIT_X_HOP_NS,
+    X_LAYOUT_DELTA_NS,
+    LatencyModel,
+)
+from .topology import FABRIC_RAW_BANDWIDTH, Link, LinkId, SMPTopology
+from .transfer import RouteTransferSimulator, TransferResult, simulate_pair_transfer
+
+__all__ = [
+    "BIDIR_EFF_INTER_DIRECT",
+    "BIDIR_EFF_INTER_INDIRECT",
+    "BIDIR_EFF_INTRA",
+    "EFF_SATURATED_FABRIC",
+    "EFF_SATURATED_LINK",
+    "EFF_SINGLE_FLOW",
+    "FABRIC_RAW_BANDWIDTH",
+    "INDIRECT_SPILL_FRACTION",
+    "PREFETCH_RESIDUAL_FRACTION",
+    "TRANSIT_X_HOP_NS",
+    "X_LAYOUT_DELTA_NS",
+    "BandwidthModel",
+    "LatencyModel",
+    "Link",
+    "LinkId",
+    "PairBandwidth",
+    "RouteTransferSimulator",
+    "SMPTopology",
+    "TransferResult",
+    "simulate_pair_transfer",
+]

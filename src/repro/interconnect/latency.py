@@ -1,0 +1,82 @@
+"""Chip-to-chip memory latency model (Table IV).
+
+A remote memory access pays the local DRAM latency at the home chip
+plus the SMP hop(s) needed to reach it.  Two second-order effects from
+the paper are modelled:
+
+* *Layout deltas* — the three X-bus hops inside a group differ by a few
+  nanoseconds because of the physical drawer layout (123/125/133 ns
+  from chip 0); we key a small delta table by position distance.
+* *Transit hops* — the X-bus segment of an indirect inter-group route
+  is a pure data forward (no coherence resolution) and is cheaper than
+  a requester-to-home X hop.
+
+With hardware prefetching enabled the latencies collapse by an order
+of magnitude (paper: 123 ns -> 12 ns): streams are detected and lines
+arrive in the local L2/L3 ahead of the demand access.  We model the
+prefetched latency as an L2 hit plus a small residual fraction of the
+unprefetched round trip.
+"""
+
+from __future__ import annotations
+
+from ..arch.specs import SystemSpec
+from .topology import SMPTopology
+
+#: Extra ns on an X hop by intra-group position distance (layout, Table IV).
+X_LAYOUT_DELTA_NS = {1: -2.0, 2: 0.0, 3: 8.0}
+
+#: X-bus hop cost when used as the transit segment of an indirect route.
+TRANSIT_X_HOP_NS = 24.0
+
+#: Fraction of the unprefetched latency still visible once the hardware
+#: prefetch engine has locked onto the stream (calibrated, Table IV).
+PREFETCH_RESIDUAL_FRACTION = 0.075
+
+
+class LatencyModel:
+    """Latency oracle for local, remote and interleaved memory reads."""
+
+    def __init__(self, topology: SMPTopology) -> None:
+        self.topology = topology
+        self.system = topology.system
+
+    # -- hop costs ----------------------------------------------------------
+    def _x_hop_ns(self, a: int, b: int) -> float:
+        sys = self.system
+        dist = abs(sys.position_in_group(a) - sys.position_in_group(b))
+        return sys.x_bus.latency_ns + X_LAYOUT_DELTA_NS.get(dist, 0.0)
+
+    def _a_hop_ns(self) -> float:
+        return self.system.a_bus.latency_ns
+
+    # -- headline latencies ----------------------------------------------------
+    def local_latency_ns(self) -> float:
+        """Unloaded local-memory read latency (prefetch off)."""
+        return self.system.chip.centaur.dram_latency_ns
+
+    def pair_latency_ns(self, requester: int, home: int) -> float:
+        """Memory read latency from ``requester`` to ``home``'s DRAM."""
+        sys = self.system
+        if requester == home:
+            return self.local_latency_ns()
+        base = self.local_latency_ns()
+        if sys.same_group(requester, home):
+            return base + self._x_hop_ns(requester, home)
+        if self.topology.has_direct_a(requester, home):
+            return base + self._a_hop_ns()
+        # Indirect route: A-bundle across groups plus a transit X hop.
+        dist = abs(sys.position_in_group(requester) - sys.position_in_group(home))
+        transit = TRANSIT_X_HOP_NS + X_LAYOUT_DELTA_NS.get(dist, 0.0)
+        return base + self._a_hop_ns() + transit
+
+    def pair_latency_prefetched_ns(self, requester: int, home: int) -> float:
+        """Same access with the hardware prefetch engine streaming ahead."""
+        chip = self.system.chip
+        l2_hit = chip.cycles_to_ns(chip.core.l2.latency_cycles)
+        return l2_hit + PREFETCH_RESIDUAL_FRACTION * self.pair_latency_ns(requester, home)
+
+    def interleaved_latency_ns(self, requester: int) -> float:
+        """Mean latency with pages interleaved across every chip."""
+        n = self.system.num_chips
+        return sum(self.pair_latency_ns(requester, home) for home in range(n)) / n

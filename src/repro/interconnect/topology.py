@@ -1,0 +1,158 @@
+"""POWER8 SMP fabric topology (Figure 1 of the paper).
+
+Chips are wired in groups of four: inside a group every chip pair is
+joined by an X-bus; chip *i* of one group is joined to chip *i* of every
+other group by an A-bus.  When a system has fewer groups than a chip has
+A-ports, the spare ports are bundled onto the same partner — on the
+two-group E870 all three A-links of a chip run to its partner, giving a
+3 x 12.8 GB/s = 38.4 GB/s unidirectional bundle (this is what makes the
+measured inter-group bandwidth *higher* than intra-group, §III-B).
+
+Links are directed: ``("X", src, dst)`` / ``("A", src, dst)``.  The
+per-chip SMP fabric (snoop/data crossbar) is modelled as pseudo-links
+``("inj", chip)`` and ``("ext", chip)`` that every flow crosses at its
+source and destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Tuple
+
+import networkx as nx
+
+from ..arch.specs import SystemSpec
+
+LinkId = Tuple[Hashable, ...]
+
+#: Raw per-chip SMP fabric (injection/extraction) capacity, bytes/s.
+#: Calibrated so a single chip reading memory interleaved across the
+#: whole system sustains the paper's 69 GB/s (Table IV).
+FABRIC_RAW_BANDWIDTH = 90.0e9
+
+
+@dataclass(frozen=True)
+class Link:
+    """One directed fabric link with its raw capacity."""
+
+    link_id: LinkId
+    kind: str  # "X", "A", "inj", "ext"
+    capacity: float  # bytes/s, raw (before protocol efficiency)
+    latency_ns: float
+
+
+class SMPTopology:
+    """Directed link graph of a grouped POWER8 SMP system."""
+
+    def __init__(self, system: SystemSpec) -> None:
+        self.system = system
+        self.links: Dict[LinkId, Link] = {}
+        self.graph = nx.DiGraph()
+        self.a_bundle_width = self._a_bundle_width()
+        self._build()
+
+    def _a_bundle_width(self) -> int:
+        other_groups = self.system.num_groups - 1
+        if other_groups <= 0:
+            return 0
+        return max(1, self.system.chip.a_links // other_groups)
+
+    def _build(self) -> None:
+        sys = self.system
+        for chip in range(sys.num_chips):
+            self.graph.add_node(chip)
+            for kind in ("inj", "ext"):
+                self._add_link(
+                    Link((kind, chip), kind, FABRIC_RAW_BANDWIDTH, 0.0)
+                )
+        # X-buses: all pairs within a group, both directions.
+        for a in range(sys.num_chips):
+            for b in range(sys.num_chips):
+                if a == b:
+                    continue
+                if sys.same_group(a, b):
+                    self._add_link(
+                        Link(("X", a, b), "X", sys.x_bus.bandwidth, sys.x_bus.latency_ns)
+                    )
+                elif sys.position_in_group(a) == sys.position_in_group(b):
+                    # A-bundle between same-position chips of two groups.
+                    cap = self.a_bundle_width * sys.a_bus.bandwidth
+                    self._add_link(
+                        Link(("A", a, b), "A", cap, sys.a_bus.latency_ns)
+                    )
+
+    def _add_link(self, link: Link) -> None:
+        self.links[link.link_id] = link
+        if link.kind in ("X", "A"):
+            _, a, b = link.link_id
+            self.graph.add_edge(a, b, link=link)
+
+    # -- queries ----------------------------------------------------------
+    def link(self, link_id: LinkId) -> Link:
+        return self.links[link_id]
+
+    def chip_links(self, kind: str) -> Iterator[Link]:
+        return (l for l in self.links.values() if l.kind == kind)
+
+    def x_link_count(self) -> int:
+        """Directed X-link count (two per physical bus)."""
+        return sum(1 for _ in self.chip_links("X"))
+
+    def a_link_count(self) -> int:
+        """Directed A-bundle count (two per physical bundle)."""
+        return sum(1 for _ in self.chip_links("A"))
+
+    def has_direct_a(self, a: int, b: int) -> bool:
+        return ("A", a, b) in self.links
+
+    # -- routing (paper §III-B) ---------------------------------------------
+    def routes(self, src: int, dst: int) -> List[List[LinkId]]:
+        """Allowed data routes from ``src`` memory to ``dst`` requester.
+
+        The POWER8 routing protocol permits exactly one route inside a
+        chip group (the direct X-bus) but multiple routes between
+        groups: the direct A-bundle (same-position pairs) or X+A / A+X
+        two-hop combinations, plus X-A-X three-hop spill routes.
+        """
+        sys = self.system
+        if src == dst:
+            return [[]]
+        if sys.same_group(src, dst):
+            return [[("X", src, dst)]]
+        paths: List[List[LinkId]] = []
+        if self.has_direct_a(src, dst):
+            paths.append([("A", src, dst)])
+            # Spill routes: X to a peer, its A-bundle across, X back.
+            for peer in self._group_peers(src):
+                partner = self._same_position_partner(peer, sys.group_of(dst))
+                if partner is not None and partner != dst:
+                    paths.append(
+                        [("X", src, peer), ("A", peer, partner), ("X", partner, dst)]
+                    )
+        else:
+            # Different positions: A then X, and X then A.
+            partner_near_dst = self._same_position_partner(src, sys.group_of(dst))
+            if partner_near_dst is not None:
+                paths.append([("A", src, partner_near_dst), ("X", partner_near_dst, dst)])
+            partner_near_src = self._same_position_partner(dst, sys.group_of(src))
+            if partner_near_src is not None:
+                paths.append([("X", src, partner_near_src), ("A", partner_near_src, dst)])
+        return paths
+
+    def _group_peers(self, chip: int) -> List[int]:
+        sys = self.system
+        g = sys.group_of(chip)
+        lo = g * sys.group_size
+        hi = min(lo + sys.group_size, sys.num_chips)
+        return [c for c in range(lo, hi) if c != chip]
+
+    def _same_position_partner(self, chip: int, group: int) -> int | None:
+        sys = self.system
+        partner = group * sys.group_size + sys.position_in_group(chip)
+        if partner >= sys.num_chips:
+            return None
+        return partner
+
+    def with_endpoints(self, src: int, dst: int, path: List[LinkId]) -> List[LinkId]:
+        """Wrap a route with the source/destination fabric pseudo-links."""
+        return [("inj", src), *path, ("ext", dst)]

@@ -1,0 +1,133 @@
+"""High-level facade over the POWER8 machine models.
+
+:class:`P8Machine` bundles a system description with the calibrated
+latency, bandwidth, interconnect and roofline models behind one
+object — the entry point most library users need:
+
+>>> from repro import P8Machine
+>>> m = P8Machine.e870()
+>>> round(m.spec.balance, 1)
+1.2
+>>> m.stream_bandwidth(read_ratio=2, write_ratio=1) > m.stream_bandwidth(1, 1)
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from .arch import e870 as _e870
+from .arch import power8_192way as _power8_192way
+from .arch.specs import SystemSpec
+from .interconnect.bandwidth import BandwidthModel
+from .interconnect.latency import LatencyModel
+from .interconnect.topology import SMPTopology
+from .mem.analytic import AnalyticHierarchy
+from .mem.centaur import MemoryLinkModel, read_fraction
+from .perfmodel.kernel_time import KernelProfile, MachineModel
+from .perfmodel.littles_law import RandomAccessModel
+from .perfmodel.stream_model import chip_stream_bandwidth, system_stream_bandwidth
+from .roofline.model import Roofline
+
+
+@dataclass
+class P8Machine:
+    """One POWER8 SMP system plus every calibrated model over it."""
+
+    spec: SystemSpec
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def e870(cls, num_chips: int = 8) -> "P8Machine":
+        """The paper's 8-socket IBM Power System E870."""
+        return cls(_e870(num_chips))
+
+    @classmethod
+    def largest_smp(cls) -> "P8Machine":
+        """The 192-way, 16-socket POWER8 SMP from the introduction."""
+        return cls(_power8_192way())
+
+    # -- composed models -------------------------------------------------------
+    @cached_property
+    def topology(self) -> SMPTopology:
+        return SMPTopology(self.spec)
+
+    @cached_property
+    def latency(self) -> LatencyModel:
+        return LatencyModel(self.topology)
+
+    @cached_property
+    def bandwidth(self) -> BandwidthModel:
+        return BandwidthModel(self.topology)
+
+    @cached_property
+    def links(self) -> MemoryLinkModel:
+        return MemoryLinkModel(self.spec.chip)
+
+    @cached_property
+    def random_access(self) -> RandomAccessModel:
+        return RandomAccessModel(self.spec)
+
+    @cached_property
+    def roofline(self) -> Roofline:
+        return Roofline(self.spec)
+
+    @cached_property
+    def kernel_model(self) -> MachineModel:
+        return MachineModel(self.spec)
+
+    # -- headline queries ----------------------------------------------------------
+    def hierarchy(self, page_size: int = 64 * 1024) -> AnalyticHierarchy:
+        """Closed-form latency model for one core (Figure 2 sweeps)."""
+        return AnalyticHierarchy(self.spec.chip, page_size=page_size)
+
+    def stream_bandwidth(
+        self,
+        read_ratio: float = 2.0,
+        write_ratio: float = 1.0,
+        threads_per_core: int = 8,
+    ) -> float:
+        """Sustained full-system STREAM bandwidth at a read:write ratio."""
+        return system_stream_bandwidth(self.spec, threads_per_core, read_ratio, write_ratio)
+
+    def chip_bandwidth(self, cores: int, threads_per_core: int) -> float:
+        """Sustained STREAM bandwidth of a partial chip (Figure 3)."""
+        return chip_stream_bandwidth(self.spec.chip, cores, threads_per_core)
+
+    def random_read_bandwidth(self, threads_per_core: int, streams_per_thread: int) -> float:
+        """Random pointer-chase bandwidth (Figure 4)."""
+        return self.random_access.bandwidth(threads_per_core, streams_per_thread)
+
+    def remote_latency_ns(self, requester: int, home: int, prefetch: bool = False) -> float:
+        """Chip-to-chip memory latency (Table IV)."""
+        if prefetch:
+            return self.latency.pair_latency_prefetched_ns(requester, home)
+        return self.latency.pair_latency_ns(requester, home)
+
+    def time_kernel(self, kernel: KernelProfile) -> float:
+        """Roofline-style execution-time estimate for a kernel."""
+        return self.kernel_model.time(kernel)
+
+    def attainable_gflops(self, operational_intensity: float, write_only: bool = False) -> float:
+        """Roofline bound at an operational intensity (Figure 9)."""
+        if write_only:
+            return self.roofline.attainable_write_only(operational_intensity)
+        return self.roofline.attainable_gflops(operational_intensity)
+
+    def summary(self) -> dict:
+        """Headline machine characteristics (Table II)."""
+        s = self.spec
+        return {
+            "name": s.name,
+            "chips": s.num_chips,
+            "cores": s.num_cores,
+            "threads": s.num_threads,
+            "peak_gflops": s.peak_gflops,
+            "peak_memory_bandwidth": s.peak_memory_bandwidth,
+            "peak_read_bandwidth": s.peak_read_bandwidth,
+            "peak_write_bandwidth": s.peak_write_bandwidth,
+            "dram_capacity": s.dram_capacity,
+            "l4_capacity": s.l4_capacity,
+            "balance": s.balance,
+        }

@@ -1,0 +1,51 @@
+"""POWER8 memory subsystem: caches, TLB, Centaur links, DRAM, hierarchy."""
+
+from .analytic import AnalyticHierarchy, resident_fraction
+from .cache import Cache, CacheStats
+from .centaur import (
+    RANDOM_ACCESS_EFFICIENCY,
+    MemoryLinkModel,
+    link_bound,
+    mix_efficiency,
+    optimal_read_fraction,
+    read_fraction,
+)
+from .dram import DRAMModel, DRAMStats
+from .hierarchy import AccessResult, HierarchyStats, MemoryHierarchy
+from .tlb import TLB, TLBStats
+from .traffic import (
+    StoreConvention,
+    TrafficMix,
+    dcbz_gain,
+    effective_traffic,
+    goodput,
+    system_goodput,
+)
+from . import trace
+
+__all__ = [
+    "RANDOM_ACCESS_EFFICIENCY",
+    "AccessResult",
+    "AnalyticHierarchy",
+    "Cache",
+    "CacheStats",
+    "DRAMModel",
+    "DRAMStats",
+    "HierarchyStats",
+    "MemoryHierarchy",
+    "MemoryLinkModel",
+    "StoreConvention",
+    "TLB",
+    "TLBStats",
+    "TrafficMix",
+    "dcbz_gain",
+    "effective_traffic",
+    "goodput",
+    "system_goodput",
+    "link_bound",
+    "mix_efficiency",
+    "optimal_read_fraction",
+    "read_fraction",
+    "resident_fraction",
+    "trace",
+]

@@ -1,0 +1,147 @@
+"""Set-associative cache simulator with true LRU replacement.
+
+This is the trace-driven model used for small-scale validation and for
+the unit/property tests; the large sweeps in the benchmark harness use
+the closed-form :mod:`repro.mem.analytic` model, which is cross-checked
+against this simulator in ``tests/mem/test_model_fidelity.py``.
+
+The simulator works on *line numbers* (byte address // line size); the
+:class:`repro.mem.hierarchy.MemoryHierarchy` layer does the address
+slicing and level composition.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..arch.specs import CacheSpec
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/traffic counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    fills: int = 0
+    victim_inserts: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.hit_rate if self.accesses else 0.0
+
+
+class Cache:
+    """One level of set-associative cache with LRU replacement.
+
+    Each set is an :class:`collections.OrderedDict` mapping line number
+    to a dirty flag, ordered from least to most recently used.  The
+    store policy follows the spec: a ``store-through`` cache never holds
+    dirty lines (stores propagate down immediately); a ``store-in``
+    cache marks lines dirty and emits write-backs on eviction.
+    """
+
+    def __init__(self, spec: CacheSpec) -> None:
+        self.spec = spec
+        self.stats = CacheStats()
+        self._sets: Dict[int, OrderedDict[int, bool]] = {}
+
+    # -- queries ---------------------------------------------------------
+    def __contains__(self, line: int) -> bool:
+        s = self._sets.get(line % self.spec.num_sets)
+        return s is not None and line in s
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets.values())
+
+    def lines(self) -> Iterator[int]:
+        for s in self._sets.values():
+            yield from s
+
+    def is_dirty(self, line: int) -> bool:
+        s = self._sets.get(line % self.spec.num_sets)
+        return bool(s) and s.get(line, False)
+
+    def set_occupancy(self, set_idx: int) -> int:
+        return len(self._sets.get(set_idx, ()))
+
+    # -- operations ------------------------------------------------------
+    def lookup(self, line: int, is_write: bool) -> bool:
+        """Probe for ``line``; updates LRU and counters.
+
+        Returns True on hit.  A write hit in a store-in cache marks the
+        line dirty; in a store-through cache the line stays clean (the
+        store is forwarded below by the hierarchy layer).
+        """
+        s = self._sets.setdefault(line % self.spec.num_sets, OrderedDict())
+        if line in s:
+            self.stats.hits += 1
+            dirty = s.pop(line)
+            if is_write and self.spec.write_policy == "store-in":
+                dirty = True
+            s[line] = dirty  # re-insert as most recently used
+            return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, line: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
+        """Install ``line``; returns the evicted ``(line, was_dirty)`` if any.
+
+        A store-through cache silently drops the dirty flag — it never
+        owns modified data.
+        """
+        if self.spec.write_policy == "store-through":
+            dirty = False
+        s = self._sets.setdefault(line % self.spec.num_sets, OrderedDict())
+        evicted: Optional[Tuple[int, bool]] = None
+        if line in s:
+            # Refill of a resident line (e.g. prefetch racing demand).
+            dirty = s.pop(line) or dirty
+        elif len(s) >= self.spec.associativity:
+            old_line, old_dirty = s.popitem(last=False)  # LRU victim
+            self.stats.evictions += 1
+            if old_dirty:
+                self.stats.writebacks += 1
+            evicted = (old_line, old_dirty)
+        s[line] = dirty
+        self.stats.fills += 1
+        return evicted
+
+    def insert_victim(self, line: int, dirty: bool) -> Optional[Tuple[int, bool]]:
+        """Install a line evicted from a peer cache (NUCA victim traffic)."""
+        self.stats.victim_inserts += 1
+        return self.fill(line, dirty)
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if present; returns True when it was resident."""
+        s = self._sets.get(line % self.spec.num_sets)
+        if s is not None and line in s:
+            del s[line]
+            return True
+        return False
+
+    def touch_dirty(self, line: int) -> None:
+        """Mark a resident line dirty without an LRU update (write-back path)."""
+        s = self._sets.get(line % self.spec.num_sets)
+        if s is None or line not in s:
+            raise KeyError(f"line {line} not resident in {self.spec.name}")
+        if self.spec.write_policy == "store-in":
+            s[line] = True
+
+    def flush(self) -> int:
+        """Empty the cache; returns the number of dirty lines discarded."""
+        dirty = sum(1 for s in self._sets.values() for d in s.values() if d)
+        self._sets.clear()
+        return dirty

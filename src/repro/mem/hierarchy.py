@@ -1,0 +1,241 @@
+"""Trace-driven simulation of the full POWER8 cache/memory hierarchy.
+
+The model follows one core's view of the machine (the configuration the
+paper's lmbench latency curves measure): a private store-through L1D and
+store-in L2, the core's local 8 MB L3 slice, the *remote* L3 slices of
+the other cores on the chip (reachable as a NUCA victim pool at higher
+latency), the chip's Centaur L4, and DRAM with open-page banks.
+
+Population policy mirrors POWER8: demand fills go to L1+L2; the L3 is
+populated by L2 cast-outs (victim of L2); lines evicted from the local
+L3 slice are laterally cast out into peer slices (the remote pool); L4
+is a memory-side cache filled on DRAM reads.
+
+Every access returns its latency in nanoseconds, so a pointer-chase
+trace through this object directly reproduces Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Protocol
+
+from ..arch.specs import ChipSpec
+from .cache import Cache
+from .dram import DRAMModel
+from .line import line_index
+from .tlb import TLB
+
+#: Extra nanoseconds to reach a peer core's L3 slice across the on-chip
+#: fabric, relative to the local slice (Figure 2's remote-L3 shoulder).
+DEFAULT_REMOTE_L3_EXTRA_NS = 15.5
+
+LEVELS = ("L1", "L2", "L3", "L3R", "L4", "DRAM")
+
+
+class PrefetcherProtocol(Protocol):
+    """Interface the hierarchy expects from a prefetch engine."""
+
+    def observe(self, line_addr: int, is_write: bool) -> list[int]:
+        """Given a demand access, return line addresses to prefetch."""
+        ...
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one memory access."""
+
+    latency_ns: float
+    level: str  # which level serviced it
+    translation_cycles: float
+
+
+@dataclass
+class HierarchyStats:
+    level_hits: Dict[str, int] = field(default_factory=lambda: {l: 0 for l in LEVELS})
+    accesses: int = 0
+    total_latency_ns: float = 0.0
+    prefetch_issued: int = 0
+    prefetch_useful: int = 0
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return self.total_latency_ns / self.accesses if self.accesses else 0.0
+
+    def hit_fraction(self, level: str) -> float:
+        return self.level_hits[level] / self.accesses if self.accesses else 0.0
+
+
+class MemoryHierarchy:
+    """One core's path through the POWER8 memory system."""
+
+    def __init__(
+        self,
+        chip: ChipSpec,
+        page_size: int = 64 * 1024,
+        remote_l3_extra_ns: float = DEFAULT_REMOTE_L3_EXTRA_NS,
+        prefetcher: Optional[PrefetcherProtocol] = None,
+        dram: Optional[DRAMModel] = None,
+    ) -> None:
+        self.chip = chip
+        core = chip.core
+        self.line_size = core.l1d.line_size
+        self.l1 = Cache(core.l1d)
+        self.l2 = Cache(core.l2)
+        self.l3 = Cache(core.l3_slice)
+        # Peer slices: a single pooled cache with the aggregate capacity
+        # and proportionally more sets (same associativity).
+        peers = max(chip.cores_per_chip - 1, 0)
+        self._has_remote_l3 = peers > 0
+        if self._has_remote_l3:
+            pooled = replace(
+                core.l3_slice,
+                name="L3R",
+                capacity=core.l3_slice.capacity * peers,
+            )
+            self.l3_remote = Cache(pooled)
+        else:
+            self.l3_remote = None
+        l4_spec = replace(
+            core.l3_slice,
+            name="L4",
+            capacity=chip.l4_capacity if chip.l4_capacity >= self.line_size * 16 else self.line_size * 16,
+            associativity=16,
+        )
+        self.l4 = Cache(l4_spec)
+        self.tlb = TLB(core.tlb, page_size)
+        self.dram = dram if dram is not None else DRAMModel()
+        self.prefetcher = prefetcher
+        self.stats = HierarchyStats()
+
+        self._lat_l1 = chip.cycles_to_ns(core.l1d.latency_cycles)
+        self._lat_l2 = chip.cycles_to_ns(core.l2.latency_cycles)
+        self._lat_l3 = chip.cycles_to_ns(core.l3_slice.latency_cycles)
+        self._lat_l3r = self._lat_l3 + remote_l3_extra_ns
+        self._lat_l4 = chip.centaur.l4_latency_ns
+
+    # -- public API ---------------------------------------------------------
+    def access(self, addr: int, is_write: bool = False) -> AccessResult:
+        """Simulate one demand access; returns its serviced latency."""
+        line = line_index(addr, self.line_size)
+        trans_cycles = self.tlb.translate(addr)
+        trans_ns = self.chip.cycles_to_ns(trans_cycles)
+        latency, level = self._demand(line, is_write)
+        total = latency + trans_ns
+        self.stats.accesses += 1
+        self.stats.level_hits[level] += 1
+        self.stats.total_latency_ns += total
+        if self.prefetcher is not None:
+            for pf_addr in self.prefetcher.observe(line * self.line_size, is_write):
+                self._prefetch_fill(line_index(pf_addr, self.line_size))
+        return AccessResult(total, level, trans_cycles)
+
+    def read(self, addr: int) -> AccessResult:
+        return self.access(addr, is_write=False)
+
+    def write(self, addr: int) -> AccessResult:
+        return self.access(addr, is_write=True)
+
+    def warm(self, addrs, is_write: bool = False) -> None:
+        """Run a trace without recording statistics (cache warm-up)."""
+        saved = self.stats
+        self.stats = HierarchyStats()
+        for a in addrs:
+            self.access(a, is_write)
+        self.stats = saved
+
+    # -- internals ------------------------------------------------------------
+    def _demand(self, line: int, is_write: bool) -> tuple[float, str]:
+        # L1 probe.  Store-through: a write hit still forwards to L2.
+        if self.l1.lookup(line, is_write):
+            if is_write:
+                self._l2_write_through(line)
+            return self._lat_l1, "L1"
+        # L2 probe.
+        if self.l2.lookup(line, is_write):
+            self._fill_l1(line)
+            return self._lat_l2, "L2"
+        # Local L3 slice: hit moves the line up (it stays in L3 too —
+        # POWER8's L3 is not strictly exclusive upward).
+        if self.l3.lookup(line, is_write=False):
+            self._fill_l2(line, dirty=is_write)
+            self._fill_l1(line)
+            return self._lat_l3, "L3"
+        # Remote L3 pool (lateral NUCA lookup).
+        if self._has_remote_l3 and self.l3_remote.lookup(line, is_write=False):
+            # Migrate toward the requester: drop from the pool, fill core-side.
+            dirty = self.l3_remote.is_dirty(line)
+            self.l3_remote.invalidate(line)
+            self._fill_l2(line, dirty=dirty or is_write)
+            self._fill_l1(line)
+            return self._lat_l3r, "L3R"
+        # L4 (memory-side).
+        if self.l4.lookup(line, is_write=False):
+            self._fill_l2(line, dirty=is_write)
+            self._fill_l1(line)
+            return self._lat_l4, "L4"
+        # DRAM.
+        dram_ns = self.dram.access(line * self.line_size)
+        self._fill_l4(line)
+        self._fill_l2(line, dirty=is_write)
+        self._fill_l1(line)
+        return dram_ns, "DRAM"
+
+    def _prefetch_fill(self, line: int) -> None:
+        """Install a prefetched line into the L2 (and L4 if DRAM-sourced)."""
+        self.stats.prefetch_issued += 1
+        if line in self.l1 or line in self.l2:
+            return
+        if not (line in self.l3 or (self._has_remote_l3 and line in self.l3_remote) or line in self.l4):
+            self.dram.access(line * self.line_size)
+            self._fill_l4(line)
+        self.stats.prefetch_useful += 1
+        self._fill_l2(line, dirty=False)
+
+    def _l2_write_through(self, line: int) -> None:
+        """Propagate a store-through write from L1 into the L2."""
+        if self.l2.lookup(line, is_write=True):
+            return
+        # Write-allocate: bring the line into L2 from below (no latency
+        # charged to the store — it retires through the store queue).
+        if self.l3.lookup(line, is_write=False):
+            pass
+        elif self._has_remote_l3 and self.l3_remote.lookup(line, is_write=False):
+            self.l3_remote.invalidate(line)
+        elif self.l4.lookup(line, is_write=False):
+            pass
+        else:
+            self.dram.access(line * self.line_size)
+            self._fill_l4(line)
+        self._fill_l2(line, dirty=True)
+
+    def _fill_l1(self, line: int) -> None:
+        self.l1.fill(line)  # store-through: evictions are silent drops
+
+    def _fill_l2(self, line: int, dirty: bool) -> None:
+        evicted = self.l2.fill(line, dirty)
+        if evicted is not None:
+            ev_line, ev_dirty = evicted
+            self._castout_to_l3(ev_line, ev_dirty)
+
+    def _castout_to_l3(self, line: int, dirty: bool) -> None:
+        evicted = self.l3.fill(line, dirty)
+        if evicted is not None:
+            ev_line, ev_dirty = evicted
+            self._lateral_castout(ev_line, ev_dirty)
+
+    def _lateral_castout(self, line: int, dirty: bool) -> None:
+        if self._has_remote_l3:
+            evicted = self.l3_remote.insert_victim(line, dirty)
+        else:
+            evicted = (line, dirty)
+        if evicted is not None:
+            ev_line, ev_dirty = evicted
+            if ev_dirty:
+                # Dirty data leaves the chip; lands in the L4 on its way out.
+                self._fill_l4(ev_line)
+
+    def _fill_l4(self, line: int) -> None:
+        evicted = self.l4.fill(line)
+        # L4 evictions go to DRAM; no state to track beyond the counters.
+        del evicted

@@ -1,0 +1,37 @@
+"""Address arithmetic helpers shared by the cache and TLB simulators."""
+
+from __future__ import annotations
+
+
+def check_power_of_two(value: int, what: str) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{what} must be a positive power of two, got {value}")
+
+
+def line_index(addr: int, line_size: int) -> int:
+    """Cache-line number containing byte address ``addr``."""
+    return addr // line_size
+
+
+def line_base(addr: int, line_size: int) -> int:
+    """First byte address of the line containing ``addr``."""
+    return addr - (addr % line_size)
+
+
+def page_index(addr: int, page_size: int) -> int:
+    """Page number containing byte address ``addr``."""
+    return addr // page_size
+
+
+def set_index(line: int, num_sets: int) -> int:
+    """Set that a line number maps into (modulo placement)."""
+    return line % num_sets
+
+
+def span_lines(addr: int, nbytes: int, line_size: int) -> range:
+    """Line numbers touched by an access of ``nbytes`` at ``addr``."""
+    if nbytes <= 0:
+        raise ValueError(f"access size must be positive, got {nbytes}")
+    first = line_index(addr, line_size)
+    last = line_index(addr + nbytes - 1, line_size)
+    return range(first, last + 1)

@@ -1,0 +1,29 @@
+"""NUMA placement, affinity and traffic modelling (the OS facilities of §III-B/§V-B)."""
+
+from .affinity import AffinityMap, HardwareThread
+from .policy import (
+    DEFAULT_PAGE_SIZE,
+    Allocation,
+    BlockCyclicPolicy,
+    FirstTouchPolicy,
+    InterleavePolicy,
+    LocalPolicy,
+    PlacementPolicy,
+)
+from .traffic import NumaEstimate, NumaModel, TrafficMatrix, traffic_matrix
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "Allocation",
+    "AffinityMap",
+    "BlockCyclicPolicy",
+    "FirstTouchPolicy",
+    "HardwareThread",
+    "InterleavePolicy",
+    "LocalPolicy",
+    "NumaEstimate",
+    "NumaModel",
+    "PlacementPolicy",
+    "TrafficMatrix",
+    "traffic_matrix",
+]

@@ -1,0 +1,106 @@
+"""Thread-to-core affinity (the `taskset`/`numactl` side of the model).
+
+The paper's experiments pin software threads to hardware threads (the
+SpMV code keeps "its own partition on the corresponding local socket").
+An :class:`AffinityMap` assigns logical threads to (chip, core, SMT
+slot) triples and answers the placement queries the traffic model and
+the application performance models need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..arch.specs import SystemSpec
+
+
+@dataclass(frozen=True)
+class HardwareThread:
+    chip: int
+    core: int  # core index within the chip
+    slot: int  # SMT slot within the core
+
+    def global_core(self, system: SystemSpec) -> int:
+        return self.chip * system.chip.cores_per_chip + self.core
+
+
+class AffinityMap:
+    """Assignment of logical threads to hardware threads."""
+
+    def __init__(self, system: SystemSpec, mapping: Dict[int, HardwareThread]) -> None:
+        self.system = system
+        seen = set()
+        for tid, hw in mapping.items():
+            self._validate(hw)
+            key = (hw.chip, hw.core, hw.slot)
+            if key in seen:
+                raise ValueError(f"thread {tid}: hardware thread {key} double-booked")
+            seen.add(key)
+        self.mapping = dict(mapping)
+
+    def _validate(self, hw: HardwareThread) -> None:
+        sys = self.system
+        if not 0 <= hw.chip < sys.num_chips:
+            raise ValueError(f"chip {hw.chip} out of range")
+        if not 0 <= hw.core < sys.chip.cores_per_chip:
+            raise ValueError(f"core {hw.core} out of range")
+        if not 0 <= hw.slot < sys.chip.core.smt_ways:
+            raise ValueError(f"SMT slot {hw.slot} out of range")
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def compact(cls, system: SystemSpec, num_threads: int, smt: int = 8) -> "AffinityMap":
+        """Fill cores in order, ``smt`` threads per core, chip by chip."""
+        if not 1 <= smt <= system.chip.core.smt_ways:
+            raise ValueError(f"smt must be in [1, {system.chip.core.smt_ways}]")
+        capacity = system.num_cores * smt
+        if num_threads > capacity:
+            raise ValueError(f"{num_threads} threads exceed capacity {capacity}")
+        mapping = {}
+        for tid in range(num_threads):
+            core_global, slot = divmod(tid, smt)
+            chip, core = divmod(core_global, system.chip.cores_per_chip)
+            mapping[tid] = HardwareThread(chip, core, slot)
+        return cls(system, mapping)
+
+    @classmethod
+    def scatter(cls, system: SystemSpec, num_threads: int) -> "AffinityMap":
+        """Round-robin threads across chips first (one per core, SMT1)."""
+        if num_threads > system.num_cores:
+            raise ValueError(
+                f"scatter places one thread per core; {num_threads} > {system.num_cores}"
+            )
+        mapping = {}
+        for tid in range(num_threads):
+            chip = tid % system.num_chips
+            core = (tid // system.num_chips) % system.chip.cores_per_chip
+            mapping[tid] = HardwareThread(chip, core, 0)
+        return cls(system, mapping)
+
+    # -- queries --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.mapping)
+
+    def chip_of(self, thread: int) -> int:
+        return self.mapping[thread].chip
+
+    def threads_on_chip(self, chip: int) -> List[int]:
+        return sorted(t for t, hw in self.mapping.items() if hw.chip == chip)
+
+    def threads_per_core(self) -> Dict[Tuple[int, int], int]:
+        counts: Dict[Tuple[int, int], int] = {}
+        for hw in self.mapping.values():
+            key = (hw.chip, hw.core)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def max_smt_level(self) -> int:
+        counts = self.threads_per_core()
+        return max(counts.values()) if counts else 0
+
+    def cores_used(self) -> int:
+        return len(self.threads_per_core())
+
+    def items(self) -> Iterator[Tuple[int, HardwareThread]]:
+        return iter(sorted(self.mapping.items()))

@@ -1,0 +1,145 @@
+"""NUMA memory-placement policies.
+
+The paper's interconnect measurements (§III-B) were produced "by
+allocating memory on specific sockets by exploiting low-level
+operating system facilities", and the SpMV design (§V-B) pins each
+partition to its thread's socket.  This module models those OS
+facilities: a placement policy maps pages of a virtual allocation to
+home chips, and the traffic analysis in :mod:`repro.numa.traffic`
+turns access patterns over placed memory into per-link flows.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..arch.specs import SystemSpec
+from ..mem.line import check_power_of_two, page_index
+
+DEFAULT_PAGE_SIZE = 64 * 1024
+
+
+class PlacementPolicy(ABC):
+    """Maps pages of an allocation to home chips."""
+
+    @abstractmethod
+    def home(self, page: int) -> int:
+        """Home chip of page number ``page``."""
+
+    def homes(self, start: int, nbytes: int, page_size: int = DEFAULT_PAGE_SIZE) -> List[int]:
+        first = page_index(start, page_size)
+        last = page_index(start + max(nbytes, 1) - 1, page_size)
+        return [self.home(p) for p in range(first, last + 1)]
+
+
+@dataclass(frozen=True)
+class LocalPolicy(PlacementPolicy):
+    """All pages on one chip (the SpMV partition placement)."""
+
+    chip: int
+
+    def home(self, page: int) -> int:
+        del page
+        return self.chip
+
+
+@dataclass(frozen=True)
+class InterleavePolicy(PlacementPolicy):
+    """Round-robin pages over a chip set (Table IV's interleaved rows)."""
+
+    chips: Sequence[int]
+
+    def __post_init__(self) -> None:
+        if not self.chips:
+            raise ValueError("interleave needs at least one chip")
+
+    def home(self, page: int) -> int:
+        return self.chips[page % len(self.chips)]
+
+
+@dataclass(frozen=True)
+class BlockCyclicPolicy(PlacementPolicy):
+    """Blocks of ``block_pages`` pages cycle over the chip set."""
+
+    chips: Sequence[int]
+    block_pages: int = 16
+
+    def __post_init__(self) -> None:
+        if not self.chips:
+            raise ValueError("block-cyclic needs at least one chip")
+        if self.block_pages < 1:
+            raise ValueError(f"block size must be >= 1 page, got {self.block_pages}")
+
+    def home(self, page: int) -> int:
+        return self.chips[(page // self.block_pages) % len(self.chips)]
+
+
+class FirstTouchPolicy(PlacementPolicy):
+    """Linux-default placement: a page lands on the first toucher's chip.
+
+    Call :meth:`touch` in program order (as the simulated threads fault
+    pages in); untouched pages fall back to chip ``fallback``.
+    """
+
+    def __init__(self, fallback: int = 0) -> None:
+        self.fallback = fallback
+        self._owner: Dict[int, int] = {}
+
+    def touch(self, page: int, chip: int) -> int:
+        """Record the faulting access; returns the (now fixed) home."""
+        return self._owner.setdefault(page, chip)
+
+    def touch_range(
+        self, start: int, nbytes: int, chip: int, page_size: int = DEFAULT_PAGE_SIZE
+    ) -> None:
+        first = page_index(start, page_size)
+        last = page_index(start + max(nbytes, 1) - 1, page_size)
+        for p in range(first, last + 1):
+            self.touch(p, chip)
+
+    def home(self, page: int) -> int:
+        return self._owner.get(page, self.fallback)
+
+    @property
+    def touched_pages(self) -> int:
+        return len(self._owner)
+
+
+@dataclass
+class Allocation:
+    """A placed memory region: base address, size and policy."""
+
+    name: str
+    base: int
+    nbytes: int
+    policy: PlacementPolicy
+    page_size: int = DEFAULT_PAGE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ValueError(f"{self.name}: allocation must be non-empty")
+        check_power_of_two(self.page_size, "page size")
+
+    def home_of(self, addr: int) -> int:
+        if not self.base <= addr < self.base + self.nbytes:
+            raise ValueError(
+                f"{self.name}: address {addr:#x} outside "
+                f"[{self.base:#x}, {self.base + self.nbytes:#x})"
+            )
+        return self.policy.home(page_index(addr, self.page_size))
+
+    def chip_share(self, system: SystemSpec) -> Dict[int, float]:
+        """Fraction of this allocation's pages homed on each chip."""
+        homes = self.policy.homes(self.base, self.nbytes, self.page_size)
+        share: Dict[int, float] = {c: 0.0 for c in range(system.num_chips)}
+        for h in homes:
+            if h not in share:
+                raise ValueError(
+                    f"{self.name}: policy placed a page on chip {h}, "
+                    f"but the system has {system.num_chips} chips"
+                )
+            share[h] += 1.0
+        total = len(homes)
+        return {c: v / total for c, v in share.items()}

@@ -1,0 +1,183 @@
+"""NUMA traffic analysis: placement + affinity -> achievable bandwidth.
+
+Given which chip each thread runs on (:class:`repro.numa.AffinityMap`)
+and where its data lives (:class:`repro.numa.Allocation`), this module
+derives the chip-to-chip traffic matrix and solves the resulting flows
+over the SMP fabric with the calibrated bandwidth model — the machinery
+behind the paper's observation that distributing the SpMV input vector
+"will significantly lower the bandwidth" while per-socket replication
+keeps every read local (§V-B.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..arch.specs import SystemSpec
+from ..interconnect.bandwidth import (
+    EFF_SATURATED_FABRIC,
+    EFF_SINGLE_FLOW,
+    BandwidthModel,
+)
+from ..interconnect.latency import LatencyModel
+from ..interconnect.topology import SMPTopology
+from ..mem.centaur import MemoryLinkModel
+from .affinity import AffinityMap
+from .policy import Allocation
+
+
+@dataclass(frozen=True)
+class TrafficMatrix:
+    """Bytes demanded between (requester chip, home chip) pairs, as
+    fractions of the total demand."""
+
+    shares: Dict[Tuple[int, int], float]
+
+    def local_fraction(self) -> float:
+        return sum(v for (r, h), v in self.shares.items() if r == h)
+
+    def remote_fraction(self) -> float:
+        return 1.0 - self.local_fraction()
+
+
+def traffic_matrix(
+    system: SystemSpec,
+    affinity: AffinityMap,
+    allocations: List[Tuple[Allocation, float]],
+) -> TrafficMatrix:
+    """Derive the traffic matrix for threads reading placed allocations.
+
+    ``allocations`` pairs each allocation with the fraction of total
+    demand it receives; every thread is assumed to read each allocation
+    uniformly (the streaming-benchmark assumption).
+    """
+    if not allocations:
+        raise ValueError("need at least one allocation")
+    weight_total = sum(w for _, w in allocations)
+    if weight_total <= 0:
+        raise ValueError("allocation weights must sum to a positive value")
+    n_threads = len(affinity)
+    if n_threads == 0:
+        raise ValueError("need at least one thread")
+    shares: Dict[Tuple[int, int], float] = {}
+    for alloc, weight in allocations:
+        chip_share = alloc.chip_share(system)
+        for tid, hw in affinity.items():
+            for home, frac in chip_share.items():
+                if frac == 0.0:
+                    continue
+                key = (hw.chip, home)
+                shares[key] = shares.get(key, 0.0) + (
+                    weight / weight_total * frac / n_threads
+                )
+    return TrafficMatrix(shares)
+
+
+@dataclass(frozen=True)
+class NumaEstimate:
+    bandwidth: float  # achievable aggregate bytes/s
+    mean_latency_ns: float
+    local_fraction: float
+
+
+class NumaModel:
+    """Achievable bandwidth/latency for a placed, pinned workload."""
+
+    def __init__(self, system: SystemSpec) -> None:
+        self.system = system
+        self.topology = SMPTopology(system)
+        self._bw = BandwidthModel(self.topology)
+        self._lat = LatencyModel(self.topology)
+        self._links = MemoryLinkModel(system.chip)
+
+    def estimate(
+        self,
+        affinity: AffinityMap,
+        allocations: List[Tuple[Allocation, float]],
+        read_fraction: float = 1.0,
+    ) -> NumaEstimate:
+        """Solve the flow problem implied by the traffic matrix.
+
+        Because the per-pair demands are *proportional* (every pair
+        needs its share of one aggregate rate), the right formulation is
+        maximum concurrent flow: maximise the total rate ``lam`` such
+        that routing ``share * lam`` for every pair fits the derated
+        link capacities.  Solved as a small LP (route variables + lam)
+        with HiGHS; local pairs are bounded by their chip's Centaur
+        links outside the fabric LP.
+        """
+        from scipy.optimize import linprog
+
+        matrix = traffic_matrix(self.system, affinity, allocations)
+        remote_pairs: List[Tuple[int, int]] = [
+            pair for pair, share in matrix.shares.items()
+            if pair[0] != pair[1] and share > 0.0
+        ]
+        local_bw = self._links.chip_bandwidth(read_fraction)
+        # Local-only bound (also the fallback when nothing is remote).
+        lam_local = float("inf")
+        local_by_chip: Dict[int, float] = {}
+        for (req, home), share in matrix.shares.items():
+            if req == home and share > 0.0:
+                local_by_chip[req] = local_by_chip.get(req, 0.0) + share
+        for share in local_by_chip.values():
+            lam_local = min(lam_local, local_bw / share)
+
+        if remote_pairs:
+            active_chips = {r for r, _ in remote_pairs}
+            fabric_eff = (
+                EFF_SINGLE_FLOW if len(active_chips) == 1 else EFF_SATURATED_FABRIC
+            )
+            caps = self._bw._link_capacities(fabric_eff)
+            # Route variables per pair (data flows home -> requester).
+            routes: List[Tuple[Tuple[int, int], List]] = []
+            for req, home in remote_pairs:
+                for route in self.topology.routes(home, req)[:2]:
+                    routes.append(
+                        ((req, home), self.topology.with_endpoints(home, req, route))
+                    )
+            n_vars = len(routes) + 1  # + lam
+            lam_idx = len(routes)
+            # Equalities: sum of a pair's route flows == share * lam.
+            a_eq, b_eq = [], []
+            for pair in remote_pairs:
+                row = [0.0] * n_vars
+                for i, (p, _) in enumerate(routes):
+                    if p == pair:
+                        row[i] = 1.0
+                row[lam_idx] = -matrix.shares[pair]
+                a_eq.append(row)
+                b_eq.append(0.0)
+            # Inequalities: per-link loads within capacity.
+            link_rows: Dict = {}
+            for i, (_, path) in enumerate(routes):
+                for link in path:
+                    link_rows.setdefault(link, [0.0] * n_vars)[i] = 1.0
+            a_ub = list(link_rows.values())
+            b_ub = [caps[link] for link in link_rows]
+            c = [0.0] * n_vars
+            c[lam_idx] = -1.0  # maximise lam
+            res = linprog(
+                c, A_ub=a_ub or None, b_ub=b_ub or None,
+                A_eq=a_eq, b_eq=b_eq, bounds=[(0, None)] * n_vars,
+                method="highs",
+            )
+            if not res.success:
+                raise RuntimeError(f"NUMA flow LP failed: {res.message}")
+            lam_remote = float(res.x[lam_idx])
+        else:
+            lam_remote = float("inf")
+
+        bandwidth = min(lam_local, lam_remote)
+        if bandwidth == float("inf"):
+            raise RuntimeError("traffic matrix has no demand")
+        latency = sum(
+            share * self._lat.pair_latency_ns(req, home)
+            for (req, home), share in matrix.shares.items()
+        )
+        return NumaEstimate(
+            bandwidth=bandwidth,
+            mean_latency_ns=latency,
+            local_fraction=matrix.local_fraction(),
+        )

@@ -1,0 +1,30 @@
+"""Calibrated performance models: Little's law, STREAM scaling, kernel time."""
+
+from .kernel_time import KernelProfile, MachineModel
+from .littles_law import LMQ_ENTRIES, RandomAccessModel, RandomAccessPoint
+from .smt_advisor import SMTAdvice, SMTPoint, advise_smt
+from .stream_model import (
+    StreamPoint,
+    chip_stream_bandwidth,
+    fig3a_points,
+    fig3b_points,
+    system_stream_bandwidth,
+    table3_rows,
+)
+
+__all__ = [
+    "LMQ_ENTRIES",
+    "KernelProfile",
+    "MachineModel",
+    "RandomAccessModel",
+    "RandomAccessPoint",
+    "SMTAdvice",
+    "SMTPoint",
+    "advise_smt",
+    "StreamPoint",
+    "chip_stream_bandwidth",
+    "fig3a_points",
+    "fig3b_points",
+    "system_stream_bandwidth",
+    "table3_rows",
+]

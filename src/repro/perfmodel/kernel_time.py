@@ -1,0 +1,123 @@
+"""Roofline-style execution-time estimator for application kernels.
+
+The three applications of §V run their *algorithms* for real (so
+correctness is testable at container scale) but take their *E870-scale
+timings* from this model: a kernel is characterised by its operation
+counts and access pattern, and its execution time is the roofline
+maximum of compute time and memory time under the machine's calibrated
+bandwidth models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..arch.specs import SystemSpec
+from ..mem.centaur import MemoryLinkModel, read_fraction
+from ..prefetch.dcbt import block_scan_efficiency
+from .littles_law import RandomAccessModel
+from .stream_model import chip_stream_bandwidth
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Operation counts and shape of one kernel execution."""
+
+    name: str
+    flops: float
+    bytes_read: float
+    bytes_written: float
+    pattern: str = "stream"  # "stream" | "random" | "blocked"
+    block_bytes: Optional[int] = None  # for the "blocked" pattern
+    cores: Optional[int] = None  # defaults to the whole machine
+    threads_per_core: int = 8
+    flop_efficiency: float = 0.85  # attainable fraction of peak compute
+    parallel_efficiency: float = 1.0  # load balance / synchronisation
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_read < 0 or self.bytes_written < 0:
+            raise ValueError(f"{self.name}: negative operation counts")
+        if self.pattern not in ("stream", "random", "blocked"):
+            raise ValueError(f"{self.name}: unknown pattern {self.pattern!r}")
+        if self.pattern == "blocked" and not self.block_bytes:
+            raise ValueError(f"{self.name}: blocked pattern needs block_bytes")
+        if not 0 < self.flop_efficiency <= 1 or not 0 < self.parallel_efficiency <= 1:
+            raise ValueError(f"{self.name}: efficiencies must be in (0, 1]")
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def operational_intensity(self) -> float:
+        if self.total_bytes == 0:
+            return float("inf")
+        return self.flops / self.total_bytes
+
+    @property
+    def read_byte_fraction(self) -> float:
+        if self.total_bytes == 0:
+            return 1.0
+        return self.bytes_read / self.total_bytes
+
+
+class MachineModel:
+    """Time estimator for kernels on a POWER8 SMP system."""
+
+    def __init__(self, system: SystemSpec) -> None:
+        self.system = system
+        self._link = MemoryLinkModel(system.chip)
+        self._random = RandomAccessModel(system)
+
+    # -- bandwidth resolution --------------------------------------------------
+    def effective_bandwidth(self, kernel: KernelProfile) -> float:
+        """Sustained bytes/s this kernel's access pattern can achieve."""
+        cores = kernel.cores if kernel.cores is not None else self.system.num_cores
+        if not 1 <= cores <= self.system.num_cores:
+            raise ValueError(
+                f"cores must be in [1, {self.system.num_cores}], got {cores}"
+            )
+        f = kernel.read_byte_fraction
+        chips_used = max(1, min(
+            self.system.num_chips, cores // self.system.chip.cores_per_chip
+        ))
+        cores_per_chip = max(1, cores // chips_used)
+        stream_bw = chips_used * chip_stream_bandwidth(
+            self.system.chip, cores_per_chip, kernel.threads_per_core, f
+        )
+        if kernel.pattern == "stream":
+            return stream_bw
+        if kernel.pattern == "random":
+            rand_bw = self._random.bandwidth(kernel.threads_per_core, 4)
+            return min(stream_bw, rand_bw * cores / self.system.num_cores)
+        # blocked: streaming derated by the per-block stream-startup cost
+        eff = block_scan_efficiency(self.system.chip, kernel.block_bytes, use_dcbt=True)
+        return stream_bw * eff
+
+    def compute_rate(self, kernel: KernelProfile) -> float:
+        """Sustained FLOP/s for this kernel (double precision)."""
+        cores = kernel.cores if kernel.cores is not None else self.system.num_cores
+        per_core = (
+            self.system.chip.core.peak_flops_per_cycle()
+            * self.system.chip.frequency_hz
+        )
+        return cores * per_core * kernel.flop_efficiency
+
+    # -- headline estimate --------------------------------------------------------
+    def time(self, kernel: KernelProfile) -> float:
+        """Execution time in seconds (roofline max of compute and memory)."""
+        compute_t = kernel.flops / self.compute_rate(kernel) if kernel.flops else 0.0
+        memory_t = (
+            kernel.total_bytes / self.effective_bandwidth(kernel)
+            if kernel.total_bytes
+            else 0.0
+        )
+        return max(compute_t, memory_t) / kernel.parallel_efficiency
+
+    def gflops(self, kernel: KernelProfile) -> float:
+        """Achieved GFLOP/s implied by the time estimate."""
+        t = self.time(kernel)
+        if t == 0:
+            return 0.0
+        return kernel.flops / t / 1e9

@@ -1,0 +1,102 @@
+"""Concurrency-limited random-access bandwidth (Figure 4).
+
+The paper's microbenchmark chases pointers through random lists, one
+cache line per element, and scales the number of outstanding requests
+two ways: more SMT threads per core, or more concurrent lists per
+thread.  Bandwidth follows Little's law — ``concurrency x line size /
+latency`` — until it saturates at the DRAM random-access ceiling
+(~41% of the peak read bandwidth, ~500 GB/s on the E870).
+
+We model the saturation with an exponential-knee service curve
+
+    B(N) = B_max * (1 - exp(-N / N_half)),   N_half = B_max * L0 / line
+
+which matches both asymptotes: ``B -> N * line / L0`` for small
+concurrency (the paper's "almost linear increase") and ``B -> B_max``
+for large.  Per-core concurrency is capped by the load-miss-queue
+capacity, which is why growing the list count beyond ~4 at SMT8 stops
+helping (44-entry LMQ, 8 x 4 = 32 close to the cap).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from ..arch.specs import SystemSpec
+from ..interconnect.latency import LatencyModel
+from ..interconnect.topology import SMPTopology
+from ..mem.centaur import MemoryLinkModel
+
+#: Outstanding demand misses one core can track (load-miss queue).
+LMQ_ENTRIES = 44
+
+
+@dataclass(frozen=True)
+class RandomAccessPoint:
+    threads_per_core: int
+    streams_per_thread: int
+    concurrency: int  # total in-flight lines, all cores
+    bandwidth: float  # bytes/s
+
+
+class RandomAccessModel:
+    """Little's-law bandwidth model for the Figure 4 sweep."""
+
+    def __init__(self, system: SystemSpec, lmq_entries: int = LMQ_ENTRIES) -> None:
+        self.system = system
+        self.lmq_entries = lmq_entries
+        self._link = MemoryLinkModel(system.chip)
+        self._latency = LatencyModel(SMPTopology(system))
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Random-read ceiling: DRAM row misses on every line."""
+        return self._link.system_random_read_bandwidth(self.system)
+
+    @property
+    def unloaded_latency_ns(self) -> float:
+        """Latency of one isolated random read (memory interleaved)."""
+        return self._latency.interleaved_latency_ns(0)
+
+    def core_concurrency(self, threads_per_core: int, streams_per_thread: int) -> int:
+        """In-flight lines one core sustains (LMQ-capped)."""
+        core = self.system.chip.core
+        if not 1 <= threads_per_core <= core.smt_ways:
+            raise ValueError(
+                f"threads/core must be in [1, {core.smt_ways}], got {threads_per_core}"
+            )
+        if streams_per_thread < 1:
+            raise ValueError(f"need at least one stream, got {streams_per_thread}")
+        return min(threads_per_core * streams_per_thread, self.lmq_entries)
+
+    def bandwidth(self, threads_per_core: int, streams_per_thread: int) -> float:
+        """System random-read bandwidth (bytes/s) at this configuration."""
+        n = self.system.num_cores * self.core_concurrency(
+            threads_per_core, streams_per_thread
+        )
+        line = self.system.chip.core.l1d.line_size
+        b_max = self.peak_bandwidth
+        n_half = b_max * self.unloaded_latency_ns * 1e-9 / line
+        return b_max * (1.0 - math.exp(-n / n_half))
+
+    def sweep(
+        self,
+        thread_counts: Iterable[int] = (1, 2, 4, 8),
+        stream_counts: Iterable[int] = (1, 2, 4, 8, 16, 32),
+    ) -> List[RandomAccessPoint]:
+        """The full Figure 4 grid."""
+        points = []
+        for t in thread_counts:
+            for s in stream_counts:
+                points.append(
+                    RandomAccessPoint(
+                        threads_per_core=t,
+                        streams_per_thread=s,
+                        concurrency=self.system.num_cores
+                        * self.core_concurrency(t, s),
+                        bandwidth=self.bandwidth(t, s),
+                    )
+                )
+        return points

@@ -1,0 +1,110 @@
+"""SMT-level advisor: how many threads per core should a kernel run?
+
+§III-C observes (citing Adinetz et al. [4]) that "better performance
+for POWER8 can be achieved using fewer threads per core" for some
+codes: SMT hides latency but threads share issue queues and — beyond
+128 live VSX registers — the fast register file.  This module combines
+the FMA pipeline model with the bandwidth models to predict the best
+SMT level for a kernel characterised by its per-thread instruction-
+level parallelism and its memory profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..arch.specs import SystemSpec
+from ..core.fma import fma_efficiency
+from ..perfmodel.kernel_time import KernelProfile, MachineModel
+
+
+@dataclass(frozen=True)
+class SMTPoint:
+    threads_per_core: int
+    compute_rate: float  # flop/s attainable at this SMT level
+    memory_bandwidth: float  # bytes/s attainable at this SMT level
+    time_seconds: float
+
+    @property
+    def throughput(self) -> float:
+        return 1.0 / self.time_seconds if self.time_seconds > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class SMTAdvice:
+    best_threads_per_core: int
+    points: List[SMTPoint]
+    reason: str
+
+
+def _compute_rate(system: SystemSpec, threads: int, ilp: int) -> float:
+    core = system.chip.core
+    per_core_peak = core.peak_flops_per_cycle() * system.chip.frequency_hz
+    return (
+        system.num_cores
+        * per_core_peak
+        * fma_efficiency(core, threads, ilp)
+    )
+
+
+def advise_smt(
+    system: SystemSpec,
+    kernel: KernelProfile,
+    ilp_per_thread: int = 4,
+    candidate_levels: Optional[List[int]] = None,
+) -> SMTAdvice:
+    """Pick the SMT level minimising the kernel's execution time.
+
+    Parameters
+    ----------
+    ilp_per_thread:
+        Independent floating-point operations one thread exposes per
+        loop iteration (the "FMAs in the loop" of Figure 5).  Low ILP
+        needs SMT to fill the pipelines; very high ILP overflows the
+        register file at high SMT.
+    """
+    if ilp_per_thread < 1:
+        raise ValueError(f"ILP must be >= 1, got {ilp_per_thread}")
+    levels = candidate_levels or [1, 2, 4, 6, 8]
+    smt_max = system.chip.core.smt_ways
+    levels = [t for t in levels if 1 <= t <= smt_max]
+    if not levels:
+        raise ValueError("no valid SMT levels to consider")
+    model = MachineModel(system)
+    points: List[SMTPoint] = []
+    import dataclasses
+
+    for t in levels:
+        compute_rate = _compute_rate(system, t, ilp_per_thread)
+        k = dataclasses.replace(kernel, threads_per_core=t)
+        memory_bw = model.effective_bandwidth(k) if k.total_bytes else float("inf")
+        compute_t = kernel.flops / compute_rate if kernel.flops else 0.0
+        memory_t = k.total_bytes / memory_bw if k.total_bytes else 0.0
+        points.append(
+            SMTPoint(
+                threads_per_core=t,
+                compute_rate=compute_rate,
+                memory_bandwidth=memory_bw if memory_bw != float("inf") else 0.0,
+                time_seconds=max(compute_t, memory_t) / kernel.parallel_efficiency,
+            )
+        )
+    best = min(points, key=lambda p: (p.time_seconds, p.threads_per_core))
+    best_compute_t = kernel.flops / best.compute_rate if kernel.flops else 0.0
+    best_memory_t = (
+        kernel.total_bytes / best.memory_bandwidth
+        if kernel.total_bytes and best.memory_bandwidth
+        else 0.0
+    )
+    higher_levels_slower = any(
+        p.threads_per_core > best.threads_per_core
+        and p.compute_rate < best.compute_rate * (1 - 1e-9)
+        for p in points
+    )
+    if best_memory_t >= best_compute_t and kernel.total_bytes:
+        reason = "memory bound: enough threads to saturate the links"
+    elif higher_levels_slower:
+        reason = "register pressure caps the useful SMT level"
+    else:
+        reason = "pipeline saturation: threads x ILP must reach 12 in flight"
+    return SMTAdvice(best.threads_per_core, points, reason)

@@ -1,0 +1,105 @@
+"""STREAM bandwidth scaling models (Table III and Figure 3).
+
+Three nested limits govern a STREAM-style kernel on the machine:
+
+* per-thread: prefetch-stream concurrency against memory latency,
+* per-core: the core-to-NEST interface (~26 GB/s on POWER8),
+* per-chip: the Centaur links with the read:write mix efficiency
+  (:mod:`repro.mem.centaur`).
+
+``chip_stream_bandwidth`` takes the min of core- and link-level limits,
+reproducing Figure 3b's saturation at ~185 GB/s per chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from ..arch.specs import ChipSpec, SystemSpec
+from ..core.lsu import core_stream_bandwidth
+from ..mem.centaur import MemoryLinkModel, optimal_read_fraction, read_fraction
+
+
+@dataclass(frozen=True)
+class StreamPoint:
+    cores: int
+    threads_per_core: int
+    bandwidth: float  # bytes/s
+
+
+def chip_stream_bandwidth(
+    chip: ChipSpec,
+    cores: int,
+    threads_per_core: int,
+    f: float | None = None,
+) -> float:
+    """Sustained STREAM bandwidth of ``cores`` cores on one chip."""
+    if not 1 <= cores <= chip.cores_per_chip:
+        raise ValueError(f"cores must be in [1, {chip.cores_per_chip}], got {cores}")
+    if f is None:
+        f = optimal_read_fraction()
+    core_limit = cores * core_stream_bandwidth(chip, threads_per_core)
+    link_limit = MemoryLinkModel(chip).chip_bandwidth(f)
+    return min(core_limit, link_limit)
+
+
+def system_stream_bandwidth(
+    system: SystemSpec,
+    threads_per_core: int = 8,
+    read_ratio: float = 2.0,
+    write_ratio: float = 1.0,
+) -> float:
+    """All chips streaming locally at a read:write ratio (Table III rows)."""
+    f = read_fraction(read_ratio, write_ratio)
+    per_chip = chip_stream_bandwidth(
+        system.chip, system.chip.cores_per_chip, threads_per_core, f
+    )
+    return system.num_chips * per_chip
+
+
+def table3_rows(
+    system: SystemSpec,
+    ratios: Iterable[Tuple[float, float]] = (
+        (1, 0),
+        (16, 1),
+        (8, 1),
+        (4, 1),
+        (2, 1),
+        (1, 1),
+        (1, 2),
+        (1, 4),
+        (0, 1),
+    ),
+) -> List[dict]:
+    """Observed-bandwidth rows for every read:write ratio in Table III."""
+    rows = []
+    for r, w in ratios:
+        rows.append(
+            {
+                "read": r,
+                "write": w,
+                "bandwidth": system_stream_bandwidth(system, 8, r, w),
+            }
+        )
+    return rows
+
+
+def fig3a_points(chip: ChipSpec, thread_counts: Iterable[int] = (1, 2, 4, 8)) -> List[StreamPoint]:
+    """Figure 3a: one core, varying SMT level."""
+    return [
+        StreamPoint(1, t, chip_stream_bandwidth(chip, 1, t)) for t in thread_counts
+    ]
+
+
+def fig3b_points(
+    chip: ChipSpec,
+    core_counts: Iterable[int] = (1, 2, 4, 8),
+    thread_counts: Iterable[int] = (1, 2, 4, 8),
+) -> List[StreamPoint]:
+    """Figure 3b: one chip, varying cores and threads per core."""
+    points = []
+    for c in core_counts:
+        for t in thread_counts:
+            points.append(StreamPoint(c, t, chip_stream_bandwidth(chip, c, t)))
+    return points

@@ -1,0 +1,37 @@
+"""POWER8 data prefetching: hardware stream engine, DSCR, stride-N, DCBT."""
+
+from .dcbt import CONFIRM_LINES, block_scan_efficiency, dcbt_gain, dcbt_sweep
+from .dscr import (
+    DEFAULT_DEPTH,
+    DEPTH_LINES,
+    DSCRPoint,
+    dscr_sweep,
+    prefetch_distance,
+    row_efficiency,
+    sequential_latency_ns,
+    stream_bandwidth,
+    validate_depth,
+)
+from .engine import CONFIRM_ACCESSES, StreamPrefetcher
+from .stride import MAX_STRIDED_DISTANCE, stride_sweep, strided_latency_ns
+
+__all__ = [
+    "CONFIRM_ACCESSES",
+    "CONFIRM_LINES",
+    "DEFAULT_DEPTH",
+    "DEPTH_LINES",
+    "DSCRPoint",
+    "MAX_STRIDED_DISTANCE",
+    "StreamPrefetcher",
+    "block_scan_efficiency",
+    "dcbt_gain",
+    "dcbt_sweep",
+    "dscr_sweep",
+    "prefetch_distance",
+    "row_efficiency",
+    "sequential_latency_ns",
+    "stream_bandwidth",
+    "strided_latency_ns",
+    "stride_sweep",
+    "validate_depth",
+]

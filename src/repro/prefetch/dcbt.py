@@ -1,0 +1,68 @@
+"""Data Cache Block Touch (DCBT) software prefetch hints (§III-D, Fig. 8).
+
+The hardware engine needs several consecutive line accesses to confirm
+a new stream; on a short array the stream ends before the engine ramps
+up.  The enhanced DCBT instruction declares the stream (start address,
+direction, length) so prefetching begins on the first touch.
+
+The paper's microbenchmark scans an array in ``bsize``-byte blocks,
+choosing blocks in random order: sequential inside a block, random
+across blocks.  Small blocks repeatedly pay the stream-confirmation
+cost; DCBT removes it, gaining >25% for small arrays and ~nothing for
+large ones.
+"""
+
+from __future__ import annotations
+
+from ..arch.specs import ChipSpec
+
+#: Consecutive line accesses the hardware needs to confirm a stream.
+CONFIRM_LINES = 3
+
+#: Cold lines still paying full latency when the stream is declared via
+#: DCBT (the very first touch cannot be hidden).
+DCBT_COLD_LINES = 1
+
+#: Service time ratio between an unprefetched line (full memory round
+#: trip) and a prefetched line (streamed at the per-thread rate):
+#: 90 ns vs 128 B / 8.5 GB/s = 15 ns.
+SLOW_LINE_FACTOR = 6.0
+
+
+def block_scan_efficiency(chip: ChipSpec, bsize: int, use_dcbt: bool) -> float:
+    """Fraction of peak streaming read bandwidth for block size ``bsize``.
+
+    ``bsize`` is in bytes; blocks are visited in random order so each
+    block restarts stream detection.
+    """
+    line = chip.core.l1d.line_size
+    if bsize < line:
+        raise ValueError(f"block must hold at least one line, got {bsize} bytes")
+    lines = bsize // line
+    cold = DCBT_COLD_LINES if use_dcbt else min(lines, CONFIRM_LINES)
+    hot = lines - cold
+    # Time in hot-line units: cold lines are SLOW_LINE_FACTOR x slower.
+    total_time = cold * SLOW_LINE_FACTOR + hot
+    return lines / total_time
+
+
+def dcbt_gain(chip: ChipSpec, bsize: int) -> float:
+    """Relative bandwidth improvement from DCBT at this block size."""
+    base = block_scan_efficiency(chip, bsize, use_dcbt=False)
+    with_hint = block_scan_efficiency(chip, bsize, use_dcbt=True)
+    return with_hint / base - 1.0
+
+
+def dcbt_sweep(chip: ChipSpec, block_sizes) -> list[dict]:
+    """Figure 8: efficiency with and without DCBT across block sizes."""
+    rows = []
+    for bsize in block_sizes:
+        rows.append(
+            {
+                "bsize": int(bsize),
+                "efficiency_hw": block_scan_efficiency(chip, bsize, use_dcbt=False),
+                "efficiency_dcbt": block_scan_efficiency(chip, bsize, use_dcbt=True),
+                "gain": dcbt_gain(chip, bsize),
+            }
+        )
+    return rows

@@ -1,0 +1,91 @@
+"""Data Stream Control Register (DSCR) semantics (§III-D, Figure 6).
+
+POWER8 exposes the prefetch engine to user space through the DSCR
+register: depth values run from 1 (prefetching disabled) to 7 (deepest).
+We map each setting to a prefetch-ahead distance in cache lines and to
+the two figure-6 observables:
+
+* *latency* of a dependent sequential scan — with ``d`` lines staged in
+  flight, a group of ``d+1`` lines costs one full memory round trip, so
+  the mean settles at ``L_hit + L_mem / (1 + d)``;
+* *bandwidth* of the full-system STREAM mix — the machine is link-bound
+  at every depth, but shallow settings fragment DRAM bursts across many
+  streams and lose row-buffer locality, derating the sustained rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.specs import ChipSpec, SystemSpec
+from ..mem.centaur import MemoryLinkModel, optimal_read_fraction
+
+#: DSCR depth setting -> prefetch-ahead distance in cache lines.
+DEPTH_LINES = {1: 0, 2: 2, 3: 4, 4: 8, 5: 16, 6: 32, 7: 64}
+
+#: Default depth programmed by firmware when applications do not touch
+#: the DSCR (the "medium" setting).
+DEFAULT_DEPTH = 5
+
+#: DRAM row-buffer efficiency at depth 0 (demand-only traffic from 512
+#: threads interleaves at line granularity and almost always reopens a
+#: row); deep prefetching restores full-burst locality.
+ROW_EFFICIENCY_FLOOR = 0.42
+
+#: Prefetch-ahead distance at which row-buffer locality is fully
+#: recovered (one DRAM row = 64 cache lines on POWER8: 8 KB / 128 B).
+ROW_RECOVERY_LINES = 32
+
+
+def validate_depth(depth: int) -> int:
+    if depth not in DEPTH_LINES:
+        raise ValueError(f"DSCR depth must be in 1..7, got {depth}")
+    return depth
+
+
+def prefetch_distance(depth: int) -> int:
+    """Lines the engine runs ahead of the demand stream at this setting."""
+    return DEPTH_LINES[validate_depth(depth)]
+
+
+def sequential_latency_ns(chip: ChipSpec, depth: int) -> float:
+    """Observed per-load latency of a dependent sequential scan."""
+    d = prefetch_distance(depth)
+    l_hit = chip.cycles_to_ns(chip.core.l1d.latency_cycles)
+    l_mem = chip.centaur.dram_latency_ns
+    return l_hit + l_mem / (1.0 + d)
+
+
+def row_efficiency(depth: int) -> float:
+    """DRAM row-buffer efficiency factor for the sustained-bandwidth model."""
+    d = prefetch_distance(depth)
+    frac = min(1.0, d / ROW_RECOVERY_LINES)
+    return ROW_EFFICIENCY_FLOOR + (1.0 - ROW_EFFICIENCY_FLOOR) * frac
+
+
+@dataclass(frozen=True)
+class DSCRPoint:
+    depth: int
+    distance_lines: int
+    latency_ns: float
+    bandwidth: float  # bytes/s
+
+
+def stream_bandwidth(system: SystemSpec, depth: int) -> float:
+    """Full-system STREAM (2:1 mix) bandwidth at a DSCR setting."""
+    link = MemoryLinkModel(system.chip)
+    peak = link.system_bandwidth(system, optimal_read_fraction())
+    return peak * row_efficiency(depth)
+
+
+def dscr_sweep(system: SystemSpec) -> list[DSCRPoint]:
+    """The Figure 6 sweep: latency and bandwidth at every DSCR setting."""
+    return [
+        DSCRPoint(
+            depth=d,
+            distance_lines=prefetch_distance(d),
+            latency_ns=sequential_latency_ns(system.chip, d),
+            bandwidth=stream_bandwidth(system, d),
+        )
+        for d in sorted(DEPTH_LINES)
+    ]

@@ -1,0 +1,174 @@
+"""Operational stream-prefetch engine for the trace-driven hierarchy.
+
+This is the executable counterpart of the analytic models in
+:mod:`repro.prefetch.dscr`: a state machine that watches the demand
+access stream, confirms sequential (and optionally stride-N) patterns,
+ramps up, and issues prefetch addresses that the
+:class:`repro.mem.hierarchy.MemoryHierarchy` installs ahead of use.
+It implements the ``PrefetcherProtocol`` hook and also accepts explicit
+DCBT stream declarations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .dscr import DEFAULT_DEPTH, prefetch_distance, validate_depth
+
+#: Demand accesses needed to confirm a candidate stream.
+CONFIRM_ACCESSES = 3
+
+#: Depth doubles on each confirmed access until the DSCR distance is hit.
+RAMP_START = 2
+
+
+@dataclass
+class _Stream:
+    next_line: int  # next line number the demand stream should touch
+    stride: int  # in lines; +-1 for dense streams
+    confidence: int
+    depth: int  # current ramped prefetch distance (lines)
+    prefetched_up_to: Optional[int] = None  # furthest line already issued
+
+
+class StreamPrefetcher:
+    """POWER8-style multi-stream prefetch engine.
+
+    Parameters
+    ----------
+    line_size:
+        Cache line size in bytes (the hierarchy passes line-base byte
+        addresses to :meth:`observe`).
+    depth:
+        DSCR depth setting, 1 (off) to 7 (deepest).
+    stride_n:
+        Enable stride-N stream detection (the Figure 7 DSCR bit).
+    max_streams:
+        Concurrent streams the engine tracks (LRU replacement).
+    """
+
+    def __init__(
+        self,
+        line_size: int,
+        depth: int = DEFAULT_DEPTH,
+        stride_n: bool = False,
+        max_streams: int = 16,
+    ) -> None:
+        if line_size <= 0:
+            raise ValueError(f"line size must be positive, got {line_size}")
+        validate_depth(depth)
+        self.line_size = line_size
+        self.depth_setting = depth
+        self.max_distance = prefetch_distance(depth)
+        self.stride_n = stride_n
+        self.max_streams = max_streams
+        self._streams: "OrderedDict[int, _Stream]" = OrderedDict()
+        self._last_lines: List[int] = []  # recent demand lines for detection
+        self._next_id = 0
+        self.streams_confirmed = 0
+
+    # -- PrefetcherProtocol ---------------------------------------------------
+    def observe(self, line_addr: int, is_write: bool) -> List[int]:
+        """Process one demand access; returns byte addresses to prefetch."""
+        del is_write  # POWER8 prefetches for loads and stores alike
+        if self.max_distance == 0:
+            return []
+        line = line_addr // self.line_size
+        issued = self._advance_matching_stream(line)
+        if issued is None:
+            self._detect(line)
+            issued = []
+        return [l * self.line_size for l in issued]
+
+    # -- DCBT -----------------------------------------------------------------
+    def declare_stream(
+        self, start_addr: int, length_bytes: int, descending: bool = False
+    ) -> List[int]:
+        """DCBT hint: install a confirmed stream immediately (§III-D).
+
+        Returns the initial burst of prefetch byte-addresses so callers
+        can hand them straight to the hierarchy.
+        """
+        if self.max_distance == 0:
+            return []
+        start = start_addr // self.line_size
+        stride = -1 if descending else 1
+        stream = _Stream(
+            next_line=start + stride,
+            stride=stride,
+            confidence=CONFIRM_ACCESSES,
+            depth=self.max_distance,
+        )
+        self._remember(stream)
+        self.streams_confirmed += 1
+        end = start + stride * max(0, length_bytes // self.line_size - 1)
+        burst = self._issue(stream, from_line=start)
+        # Clip the burst to the declared extent.
+        if descending:
+            burst = [l for l in burst if l >= end]
+        else:
+            burst = [l for l in burst if l <= end]
+        return [l * self.line_size for l in burst]
+
+    # -- internals --------------------------------------------------------------
+    def _advance_matching_stream(self, line: int) -> Optional[List[int]]:
+        for key, stream in list(self._streams.items()):
+            if line == stream.next_line:
+                stream.next_line += stream.stride
+                stream.confidence += 1
+                if stream.confidence >= CONFIRM_ACCESSES:
+                    stream.depth = min(
+                        self.max_distance, max(RAMP_START, stream.depth * 2)
+                    )
+                self._streams.move_to_end(key)
+                return self._issue(stream, from_line=line)
+        return None
+
+    def _issue(self, stream: _Stream, from_line: int) -> List[int]:
+        if stream.confidence < CONFIRM_ACCESSES:
+            return []
+        horizon = from_line + stream.stride * stream.depth
+        start = stream.prefetched_up_to
+        if start is None:
+            start = from_line
+        lines: List[int] = []
+        cur = start + stream.stride
+        while (stream.stride > 0 and cur <= horizon) or (
+            stream.stride < 0 and cur >= horizon
+        ):
+            lines.append(cur)
+            cur += stream.stride
+        if lines:
+            stream.prefetched_up_to = lines[-1]
+        return lines
+
+    def _detect(self, line: int) -> None:
+        # Look for a match against recent demand lines.
+        for prev in reversed(self._last_lines):
+            stride = line - prev
+            if stride == 0:
+                continue
+            dense = abs(stride) == 1
+            if dense or (self.stride_n and abs(stride) <= 4096):
+                if not dense and not self.stride_n:
+                    continue
+                stream = _Stream(
+                    next_line=line + stride,
+                    stride=stride,
+                    confidence=2,  # the (prev, line) pair counts as two
+                    depth=RAMP_START,
+                )
+                self._remember(stream)
+                self.streams_confirmed += 1
+                break
+        self._last_lines.append(line)
+        if len(self._last_lines) > 8:
+            self._last_lines.pop(0)
+
+    def _remember(self, stream: _Stream) -> None:
+        self._streams[self._next_id] = stream
+        self._next_id += 1
+        while len(self._streams) > self.max_streams:
+            self._streams.popitem(last=False)

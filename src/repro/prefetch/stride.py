@@ -1,0 +1,68 @@
+"""Stride-N stream prefetching (§III-D, Figure 7).
+
+A "stride-N stream" touches only every N-th cache line.  The default
+engine configuration cannot detect such patterns (consecutive-line
+confirmation never fires), so every access pays close to the full
+memory latency; writing the stride-N enable bit into the DSCR lets the
+engine lock onto the pattern and pipeline the fetches exactly like a
+dense stream.
+
+The paper measures a stride-256 scan dropping from ~50 ns to ~14 ns
+once stride-N detection is enabled.
+"""
+
+from __future__ import annotations
+
+from ..arch.specs import ChipSpec
+from .dscr import prefetch_distance, validate_depth
+
+#: Out-of-order execution overlaps a couple of independent strided
+#: loads even without prefetching, hiding part of the DRAM latency.
+OOO_OVERLAP_FACTOR = 0.55
+
+#: Strided prefetch machines track fewer lines ahead than dense ones;
+#: the effective depth saturates at this many in-flight lines.
+MAX_STRIDED_DISTANCE = 4
+
+
+def strided_latency_ns(
+    chip: ChipSpec,
+    stride_lines: int,
+    depth: int,
+    stride_detection: bool,
+) -> float:
+    """Mean latency of a stride-``N`` line scan at a DSCR setting."""
+    if stride_lines < 1:
+        raise ValueError(f"stride must be at least one line, got {stride_lines}")
+    validate_depth(depth)
+    l_mem = chip.centaur.dram_latency_ns * OOO_OVERLAP_FACTOR
+    if not stride_detection or stride_lines == 1:
+        # Dense streams are always detected; strided ones only with the
+        # DSCR stride-N enable bit set.
+        if stride_lines == 1:
+            d = prefetch_distance(depth)
+        else:
+            d = 0
+    else:
+        d = min(prefetch_distance(depth), MAX_STRIDED_DISTANCE)
+    l_hit = chip.cycles_to_ns(chip.core.l1d.latency_cycles)
+    return l_hit + l_mem / (1.0 + d)
+
+
+def stride_sweep(chip: ChipSpec, stride_lines: int = 256) -> list[dict]:
+    """Figure 7: latency vs DSCR depth, stride-N detection on and off."""
+    rows = []
+    for depth in range(1, 8):
+        rows.append(
+            {
+                "depth": depth,
+                "stride_lines": stride_lines,
+                "latency_disabled_ns": strided_latency_ns(
+                    chip, stride_lines, depth, stride_detection=False
+                ),
+                "latency_enabled_ns": strided_latency_ns(
+                    chip, stride_lines, depth, stride_detection=True
+                ),
+            }
+        )
+    return rows

@@ -1,0 +1,24 @@
+"""Paper-value registry, table rendering and shape-check comparators."""
+
+from . import paper_values
+from .compare import (
+    argmax_index,
+    crossover_index,
+    is_monotone,
+    peak_at,
+    relative_error,
+    within_factor,
+)
+from .tables import format_comparison, format_table
+
+__all__ = [
+    "argmax_index",
+    "crossover_index",
+    "format_comparison",
+    "format_table",
+    "is_monotone",
+    "paper_values",
+    "peak_at",
+    "relative_error",
+    "within_factor",
+]

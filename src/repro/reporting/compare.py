@@ -1,0 +1,62 @@
+"""Shape-check comparators.
+
+The reproduction criterion is the paper's *shape* — who wins, by what
+factor, where the knees fall — not absolute numbers.  These helpers
+express those checks so the benchmark harness and the integration
+tests share one vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def within_factor(model: float, paper: float, factor: float = 1.5) -> bool:
+    """True when model and paper agree within a multiplicative factor."""
+    if factor < 1.0:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if paper == 0:
+        return model == 0
+    if (model > 0) != (paper > 0):
+        return False
+    ratio = model / paper
+    return 1.0 / factor <= ratio <= factor
+
+
+def relative_error(model: float, paper: float) -> float:
+    if paper == 0:
+        return float("inf") if model else 0.0
+    return abs(model - paper) / abs(paper)
+
+
+def is_monotone(values: Sequence[float], increasing: bool = True, tolerance: float = 0.0) -> bool:
+    """Check a series is (weakly) monotone, allowing small reversals."""
+    for a, b in zip(values, values[1:]):
+        if increasing and b < a - tolerance:
+            return False
+        if not increasing and b > a + tolerance:
+            return False
+    return True
+
+
+def argmax_index(values: Sequence[float]) -> int:
+    best, best_i = None, -1
+    for i, v in enumerate(values):
+        if best is None or v > best:
+            best, best_i = v, i
+    return best_i
+
+
+def peak_at(values: Sequence[float], expected_index: int) -> bool:
+    """True when the series peaks at the expected position."""
+    return argmax_index(values) == expected_index
+
+
+def crossover_index(series_a: Sequence[float], series_b: Sequence[float]) -> int | None:
+    """First index where series A overtakes series B (None if never)."""
+    if len(series_a) != len(series_b):
+        raise ValueError("series must have equal length")
+    for i, (a, b) in enumerate(zip(series_a, series_b)):
+        if a > b:
+            return i
+    return None

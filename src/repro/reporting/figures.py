@@ -1,0 +1,54 @@
+"""Figure-series export: write reproduced tables/figures as CSV files.
+
+``python -m repro.bench --csv DIR`` drops one CSV per experiment so the
+series can be re-plotted with any tool; this module holds the writer
+and a loader used by the round-trip tests.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Sequence
+
+
+def _slug(value: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_" else "_" for c in value)
+
+
+def write_csv(
+    directory: str | Path,
+    experiment_id: str,
+    headers: Sequence[str],
+    rows: List[Sequence],
+) -> Path:
+    """Write one experiment's rows; returns the created file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{_slug(experiment_id)}.csv"
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return path
+
+
+def read_csv(path: str | Path) -> tuple[List[str], List[List[str]]]:
+    """Load a written CSV back: (headers, string rows)."""
+    with Path(path).open(newline="") as fh:
+        reader = csv.reader(fh)
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"{path}: empty CSV")
+    return rows[0], rows[1:]
+
+
+def export_all(directory: str | Path, results) -> List[Path]:
+    """Write every ExperimentResult in ``results`` to ``directory``."""
+    paths = []
+    for result in results:
+        paths.append(
+            write_csv(directory, result.experiment_id, result.headers, result.rows)
+        )
+    return paths

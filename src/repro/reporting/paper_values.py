@@ -1,0 +1,156 @@
+"""Registry of the numbers the paper reports, table by table.
+
+These are the comparison targets for EXPERIMENTS.md and the shape
+tests.  Sources: the tables and the quoted values in the running text
+of Liu et al., "An Early Performance Study of Large-scale POWER8 SMP
+Systems" (2016).  Bandwidths in GB/s, latencies in ns.
+"""
+
+from __future__ import annotations
+
+# -- Table I: POWER7 vs POWER8 at a glance ------------------------------------
+TABLE1 = {
+    "threads_per_core": {"POWER7": 4, "POWER8": 8},
+    "max_cores_per_processor": {"POWER7": 8, "POWER8": 12},
+    "l1i_per_core_kb": {"POWER7": 32, "POWER8": 32},
+    "l1d_per_core_kb": {"POWER7": 32, "POWER8": 64},
+    "l2_per_core_kb": {"POWER7": 256, "POWER8": 512},
+    "l3_per_core_mb": {"POWER7": 4, "POWER8": 8},
+    "l4_per_processor_mb": {"POWER7": None, "POWER8": 128},
+    "issue_per_cycle": {"POWER7": 8, "POWER8": 10},
+    "completion_per_cycle": {"POWER7": 6, "POWER8": 8},
+    "load_store_ports": {"POWER7": (2, 2), "POWER8": (4, 2)},
+}
+
+# -- Table II / §I-II headline E870 characteristics ----------------------------
+TABLE2 = {
+    "sockets": 8,
+    "cores_per_socket": 8,
+    "frequency_ghz": 4.35,
+    "threads": 512,
+    "peak_gflops": 2227.0,
+    "peak_memory_bw_gbs": 1843.0,
+    "write_only_bw_gbs": 614.0,
+    "balance": 1.2,
+    "line_size": 128,
+}
+
+LARGEST_SMP = {
+    "sockets": 16,
+    "peak_gflops": 6144.0,
+    "peak_memory_bw_gbs": 3686.0,
+    "memory_capacity_tb": 16,
+    "l4_aggregate_gb": 4,  # "2 GB" per 8 sockets at 128 MB x 16 = 4 GB per text
+}
+
+# -- Table III: STREAM bandwidth vs read:write ratio ---------------------------
+TABLE3_GBS = {
+    (1, 0): 1141.0,
+    (16, 1): 1208.0,
+    (8, 1): 1267.0,
+    (4, 1): 1375.0,
+    (2, 1): 1472.0,
+    (1, 1): 894.0,
+    (1, 2): 748.0,
+    (1, 4): 658.0,
+    (0, 1): 589.0,
+}
+
+# -- Figure 3 anchors -----------------------------------------------------------
+FIG3 = {
+    "single_core_peak_gbs": 26.0,
+    "single_chip_peak_gbs": 189.0,
+}
+
+# -- Table IV: SMP interconnect -------------------------------------------------
+TABLE4_LATENCY_NS = {  # chip0 <-> chipN, hardware prefetch disabled
+    1: 123.0,
+    2: 125.0,
+    3: 133.0,
+    4: 213.0,
+    5: 235.0,
+    6: 237.0,
+    7: 243.0,
+}
+TABLE4_LATENCY_PREFETCH_NS = {1: 12.0, 2: 15.0, 3: 15.0, 4: 16.0, 5: 22.0, 6: 22.0, 7: 22.0}
+TABLE4_UNI_BW_GBS = {1: 30.0, 2: 30.0, 3: 30.0, 4: 45.0, 5: 45.0, 6: 45.0, 7: 45.0}
+TABLE4_BI_BW_GBS = {1: 53.0, 2: 53.0, 3: 53.0, 4: 87.0, 5: 82.0, 6: 82.0, 7: 82.0}
+TABLE4_AGGREGATES_GBS = {
+    "chip0_interleaved": 69.0,
+    "all_to_all": 380.0,
+    "x_bus_aggregate": 632.0,
+    "a_bus_aggregate": 206.0,
+}
+TABLE4_INTERLEAVED_LATENCY_NS = 168.0
+
+# -- Figure 4 anchors -------------------------------------------------------------
+FIG4 = {
+    "peak_random_gbs": 500.0,
+    "fraction_of_read_peak": 0.41,
+}
+
+# -- Figure 5 anchors --------------------------------------------------------------
+FIG5 = {
+    "inflight_for_peak": 12,  # threads x FMAs needed for peak
+    "architected_registers": 128,
+    "degradation_threads_12fma": 7,  # 12-FMA curve degrades beyond 6 threads
+}
+
+# -- Figure 7 anchors ---------------------------------------------------------------
+FIG7 = {
+    "latency_disabled_ns": 50.0,
+    "latency_enabled_ns": 14.0,
+}
+
+# -- Figure 8 anchor -----------------------------------------------------------------
+FIG8 = {"min_small_block_gain": 0.25}
+
+# -- Figure 9: roofline ----------------------------------------------------------------
+FIG9 = {
+    "peak_gflops": 2227.0,
+    "memory_bw_gbs": 1843.0,
+    "write_only_bw_gbs": 614.0,
+    "balance": 1.2,
+    "lbmhd_bound_gflops": 1843.0,
+    "lbmhd_write_only_bound_gflops": 614.0,
+}
+
+# -- Table V: molecules -------------------------------------------------------------------
+TABLE5 = {
+    "alkane-842": {"atoms": 842, "functions": 6730, "eris": 1.87e11, "memory_gb": 1391.02},
+    "graphene-252": {"atoms": 252, "functions": 3204, "eris": 1.76e11, "memory_gb": 1308.32},
+    "5-mer": {"atoms": 326, "functions": 3453, "eris": 2.01e11, "memory_gb": 1499.06},
+    "1hsg-28": {"atoms": 122, "functions": 1159, "eris": 1.42e10, "memory_gb": 105.95},
+    "1hsg-38": {"atoms": 387, "functions": 3555, "eris": 2.09e11, "memory_gb": 1558.66},
+}
+
+# -- Table VI: HF timings (seconds) -----------------------------------------------------------
+TABLE6 = {
+    "alkane-842": {
+        "iters": 12, "hf_comp": 3081.91, "precomp": 218.10,
+        "fock": 23.73, "density": 34.81, "hf_mem": 1013.39, "speedup": 3.04,
+    },
+    "graphene-252": {
+        "iters": 23, "hf_comp": 4476.47, "precomp": 185.35,
+        "fock": 20.91, "density": 6.39, "hf_mem": 837.73, "speedup": 5.34,
+    },
+    "5-mer": {
+        "iters": 19, "hf_comp": 4090.9, "precomp": 209.20,
+        "fock": 26.77, "density": 4.84, "hf_mem": 859.63, "speedup": 4.76,
+    },
+    "1hsg-28": {
+        "iters": 15, "hf_comp": 281.61, "precomp": 18.42,
+        "fock": 1.78, "density": 0.30, "hf_mem": 54.65, "speedup": 5.15,
+    },
+    "1hsg-38": {
+        "iters": 17, "hf_comp": 4079.75, "precomp": 232.90,
+        "fock": 30.63, "density": 5.80, "hf_mem": 889.76, "speedup": 4.59,
+    },
+}
+
+# -- Figure 12 anchors ---------------------------------------------------------------------------
+FIG12 = {
+    "tile_elements_scale24": 12000.0,
+    "tile_elements_scale31": 63.0,
+    "max_scale": 31,
+}

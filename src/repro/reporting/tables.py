@@ -1,0 +1,62 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every benchmark prints its reproduced table/figure in the same row
+format the paper uses, via these helpers — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(float_format.format(cell))
+            else:
+                cells.append(str(cell))
+        rendered.append(cells)
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rendered:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_comparison(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+) -> str:
+    """Table variant with a trailing model/paper ratio column appended.
+
+    Each row must end with (model, paper) numeric cells; a ratio column
+    is computed and appended.
+    """
+    out_rows = []
+    for row in rows:
+        model, paper = float(row[-2]), float(row[-1])
+        ratio = model / paper if paper else float("nan")
+        out_rows.append(list(row) + [ratio])
+    return format_table(list(headers) + ["ratio"], out_rows, title=title)

@@ -1,0 +1,31 @@
+"""Roofline analysis of the E870 (Figure 9), with the asymmetric write roof."""
+
+from .kernels import (
+    FFT3D,
+    LBMHD,
+    LBMHD_WRITE_ONLY,
+    SPMV,
+    STENCIL,
+    KernelCharacteristics,
+    paper_kernels,
+    paper_kernels_with_write_case,
+)
+from .analysis import BottleneckReport, analyze
+from .energy import EnergyRoofline
+from .model import Roofline, RooflinePoint
+
+__all__ = [
+    "BottleneckReport",
+    "EnergyRoofline",
+    "analyze",
+    "FFT3D",
+    "LBMHD",
+    "LBMHD_WRITE_ONLY",
+    "SPMV",
+    "STENCIL",
+    "KernelCharacteristics",
+    "Roofline",
+    "RooflinePoint",
+    "paper_kernels",
+    "paper_kernels_with_write_case",
+]

@@ -1,0 +1,95 @@
+"""Energy roofline extension (the paper cites Choi et al. [9]).
+
+The performance roofline of §IV has an energy sibling: an algorithm at
+operational intensity ``I`` spends ``e_flop`` joules per flop and
+``e_byte`` joules per DRAM byte, so its energy per flop is
+
+    E(I) = e_flop + e_byte / I
+
+and its *energy balance point* ``B_e = e_byte / e_flop`` plays the role
+of the ridge: below it the memory system dominates the energy bill.
+The constants default to published POWER8-era estimates; they are
+parameters, not measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from ..arch.specs import SystemSpec
+from .model import Roofline
+
+#: Energy per double-precision flop (pJ), POWER8-class core estimate.
+DEFAULT_PJ_PER_FLOP = 40.0
+
+#: Energy per byte moved from DRAM through Centaur (pJ).
+DEFAULT_PJ_PER_BYTE = 220.0
+
+#: Constant (leakage + uncore) power in watts for the 8-socket E870 class.
+DEFAULT_CONSTANT_POWER_W = 1500.0
+
+
+@dataclass(frozen=True)
+class EnergyRoofline:
+    """Energy counterpart of :class:`repro.roofline.model.Roofline`."""
+
+    system: SystemSpec
+    pj_per_flop: float = DEFAULT_PJ_PER_FLOP
+    pj_per_byte: float = DEFAULT_PJ_PER_BYTE
+    constant_power_w: float = DEFAULT_CONSTANT_POWER_W
+
+    def __post_init__(self) -> None:
+        if self.pj_per_flop <= 0 or self.pj_per_byte <= 0:
+            raise ValueError("energy coefficients must be positive")
+
+    @property
+    def energy_balance(self) -> float:
+        """OI at which flop energy equals byte energy (pJ ratio)."""
+        return self.pj_per_byte / self.pj_per_flop
+
+    def energy_per_flop_pj(self, oi: float) -> float:
+        """Dynamic energy per flop at operational intensity ``oi``."""
+        if oi <= 0:
+            raise ValueError(f"operational intensity must be positive, got {oi}")
+        return self.pj_per_flop + self.pj_per_byte / oi
+
+    def gflops_per_watt(self, oi: float, include_constant: bool = True) -> float:
+        """Attainable energy efficiency at ``oi`` (GFLOP/s per watt).
+
+        Combines the *performance* roofline (how fast the machine can
+        go) with the energy cost per flop and, optionally, the constant
+        power amortised over that throughput.
+        """
+        perf = Roofline(self.system).attainable_gflops(oi) * 1e9  # flop/s
+        dynamic_w = perf * self.energy_per_flop_pj(oi) * 1e-12
+        total_w = dynamic_w + (self.constant_power_w if include_constant else 0.0)
+        return perf / total_w / 1e9
+
+    def series(
+        self, oi_min: float = 1.0 / 64, oi_max: float = 64.0, points: int = 65
+    ) -> List[dict]:
+        import numpy as np
+
+        ois = np.logspace(np.log2(oi_min), np.log2(oi_max), points, base=2.0)
+        return [
+            {
+                "oi": float(oi),
+                "pj_per_flop": self.energy_per_flop_pj(float(oi)),
+                "gflops_per_watt": self.gflops_per_watt(float(oi)),
+            }
+            for oi in ois
+        ]
+
+    def place_all(self, kernels: Iterable) -> List[dict]:
+        """Energy placement for a kernel catalogue (see roofline.kernels)."""
+        return [
+            {
+                "name": k.name,
+                "oi": k.operational_intensity,
+                "pj_per_flop": self.energy_per_flop_pj(k.operational_intensity),
+                "gflops_per_watt": self.gflops_per_watt(k.operational_intensity),
+                "memory_energy_dominated": k.operational_intensity < self.energy_balance,
+            }
+            for k in kernels
+        ]

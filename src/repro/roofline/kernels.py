@@ -1,0 +1,81 @@
+"""The scientific-kernel catalogue placed on the Figure 9 roofline.
+
+Operational intensities follow the classic roofline literature the
+paper cites (Williams et al.): SpMV ~1/6, 7-point stencil ~1/2, LBMHD
+~1, 3D FFT ~1.5.  Each entry also records its typical read:write byte
+mix so the asymmetric-roof analysis (the red square vs red diamond for
+LBMHD in the paper) can be reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class KernelCharacteristics:
+    name: str
+    operational_intensity: float  # FLOPs per byte of DRAM traffic
+    read_ratio: float
+    write_ratio: float
+    description: str
+    write_dominated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.operational_intensity <= 0:
+            raise ValueError(f"{self.name}: OI must be positive")
+        if self.read_ratio < 0 or self.write_ratio < 0:
+            raise ValueError(f"{self.name}: ratios cannot be negative")
+
+
+SPMV = KernelCharacteristics(
+    "SpMV",
+    operational_intensity=1.0 / 6.0,
+    read_ratio=10.0,
+    write_ratio=1.0,
+    description="sparse matrix-vector multiply, CSR double precision",
+)
+
+STENCIL = KernelCharacteristics(
+    "Stencil",
+    operational_intensity=0.5,
+    read_ratio=2.0,
+    write_ratio=1.0,
+    description="3D 7-point stencil sweep",
+)
+
+LBMHD = KernelCharacteristics(
+    "LBMHD",
+    operational_intensity=1.0,
+    read_ratio=1.0,
+    write_ratio=1.0,
+    description="Lattice-Boltzmann magnetohydrodynamics time step",
+)
+
+LBMHD_WRITE_ONLY = KernelCharacteristics(
+    "LBMHD (write-only mix)",
+    operational_intensity=1.0,
+    read_ratio=0.0,
+    write_ratio=1.0,
+    description="LBMHD bounded by the write-only roof (red square in Fig. 9)",
+    write_dominated=True,
+)
+
+FFT3D = KernelCharacteristics(
+    "3D FFT",
+    operational_intensity=1.5,
+    read_ratio=1.0,
+    write_ratio=1.0,
+    description="large 3D fast Fourier transform",
+)
+
+
+def paper_kernels() -> List[KernelCharacteristics]:
+    """The four kernels Figure 9 places on the roofline."""
+    return [SPMV, STENCIL, LBMHD, FFT3D]
+
+
+def paper_kernels_with_write_case() -> List[KernelCharacteristics]:
+    """Figure 9's full set, including the LBMHD write-only variant."""
+    return [SPMV, STENCIL, LBMHD, LBMHD_WRITE_ONLY, FFT3D]

@@ -1,0 +1,98 @@
+"""The roofline model of §IV, including POWER8's asymmetric write roof.
+
+The roofline bounds attainable performance at operational intensity
+``I`` (FLOPs per byte of DRAM traffic) by ``min(P_peak, I x B)``.
+POWER8's Centaur links make ``B`` depend on the traffic mix: the
+standard roof uses the optimal 2:1 read:write bandwidth, while a
+write-dominated kernel is bounded by the write-only roof at less than
+half that (614 GB/s vs 1,843 GB/s on the E870) — the dashed line in
+Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+from ..arch.specs import SystemSpec
+from ..mem.centaur import link_bound, read_fraction
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on the roofline."""
+
+    name: str
+    operational_intensity: float
+    bound_gflops: float
+    memory_bound: bool
+
+
+class Roofline:
+    """System roofline built from a machine description."""
+
+    def __init__(self, system: SystemSpec) -> None:
+        self.system = system
+        self.peak_gflops = system.peak_gflops
+        # The paper's Figure 9 uses the theoretical link bounds (not the
+        # measured STREAM values): 1,843 GB/s at 2:1, 614 GB/s write-only.
+        self.memory_bandwidth = system.peak_memory_bandwidth
+        self.write_only_bandwidth = system.peak_write_bandwidth
+
+    @property
+    def balance(self) -> float:
+        """Operational intensity of the ridge point (1.2 on the E870)."""
+        return self.peak_gflops * 1e9 / self.memory_bandwidth
+
+    def bandwidth_for_mix(self, read_ratio: float, write_ratio: float) -> float:
+        """Roof bandwidth for an arbitrary read:write traffic mix."""
+        f = read_fraction(read_ratio, write_ratio)
+        return self.system.num_chips * link_bound(self.system.chip, f)
+
+    # -- bounds --------------------------------------------------------------
+    def attainable_gflops(self, oi: float, bandwidth: float | None = None) -> float:
+        """Attainable GFLOP/s at operational intensity ``oi``."""
+        if oi <= 0:
+            raise ValueError(f"operational intensity must be positive, got {oi}")
+        bw = self.memory_bandwidth if bandwidth is None else bandwidth
+        return min(self.peak_gflops, oi * bw / 1e9)
+
+    def attainable_write_only(self, oi: float) -> float:
+        """The dashed write-only roof of Figure 9."""
+        return self.attainable_gflops(oi, self.write_only_bandwidth)
+
+    def is_memory_bound(self, oi: float) -> bool:
+        return oi < self.balance
+
+    def place(self, name: str, oi: float, write_only: bool = False) -> RooflinePoint:
+        bound = (
+            self.attainable_write_only(oi) if write_only else self.attainable_gflops(oi)
+        )
+        return RooflinePoint(name, oi, bound, self.is_memory_bound(oi))
+
+    # -- series for plotting / reporting ----------------------------------------
+    def series(
+        self,
+        oi_min: float = 1.0 / 64,
+        oi_max: float = 64.0,
+        points: int = 129,
+    ) -> List[dict]:
+        """Log-spaced (OI, roof, write-only roof) samples of Figure 9."""
+        ois = np.logspace(np.log2(oi_min), np.log2(oi_max), points, base=2.0)
+        return [
+            {
+                "oi": float(oi),
+                "roof_gflops": self.attainable_gflops(float(oi)),
+                "write_roof_gflops": self.attainable_write_only(float(oi)),
+            }
+            for oi in ois
+        ]
+
+    def place_all(self, kernels: Iterable) -> List[RooflinePoint]:
+        """Place a catalogue of kernels (see :mod:`repro.roofline.kernels`)."""
+        return [
+            self.place(k.name, k.operational_intensity, write_only=k.write_dominated)
+            for k in kernels
+        ]

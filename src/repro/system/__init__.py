@@ -1,0 +1,5 @@
+"""Full-machine trace simulation: chips + coherence + NUMA + fabric."""
+
+from .simulator import SMPSimulator, SMPStats
+
+__all__ = ["SMPSimulator", "SMPStats"]

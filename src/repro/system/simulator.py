@@ -1,0 +1,123 @@
+"""Full-SMP trace-driven simulator: chips + NUMA placement + fabric.
+
+Composes one :class:`repro.coherence.chipsim.ChipSimulator` per socket
+with the NUMA allocation registry and the interconnect latency model.
+A thread's access first walks its own chip's cache hierarchy; when the
+data's *home* is another chip, the off-chip portion of the miss (the
+L4/DRAM service) additionally pays the SMP hop — operationally
+reproducing the Table IV latency structure that the analytic
+:class:`repro.interconnect.latency.LatencyModel` predicts in closed
+form (cross-checked in ``tests/system/``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..arch.specs import SystemSpec
+from ..coherence.chipsim import ChipSimulator
+from ..interconnect.latency import LatencyModel
+from ..interconnect.topology import SMPTopology
+from ..numa.affinity import AffinityMap
+from ..numa.policy import Allocation
+
+
+@dataclass
+class SMPStats:
+    accesses: int = 0
+    remote_accesses: int = 0
+    total_latency_ns: float = 0.0
+    per_chip_accesses: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return self.total_latency_ns / self.accesses if self.accesses else 0.0
+
+    @property
+    def remote_fraction(self) -> float:
+        return self.remote_accesses / self.accesses if self.accesses else 0.0
+
+
+class SMPSimulator:
+    """Trace-driven simulation of the whole multi-socket machine."""
+
+    #: Cache levels whose service leaves the requesting chip: these pay
+    #: the SMP hop when the line's home is remote.
+    OFF_CHIP_LEVELS = ("L4", "DRAM")
+
+    def __init__(self, system: SystemSpec, affinity: AffinityMap) -> None:
+        if affinity.system is not system:
+            # Allow equal specs built separately.
+            if affinity.system != system:
+                raise ValueError("affinity map was built for a different system")
+        self.system = system
+        self.affinity = affinity
+        self.chips: List[ChipSimulator] = [
+            ChipSimulator(system.chip) for _ in range(system.num_chips)
+        ]
+        self._latency = LatencyModel(SMPTopology(system))
+        self._allocations: List[Allocation] = []
+        self.stats = SMPStats()
+
+    # -- memory management ----------------------------------------------------
+    def register(self, allocation: Allocation) -> Allocation:
+        """Register a placed allocation; overlapping bases are rejected."""
+        for existing in self._allocations:
+            if (
+                allocation.base < existing.base + existing.nbytes
+                and existing.base < allocation.base + allocation.nbytes
+            ):
+                raise ValueError(
+                    f"{allocation.name} overlaps {existing.name} "
+                    f"([{existing.base:#x}, {existing.base + existing.nbytes:#x}))"
+                )
+        self._allocations.append(allocation)
+        return allocation
+
+    def home_of(self, addr: int) -> Optional[int]:
+        for alloc in self._allocations:
+            if alloc.base <= addr < alloc.base + alloc.nbytes:
+                return alloc.home_of(addr)
+        return None
+
+    # -- accesses ---------------------------------------------------------------
+    def access(self, thread: int, addr: int, is_write: bool = False) -> float:
+        """One access by logical ``thread``; returns latency in ns."""
+        hw = self.affinity.mapping[thread]
+        home = self.home_of(addr)
+        if home is None:
+            raise KeyError(f"address {addr:#x} is not in any registered allocation")
+        chip_sim = self.chips[hw.chip]
+        latency, level = chip_sim.access_ex(hw.core, addr, is_write)
+        remote = home != hw.chip
+        if remote and level in self.OFF_CHIP_LEVELS:
+            # The line was served by the home chip's memory: add the
+            # fabric hop (the difference between the remote and local
+            # unloaded latencies from the analytic model).
+            hop = self._latency.pair_latency_ns(hw.chip, home) - self._latency.local_latency_ns()
+            latency += hop
+        self.stats.accesses += 1
+        self.stats.total_latency_ns += latency
+        self.stats.remote_accesses += int(remote)
+        self.stats.per_chip_accesses[hw.chip] = (
+            self.stats.per_chip_accesses.get(hw.chip, 0) + 1
+        )
+        return latency
+
+    def read(self, thread: int, addr: int) -> float:
+        return self.access(thread, addr, is_write=False)
+
+    def write(self, thread: int, addr: int) -> float:
+        return self.access(thread, addr, is_write=True)
+
+    # -- convenience --------------------------------------------------------------
+    def run_trace(self, trace, thread: int = 0, is_write: bool = False) -> float:
+        """Replay an address iterable; returns the mean latency in ns."""
+        total = count = 0
+        for addr in trace:
+            total += self.access(thread, addr, is_write)
+            count += 1
+        if count == 0:
+            raise ValueError("empty trace")
+        return total / count

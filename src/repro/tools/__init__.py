@@ -1,0 +1,11 @@
+"""Command-line tools mirroring the paper's benchmark programs.
+
+* ``python -m repro.tools.lat_mem`` — lmbench's lat_mem_rd (Figure 2)
+* ``python -m repro.tools.stream`` — the modified STREAM (Table III/Fig. 3)
+* ``python -m repro.tools.roofline_tool`` — roofline bounds and diagnosis
+
+Submodules are imported lazily so ``python -m repro.tools.<tool>`` does
+not trigger runpy's re-import warning.
+"""
+
+__all__ = ["lat_mem", "roofline_tool", "stream"]

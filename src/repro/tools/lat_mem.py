@@ -1,0 +1,74 @@
+"""``lat_mem_rd``-style CLI over the modelled machine.
+
+Mirrors the lmbench tool the paper uses for Figure 2::
+
+    python -m repro.tools.lat_mem --max-size 8G --page 64K
+    python -m repro.tools.lat_mem --size 32M --trace   # trace-driven point
+
+Prints ``size_bytes latency_ns`` pairs, one per line, like the original.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..arch import e870
+from ..arch.power8 import PAGE_16M, PAGE_64K
+from ..bench.latency import default_working_sets, traced_latency_ns
+from ..mem.analytic import AnalyticHierarchy
+
+_UNITS = {"": 1, "K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+
+
+def parse_size(text: str) -> int:
+    """Parse ``64K`` / ``16M`` / ``8G`` size strings."""
+    text = text.strip().upper().rstrip("B")
+    unit = text[-1] if text and text[-1] in _UNITS else ""
+    number = text[: len(text) - len(unit)]
+    try:
+        value = float(number)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"cannot parse size {text!r}") from None
+    result = int(value * _UNITS[unit])
+    if result <= 0:
+        raise argparse.ArgumentTypeError(f"size must be positive, got {text!r}")
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.lat_mem",
+        description="Memory-read latency vs working set on the modelled E870.",
+    )
+    parser.add_argument("--min-size", type=parse_size, default=16 << 10)
+    parser.add_argument("--max-size", type=parse_size, default=8 << 30)
+    parser.add_argument("--size", type=parse_size, default=None,
+                        help="measure a single working set instead of a sweep")
+    parser.add_argument("--page", type=parse_size, default=PAGE_64K,
+                        help="page size (64K or 16M, like the paper's two curves)")
+    parser.add_argument("--trace", action="store_true",
+                        help="use the trace-driven simulator (small sizes only)")
+    args = parser.parse_args(argv)
+
+    system = e870()
+    if args.page not in (PAGE_64K, PAGE_16M):
+        print(f"note: unusual page size {args.page}", file=sys.stderr)
+
+    if args.trace:
+        size = args.size if args.size else args.min_size
+        if size > 64 << 20:
+            parser.error("--trace is only practical up to ~64M working sets")
+        latency = traced_latency_ns(system, size, page_size=args.page)
+        print(f"{size} {latency:.2f}")
+        return 0
+
+    model = AnalyticHierarchy(system.chip, page_size=args.page)
+    sizes = [args.size] if args.size else default_working_sets(args.min_size, args.max_size)
+    for size in sizes:
+        print(f"{size} {model.latency_ns(size):.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Roofline CLI: bounds and bottleneck diagnosis from the command line.
+
+::
+
+    python -m repro.tools.roofline_tool --oi 0.5
+    python -m repro.tools.roofline_tool --flops 1e12 --read 4e12 --write 2e12
+    python -m repro.tools.roofline_tool --kernels      # the Figure 9 suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..arch import e870
+from ..perfmodel.kernel_time import KernelProfile
+from ..roofline.analysis import analyze
+from ..roofline.kernels import paper_kernels_with_write_case
+from ..roofline.model import Roofline
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.roofline_tool",
+        description="Roofline bounds and kernel diagnosis on the modelled E870.",
+    )
+    parser.add_argument("--oi", type=float, help="operational intensity to bound")
+    parser.add_argument("--write-only", action="store_true",
+                        help="use the write-only roof (dashed line in Fig. 9)")
+    parser.add_argument("--kernels", action="store_true",
+                        help="place the paper's kernel suite")
+    parser.add_argument("--flops", type=float, help="kernel flop count (analysis mode)")
+    parser.add_argument("--read", type=float, default=0.0, help="bytes read")
+    parser.add_argument("--write", type=float, default=0.0, help="bytes written")
+    args = parser.parse_args(argv)
+
+    system = e870()
+    roof = Roofline(system)
+
+    if args.kernels:
+        for point in roof.place_all(paper_kernels_with_write_case()):
+            kind = "memory" if point.memory_bound else "compute"
+            print(f"{point.name:24} OI={point.operational_intensity:5.2f} "
+                  f"bound={point.bound_gflops:7.0f} GFLOP/s ({kind})")
+        return 0
+
+    if args.flops is not None:
+        profile = KernelProfile(
+            "cli-kernel", flops=args.flops,
+            bytes_read=args.read, bytes_written=args.write,
+        )
+        report = analyze(system, profile)
+        print(f"OI                : {report.operational_intensity:.3f} flop/byte")
+        print(f"bound             : {report.bound_gflops:.0f} GFLOP/s "
+              f"({report.limiting_resource} bound)")
+        print(f"model estimate    : {report.estimated_gflops:.0f} GFLOP/s "
+              f"({100 * report.bound_fraction:.0f}% of bound)")
+        if report.mix_penalty:
+            print(f"mix penalty       : {report.mix_penalty:.0f} GFLOP/s")
+        for rec in report.recommendations:
+            print(f"  -> {rec}")
+        return 0
+
+    if args.oi is not None:
+        bound = (
+            roof.attainable_write_only(args.oi)
+            if args.write_only
+            else roof.attainable_gflops(args.oi)
+        )
+        print(f"{bound:.1f}")
+        return 0
+
+    print(f"peak {roof.peak_gflops:.0f} GFLOP/s, memory "
+          f"{roof.memory_bandwidth / 1e9:.0f} GB/s, write-only "
+          f"{roof.write_only_bandwidth / 1e9:.0f} GB/s, balance {roof.balance:.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""``stream``-style CLI over the modelled machine.
+
+Mirrors the paper's modified STREAM benchmark::
+
+    python -m repro.tools.stream                  # classic four kernels
+    python -m repro.tools.stream --ratio 2:1      # one Table III mix
+    python -m repro.tools.stream --table3         # the full ratio sweep
+    python -m repro.tools.stream --cores 1 --threads 4   # Figure 3 points
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..arch import e870
+from ..bench.stream_kernels import StreamKernels
+from ..perfmodel.stream_model import chip_stream_bandwidth, table3_rows
+
+GB = 1e9
+
+
+def parse_ratio(text: str) -> tuple[float, float]:
+    try:
+        read, write = text.split(":")
+        pair = float(read), float(write)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"ratio must look like '2:1', got {text!r}"
+        ) from None
+    if pair[0] < 0 or pair[1] < 0 or pair == (0.0, 0.0):
+        raise argparse.ArgumentTypeError(f"invalid ratio {text!r}")
+    return pair
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.stream",
+        description="STREAM bandwidth on the modelled E870.",
+    )
+    parser.add_argument("--ratio", type=parse_ratio, default=None,
+                        help="read:write byte ratio, e.g. 2:1")
+    parser.add_argument("--table3", action="store_true",
+                        help="print the full Table III ratio sweep")
+    parser.add_argument("--cores", type=int, default=None,
+                        help="cores on one chip (Figure 3 mode)")
+    parser.add_argument("--threads", type=int, default=8,
+                        help="threads per core (Figure 3 mode)")
+    args = parser.parse_args(argv)
+
+    system = e870()
+
+    if args.table3:
+        for row in table3_rows(system):
+            print(f"{row['read']:>4.0f}:{row['write']:<4.0f} "
+                  f"{row['bandwidth'] / GB:8.1f} GB/s")
+        return 0
+
+    if args.cores is not None:
+        bw = chip_stream_bandwidth(system.chip, args.cores, args.threads)
+        print(f"{args.cores} cores x {args.threads} threads: {bw / GB:.1f} GB/s")
+        return 0
+
+    if args.ratio is not None:
+        from ..perfmodel.stream_model import system_stream_bandwidth
+
+        bw = system_stream_bandwidth(system, 8, *args.ratio)
+        print(f"{args.ratio[0]:.0f}:{args.ratio[1]:.0f}  {bw / GB:.1f} GB/s")
+        return 0
+
+    kernels = StreamKernels(system, elements=1 << 16)
+    print(f"{'kernel':8} {'mix':>6} {'GB/s':>9}")
+    for result in kernels.all_classic():
+        print(f"{result.kernel:8} {result.read_ratio:>4.0f}:1 "
+              f"{result.modeled_bandwidth / GB:>9.1f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

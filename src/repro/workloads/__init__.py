@@ -1,0 +1,15 @@
+"""Workload generators: R-MAT graphs, synthetic SpMV matrix suite."""
+
+from .rmat import RMATConfig, degree_stats, rmat_adjacency, rmat_edges
+from .suitesparse import SUITE, MatrixSpec, by_name, generate
+
+__all__ = [
+    "SUITE",
+    "MatrixSpec",
+    "RMATConfig",
+    "by_name",
+    "degree_stats",
+    "generate",
+    "rmat_adjacency",
+    "rmat_edges",
+]

@@ -1,0 +1,97 @@
+"""Tests for spectral anomaly detection over the SpMV kernel."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.apps.spmv.anomaly import (
+    PowerIterationError,
+    dominant_singular_triplet,
+    spectral_anomaly_scores,
+)
+from repro.workloads.rmat import RMATConfig, rmat_adjacency
+
+
+def community_with_outlier(n_core=30, seed=3):
+    """A dense community plus one vertex wired to random strangers."""
+    rng = np.random.default_rng(seed)
+    n = n_core + 1
+    dense = np.zeros((n, n))
+    for i in range(n_core):
+        for j in range(i + 1, n_core):
+            if rng.random() < 0.6:
+                dense[i, j] = dense[j, i] = 1.0
+    # The outlier touches a few arbitrary community members sparsely.
+    outlier = n_core
+    for j in rng.choice(n_core, size=3, replace=False):
+        dense[outlier, j] = dense[j, outlier] = 1.0
+    return sp.csr_matrix(dense), outlier
+
+
+class TestSingularTriplet:
+    def test_matches_scipy_svds(self):
+        adj = rmat_adjacency(RMATConfig(scale=7, edge_factor=8, seed=1))
+        model = dominant_singular_triplet(adj, tol=1e-12)
+        ref_sigma = sp.linalg.svds(
+            adj.astype(np.float64), k=1, return_singular_vectors=False
+        )[0]
+        assert model.sigma == pytest.approx(float(ref_sigma), rel=1e-6)
+
+    def test_unit_vectors(self):
+        adj = rmat_adjacency(RMATConfig(scale=7, edge_factor=8, seed=1))
+        model = dominant_singular_triplet(adj)
+        assert np.linalg.norm(model.left) == pytest.approx(1.0)
+        assert np.linalg.norm(model.right) == pytest.approx(1.0)
+
+    def test_singular_relation(self):
+        """A v ~ sigma u at convergence."""
+        adj = rmat_adjacency(RMATConfig(scale=7, edge_factor=8, seed=2))
+        model = dominant_singular_triplet(adj, tol=1e-12)
+        lhs = adj @ model.right
+        np.testing.assert_allclose(lhs, model.sigma * model.left, atol=1e-5)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError, match="no edges"):
+            dominant_singular_triplet(sp.csr_matrix((4, 4)))
+
+    def test_iteration_budget(self):
+        adj = rmat_adjacency(RMATConfig(scale=7, edge_factor=8, seed=1))
+        with pytest.raises(PowerIterationError):
+            dominant_singular_triplet(adj, tol=1e-15, max_iterations=2)
+
+
+class TestAnomalyScores:
+    def test_outlier_scores_highest(self):
+        adj, outlier = community_with_outlier()
+        result = spectral_anomaly_scores(adj)
+        assert outlier in result.top(3)
+
+    def test_scores_nonnegative(self):
+        adj = rmat_adjacency(RMATConfig(scale=8, edge_factor=8, seed=1))
+        result = spectral_anomaly_scores(adj)
+        assert np.all(result.scores >= 0)
+        assert len(result.scores) == adj.shape[0]
+
+    def test_core_members_score_low(self):
+        adj, outlier = community_with_outlier()
+        result = spectral_anomaly_scores(adj)
+        core_scores = np.delete(result.scores, outlier)
+        assert result.scores[outlier] > np.median(core_scores)
+
+    def test_reconstruct_row(self):
+        adj, _ = community_with_outlier()
+        result = spectral_anomaly_scores(adj)
+        row0 = result.model.reconstruct_row(0)
+        assert row0.shape == (adj.shape[1],)
+
+    def test_top_validation(self):
+        adj, _ = community_with_outlier()
+        result = spectral_anomaly_scores(adj)
+        with pytest.raises(ValueError):
+            result.top(0)
+
+    def test_deterministic_given_seed(self):
+        adj = rmat_adjacency(RMATConfig(scale=7, edge_factor=8, seed=5))
+        a = spectral_anomaly_scores(adj, seed=4)
+        b = spectral_anomaly_scores(adj, seed=4)
+        np.testing.assert_array_equal(a.scores, b.scores)

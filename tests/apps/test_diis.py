@@ -1,0 +1,88 @@
+"""Tests for DIIS acceleration."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hf.basis import h_chain, h_ring
+from repro.apps.hf.diis import DIIS
+from repro.apps.hf.scf import SCFDriver
+
+
+class TestDIISMachinery:
+    def test_error_vector_antisymmetric(self):
+        rng = np.random.default_rng(0)
+        f = rng.standard_normal((4, 4))
+        f = f + f.T
+        d = rng.standard_normal((4, 4))
+        d = d + d.T
+        s = np.eye(4)
+        e = DIIS.error_vector(f, d, s)
+        np.testing.assert_allclose(e, -e.T, atol=1e-12)
+
+    def test_error_zero_when_commuting(self):
+        """[F, D] = 0 (orthogonal basis) means zero DIIS error."""
+        f = np.diag([1.0, 2.0, 3.0])
+        d = np.diag([1.0, 0.0, 0.0])
+        e = DIIS.error_vector(f, d, np.eye(3))
+        assert np.abs(e).max() < 1e-14
+
+    def test_no_extrapolation_until_min_vectors(self):
+        diis = DIIS(min_vectors=3)
+        f = np.eye(2)
+        diis.push(f, np.ones((2, 2)))
+        diis.push(f, np.ones((2, 2)) * 0.5)
+        assert diis.extrapolate() is None
+        diis.push(f, np.ones((2, 2)) * 0.1)
+        assert diis.extrapolate() is not None
+
+    def test_history_bounded(self):
+        diis = DIIS(max_vectors=3)
+        for i in range(10):
+            diis.push(np.eye(2) * i, np.ones((2, 2)) * (i + 1))
+        assert diis.size == 3
+
+    def test_coefficients_sum_to_one(self):
+        """Extrapolation is a proper affine combination: with identical
+        Fock matrices the result equals the input."""
+        diis = DIIS()
+        f = np.array([[2.0, 0.3], [0.3, 1.0]])
+        rng = np.random.default_rng(1)
+        for _ in range(4):
+            diis.push(f, rng.standard_normal((2, 2)))
+        np.testing.assert_allclose(diis.extrapolate(), f, atol=1e-8)
+
+    def test_reset(self):
+        diis = DIIS()
+        diis.push(np.eye(2), np.ones((2, 2)))
+        diis.reset()
+        assert diis.size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DIIS(max_vectors=1)
+        with pytest.raises(ValueError):
+            DIIS(max_vectors=4, min_vectors=5)
+
+
+class TestDIISInSCF:
+    @pytest.mark.parametrize("mol_factory", [lambda: h_chain(6), lambda: h_chain(8)])
+    def test_same_energy_fewer_iterations(self, mol_factory):
+        plain = SCFDriver(mol_factory(), convergence=1e-9).run()
+        accel = SCFDriver(mol_factory(), convergence=1e-9, accelerator="diis").run()
+        assert accel.energy == pytest.approx(plain.energy, abs=1e-7)
+        assert accel.iterations < plain.iterations
+
+    def test_ring_geometry(self):
+        plain = SCFDriver(h_ring(6), convergence=1e-9).run()
+        accel = SCFDriver(h_ring(6), convergence=1e-9, accelerator="diis").run()
+        assert accel.energy == pytest.approx(plain.energy, abs=1e-7)
+
+    def test_unknown_accelerator_rejected(self):
+        with pytest.raises(ValueError, match="accelerator"):
+            SCFDriver(h_chain(4), accelerator="magic")
+
+    def test_diis_composes_with_comp_mode(self):
+        mem = SCFDriver(h_chain(6), mode="mem", accelerator="diis").run()
+        comp = SCFDriver(h_chain(6), mode="comp", accelerator="diis").run()
+        assert mem.energy == pytest.approx(comp.energy, rel=1e-12)
+        assert mem.iterations == comp.iterations

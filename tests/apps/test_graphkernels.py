@@ -1,0 +1,111 @@
+"""Tests for the graph-analytics kernels built on two-scan SpMV."""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.apps.spmv.graphkernels import (
+    ConvergenceError,
+    hits,
+    pagerank,
+    random_walk_with_restart,
+)
+from repro.workloads.rmat import RMATConfig, rmat_adjacency
+
+
+@pytest.fixture(scope="module")
+def rmat():
+    return rmat_adjacency(RMATConfig(scale=8, edge_factor=8, seed=1))
+
+
+def star_graph(n):
+    """Vertex 0 connected to all others."""
+    rows = [0] * (n - 1) + list(range(1, n))
+    cols = list(range(1, n)) + [0] * (n - 1)
+    return sp.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(n, n))
+
+
+class TestPageRank:
+    def test_sums_to_one(self, rmat):
+        result = pagerank(rmat)
+        assert result.values.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(result.values > 0)
+
+    def test_matches_networkx(self, rmat):
+        result = pagerank(rmat, tol=1e-12)
+        g = nx.from_scipy_sparse_array(rmat)
+        ref = nx.pagerank(g, alpha=0.85, tol=1e-12, max_iter=1000)
+        refv = np.array([ref[i] for i in range(rmat.shape[0])])
+        np.testing.assert_allclose(result.values, refv, atol=1e-8)
+
+    def test_star_center_dominates(self):
+        result = pagerank(star_graph(20))
+        assert np.argmax(result.values) == 0
+        assert result.values[0] > 5 * result.values[1]
+
+    def test_dangling_mass_conserved(self):
+        # A directed chain: vertex 2 has no out-edges.
+        adj = sp.csr_matrix(np.array([[0, 1, 0], [0, 0, 1], [0, 0, 0]], dtype=float))
+        result = pagerank(adj)
+        assert result.values.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_validation(self, rmat):
+        with pytest.raises(ValueError):
+            pagerank(rmat, damping=1.5)
+        with pytest.raises(ConvergenceError):
+            pagerank(rmat, tol=1e-16, max_iterations=2)
+
+
+class TestRWR:
+    def test_seed_scores_highest(self, rmat):
+        result = random_walk_with_restart(rmat, seed_vertex=5)
+        assert np.argmax(result.values) == 5
+
+    def test_scores_sum_to_one(self, rmat):
+        result = random_walk_with_restart(rmat, seed_vertex=0)
+        assert result.values.sum() == pytest.approx(1.0, abs=1e-8)
+
+    def test_proximity_decays_on_path(self):
+        n = 12
+        rows = list(range(n - 1)) + list(range(1, n))
+        cols = list(range(1, n)) + list(range(n - 1))
+        path = sp.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(n, n))
+        result = random_walk_with_restart(path, seed_vertex=0)
+        # Scores decay monotonically with distance from the seed.
+        assert all(result.values[i] > result.values[i + 2] for i in range(0, n - 2, 2))
+
+    def test_validation(self, rmat):
+        with pytest.raises(ValueError):
+            random_walk_with_restart(rmat, seed_vertex=-1)
+        with pytest.raises(ValueError):
+            random_walk_with_restart(rmat, 0, restart=0.0)
+
+
+class TestHITS:
+    def test_matches_networkx(self, rmat):
+        hubs, auths = hits(rmat, tol=1e-12)
+        g = nx.from_scipy_sparse_array(rmat, create_using=nx.DiGraph)
+        ref_h, ref_a = nx.hits(g, max_iter=1000, tol=1e-12)
+        ref_hv = np.array([ref_h[i] for i in range(rmat.shape[0])])
+        # networkx normalises to sum 1; we normalise to unit L2 norm.
+        np.testing.assert_allclose(
+            hubs.values / hubs.values.sum(), ref_hv, atol=1e-6
+        )
+
+    def test_symmetric_graph_hubs_equal_authorities(self, rmat):
+        hubs, auths = hits(rmat, tol=1e-12)
+        np.testing.assert_allclose(hubs.values, auths.values, atol=1e-6)
+
+    def test_unit_norm(self, rmat):
+        hubs, auths = hits(rmat)
+        assert np.linalg.norm(hubs.values) == pytest.approx(1.0)
+        assert np.linalg.norm(auths.values) == pytest.approx(1.0)
+
+    def test_star_graph(self):
+        hubs, auths = hits(star_graph(10))
+        assert np.argmax(auths.values) == 0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError, match="no edges"):
+            hits(sp.csr_matrix((4, 4)))

@@ -1,0 +1,134 @@
+"""Correctness tests for the Gaussian integral engine."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hf.basis import contracted_s, h2, helium
+from repro.apps.hf.integrals import (
+    boys_f0,
+    core_hamiltonian,
+    eri_ssss,
+    eri_tensor,
+    kinetic,
+    nuclear_attraction,
+    overlap,
+    overlap_matrix,
+)
+
+
+def primitive(center, alpha):
+    """A single normalised primitive s Gaussian."""
+    return contracted_s(center, [(alpha, 1.0)])
+
+
+class TestBoysFunction:
+    def test_at_zero(self):
+        assert boys_f0(0.0) == pytest.approx(1.0)
+
+    def test_series_matches_erf_branch(self):
+        # Continuity across the small-t switch.
+        assert boys_f0(1e-12) == pytest.approx(boys_f0(1e-11), rel=1e-6)
+
+    def test_known_value(self):
+        # F0(1) = (sqrt(pi)/2) * erf(1) ~ 0.7468
+        assert boys_f0(1.0) == pytest.approx(0.746824, rel=1e-5)
+
+    def test_vectorised(self):
+        ts = np.array([0.0, 0.5, 2.0])
+        out = boys_f0(ts)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) < 0)  # strictly decreasing
+
+    def test_large_t_asymptote(self):
+        t = 100.0
+        assert boys_f0(t) == pytest.approx(0.5 * np.sqrt(np.pi / t), rel=1e-6)
+
+
+class TestOverlap:
+    def test_self_overlap_normalised(self):
+        g = primitive((0, 0, 0), 1.3)
+        assert overlap(g, g) == pytest.approx(1.0, rel=1e-10)
+
+    def test_decays_with_distance(self):
+        a = primitive((0, 0, 0), 1.0)
+        values = [overlap(a, primitive((0, 0, z), 1.0)) for z in (0.0, 1.0, 2.0, 4.0)]
+        assert values[0] == pytest.approx(1.0)
+        assert all(x > y for x, y in zip(values, values[1:]))
+
+    def test_symmetric(self):
+        a = primitive((0, 0, 0), 0.8)
+        b = primitive((0.5, 0.3, 0.1), 2.0)
+        assert overlap(a, b) == pytest.approx(overlap(b, a))
+
+    def test_contracted_sto3g_normalised(self):
+        mol = h2()
+        s = overlap_matrix(mol)
+        assert s[0, 0] == pytest.approx(1.0, rel=1e-6)
+        assert s[1, 1] == pytest.approx(1.0, rel=1e-6)
+        # Known STO-3G H2 overlap at R=1.4 bohr (Szabo & Ostlund): 0.6593
+        assert s[0, 1] == pytest.approx(0.6593, abs=2e-3)
+
+
+class TestKinetic:
+    def test_primitive_self_value(self):
+        """<g|T|g> = 3*alpha/2 for a normalised primitive s Gaussian."""
+        alpha = 0.9
+        g = primitive((0, 0, 0), alpha)
+        assert kinetic(g, g) == pytest.approx(1.5 * alpha, rel=1e-10)
+
+    def test_h2_sto3g_value(self):
+        mol = h2()
+        h = np.array([[kinetic(a, b) for b in mol.basis] for a in mol.basis])
+        # Szabo & Ostlund Table 3.5: T11 = 0.7600, T12 = 0.2365
+        assert h[0, 0] == pytest.approx(0.7600, abs=2e-3)
+        assert h[0, 1] == pytest.approx(0.2365, abs=2e-3)
+
+
+class TestNuclearAttraction:
+    def test_negative(self):
+        mol = helium()
+        g = mol.basis[0]
+        assert nuclear_attraction(g, g, mol) < 0
+
+    def test_h2_core_hamiltonian(self):
+        """Szabo & Ostlund Table 3.5: Hcore_11 = -1.1204, Hcore_12 = -0.9584."""
+        mol = h2()
+        h = core_hamiltonian(mol)
+        assert h[0, 0] == pytest.approx(-1.1204, abs=3e-3)
+        assert h[0, 1] == pytest.approx(-0.9584, abs=3e-3)
+        assert h[0, 0] == pytest.approx(h[1, 1], rel=1e-10)  # symmetry
+
+
+class TestERI:
+    def test_h2_sto3g_values(self):
+        """Szabo & Ostlund Table 3.6 two-electron integrals for H2."""
+        mol = h2()
+        b = mol.basis
+        assert eri_ssss(b[0], b[0], b[0], b[0]) == pytest.approx(0.7746, abs=2e-3)
+        assert eri_ssss(b[0], b[0], b[1], b[1]) == pytest.approx(0.5697, abs=2e-3)
+        assert eri_ssss(b[1], b[0], b[0], b[0]) == pytest.approx(0.4441, abs=2e-3)
+        assert eri_ssss(b[1], b[0], b[1], b[0]) == pytest.approx(0.2970, abs=2e-3)
+
+    def test_positive_diagonal(self):
+        mol = h2()
+        for g in mol.basis:
+            assert eri_ssss(g, g, g, g) > 0
+
+    def test_eight_fold_symmetry(self):
+        mol = h2()
+        t = eri_tensor(mol)
+        n = mol.nbf
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    for l in range(n):
+                        v = t[i, j, k, l]
+                        assert t[j, i, k, l] == pytest.approx(v)
+                        assert t[i, j, l, k] == pytest.approx(v)
+                        assert t[k, l, i, j] == pytest.approx(v)
+
+    def test_tensor_matches_direct_evaluation(self):
+        mol = h2()
+        t = eri_tensor(mol)
+        b = mol.basis
+        assert t[0, 1, 1, 0] == pytest.approx(eri_ssss(b[0], b[1], b[1], b[0]))

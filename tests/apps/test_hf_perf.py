@@ -1,0 +1,95 @@
+"""Table V/VI model tests: molecule catalogue and HF timing estimates."""
+
+import pytest
+
+from repro.apps.hf.molecules import MoleculeRecord, by_name, table5_catalogue
+from repro.apps.hf.perf import HFPerfModel
+from repro.engine.clock import SimClock
+from repro.reporting import paper_values as paper
+from repro.reporting.compare import within_factor
+
+
+class TestTable5Catalogue:
+    def test_all_five_molecules(self):
+        names = [m.name for m in table5_catalogue()]
+        assert names == ["alkane-842", "graphene-252", "5-mer", "1hsg-28", "1hsg-38"]
+
+    @pytest.mark.parametrize("record", table5_catalogue(), ids=lambda r: r.name)
+    def test_matches_paper_statistics(self, record):
+        row = paper.TABLE5[record.name]
+        assert record.atoms == row["atoms"]
+        assert record.basis_functions == row["functions"]
+        assert record.nonscreened_eris == row["eris"]
+        assert record.memory_gb == row["memory_gb"]
+
+    @pytest.mark.parametrize("record", table5_catalogue(), ids=lambda r: r.name)
+    def test_bytes_per_eri_consistent(self, record):
+        """All five rows imply the same packed-storage cost (~7.4 B)."""
+        assert record.bytes_per_eri == pytest.approx(7.45, abs=0.05)
+
+    @pytest.mark.parametrize("record", table5_catalogue(), ids=lambda r: r.name)
+    def test_screening_survival_small(self, record):
+        assert record.screening_survival < 0.07
+
+    def test_by_name(self):
+        assert by_name("5-mer").atoms == 326
+        with pytest.raises(KeyError):
+            by_name("caffeine")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MoleculeRecord("bad", 0, 10, 1e9, 1.0, 5)
+        with pytest.raises(ValueError):
+            MoleculeRecord("bad", 10, 10, -1e9, 1.0, 5)
+
+
+@pytest.fixture(scope="module")
+def model(e870_system):
+    return HFPerfModel(e870_system)
+
+
+class TestTable6Shape:
+    @pytest.mark.parametrize("record", table5_catalogue(), ids=lambda r: r.name)
+    def test_speedup_band(self, model, record):
+        """HF-Mem wins by 3-6.5x, bracketing the paper's 3.0-5.3x."""
+        t = model.estimate(record)
+        assert 2.5 < t.speedup < 7.0
+
+    @pytest.mark.parametrize("record", table5_catalogue(), ids=lambda r: r.name)
+    def test_phase_times_within_factor_of_paper(self, model, record):
+        t = model.estimate(record)
+        p = paper.TABLE6[record.name]
+        assert within_factor(t.precompute, p["precomp"], 1.35)
+        assert within_factor(t.fock_per_iteration, p["fock"], 1.5)
+        assert within_factor(t.density_per_iteration, p["density"], 2.0)
+        assert within_factor(t.hf_comp_total, p["hf_comp"], 1.35)
+        assert within_factor(t.hf_mem_total, p["hf_mem"], 1.35)
+
+    def test_alkane_has_slowest_density(self, model):
+        """alkane-842 has the largest basis (6,730) -> longest Density."""
+        rows = {t.molecule: t for t in model.table6()}
+        alkane = rows["alkane-842"].density_per_iteration
+        assert all(
+            alkane >= t.density_per_iteration for t in rows.values()
+        )
+
+    def test_precomp_roughly_one_hfcomp_iteration(self, model):
+        """HF-Comp pays ~the Precomp cost every iteration (the paper's
+        numbers show HF-Comp ~ iters x Precomp)."""
+        for t in model.table6():
+            per_iter = t.hf_comp_total / t.iterations
+            assert within_factor(per_iter, t.precompute, 1.5)
+
+    def test_fock_is_much_cheaper_than_precomp(self, model):
+        for t in model.table6():
+            assert t.fock_per_iteration < 0.25 * t.precompute
+
+    def test_clock_integration(self, model):
+        clock = SimClock()
+        t = model.estimate(by_name("1hsg-28"), clock=clock)
+        assert clock.elapsed == pytest.approx(t.hf_mem_total)
+        assert clock.phase_time("1hsg-28:hf-mem") == pytest.approx(t.hf_mem_total)
+
+    def test_table6_ordering(self, model):
+        names = [t.molecule for t in model.table6()]
+        assert names == [m.name for m in table5_catalogue()]

@@ -1,0 +1,157 @@
+"""SCF correctness: textbook energies, HF-Comp == HF-Mem, screening."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hf.basis import Atom, Molecule, h2, h_chain, h_ring, helium
+from repro.apps.hf.scf import SCFConvergenceError, SCFDriver, run_rhf
+from repro.apps.hf.screening import SchwarzScreening
+
+
+class TestTextbookEnergies:
+    def test_h2_sto3g(self):
+        """E_RHF(H2, STO-3G, R=1.4) = -1.1167 hartree (Szabo & Ostlund)."""
+        res = run_rhf(h2())
+        assert res.converged
+        assert res.energy == pytest.approx(-1.1167, abs=2e-3)
+
+    def test_helium_sto3g(self):
+        """E_RHF(He, STO-3G) = -2.8078 hartree."""
+        res = run_rhf(helium())
+        assert res.energy == pytest.approx(-2.8078, abs=2e-3)
+
+    def test_h2_electronic_plus_nuclear(self):
+        res = run_rhf(h2())
+        assert res.nuclear_repulsion == pytest.approx(1.0 / 1.4)
+        assert res.energy == pytest.approx(
+            res.electronic_energy + res.nuclear_repulsion
+        )
+
+    def test_h2_orbital_count(self):
+        res = run_rhf(h2())
+        assert len(res.orbital_energies) == 2
+        # Bonding orbital below zero, antibonding above it.
+        assert res.orbital_energies[0] < 0 < res.orbital_energies[1]
+
+    def test_stretched_h2_higher_energy(self):
+        near = run_rhf(h2(1.4)).energy
+        far = run_rhf(h2(3.0)).energy
+        assert far > near
+
+
+class TestCompVsMem:
+    """HF-Comp and HF-Mem are the same math: results must be identical."""
+
+    @pytest.mark.parametrize("mol_factory", [h2, helium, lambda: h_chain(4)])
+    def test_identical_energy_and_iterations(self, mol_factory):
+        mem = run_rhf(mol_factory(), mode="mem")
+        comp = run_rhf(mol_factory(), mode="comp")
+        assert mem.energy == pytest.approx(comp.energy, rel=1e-12)
+        assert mem.iterations == comp.iterations
+        np.testing.assert_allclose(mem.density, comp.density, atol=1e-12)
+
+    def test_comp_recomputes_each_iteration(self):
+        driver = SCFDriver(h_chain(4), mode="comp")
+        result = driver.run()
+        assert driver.eri_evaluations == result.iterations
+
+    def test_mem_computes_once(self):
+        driver = SCFDriver(h_chain(4), mode="mem")
+        driver.run()
+        assert driver.eri_evaluations == 1
+
+
+class TestScreening:
+    def test_screening_preserves_energy(self):
+        loose = run_rhf(h_chain(6), screening_tolerance=1e-9)
+        none = run_rhf(h_chain(6), screening_tolerance=None)
+        assert loose.energy == pytest.approx(none.energy, abs=1e-6)
+
+    def test_aggressive_screening_drops_integrals(self):
+        mol = h_chain(8, spacing=2.2)
+        tight = SchwarzScreening(mol, tolerance=1e-10)
+        aggressive = SchwarzScreening(mol, tolerance=1e-3)
+        assert aggressive.surviving_count() < tight.surviving_count()
+
+    def test_schwarz_bound_is_valid(self):
+        """No computed ERI may exceed its Schwarz bound."""
+        from repro.apps.hf.integrals import eri_ssss
+
+        mol = h_chain(4)
+        scr = SchwarzScreening(mol)
+        b = mol.basis
+        n = mol.nbf
+        rng = np.random.default_rng(1)
+        for _ in range(40):
+            i, j, k, l = rng.integers(0, n, 4)
+            val = abs(eri_ssss(b[i], b[j], b[k], b[l]))
+            assert val <= scr.bound(i, j, k, l) * (1 + 1e-9)
+
+    def test_survival_fraction_below_one_for_spread_chain(self):
+        mol = h_chain(10, spacing=3.0)
+        scr = SchwarzScreening(mol, tolerance=1e-6)
+        assert 0.0 < scr.survival_fraction() < 1.0
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            SchwarzScreening(h2(), tolerance=0.0)
+
+
+class TestSCFMachinery:
+    def test_rejects_odd_electrons(self):
+        mol = Molecule("H1", [Atom("H", (0, 0, 0))])
+        with pytest.raises(ValueError, match="even electron"):
+            SCFDriver(mol)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            SCFDriver(h2(), mode="magic")
+
+    def test_convergence_error(self):
+        with pytest.raises(SCFConvergenceError):
+            SCFDriver(h_chain(6), max_iterations=1, convergence=1e-14).run()
+
+    def test_no_raise_mode(self):
+        res = SCFDriver(h_chain(6), max_iterations=1, convergence=1e-14).run(
+            raise_on_failure=False
+        )
+        assert not res.converged
+        assert res.iterations == 1
+
+    def test_energy_history_recorded(self):
+        res = run_rhf(h_chain(4))
+        assert len(res.energy_history) == res.iterations
+        # Converged tail is flat.
+        assert res.energy_history[-1] == pytest.approx(res.energy, abs=1e-4)
+
+    def test_density_trace_equals_occupied(self):
+        """Tr(D S) = number of occupied orbitals for RHF."""
+        from repro.apps.hf.integrals import overlap_matrix
+
+        mol = h_chain(4)
+        res = run_rhf(mol)
+        s = overlap_matrix(mol)
+        assert np.trace(res.density @ s) == pytest.approx(mol.num_electrons / 2, rel=1e-8)
+
+    def test_ring_geometry_runs(self):
+        res = run_rhf(h_ring(4))
+        assert res.converged
+
+
+class TestGeometryBuilders:
+    def test_chain_validation(self):
+        with pytest.raises(ValueError):
+            h_chain(3)
+
+    def test_ring_validation(self):
+        with pytest.raises(ValueError):
+            h_ring(5)
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(ValueError, match="s-only"):
+            Molecule("Li", [Atom("Li", (0, 0, 0))]).atoms[0].charge
+
+    def test_coincident_nuclei_rejected(self):
+        mol = Molecule("bad", [Atom("H", (0, 0, 0)), Atom("H", (0, 0, 0))])
+        with pytest.raises(ValueError, match="coincident"):
+            mol.nuclear_repulsion()

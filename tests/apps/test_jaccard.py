@@ -1,0 +1,139 @@
+"""Correctness tests for all-pairs Jaccard similarity."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.apps.jaccard import (
+    all_pairs_jaccard,
+    all_pairs_jaccard_blocked,
+    jaccard_blocks,
+    jaccard_reference,
+    spgemm_flops,
+    top_k_reducer,
+)
+from repro.workloads.rmat import RMATConfig, rmat_adjacency
+
+
+def path_graph(n):
+    rows = list(range(n - 1)) + list(range(1, n))
+    cols = list(range(1, n)) + list(range(n - 1))
+    return sp.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(n, n))
+
+
+def complete_graph(n):
+    dense = np.ones((n, n)) - np.eye(n)
+    return sp.csr_matrix(dense)
+
+
+class TestKnownGraphs:
+    def test_triangle(self):
+        """In K3, every pair shares exactly one neighbour of a 2-union."""
+        res = all_pairs_jaccard(complete_graph(3))
+        assert res.pair(0, 1) == pytest.approx(1.0 / 3.0)
+        assert res.pair(1, 2) == pytest.approx(1.0 / 3.0)
+
+    def test_complete_graph(self):
+        n = 6
+        res = all_pairs_jaccard(complete_graph(n))
+        # i and j share n-2 neighbours; union is all n vertices.
+        expected = (n - 2) / n
+        assert res.pair(0, 5) == pytest.approx(expected)
+
+    def test_path_graph_second_neighbours(self):
+        res = all_pairs_jaccard(path_graph(5))
+        # Vertices 0 and 2 share neighbour 1; union = {1} | {1,3} = 2.
+        assert res.pair(0, 2) == pytest.approx(0.5)
+        # Adjacent path vertices share no neighbours.
+        assert res.pair(0, 1) == 0.0
+
+    def test_diagonal_is_one_for_non_isolated(self):
+        res = all_pairs_jaccard(complete_graph(4))
+        for v in range(4):
+            assert res.pair(v, v) == pytest.approx(1.0)
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_rmat_matches_brute_force(self, seed):
+        adj = rmat_adjacency(RMATConfig(scale=6, edge_factor=4, seed=seed))
+        res = all_pairs_jaccard(adj)
+        ref = jaccard_reference(adj)
+        got = {
+            (i, j): res.similarity[i, j]
+            for i, j in zip(*res.similarity.nonzero())
+        }
+        assert set(got) == set(ref)
+        for key, val in ref.items():
+            assert got[key] == pytest.approx(val), key
+
+
+class TestValidation:
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            all_pairs_jaccard(sp.csr_matrix((3, 4)))
+
+    def test_rejects_asymmetric(self):
+        m = sp.csr_matrix(np.triu(np.ones((4, 4)), 1))
+        with pytest.raises(ValueError, match="symmetric"):
+            all_pairs_jaccard(m)
+
+    def test_self_loops_dropped(self):
+        m = complete_graph(3).tolil()
+        m[0, 0] = 1.0
+        res = all_pairs_jaccard(m.tocsr())
+        assert res.pair(0, 1) == pytest.approx(1.0 / 3.0)
+
+
+class TestFootprint:
+    def test_output_larger_than_input(self):
+        """The Figure 10 phenomenon at miniature scale."""
+        adj = rmat_adjacency(RMATConfig(scale=10, edge_factor=8, seed=1))
+        res = all_pairs_jaccard(adj)
+        input_bytes = adj.data.nbytes + adj.indices.nbytes + adj.indptr.nbytes
+        assert res.output_bytes > 3 * input_bytes
+
+    def test_spgemm_flops(self):
+        adj = complete_graph(4)
+        # Every vertex has degree 3: 2 * 4 * 9 = 72 flops.
+        assert spgemm_flops(adj) == 72.0
+
+
+class TestBlocked:
+    def test_blocked_equals_direct(self):
+        adj = rmat_adjacency(RMATConfig(scale=7, edge_factor=4, seed=2))
+        direct = all_pairs_jaccard(adj)
+        blocked = all_pairs_jaccard_blocked(adj, block_cols=13)
+        diff = (direct.similarity - blocked.similarity)
+        assert abs(diff).max() < 1e-12
+
+    def test_block_boundaries(self):
+        adj = complete_graph(10)
+        spans = [(s, e) for s, e, _ in jaccard_blocks(adj, block_cols=4)]
+        assert spans == [(0, 4), (4, 8), (8, 10)]
+
+    def test_streaming_reducer_mode_returns_none(self):
+        adj = complete_graph(5)
+        seen = []
+        out = all_pairs_jaccard_blocked(adj, 2, reducer=lambda s, e, b: seen.append((s, e)))
+        assert out is None
+        assert seen == [(0, 2), (2, 4), (4, 5)]
+
+    def test_top_k_reducer(self):
+        adj = path_graph(6)
+        reducer, results = top_k_reducer(k=2)
+        all_pairs_jaccard_blocked(adj, block_cols=3, reducer=reducer)
+        # Vertex 2's most similar non-self vertices: 0 (J=1/2, sharing
+        # neighbour 1 of union {1,3}) and 4 (J=1/3, sharing 3 of {1,3,5}).
+        top = dict((v, val) for val, v in results[2])
+        assert set(top) == {0, 4}
+        assert top[0] == pytest.approx(0.5)
+        assert top[4] == pytest.approx(1.0 / 3.0)
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError):
+            top_k_reducer(0)
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ValueError):
+            list(jaccard_blocks(complete_graph(4), block_cols=0))

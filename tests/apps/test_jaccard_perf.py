@@ -1,0 +1,44 @@
+"""Figure 10 model tests: time/memory extrapolation for Jaccard."""
+
+import pytest
+
+from repro.apps.jaccard.perf import JaccardPerfModel
+
+
+@pytest.fixture(scope="module")
+def model(e870_system):
+    return JaccardPerfModel(e870_system, sample_scales=(8, 9, 10, 11))
+
+
+class TestFig10Shape:
+    def test_time_grows_with_scale(self, model):
+        times = [model.estimate(s).time_seconds for s in range(17, 24)]
+        assert times == sorted(times)
+        assert times[-1] > 5 * times[0]
+
+    def test_output_dwarfs_input(self, model):
+        """The paper's core observation for Figure 10."""
+        for s in range(17, 24):
+            p = model.estimate(s)
+            assert p.output_to_input_ratio > 10.0
+
+    def test_ratio_grows_with_scale(self, model):
+        ratios = [model.estimate(s).output_to_input_ratio for s in range(17, 24)]
+        assert ratios == sorted(ratios)
+
+    def test_extrapolation_consistent_with_samples(self, model, e870_system):
+        """Re-fitting on a superset barely changes the estimates."""
+        wider = JaccardPerfModel(e870_system, sample_scales=(8, 9, 10, 11, 12))
+        a = model.estimate(17)
+        b = wider.estimate(17)
+        assert a.output_bytes == pytest.approx(b.output_bytes, rel=0.5)
+
+    def test_curve_helper(self, model):
+        points = model.fig10_curve(range(17, 20))
+        assert [p.scale for p in points] == [17, 18, 19]
+
+    def test_validation(self, model, e870_system):
+        with pytest.raises(ValueError):
+            model.estimate(0)
+        with pytest.raises(ValueError):
+            JaccardPerfModel(e870_system, sample_scales=(10,))

@@ -1,0 +1,115 @@
+"""Tests for MinHash/LSH approximate Jaccard."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.apps.jaccard import (
+    all_pairs_jaccard,
+    approximate_all_pairs,
+    lsh_candidate_pairs,
+    minhash_signatures,
+)
+from repro.workloads.rmat import RMATConfig, rmat_adjacency
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_adjacency(RMATConfig(scale=8, edge_factor=8, seed=1))
+
+
+@pytest.fixture(scope="module")
+def sigs(graph):
+    return minhash_signatures(graph, num_hashes=256, seed=3)
+
+
+class TestSignatures:
+    def test_shape(self, graph, sigs):
+        assert sigs.signatures.shape == (graph.shape[0], 256)
+
+    def test_identical_sets_estimate_one(self, sigs, graph):
+        v = int(np.argmax(np.diff(graph.indptr)))  # a well-connected vertex
+        assert sigs.estimate(v, v) == 1.0
+
+    def test_estimates_in_unit_interval(self, sigs):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            i, j = rng.integers(0, sigs.num_vertices, 2)
+            assert 0.0 <= sigs.estimate(int(i), int(j)) <= 1.0
+
+    def test_unbiased_against_exact(self, graph, sigs):
+        """Mean estimation error over sampled connected pairs is small."""
+        exact = all_pairs_jaccard(graph).similarity.tocoo()
+        rng = np.random.default_rng(1)
+        idx = rng.choice(len(exact.data), size=150, replace=False)
+        errors = [
+            abs(sigs.estimate(int(exact.row[k]), int(exact.col[k])) - exact.data[k])
+            for k in idx
+        ]
+        assert np.mean(errors) < 0.05
+        assert max(errors) < 0.20
+
+    def test_more_hashes_reduce_error(self, graph):
+        exact = all_pairs_jaccard(graph).similarity.tocoo()
+        rng = np.random.default_rng(2)
+        idx = rng.choice(len(exact.data), size=100, replace=False)
+
+        def mean_err(num_hashes):
+            s = minhash_signatures(graph, num_hashes, seed=5)
+            return np.mean(
+                [abs(s.estimate(int(exact.row[k]), int(exact.col[k])) - exact.data[k])
+                 for k in idx]
+            )
+
+        assert mean_err(512) < mean_err(32)
+
+    def test_deterministic(self, graph):
+        a = minhash_signatures(graph, 64, seed=9)
+        b = minhash_signatures(graph, 64, seed=9)
+        assert np.array_equal(a.signatures, b.signatures)
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            minhash_signatures(graph, 0)
+
+
+class TestLSH:
+    def test_high_similarity_pairs_found(self):
+        """Twin vertices (identical neighbourhoods) must be candidates."""
+        n = 20
+        dense = np.zeros((n, n))
+        # Vertices 0 and 1 share the identical neighbour set {2..8}.
+        for v in (0, 1):
+            for u in range(2, 9):
+                dense[v, u] = dense[u, v] = 1
+        dense[10, 11] = dense[11, 10] = 1  # an unrelated edge
+        adj = sp.csr_matrix(dense)
+        sigs = minhash_signatures(adj, 128, seed=1)
+        pairs = lsh_candidate_pairs(sigs, bands=32)
+        assert (0, 1) in pairs
+
+    def test_bands_must_divide(self, sigs):
+        with pytest.raises(ValueError, match="divide"):
+            lsh_candidate_pairs(sigs, bands=7)
+
+    def test_filtering_reduces_pairs(self, graph, sigs):
+        n = graph.shape[0]
+        pairs = lsh_candidate_pairs(sigs, bands=8)  # long bands: selective
+        assert len(pairs) < n * (n - 1) / 2 / 4
+
+
+class TestApproximateAllPairs:
+    def test_reported_pairs_meet_threshold(self, graph):
+        approx = approximate_all_pairs(graph, num_hashes=128, bands=16, threshold=0.4)
+        assert all(v >= 0.4 for v in approx.values())
+
+    def test_high_pairs_are_really_similar(self, graph):
+        approx = approximate_all_pairs(graph, num_hashes=256, bands=32, threshold=0.6)
+        exact = all_pairs_jaccard(graph)
+        for (i, j), est in approx.items():
+            true = exact.pair(i, j)
+            assert true > 0.3, (i, j, est, true)
+
+    def test_threshold_validation(self, graph):
+        with pytest.raises(ValueError):
+            approximate_all_pairs(graph, threshold=1.5)

@@ -1,0 +1,102 @@
+"""Tests for McWeeny/canonical purification (the spectral projector)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hf import h_chain, helium, run_rhf
+from repro.apps.hf.integrals import core_hamiltonian, eri_tensor, overlap_matrix
+from repro.apps.hf.purification import (
+    PurificationError,
+    density_via_purification,
+    idempotency_error,
+    mcweeny_purify,
+    occupied_count,
+)
+from repro.apps.hf.scf import build_fock, density_from_fock
+
+
+@pytest.fixture(scope="module")
+def converged():
+    mol = h_chain(6)
+    res = run_rhf(mol)
+    s = overlap_matrix(mol)
+    fock = build_fock(core_hamiltonian(mol), eri_tensor(mol), res.density)
+    return mol, res, s, fock
+
+
+class TestIdempotency:
+    def test_scf_density_is_a_projector(self, converged):
+        _, res, s, _ = converged
+        assert idempotency_error(res.density, s) < 1e-10
+
+    def test_occupied_count(self, converged):
+        mol, res, s, _ = converged
+        assert occupied_count(res.density, s) == pytest.approx(
+            mol.num_electrons / 2, abs=1e-8
+        )
+
+    def test_random_matrix_not_idempotent(self):
+        rng = np.random.default_rng(0)
+        d = rng.standard_normal((4, 4))
+        assert idempotency_error(d, np.eye(4)) > 0.1
+
+
+class TestMcWeeny:
+    def test_projector_is_fixed_point(self, converged):
+        _, res, s, _ = converged
+        out = mcweeny_purify(res.density, s)
+        assert out.iterations == 0
+        np.testing.assert_allclose(out.density, res.density, atol=1e-10)
+
+    def test_restores_perturbed_density(self, converged):
+        _, res, s, _ = converged
+        rng = np.random.default_rng(1)
+        noise = rng.standard_normal(res.density.shape) * 1e-4
+        noisy = res.density + (noise + noise.T) / 2
+        out = mcweeny_purify(noisy, s)
+        assert out.idempotency_error < 1e-12
+        assert occupied_count(out.density, s) == pytest.approx(3.0, abs=1e-6)
+
+    def test_larger_perturbation_takes_more_iterations(self, converged):
+        _, res, s, _ = converged
+        rng = np.random.default_rng(2)
+        noise = rng.standard_normal(res.density.shape)
+        noise = (noise + noise.T) / 2
+        small = mcweeny_purify(res.density + 1e-6 * noise, s)
+        large = mcweeny_purify(res.density + 1e-3 * noise, s)
+        assert large.iterations >= small.iterations
+
+    def test_diverges_outside_basin(self):
+        # Eigenvalues far outside (-0.5, 1.5) must not silently "converge".
+        d = np.diag([5.0, -3.0])
+        with pytest.raises(PurificationError):
+            mcweeny_purify(d, np.eye(2), max_iterations=30)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mcweeny_purify(np.eye(3), np.eye(4))
+
+
+class TestDensityViaPurification:
+    def test_matches_eigensolver(self, converged):
+        mol, _, s, fock = converged
+        d_eig, _ = density_from_fock(fock, s, mol.num_electrons // 2)
+        out = density_via_purification(fock, s, mol.num_electrons // 2)
+        np.testing.assert_allclose(out.density, d_eig, atol=1e-8)
+
+    def test_helium(self):
+        mol = helium()
+        res = run_rhf(mol)
+        s = overlap_matrix(mol)
+        fock = build_fock(core_hamiltonian(mol), eri_tensor(mol), res.density)
+        out = density_via_purification(fock, s, 1)
+        d_eig, _ = density_from_fock(fock, s, 1)
+        np.testing.assert_allclose(out.density, d_eig, atol=1e-8)
+
+    def test_result_is_projector_with_right_trace(self, converged):
+        mol, _, s, fock = converged
+        out = density_via_purification(fock, s, mol.num_electrons // 2)
+        assert out.idempotency_error < 1e-8
+        assert occupied_count(out.density, s) == pytest.approx(
+            mol.num_electrons / 2, abs=1e-6
+        )

@@ -1,0 +1,163 @@
+"""Correctness tests for the CSR and two-scan SpMV implementations."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.apps.spmv import (
+    CSRSpMV,
+    ReplicatedVector,
+    TwoScanSpMV,
+    imbalance,
+    partition_rows,
+)
+from repro.workloads.rmat import RMATConfig, rmat_adjacency
+from repro.workloads.suitesparse import by_name, generate
+
+
+def random_csr(n, density, seed):
+    rng = np.random.default_rng(seed)
+    return sp.random(n, n, density=density, random_state=rng, format="csr")
+
+
+class TestPartition:
+    def test_covers_all_rows(self):
+        m = random_csr(100, 0.05, 1)
+        parts = partition_rows(m, 8)
+        assert parts[0].row_start == 0
+        assert parts[-1].row_end == 100
+        for a, b in zip(parts, parts[1:]):
+            assert a.row_end == b.row_start
+
+    def test_nnz_accounting(self):
+        m = random_csr(200, 0.05, 2)
+        parts = partition_rows(m, 4)
+        assert sum(p.nnz for p in parts) == m.nnz
+
+    def test_balance_on_uniform_matrix(self):
+        m = sp.eye(1000, format="csr")
+        parts = partition_rows(m, 10)
+        assert imbalance(parts) < 1.05
+
+    def test_balances_skewed_matrix(self):
+        """A matrix with one dense row block still splits nnz evenly."""
+        n = 400
+        dense_rows = sp.vstack(
+            [sp.csr_matrix(np.ones((20, n))), sp.random(n - 20, n, 0.01, format="csr", random_state=np.random.default_rng(1))]
+        ).tocsr()
+        parts = partition_rows(dense_rows, 8)
+        assert imbalance(parts) < 2.0
+
+    def test_socket_assignment(self):
+        m = random_csr(64, 0.1, 3)
+        parts = partition_rows(m, 8, threads_per_socket=2)
+        assert [p.socket for p in parts] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_more_threads_than_rows(self):
+        m = sp.eye(4, format="csr")
+        parts = partition_rows(m, 16)
+        assert sum(p.rows for p in parts) == 4
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            partition_rows(sp.eye(4, format="csr"), 0)
+
+
+class TestReplicatedVector:
+    def test_one_copy_per_socket(self):
+        x = np.arange(10.0)
+        rep = ReplicatedVector.replicate(x, 4)
+        assert len(rep.copies) == 4
+        assert rep.memory_bytes == 4 * x.nbytes
+
+    def test_copies_independent(self):
+        x = np.arange(4.0)
+        rep = ReplicatedVector.replicate(x, 2)
+        rep.on_socket(0)[0] = 99.0
+        assert rep.on_socket(1)[0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplicatedVector.replicate(np.zeros(3), 0)
+
+
+class TestCSRSpMV:
+    @pytest.mark.parametrize("threads", [1, 3, 8, 64])
+    def test_matches_scipy(self, threads):
+        m = random_csr(300, 0.03, 4)
+        x = np.random.default_rng(0).standard_normal(300)
+        kernel = CSRSpMV(m, num_threads=threads, num_sockets=8)
+        np.testing.assert_allclose(kernel.multiply(x), m @ x, rtol=1e-12, atol=1e-12)
+
+    def test_empty_rows_produce_zeros(self):
+        m = sp.csr_matrix((5, 5))
+        y = CSRSpMV(m, num_threads=2).multiply(np.ones(5))
+        assert np.all(y == 0)
+
+    def test_suite_matrix(self):
+        m = generate(by_name("QCD"), rows=1000, seed=1)
+        x = np.random.default_rng(1).standard_normal(1000)
+        kernel = CSRSpMV(m, num_threads=16)
+        np.testing.assert_allclose(kernel.multiply(x), m @ x, rtol=1e-10)
+
+    def test_flops(self):
+        m = random_csr(100, 0.1, 5)
+        assert CSRSpMV(m).flops() == 2 * m.nnz
+
+    def test_shape_validation(self):
+        m = random_csr(10, 0.5, 6)
+        with pytest.raises(ValueError, match="x has shape"):
+            CSRSpMV(m).multiply(np.zeros(11))
+        with pytest.raises(ValueError, match="y has shape"):
+            CSRSpMV(m).multiply(np.zeros(10), y=np.zeros(11))
+
+    def test_rejects_dense_input(self):
+        with pytest.raises(TypeError):
+            CSRSpMV(np.eye(4))
+
+
+class TestTwoScanSpMV:
+    @pytest.mark.parametrize("block_width", [1, 7, 64, 1 << 17])
+    def test_matches_scipy(self, block_width):
+        adj = rmat_adjacency(RMATConfig(scale=8, edge_factor=8, seed=1))
+        x = np.random.default_rng(2).standard_normal(adj.shape[1])
+        kernel = TwoScanSpMV(adj, block_width=block_width)
+        np.testing.assert_allclose(kernel.multiply(x), adj @ x, rtol=1e-10, atol=1e-12)
+
+    def test_rectangular_matrix(self):
+        m = sp.random(50, 80, 0.1, format="csr", random_state=np.random.default_rng(3))
+        x = np.random.default_rng(3).standard_normal(80)
+        kernel = TwoScanSpMV(m, block_width=16)
+        np.testing.assert_allclose(kernel.multiply(x), m @ x, rtol=1e-10, atol=1e-12)
+
+    def test_duplicate_handling_matches_coo(self):
+        # COO with duplicate entries must sum, like scipy does.
+        rows = np.array([0, 0, 1])
+        cols = np.array([1, 1, 0])
+        data = np.array([2.0, 3.0, 4.0])
+        m = sp.coo_matrix((data, (rows, cols)), shape=(2, 2))
+        kernel = TwoScanSpMV(m, block_width=1)
+        x = np.array([1.0, 10.0])
+        np.testing.assert_allclose(kernel.multiply(x), m.tocsr() @ x)
+
+    def test_tile_stats(self):
+        adj = rmat_adjacency(RMATConfig(scale=8, edge_factor=8, seed=1))
+        stats = TwoScanSpMV(adj, block_width=64).tile_stats()
+        assert stats.col_blocks == 4
+        assert stats.row_blocks == 4
+        assert stats.mean_tile_elements == pytest.approx(adj.nnz / 16)
+        assert stats.mean_tile_bytes == pytest.approx(stats.mean_tile_elements * 8)
+
+    def test_flops(self):
+        adj = rmat_adjacency(RMATConfig(scale=6, edge_factor=4, seed=1))
+        assert TwoScanSpMV(adj).flops() == 2 * adj.nnz
+
+    def test_x_shape_validation(self):
+        adj = rmat_adjacency(RMATConfig(scale=6, edge_factor=4, seed=1))
+        with pytest.raises(ValueError):
+            TwoScanSpMV(adj).multiply(np.zeros(3))
+
+    def test_rejects_bad_block_width(self):
+        adj = rmat_adjacency(RMATConfig(scale=6, edge_factor=4, seed=1))
+        with pytest.raises(ValueError):
+            TwoScanSpMV(adj, block_width=0)

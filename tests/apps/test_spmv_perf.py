@@ -1,0 +1,105 @@
+"""Figure 11/12 model tests: SpMV performance on the modelled E870."""
+
+import pytest
+
+from repro.apps.spmv.perf import (
+    csr_performance,
+    fig12_curve,
+    rmat_tile_elements,
+    suite_performance,
+    twoscan_performance,
+    vector_traffic_bytes,
+)
+from repro.reporting.compare import is_monotone, within_factor
+from repro.reporting import paper_values as paper
+from repro.workloads.suitesparse import SUITE, by_name, generate
+
+
+@pytest.fixture(scope="module")
+def rates(e870_system):
+    return {r.name: r for r in suite_performance(e870_system, SUITE, rows=8000, seed=7)}
+
+
+class TestFig11:
+    def test_dense_is_fastest(self, rates):
+        dense = rates["Dense"].gflops
+        for name, rate in rates.items():
+            assert rate.gflops <= dense * 1.001, name
+
+    def test_structured_matrices_near_dense(self, rates):
+        """The paper: most matrices perform similarly to Dense."""
+        for name in ("Protein", "FEM/Spheres", "Wind Tunnel", "QCD"):
+            assert rates[name].gflops > 0.85 * rates["Dense"].gflops, name
+
+    def test_scattered_matrices_slower(self, rates):
+        for name in ("Webbase", "Economics"):
+            assert rates[name].gflops < 0.9 * rates["Dense"].gflops, name
+
+    def test_dense_bytes_per_nnz_near_csr_minimum(self, rates):
+        assert rates["Dense"].bytes_per_nnz == pytest.approx(12.0, rel=0.02)
+
+    def test_spmv_is_memory_bound_rate(self, rates, e870_system):
+        """All rates must sit below the bandwidth-implied bound."""
+        bw = e870_system.peak_memory_bandwidth
+        for rate in rates.values():
+            bound = 2.0 / rate.bytes_per_nnz * bw / 1e9
+            assert rate.gflops <= bound * 1.01
+
+
+class TestVectorTraffic:
+    def test_banded_less_than_random(self, e870_system):
+        # Use a cache budget smaller than the vector so chunked reloads
+        # matter (at generation scale the full vector would fit the L3).
+        cache = 32 * 1024
+        banded = generate(by_name("Epidemiology"), rows=8000, seed=1)
+        scattered = generate(by_name("Economics"), rows=8000, seed=1)
+        t_banded = vector_traffic_bytes(banded, cache) / max(banded.nnz, 1)
+        t_scattered = vector_traffic_bytes(scattered, cache) / max(scattered.nnz, 1)
+        assert t_banded < t_scattered
+
+    def test_dense_reuses_vector(self, e870_system):
+        dense = generate(by_name("Dense"), rows=512, seed=1)
+        traffic = vector_traffic_bytes(dense, e870_system.chip.l3_capacity)
+        # The whole vector is only 4 KB; traffic must be a tiny fraction
+        # of the matrix bytes.
+        assert traffic < 0.01 * dense.nnz * 12
+
+
+class TestFig12:
+    def test_declining_with_scale(self, e870_system):
+        curve = fig12_curve(e870_system, range(20, 32))
+        gflops = [r.gflops for r in curve]
+        assert is_monotone(gflops, increasing=False)
+        assert gflops[0] > 1.3 * gflops[-1]
+
+    def test_tile_elements_match_paper_order(self):
+        """~thousands of elements at scale 24, ~tens at scale 31."""
+        t24 = rmat_tile_elements(24)
+        t31 = rmat_tile_elements(31)
+        assert within_factor(t24, paper.FIG12["tile_elements_scale24"], 2.0)
+        assert within_factor(t31, paper.FIG12["tile_elements_scale31"], 2.5)
+        assert t24 / t31 == pytest.approx(2 ** 7, rel=0.01)
+
+    def test_small_scale_insensitive_to_tiles(self, e870_system):
+        """Below ~scale 24 tiles are big and performance is flat."""
+        a = twoscan_performance(e870_system, 20).gflops
+        b = twoscan_performance(e870_system, 23).gflops
+        assert a == pytest.approx(b, rel=0.05)
+
+    def test_rate_object_fields(self, e870_system):
+        rate = twoscan_performance(e870_system, 24)
+        assert rate.name == "R-MAT 24"
+        assert rate.operational_intensity < 0.2
+        assert rate.gflops > 0
+
+
+class TestCSRPerformanceAPI:
+    def test_named_result(self, e870_system):
+        m = generate(by_name("QCD"), rows=2000, seed=3)
+        rate = csr_performance(m, e870_system, name="QCD")
+        assert rate.name == "QCD"
+        assert 0 < rate.gflops < 400
+
+    def test_rejects_non_spec(self, e870_system):
+        with pytest.raises(TypeError):
+            suite_performance(e870_system, ["not-a-spec"])

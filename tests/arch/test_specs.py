@@ -1,0 +1,145 @@
+"""Unit tests for the machine-description dataclasses."""
+
+import math
+
+import pytest
+
+from repro.arch.specs import (
+    GB,
+    KIB,
+    MIB,
+    BusSpec,
+    CacheSpec,
+    CentaurSpec,
+    ChipSpec,
+    SpecError,
+    SystemSpec,
+    TLBSpec,
+)
+from repro.arch.power8 import power8_chip, power8_core
+
+
+class TestCacheSpec:
+    def test_geometry(self):
+        spec = CacheSpec("L1", 64 * KIB, 128, 8, 3.0)
+        assert spec.num_lines == 512
+        assert spec.num_sets == 64
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(SpecError, match="power of two"):
+            CacheSpec("bad", 64 * KIB, 96, 8, 3.0)
+
+    def test_rejects_capacity_not_multiple_of_line(self):
+        with pytest.raises(SpecError, match="multiple"):
+            CacheSpec("bad", 1000, 128, 8, 3.0)
+
+    def test_rejects_indivisible_sets(self):
+        with pytest.raises(SpecError, match="sets"):
+            CacheSpec("bad", 3 * 128, 128, 2, 1.0)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(SpecError):
+            CacheSpec("bad", 0, 128, 8, 3.0)
+
+    def test_rejects_unknown_write_policy(self):
+        with pytest.raises(SpecError, match="write policy"):
+            CacheSpec("bad", 64 * KIB, 128, 8, 3.0, write_policy="write-back")
+
+    def test_scaled_doubles_capacity(self):
+        spec = CacheSpec("L2", 256 * KIB, 128, 8, 12.0)
+        assert spec.scaled(2).capacity == 512 * KIB
+        assert spec.scaled(2).associativity == spec.associativity
+
+
+class TestTLBSpec:
+    def test_reach(self):
+        tlb = TLBSpec(erat_entries=48, tlb_entries=2048)
+        assert tlb.erat_reach(64 * KIB) == 3 * MIB
+        assert tlb.tlb_reach(64 * KIB) == 128 * MIB
+
+
+class TestCoreSpec:
+    def test_power8_peak_flops_per_cycle(self):
+        # 2 pipes x 2 DP lanes x 2 flops (FMA) = 8
+        assert power8_core().peak_flops_per_cycle() == 8
+
+    def test_rejects_bad_smt(self):
+        import dataclasses
+
+        with pytest.raises(SpecError, match="SMT"):
+            dataclasses.replace(power8_core(), smt_ways=3)
+
+
+class TestCentaurSpec:
+    def test_peak_is_read_plus_write(self):
+        c = CentaurSpec()
+        assert c.peak_bandwidth == pytest.approx(28.8 * GB)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(SpecError):
+            CentaurSpec(read_bandwidth=0.0)
+
+
+class TestChipSpec:
+    def test_e870_chip_numbers(self):
+        chip = power8_chip()
+        assert chip.threads_per_chip == 64
+        assert chip.l3_capacity == 64 * MIB
+        assert chip.l4_capacity == 128 * MIB
+        assert chip.read_bandwidth == pytest.approx(8 * 19.2 * GB)
+        assert chip.write_bandwidth == pytest.approx(8 * 9.6 * GB)
+        assert chip.peak_memory_bandwidth == pytest.approx(230.4 * GB)
+
+    def test_peak_gflops(self):
+        chip = power8_chip()
+        assert chip.peak_gflops == pytest.approx(8 * 8 * 4.35, rel=1e-12)
+
+    def test_cycle_ns_roundtrip(self):
+        chip = power8_chip()
+        assert chip.ns_to_cycles(chip.cycles_to_ns(13.0)) == pytest.approx(13.0)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(SpecError):
+            power8_chip(cores=0)
+
+
+class TestSystemSpec:
+    def test_grouping(self, e870_system):
+        assert e870_system.num_groups == 2
+        assert e870_system.group_of(0) == 0
+        assert e870_system.group_of(5) == 1
+        assert e870_system.position_in_group(5) == 1
+        assert e870_system.same_group(0, 3)
+        assert not e870_system.same_group(3, 4)
+
+    def test_chip_range_check(self, e870_system):
+        with pytest.raises(SpecError, match="out of range"):
+            e870_system.group_of(8)
+
+    def test_derived_totals(self, e870_system):
+        assert e870_system.num_cores == 64
+        assert e870_system.num_threads == 512
+        assert e870_system.peak_gflops == pytest.approx(2227.2)
+        assert e870_system.peak_memory_bandwidth == pytest.approx(1843.2 * GB)
+        assert e870_system.balance == pytest.approx(1.208, rel=1e-3)
+
+    def test_wiring_validation(self):
+        chip = power8_chip()
+        with pytest.raises(SpecError, match="X-links"):
+            SystemSpec("bad", chip, num_chips=8, group_size=5)
+
+    def test_a_link_validation(self):
+        chip = power8_chip()
+        # 5 groups would need 4 A-links per chip; POWER8 has 3.
+        with pytest.raises(SpecError, match="A-links"):
+            SystemSpec("bad", chip, num_chips=20, group_size=4)
+
+    def test_bus_defaults(self, e870_system):
+        assert e870_system.x_bus.bandwidth == pytest.approx(39.2 * GB)
+        assert e870_system.a_bus.bandwidth == pytest.approx(12.8 * GB)
+
+
+class TestBusSpec:
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(SpecError):
+            BusSpec("X", 0.0, 30.0)

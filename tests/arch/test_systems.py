@@ -1,0 +1,89 @@
+"""Tests for the canned POWER7/POWER8/E870 descriptions (Tables I & II)."""
+
+import pytest
+
+from repro.arch import GB, TIB, e870, power7_core, power8_192way, power8_core
+from repro.reporting import paper_values as paper
+
+
+class TestTable1Comparison:
+    """Every Table I row must hold between the two canned cores."""
+
+    def test_threads_per_core_doubled(self):
+        assert power7_core().smt_ways == 4
+        assert power8_core().smt_ways == 8
+
+    def test_l1d_doubled(self):
+        assert power8_core().l1d.capacity == 2 * power7_core().l1d.capacity
+
+    def test_l1i_unchanged(self):
+        assert power8_core().l1i.capacity == power7_core().l1i.capacity
+
+    def test_l2_doubled(self):
+        assert power8_core().l2.capacity == 2 * power7_core().l2.capacity
+
+    def test_l3_doubled(self):
+        assert power8_core().l3_slice.capacity == 2 * power7_core().l3_slice.capacity
+
+    def test_issue_and_commit_widths(self):
+        p7, p8 = power7_core(), power8_core()
+        assert (p7.issue_width, p8.issue_width) == (8, 10)
+        assert (p7.commit_width, p8.commit_width) == (6, 8)
+
+    def test_load_store_ports(self):
+        p7, p8 = power7_core(), power8_core()
+        assert (p7.load_ports, p7.store_ports) == (2, 2)
+        assert (p8.load_ports, p8.store_ports) == (4, 2)
+
+    def test_per_thread_cache_footprint_constant(self):
+        """The paper's design rationale: cache per thread stays constant."""
+        p7, p8 = power7_core(), power8_core()
+        assert p7.l1d.capacity / p7.smt_ways == p8.l1d.capacity / p8.smt_ways
+        assert p7.l2.capacity / p7.smt_ways == p8.l2.capacity / p8.smt_ways
+        assert p7.l3_slice.capacity / p7.smt_ways == p8.l3_slice.capacity / p8.smt_ways
+
+
+class TestE870:
+    def test_matches_paper_headline(self):
+        sys = e870()
+        assert sys.num_chips == paper.TABLE2["sockets"]
+        assert sys.num_threads == paper.TABLE2["threads"]
+        assert sys.peak_gflops == pytest.approx(paper.TABLE2["peak_gflops"], rel=0.01)
+        assert sys.peak_memory_bandwidth / GB == pytest.approx(
+            paper.TABLE2["peak_memory_bw_gbs"], rel=0.01
+        )
+        assert sys.peak_write_bandwidth / GB == pytest.approx(
+            paper.TABLE2["write_only_bw_gbs"], rel=0.01
+        )
+        assert sys.balance == pytest.approx(paper.TABLE2["balance"], rel=0.02)
+
+    def test_truncated_variant(self):
+        assert e870(num_chips=4).num_groups == 1
+
+    def test_memory_capacity_is_4tb_per_socket_class(self):
+        # 8 Centaurs x 128 GiB = 1 TiB per socket.
+        sys = e870()
+        assert sys.chip.dram_capacity == TIB
+
+
+class TestLargestSMP:
+    """The introduction's 192-way SMP headline numbers."""
+
+    def test_headline_flops(self):
+        sys = power8_192way()
+        assert sys.num_cores == 192
+        assert sys.peak_gflops == pytest.approx(paper.LARGEST_SMP["peak_gflops"], rel=0.01)
+
+    def test_headline_bandwidth(self):
+        sys = power8_192way()
+        assert sys.peak_memory_bandwidth / GB == pytest.approx(
+            paper.LARGEST_SMP["peak_memory_bw_gbs"], rel=0.01
+        )
+
+    def test_memory_capacity_16tb(self):
+        sys = power8_192way()
+        assert sys.dram_capacity == 16 * TIB
+
+    def test_l4_aggregate(self):
+        sys = power8_192way()
+        assert sys.l4_capacity == 16 * 128 * 1024 * 1024

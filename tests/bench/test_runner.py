@@ -1,0 +1,63 @@
+"""Tests for the experiment registry and the bench drivers."""
+
+import pytest
+
+from repro.bench.latency import default_working_sets, fig2_rows, plateau_summary
+from repro.bench.runner import ExperimentResult, experiment_ids, run_experiment
+
+EXPECTED_IDS = {
+    "table1", "table2", "table3", "table4", "table5", "table6",
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "fig11", "fig12",
+}
+
+
+class TestRegistry:
+    def test_every_table_and_figure_registered(self):
+        """One experiment per table AND figure in the paper."""
+        assert set(experiment_ids()) == EXPECTED_IDS
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    @pytest.mark.parametrize("eid", sorted(EXPECTED_IDS - {"fig10", "fig11"}))
+    def test_runs_and_renders(self, eid, e870_system):
+        result = run_experiment(eid, e870_system)
+        assert isinstance(result, ExperimentResult)
+        assert result.rows, eid
+        text = result.render()
+        assert result.title in text
+        assert len(text.splitlines()) >= 3
+
+    def test_fig10_runs(self, e870_system):
+        result = run_experiment("fig10", e870_system)
+        assert len(result.rows) == 7  # scales 17-23
+
+    def test_fig11_runs(self, e870_system):
+        result = run_experiment("fig11", e870_system)
+        names = [row[0] for row in result.rows]
+        assert "Dense" in names
+        assert len(names) == 12
+
+
+class TestFig2Driver:
+    def test_default_working_sets_log_spaced(self):
+        sizes = default_working_sets(1024, 8192)
+        assert sizes[0] == 1024
+        assert sizes[-1] <= 8192
+        ratios = [b / a for a, b in zip(sizes, sizes[1:])]
+        assert all(1.1 < r < 1.3 for r in ratios)
+
+    def test_rows_cover_both_page_sizes(self, e870_system):
+        rows = fig2_rows(e870_system, [32 * 1024, 1 << 30])
+        assert len(rows) == 2
+        assert rows[0]["latency_64k_ns"] <= rows[1]["latency_64k_ns"]
+        assert rows[1]["latency_16m_ns"] < rows[1]["latency_64k_ns"]
+
+    def test_plateau_summary_ordering(self, e870_system):
+        summary = plateau_summary(fig2_rows(e870_system))
+        assert (
+            summary["l1"] < summary["l2"] < summary["l3"]
+            < summary["l3_remote"] < summary["l4"] < summary["dram"]
+        )

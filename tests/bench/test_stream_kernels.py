@@ -1,0 +1,88 @@
+"""Tests for the executable STREAM kernels."""
+
+import numpy as np
+import pytest
+
+from repro.bench.stream_kernels import (
+    StreamKernels,
+    best_kernel_for_machine,
+    kernel_mix_table,
+)
+
+GB = 1e9
+
+
+@pytest.fixture
+def kernels(e870_system):
+    return StreamKernels(e870_system, elements=4096, seed=1)
+
+
+class TestKernelCorrectness:
+    def test_copy(self, kernels):
+        res = kernels.copy()
+        np.testing.assert_array_equal(kernels.c, kernels.a)
+        assert res.read_ratio == 1.0
+
+    def test_scale(self, kernels):
+        kernels.c[:] = 2.0
+        kernels.scale()
+        np.testing.assert_allclose(kernels.b, 6.0)
+
+    def test_add(self, kernels):
+        res = kernels.add()
+        np.testing.assert_allclose(kernels.c, kernels.a + kernels.b)
+        assert res.read_ratio == 2.0
+
+    def test_triad(self, kernels):
+        b0, c0 = kernels.b.copy(), kernels.c.copy()
+        kernels.triad()
+        np.testing.assert_allclose(kernels.a, b0 + 3.0 * c0)
+
+
+class TestByteAccounting:
+    def test_copy_mix(self, kernels):
+        res = kernels.copy()
+        assert res.bytes_read == res.bytes_written == 4096 * 8
+        assert res.read_byte_fraction == pytest.approx(0.5)
+
+    def test_add_mix_is_power8_optimal(self, kernels):
+        res = kernels.add()
+        assert res.read_byte_fraction == pytest.approx(2 / 3)
+
+    def test_ratio_kernel(self, kernels):
+        res = kernels.ratio_kernel(4, 1)
+        assert res.bytes_read == 4 * 4096 * 8
+        assert res.bytes_written == 4096 * 8
+
+    def test_ratio_validation(self, kernels):
+        with pytest.raises(ValueError):
+            kernels.ratio_kernel(0, 0)
+
+
+class TestModeledRates:
+    def test_add_beats_copy_on_power8(self, kernels):
+        """The asymmetric links favour the 2:1 kernels (Table III)."""
+        copy = kernels.copy().modeled_bandwidth
+        add = kernels.add().modeled_bandwidth
+        assert add > 1.5 * copy
+
+    def test_add_matches_table3_peak(self, kernels, e870_system):
+        res = kernels.add()
+        assert res.modeled_bandwidth / GB == pytest.approx(1475, rel=0.01)
+
+    def test_time_consistent(self, kernels):
+        res = kernels.add()
+        total = res.bytes_read + res.bytes_written
+        assert res.modeled_time == pytest.approx(total / res.modeled_bandwidth)
+
+    def test_best_kernel_is_a_two_to_one_mix(self, e870_system):
+        assert best_kernel_for_machine(e870_system) in ("Add", "Triad")
+
+    def test_mix_table(self, e870_system):
+        rows = kernel_mix_table(e870_system)
+        assert [r["kernel"] for r in rows] == ["Copy", "Scale", "Add", "Triad"]
+        assert all(r["bandwidth"] > 0 for r in rows)
+
+    def test_validation(self, e870_system):
+        with pytest.raises(ValueError):
+            StreamKernels(e870_system, elements=0)

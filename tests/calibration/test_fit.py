@@ -1,0 +1,161 @@
+"""Tests for the explicit calibration pass."""
+
+import pytest
+
+from repro.calibration.fit import (
+    fit_hop_latencies,
+    fit_mix_efficiency,
+    paper_table3_measurements,
+    paper_table4_latencies,
+    predict_bandwidth,
+)
+from repro.mem.centaur import (
+    READ_LANE_EFFICIENCY,
+    TURNAROUND_COEF,
+    WRITE_LANE_EFFICIENCY,
+    mix_efficiency,
+    read_fraction,
+)
+
+
+class TestMixFit:
+    @pytest.fixture(scope="class")
+    def fit(self, e870_system):
+        return fit_mix_efficiency(e870_system.chip, 8, paper_table3_measurements())
+
+    def test_fit_quality(self, fit):
+        """The three-parameter model explains Table III within a few %."""
+        assert fit.max_relative_error < 0.05
+        assert fit.mean_relative_error < 0.025
+
+    def test_recovers_shipped_constants(self, fit):
+        """The constants shipped in repro.mem.centaur are reproducible
+        from the paper's data, not hand-picked."""
+        assert fit.read_lane_efficiency == pytest.approx(READ_LANE_EFFICIENCY, abs=0.03)
+        assert fit.write_lane_efficiency == pytest.approx(WRITE_LANE_EFFICIENCY, abs=0.04)
+        assert fit.turnaround_coef == pytest.approx(TURNAROUND_COEF, abs=0.06)
+
+    def test_fitted_efficiency_close_to_shipped(self, fit):
+        for f in (0.0, 0.25, 0.5, 2 / 3, 1.0):
+            assert fit.efficiency(f) == pytest.approx(mix_efficiency(f), abs=0.04)
+
+    def test_turnaround_term_is_needed(self, e870_system):
+        """Forcing the turnaround coefficient to ~0 fits much worse."""
+        measured = paper_table3_measurements()
+
+        def rms_with(coef):
+            errs = []
+            for ratio, target in measured.items():
+                f = read_fraction(*ratio)
+                pred = predict_bandwidth(
+                    e870_system.chip, 8, f,
+                    (READ_LANE_EFFICIENCY, WRITE_LANE_EFFICIENCY, coef),
+                )
+                errs.append(abs(pred - target) / target)
+            return max(errs)
+
+        assert rms_with(0.0) > 2 * rms_with(TURNAROUND_COEF)
+
+    def test_needs_enough_points(self, e870_system):
+        with pytest.raises(ValueError, match="at least 3"):
+            fit_mix_efficiency(e870_system.chip, 8, {(2, 1): 1.4e12})
+
+
+class TestLatencyFit:
+    @pytest.fixture(scope="class")
+    def fit(self):
+        return fit_hop_latencies(paper_table4_latencies())
+
+    def test_decomposition_sane(self, fit):
+        assert 80 < fit.local_dram_ns < 130
+        assert fit.a_hop_ns > fit.x_hop_ns  # inter-group hops cost more
+        assert fit.transit_x_ns > 0
+
+    def test_residual_bounded_by_layout_deltas(self, fit):
+        """Layout noise in Table IV is a few ns; the fit absorbs the rest."""
+        assert fit.max_abs_error_ns < 10.0
+
+    def test_reconstructs_intra_group_latency(self, fit):
+        reconstructed = fit.local_dram_ns + fit.x_hop_ns
+        assert reconstructed == pytest.approx(127.0, abs=8.0)  # 123-133 band
+
+    def test_reconstructs_inter_group_latency(self, fit):
+        same_pos = fit.local_dram_ns + fit.a_hop_ns
+        assert same_pos == pytest.approx(213.0, abs=8.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_hop_latencies({})
+
+
+class TestCLITools:
+    def test_lat_mem_single_point(self, capsys):
+        from repro.tools.lat_mem import main
+
+        assert main(["--size", "32M"]) == 0
+        out = capsys.readouterr().out.split()
+        assert int(out[0]) == 32 << 20
+        assert 10 < float(out[1]) < 40
+
+    def test_lat_mem_sweep_monotone(self, capsys):
+        from repro.tools.lat_mem import main
+
+        assert main(["--min-size", "64K", "--max-size", "1M"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        lats = [float(l.split()[1]) for l in lines]
+        assert lats == sorted(lats)
+
+    def test_lat_mem_trace_mode(self, capsys):
+        from repro.tools.lat_mem import main
+
+        assert main(["--size", "256K", "--trace"]) == 0
+        out = capsys.readouterr().out.split()
+        assert 1 < float(out[1]) < 20
+
+    def test_lat_mem_size_parse(self):
+        from repro.tools.lat_mem import parse_size
+
+        assert parse_size("64K") == 64 << 10
+        assert parse_size("16M") == 16 << 20
+        assert parse_size("8G") == 8 << 30
+        with pytest.raises(Exception):
+            parse_size("lots")
+
+    def test_stream_default(self, capsys):
+        from repro.tools.stream import main
+
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "Triad" in out
+
+    def test_stream_table3(self, capsys):
+        from repro.tools.stream import main
+
+        assert main(["--table3"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 9
+
+    def test_stream_figure3_mode(self, capsys):
+        from repro.tools.stream import main
+
+        assert main(["--cores", "1", "--threads", "8"]) == 0
+        assert "26." in capsys.readouterr().out
+
+    def test_roofline_oi(self, capsys):
+        from repro.tools.roofline_tool import main
+
+        assert main(["--oi", "1.0"]) == 0
+        assert float(capsys.readouterr().out) == pytest.approx(1843.2, rel=0.01)
+
+    def test_roofline_kernel_analysis(self, capsys):
+        from repro.tools.roofline_tool import main
+
+        assert main(["--flops", "1e12", "--read", "1e11", "--write", "2e12"]) == 0
+        out = capsys.readouterr().out
+        assert "memory bound" in out
+        assert "rebalance" in out
+
+    def test_roofline_kernels_listing(self, capsys):
+        from repro.tools.roofline_tool import main
+
+        assert main(["--kernels"]) == 0
+        assert "LBMHD" in capsys.readouterr().out

@@ -1,0 +1,110 @@
+"""Unit tests for the multi-core trace-driven chip simulator."""
+
+import pytest
+
+from repro.arch.power8 import power8_chip
+from repro.coherence.chipsim import ChipSimulator
+from repro.coherence.mesi import State
+
+
+@pytest.fixture
+def sim():
+    return ChipSimulator(power8_chip())
+
+
+class TestBasicPath:
+    def test_cold_miss_goes_to_dram(self, sim):
+        lat = sim.read(0, 0)
+        assert sim.stats.level_hits["DRAM"] == 1
+        assert lat > 50
+
+    def test_rereference_hits_l1(self, sim):
+        sim.read(0, 0)
+        lat = sim.read(0, 64)  # same 128B line
+        assert sim.stats.level_hits["L1"] == 1
+        assert lat < 2
+
+    def test_core_range_check(self, sim):
+        with pytest.raises(ValueError):
+            sim.read(99, 0)
+
+
+class TestSharing:
+    def test_producer_consumer_is_cache_to_cache(self, sim):
+        sim.write(0, 0)
+        lat = sim.read(1, 0)
+        assert sim.stats.level_hits["C2C"] == 1
+        # Intervention is much cheaper than DRAM, dearer than own L2.
+        assert sim._lat_l2 < lat < 50
+
+    def test_consumer_gets_shared_state(self, sim):
+        sim.write(0, 0)
+        sim.read(1, 0)
+        assert sim.directory.state(0, 0) is State.SHARED
+        assert sim.directory.state(1, 0) is State.SHARED
+
+    def test_write_invalidates_other_core_cache(self, sim):
+        sim.read(0, 0)
+        sim.read(1, 0)
+        sim.write(1, 0)
+        # Core 0's private copy must be gone: its next read is not an L1 hit.
+        before = sim.stats.level_hits["L1"]
+        sim.read(0, 0)
+        assert sim.stats.level_hits["L1"] == before
+        assert sim.directory.state(0, 0) is not State.INVALID  # refetched
+
+    def test_false_sharing_ping_pong(self, sim):
+        """Alternating writers never hit their private caches."""
+        sim.write(0, 0)
+        for i in range(1, 21):
+            sim.write(i % 2, 0)
+        assert sim.stats.level_hits["C2C"] == 20
+        assert sim.stats.level_hits["L1"] == 0
+
+    def test_read_sharing_is_cheap_after_first(self, sim):
+        """Many readers of the same line each pay one fetch, then hit."""
+        for core in range(8):
+            sim.read(core, 0)
+        for core in range(8):
+            sim.read(core, 0)
+        assert sim.stats.level_hits["L1"] == 8
+
+
+class TestMultiCoreCapacity:
+    def test_disjoint_working_sets_do_not_interfere(self, sim):
+        line = sim.line_size
+        # Each core streams over its own 32 KB region (fits L1).
+        for core in range(4):
+            base = core * (1 << 20)
+            for i in range(256):
+                sim.read(core, base + i * line)
+        before_dram = sim.stats.level_hits["DRAM"]
+        for core in range(4):
+            base = core * (1 << 20)
+            for i in range(256):
+                sim.read(core, base + i * line)
+        assert sim.stats.level_hits["DRAM"] == before_dram  # all cached
+
+    def test_directory_invariants_under_traffic(self, sim):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(500):
+            core = rng.randrange(8)
+            line = rng.randrange(64) * sim.line_size
+            if rng.random() < 0.3:
+                sim.write(core, line)
+            else:
+                sim.read(core, line)
+        sim.directory.check_invariants()
+
+    def test_mean_latency_tracks_locality(self):
+        chip = power8_chip()
+        private = ChipSimulator(chip)
+        shared = ChipSimulator(chip)
+        for i in range(200):
+            # Private: each core re-reads its own hot line (L1 hits).
+            private.read(i % 4, (i % 4) * (1 << 20))
+            # Shared: everyone fights over one line (C2C ping-pong).
+            shared.write(i % 4, 0)
+        assert shared.stats.mean_latency_ns > 3 * private.stats.mean_latency_ns

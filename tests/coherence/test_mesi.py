@@ -1,0 +1,133 @@
+"""Unit tests for the MESI directory."""
+
+import pytest
+
+from repro.coherence.mesi import CoherenceError, Directory, State
+
+
+@pytest.fixture
+def d():
+    return Directory(num_cores=4)
+
+
+class TestReads:
+    def test_first_read_exclusive(self, d):
+        t = d.read(0, 100)
+        assert t.new_state is State.EXCLUSIVE
+        assert t.snooped_core is None
+        assert d.state(0, 100) is State.EXCLUSIVE
+
+    def test_second_reader_shares(self, d):
+        d.read(0, 100)
+        t = d.read(1, 100)
+        assert t.new_state is State.SHARED
+        assert t.snooped_core == 0  # owner downgraded, supplies data
+        assert d.state(0, 100) is State.SHARED
+        assert d.state(1, 100) is State.SHARED
+
+    def test_read_from_modified_writes_back(self, d):
+        d.write(0, 100)
+        t = d.read(1, 100)
+        assert t.writeback is True
+        assert d.state(0, 100) is State.SHARED
+
+    def test_read_from_exclusive_no_writeback(self, d):
+        d.read(0, 100)
+        t = d.read(1, 100)
+        assert t.writeback is False
+
+    def test_read_hit_no_action(self, d):
+        d.read(0, 100)
+        t = d.read(0, 100)
+        assert t.snooped_core is None
+        assert t.new_state is State.EXCLUSIVE
+
+
+class TestWrites:
+    def test_first_write_modified(self, d):
+        t = d.write(0, 100)
+        assert t.new_state is State.MODIFIED
+        assert d.state(0, 100) is State.MODIFIED
+
+    def test_silent_e_to_m_upgrade(self, d):
+        d.read(0, 100)
+        t = d.write(0, 100)
+        assert t.new_state is State.MODIFIED
+        assert t.invalidations == 0
+        assert t.snooped_core is None
+
+    def test_write_invalidates_sharers(self, d):
+        d.read(0, 100)
+        d.read(1, 100)
+        d.read(2, 100)
+        t = d.write(3, 100)
+        assert t.invalidations == 3
+        for core in (0, 1, 2):
+            assert d.state(core, 100) is State.INVALID
+        assert d.state(3, 100) is State.MODIFIED
+
+    def test_write_steals_modified(self, d):
+        d.write(0, 100)
+        t = d.write(1, 100)
+        assert t.snooped_core == 0
+        assert t.writeback is True
+        assert d.state(0, 100) is State.INVALID
+
+    def test_write_hit_in_modified(self, d):
+        d.write(0, 100)
+        t = d.write(0, 100)
+        assert t.invalidations == 0 and t.snooped_core is None
+
+
+class TestEvictions:
+    def test_clean_evict(self, d):
+        d.read(0, 100)
+        assert d.evict(0, 100) is False
+        assert d.state(0, 100) is State.INVALID
+
+    def test_dirty_evict_reports_writeback(self, d):
+        d.write(0, 100)
+        assert d.evict(0, 100) is True
+
+    def test_shared_evict_leaves_others(self, d):
+        d.read(0, 100)
+        d.read(1, 100)
+        d.evict(0, 100)
+        assert d.state(1, 100) is State.SHARED
+
+    def test_evict_untracked_line(self, d):
+        assert d.evict(0, 999) is False
+
+
+class TestInvariantsAndStats:
+    def test_holders(self, d):
+        d.read(0, 1)
+        d.read(1, 1)
+        assert d.holders(1) == {0, 1}
+        assert d.holders(2) == set()
+
+    def test_invariants_after_mixed_traffic(self, d):
+        ops = [(0, 1, False), (1, 1, False), (2, 1, True), (0, 2, True),
+               (3, 2, False), (1, 2, False), (2, 1, False)]
+        for core, line, is_write in ops:
+            if is_write:
+                d.write(core, line)
+            else:
+                d.read(core, line)
+            d.check_invariants()
+
+    def test_stats_counters(self, d):
+        d.read(0, 1)
+        d.read(1, 1)
+        d.write(2, 1)
+        assert d.stats["reads"] == 2
+        assert d.stats["writes"] == 1
+        assert d.stats["invalidations"] == 2  # both sharers killed
+
+    def test_core_range_checked(self, d):
+        with pytest.raises(CoherenceError):
+            d.read(4, 0)
+
+    def test_needs_a_core(self):
+        with pytest.raises(ValueError):
+            Directory(0)

@@ -1,0 +1,36 @@
+"""Shared fixtures: the E870, a truncated system, and tiny cache specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import CacheSpec, e870, power8_chip
+from repro.machine import P8Machine
+
+
+@pytest.fixture(scope="session")
+def e870_system():
+    return e870()
+
+
+@pytest.fixture(scope="session")
+def e870_machine():
+    return P8Machine.e870()
+
+
+@pytest.fixture(scope="session")
+def single_group_system():
+    """A 4-chip (one group) system for intra-group-only scenarios."""
+    return e870(num_chips=4)
+
+
+@pytest.fixture(scope="session")
+def p8_chip():
+    return power8_chip()
+
+
+@pytest.fixture
+def tiny_cache_spec():
+    """A 4-set, 2-way, 64B-line cache that is easy to reason about."""
+    return CacheSpec("tiny", capacity=512, line_size=64, associativity=2,
+                     latency_cycles=1.0)

@@ -1,0 +1,110 @@
+"""Figure 5 reproduction tests: the FMA saturation model."""
+
+import pytest
+
+from repro.arch.power8 import power8_chip, power8_core
+from repro.core.fma import fma_efficiency, fma_gflops, fma_sweep
+from repro.core.pipeline import core_utilization_st, pipe_utilization
+from repro.reporting import paper_values as paper
+
+
+@pytest.fixture(scope="module")
+def core():
+    return power8_core()
+
+
+class TestPipeUtilization:
+    def test_saturates_at_latency(self):
+        assert pipe_utilization(6, 6) == 1.0
+        assert pipe_utilization(12, 6) == 1.0
+
+    def test_linear_below(self):
+        assert pipe_utilization(3, 6) == pytest.approx(0.5)
+
+    def test_st_mode_splits_across_pipes(self):
+        assert core_utilization_st(12, 2, 6) == 1.0
+        assert core_utilization_st(6, 2, 6) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pipe_utilization(1, 0)
+        with pytest.raises(ValueError):
+            core_utilization_st(1, 0, 6)
+
+
+class TestPeakCondition:
+    """The paper: peak needs threads x FMAs >= 12 (2 pipes x 6 cycles)."""
+
+    @pytest.mark.parametrize("threads,fmas", [(1, 12), (2, 6), (4, 3), (6, 2), (4, 6), (8, 4)])
+    def test_at_or_above_threshold_hits_peak(self, core, threads, fmas):
+        assert threads * fmas >= paper.FIG5["inflight_for_peak"]
+        assert fma_efficiency(core, threads, fmas) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("threads,fmas", [(1, 6), (2, 3), (1, 1), (2, 2)])
+    def test_below_threshold_misses_peak(self, core, threads, fmas):
+        assert threads * fmas < paper.FIG5["inflight_for_peak"]
+        assert fma_efficiency(core, threads, fmas) < 0.99
+
+    def test_linear_in_flight_dependence(self, core):
+        """Well below saturation efficiency scales with in-flight count."""
+        assert fma_efficiency(core, 1, 6) == pytest.approx(0.5)
+        assert fma_efficiency(core, 1, 3) == pytest.approx(0.25)
+
+
+class TestOddThreadImbalance:
+    """Odd thread counts under-fill one thread-set (Figure 5 dips)."""
+
+    def test_three_vs_four_threads(self, core):
+        # Same total in-flight (12) but 3 threads split {2,1}.
+        assert fma_efficiency(core, 3, 4) < fma_efficiency(core, 4, 3)
+
+    def test_five_vs_six_threads_small_loop(self, core):
+        assert fma_efficiency(core, 5, 2) < fma_efficiency(core, 6, 2)
+
+    def test_seven_vs_eight_threads_one_fma(self, core):
+        assert fma_efficiency(core, 7, 1) < fma_efficiency(core, 8, 1)
+
+
+class TestRegisterCliff:
+    """The 12-FMA curve degrades beyond 6 threads (144 > 128 registers)."""
+
+    def test_twelve_fma_degrades_past_six_threads(self, core):
+        e6 = fma_efficiency(core, 6, 12)   # 144 regs: mild
+        e7 = fma_efficiency(core, 7, 12)   # 168 regs
+        e8 = fma_efficiency(core, 8, 12)   # 192 regs
+        assert e6 > e7 > e8
+
+    def test_six_fma_does_not_degrade(self, core):
+        """2 x 6 x 8 = 96 registers stays under 128 at SMT8."""
+        assert fma_efficiency(core, 8, 6) == pytest.approx(1.0)
+
+    def test_twentyfour_fma_degrades_earlier(self, core):
+        # 2 x 24 x 3 = 144 regs already at 3 threads.
+        assert fma_efficiency(core, 3, 24) < fma_efficiency(core, 3, 12)
+
+
+class TestAbsoluteRates:
+    def test_peak_gflops_per_core(self):
+        chip = power8_chip()
+        got = fma_gflops(chip.core, chip.frequency_hz, threads=2, fmas_per_loop=6)
+        assert got == pytest.approx(8 * 4.35, rel=1e-6)
+
+    def test_validation(self, core):
+        with pytest.raises(ValueError):
+            fma_efficiency(core, 0, 1)
+        with pytest.raises(ValueError):
+            fma_efficiency(core, 9, 1)
+        with pytest.raises(ValueError):
+            fma_efficiency(core, 1, 0)
+
+
+class TestSweep:
+    def test_grid_shape(self, core):
+        rows = fma_sweep(core, [1, 2], [1, 12])
+        assert len(rows) == 4
+        assert {r["threads"] for r in rows} == {1, 2}
+        assert all(0 < r["efficiency"] <= 1 for r in rows)
+
+    def test_registers_column(self, core):
+        rows = fma_sweep(core, [6], [12])
+        assert rows[0]["registers"] == 144

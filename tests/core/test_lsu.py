@@ -1,0 +1,44 @@
+"""Unit tests for the LSU / core memory-interface limits (Figure 3a)."""
+
+import pytest
+
+from repro.core.lsu import (
+    CORE_MEMORY_BYTES_PER_CYCLE,
+    core_stream_bandwidth,
+    lsu_issue_bandwidth,
+)
+from repro.reporting import paper_values as paper
+
+
+class TestCoreStreamBandwidth:
+    def test_saturates_near_26_gbs(self, p8_chip):
+        got = core_stream_bandwidth(p8_chip, threads=8) / 1e9
+        assert got == pytest.approx(paper.FIG3["single_core_peak_gbs"], rel=0.05)
+
+    def test_monotone_in_threads(self, p8_chip):
+        bws = [core_stream_bandwidth(p8_chip, t) for t in range(1, 9)]
+        assert bws == sorted(bws)
+
+    def test_single_thread_well_below_peak(self, p8_chip):
+        one = core_stream_bandwidth(p8_chip, 1)
+        full = core_stream_bandwidth(p8_chip, 8)
+        assert one < 0.5 * full
+
+    def test_cap_is_nest_interface(self, p8_chip):
+        cap = CORE_MEMORY_BYTES_PER_CYCLE * p8_chip.frequency_hz
+        assert core_stream_bandwidth(p8_chip, 8) == pytest.approx(cap)
+
+    def test_rejects_bad_thread_count(self, p8_chip):
+        with pytest.raises(ValueError):
+            core_stream_bandwidth(p8_chip, 0)
+        with pytest.raises(ValueError):
+            core_stream_bandwidth(p8_chip, 9)
+
+
+class TestLSUIssueBound:
+    def test_above_nest_limit(self, p8_chip):
+        """Raw LSU issue is far above the sustainable interface rate —
+        the NEST interface, not the LSU, is the core-level bottleneck."""
+        issue = lsu_issue_bandwidth(p8_chip.core, p8_chip.frequency_hz)
+        nest = CORE_MEMORY_BYTES_PER_CYCLE * p8_chip.frequency_hz
+        assert issue > 5 * nest

@@ -1,0 +1,80 @@
+"""Unit tests for SMT modes, thread-sets and the register-file model."""
+
+import pytest
+
+from repro.arch.specs import RegisterFileSpec
+from repro.core.registers import registers_used, spill_factor
+from repro.core.smt import SMTMode, split_threads
+
+
+class TestSMTMode:
+    @pytest.mark.parametrize(
+        "threads,mode",
+        [(1, SMTMode.ST), (2, SMTMode.SMT2), (3, SMTMode.SMT4),
+         (4, SMTMode.SMT4), (5, SMTMode.SMT8), (8, SMTMode.SMT8)],
+    )
+    def test_mode_selection(self, threads, mode):
+        assert SMTMode.for_threads(threads) is mode
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            SMTMode.for_threads(0)
+
+    def test_rejects_nine(self):
+        with pytest.raises(ValueError):
+            SMTMode.for_threads(9)
+
+
+class TestSplitThreads:
+    def test_even_split_balanced(self):
+        sets = split_threads(8)
+        assert (sets.set_a, sets.set_b) == (4, 4)
+        assert sets.balanced
+
+    @pytest.mark.parametrize("threads", [3, 5, 7])
+    def test_odd_split_imbalanced(self, threads):
+        sets = split_threads(threads)
+        assert sets.set_a == sets.set_b + 1
+        assert not sets.balanced
+
+    def test_st_mode_special(self):
+        sets = split_threads(1)
+        assert tuple(sets) == (1, 0)
+
+    def test_iteration(self):
+        assert list(split_threads(6)) == [3, 3]
+
+
+class TestRegistersUsed:
+    def test_paper_example(self):
+        """12 FMAs x 2 registers x 6 threads = 144 (the paper's cliff)."""
+        assert registers_used(12, 6) == 144
+
+    def test_single(self):
+        assert registers_used(1, 1) == 2
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            registers_used(0, 1)
+
+
+class TestSpillFactor:
+    def test_within_architected_no_penalty(self):
+        spec = RegisterFileSpec()
+        assert spill_factor(128, spec) == 1.0
+        assert spill_factor(64, spec) == 1.0
+
+    def test_beyond_architected_penalised(self):
+        spec = RegisterFileSpec()
+        f144 = spill_factor(144, spec)
+        f192 = spill_factor(192, spec)
+        assert f192 < f144 < 1.0
+
+    def test_monotone_decreasing(self):
+        spec = RegisterFileSpec()
+        factors = [spill_factor(r, spec) for r in range(2, 512, 2)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            spill_factor(0, RegisterFileSpec())

@@ -1,0 +1,63 @@
+"""Unit tests for the simulated clock and phase buckets."""
+
+import pytest
+
+from repro.engine.clock import SimClock
+
+
+class TestAdvance:
+    def test_accumulates(self):
+        c = SimClock()
+        c.advance(1.5)
+        c.advance(2.5)
+        assert c.elapsed == pytest.approx(4.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_zero_is_fine(self):
+        c = SimClock()
+        c.advance(0.0)
+        assert c.elapsed == 0.0
+
+
+class TestPhases:
+    def test_attribution(self):
+        c = SimClock()
+        with c.phase("precomp"):
+            c.advance(3.0)
+        with c.phase("fock"):
+            c.advance(1.0)
+        assert c.phase_time("precomp") == pytest.approx(3.0)
+        assert c.phase_time("fock") == pytest.approx(1.0)
+        assert c.elapsed == pytest.approx(4.0)
+
+    def test_nested_phases_attribute_to_innermost(self):
+        c = SimClock()
+        with c.phase("outer"):
+            c.advance(1.0)
+            with c.phase("inner"):
+                c.advance(2.0)
+            c.advance(0.5)
+        assert c.phase_time("inner") == pytest.approx(2.0)
+        assert c.phase_time("outer") == pytest.approx(1.5)
+
+    def test_unknown_phase_is_zero(self):
+        assert SimClock().phase_time("nope") == 0.0
+
+    def test_phases_snapshot(self):
+        c = SimClock()
+        with c.phase("a"):
+            c.advance(1.0)
+        snap = c.phases()
+        snap["a"] = 99.0
+        assert c.phase_time("a") == pytest.approx(1.0)
+
+    def test_reset(self):
+        c = SimClock()
+        with c.phase("a"):
+            c.advance(1.0)
+        c.reset()
+        assert c.elapsed == 0.0
+        assert c.phases() == {}

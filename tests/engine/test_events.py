@@ -1,0 +1,107 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.engine.events import EventQueue, SimulationError
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(3.0, lambda: fired.append("c"))
+        q.schedule(1.0, lambda: fired.append("a"))
+        q.schedule(2.0, lambda: fired.append("b"))
+        q.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_schedule_order(self):
+        q = EventQueue()
+        fired = []
+        for name in "abcde":
+            q.schedule(1.0, lambda n=name: fired.append(n))
+        q.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(2.5, lambda: seen.append(q.now))
+        q.run()
+        assert seen == [2.5]
+        assert q.now == 2.5
+
+    def test_rejects_negative_delay(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError, match="past"):
+            q.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        q = EventQueue(start_time=10.0)
+        seen = []
+        q.schedule_at(12.0, lambda: seen.append(q.now))
+        q.run()
+        assert seen == [12.0]
+
+    def test_nested_scheduling(self):
+        q = EventQueue()
+        fired = []
+
+        def outer():
+            fired.append(("outer", q.now))
+            q.schedule(1.0, lambda: fired.append(("inner", q.now)))
+
+        q.schedule(1.0, outer)
+        q.run()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        q = EventQueue()
+        fired = []
+        ev = q.schedule(1.0, lambda: fired.append("x"))
+        ev.cancel()
+        q.run()
+        assert fired == []
+        assert ev.cancelled
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        assert len(q) == 2
+        ev.cancel()
+        assert len(q) == 1
+
+
+class TestRunBounds:
+    def test_until_stops_before_later_events(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda: fired.append(1))
+        q.schedule(5.0, lambda: fired.append(5))
+        end = q.run(until=2.0)
+        assert fired == [1]
+        assert end == 2.0
+        # Remaining event still fires afterwards.
+        q.run()
+        assert fired == [1, 5]
+
+    def test_max_events(self):
+        q = EventQueue()
+        fired = []
+        for i in range(10):
+            q.schedule(float(i + 1), lambda i=i: fired.append(i))
+        q.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        assert EventQueue().step() is False
+
+    def test_events_fired_counter(self):
+        q = EventQueue()
+        for _ in range(4):
+            q.schedule(1.0, lambda: None)
+        q.run()
+        assert q.events_fired == 4

@@ -1,0 +1,88 @@
+"""Unit tests for channels and the max-min fair allocator."""
+
+import pytest
+
+from repro.engine.resources import Channel, aggregate_throughput, max_min_fair
+
+
+class TestChannel:
+    def test_transfer_time(self):
+        ch = Channel("link", capacity=100.0)
+        assert ch.transfer_time(50.0) == pytest.approx(0.5)
+
+    def test_serialisation(self):
+        ch = Channel("link", capacity=100.0)
+        s1, f1 = ch.acquire(now=0.0, nbytes=100.0)
+        s2, f2 = ch.acquire(now=0.0, nbytes=100.0)
+        assert (s1, f1) == (0.0, 1.0)
+        assert (s2, f2) == (1.0, 2.0)
+
+    def test_idle_gap_respected(self):
+        ch = Channel("link", capacity=100.0)
+        ch.acquire(now=0.0, nbytes=50.0)
+        s, f = ch.acquire(now=10.0, nbytes=50.0)
+        assert s == 10.0
+        assert f == pytest.approx(10.5)
+
+    def test_utilisation(self):
+        ch = Channel("link", capacity=100.0)
+        ch.acquire(0.0, 100.0)
+        assert ch.utilisation(elapsed=2.0) == pytest.approx(0.5)
+        assert ch.utilisation(elapsed=0.0) == 0.0
+
+
+class TestMaxMinFair:
+    def test_single_link_even_split(self):
+        alloc = max_min_fair({"a": ["l"], "b": ["l"]}, {"l": 10.0})
+        assert alloc["a"] == pytest.approx(5.0)
+        assert alloc["b"] == pytest.approx(5.0)
+
+    def test_bottleneck_sharing(self):
+        # a and b share link1; b also crosses the tighter link2.
+        flows = {"a": ["l1"], "b": ["l1", "l2"]}
+        caps = {"l1": 10.0, "l2": 2.0}
+        alloc = max_min_fair(flows, caps)
+        assert alloc["b"] == pytest.approx(2.0)
+        assert alloc["a"] == pytest.approx(8.0)
+
+    def test_demand_ceiling(self):
+        flows = {"a": ["l"], "b": ["l"]}
+        alloc = max_min_fair(flows, {"l": 10.0}, demands={"a": 1.0})
+        assert alloc["a"] == pytest.approx(1.0)
+        assert alloc["b"] == pytest.approx(9.0)
+
+    def test_three_flows_two_links(self):
+        flows = {"a": ["x"], "b": ["x", "y"], "c": ["y"]}
+        caps = {"x": 6.0, "y": 4.0}
+        alloc = max_min_fair(flows, caps)
+        # b is limited by y's fair share (2), a then takes the rest of x.
+        assert alloc["b"] == pytest.approx(2.0)
+        assert alloc["c"] == pytest.approx(2.0)
+        assert alloc["a"] == pytest.approx(4.0)
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(KeyError, match="unknown link"):
+            max_min_fair({"a": ["nope"]}, {"l": 1.0})
+
+    def test_linkless_flow_needs_demand(self):
+        with pytest.raises(ValueError, match="no links"):
+            max_min_fair({"a": []}, {})
+
+    def test_linkless_flow_with_demand(self):
+        alloc = max_min_fair({"a": []}, {}, demands={"a": 3.0})
+        assert alloc["a"] == pytest.approx(3.0)
+
+    def test_conservation(self):
+        """No link carries more than its capacity."""
+        flows = {f"f{i}": ["l1", "l2"] for i in range(5)}
+        flows["g"] = ["l2"]
+        caps = {"l1": 7.0, "l2": 3.0}
+        alloc = max_min_fair(flows, caps)
+        l1_load = sum(alloc[f] for f, path in flows.items() if "l1" in path)
+        l2_load = sum(alloc[f] for f, path in flows.items() if "l2" in path)
+        assert l1_load <= caps["l1"] + 1e-6
+        assert l2_load <= caps["l2"] + 1e-6
+
+    def test_aggregate_throughput(self):
+        alloc = {"a": 1.0, "b": 2.0}
+        assert aggregate_throughput(alloc) == pytest.approx(3.0)

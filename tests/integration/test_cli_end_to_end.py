@@ -1,0 +1,63 @@
+"""End-to-end smoke tests: the CLI surfaces run as real subprocesses."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestBenchCLI:
+    def test_list(self):
+        proc = run_cli("repro.bench", "--list")
+        assert proc.returncode == 0
+        ids = proc.stdout.split()
+        assert "table3" in ids and "fig9" in ids
+        assert len(ids) == 17
+
+    def test_single_experiment(self):
+        proc = run_cli("repro.bench", "table2")
+        assert proc.returncode == 0
+        assert "E870" in proc.stdout
+        assert "2227" in proc.stdout
+
+    def test_unknown_experiment_fails(self):
+        proc = run_cli("repro.bench", "fig99")
+        assert proc.returncode != 0
+
+    def test_csv_flag(self, tmp_path):
+        proc = run_cli("repro.bench", "fig9", "--csv", str(tmp_path))
+        assert proc.returncode == 0
+        assert (tmp_path / "fig9.csv").exists()
+
+
+class TestToolCLIs:
+    def test_lat_mem(self):
+        proc = run_cli("repro.tools.lat_mem", "--size", "1M")
+        assert proc.returncode == 0
+        size, latency = proc.stdout.split()
+        assert int(size) == 1 << 20
+        assert 3 < float(latency) < 30
+        assert "RuntimeWarning" not in proc.stderr
+
+    def test_stream_table3(self):
+        proc = run_cli("repro.tools.stream", "--table3")
+        assert proc.returncode == 0
+        assert len(proc.stdout.strip().splitlines()) == 9
+
+    def test_roofline_summary(self):
+        proc = run_cli("repro.tools.roofline_tool")
+        assert proc.returncode == 0
+        assert "balance" in proc.stdout
+
+    def test_bad_args_fail_cleanly(self):
+        proc = run_cli("repro.tools.stream", "--ratio", "banana")
+        assert proc.returncode == 2  # argparse usage error

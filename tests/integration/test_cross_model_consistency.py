@@ -1,0 +1,95 @@
+"""Cross-model consistency: independent subsystems must agree.
+
+The library derives the same physical quantities along several paths
+(closed-form models, flow solvers, trace simulators, executable
+kernels).  These tests pin the overlaps so the models cannot drift
+apart silently.
+"""
+
+import pytest
+
+from repro.bench.stream_kernels import StreamKernels
+from repro.interconnect.bandwidth import BandwidthModel
+from repro.interconnect.latency import LatencyModel
+from repro.interconnect.topology import SMPTopology
+from repro.mem.centaur import MemoryLinkModel, optimal_read_fraction
+from repro.mem.traffic import StoreConvention, system_goodput
+from repro.numa import AffinityMap, Allocation, LocalPolicy, NumaModel
+from repro.perfmodel.kernel_time import KernelProfile, MachineModel
+from repro.perfmodel.stream_model import system_stream_bandwidth
+from repro.roofline.model import Roofline
+
+GB = 1e9
+MB = 1 << 20
+
+
+class TestBandwidthPaths:
+    def test_stream_kernel_equals_table3_row(self, e870_system):
+        """The executable Add kernel and the Table III model agree."""
+        add = StreamKernels(e870_system, 1024).add()
+        table3 = system_stream_bandwidth(e870_system, 8, 2, 1)
+        assert add.modeled_bandwidth == pytest.approx(table3)
+
+    def test_dcbz_goodput_equals_link_model(self, e870_system):
+        """Traffic accounting with DCBZ reduces to the plain link model."""
+        direct = MemoryLinkModel(e870_system.chip).system_bandwidth(
+            e870_system, optimal_read_fraction()
+        )
+        via_traffic = system_goodput(e870_system, 2.0, 1.0, StoreConvention.DCBZ)
+        assert via_traffic == pytest.approx(direct)
+
+    def test_roofline_uses_spec_bandwidth(self, e870_system):
+        roof = Roofline(e870_system)
+        assert roof.memory_bandwidth == pytest.approx(
+            e870_system.peak_memory_bandwidth
+        )
+
+    def test_kernel_model_memory_time_matches_stream_model(self, e870_system):
+        """MachineModel's stream path is exactly the Table III bandwidth."""
+        model = MachineModel(e870_system)
+        k = KernelProfile("k", flops=0, bytes_read=2e12, bytes_written=1e12)
+        assert model.effective_bandwidth(k) == pytest.approx(
+            system_stream_bandwidth(e870_system, 8, 2, 1)
+        )
+
+
+class TestLatencyPaths:
+    def test_numa_local_latency_equals_interconnect(self, e870_system):
+        """The NUMA estimator's latencies come from the same oracle."""
+        model = NumaModel(e870_system)
+        lat = LatencyModel(SMPTopology(e870_system))
+        aff = AffinityMap.compact(e870_system, 8, smt=1)
+        est = model.estimate(aff, [(Allocation("r", 0, MB, LocalPolicy(4)), 1.0)])
+        assert est.mean_latency_ns == pytest.approx(lat.pair_latency_ns(0, 4))
+
+    def test_numa_local_bandwidth_equals_link_model(self, e870_system):
+        model = NumaModel(e870_system)
+        aff = AffinityMap.compact(e870_system, 64, smt=8)
+        est = model.estimate(
+            aff, [(Allocation("l", 0, MB, LocalPolicy(0)), 1.0)], read_fraction=1.0
+        )
+        direct = MemoryLinkModel(e870_system.chip).chip_bandwidth(1.0)
+        assert est.bandwidth == pytest.approx(direct)
+
+
+class TestAggregatePaths:
+    def test_numa_remote_pair_close_to_pair_analytic(self, e870_system):
+        """The LP flow solver and the pair analytic land within 20%."""
+        numa = NumaModel(e870_system)
+        pair = BandwidthModel(SMPTopology(e870_system)).pair_bandwidth(4, 0)
+        aff = AffinityMap.compact(e870_system, 64, smt=8)
+        est = numa.estimate(aff, [(Allocation("r", 0, MB, LocalPolicy(4)), 1.0)])
+        assert est.bandwidth == pytest.approx(pair.one_direction, rel=0.20)
+
+    def test_balance_consistent_between_spec_and_roofline(self, e870_system):
+        assert Roofline(e870_system).balance == pytest.approx(e870_system.balance)
+
+    def test_random_model_vs_machine_model_random_pattern(self, e870_system):
+        """MachineModel's 'random' pattern is capped by the Figure 4 model."""
+        from repro.perfmodel.littles_law import RandomAccessModel
+
+        machine = MachineModel(e870_system)
+        rand = RandomAccessModel(e870_system)
+        k = KernelProfile("r", flops=0, bytes_read=1e12, bytes_written=0,
+                          pattern="random")
+        assert machine.effective_bandwidth(k) <= rand.peak_bandwidth * 1.001

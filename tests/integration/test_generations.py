@@ -1,0 +1,88 @@
+"""Generational comparison: the models reproduce §II's POWER7->POWER8 story.
+
+Table I's spec doubling should surface as behaviour: more cache reach,
+more SMT-driven bandwidth, an L4 that POWER7 lacks, and a better-fed
+balance.  These tests run both generations through the same machinery.
+"""
+
+import pytest
+
+from repro.arch.power7 import power7_chip
+from repro.arch.power8 import power8_chip
+from repro.arch.specs import SystemSpec
+from repro.core.fma import fma_efficiency
+from repro.mem.analytic import AnalyticHierarchy
+from repro.mem.hierarchy import MemoryHierarchy
+
+MB = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def p7():
+    return power7_chip()
+
+
+@pytest.fixture(scope="module")
+def p8():
+    return power8_chip()
+
+
+class TestCacheReach:
+    def test_power8_lower_latency_mid_range(self, p7, p8):
+        """Between the POWER7 and POWER8 L3 reaches, POWER8 still hits
+        on-chip cache while POWER7 has fallen off."""
+        h7 = AnalyticHierarchy(p7)
+        h8 = AnalyticHierarchy(p8)
+        for w in (6 * MB, 24 * MB, 48 * MB):
+            assert h8.latency_ns(w) < h7.latency_ns(w), w
+
+    def test_power8_l4_shoulder_absent_on_power7(self, p7, p8):
+        """POWER8's 128 MB L4 cushions the fall to DRAM; POWER7 has
+        essentially none, so its curve reaches DRAM latency sooner."""
+        h7 = AnalyticHierarchy(p7)
+        h8 = AnalyticHierarchy(p8)
+        w = 100 * MB
+        assert h8.latency_ns(w) < 0.9 * h7.latency_ns(w)
+
+    def test_trace_sim_runs_on_power7(self, p7):
+        hier = MemoryHierarchy(p7)
+        first = hier.access(0)
+        again = hier.access(0)
+        assert first.level == "DRAM"
+        assert again.level == "L1"
+
+
+class TestThroughput:
+    def test_smt8_bandwidth_advantage(self, p7, p8):
+        """POWER8's 8-way SMT fills the memory pipeline where POWER7's
+        4-way cannot go further."""
+        from repro.core.lsu import core_stream_bandwidth
+
+        assert core_stream_bandwidth(p8, 8) > core_stream_bandwidth(p7, 4)
+
+    def test_power7_core_rejects_smt8(self, p7):
+        with pytest.raises(ValueError):
+            fma_efficiency(p7.core, 8, 2)
+
+    def test_both_generations_peak_with_12_inflight(self, p7, p8):
+        """Both cores have 2 x 6-cycle VSX pipes: the in-flight rule is
+        generational-invariant."""
+        for core in (p7.core, p8.core):
+            assert fma_efficiency(core, 4, 3) == pytest.approx(1.0)
+            assert fma_efficiency(core, 2, 3) < 1.0
+
+    def test_memory_bandwidth_scaled_up(self, p7, p8):
+        assert p8.peak_memory_bandwidth > 2 * p7.peak_memory_bandwidth
+
+
+class TestSystemLevel:
+    def test_power7_system_builds(self, p7):
+        sys7 = SystemSpec("P7-SMP", p7, num_chips=8, group_size=4)
+        assert sys7.num_threads == 256  # half of the E870's 512
+        assert sys7.peak_gflops > 0
+
+    def test_balance_improved(self, p7, p8, e870_system):
+        """POWER8's Centaur links buy a much lower flop:byte balance."""
+        sys7 = SystemSpec("P7-SMP", p7, num_chips=8, group_size=4)
+        # POWER7-class balance ~2.4 flop/byte vs the E870's 1.21.
+        assert e870_system.balance < 0.6 * sys7.balance

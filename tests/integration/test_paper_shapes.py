@@ -1,0 +1,209 @@
+"""Integration shape tests: the reproduction criteria from DESIGN.md.
+
+One test class per table/figure, asserting the paper's qualitative
+shape — who wins, by roughly what factor, where the knees fall — on the
+full composed system (specs -> models -> experiment drivers).
+"""
+
+import pytest
+
+from repro.bench.runner import run_experiment
+from repro.reporting import paper_values as paper
+from repro.reporting.compare import is_monotone, within_factor
+
+GB = 1e9
+
+
+@pytest.fixture(scope="module")
+def results(e870_system):
+    """Run every experiment once, shared across the shape tests."""
+    ids = [
+        "table2", "table3", "table4", "table5", "table6",
+        "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+        "fig9", "fig10", "fig11", "fig12",
+    ]
+    return {eid: run_experiment(eid, e870_system) for eid in ids}
+
+
+class TestFig2Shape:
+    """Four plateaus plus remote-L3 and L4 shoulders, huge pages cheaper."""
+
+    def test_plateau_ordering(self, results):
+        m = results["fig2"].metrics
+        assert (
+            m["plateau_l1"] < m["plateau_l2"] < m["plateau_l3"]
+            < m["plateau_l3_remote"] < m["plateau_l4"] < m["plateau_dram"]
+        )
+
+    def test_l4_reduces_miss_latency_over_30ns(self, results, e870_system):
+        """The paper: an L4 hit saves >30 ns versus going to DRAM."""
+        dram = e870_system.chip.centaur.dram_latency_ns
+        l4 = e870_system.chip.centaur.l4_latency_ns
+        assert dram - l4 > 30.0
+
+    def test_huge_pages_never_slower(self, results):
+        for _, lat64, lat16 in results["fig2"].rows:
+            assert lat16 <= lat64 + 1e-9
+
+
+class TestTable3Shape:
+    def test_peak_at_2_to_1_and_write_only_weakest(self, results):
+        rows = {r[0]: r[1] for r in results["table3"].rows}
+        assert max(rows, key=rows.get) == "2:1"
+        assert min(rows, key=rows.get) == "Write Only"
+
+    def test_2_1_peak_near_80pct_of_spec(self, results, e870_system):
+        peak = max(r[1] for r in results["table3"].rows)
+        assert peak * GB / e870_system.peak_memory_bandwidth == pytest.approx(0.80, abs=0.03)
+
+    def test_all_rows_within_10pct_of_paper(self, results):
+        for label, model, paper_val in results["table3"].rows:
+            assert within_factor(model, paper_val, 1.10), label
+
+
+class TestFig3Shape:
+    def test_anchors(self, results):
+        m = results["fig3"].metrics
+        assert within_factor(m["core_peak_gbs"], paper.FIG3["single_core_peak_gbs"], 1.05)
+        assert within_factor(m["chip_peak_gbs"], paper.FIG3["single_chip_peak_gbs"], 1.05)
+
+
+class TestTable4Shape:
+    def test_intra_group_latency_half_of_inter(self, results):
+        rows = {r[0]: r for r in results["table4"].rows}
+        intra = [rows[f"Chip0<->Chip{i}"][1] for i in (1, 2, 3)]
+        inter = [rows[f"Chip0<->Chip{i}"][1] for i in (4, 5, 6, 7)]
+        assert min(inter) > 1.5 * max(intra)
+
+    def test_inter_group_bandwidth_higher(self, results):
+        """The counter-intuitive §III-B result."""
+        rows = {r[0]: r for r in results["table4"].rows}
+        assert rows["Chip0<->Chip4"][5] > 1.3 * rows["Chip0<->Chip1"][5]
+
+    def test_aggregate_ordering(self, results):
+        m = results["table4"].metrics
+        assert m["agg_a_bus_aggregate"] < m["agg_all_to_all"] < m["agg_x_bus_aggregate"]
+
+    def test_x_roughly_3x_a(self, results):
+        m = results["table4"].metrics
+        assert 2.5 < m["agg_x_bus_aggregate"] / m["agg_a_bus_aggregate"] < 3.5
+
+
+class TestFig4Shape:
+    def test_peak_and_fraction(self, results):
+        m = results["fig4"].metrics
+        assert within_factor(m["peak_gbs"], paper.FIG4["peak_random_gbs"], 1.1)
+        assert m["fraction_of_read_peak"] == pytest.approx(
+            paper.FIG4["fraction_of_read_peak"], abs=0.03
+        )
+
+    def test_bandwidth_grows_with_smt(self, results):
+        rows = results["fig4"].rows
+        one_stream = [r[2] for r in rows if r[1] == 1]
+        assert is_monotone(one_stream, increasing=True)
+
+
+class TestFig5Shape:
+    def test_peak_requires_12_in_flight(self, results):
+        for threads, fmas, regs, pct in results["fig5"].rows:
+            if regs <= 128 and threads % 2 == 0 or threads == 1:
+                if threads * fmas >= 12 and regs <= 128:
+                    assert pct == pytest.approx(100.0), (threads, fmas)
+                if threads * fmas < 12:
+                    assert pct < 99.5, (threads, fmas)
+
+    def test_register_cliff(self, results):
+        by_key = {(r[0], r[1]): r[3] for r in results["fig5"].rows}
+        assert by_key[(8, 12)] < by_key[(6, 12)] <= 100.0
+
+    def test_odd_thread_dip(self, results):
+        by_key = {(r[0], r[1]): r[3] for r in results["fig5"].rows}
+        assert by_key[(3, 2)] < by_key[(4, 2)]
+
+
+class TestFig6Shape:
+    def test_latency_falls_bandwidth_rises(self, results):
+        rows = results["fig6"].rows
+        lats = [r[2] for r in rows]
+        bws = [r[3] for r in rows]
+        assert is_monotone(lats, increasing=False)
+        assert is_monotone(bws, increasing=True)
+
+
+class TestFig7Shape:
+    def test_enable_bit_cuts_latency(self, results):
+        rows = results["fig7"].rows
+        deepest = rows[-1]
+        assert deepest[2] < 0.5 * deepest[1]
+
+
+class TestFig8Shape:
+    def test_small_block_gain_over_25pct(self, results):
+        small = [r for r in results["fig8"].rows if r[0] <= 2048]
+        assert any(r[3] > 25.0 for r in small)
+
+    def test_large_block_gain_negligible(self, results):
+        large = [r for r in results["fig8"].rows if r[0] >= (1 << 20)]
+        assert all(r[3] < 5.0 for r in large)
+
+
+class TestFig9Shape:
+    def test_balance_and_roofs(self, results):
+        m = results["fig9"].metrics
+        assert m["balance"] == pytest.approx(paper.FIG9["balance"], abs=0.05)
+        assert within_factor(m["peak_gflops"], paper.FIG9["peak_gflops"], 1.01)
+        assert within_factor(m["write_roof_gbs"], paper.FIG9["write_only_bw_gbs"], 1.01)
+
+    def test_lbmhd_diamond_and_square(self, results):
+        rows = {r[0]: r for r in results["fig9"].rows}
+        assert rows["LBMHD"][2] == pytest.approx(1843.2, rel=0.01)
+        assert rows["LBMHD (write-only mix)"][2] == pytest.approx(614.4, rel=0.01)
+
+
+class TestFig10Shape:
+    def test_time_and_memory_grow(self, results):
+        rows = results["fig10"].rows
+        assert is_monotone([r[1] for r in rows], increasing=True)
+        assert is_monotone([r[3] for r in rows], increasing=True)
+
+    def test_output_dominates(self, results):
+        for row in results["fig10"].rows:
+            assert row[4] > 10  # output/input ratio
+
+
+class TestFig11Shape:
+    def test_dense_is_reference_peak(self, results):
+        rows = results["fig11"].rows
+        dense = next(r for r in rows if r[0] == "Dense")
+        assert all(r[1] <= dense[1] * 1.001 for r in rows)
+
+    def test_most_matrices_near_dense(self, results):
+        """The paper: most of the suite performs similarly to Dense."""
+        rows = results["fig11"].rows
+        near = [r for r in rows if r[2] > 0.85]
+        assert len(near) >= len(rows) // 2
+
+
+class TestFig12Shape:
+    def test_declining_and_tile_stat(self, results):
+        rows = results["fig12"].rows
+        assert is_monotone([r[1] for r in rows], increasing=False)
+        tiles = {r[0]: r[2] for r in rows}
+        assert within_factor(tiles[24], paper.FIG12["tile_elements_scale24"], 2.0)
+        assert within_factor(tiles[31], paper.FIG12["tile_elements_scale31"], 2.5)
+
+
+class TestTable6Shape:
+    def test_hf_mem_always_wins(self, results):
+        for row in results["table6"].rows:
+            speedup = row[12]
+            assert speedup > 2.5, row[0]
+
+    def test_speedups_in_paper_band(self, results):
+        for row in results["table6"].rows:
+            assert within_factor(row[12], row[13], 1.35), row[0]
+
+    def test_against_paper_totals(self, results):
+        for row in results["table6"].rows:
+            assert within_factor(row[2], row[3], 1.35), (row[0], "hf-comp")
+            assert within_factor(row[10], row[11], 1.35), (row[0], "hf-mem")

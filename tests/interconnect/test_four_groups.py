@@ -1,0 +1,110 @@
+"""Generalisation tests: the 16-socket, four-group POWER8 SMP (§II-B).
+
+The E870 exercises only two groups; the largest POWER8 SMP wires four
+groups of four chips with one A-link per partner (3 links / 3 other
+groups).  These tests check the topology, routing and latency models
+generalise beyond the paper's evaluated machine.
+"""
+
+import pytest
+
+from repro.arch import power8_192way
+from repro.interconnect.bandwidth import BandwidthModel
+from repro.interconnect.latency import LatencyModel
+from repro.interconnect.topology import SMPTopology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return SMPTopology(power8_192way())
+
+
+@pytest.fixture(scope="module")
+def models(topo):
+    return LatencyModel(topo), BandwidthModel(topo)
+
+
+class TestTopology:
+    def test_sixteen_chips_four_groups(self, topo):
+        assert topo.system.num_chips == 16
+        assert topo.system.num_groups == 4
+
+    def test_a_links_unbundled(self, topo):
+        """Three other groups share the three A-ports: bundle width 1."""
+        assert topo.a_bundle_width == 1
+        link = topo.link(("A", 0, 4))
+        assert link.capacity == pytest.approx(12.8e9)
+
+    def test_x_link_count(self, topo):
+        # 4 groups x C(4,2)=6 buses x 2 directions.
+        assert topo.x_link_count() == 48
+
+    def test_a_link_count(self, topo):
+        # Each chip has one bundle to its partner in each of 3 other
+        # groups: 16 x 3 directed bundles.
+        assert topo.a_link_count() == 48
+
+    def test_same_position_partners_in_every_group(self, topo):
+        for group in (1, 2, 3):
+            assert topo.has_direct_a(0, group * 4)
+
+    def test_routes_exist_between_all_pairs(self, topo):
+        for src in range(16):
+            for dst in range(16):
+                routes = topo.routes(src, dst)
+                assert routes, (src, dst)
+                for route in routes:
+                    for link in route:
+                        assert link in topo.links
+
+
+class TestLatency:
+    def test_intra_group_cheapest(self, models):
+        lat, _ = models
+        intra = lat.pair_latency_ns(0, 1)
+        for dst in (4, 8, 12, 5, 9, 13):
+            assert lat.pair_latency_ns(0, dst) > intra
+
+    def test_direct_partners_equal_across_groups(self, models):
+        lat, _ = models
+        assert lat.pair_latency_ns(0, 4) == lat.pair_latency_ns(0, 8) == lat.pair_latency_ns(0, 12)
+
+    def test_indirect_inter_group_costliest(self, models):
+        lat, _ = models
+        assert lat.pair_latency_ns(0, 5) > lat.pair_latency_ns(0, 4)
+
+    def test_interleaved_mean_sane(self, models):
+        lat, _ = models
+        mean = lat.interleaved_latency_ns(0)
+        assert lat.pair_latency_ns(0, 1) < mean < lat.pair_latency_ns(0, 5)
+
+
+class TestBandwidth:
+    def test_pair_bandwidths_positive(self, models):
+        _, bw = models
+        for dst in range(1, 16):
+            pair = bw.pair_bandwidth(dst, 0)
+            assert 0 < pair.one_direction < 100e9
+            assert pair.bidirectional > pair.one_direction
+
+    def test_inter_group_pair_weaker_than_e870(self, models, e870_system):
+        """With unbundled A-links (12.8 vs 38.4 GB/s) the four-group
+        machine's inter-group pairs are weaker than the E870's."""
+        from repro.interconnect.bandwidth import BandwidthModel as BM
+        from repro.interconnect.topology import SMPTopology as TP
+
+        _, bw16 = models
+        bw8 = BM(TP(e870_system))
+        assert bw16.pair_bandwidth(4, 0).one_direction < bw8.pair_bandwidth(4, 0).one_direction
+
+    def test_aggregates_solve(self, models):
+        _, bw = models
+        x_agg = bw.x_bus_aggregate()
+        a_agg = bw.a_bus_aggregate()
+        a2a = bw.all_to_all_bandwidth()
+        assert x_agg > a_agg > 0
+        assert a2a > 0
+
+    def test_interleaved_bandwidth_positive(self, models):
+        _, bw = models
+        assert bw.interleaved_bandwidth(0) > 10e9

@@ -1,0 +1,121 @@
+"""Table IV reproduction tests: pair latencies, bandwidths, aggregates."""
+
+import pytest
+
+from repro.interconnect.bandwidth import BandwidthModel
+from repro.interconnect.latency import LatencyModel
+from repro.interconnect.topology import SMPTopology
+from repro.reporting import paper_values as paper
+from repro.reporting.compare import within_factor
+
+GB = 1e9
+
+
+@pytest.fixture(scope="module")
+def models(e870_system):
+    topo = SMPTopology(e870_system)
+    return LatencyModel(topo), BandwidthModel(topo)
+
+
+class TestPairLatency:
+    @pytest.mark.parametrize("home", range(1, 8))
+    def test_matches_paper_within_10pct(self, models, home):
+        lat, _ = models
+        got = lat.pair_latency_ns(0, home)
+        assert within_factor(got, paper.TABLE4_LATENCY_NS[home], 1.10)
+
+    def test_intra_group_half_of_inter_group(self, models):
+        """The paper's headline: intra-group latency is ~2x smaller."""
+        lat, _ = models
+        intra = [lat.pair_latency_ns(0, h) for h in (1, 2, 3)]
+        inter = [lat.pair_latency_ns(0, h) for h in (4, 5, 6, 7)]
+        remote_intra = [l - lat.local_latency_ns() for l in intra]
+        remote_inter = [l - lat.local_latency_ns() for l in inter]
+        assert min(remote_inter) > 1.8 * max(remote_intra) / 1.3
+
+    def test_direct_a_partner_fastest_inter_group(self, models):
+        lat, _ = models
+        assert lat.pair_latency_ns(0, 4) < min(
+            lat.pair_latency_ns(0, h) for h in (5, 6, 7)
+        )
+
+    def test_layout_deltas_within_group(self, models):
+        lat, _ = models
+        assert lat.pair_latency_ns(0, 1) < lat.pair_latency_ns(0, 2) < lat.pair_latency_ns(0, 3)
+
+    def test_local_latency(self, models, e870_system):
+        lat, _ = models
+        assert lat.pair_latency_ns(0, 0) == e870_system.chip.centaur.dram_latency_ns
+
+    @pytest.mark.parametrize("home", range(1, 8))
+    def test_prefetch_reduces_by_order_of_magnitude(self, models, home):
+        lat, _ = models
+        cold = lat.pair_latency_ns(0, home)
+        warm = lat.pair_latency_prefetched_ns(0, home)
+        assert warm < cold / 5.0
+
+    def test_interleaved_latency(self, models):
+        lat, _ = models
+        got = lat.interleaved_latency_ns(0)
+        assert within_factor(got, paper.TABLE4_INTERLEAVED_LATENCY_NS, 1.10)
+
+
+class TestPairBandwidth:
+    @pytest.mark.parametrize("home", range(1, 8))
+    def test_one_direction(self, models, home):
+        _, bw = models
+        got = bw.pair_bandwidth(home, 0).one_direction / GB
+        assert within_factor(got, paper.TABLE4_UNI_BW_GBS[home], 1.10)
+
+    @pytest.mark.parametrize("home", range(1, 8))
+    def test_bidirectional(self, models, home):
+        _, bw = models
+        got = bw.pair_bandwidth(home, 0).bidirectional / GB
+        assert within_factor(got, paper.TABLE4_BI_BW_GBS[home], 1.10)
+
+    def test_counterintuitive_inter_beats_intra(self, models):
+        """The paper's §III-B observation: inter-group pair bandwidth is
+        HIGHER than intra-group despite the slower A-bus, because only
+        one route is allowed within a group."""
+        _, bw = models
+        intra = bw.pair_bandwidth(1, 0).one_direction
+        inter = bw.pair_bandwidth(4, 0).one_direction
+        assert inter > 1.3 * intra
+
+    def test_same_chip_rejected(self, models):
+        _, bw = models
+        with pytest.raises(ValueError):
+            bw.pair_bandwidth(0, 0)
+
+
+class TestAggregates:
+    def test_interleaved(self, models):
+        _, bw = models
+        got = bw.interleaved_bandwidth(0) / GB
+        assert within_factor(got, paper.TABLE4_AGGREGATES_GBS["chip0_interleaved"], 1.15)
+
+    def test_all_to_all(self, models):
+        _, bw = models
+        got = bw.all_to_all_bandwidth() / GB
+        assert within_factor(got, paper.TABLE4_AGGREGATES_GBS["all_to_all"], 1.15)
+
+    def test_x_aggregate(self, models):
+        _, bw = models
+        got = bw.x_bus_aggregate() / GB
+        assert within_factor(got, paper.TABLE4_AGGREGATES_GBS["x_bus_aggregate"], 1.10)
+
+    def test_a_aggregate(self, models):
+        _, bw = models
+        got = bw.a_bus_aggregate() / GB
+        assert within_factor(got, paper.TABLE4_AGGREGATES_GBS["a_bus_aggregate"], 1.10)
+
+    def test_x_aggregate_3x_a_aggregate(self, models):
+        """The paper: X-bus aggregate is ~3x the A-bus aggregate."""
+        _, bw = models
+        ratio = bw.x_bus_aggregate() / bw.a_bus_aggregate()
+        assert 2.5 < ratio < 3.5
+
+    def test_all_to_all_between_the_two_aggregates(self, models):
+        _, bw = models
+        a2a = bw.all_to_all_bandwidth()
+        assert bw.a_bus_aggregate() < a2a < bw.x_bus_aggregate()

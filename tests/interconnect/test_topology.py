@@ -1,0 +1,92 @@
+"""Unit tests for the SMP fabric topology and routing rules."""
+
+import pytest
+
+from repro.interconnect.topology import SMPTopology
+
+
+@pytest.fixture(scope="module")
+def topo(e870_system):
+    return SMPTopology(e870_system)
+
+
+class TestLinkInventory:
+    def test_x_link_count(self, topo):
+        # Two groups of 4: C(4,2)=6 buses each, directed -> 24 links.
+        assert topo.x_link_count() == 24
+
+    def test_a_link_count(self, topo):
+        # 4 same-position pairs, directed -> 8 bundles.
+        assert topo.a_link_count() == 8
+
+    def test_a_bundle_width_is_three(self, topo):
+        """With only two groups, all 3 A-ports bundle to one partner."""
+        assert topo.a_bundle_width == 3
+
+    def test_a_bundle_capacity(self, topo, e870_system):
+        link = topo.link(("A", 0, 4))
+        assert link.capacity == pytest.approx(3 * e870_system.a_bus.bandwidth)
+
+    def test_x_capacity(self, topo, e870_system):
+        link = topo.link(("X", 0, 1))
+        assert link.capacity == pytest.approx(e870_system.x_bus.bandwidth)
+
+    def test_fabric_pseudo_links_exist(self, topo, e870_system):
+        for chip in range(e870_system.num_chips):
+            assert ("inj", chip) in topo.links
+            assert ("ext", chip) in topo.links
+
+    def test_no_x_between_groups(self, topo):
+        assert ("X", 0, 4) not in topo.links
+
+    def test_no_a_within_group(self, topo):
+        assert ("A", 0, 1) not in topo.links
+
+    def test_has_direct_a(self, topo):
+        assert topo.has_direct_a(0, 4)
+        assert topo.has_direct_a(3, 7)
+        assert not topo.has_direct_a(0, 5)
+
+
+class TestRouting:
+    def test_intra_group_single_route(self, topo):
+        """The paper: only one route is allowed inside a chip group."""
+        routes = topo.routes(0, 2)
+        assert routes == [[("X", 0, 2)]]
+
+    def test_inter_group_same_position_multi_route(self, topo):
+        routes = topo.routes(0, 4)
+        assert [("A", 0, 4)] in routes
+        assert len(routes) > 1  # spill routes exist
+        # Spill routes are X-A-X three-hoppers through group peers.
+        for route in routes[1:]:
+            kinds = [link[0] for link in route]
+            assert kinds == ["X", "A", "X"]
+
+    def test_inter_group_different_position_two_routes(self, topo):
+        routes = topo.routes(0, 5)
+        kinds = sorted(tuple(l[0] for l in r) for r in routes)
+        assert kinds == [("A", "X"), ("X", "A")]
+
+    def test_self_route_empty(self, topo):
+        assert topo.routes(3, 3) == [[]]
+
+    def test_routes_use_existing_links(self, topo):
+        for src in range(8):
+            for dst in range(8):
+                for route in topo.routes(src, dst):
+                    for link_id in route:
+                        assert link_id in topo.links, (src, dst, link_id)
+
+    def test_with_endpoints(self, topo):
+        wrapped = topo.with_endpoints(0, 4, [("A", 0, 4)])
+        assert wrapped[0] == ("inj", 0)
+        assert wrapped[-1] == ("ext", 4)
+
+
+class TestSingleGroup:
+    def test_four_chip_system_has_no_a_links(self, single_group_system):
+        topo = SMPTopology(single_group_system)
+        assert topo.a_link_count() == 0
+        assert topo.a_bundle_width == 0
+        assert topo.x_link_count() == 12

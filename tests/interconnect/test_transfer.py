@@ -1,0 +1,86 @@
+"""Tests for the event-driven route transfer simulation."""
+
+import pytest
+
+from repro.interconnect.bandwidth import EFF_SINGLE_FLOW, BandwidthModel
+from repro.interconnect.topology import SMPTopology
+from repro.interconnect.transfer import (
+    RouteTransferSimulator,
+    simulate_pair_transfer,
+)
+
+GB = 1e9
+
+
+@pytest.fixture(scope="module")
+def topo(e870_system):
+    return SMPTopology(e870_system)
+
+
+class TestSingleHop:
+    def test_steady_rate_converges_to_link_capacity(self, topo):
+        sim = RouteTransferSimulator(topo, [("X", 0, 1)])
+        result = sim.simulate(4096)
+        assert result.steady_bandwidth == pytest.approx(
+            sim.bottleneck_bandwidth(), rel=0.01
+        )
+
+    def test_matches_pair_analytic_model(self, topo, e870_system):
+        """The DES steady state equals the analytic intra-group pair BW."""
+        analytic = BandwidthModel(topo).pair_bandwidth(1, 0).one_direction
+        result = simulate_pair_transfer(topo, 0, 1, lines=4096)
+        assert result.steady_bandwidth == pytest.approx(analytic, rel=0.01)
+
+    def test_first_line_latency(self, topo, e870_system):
+        sim = RouteTransferSimulator(topo, [("X", 0, 1)])
+        result = sim.simulate(16)
+        assert result.first_line_ns == pytest.approx(sim.zero_load_latency_ns(), rel=1e-6)
+        # Dominated by the 35 ns X hop plus ~4 ns of serialisation.
+        assert 35 < result.first_line_ns < 45
+
+
+class TestMultiHop:
+    def test_three_hop_bottleneck(self, topo):
+        """An X-A-X spill route is bottlenecked by its A segment."""
+        route = [("X", 0, 1), ("A", 1, 5), ("X", 5, 4)]
+        sim = RouteTransferSimulator(topo, route)
+        result = sim.simulate(4096)
+        a_capacity = topo.link(("A", 1, 5)).capacity * EFF_SINGLE_FLOW
+        assert sim.bottleneck_bandwidth() == pytest.approx(a_capacity)
+        assert result.steady_bandwidth == pytest.approx(a_capacity, rel=0.01)
+
+    def test_latency_accumulates_over_hops(self, topo):
+        one = RouteTransferSimulator(topo, [("X", 0, 1)]).simulate(4)
+        three = RouteTransferSimulator(
+            topo, [("X", 0, 1), ("A", 1, 5), ("X", 5, 4)]
+        ).simulate(4)
+        assert three.first_line_ns > one.first_line_ns + 100  # the A hop
+
+    def test_pipelining_beats_sequential(self, topo):
+        """Total time for N lines is far less than N x first-line time."""
+        sim = RouteTransferSimulator(topo, [("X", 0, 1), ("A", 1, 5), ("X", 5, 4)])
+        result = sim.simulate(512)
+        assert result.total_ns < 0.25 * 512 * result.first_line_ns
+
+
+class TestValidation:
+    def test_needs_route(self, topo):
+        with pytest.raises(ValueError):
+            RouteTransferSimulator(topo, [])
+
+    def test_needs_lines(self, topo):
+        sim = RouteTransferSimulator(topo, [("X", 0, 1)])
+        with pytest.raises(ValueError):
+            sim.simulate(0)
+
+    def test_same_chip_rejected(self, topo):
+        with pytest.raises(ValueError):
+            simulate_pair_transfer(topo, 2, 2)
+
+    def test_bad_efficiency(self, topo):
+        with pytest.raises(ValueError):
+            RouteTransferSimulator(topo, [("X", 0, 1)], efficiency=0.0)
+
+    def test_single_line_has_no_steady_rate(self, topo):
+        sim = RouteTransferSimulator(topo, [("X", 0, 1)])
+        assert sim.simulate(1).steady_bandwidth == 0.0

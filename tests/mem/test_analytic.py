@@ -1,0 +1,94 @@
+"""Unit tests for the closed-form hierarchy model (Figure 2's engine)."""
+
+import pytest
+
+from repro.arch.power8 import PAGE_16M, PAGE_64K
+from repro.mem.analytic import AnalyticHierarchy, resident_fraction
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+class TestResidentFraction:
+    def test_within_capacity(self):
+        assert resident_fraction(100, 200, 2.0) == 1.0
+
+    def test_beyond_capacity_decays(self):
+        assert resident_fraction(400, 200, 1.0) == pytest.approx(0.5)
+        assert resident_fraction(400, 200, 2.0) == pytest.approx(0.25)
+
+    def test_zero_reach(self):
+        assert resident_fraction(100, 0, 2.0) == 0.0
+
+    def test_rejects_bad_working_set(self):
+        with pytest.raises(ValueError):
+            resident_fraction(0, 100, 2.0)
+
+
+@pytest.fixture
+def model(p8_chip):
+    return AnalyticHierarchy(p8_chip, page_size=PAGE_64K)
+
+
+class TestLevelFractions:
+    def test_sum_to_one(self, model):
+        for w in (16 * KIB, 1 * MIB, 64 * MIB, 1 << 30):
+            fr = model.level_fractions(w)
+            assert sum(fr.values()) == pytest.approx(1.0)
+            assert all(v >= -1e-12 for v in fr.values())
+
+    def test_small_set_all_l1(self, model):
+        fr = model.level_fractions(32 * KIB)
+        assert fr["L1"] == pytest.approx(1.0)
+
+    def test_huge_set_mostly_dram(self, model):
+        fr = model.level_fractions(8 << 30)
+        assert fr["DRAM"] > 0.9
+
+
+class TestLatencyCurve:
+    def test_monotone_nondecreasing(self, model):
+        sizes = [2 ** e for e in range(14, 34)]
+        curve = model.curve(sizes)
+        for a, b in zip(curve, curve[1:]):
+            assert b >= a - 1e-9
+
+    def test_plateau_values(self, model, p8_chip):
+        # L1 plateau ~ L1 latency; DRAM tail ~ DRAM + TLB penalties.
+        l1 = model.latency_ns(32 * KIB)
+        assert l1 == pytest.approx(p8_chip.cycles_to_ns(3.0), rel=0.05)
+        dram = model.latency_ns(4 << 30)
+        assert dram > p8_chip.centaur.dram_latency_ns
+
+    def test_l4_shoulder_visible(self, model, p8_chip):
+        """Between the on-chip caches and DRAM there is an L4 regime."""
+        l3r = model.latency_ns(48 * MIB)
+        l4 = model.latency_ns(120 * MIB)
+        dram = model.latency_ns(2 << 30)
+        assert l3r < l4 < dram
+
+    def test_erat_spike_at_3mb(self, model):
+        """Figure 2: ERAT misses bump latency near 3 MB (48 x 64 KB)."""
+        penalty_before = model.translation_penalty_ns(2 * MIB)
+        penalty_after = model.translation_penalty_ns(6 * MIB)
+        assert penalty_after > penalty_before
+
+
+class TestPageSizeComparison:
+    def test_huge_pages_cheaper_at_large_sets(self, p8_chip):
+        """64 KB pages pay TLB misses beyond 128 MB; 16 MB pages do not."""
+        regular = AnalyticHierarchy(p8_chip, page_size=PAGE_64K)
+        huge = AnalyticHierarchy(p8_chip, page_size=PAGE_16M)
+        w = 2 << 30
+        assert huge.latency_ns(w) < regular.latency_ns(w)
+
+    def test_both_page_sizes_see_erat_spike(self, p8_chip):
+        """POWER8 fragments huge pages into 64 KB ERAT entries, so the
+        3 MB ERAT spike appears on both curves (Figure 2)."""
+        huge = AnalyticHierarchy(p8_chip, page_size=PAGE_16M)
+        assert huge.translation_penalty_ns(6 * MIB) > huge.translation_penalty_ns(2 * MIB)
+
+    def test_small_sets_identical(self, p8_chip):
+        regular = AnalyticHierarchy(p8_chip, page_size=PAGE_64K)
+        huge = AnalyticHierarchy(p8_chip, page_size=PAGE_16M)
+        assert regular.latency_ns(64 * KIB) == pytest.approx(huge.latency_ns(64 * KIB))

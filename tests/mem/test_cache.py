@@ -1,0 +1,139 @@
+"""Unit tests for the set-associative LRU cache simulator."""
+
+import pytest
+
+from repro.arch.specs import CacheSpec
+from repro.mem.cache import Cache
+
+
+def make_cache(capacity=512, line=64, ways=2, policy="store-in"):
+    return Cache(CacheSpec("t", capacity, line, ways, 1.0, policy))
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        c = make_cache()
+        assert not c.lookup(0, is_write=False)
+        c.fill(0)
+        assert c.lookup(0, is_write=False)
+        assert c.stats.hits == 1
+        assert c.stats.misses == 1
+
+    def test_contains(self):
+        c = make_cache()
+        c.fill(7)
+        assert 7 in c
+        assert 8 not in c
+
+    def test_len_counts_lines(self):
+        c = make_cache()
+        for line in range(5):
+            c.fill(line)
+        assert len(c) == 5
+
+    def test_lru_eviction_order(self):
+        # 2-way: lines 0 and 4 map to set 0 (4 sets); adding 8 evicts LRU 0.
+        c = make_cache()
+        sets = c.spec.num_sets
+        c.fill(0)
+        c.fill(sets)
+        evicted = c.fill(2 * sets)
+        assert evicted == (0, False)
+        assert 0 not in c and sets in c and 2 * sets in c
+
+    def test_hit_refreshes_lru(self):
+        c = make_cache()
+        sets = c.spec.num_sets
+        c.fill(0)
+        c.fill(sets)
+        c.lookup(0, is_write=False)  # 0 becomes MRU
+        evicted = c.fill(2 * sets)
+        assert evicted == (sets, False)
+
+    def test_refill_resident_line_is_not_eviction(self):
+        c = make_cache()
+        c.fill(0)
+        assert c.fill(0) is None
+        assert c.stats.evictions == 0
+
+
+class TestWritePolicies:
+    def test_store_in_marks_dirty(self):
+        c = make_cache(policy="store-in")
+        c.fill(0)
+        c.lookup(0, is_write=True)
+        assert c.is_dirty(0)
+
+    def test_store_through_never_dirty(self):
+        c = make_cache(policy="store-through")
+        c.fill(0, dirty=True)
+        c.lookup(0, is_write=True)
+        assert not c.is_dirty(0)
+
+    def test_dirty_eviction_counts_writeback(self):
+        c = make_cache(policy="store-in")
+        sets = c.spec.num_sets
+        c.fill(0, dirty=True)
+        c.fill(sets)
+        evicted = c.fill(2 * sets)
+        assert evicted == (0, True)
+        assert c.stats.writebacks == 1
+
+    def test_touch_dirty_requires_residency(self):
+        c = make_cache()
+        with pytest.raises(KeyError):
+            c.touch_dirty(42)
+
+    def test_touch_dirty_marks(self):
+        c = make_cache()
+        c.fill(3)
+        c.touch_dirty(3)
+        assert c.is_dirty(3)
+
+
+class TestInvalidateAndFlush:
+    def test_invalidate(self):
+        c = make_cache()
+        c.fill(1)
+        assert c.invalidate(1)
+        assert not c.invalidate(1)
+        assert 1 not in c
+
+    def test_flush_reports_dirty_count(self):
+        c = make_cache()
+        c.fill(0, dirty=True)
+        c.fill(1, dirty=False)
+        assert c.flush() == 1
+        assert len(c) == 0
+
+
+class TestVictimInsert:
+    def test_counts_victims(self):
+        c = make_cache()
+        c.insert_victim(5, dirty=True)
+        assert c.stats.victim_inserts == 1
+        assert c.is_dirty(5)
+
+
+class TestStats:
+    def test_rates(self):
+        c = make_cache()
+        c.lookup(0, False)
+        c.fill(0)
+        c.lookup(0, False)
+        c.lookup(0, False)
+        assert c.stats.hit_rate == pytest.approx(2 / 3)
+        assert c.stats.miss_rate == pytest.approx(1 / 3)
+
+    def test_empty_rates(self):
+        c = make_cache()
+        assert c.stats.hit_rate == 0.0
+        assert c.stats.miss_rate == 0.0
+
+    def test_working_set_within_capacity_all_hits_after_warmup(self):
+        c = make_cache(capacity=1024, line=64, ways=4)
+        lines = list(range(c.spec.num_lines))
+        for l in lines:
+            c.fill(l)
+        for l in lines:
+            assert c.lookup(l, is_write=False)

@@ -1,0 +1,127 @@
+"""Unit tests for the DRAM row model and the Centaur link model."""
+
+import pytest
+
+from repro.arch.specs import GB
+from repro.mem.centaur import (
+    MemoryLinkModel,
+    link_bound,
+    mix_efficiency,
+    optimal_read_fraction,
+    read_fraction,
+)
+from repro.mem.dram import DRAMModel
+from repro.reporting import paper_values as paper
+from repro.reporting.compare import within_factor
+
+
+class TestDRAMModel:
+    def test_sequential_hits_rows(self):
+        d = DRAMModel(num_banks=4, row_size=1024, hit_latency_ns=60.0, miss_extra_ns=35.0)
+        first = d.access(0)
+        second = d.access(128)
+        assert first == pytest.approx(95.0)
+        assert second == pytest.approx(60.0)
+        assert d.stats.row_hit_rate == pytest.approx(0.5)
+
+    def test_bank_conflict_row_change(self):
+        d = DRAMModel(num_banks=2, row_size=1024)
+        d.access(0)  # row 0, bank 0
+        assert d.access(2 * 1024) == pytest.approx(d.hit_latency_ns + d.miss_extra_ns)
+
+    def test_distinct_banks_keep_rows_open(self):
+        d = DRAMModel(num_banks=2, row_size=1024)
+        d.access(0)       # bank 0
+        d.access(1024)    # bank 1
+        assert d.access(64) == pytest.approx(d.hit_latency_ns)
+        assert d.access(1024 + 64) == pytest.approx(d.hit_latency_ns)
+
+    def test_reset(self):
+        d = DRAMModel()
+        d.access(0)
+        d.reset()
+        assert d.stats.accesses == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DRAMModel(num_banks=0)
+        with pytest.raises(ValueError):
+            DRAMModel(row_size=1000)
+
+
+class TestReadFraction:
+    def test_two_to_one(self):
+        assert read_fraction(2, 1) == pytest.approx(2 / 3)
+
+    def test_read_only(self):
+        assert read_fraction(1, 0) == 1.0
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            read_fraction(0, 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            read_fraction(-1, 2)
+
+
+class TestLinkBound:
+    def test_peak_at_optimal_mix(self, p8_chip):
+        f_opt = optimal_read_fraction()
+        peak = link_bound(p8_chip, f_opt)
+        assert peak == pytest.approx(p8_chip.peak_memory_bandwidth)
+        for f in (0.0, 0.3, 0.5, 0.8, 1.0):
+            assert link_bound(p8_chip, f) <= peak + 1e-6
+
+    def test_read_only_and_write_only(self, p8_chip):
+        assert link_bound(p8_chip, 1.0) == pytest.approx(p8_chip.read_bandwidth)
+        assert link_bound(p8_chip, 0.0) == pytest.approx(p8_chip.write_bandwidth)
+
+    def test_rejects_out_of_range(self, p8_chip):
+        with pytest.raises(ValueError):
+            link_bound(p8_chip, 1.5)
+
+
+class TestMixEfficiency:
+    def test_bounds(self):
+        for f in (0.0, 0.25, 0.5, 2 / 3, 0.9, 1.0):
+            assert 0.5 < mix_efficiency(f) <= 1.0
+
+    def test_worst_near_symmetric_mix(self):
+        assert mix_efficiency(0.5) < mix_efficiency(1.0)
+        assert mix_efficiency(0.5) < mix_efficiency(0.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            mix_efficiency(-0.1)
+
+
+class TestAgainstTable3:
+    """Every Table III row must reproduce within 10%."""
+
+    @pytest.mark.parametrize("ratio,expected", sorted(paper.TABLE3_GBS.items()))
+    def test_row(self, e870_system, ratio, expected):
+        model = MemoryLinkModel(e870_system.chip)
+        f = read_fraction(*ratio)
+        got = model.system_bandwidth(e870_system, f) / GB
+        assert within_factor(got, expected, 1.10), (ratio, got, expected)
+
+    def test_peak_row_is_2_to_1(self, e870_system):
+        model = MemoryLinkModel(e870_system.chip)
+        rows = {
+            ratio: model.system_bandwidth(e870_system, read_fraction(*ratio))
+            for ratio in paper.TABLE3_GBS
+        }
+        assert max(rows, key=rows.get) == (2, 1)
+
+    def test_random_efficiency_matches_fig4(self, e870_system):
+        model = MemoryLinkModel(e870_system.chip)
+        frac = model.system_random_read_bandwidth(e870_system) / e870_system.peak_read_bandwidth
+        assert frac == pytest.approx(paper.FIG4["fraction_of_read_peak"], abs=0.02)
+
+    def test_mismatched_system_rejected(self, e870_system):
+        from repro.arch import power7_chip
+
+        model = MemoryLinkModel(power7_chip())
+        with pytest.raises(ValueError, match="different chip"):
+            model.system_bandwidth(e870_system, 1.0)

@@ -1,0 +1,119 @@
+"""Unit tests for the trace-driven memory hierarchy."""
+
+import pytest
+
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.trace import random_chase, sequential
+from repro.prefetch.engine import StreamPrefetcher
+
+
+@pytest.fixture
+def hier(p8_chip):
+    return MemoryHierarchy(p8_chip)
+
+
+class TestLevelsServiceInOrder:
+    def test_cold_access_hits_dram(self, hier):
+        res = hier.access(0)
+        assert res.level == "DRAM"
+        assert res.latency_ns > 50.0
+
+    def test_immediate_reuse_hits_l1(self, hier):
+        hier.access(0)
+        res = hier.access(64)  # same 128B line
+        assert res.level == "L1"
+        assert res.latency_ns < 2.0
+
+    def test_l1_overflow_hits_l2(self, hier, p8_chip):
+        line = hier.line_size
+        l1_lines = p8_chip.core.l1d.capacity // line
+        # Touch 2x the L1 capacity, then re-touch the first line: it has
+        # been pushed out of L1 but stays in the (larger) L2.
+        for i in range(2 * l1_lines):
+            hier.access(i * line)
+        res = hier.access(0)
+        assert res.level == "L2"
+
+    def test_l2_overflow_castout_hits_l3(self, hier, p8_chip):
+        line = hier.line_size
+        l2_lines = p8_chip.core.l2.capacity // line
+        for i in range(2 * l2_lines):
+            hier.access(i * line)
+        res = hier.access(0)
+        assert res.level in ("L3", "L3R")
+
+    def test_latency_ordering(self, hier):
+        assert hier._lat_l1 < hier._lat_l2 < hier._lat_l3 < hier._lat_l3r
+        assert hier._lat_l3r < hier._lat_l4
+
+
+class TestWrites:
+    def test_write_allocates(self, hier):
+        hier.write(0)
+        res = hier.read(0)
+        assert res.level == "L1"
+
+    def test_write_marks_l2_dirty(self, hier):
+        hier.write(0)
+        line = 0
+        assert hier.l2.is_dirty(line)
+
+    def test_l1_is_never_dirty(self, hier):
+        hier.write(0)
+        assert not hier.l1.is_dirty(0)
+
+
+class TestPrefetcherIntegration:
+    def test_sequential_stream_gets_prefetched(self, p8_chip):
+        pf = StreamPrefetcher(line_size=128, depth=7)
+        hier = MemoryHierarchy(p8_chip, prefetcher=pf)
+        levels = []
+        for addr in sequential(0, 256 * 128, 128, count=64):
+            levels.append(hier.access(addr).level)
+        # After the confirmation window, demand accesses should hit the
+        # prefetched lines in L2 instead of DRAM.
+        assert levels[0] == "DRAM"
+        assert levels.count("DRAM") < 8
+        assert "L2" in levels[4:]
+        assert hier.stats.prefetch_issued > 0
+
+    def test_random_traffic_not_prefetched(self, p8_chip):
+        pf = StreamPrefetcher(line_size=128, depth=7)
+        hier = MemoryHierarchy(p8_chip, prefetcher=pf)
+        n = 0
+        for addr in random_chase(1 << 20, 128, passes=1, seed=3):
+            hier.access(addr)
+            n += 1
+        # Random lines rarely form streams: most issued prefetches never
+        # happen and demand misses dominate.
+        assert hier.stats.level_hits["DRAM"] > 0.8 * n
+
+
+class TestStats:
+    def test_mean_latency_accumulates(self, hier):
+        hier.access(0)
+        hier.access(0)
+        assert hier.stats.accesses == 2
+        assert hier.stats.mean_latency_ns > 0
+
+    def test_warm_does_not_count(self, hier):
+        hier.warm([0, 128, 256])
+        assert hier.stats.accesses == 0
+        # ...but it does populate the caches.
+        assert hier.access(0).level == "L1"
+
+    def test_hit_fraction(self, hier):
+        hier.access(0)
+        hier.access(0)
+        assert hier.stats.hit_fraction("L1") == pytest.approx(0.5)
+
+
+class TestSingleCoreChip:
+    def test_no_remote_l3(self):
+        from repro.arch.power8 import power8_chip
+
+        chip = power8_chip(cores=1)
+        hier = MemoryHierarchy(chip)
+        res = hier.access(0)
+        assert res.level == "DRAM"
+        assert hier.l3_remote is None

@@ -1,0 +1,66 @@
+"""Cross-validation: the closed-form model vs the trace-driven simulator.
+
+DESIGN.md commits to checking the analytic capacity model against the
+real cache simulator on configurations small enough to trace.  The
+criterion is coarse (the analytic knees are smooth, LRU knees are
+sharp) but the plateau levels and the ordering must agree.
+"""
+
+import pytest
+
+from repro.arch.power8 import power8_chip
+from repro.bench.latency import traced_latency_ns
+from repro.mem.analytic import AnalyticHierarchy
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return power8_chip()
+
+
+@pytest.fixture(scope="module")
+def analytic(chip):
+    return AnalyticHierarchy(chip)
+
+
+@pytest.mark.parametrize(
+    "working_set,level",
+    [
+        (32 * KIB, "L1"),
+        (256 * KIB, "L2"),
+        (4 * MIB, "L3"),
+    ],
+)
+def test_plateau_agreement(chip, analytic, working_set, level):
+    """On each plateau the two models agree within 40%."""
+    system = power8_chip()
+    traced = traced_latency_ns(_wrap(system), working_set, passes=3)
+    closed = analytic.latency_ns(working_set)
+    assert closed == pytest.approx(traced, rel=0.4), (level, traced, closed)
+
+
+def test_ordering_agreement(chip, analytic):
+    """Latency grows with working set in both models, in the same order."""
+    sizes = [32 * KIB, 256 * KIB, 2 * MIB, 16 * MIB]
+    traced = [traced_latency_ns(_wrap(chip), s, passes=2) for s in sizes]
+    closed = [analytic.latency_ns(s) for s in sizes]
+    assert traced == sorted(traced)
+    assert closed == sorted(closed)
+
+
+def test_trace_sim_requires_warmup_pass():
+    with pytest.raises(ValueError):
+        traced_latency_ns(_wrap(power8_chip()), 64 * KIB, passes=1)
+
+
+def _wrap(chip):
+    """traced_latency_ns takes a SystemSpec-like object exposing .chip."""
+
+    class _Sys:
+        def __init__(self, c):
+            self.chip = c
+
+    return _Sys(chip)

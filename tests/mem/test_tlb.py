@@ -1,0 +1,64 @@
+"""Unit tests for the ERAT/TLB translation model."""
+
+import pytest
+
+from repro.arch.specs import TLBSpec
+from repro.mem.tlb import TLB
+
+
+def make_tlb(erat=4, tlb=16, page=4096):
+    return TLB(TLBSpec(erat_entries=erat, tlb_entries=tlb,
+                       erat_miss_penalty_cycles=10.0,
+                       tlb_miss_penalty_cycles=100.0), page)
+
+
+class TestTranslate:
+    def test_first_access_misses_both(self):
+        t = make_tlb()
+        assert t.translate(0) == pytest.approx(110.0)
+        assert t.stats.erat_misses == 1
+        assert t.stats.tlb_misses == 1
+
+    def test_second_access_same_page_free(self):
+        t = make_tlb()
+        t.translate(0)
+        assert t.translate(100) == 0.0
+
+    def test_erat_capacity_eviction(self):
+        t = make_tlb(erat=2, tlb=16, page=4096)
+        t.translate(0 * 4096)
+        t.translate(1 * 4096)
+        t.translate(2 * 4096)  # evicts page 0 from ERAT (still in TLB)
+        penalty = t.translate(0 * 4096)
+        assert penalty == pytest.approx(10.0)  # ERAT miss, TLB hit
+
+    def test_tlb_capacity_eviction(self):
+        t = make_tlb(erat=1, tlb=2, page=4096)
+        for p in range(3):
+            t.translate(p * 4096)
+        # Page 0 evicted from both levels: full walk again.
+        assert t.translate(0) == pytest.approx(110.0)
+
+    def test_working_set_within_erat_reach_is_free(self):
+        t = make_tlb(erat=8, tlb=64, page=4096)
+        pages = list(range(8))
+        for p in pages:
+            t.translate(p * 4096)
+        for p in pages:
+            assert t.translate(p * 4096 + 64) == 0.0
+
+    def test_reach_properties(self):
+        t = make_tlb(erat=4, tlb=16, page=4096)
+        assert t.erat_reach == 4 * 4096
+        assert t.tlb_reach == 16 * 4096
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ValueError, match="power of two"):
+            make_tlb(page=1000)
+
+    def test_stats_rates(self):
+        t = make_tlb()
+        t.translate(0)
+        t.translate(64)
+        assert t.stats.accesses == 2
+        assert t.stats.erat_miss_rate == pytest.approx(0.5)

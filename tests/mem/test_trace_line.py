@@ -1,0 +1,112 @@
+"""Unit tests for address helpers and trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.mem.line import (
+    check_power_of_two,
+    line_base,
+    line_index,
+    page_index,
+    set_index,
+    span_lines,
+)
+from repro.mem.trace import blocked_random, random_chase, sequential, uniform_random
+
+
+class TestLineHelpers:
+    def test_line_index_and_base(self):
+        assert line_index(300, 128) == 2
+        assert line_base(300, 128) == 256
+
+    def test_page_index(self):
+        assert page_index(65536, 65536) == 1
+
+    def test_set_index(self):
+        assert set_index(10, 4) == 2
+
+    def test_span_lines_single(self):
+        assert list(span_lines(0, 8, 128)) == [0]
+
+    def test_span_lines_straddle(self):
+        assert list(span_lines(120, 16, 128)) == [0, 1]
+
+    def test_span_rejects_zero(self):
+        with pytest.raises(ValueError):
+            span_lines(0, 0, 128)
+
+    def test_check_power_of_two(self):
+        check_power_of_two(64, "x")
+        with pytest.raises(ValueError):
+            check_power_of_two(48, "x")
+
+
+class TestSequential:
+    def test_walks_with_stride(self):
+        assert list(sequential(0, 512, 128)) == [0, 128, 256, 384]
+
+    def test_wraps(self):
+        assert list(sequential(0, 256, 128, count=4)) == [0, 128, 0, 128]
+
+    def test_offset_start(self):
+        assert list(sequential(1000, 256, 128))[0] == 1000
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            list(sequential(0, 512, 0))
+
+
+class TestRandomChase:
+    def test_visits_every_line_once_per_pass(self):
+        addrs = list(random_chase(1024, 128, passes=1, seed=1))
+        assert sorted(addrs) == [i * 128 for i in range(8)]
+
+    def test_deterministic(self):
+        a = list(random_chase(2048, 128, seed=42))
+        b = list(random_chase(2048, 128, seed=42))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(random_chase(4096, 128, seed=1))
+        b = list(random_chase(4096, 128, seed=2))
+        assert a != b
+
+    def test_passes_repeat_order(self):
+        two = list(random_chase(1024, 128, passes=2, seed=5))
+        assert two[:8] == two[8:]
+
+    def test_rejects_tiny_buffer(self):
+        with pytest.raises(ValueError):
+            list(random_chase(64, 128))
+
+
+class TestUniformRandom:
+    def test_count_and_alignment(self):
+        addrs = list(uniform_random(4096, 128, count=100, seed=0))
+        assert len(addrs) == 100
+        assert all(a % 128 == 0 for a in addrs)
+        assert all(0 <= a < 4096 for a in addrs)
+
+    def test_rejects_tiny_buffer(self):
+        with pytest.raises(ValueError):
+            list(uniform_random(64, 128, count=1))
+
+
+class TestBlockedRandom:
+    def test_sequential_within_block(self):
+        addrs = list(blocked_random(1024, 256, 64, seed=0))
+        assert len(addrs) == 16
+        # Within each run of 4 (=256/64) addresses, offsets ascend.
+        for i in range(0, 16, 4):
+            block = addrs[i : i + 4]
+            assert block == sorted(block)
+            assert block[-1] - block[0] == 192
+
+    def test_every_block_visited(self):
+        addrs = list(blocked_random(2048, 512, 128, seed=3))
+        starts = sorted(set(a - a % 512 for a in addrs))
+        assert starts == [0, 512, 1024, 1536]
+
+    def test_rejects_misaligned_block(self):
+        with pytest.raises(ValueError):
+            list(blocked_random(1024, 100, 64))

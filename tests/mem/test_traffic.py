@@ -1,0 +1,62 @@
+"""Unit tests for store-convention traffic accounting."""
+
+import pytest
+
+from repro.mem.traffic import (
+    StoreConvention,
+    dcbz_gain,
+    effective_traffic,
+    goodput,
+    system_goodput,
+)
+
+
+class TestEffectiveTraffic:
+    def test_write_allocate_adds_ownership_reads(self):
+        mix = effective_traffic(2.0, 1.0, StoreConvention.WRITE_ALLOCATE)
+        assert mix.link_read_bytes == 3.0
+        assert mix.link_write_bytes == 1.0
+
+    def test_dcbz_moves_only_program_bytes(self):
+        mix = effective_traffic(2.0, 1.0, StoreConvention.DCBZ)
+        assert mix.total_link_bytes == 3.0
+        assert mix.useful_fraction == 1.0
+
+    def test_cache_bypass_same_link_traffic_as_dcbz(self):
+        a = effective_traffic(1.0, 1.0, StoreConvention.DCBZ)
+        b = effective_traffic(1.0, 1.0, StoreConvention.CACHE_BYPASS)
+        assert a.total_link_bytes == b.total_link_bytes
+
+    def test_read_only_unaffected(self):
+        for conv in StoreConvention:
+            mix = effective_traffic(4.0, 0.0, conv)
+            assert mix.read_fraction == 1.0
+            assert mix.useful_fraction == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            effective_traffic(-1.0, 0.0)
+
+
+class TestGoodput:
+    def test_dcbz_beats_write_allocate_on_add(self, e870_system):
+        naive = goodput(e870_system.chip, 2.0, 1.0, StoreConvention.WRITE_ALLOCATE)
+        tuned = goodput(e870_system.chip, 2.0, 1.0, StoreConvention.DCBZ)
+        assert tuned > 1.25 * naive
+
+    def test_add_with_dcbz_hits_table3_peak(self, e870_system):
+        bw = system_goodput(e870_system, 2.0, 1.0, StoreConvention.DCBZ)
+        assert bw == pytest.approx(1474.8e9, rel=0.01)
+
+    def test_copy_mix_shift(self, e870_system):
+        """Copy (1:1) under write-allocate behaves like the 2:1 link mix
+        but with only half the read traffic useful."""
+        mix = effective_traffic(1.0, 1.0, StoreConvention.WRITE_ALLOCATE)
+        assert mix.read_fraction == pytest.approx(2 / 3)
+        assert mix.useful_fraction == pytest.approx(2 / 3)
+
+    def test_gain_largest_for_write_heavy(self, e870_system):
+        assert dcbz_gain(e870_system, 0.0, 1.0) > dcbz_gain(e870_system, 4.0, 1.0)
+
+    def test_gain_zero_for_read_only(self, e870_system):
+        assert dcbz_gain(e870_system, 1.0, 0.0) == pytest.approx(0.0)

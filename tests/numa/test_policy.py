@@ -1,0 +1,112 @@
+"""Unit tests for NUMA placement policies."""
+
+import pytest
+
+from repro.numa.policy import (
+    Allocation,
+    BlockCyclicPolicy,
+    FirstTouchPolicy,
+    InterleavePolicy,
+    LocalPolicy,
+)
+
+PAGE = 64 * 1024
+
+
+class TestLocalPolicy:
+    def test_single_home(self):
+        p = LocalPolicy(3)
+        assert p.home(0) == 3
+        assert p.home(999) == 3
+
+    def test_homes_range(self):
+        p = LocalPolicy(1)
+        assert p.homes(0, 3 * PAGE, PAGE) == [1, 1, 1]
+
+
+class TestInterleavePolicy:
+    def test_round_robin(self):
+        p = InterleavePolicy([0, 1, 2])
+        assert [p.home(i) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            InterleavePolicy([])
+
+    def test_subset_of_chips(self):
+        p = InterleavePolicy([4, 6])
+        assert {p.home(i) for i in range(10)} == {4, 6}
+
+
+class TestBlockCyclicPolicy:
+    def test_blocks(self):
+        p = BlockCyclicPolicy([0, 1], block_pages=2)
+        assert [p.home(i) for i in range(8)] == [0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockCyclicPolicy([], 2)
+        with pytest.raises(ValueError):
+            BlockCyclicPolicy([0], 0)
+
+
+class TestFirstTouchPolicy:
+    def test_first_toucher_wins(self):
+        p = FirstTouchPolicy()
+        assert p.touch(5, 2) == 2
+        assert p.touch(5, 7) == 2  # second toucher does not move the page
+        assert p.home(5) == 2
+
+    def test_fallback_for_untouched(self):
+        p = FirstTouchPolicy(fallback=6)
+        assert p.home(0) == 6
+
+    def test_touch_range(self):
+        p = FirstTouchPolicy()
+        p.touch_range(0, 3 * PAGE, chip=4, page_size=PAGE)
+        assert p.touched_pages == 3
+        assert all(p.home(i) == 4 for i in range(3))
+
+    def test_parallel_init_pattern(self):
+        """Each thread faults its own partition: pages spread over chips."""
+        p = FirstTouchPolicy()
+        for chip in range(4):
+            p.touch_range(chip * 4 * PAGE, 4 * PAGE, chip, PAGE)
+        homes = {p.home(i) for i in range(16)}
+        assert homes == {0, 1, 2, 3}
+
+
+class TestAllocation:
+    def test_home_of(self):
+        a = Allocation("x", base=PAGE, nbytes=2 * PAGE, policy=InterleavePolicy([0, 1]))
+        assert a.home_of(PAGE) == 1  # page index 1
+        assert a.home_of(2 * PAGE) == 0
+
+    def test_out_of_range(self):
+        a = Allocation("x", 0, PAGE, LocalPolicy(0))
+        with pytest.raises(ValueError, match="outside"):
+            a.home_of(PAGE)
+
+    def test_chip_share_interleaved(self, e870_system):
+        a = Allocation("x", 0, 8 * PAGE, InterleavePolicy(range(8)))
+        share = a.chip_share(e870_system)
+        assert all(v == pytest.approx(1 / 8) for v in share.values())
+
+    def test_chip_share_local(self, e870_system):
+        a = Allocation("x", 0, 8 * PAGE, LocalPolicy(2))
+        share = a.chip_share(e870_system)
+        assert share[2] == pytest.approx(1.0)
+        assert share[0] == 0.0
+
+    def test_rejects_chip_out_of_system(self, e870_system):
+        a = Allocation("x", 0, PAGE, LocalPolicy(99))
+        with pytest.raises(ValueError, match="chip 99"):
+            a.chip_share(e870_system)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Allocation("x", 0, 0, LocalPolicy(0))
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ValueError):
+            Allocation("x", 0, PAGE, LocalPolicy(0), page_size=1000)

@@ -1,0 +1,105 @@
+"""Unit tests for the roofline-style kernel time estimator."""
+
+import pytest
+
+from repro.perfmodel.kernel_time import KernelProfile, MachineModel
+
+
+@pytest.fixture(scope="module")
+def model(e870_system):
+    return MachineModel(e870_system)
+
+
+def stream_kernel(**kw):
+    defaults = dict(
+        name="k", flops=1e12, bytes_read=2e12, bytes_written=1e12, pattern="stream"
+    )
+    defaults.update(kw)
+    return KernelProfile(**defaults)
+
+
+class TestKernelProfile:
+    def test_operational_intensity(self):
+        k = stream_kernel()
+        assert k.operational_intensity == pytest.approx(1.0 / 3.0)
+
+    def test_read_fraction(self):
+        assert stream_kernel().read_byte_fraction == pytest.approx(2 / 3)
+
+    def test_zero_bytes_infinite_oi(self):
+        k = stream_kernel(bytes_read=0, bytes_written=0)
+        assert k.operational_intensity == float("inf")
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            stream_kernel(flops=-1)
+
+    def test_rejects_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            stream_kernel(pattern="zigzag")
+
+    def test_blocked_requires_block_bytes(self):
+        with pytest.raises(ValueError):
+            stream_kernel(pattern="blocked")
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            stream_kernel(flop_efficiency=0.0)
+        with pytest.raises(ValueError):
+            stream_kernel(parallel_efficiency=1.5)
+
+
+class TestTimeEstimates:
+    def test_memory_bound_kernel_time(self, model, e870_system):
+        """A zero-flop kernel takes bytes / bandwidth seconds."""
+        k = stream_kernel(flops=0)
+        t = model.time(k)
+        bw = model.effective_bandwidth(k)
+        assert t == pytest.approx(3e12 / bw)
+
+    def test_compute_bound_kernel_time(self, model, e870_system):
+        k = stream_kernel(flops=1e15, bytes_read=1e6, bytes_written=0,
+                          flop_efficiency=1.0)
+        t = model.time(k)
+        assert t == pytest.approx(1e15 / (e870_system.peak_gflops * 1e9), rel=0.01)
+
+    def test_roofline_max_semantics(self, model):
+        """Time is the max of the two components, not the sum."""
+        k = stream_kernel()
+        t_mem_only = model.time(stream_kernel(flops=0))
+        assert model.time(k) >= t_mem_only
+
+    def test_parallel_efficiency_scales_time(self, model):
+        fast = stream_kernel()
+        slow = stream_kernel(parallel_efficiency=0.5)
+        assert model.time(slow) == pytest.approx(2 * model.time(fast))
+
+    def test_random_pattern_slower_than_stream(self, model):
+        s = stream_kernel()
+        r = stream_kernel(pattern="random")
+        assert model.time(r) > model.time(s)
+
+    def test_blocked_small_blocks_slower_than_large(self, model):
+        small = stream_kernel(pattern="blocked", block_bytes=512)
+        large = stream_kernel(pattern="blocked", block_bytes=1 << 20)
+        assert model.time(small) > model.time(large)
+
+    def test_fewer_cores_slower(self, model):
+        full = stream_kernel(flops=1e14, bytes_read=1e9, bytes_written=0,
+                             flop_efficiency=1.0)
+        half = stream_kernel(flops=1e14, bytes_read=1e9, bytes_written=0,
+                             flop_efficiency=1.0, cores=32)
+        assert model.time(half) > model.time(full)
+
+    def test_gflops_consistency(self, model):
+        k = stream_kernel()
+        assert model.gflops(k) == pytest.approx(k.flops / model.time(k) / 1e9)
+
+    def test_zero_work_zero_time(self, model):
+        k = stream_kernel(flops=0, bytes_read=0, bytes_written=0)
+        assert model.time(k) == 0.0
+        assert model.gflops(k) == 0.0
+
+    def test_rejects_bad_core_count(self, model):
+        with pytest.raises(ValueError):
+            model.time(stream_kernel(cores=1000))

@@ -1,0 +1,88 @@
+"""Figure 4 reproduction tests: the random-access bandwidth model."""
+
+import pytest
+
+from repro.perfmodel.littles_law import LMQ_ENTRIES, RandomAccessModel
+from repro.reporting import paper_values as paper
+from repro.reporting.compare import is_monotone, within_factor
+
+GB = 1e9
+
+
+@pytest.fixture(scope="module")
+def model(e870_system):
+    return RandomAccessModel(e870_system)
+
+
+class TestCeiling:
+    def test_peak_near_500_gbs(self, model):
+        assert within_factor(model.peak_bandwidth / GB, paper.FIG4["peak_random_gbs"], 1.1)
+
+    def test_fraction_of_read_peak(self, model, e870_system):
+        frac = model.peak_bandwidth / e870_system.peak_read_bandwidth
+        assert frac == pytest.approx(paper.FIG4["fraction_of_read_peak"], abs=0.02)
+
+    def test_best_config_approaches_peak(self, model):
+        best = model.bandwidth(8, 32)
+        assert best > 0.95 * model.peak_bandwidth
+
+
+class TestConcurrencyScaling:
+    def test_nearly_linear_at_low_concurrency(self, model):
+        """The paper: almost linear increase with threads below 4
+        outstanding requests per thread."""
+        b1 = model.bandwidth(1, 1)
+        b2 = model.bandwidth(2, 1)
+        b4 = model.bandwidth(4, 1)
+        assert b2 / b1 == pytest.approx(2.0, rel=0.15)
+        assert b4 / b1 == pytest.approx(4.0, rel=0.30)
+
+    def test_monotone_in_threads(self, model):
+        for s in (1, 2, 4):
+            bws = [model.bandwidth(t, s) for t in (1, 2, 4, 8)]
+            assert is_monotone(bws, increasing=True)
+
+    def test_monotone_in_streams(self, model):
+        for t in (1, 2, 4, 8):
+            bws = [model.bandwidth(t, s) for s in (1, 2, 4, 8, 16)]
+            assert is_monotone(bws, increasing=True)
+
+    def test_smt8_reaches_peak_with_4_streams(self, model):
+        """The paper's point: 8-way SMT needs only 4 concurrent lists,
+        where 4-way SMT would need an impractical 16."""
+        smt8 = model.bandwidth(8, 4)
+        assert smt8 > 0.9 * model.peak_bandwidth
+
+    def test_smt4_needs_16_streams_for_same(self, model):
+        smt4_few = model.bandwidth(4, 4)
+        smt4_many = model.bandwidth(4, 16)
+        assert smt4_few < 0.9 * model.peak_bandwidth
+        assert smt4_many > 0.9 * model.peak_bandwidth
+
+
+class TestLMQCap:
+    def test_streams_beyond_lmq_do_not_help(self, model):
+        at_cap = model.bandwidth(8, LMQ_ENTRIES // 8 + 2)
+        beyond = model.bandwidth(8, 64)
+        assert beyond == pytest.approx(at_cap, rel=0.02)
+
+    def test_core_concurrency_capped(self, model):
+        assert model.core_concurrency(8, 64) == LMQ_ENTRIES
+        assert model.core_concurrency(2, 2) == 4
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.core_concurrency(0, 1)
+        with pytest.raises(ValueError):
+            model.core_concurrency(1, 0)
+        with pytest.raises(ValueError):
+            model.core_concurrency(9, 1)
+
+
+class TestSweep:
+    def test_grid(self, model):
+        points = model.sweep(thread_counts=(1, 8), stream_counts=(1, 4))
+        assert len(points) == 4
+        assert all(p.bandwidth > 0 for p in points)
+        peak_point = max(points, key=lambda p: p.bandwidth)
+        assert (peak_point.threads_per_core, peak_point.streams_per_thread) == (8, 4)

@@ -1,0 +1,81 @@
+"""Tests for the SMT-level advisor (§III-C's 'fewer threads' insight)."""
+
+import pytest
+
+from repro.perfmodel.kernel_time import KernelProfile
+from repro.perfmodel.smt_advisor import advise_smt
+
+
+def memory_kernel(**kw):
+    defaults = dict(name="stream", flops=1e9, bytes_read=2e12, bytes_written=1e12)
+    defaults.update(kw)
+    return KernelProfile(**defaults)
+
+
+def compute_kernel(**kw):
+    defaults = dict(name="gemm", flops=1e14, bytes_read=1e9, bytes_written=1e9,
+                    flop_efficiency=1.0)
+    defaults.update(kw)
+    return KernelProfile(**defaults)
+
+
+class TestAdvice:
+    def test_memory_bound_wants_enough_threads(self, e870_system):
+        """Memory-bound kernels need >= 4 threads to fill the core's
+        memory interface (Figure 3a)."""
+        advice = advise_smt(e870_system, memory_kernel(), ilp_per_thread=4)
+        assert advice.best_threads_per_core >= 4
+        assert "memory" in advice.reason
+
+    def test_low_ilp_compute_needs_smt(self, e870_system):
+        """2 independent ops/thread: needs 6 threads to reach 12 in flight."""
+        advice = advise_smt(e870_system, compute_kernel(), ilp_per_thread=2)
+        assert advice.best_threads_per_core >= 6
+
+    def test_high_ilp_compute_prefers_fewer_threads(self, e870_system):
+        """The paper's [4] observation: a register-hungry kernel runs
+        best with FEWER threads per core."""
+        advice = advise_smt(e870_system, compute_kernel(), ilp_per_thread=16)
+        assert advice.best_threads_per_core <= 2
+
+    def test_register_reason_reported(self, e870_system):
+        advice = advise_smt(e870_system, compute_kernel(), ilp_per_thread=16)
+        assert "register" in advice.reason
+
+    def test_moderate_ilp_indifferent_but_minimal(self, e870_system):
+        """12 independent ops saturate at any SMT level; ties resolve to
+        the smallest thread count (cheapest)."""
+        advice = advise_smt(e870_system, compute_kernel(), ilp_per_thread=12,
+                            candidate_levels=[1, 2, 4])
+        assert advice.best_threads_per_core == 1
+
+
+class TestPoints:
+    def test_points_cover_candidates(self, e870_system):
+        advice = advise_smt(e870_system, memory_kernel(), candidate_levels=[1, 4, 8])
+        assert [p.threads_per_core for p in advice.points] == [1, 4, 8]
+
+    def test_memory_bandwidth_monotone_for_stream(self, e870_system):
+        advice = advise_smt(e870_system, memory_kernel(), candidate_levels=[1, 2, 4, 8])
+        bws = [p.memory_bandwidth for p in advice.points]
+        assert bws == sorted(bws)
+
+    def test_times_positive(self, e870_system):
+        advice = advise_smt(e870_system, memory_kernel())
+        assert all(p.time_seconds > 0 for p in advice.points)
+
+    def test_compute_rate_drops_at_high_smt_high_ilp(self, e870_system):
+        advice = advise_smt(e870_system, compute_kernel(), ilp_per_thread=16,
+                            candidate_levels=[1, 8])
+        by_t = {p.threads_per_core: p.compute_rate for p in advice.points}
+        assert by_t[8] < by_t[1]
+
+
+class TestValidation:
+    def test_rejects_bad_ilp(self, e870_system):
+        with pytest.raises(ValueError):
+            advise_smt(e870_system, memory_kernel(), ilp_per_thread=0)
+
+    def test_rejects_no_levels(self, e870_system):
+        with pytest.raises(ValueError):
+            advise_smt(e870_system, memory_kernel(), candidate_levels=[16])

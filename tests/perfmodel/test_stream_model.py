@@ -1,0 +1,93 @@
+"""Table III / Figure 3 reproduction tests: STREAM scaling models."""
+
+import pytest
+
+from repro.perfmodel.stream_model import (
+    chip_stream_bandwidth,
+    fig3a_points,
+    fig3b_points,
+    system_stream_bandwidth,
+    table3_rows,
+)
+from repro.reporting import paper_values as paper
+from repro.reporting.compare import is_monotone, within_factor
+
+GB = 1e9
+
+
+class TestTable3:
+    def test_every_row_within_10pct(self, e870_system):
+        for row in table3_rows(e870_system):
+            key = (int(row["read"]), int(row["write"]))
+            assert within_factor(row["bandwidth"] / GB, paper.TABLE3_GBS[key], 1.10), key
+
+    def test_peak_at_2_to_1(self, e870_system):
+        rows = table3_rows(e870_system)
+        best = max(rows, key=lambda r: r["bandwidth"])
+        assert (best["read"], best["write"]) == (2, 1)
+
+    def test_write_only_under_half_of_peak(self, e870_system):
+        rows = {(r["read"], r["write"]): r["bandwidth"] for r in table3_rows(e870_system)}
+        assert rows[(0, 1)] < 0.5 * rows[(2, 1)]
+
+    def test_peak_is_80pct_of_theoretical(self, e870_system):
+        """The paper: 1,472 GB/s is 80% of the 1,843 GB/s spec peak."""
+        peak = max(r["bandwidth"] for r in table3_rows(e870_system))
+        frac = peak / e870_system.peak_memory_bandwidth
+        assert frac == pytest.approx(0.80, abs=0.03)
+
+
+class TestFig3a:
+    def test_single_core_saturation(self, e870_system):
+        points = fig3a_points(e870_system.chip)
+        bws = [p.bandwidth for p in points]
+        assert is_monotone(bws, increasing=True)
+        assert within_factor(bws[-1] / GB, paper.FIG3["single_core_peak_gbs"], 1.05)
+
+    def test_needs_multithreading(self, e870_system):
+        """One thread cannot reach the core's sustainable rate."""
+        points = {p.threads_per_core: p.bandwidth for p in fig3a_points(e870_system.chip)}
+        assert points[1] < 0.5 * points[8]
+
+
+class TestFig3b:
+    def test_chip_saturation_level(self, e870_system):
+        points = fig3b_points(e870_system.chip)
+        peak = max(p.bandwidth for p in points) / GB
+        assert within_factor(peak, paper.FIG3["single_chip_peak_gbs"], 1.05)
+
+    def test_monotone_in_cores(self, e870_system):
+        for t in (1, 2, 4, 8):
+            bws = [
+                chip_stream_bandwidth(e870_system.chip, c, t) for c in (1, 2, 4, 8)
+            ]
+            assert is_monotone(bws, increasing=True)
+
+    def test_full_chip_is_link_limited(self, e870_system):
+        """8 cores x 26 GB/s exceeds the chip links: the link model caps it."""
+        from repro.core.lsu import core_stream_bandwidth
+
+        core_sum = 8 * core_stream_bandwidth(e870_system.chip, 8)
+        chip = chip_stream_bandwidth(e870_system.chip, 8, 8)
+        assert chip < core_sum
+
+    def test_one_core_is_core_limited(self, e870_system):
+        from repro.core.lsu import core_stream_bandwidth
+
+        chip = chip_stream_bandwidth(e870_system.chip, 1, 8)
+        assert chip == pytest.approx(core_stream_bandwidth(e870_system.chip, 8))
+
+
+class TestValidation:
+    def test_rejects_zero_cores(self, e870_system):
+        with pytest.raises(ValueError):
+            chip_stream_bandwidth(e870_system.chip, 0, 1)
+
+    def test_rejects_too_many_cores(self, e870_system):
+        with pytest.raises(ValueError):
+            chip_stream_bandwidth(e870_system.chip, 9, 1)
+
+    def test_system_stream_scaling(self, e870_system):
+        full = system_stream_bandwidth(e870_system)
+        per_chip = chip_stream_bandwidth(e870_system.chip, 8, 8)
+        assert full == pytest.approx(8 * per_chip)

@@ -1,0 +1,127 @@
+"""Figure 6/7/8 reproduction tests: DSCR, stride-N, DCBT models."""
+
+import pytest
+
+from repro.prefetch.dcbt import block_scan_efficiency, dcbt_gain, dcbt_sweep
+from repro.prefetch.dscr import (
+    dscr_sweep,
+    prefetch_distance,
+    row_efficiency,
+    sequential_latency_ns,
+    stream_bandwidth,
+    validate_depth,
+)
+from repro.prefetch.stride import strided_latency_ns, stride_sweep
+from repro.reporting import paper_values as paper
+from repro.reporting.compare import is_monotone, within_factor
+
+
+class TestDSCRDepth:
+    def test_depth_1_means_off(self):
+        assert prefetch_distance(1) == 0
+
+    def test_distances_increase(self):
+        dists = [prefetch_distance(d) for d in range(1, 8)]
+        assert dists == sorted(dists)
+        assert dists[-1] > dists[1]
+
+    def test_validate_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            validate_depth(0)
+        with pytest.raises(ValueError):
+            validate_depth(8)
+
+
+class TestFig6Latency:
+    def test_monotone_decreasing_with_depth(self, e870_system):
+        lats = [sequential_latency_ns(e870_system.chip, d) for d in range(1, 8)]
+        assert is_monotone(lats, increasing=False)
+
+    def test_depth_off_close_to_dram(self, e870_system):
+        off = sequential_latency_ns(e870_system.chip, 1)
+        assert off == pytest.approx(e870_system.chip.centaur.dram_latency_ns, rel=0.05)
+
+    def test_deepest_close_to_l1(self, e870_system):
+        deepest = sequential_latency_ns(e870_system.chip, 7)
+        assert deepest < 5.0
+
+
+class TestFig6Bandwidth:
+    def test_monotone_increasing_with_depth(self, e870_system):
+        bws = [stream_bandwidth(e870_system, d) for d in range(1, 8)]
+        assert is_monotone(bws, increasing=True)
+
+    def test_deepest_reaches_table3_peak(self, e870_system):
+        from repro.mem.centaur import MemoryLinkModel, optimal_read_fraction
+
+        peak = MemoryLinkModel(e870_system.chip).system_bandwidth(
+            e870_system, optimal_read_fraction()
+        )
+        assert stream_bandwidth(e870_system, 7) == pytest.approx(peak)
+
+    def test_row_efficiency_bounds(self):
+        for d in range(1, 8):
+            assert 0.3 < row_efficiency(d) <= 1.0
+
+    def test_sweep_rows(self, e870_system):
+        points = dscr_sweep(e870_system)
+        assert [p.depth for p in points] == list(range(1, 8))
+        assert all(p.bandwidth > 0 and p.latency_ns > 0 for p in points)
+
+
+class TestFig7StrideN:
+    def test_disabled_flat_and_high(self, e870_system):
+        rows = stride_sweep(e870_system.chip, 256)
+        disabled = [r["latency_disabled_ns"] for r in rows]
+        assert max(disabled) - min(disabled) < 1e-9
+        assert within_factor(disabled[0], paper.FIG7["latency_disabled_ns"], 1.2)
+
+    def test_enabled_drops_to_paper_band(self, e870_system):
+        best = strided_latency_ns(e870_system.chip, 256, depth=7, stride_detection=True)
+        assert within_factor(best, paper.FIG7["latency_enabled_ns"], 1.5)
+        assert best < 0.5 * paper.FIG7["latency_disabled_ns"]
+
+    def test_dense_stream_detected_even_without_stride_bit(self, e870_system):
+        dense = strided_latency_ns(e870_system.chip, 1, depth=7, stride_detection=False)
+        strided = strided_latency_ns(e870_system.chip, 256, depth=7, stride_detection=False)
+        assert dense < strided
+
+    def test_rejects_zero_stride(self, e870_system):
+        with pytest.raises(ValueError):
+            strided_latency_ns(e870_system.chip, 0, 4, True)
+
+
+class TestFig8DCBT:
+    def test_gain_exceeds_25pct_on_small_blocks(self, e870_system):
+        gain = dcbt_gain(e870_system.chip, 1024)
+        assert gain > paper.FIG8["min_small_block_gain"]
+
+    def test_gain_negligible_on_large_blocks(self, e870_system):
+        gain = dcbt_gain(e870_system.chip, 8 << 20)
+        assert gain < 0.02
+
+    def test_gain_monotone_decreasing_past_peak(self, e870_system):
+        # The gain peaks once blocks exceed the confirm window (~4 lines)
+        # and decays monotonically from there.
+        sizes = [1 << s for s in range(9, 24)]
+        gains = [dcbt_gain(e870_system.chip, b) for b in sizes]
+        assert is_monotone(gains, increasing=False, tolerance=1e-9)
+
+    def test_dcbt_always_at_least_as_good(self, e870_system):
+        for b in (256, 4096, 1 << 20):
+            hw = block_scan_efficiency(e870_system.chip, b, use_dcbt=False)
+            sw = block_scan_efficiency(e870_system.chip, b, use_dcbt=True)
+            assert sw >= hw
+
+    def test_efficiency_bounded_by_one(self, e870_system):
+        for b in (256, 65536, 1 << 22):
+            assert block_scan_efficiency(e870_system.chip, b, True) <= 1.0
+
+    def test_rejects_sub_line_block(self, e870_system):
+        with pytest.raises(ValueError):
+            block_scan_efficiency(e870_system.chip, 64, True)
+
+    def test_sweep_structure(self, e870_system):
+        rows = dcbt_sweep(e870_system.chip, [256, 1024])
+        assert len(rows) == 2
+        assert all(r["gain"] >= 0 for r in rows)

@@ -1,0 +1,122 @@
+"""Unit tests for the operational stream-prefetch engine."""
+
+import pytest
+
+from repro.prefetch.engine import CONFIRM_ACCESSES, StreamPrefetcher
+
+LINE = 128
+
+
+def feed(pf, lines):
+    """Feed line numbers as byte addresses; return prefetched line numbers."""
+    out = []
+    for l in lines:
+        out.extend(a // LINE for a in pf.observe(l * LINE, is_write=False))
+    return out
+
+
+class TestDenseStreams:
+    def test_ascending_stream_confirmed_and_prefetched(self):
+        pf = StreamPrefetcher(LINE, depth=5)
+        issued = feed(pf, range(20))
+        assert pf.streams_confirmed >= 1
+        assert issued, "confirmed stream must issue prefetches"
+        # Prefetches run ahead of the demand stream.
+        assert max(issued) > 19
+
+    def test_descending_stream_detected(self):
+        pf = StreamPrefetcher(LINE, depth=5)
+        issued = feed(pf, range(100, 80, -1))
+        assert pf.streams_confirmed >= 1
+        assert issued
+        assert min(issued) < 81
+
+    def test_no_duplicate_prefetches(self):
+        pf = StreamPrefetcher(LINE, depth=5)
+        issued = feed(pf, range(64))
+        assert len(issued) == len(set(issued))
+
+    def test_depth_one_disables(self):
+        pf = StreamPrefetcher(LINE, depth=1)
+        assert feed(pf, range(50)) == []
+        assert pf.streams_confirmed == 0
+
+    def test_deeper_setting_prefetches_farther(self):
+        shallow = StreamPrefetcher(LINE, depth=3)
+        deep = StreamPrefetcher(LINE, depth=7)
+        far_shallow = max(feed(shallow, range(40)), default=0)
+        far_deep = max(feed(deep, range(40)), default=0)
+        assert far_deep > far_shallow
+
+
+class TestStrideN:
+    def test_strided_ignored_by_default(self):
+        pf = StreamPrefetcher(LINE, depth=7, stride_n=False)
+        assert feed(pf, range(0, 20 * 256, 256)) == []
+
+    def test_strided_detected_when_enabled(self):
+        pf = StreamPrefetcher(LINE, depth=7, stride_n=True)
+        issued = feed(pf, range(0, 20 * 256, 256))
+        assert pf.streams_confirmed >= 1
+        assert issued
+        assert all(l % 256 == 0 for l in issued)
+
+
+class TestRandomTraffic:
+    def test_random_lines_do_not_stream(self):
+        import random
+
+        rng = random.Random(9)
+        pf = StreamPrefetcher(LINE, depth=7)
+        lines = [rng.randrange(0, 1 << 20) * 7919 for _ in range(200)]
+        issued = feed(pf, lines)
+        # A few accidental pairs may look like strides; useful streams
+        # should stay negligible.
+        assert len(issued) < 50
+
+
+class TestDCBTDeclaration:
+    def test_declared_stream_prefetches_immediately(self):
+        pf = StreamPrefetcher(LINE, depth=7)
+        burst = pf.declare_stream(0, length_bytes=32 * LINE)
+        assert burst, "DCBT must issue an initial burst"
+        assert burst[0] == LINE  # first prefetch is the next line
+
+    def test_burst_clipped_to_declared_length(self):
+        pf = StreamPrefetcher(LINE, depth=7)
+        burst = pf.declare_stream(0, length_bytes=4 * LINE)
+        assert max(b // LINE for b in burst) <= 3
+
+    def test_descending_declaration(self):
+        pf = StreamPrefetcher(LINE, depth=7)
+        burst = pf.declare_stream(10 * LINE, length_bytes=5 * LINE, descending=True)
+        assert burst
+        assert all(b // LINE < 10 for b in burst)
+        assert min(b // LINE for b in burst) >= 6
+
+    def test_declared_stream_continues_on_demand(self):
+        pf = StreamPrefetcher(LINE, depth=4)
+        pf.declare_stream(0, length_bytes=64 * LINE)
+        issued = feed(pf, range(1, 10))
+        assert issued  # the stream keeps running ahead
+
+    def test_depth_off_ignores_dcbt(self):
+        pf = StreamPrefetcher(LINE, depth=1)
+        assert pf.declare_stream(0, 64 * LINE) == []
+
+
+class TestCapacity:
+    def test_stream_table_lru(self):
+        pf = StreamPrefetcher(LINE, depth=7, max_streams=2)
+        # Confirm three interleaved streams far apart; table holds two.
+        bases = [0, 1 << 12, 1 << 14]
+        for step in range(CONFIRM_ACCESSES + 2):
+            for base in bases:
+                pf.observe((base + step) * LINE, False)
+        assert len(pf._streams) <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamPrefetcher(0, depth=5)
+        with pytest.raises(ValueError):
+            StreamPrefetcher(LINE, depth=9)

@@ -1,0 +1,125 @@
+"""Property-based tests on the applications (Jaccard, SpMV, HF)."""
+
+import numpy as np
+import hypothesis.strategies as st
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis.extra import numpy as hnp
+
+from repro.apps.jaccard import all_pairs_jaccard
+from repro.apps.spmv import CSRSpMV, TwoScanSpMV, imbalance, partition_rows
+from repro.apps.hf.basis import contracted_s
+from repro.apps.hf.integrals import eri_ssss, kinetic, overlap
+
+
+@st.composite
+def random_sparse(draw, max_n=40):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    density = draw(st.floats(min_value=0.02, max_value=0.5))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    rng = np.random.default_rng(seed)
+    return sp.random(n, n, density=density, random_state=rng, format="csr")
+
+
+@st.composite
+def symmetric_adjacency(draw, max_n=30):
+    m = draw(random_sparse(max_n))
+    a = m + m.T
+    a.data[:] = 1.0
+    a.setdiag(0)
+    a.eliminate_zeros()
+    return a.tocsr()
+
+
+class TestJaccardProperties:
+    @given(adj=symmetric_adjacency())
+    @settings(max_examples=50, deadline=None)
+    def test_values_in_unit_interval(self, adj):
+        res = all_pairs_jaccard(adj)
+        assert np.all(res.similarity.data >= 0)
+        assert np.all(res.similarity.data <= 1.0 + 1e-12)
+
+    @given(adj=symmetric_adjacency())
+    @settings(max_examples=50, deadline=None)
+    def test_symmetric_output(self, adj):
+        res = all_pairs_jaccard(adj)
+        assert abs(res.similarity - res.similarity.T).max() < 1e-12
+
+    @given(adj=symmetric_adjacency())
+    @settings(max_examples=50, deadline=None)
+    def test_diagonal_one_for_connected_vertices(self, adj):
+        res = all_pairs_jaccard(adj)
+        degrees = np.asarray(adj.sum(axis=1)).ravel()
+        diag = res.similarity.diagonal()
+        for v in range(adj.shape[0]):
+            if degrees[v] > 0:
+                assert diag[v] == 1.0
+
+
+class TestSpMVProperties:
+    @given(m=random_sparse(), seed=st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_csr_matches_scipy(self, m, seed):
+        x = np.random.default_rng(seed).standard_normal(m.shape[1])
+        threads = 1 + seed % 7
+        y = CSRSpMV(m, num_threads=threads).multiply(x)
+        np.testing.assert_allclose(y, m @ x, rtol=1e-10, atol=1e-10)
+
+    @given(m=random_sparse(), seed=st.integers(0, 100),
+           width=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_twoscan_matches_scipy(self, m, seed, width):
+        x = np.random.default_rng(seed).standard_normal(m.shape[1])
+        y = TwoScanSpMV(m, block_width=width).multiply(x)
+        np.testing.assert_allclose(y, m @ x, rtol=1e-10, atol=1e-10)
+
+    @given(m=random_sparse(), threads=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_is_a_cover(self, m, threads):
+        parts = partition_rows(m, threads)
+        assert parts[0].row_start == 0
+        assert parts[-1].row_end == m.shape[0]
+        assert sum(p.nnz for p in parts) == m.nnz
+        assert imbalance(parts) >= 1.0 or m.nnz == 0
+
+
+class TestIntegralProperties:
+    gaussians = st.builds(
+        lambda alpha, z: contracted_s((0.0, 0.0, z), [(alpha, 1.0)]),
+        alpha=st.floats(min_value=0.05, max_value=10.0, allow_nan=False),
+        z=st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+    )
+
+    @given(a=gaussians)
+    @settings(max_examples=100, deadline=None)
+    def test_normalised(self, a):
+        assert abs(overlap(a, a) - 1.0) < 1e-8
+
+    @given(a=gaussians, b=gaussians)
+    @settings(max_examples=100, deadline=None)
+    def test_overlap_cauchy_schwarz(self, a, b):
+        assert abs(overlap(a, b)) <= 1.0 + 1e-9
+
+    @given(a=gaussians, b=gaussians)
+    @settings(max_examples=100, deadline=None)
+    def test_kinetic_symmetric(self, a, b):
+        assert abs(kinetic(a, b) - kinetic(b, a)) < 1e-9
+
+    @given(a=gaussians, b=gaussians)
+    @settings(max_examples=60, deadline=None)
+    def test_eri_schwarz_inequality(self, a, b):
+        """|(ab|ab)| <= sqrt((aa|aa)(bb|bb)) is implied by positivity."""
+        aa = eri_ssss(a, a, a, a)
+        bb = eri_ssss(b, b, b, b)
+        ab = eri_ssss(a, b, a, b)
+        assert ab >= -1e-12  # (ab|ab) is a self-repulsion: non-negative
+        assert ab <= np.sqrt(aa * bb) + 1e-9
+
+    @given(a=gaussians, b=gaussians, c=gaussians, d=gaussians)
+    @settings(max_examples=40, deadline=None)
+    def test_eri_bra_ket_symmetry(self, a, b, c, d):
+        v1 = eri_ssss(a, b, c, d)
+        v2 = eri_ssss(c, d, a, b)
+        v3 = eri_ssss(b, a, c, d)
+        assert abs(v1 - v2) < 1e-9
+        assert abs(v1 - v3) < 1e-9

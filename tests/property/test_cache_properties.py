@@ -1,0 +1,106 @@
+"""Property-based tests for the cache simulator invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.arch.specs import CacheSpec
+from repro.mem.cache import Cache
+
+cache_geometries = st.sampled_from(
+    [
+        (512, 64, 2),
+        (1024, 64, 4),
+        (4096, 128, 8),
+        (256, 64, 1),  # direct mapped
+        (512, 64, 8),  # fully associative
+    ]
+)
+
+access_sequences = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=255), st.booleans()),
+    min_size=1,
+    max_size=300,
+)
+
+
+@given(geometry=cache_geometries, accesses=access_sequences)
+@settings(max_examples=60, deadline=None)
+def test_capacity_never_exceeded(geometry, accesses):
+    """No set ever holds more than `associativity` lines."""
+    cap, line, ways = geometry
+    cache = Cache(CacheSpec("p", cap, line, ways, 1.0))
+    for addr, is_write in accesses:
+        if not cache.lookup(addr, is_write):
+            cache.fill(addr, dirty=is_write)
+    for set_idx in range(cache.spec.num_sets):
+        assert cache.set_occupancy(set_idx) <= ways
+    assert len(cache) <= cache.spec.num_lines
+
+
+@given(geometry=cache_geometries, accesses=access_sequences)
+@settings(max_examples=60, deadline=None)
+def test_accesses_equal_hits_plus_misses(geometry, accesses):
+    cap, line, ways = geometry
+    cache = Cache(CacheSpec("p", cap, line, ways, 1.0))
+    for addr, is_write in accesses:
+        if not cache.lookup(addr, is_write):
+            cache.fill(addr)
+    assert cache.stats.accesses == len(accesses)
+    assert cache.stats.hits + cache.stats.misses == len(accesses)
+
+
+@given(geometry=cache_geometries, accesses=access_sequences)
+@settings(max_examples=60, deadline=None)
+def test_filled_line_immediately_resident(geometry, accesses):
+    cap, line, ways = geometry
+    cache = Cache(CacheSpec("p", cap, line, ways, 1.0))
+    for addr, is_write in accesses:
+        if not cache.lookup(addr, is_write):
+            cache.fill(addr)
+        assert addr in cache  # the just-touched line is always resident
+
+
+@given(geometry=cache_geometries, accesses=access_sequences)
+@settings(max_examples=60, deadline=None)
+def test_store_through_holds_no_dirty_lines(geometry, accesses):
+    cap, line, ways = geometry
+    cache = Cache(CacheSpec("p", cap, line, ways, 1.0, "store-through"))
+    for addr, is_write in accesses:
+        if not cache.lookup(addr, is_write):
+            cache.fill(addr, dirty=is_write)
+    assert all(not cache.is_dirty(l) for l in cache.lines())
+    assert cache.flush() == 0
+
+
+@given(accesses=access_sequences)
+@settings(max_examples=60, deadline=None)
+def test_lru_subset_property(accesses):
+    """A larger cache of the same geometry class hits at least as often
+    as a smaller one on every trace (LRU inclusion property holds for
+    fully-associative caches)."""
+    small = Cache(CacheSpec("s", 4 * 64, 64, 4, 1.0))  # 4 lines, fully assoc
+    large = Cache(CacheSpec("l", 8 * 64, 64, 8, 1.0))  # 8 lines, fully assoc
+    for addr, is_write in accesses:
+        if not small.lookup(addr, is_write):
+            small.fill(addr)
+        if not large.lookup(addr, is_write):
+            large.fill(addr)
+    assert large.stats.hits >= small.stats.hits
+
+
+@given(
+    lines=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=64,
+                   unique=True)
+)
+@settings(max_examples=40, deadline=None)
+def test_working_set_within_capacity_never_misses_twice(lines):
+    """Once a working set that fits is loaded, it never misses again."""
+    cache = Cache(CacheSpec("c", 64 * 64, 64, 64, 1.0))  # 64 lines, fully assoc
+    for l in lines:
+        if not cache.lookup(l, False):
+            cache.fill(l)
+    before = cache.stats.misses
+    for _ in range(3):
+        for l in lines:
+            assert cache.lookup(l, False)
+    assert cache.stats.misses == before

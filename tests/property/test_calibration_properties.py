@@ -1,0 +1,58 @@
+"""Property-based test: calibration round-trips synthetic tables.
+
+Generate a Table-III-like dataset from *known* constants, fit it, and
+check the fit recovers the generating constants — the calibration
+machinery is exact on its own model class.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.arch import e870
+from repro.calibration.fit import fit_mix_efficiency, predict_bandwidth
+from repro.mem.centaur import read_fraction
+
+SYSTEM = e870()
+RATIOS = [(1, 0), (16, 1), (8, 1), (4, 1), (2, 1), (1, 1), (1, 2), (1, 4), (0, 1)]
+
+
+@given(
+    r_eff=st.floats(min_value=0.75, max_value=0.99),
+    w_eff=st.floats(min_value=0.75, max_value=0.99),
+    coef=st.floats(min_value=0.05, max_value=0.4),
+)
+@settings(max_examples=40, deadline=None)
+def test_fit_recovers_generating_constants(r_eff, w_eff, coef):
+    params = (r_eff, w_eff, coef)
+    measured = {
+        ratio: predict_bandwidth(SYSTEM.chip, 8, read_fraction(*ratio), params)
+        for ratio in RATIOS
+    }
+    fit = fit_mix_efficiency(SYSTEM.chip, 8, measured)
+    assert abs(fit.read_lane_efficiency - r_eff) < 0.02
+    assert abs(fit.write_lane_efficiency - w_eff) < 0.02
+    assert abs(fit.turnaround_coef - coef) < 0.05
+    assert fit.max_relative_error < 1e-3
+
+
+@given(
+    r_eff=st.floats(min_value=0.8, max_value=0.95),
+    w_eff=st.floats(min_value=0.8, max_value=0.95),
+    coef=st.floats(min_value=0.1, max_value=0.3),
+    noise_seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=30, deadline=None)
+def test_fit_robust_to_measurement_noise(r_eff, w_eff, coef, noise_seed):
+    import numpy as np
+
+    rng = np.random.default_rng(noise_seed)
+    params = (r_eff, w_eff, coef)
+    measured = {}
+    for ratio in RATIOS:
+        clean = predict_bandwidth(SYSTEM.chip, 8, read_fraction(*ratio), params)
+        measured[ratio] = clean * (1.0 + rng.normal(0, 0.01))
+    fit = fit_mix_efficiency(SYSTEM.chip, 8, measured)
+    # 1% measurement noise leaves the constants within a few percent.
+    assert abs(fit.read_lane_efficiency - r_eff) < 0.05
+    assert abs(fit.write_lane_efficiency - w_eff) < 0.05
+    assert fit.max_relative_error < 0.05

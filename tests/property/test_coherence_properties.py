@@ -1,0 +1,88 @@
+"""Property-based tests for the MESI directory and chip simulator."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.coherence.mesi import Directory, State
+
+ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),  # core
+        st.integers(min_value=0, max_value=7),  # line
+        st.sampled_from(["read", "write", "evict"]),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+def run_ops(d: Directory, sequence):
+    for core, line, op in sequence:
+        if op == "read":
+            d.read(core, line)
+        elif op == "write":
+            d.write(core, line)
+        else:
+            d.evict(core, line)
+
+
+@given(sequence=ops)
+@settings(max_examples=150, deadline=None)
+def test_invariants_always_hold(sequence):
+    d = Directory(4)
+    for core, line, op in sequence:
+        if op == "read":
+            d.read(core, line)
+        elif op == "write":
+            d.write(core, line)
+        else:
+            d.evict(core, line)
+        d.check_invariants()
+
+
+@given(sequence=ops)
+@settings(max_examples=150, deadline=None)
+def test_single_writer_multiple_readers(sequence):
+    """SWMR: if any core holds M, no other core holds a valid copy."""
+    d = Directory(4)
+    run_ops(d, sequence)
+    for line in range(8):
+        states = [d.state(core, line) for core in range(4)]
+        if State.MODIFIED in states:
+            valid = [s for s in states if s is not State.INVALID]
+            assert valid == [State.MODIFIED]
+
+
+@given(sequence=ops)
+@settings(max_examples=150, deadline=None)
+def test_at_most_one_owner(sequence):
+    d = Directory(4)
+    run_ops(d, sequence)
+    for line in range(8):
+        owners = [
+            c for c in range(4)
+            if d.state(c, line) in (State.MODIFIED, State.EXCLUSIVE)
+        ]
+        assert len(owners) <= 1
+
+
+@given(sequence=ops)
+@settings(max_examples=100, deadline=None)
+def test_last_writer_holds_modified(sequence):
+    d = Directory(4)
+    run_ops(d, sequence)
+    # Apply one final write; that core must end in M regardless of history.
+    d.write(2, 3)
+    assert d.state(2, 3) is State.MODIFIED
+    d.check_invariants()
+
+
+@given(sequence=ops)
+@settings(max_examples=100, deadline=None)
+def test_write_then_read_roundtrip(sequence):
+    """After arbitrary history, write(c) then read(c) keeps c a holder."""
+    d = Directory(4)
+    run_ops(d, sequence)
+    d.write(0, 5)
+    d.read(0, 5)
+    assert d.state(0, 5) is not State.INVALID

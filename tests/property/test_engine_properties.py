@@ -1,0 +1,95 @@
+"""Property-based tests for the discrete-event kernel."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.engine.events import EventQueue
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False), min_size=1, max_size=100))
+@settings(max_examples=150, deadline=None)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    q = EventQueue()
+    fired_times = []
+    for d in delays:
+        q.schedule(d, lambda: fired_times.append(q.now))
+    q.run()
+    assert fired_times == sorted(fired_times)
+    assert len(fired_times) == len(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e3,
+                                 allow_nan=False), min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_clock_never_goes_backwards(delays):
+    q = EventQueue()
+    observed = []
+
+    def record():
+        observed.append(q.now)
+
+    for d in delays:
+        q.schedule(d, record)
+    q.run()
+    assert q.now == max(observed)
+    assert q.now >= 0.0
+
+
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                    min_size=2, max_size=50),
+    cancel_every=st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=100, deadline=None)
+def test_cancelled_events_never_fire(delays, cancel_every):
+    q = EventQueue()
+    fired = []
+    cancelled_ids = set()
+    events = []
+    for i, d in enumerate(delays):
+        ev = q.schedule(d, lambda i=i: fired.append(i))
+        events.append(ev)
+        if i % cancel_every == 0:
+            ev.cancel()
+            cancelled_ids.add(i)
+    q.run()
+    assert not (set(fired) & cancelled_ids)
+    assert set(fired) == set(range(len(delays))) - cancelled_ids
+
+
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                    min_size=1, max_size=50),
+    bound=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_run_until_respects_bound(delays, bound):
+    q = EventQueue()
+    fired_times = []
+    for d in delays:
+        q.schedule(d, lambda: fired_times.append(q.now))
+    q.run(until=bound)
+    assert all(t <= bound for t in fired_times)
+    # The remainder still fires afterwards.
+    q.run()
+    assert len(fired_times) == len(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0,
+                                 allow_nan=False), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_nested_scheduling_preserves_order(delays):
+    """Events scheduled from inside callbacks still fire in time order."""
+    q = EventQueue()
+    trace = []
+
+    def spawn(d):
+        trace.append(q.now)
+        if d > 1.0:
+            q.schedule(d / 2, lambda: spawn(d / 4))
+
+    for d in delays:
+        q.schedule(d, lambda d=d: spawn(d))
+    q.run(max_events=500)
+    assert trace == sorted(trace)

@@ -1,0 +1,78 @@
+"""Property-based tests for the max-min fair allocator."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+
+from repro.engine.resources import max_min_fair
+
+
+@st.composite
+def flow_networks(draw):
+    n_links = draw(st.integers(min_value=1, max_value=5))
+    links = [f"l{i}" for i in range(n_links)]
+    caps = {
+        l: draw(st.floats(min_value=1.0, max_value=100.0, allow_nan=False))
+        for l in links
+    }
+    n_flows = draw(st.integers(min_value=1, max_value=6))
+    flows = {}
+    for f in range(n_flows):
+        path = draw(
+            st.lists(st.sampled_from(links), min_size=1, max_size=n_links, unique=True)
+        )
+        flows[f"f{f}"] = path
+    return flows, caps
+
+
+@given(net=flow_networks())
+@settings(max_examples=100, deadline=None)
+def test_no_link_oversubscribed(net):
+    flows, caps = net
+    alloc = max_min_fair(flows, caps)
+    for link, cap in caps.items():
+        load = sum(alloc[f] for f, path in flows.items() if link in path)
+        assert load <= cap * (1 + 1e-6)
+
+
+@given(net=flow_networks())
+@settings(max_examples=100, deadline=None)
+def test_all_flows_get_positive_rate(net):
+    """Max-min fairness starves nobody."""
+    flows, caps = net
+    alloc = max_min_fair(flows, caps)
+    for f in flows:
+        assert alloc[f] > 0
+
+
+@given(net=flow_networks())
+@settings(max_examples=100, deadline=None)
+def test_every_flow_has_a_saturated_bottleneck(net):
+    """Pareto optimality: each flow crosses a link that is (nearly)
+    fully utilised — otherwise its rate could be raised."""
+    flows, caps = net
+    alloc = max_min_fair(flows, caps)
+    loads = {
+        link: sum(alloc[f] for f, path in flows.items() if link in path)
+        for link in caps
+    }
+    for f, path in flows.items():
+        assert any(loads[l] >= caps[l] * (1 - 1e-6) for l in path), f
+
+
+@given(net=flow_networks())
+@settings(max_examples=100, deadline=None)
+def test_scaling_capacities_scales_allocation(net):
+    flows, caps = net
+    alloc1 = max_min_fair(flows, caps)
+    alloc2 = max_min_fair(flows, {l: 2 * c for l, c in caps.items()})
+    for f in flows:
+        assert alloc2[f] == max(alloc2[f], 2 * alloc1[f] * (1 - 1e-6))
+
+
+@given(net=flow_networks(), seed=st.integers(min_value=0, max_value=10))
+@settings(max_examples=50, deadline=None)
+def test_deterministic(net, seed):
+    del seed
+    flows, caps = net
+    assert max_min_fair(flows, caps) == max_min_fair(flows, caps)

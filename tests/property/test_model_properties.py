@@ -1,0 +1,111 @@
+"""Property-based tests on the analytic performance models."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.arch import e870, power8_chip
+from repro.core.fma import fma_efficiency
+from repro.mem.analytic import AnalyticHierarchy
+from repro.mem.centaur import MemoryLinkModel, link_bound, mix_efficiency
+from repro.perfmodel.littles_law import RandomAccessModel
+from repro.prefetch.dcbt import block_scan_efficiency
+
+CHIP = power8_chip()
+SYSTEM = e870()
+HIERARCHY = AnalyticHierarchy(CHIP)
+RANDOM = RandomAccessModel(SYSTEM)
+LINKS = MemoryLinkModel(CHIP)
+
+
+@given(f=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_link_bound_never_exceeds_peak_mix(f):
+    assert link_bound(CHIP, f) <= CHIP.peak_memory_bandwidth + 1e-6
+
+
+@given(f=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_sustained_below_raw(f):
+    assert LINKS.chip_bandwidth(f) <= link_bound(CHIP, f)
+    assert 0.0 < mix_efficiency(f) <= 1.0
+
+
+@given(
+    w1=st.integers(min_value=1024, max_value=1 << 34),
+    w2=st.integers(min_value=1024, max_value=1 << 34),
+)
+@settings(max_examples=200, deadline=None)
+def test_latency_monotone_in_working_set(w1, w2):
+    lo, hi = sorted((w1, w2))
+    assert HIERARCHY.latency_ns(lo) <= HIERARCHY.latency_ns(hi) + 1e-9
+
+
+@given(w=st.integers(min_value=1024, max_value=1 << 34))
+@settings(max_examples=200, deadline=None)
+def test_latency_bounded_by_extremes(w):
+    l1 = CHIP.cycles_to_ns(CHIP.core.l1d.latency_cycles)
+    worst = (
+        CHIP.centaur.dram_latency_ns
+        + CHIP.cycles_to_ns(
+            CHIP.core.tlb.erat_miss_penalty_cycles + CHIP.core.tlb.tlb_miss_penalty_cycles
+        )
+    )
+    assert l1 <= HIERARCHY.latency_ns(w) <= worst
+
+
+@given(w=st.integers(min_value=1024, max_value=1 << 34))
+@settings(max_examples=100, deadline=None)
+def test_level_fractions_form_distribution(w):
+    fr = HIERARCHY.level_fractions(w)
+    assert abs(sum(fr.values()) - 1.0) < 1e-9
+    assert all(-1e-12 <= v <= 1.0 + 1e-12 for v in fr.values())
+
+
+@given(
+    t=st.integers(min_value=1, max_value=8),
+    s=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=200, deadline=None)
+def test_random_bandwidth_bounded_by_ceiling(t, s):
+    bw = RANDOM.bandwidth(t, s)
+    assert 0 < bw < RANDOM.peak_bandwidth
+
+
+@given(
+    t1=st.integers(min_value=1, max_value=8),
+    t2=st.integers(min_value=1, max_value=8),
+    s=st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=200, deadline=None)
+def test_random_bandwidth_monotone_in_threads(t1, t2, s):
+    lo, hi = sorted((t1, t2))
+    assert RANDOM.bandwidth(lo, s) <= RANDOM.bandwidth(hi, s) + 1e-6
+
+
+@given(
+    threads=st.integers(min_value=1, max_value=8),
+    fmas=st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=300, deadline=None)
+def test_fma_efficiency_in_unit_interval(threads, fmas):
+    eff = fma_efficiency(CHIP.core, threads, fmas)
+    assert 0.0 < eff <= 1.0
+
+
+@given(
+    threads=st.integers(min_value=1, max_value=8),
+    fmas=st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=300, deadline=None)
+def test_fma_peak_only_with_enough_inflight(threads, fmas):
+    """efficiency == 1 implies threads x FMAs >= 12 (the paper's rule)."""
+    if fma_efficiency(CHIP.core, threads, fmas) >= 0.999:
+        assert threads * fmas >= 12
+
+
+@given(b=st.integers(min_value=128, max_value=1 << 26))
+@settings(max_examples=200, deadline=None)
+def test_dcbt_efficiency_bounds_and_dominance(b):
+    hw = block_scan_efficiency(CHIP, b, use_dcbt=False)
+    sw = block_scan_efficiency(CHIP, b, use_dcbt=True)
+    assert 0.0 < hw <= sw <= 1.0

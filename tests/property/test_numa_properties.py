@@ -1,0 +1,92 @@
+"""Property-based tests for NUMA policies and traffic accounting."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.arch import e870
+from repro.numa.affinity import AffinityMap
+from repro.numa.policy import (
+    Allocation,
+    BlockCyclicPolicy,
+    FirstTouchPolicy,
+    InterleavePolicy,
+    LocalPolicy,
+)
+from repro.numa.traffic import traffic_matrix
+
+SYSTEM = e870()
+PAGE = 64 * 1024
+
+policies = st.one_of(
+    st.builds(LocalPolicy, st.integers(min_value=0, max_value=7)),
+    st.builds(
+        InterleavePolicy,
+        st.lists(st.integers(0, 7), min_size=1, max_size=8, unique=True),
+    ),
+    st.builds(
+        BlockCyclicPolicy,
+        st.lists(st.integers(0, 7), min_size=1, max_size=8, unique=True),
+        st.integers(min_value=1, max_value=16),
+    ),
+)
+
+
+@given(policy=policies, pages=st.integers(min_value=1, max_value=256))
+@settings(max_examples=100, deadline=None)
+def test_chip_share_is_a_distribution(policy, pages):
+    alloc = Allocation("a", 0, pages * PAGE, policy, PAGE)
+    share = alloc.chip_share(SYSTEM)
+    assert abs(sum(share.values()) - 1.0) < 1e-9
+    assert all(v >= 0 for v in share.values())
+
+
+@given(policy=policies, page=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=150, deadline=None)
+def test_home_is_deterministic_and_in_range(policy, page):
+    assert policy.home(page) == policy.home(page)
+    assert 0 <= policy.home(page) < 8
+
+
+@given(
+    touches=st.lists(
+        st.tuples(st.integers(0, 63), st.integers(0, 7)), min_size=1, max_size=100
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_first_touch_is_sticky(touches):
+    """A page's home never changes after its first touch."""
+    policy = FirstTouchPolicy()
+    first: dict[int, int] = {}
+    for page, chip in touches:
+        policy.touch(page, chip)
+        first.setdefault(page, chip)
+    for page, chip in first.items():
+        assert policy.home(page) == chip
+
+
+@given(
+    policy=policies,
+    threads=st.integers(min_value=1, max_value=64),
+    smt=st.sampled_from([1, 2, 4, 8]),
+)
+@settings(max_examples=60, deadline=None)
+def test_traffic_matrix_is_a_distribution(policy, threads, smt):
+    capacity = SYSTEM.num_cores * smt
+    if threads > capacity:
+        threads = capacity
+    affinity = AffinityMap.compact(SYSTEM, threads, smt=smt)
+    alloc = Allocation("a", 0, 64 * PAGE, policy, PAGE)
+    matrix = traffic_matrix(SYSTEM, affinity, [(alloc, 1.0)])
+    assert abs(sum(matrix.shares.values()) - 1.0) < 1e-9
+    assert -1e-9 <= matrix.local_fraction() <= 1.0 + 1e-9
+    assert abs(matrix.local_fraction() + matrix.remote_fraction() - 1.0) < 1e-12
+
+
+@given(threads=st.integers(min_value=1, max_value=512))
+@settings(max_examples=60, deadline=None)
+def test_compact_affinity_capacity_and_uniqueness(threads):
+    aff = AffinityMap.compact(SYSTEM, threads, smt=8)
+    assert len(aff) == threads
+    placements = {(hw.chip, hw.core, hw.slot) for _, hw in aff.items()}
+    assert len(placements) == threads  # no double-booking
+    assert aff.max_smt_level() <= 8

@@ -1,0 +1,58 @@
+"""Tests for CSV figure export."""
+
+import pytest
+
+from repro.bench.runner import run_experiment
+from repro.reporting.figures import export_all, read_csv, write_csv
+
+
+class TestWriteRead:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path, "fig_x", ["a", "b"], [(1, 2.5), (3, 4.5)])
+        headers, rows = read_csv(path)
+        assert headers == ["a", "b"]
+        assert rows == [["1", "2.5"], ["3", "4.5"]]
+
+    def test_slug_sanitises_name(self, tmp_path):
+        path = write_csv(tmp_path, "weird/name with spaces", ["x"], [(1,)])
+        assert "/" not in path.name
+        assert " " not in path.name
+
+    def test_creates_directory(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        path = write_csv(nested, "t", ["x"], [(1,)])
+        assert path.exists()
+
+    def test_empty_file_rejected_on_read(self, tmp_path):
+        p = tmp_path / "e.csv"
+        p.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_csv(p)
+
+
+class TestExperimentExport:
+    def test_table3_export(self, tmp_path, e870_system):
+        result = run_experiment("table3", e870_system)
+        path = write_csv(tmp_path, result.experiment_id, result.headers, result.rows)
+        headers, rows = read_csv(path)
+        assert len(rows) == 9  # the nine read:write ratios
+        assert headers[0] == "read:write"
+
+    def test_export_all(self, tmp_path, e870_system):
+        results = [run_experiment(eid, e870_system) for eid in ("table2", "fig9")]
+        paths = export_all(tmp_path, results)
+        assert len(paths) == 2
+        assert all(p.exists() for p in paths)
+
+    def test_cli_csv_flag(self, tmp_path):
+        from repro.bench.__main__ import main
+
+        assert main(["table1", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.csv").exists()
+
+    def test_cli_list(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "fig12" in out

@@ -1,0 +1,89 @@
+"""Unit tests for table rendering and shape comparators."""
+
+import pytest
+
+from repro.reporting.compare import (
+    argmax_index,
+    crossover_index,
+    is_monotone,
+    peak_at,
+    relative_error,
+    within_factor,
+)
+from repro.reporting.tables import format_comparison, format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (10, 3.25)])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.50" in text and "3.25" in text
+
+    def test_title(self):
+        text = format_table(["x"], [(1,)], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [(1,)])
+
+    def test_float_format(self):
+        text = format_table(["x"], [(3.14159,)], float_format="{:.4f}")
+        assert "3.1416" in text
+
+    def test_comparison_appends_ratio(self):
+        text = format_comparison(["name", "model", "paper"], [("k", 2.0, 4.0)])
+        assert "ratio" in text
+        assert "0.50" in text
+
+
+class TestWithinFactor:
+    def test_accepts_equal(self):
+        assert within_factor(10.0, 10.0)
+
+    def test_band_edges(self):
+        assert within_factor(15.0, 10.0, 1.5)
+        assert not within_factor(15.1, 10.0, 1.5)
+        assert within_factor(10.0, 15.0, 1.5)
+
+    def test_zero_paper(self):
+        assert within_factor(0.0, 0.0)
+        assert not within_factor(1.0, 0.0)
+
+    def test_sign_mismatch(self):
+        assert not within_factor(-1.0, 1.0)
+
+    def test_rejects_factor_below_one(self):
+        with pytest.raises(ValueError):
+            within_factor(1.0, 1.0, 0.5)
+
+
+class TestRelativeError:
+    def test_simple(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_zero_reference(self):
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == float("inf")
+
+
+class TestSeriesChecks:
+    def test_monotone(self):
+        assert is_monotone([1, 2, 3])
+        assert not is_monotone([1, 3, 2])
+        assert is_monotone([3, 2, 1], increasing=False)
+        assert is_monotone([1, 2, 1.99], tolerance=0.02)
+
+    def test_argmax(self):
+        assert argmax_index([1, 5, 3]) == 1
+
+    def test_peak_at(self):
+        assert peak_at([1, 5, 3], 1)
+        assert not peak_at([1, 5, 3], 2)
+
+    def test_crossover(self):
+        assert crossover_index([0, 1, 3], [2, 2, 2]) == 2
+        assert crossover_index([0, 0], [1, 1]) is None
+        with pytest.raises(ValueError):
+            crossover_index([1], [1, 2])

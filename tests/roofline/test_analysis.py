@@ -1,0 +1,75 @@
+"""Tests for the roofline bottleneck advisor."""
+
+import pytest
+
+from repro.perfmodel.kernel_time import KernelProfile
+from repro.roofline.analysis import analyze
+
+
+def kernel(**kw):
+    defaults = dict(name="k", flops=1e12, bytes_read=4e12, bytes_written=2e12,
+                    pattern="stream")
+    defaults.update(kw)
+    return KernelProfile(**defaults)
+
+
+class TestClassification:
+    def test_low_oi_is_memory_bound(self, e870_system):
+        report = analyze(e870_system, kernel())
+        assert report.limiting_resource == "memory"
+        assert report.operational_intensity < 1.0
+
+    def test_high_oi_is_compute_bound(self, e870_system):
+        report = analyze(e870_system, kernel(flops=1e15, bytes_read=1e12,
+                                             bytes_written=1e11))
+        assert report.limiting_resource == "compute"
+        assert any("FMA" in r for r in report.recommendations)
+
+    def test_estimate_below_bound(self, e870_system):
+        report = analyze(e870_system, kernel())
+        assert 0 < report.estimated_gflops <= report.bound_gflops * 1.01
+        assert 0 < report.bound_fraction <= 1.01
+
+
+class TestMixAdvice:
+    def test_write_heavy_kernel_flagged(self, e870_system):
+        report = analyze(
+            e870_system, kernel(bytes_read=1e11, bytes_written=4e12)
+        )
+        assert report.mix_penalty > 0
+        assert any("2:1" in r for r in report.recommendations)
+
+    def test_optimal_mix_has_no_penalty(self, e870_system):
+        report = analyze(e870_system, kernel(bytes_read=4e12, bytes_written=2e12))
+        assert report.mix_penalty == pytest.approx(0.0, abs=1e-6)
+        assert not any("rebalance" in r for r in report.recommendations)
+
+    def test_read_only_has_small_penalty(self, e870_system):
+        report = analyze(e870_system, kernel(bytes_read=4e12, bytes_written=0))
+        # Read-only loses the write links: the roof drops by 1/3.
+        assert report.mix_penalty > 0
+
+
+class TestPatternAdvice:
+    def test_random_pattern_suggests_smt(self, e870_system):
+        report = analyze(e870_system, kernel(pattern="random"))
+        assert any("41%" in r or "SMT" in r for r in report.recommendations)
+
+    def test_tiny_blocks_suggest_dcbt(self, e870_system):
+        report = analyze(
+            e870_system, kernel(pattern="blocked", block_bytes=512)
+        )
+        assert any("DCBT" in r for r in report.recommendations)
+
+    def test_large_blocks_no_dcbt_advice(self, e870_system):
+        report = analyze(
+            e870_system, kernel(pattern="blocked", block_bytes=1 << 20)
+        )
+        assert not any("DCBT" in r for r in report.recommendations)
+
+    def test_very_low_oi_suggests_blocking(self, e870_system):
+        report = analyze(
+            e870_system,
+            kernel(flops=1e10, bytes_read=4e12, bytes_written=2e12),
+        )
+        assert any("balance" in r for r in report.recommendations)

@@ -1,0 +1,63 @@
+"""Tests for the energy-roofline extension."""
+
+import pytest
+
+from repro.roofline.energy import EnergyRoofline
+from repro.roofline.kernels import paper_kernels
+
+
+@pytest.fixture(scope="module")
+def roof(e870_system):
+    return EnergyRoofline(e870_system)
+
+
+class TestEnergyPerFlop:
+    def test_asymptote_at_high_oi(self, roof):
+        """At infinite OI only the flop energy remains."""
+        assert roof.energy_per_flop_pj(1e6) == pytest.approx(roof.pj_per_flop, rel=1e-3)
+
+    def test_memory_dominates_low_oi(self, roof):
+        low = roof.energy_per_flop_pj(0.1)
+        assert low > 10 * roof.pj_per_flop
+
+    def test_monotone_decreasing_in_oi(self, roof):
+        values = [roof.energy_per_flop_pj(oi) for oi in (0.1, 0.5, 1.0, 5.0, 50.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_balance_point_semantics(self, roof):
+        """At the energy balance, flop and byte energy are equal."""
+        b = roof.energy_balance
+        assert roof.energy_per_flop_pj(b) == pytest.approx(2 * roof.pj_per_flop)
+
+    def test_rejects_nonpositive_oi(self, roof):
+        with pytest.raises(ValueError):
+            roof.energy_per_flop_pj(0.0)
+
+
+class TestEfficiency:
+    def test_gflops_per_watt_positive(self, roof):
+        assert roof.gflops_per_watt(1.0) > 0
+
+    def test_compute_bound_kernels_more_efficient(self, roof):
+        assert roof.gflops_per_watt(10.0) > roof.gflops_per_watt(0.1)
+
+    def test_constant_power_hurts_slow_kernels_most(self, roof):
+        with_const = roof.gflops_per_watt(0.05, include_constant=True)
+        without = roof.gflops_per_watt(0.05, include_constant=False)
+        assert with_const < without
+
+    def test_series_shape(self, roof):
+        series = roof.series(points=17)
+        assert len(series) == 17
+        effs = [p["gflops_per_watt"] for p in series]
+        assert effs == sorted(effs)  # monotone in OI for this machine
+
+    def test_place_all(self, roof):
+        placed = roof.place_all(paper_kernels())
+        by_name = {p["name"]: p for p in placed}
+        assert by_name["SpMV"]["memory_energy_dominated"]
+        assert not by_name["3D FFT"]["memory_energy_dominated"] or roof.energy_balance > 1.5
+
+    def test_validation(self, e870_system):
+        with pytest.raises(ValueError):
+            EnergyRoofline(e870_system, pj_per_flop=0.0)

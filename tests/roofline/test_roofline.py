@@ -1,0 +1,102 @@
+"""Figure 9 reproduction tests: the roofline with the write-only roof."""
+
+import pytest
+
+from repro.roofline.kernels import (
+    LBMHD,
+    LBMHD_WRITE_ONLY,
+    SPMV,
+    KernelCharacteristics,
+    paper_kernels,
+    paper_kernels_with_write_case,
+)
+from repro.roofline.model import Roofline
+from repro.reporting import paper_values as paper
+
+GB = 1e9
+
+
+@pytest.fixture(scope="module")
+def roof(e870_system):
+    return Roofline(e870_system)
+
+
+class TestRoofValues:
+    def test_headline_numbers(self, roof):
+        assert roof.peak_gflops == pytest.approx(paper.FIG9["peak_gflops"], rel=0.01)
+        assert roof.memory_bandwidth / GB == pytest.approx(paper.FIG9["memory_bw_gbs"], rel=0.01)
+        assert roof.write_only_bandwidth / GB == pytest.approx(
+            paper.FIG9["write_only_bw_gbs"], rel=0.01
+        )
+
+    def test_balance_is_1_2(self, roof):
+        assert roof.balance == pytest.approx(paper.FIG9["balance"], abs=0.05)
+
+    def test_write_roof_less_than_half(self, roof):
+        """The paper: write-only performance drops to less than half."""
+        assert roof.write_only_bandwidth < 0.5 * roof.memory_bandwidth
+
+
+class TestAttainable:
+    def test_memory_bound_region_linear(self, roof):
+        assert roof.attainable_gflops(0.5) == pytest.approx(
+            2 * roof.attainable_gflops(0.25)
+        )
+
+    def test_compute_bound_region_flat(self, roof):
+        assert roof.attainable_gflops(10.0) == roof.peak_gflops
+        assert roof.attainable_gflops(100.0) == roof.peak_gflops
+
+    def test_lbmhd_bound(self, roof):
+        """OI ~ 1 -> 1,843 GFLOP/s (the red diamond in Figure 9)."""
+        got = roof.attainable_gflops(LBMHD.operational_intensity)
+        assert got == pytest.approx(paper.FIG9["lbmhd_bound_gflops"], rel=0.01)
+
+    def test_lbmhd_write_only_bound(self, roof):
+        """Write-only mix -> 614 GFLOP/s (the red square)."""
+        got = roof.attainable_write_only(LBMHD_WRITE_ONLY.operational_intensity)
+        assert got == pytest.approx(paper.FIG9["lbmhd_write_only_bound_gflops"], rel=0.01)
+
+    def test_spmv_memory_bound(self, roof):
+        assert roof.is_memory_bound(SPMV.operational_intensity)
+
+    def test_ridge_point(self, roof):
+        assert roof.attainable_gflops(roof.balance) == pytest.approx(
+            roof.peak_gflops, rel=1e-9
+        )
+
+    def test_rejects_nonpositive_oi(self, roof):
+        with pytest.raises(ValueError):
+            roof.attainable_gflops(0.0)
+
+    def test_bandwidth_for_mix(self, roof, e870_system):
+        assert roof.bandwidth_for_mix(2, 1) == pytest.approx(
+            e870_system.peak_memory_bandwidth
+        )
+        assert roof.bandwidth_for_mix(0, 1) == pytest.approx(
+            e870_system.peak_write_bandwidth
+        )
+
+
+class TestSeriesAndPlacement:
+    def test_series_monotone(self, roof):
+        series = roof.series()
+        roofs = [p["roof_gflops"] for p in series]
+        assert roofs == sorted(roofs)
+        assert all(p["write_roof_gflops"] <= p["roof_gflops"] for p in series)
+
+    def test_place_all(self, roof):
+        points = roof.place_all(paper_kernels_with_write_case())
+        names = [p.name for p in points]
+        assert "SpMV" in names and "3D FFT" in names
+        by_name = {p.name: p for p in points}
+        assert by_name["SpMV"].memory_bound
+        assert not by_name["3D FFT"].memory_bound
+
+    def test_kernel_catalogue_size(self):
+        assert len(paper_kernels()) == 4
+        assert len(paper_kernels_with_write_case()) == 5
+
+    def test_kernel_validation(self):
+        with pytest.raises(ValueError):
+            KernelCharacteristics("bad", -1.0, 1, 1, "x")

@@ -1,0 +1,109 @@
+"""Tests for the full-SMP trace simulator."""
+
+import pytest
+
+from repro.interconnect.latency import LatencyModel
+from repro.interconnect.topology import SMPTopology
+from repro.mem.trace import random_chase, sequential
+from repro.numa import AffinityMap, Allocation, InterleavePolicy, LocalPolicy
+from repro.system import SMPSimulator
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def sim(e870_system):
+    aff = AffinityMap.compact(e870_system, 16, smt=2)
+    return SMPSimulator(e870_system, aff)
+
+
+class TestAllocations:
+    def test_register_and_home(self, sim):
+        sim.register(Allocation("a", 0, MB, LocalPolicy(3)))
+        assert sim.home_of(0) == 3
+        assert sim.home_of(MB - 1) == 3
+        assert sim.home_of(MB) is None
+
+    def test_overlap_rejected(self, sim):
+        sim.register(Allocation("a", 0, 2 * MB, LocalPolicy(0)))
+        with pytest.raises(ValueError, match="overlaps"):
+            sim.register(Allocation("b", MB, MB, LocalPolicy(1)))
+
+    def test_adjacent_allowed(self, sim):
+        sim.register(Allocation("a", 0, MB, LocalPolicy(0)))
+        sim.register(Allocation("b", MB, MB, LocalPolicy(1)))
+        assert sim.home_of(MB) == 1
+
+    def test_unmapped_access_rejected(self, sim):
+        with pytest.raises(KeyError):
+            sim.read(0, 0)
+
+
+class TestLatencyStructure:
+    """The trace-driven machine reproduces Table IV's structure."""
+
+    @pytest.fixture
+    def chase(self, e870_system):
+        aff = AffinityMap.compact(e870_system, 8, smt=1)
+        sim = SMPSimulator(e870_system, aff)
+        sim.register(Allocation("local", 0, 32 * MB, LocalPolicy(0)))
+        sim.register(Allocation("intra", 64 * MB, 32 * MB, LocalPolicy(1)))
+        sim.register(Allocation("inter", 128 * MB, 32 * MB, LocalPolicy(4)))
+
+        def run(base):
+            return sim.run_trace(
+                random_chase(16 * MB, 128, passes=1, seed=2, start=base), thread=0
+            )
+
+        return {
+            "local": run(0),
+            "intra": run(64 * MB),
+            "inter": run(128 * MB),
+        }
+
+    def test_ordering(self, chase):
+        assert chase["local"] < chase["intra"] < chase["inter"]
+
+    def test_matches_analytic_model(self, chase, e870_system):
+        """Trace-measured remote penalties track the closed-form model."""
+        lat = LatencyModel(SMPTopology(e870_system))
+        measured_intra = chase["intra"] - chase["local"]
+        measured_inter = chase["inter"] - chase["local"]
+        model_intra = lat.pair_latency_ns(0, 1) - lat.local_latency_ns()
+        model_inter = lat.pair_latency_ns(0, 4) - lat.local_latency_ns()
+        assert measured_intra == pytest.approx(model_intra, rel=0.25)
+        assert measured_inter == pytest.approx(model_inter, rel=0.25)
+
+    def test_remote_fraction_tracked(self, e870_system):
+        aff = AffinityMap.compact(e870_system, 8, smt=1)
+        sim = SMPSimulator(e870_system, aff)
+        sim.register(Allocation("r", 0, MB, LocalPolicy(5)))
+        for addr in sequential(0, 64 * 1024, 128):
+            sim.read(0, addr)
+        assert sim.stats.remote_fraction == 1.0
+
+
+class TestCaching:
+    def test_remote_data_caches_locally(self, sim):
+        sim.register(Allocation("r", 0, MB, LocalPolicy(7)))
+        cold = sim.read(0, 0)
+        warm = sim.read(0, 0)
+        assert warm < 3.0 < cold
+
+    def test_interleaved_allocation(self, sim, e870_system):
+        sim.register(Allocation("i", 0, 16 * MB, InterleavePolicy(range(8))))
+        homes = {sim.home_of(p * 64 * 1024) for p in range(16)}
+        assert homes == set(range(8))
+
+    def test_threads_use_their_own_chips(self, e870_system):
+        aff = AffinityMap.scatter(e870_system, 8)  # one thread per chip
+        sim = SMPSimulator(e870_system, aff)
+        sim.register(Allocation("x", 0, MB, LocalPolicy(0)))
+        for t in range(8):
+            sim.read(t, 0)
+        assert len(sim.stats.per_chip_accesses) == 8
+
+    def test_empty_trace_rejected(self, sim):
+        sim.register(Allocation("a", 0, MB, LocalPolicy(0)))
+        with pytest.raises(ValueError, match="empty"):
+            sim.run_trace([], thread=0)

@@ -1,0 +1,60 @@
+"""Tests for the P8Machine facade (the library's public entry point)."""
+
+import pytest
+
+from repro import KernelProfile, P8Machine, __version__
+
+
+class TestConstruction:
+    def test_e870(self, e870_machine):
+        assert e870_machine.spec.num_chips == 8
+        assert "E870" in e870_machine.spec.name
+
+    def test_largest(self):
+        m = P8Machine.largest_smp()
+        assert m.spec.num_cores == 192
+
+    def test_version(self):
+        assert __version__
+
+
+class TestQueries:
+    def test_summary(self, e870_machine):
+        s = e870_machine.summary()
+        assert s["cores"] == 64
+        assert s["balance"] == pytest.approx(1.21, abs=0.02)
+
+    def test_stream_bandwidth_peak_at_2_1(self, e870_machine):
+        best = e870_machine.stream_bandwidth(2, 1)
+        assert best > e870_machine.stream_bandwidth(1, 1)
+        assert best > e870_machine.stream_bandwidth(1, 0)
+
+    def test_chip_bandwidth(self, e870_machine):
+        assert e870_machine.chip_bandwidth(8, 8) > e870_machine.chip_bandwidth(1, 8)
+
+    def test_random_read_bandwidth(self, e870_machine):
+        assert e870_machine.random_read_bandwidth(8, 4) > e870_machine.random_read_bandwidth(1, 1)
+
+    def test_remote_latency(self, e870_machine):
+        cold = e870_machine.remote_latency_ns(0, 4)
+        warm = e870_machine.remote_latency_ns(0, 4, prefetch=True)
+        assert warm < cold / 5
+
+    def test_attainable_gflops(self, e870_machine):
+        assert e870_machine.attainable_gflops(1.0) == pytest.approx(1843.2, rel=0.01)
+        assert e870_machine.attainable_gflops(1.0, write_only=True) == pytest.approx(
+            614.4, rel=0.01
+        )
+
+    def test_time_kernel(self, e870_machine):
+        k = KernelProfile("k", flops=0, bytes_read=2e9, bytes_written=1e9)
+        t = e870_machine.time_kernel(k)
+        assert 0.001 < t < 0.01  # ~3 GB at ~1.5 TB/s
+
+    def test_hierarchy_model(self, e870_machine):
+        h = e870_machine.hierarchy()
+        assert h.latency_ns(1 << 30) > h.latency_ns(32 * 1024)
+
+    def test_models_are_cached(self, e870_machine):
+        assert e870_machine.topology is e870_machine.topology
+        assert e870_machine.roofline is e870_machine.roofline

@@ -1,0 +1,75 @@
+"""Unit tests for the R-MAT generator."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.workloads.rmat import RMATConfig, degree_stats, rmat_adjacency, rmat_edges
+
+
+class TestConfig:
+    def test_sizes(self):
+        cfg = RMATConfig(scale=10, edge_factor=16)
+        assert cfg.num_vertices == 1024
+        assert cfg.num_edges == 16384
+
+    def test_rejects_bad_probs(self):
+        with pytest.raises(ValueError, match="sum"):
+            RMATConfig(scale=5, a=0.5, b=0.5, c=0.5, d=0.5)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            RMATConfig(scale=0)
+
+
+class TestEdges:
+    def test_endpoint_range(self):
+        cfg = RMATConfig(scale=8, seed=3)
+        src, dst = rmat_edges(cfg)
+        assert len(src) == cfg.num_edges
+        assert src.min() >= 0 and src.max() < cfg.num_vertices
+        assert dst.min() >= 0 and dst.max() < cfg.num_vertices
+
+    def test_deterministic(self):
+        a = rmat_edges(RMATConfig(scale=8, seed=7))
+        b = rmat_edges(RMATConfig(scale=8, seed=7))
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_seed_changes_graph(self):
+        a = rmat_edges(RMATConfig(scale=8, seed=1))
+        b = rmat_edges(RMATConfig(scale=8, seed=2))
+        assert not np.array_equal(a[0], b[0])
+
+    def test_skew_toward_low_ids(self):
+        """R-MAT's a=0.57 quadrant concentrates edges on low vertex ids."""
+        src, dst = rmat_edges(RMATConfig(scale=12, seed=5))
+        n = 1 << 12
+        low = np.count_nonzero(src < n // 2)
+        assert low > 0.6 * len(src)
+
+
+class TestAdjacency:
+    def test_symmetric_binary(self):
+        adj = rmat_adjacency(RMATConfig(scale=8, seed=1))
+        assert (adj != adj.T).nnz == 0
+        assert set(np.unique(adj.data)) == {1.0}
+
+    def test_no_self_loops(self):
+        adj = rmat_adjacency(RMATConfig(scale=8, seed=1))
+        assert adj.diagonal().sum() == 0
+
+    def test_directed_variant(self):
+        adj = rmat_adjacency(RMATConfig(scale=8, seed=1), symmetric=False)
+        assert sp.issparse(adj)
+        assert adj.shape == (256, 256)
+
+    def test_power_law_degrees(self):
+        """Max degree far exceeds the mean (scale-free structure)."""
+        stats = degree_stats(rmat_adjacency(RMATConfig(scale=12, seed=2)))
+        assert stats["max_degree"] > 8 * stats["mean_degree"]
+
+    def test_degree_stats_fields(self):
+        stats = degree_stats(rmat_adjacency(RMATConfig(scale=8, seed=2)))
+        assert stats["vertices"] == 256
+        assert stats["edges"] > 0
+        assert stats["degree_second_moment"] >= stats["mean_degree"] ** 2

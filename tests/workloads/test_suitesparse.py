@@ -1,0 +1,75 @@
+"""Unit tests for the synthetic SuiteSparse-like matrix suite."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.workloads.suitesparse import SUITE, MatrixSpec, by_name, generate
+
+
+class TestCatalogue:
+    def test_contains_classic_names(self):
+        names = {s.name for s in SUITE}
+        assert {"Dense", "Protein", "Wind Tunnel", "Webbase"} <= names
+
+    def test_by_name(self):
+        assert by_name("Dense").structure == "dense"
+        with pytest.raises(KeyError):
+            by_name("nope")
+
+    def test_structures_cover_all_classes(self):
+        structures = {s.structure for s in SUITE}
+        assert structures == {"dense", "banded", "block", "random", "powerlaw"}
+
+    def test_description(self):
+        assert "rows" in by_name("QCD").description
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("name", [s.name for s in SUITE if s.name != "Dense"])
+    def test_shapes_and_format(self, name):
+        spec = by_name(name)
+        m = generate(spec, rows=2000, seed=1)
+        assert sp.issparse(m) and m.format == "csr"
+        assert m.shape == (2000, 2000)
+        assert m.nnz > 0
+
+    def test_dense_is_full(self):
+        m = generate(by_name("Dense"), rows=64)
+        assert m.nnz == pytest.approx(64 * 64, rel=0.01)
+
+    def test_nnz_per_row_respected(self):
+        spec = by_name("Wind Tunnel")
+        m = generate(spec, rows=4000, seed=1)
+        got = m.nnz / 4000
+        assert got == pytest.approx(spec.nnz_per_row, rel=0.35)
+
+    def test_banded_stays_in_band(self):
+        spec = by_name("Epidemiology")  # very narrow band
+        m = generate(spec, rows=5000, seed=1).tocoo()
+        half_band = max(1, int(spec.band_fraction * 5000 / 2)) + 1
+        assert np.all(np.abs(m.row - m.col) <= half_band)
+
+    def test_powerlaw_has_hub_rows(self):
+        m = generate(by_name("Webbase"), rows=8000, seed=1)
+        degrees = np.diff(m.indptr)
+        assert degrees.max() > 20 * max(degrees.mean(), 1e-9)
+
+    def test_random_columns_scattered(self):
+        m = generate(by_name("Economics"), rows=4000, seed=1).tocoo()
+        spread = np.abs(m.row - m.col).mean()
+        assert spread > 400  # far off-diagonal on average
+
+    def test_deterministic(self):
+        a = generate(by_name("QCD"), rows=1000, seed=5)
+        b = generate(by_name("QCD"), rows=1000, seed=5)
+        assert (a != b).nnz == 0
+
+    def test_paper_scale_default(self):
+        spec = MatrixSpec("mini", "random", 128, 1280, 10.0)
+        m = generate(spec)
+        assert m.shape == (128, 128)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            generate(by_name("QCD"), rows=2)
