@@ -10,9 +10,14 @@ Run:  python examples/prefetch_tuning.py
 """
 
 from repro import P8Machine
-from repro.mem.hierarchy import MemoryHierarchy
-from repro.mem.trace import blocked_random, sequential
-from repro.prefetch import StreamPrefetcher, dcbt_sweep, dscr_sweep, stride_sweep
+from repro.prefetch import (
+    dcbt_sweep,
+    dscr_sweep,
+    scaled_demo_chip,
+    stride_sweep,
+    traced_dcbt_compare,
+    traced_sequential_scan,
+)
 
 GB = 1e9
 
@@ -38,69 +43,23 @@ def demo_models(machine: P8Machine) -> None:
               f"{100 * r['efficiency_dcbt']:>5.0f}% {100 * r['gain']:>5.0f}%")
 
 
-def scaled_chip():
-    """A shrunken single-core POWER8 so a few-MB buffer is out-of-cache.
-
-    The trace simulator runs one Python-level event per access; scaling
-    the caches down (same ratios) keeps the demo faithful *and* fast.
-    """
-    import dataclasses
-
-    from repro.arch.specs import CentaurSpec
-
-    chip = P8Machine.e870().spec.chip
-    core = dataclasses.replace(
-        chip.core,
-        l3_slice=dataclasses.replace(chip.core.l3_slice, capacity=1 << 20),
-    )
-    return dataclasses.replace(
-        chip,
-        core=core,
-        cores_per_chip=1,
-        centaurs_per_chip=1,
-        centaur=CentaurSpec(l4_capacity=2 << 20),
-    )
-
-
 def demo_engine(machine: P8Machine) -> None:
     print("\n=== The operational engine on the trace-driven simulator ===")
-    chip = scaled_chip()
-    line = chip.core.l1d.line_size
+    chip = scaled_demo_chip(machine.spec.chip)
 
     for depth in (1, 4, 7):
-        pf = StreamPrefetcher(line_size=line, depth=depth)
-        hier = MemoryHierarchy(chip, prefetcher=pf)
-        total, count = 0.0, 0
-        for addr in sequential(0, 4096 * line, line):
-            total += hier.access(addr).latency_ns
-            count += 1
+        row = traced_sequential_scan(chip, depth, n_lines=4096)
         print(f"  sequential scan, DSCR={depth}: "
-              f"mean {total / count:5.1f} ns/access, "
-              f"{hier.stats.level_hits['DRAM']} demand DRAM misses "
-              f"of {count}")
+              f"mean {row['mean_latency_ns']:5.1f} ns/access, "
+              f"{row['dram_misses']} demand DRAM misses "
+              f"of {row['accesses']}")
 
     print("\n  random small blocks (2 KB) over an out-of-cache 8 MB array,")
     print("  hardware stream detection vs DCBT hints:")
-    results = {}
-    for use_dcbt in (False, True):
-        pf = StreamPrefetcher(line_size=line, depth=7)
-        hier = MemoryHierarchy(chip, prefetcher=pf)
-        bsize = 16 * line
-        total, count = 0.0, 0
-        last_block = None
-        for addr in blocked_random(8 << 20, bsize, line, seed=3):
-            block = addr - addr % bsize
-            if use_dcbt and block != last_block:
-                for pf_addr in pf.declare_stream(block, bsize):
-                    hier._prefetch_fill(pf_addr // line)
-                last_block = block
-            total += hier.access(addr).latency_ns
-            count += 1
-        label = "DCBT hints" if use_dcbt else "hw-only   "
-        results[use_dcbt] = total / count
-        print(f"    {label}: mean {total / count:5.1f} ns/access")
-    gain = results[False] / results[True] - 1.0
-    print(f"    -> DCBT gains {100 * gain:.0f}% "
+    cmp = traced_dcbt_compare(chip, array_bytes=8 << 20, seed=3)
+    print(f"    hw-only   : mean {cmp['hw_latency_ns']:5.1f} ns/access")
+    print(f"    DCBT hints: mean {cmp['dcbt_latency_ns']:5.1f} ns/access")
+    print(f"    -> DCBT gains {100 * cmp['gain']:.0f}% "
           "(the paper reports >25% on small arrays)")
 
 

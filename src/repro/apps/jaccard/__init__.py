@@ -13,6 +13,7 @@ from .similarity import (
     all_pairs_jaccard,
     jaccard_reference,
     spgemm_flops,
+    validate_adjacency,
 )
 
 __all__ = [
@@ -29,4 +30,5 @@ __all__ = [
     "jaccard_reference",
     "spgemm_flops",
     "top_k_reducer",
+    "validate_adjacency",
 ]

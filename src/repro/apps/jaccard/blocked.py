@@ -16,11 +16,11 @@ from typing import Callable, Iterator, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from .similarity import JaccardResult, _validated_adjacency
+from .similarity import JaccardResult, _as_validated
 
 
 def jaccard_blocks(
-    adj: sp.spmatrix, block_cols: int = 4096
+    adj: sp.spmatrix, block_cols: int = 4096, assume_validated: bool = False
 ) -> Iterator[Tuple[int, int, sp.csr_matrix]]:
     """Yield ``(col_start, col_end, J_block)`` column blocks of J.
 
@@ -30,7 +30,7 @@ def jaccard_blocks(
     """
     if block_cols < 1:
         raise ValueError(f"block width must be positive, got {block_cols}")
-    a = _validated_adjacency(adj)
+    a = _as_validated(adj, assume_validated)
     degrees = np.asarray(a.sum(axis=1)).ravel()
     n = a.shape[0]
     for start in range(0, n, block_cols):
@@ -50,21 +50,24 @@ def all_pairs_jaccard_blocked(
     adj: sp.spmatrix,
     block_cols: int = 4096,
     reducer: Optional[Callable[[int, int, sp.csr_matrix], None]] = None,
+    assume_validated: bool = False,
 ) -> Optional[JaccardResult]:
     """Blocked all-pairs Jaccard.
 
     Without a ``reducer`` the blocks are reassembled into a full
     :class:`JaccardResult` (for validation).  With one, each block is
     handed to the reducer and dropped — the streaming mode that makes
-    paper-scale problems feasible.
+    paper-scale problems feasible.  The matrix is validated once here;
+    the per-block iterator reuses it without re-running the symmetry
+    check.
     """
-    a = _validated_adjacency(adj)
+    a = _as_validated(adj, assume_validated)
     degrees = np.asarray(a.sum(axis=1)).ravel()
     if reducer is not None:
-        for start, end, block in jaccard_blocks(a, block_cols):
+        for start, end, block in jaccard_blocks(a, block_cols, assume_validated=True):
             reducer(start, end, block)
         return None
-    blocks = [blk for _, _, blk in jaccard_blocks(a, block_cols)]
+    blocks = [blk for _, _, blk in jaccard_blocks(a, block_cols, assume_validated=True)]
     j = sp.hstack(blocks, format="csr") if blocks else sp.csr_matrix(a.shape)
     c = (a @ a).tocsr()
     return JaccardResult(similarity=j, common_neighbors=c, degrees=degrees)

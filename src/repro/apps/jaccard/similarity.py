@@ -41,7 +41,14 @@ class JaccardResult:
         return float(self.similarity[i, j])
 
 
-def _validated_adjacency(adj: sp.spmatrix) -> sp.csr_matrix:
+def validate_adjacency(adj: sp.spmatrix) -> sp.csr_matrix:
+    """Canonicalize ``adj`` to a binary, hollow, symmetric CSR matrix.
+
+    The symmetry check (``(a != a.T).nnz``) costs a transpose plus a
+    sparse comparison — as much as the SpGEMM itself on small graphs.
+    Callers running several kernels on one graph should validate once
+    and pass ``assume_validated=True`` downstream.
+    """
     a = sp.csr_matrix(adj, dtype=np.float64)
     if a.shape[0] != a.shape[1]:
         raise ValueError(f"adjacency must be square, got {a.shape}")
@@ -53,9 +60,23 @@ def _validated_adjacency(adj: sp.spmatrix) -> sp.csr_matrix:
     return a
 
 
-def all_pairs_jaccard(adj: sp.spmatrix) -> JaccardResult:
-    """Compute the full Jaccard similarity matrix of an undirected graph."""
-    a = _validated_adjacency(adj)
+# Backwards-compatible private alias (pre-public-API name).
+_validated_adjacency = validate_adjacency
+
+
+def _as_validated(adj: sp.spmatrix, assume_validated: bool) -> sp.csr_matrix:
+    if assume_validated:
+        return adj if sp.isspmatrix_csr(adj) else sp.csr_matrix(adj)
+    return validate_adjacency(adj)
+
+
+def all_pairs_jaccard(adj: sp.spmatrix, assume_validated: bool = False) -> JaccardResult:
+    """Compute the full Jaccard similarity matrix of an undirected graph.
+
+    Pass ``assume_validated=True`` when ``adj`` already came out of
+    :func:`validate_adjacency` to skip the redundant symmetry check.
+    """
+    a = _as_validated(adj, assume_validated)
     degrees = np.asarray(a.sum(axis=1)).ravel()
     c = (a @ a).tocsr()
     c.sum_duplicates()
@@ -69,9 +90,9 @@ def all_pairs_jaccard(adj: sp.spmatrix) -> JaccardResult:
     return JaccardResult(similarity=j, common_neighbors=c, degrees=degrees)
 
 
-def jaccard_reference(adj: sp.spmatrix) -> dict:
+def jaccard_reference(adj: sp.spmatrix, assume_validated: bool = False) -> dict:
     """Set-based brute-force reference: {(i, j): J_ij} for nonzero pairs."""
-    a = _validated_adjacency(adj)
+    a = _as_validated(adj, assume_validated)
     n = a.shape[0]
     neighbors = [set(a.indices[a.indptr[i] : a.indptr[i + 1]]) for i in range(n)]
     out = {}

@@ -3,6 +3,8 @@
 Without arguments, runs every registered experiment on the E870 and
 prints each reproduced table/figure.  Pass experiment ids (``table3``,
 ``fig4``, ...) to run a subset; ``--list`` shows the available ids.
+``--trace-perf`` instead times the batched trace engine against the
+per-access reference simulator and writes the result JSON.
 """
 
 from __future__ import annotations
@@ -23,7 +25,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--csv", metavar="DIR", help="also write each experiment's rows to DIR/<id>.csv"
     )
+    parser.add_argument(
+        "--trace-perf", action="store_true",
+        help="run the trace-engine throughput micro-benchmark instead of experiments",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", default="BENCH_trace.json",
+        help="output JSON for --trace-perf (default: BENCH_trace.json)",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace_perf:
+        from .trace_perf import write_trace_bench
+
+        result = write_trace_bench(args.out)
+        print(f"reference: {result['reference_ns_per_access']:8.1f} ns/access")
+        print(f"batch:     {result['batch_ns_per_access']:8.1f} ns/access")
+        print(f"speedup:   {result['speedup']:8.1f}x")
+        print(f"[wrote {args.out}]")
+        return 0
 
     if args.list:
         for eid in experiment_ids():

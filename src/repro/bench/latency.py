@@ -16,8 +16,9 @@ import numpy as np
 from ..arch.power8 import PAGE_16M, PAGE_64K
 from ..arch.specs import SystemSpec
 from ..mem.analytic import AnalyticHierarchy
+from ..mem.batch import BatchMemoryHierarchy
 from ..mem.hierarchy import MemoryHierarchy
-from ..mem.trace import random_chase
+from ..mem.trace import random_chase_addresses
 
 
 def default_working_sets(min_bytes: int = 16 * 1024, max_bytes: int = 8 << 30) -> List[int]:
@@ -52,23 +53,28 @@ def traced_latency_ns(
     page_size: int = PAGE_64K,
     passes: int = 3,
     seed: int = 0,
+    engine: str = "batch",
 ) -> float:
     """Mean chase latency measured on the trace-driven simulator.
 
     One warm-up pass populates the hierarchy; latency is averaged over
-    the remaining passes.  Only practical for working sets up to a few
-    tens of MB (each line is a simulated event).
+    the remaining passes, fed to the simulator as one NumPy address
+    array per phase.  ``engine`` selects the vectorized batch engine
+    (default) or the per-access ``"reference"`` simulator; the two are
+    equivalence-tested to produce identical latencies.
     """
     if passes < 2:
         raise ValueError("need a warm-up pass plus at least one measured pass")
-    hier = MemoryHierarchy(system.chip, page_size=page_size)
+    if engine == "batch":
+        hier = BatchMemoryHierarchy(system.chip, page_size=page_size)
+    elif engine == "reference":
+        hier = MemoryHierarchy(system.chip, page_size=page_size)
+    else:
+        raise ValueError(f"unknown engine {engine!r}; use 'batch' or 'reference'")
     line = hier.line_size
-    hier.warm(random_chase(working_set, line, passes=1, seed=seed))
-    total, count = 0.0, 0
-    for addr in random_chase(working_set, line, passes=passes - 1, seed=seed):
-        total += hier.access(addr).latency_ns
-        count += 1
-    return total / count
+    hier.warm(random_chase_addresses(working_set, line, passes=1, seed=seed))
+    measured = random_chase_addresses(working_set, line, passes=passes - 1, seed=seed)
+    return hier.access_trace(measured).mean_latency_ns
 
 
 def plateau_summary(rows: List[dict], key: str = "latency_64k_ns") -> dict:

@@ -1,0 +1,112 @@
+"""Throughput micro-benchmark: batch trace engine vs per-access loop.
+
+Times the same pointer-chase trace through the reference
+:class:`~repro.mem.hierarchy.MemoryHierarchy` (one Python-level event
+per access) and the vectorized
+:class:`~repro.mem.batch.BatchMemoryHierarchy`, and reports the
+speedup.  The headline configuration is a 1M-access chase over a 32 KB
+working set — the L1-resident steady state of the lmbench plateau,
+where the batch engine's all-hit fast path does the most work.
+
+``python -m repro.bench --trace-perf`` runs it and writes the result
+JSON (``BENCH_trace.json`` at the repo root by default); the
+``benchmarks/test_perf_trace_engine.py`` harness asserts the >=10x
+acceptance bar on the same entry point.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..arch import e870
+from ..arch.power8 import PAGE_64K
+from ..arch.specs import SystemSpec
+from ..mem.batch import BatchMemoryHierarchy
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.trace import random_chase_addresses
+
+#: Headline configuration (the acceptance-criteria point).
+DEFAULT_WORKING_SET = 32 << 10
+DEFAULT_ACCESSES = 1_000_000
+
+
+def _chase_trace(working_set: int, line: int, n_accesses: int, seed: int) -> np.ndarray:
+    """A pointer-chase permutation tiled out to ``n_accesses`` addresses."""
+    perm = random_chase_addresses(working_set, line, passes=1, seed=seed)
+    reps = -(-n_accesses // perm.size)  # ceil
+    return np.tile(perm, reps)[:n_accesses]
+
+
+def _time_engine(hier, trace: np.ndarray, warm: np.ndarray, repeats: int) -> tuple[float, float]:
+    """Best-of-``repeats`` wall time (s) and the mean latency it computed."""
+    hier.warm(warm)
+    best = float("inf")
+    mean_latency = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        res = hier.access_trace(trace)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+            mean_latency = res.mean_latency_ns
+    return best, mean_latency
+
+
+def run_trace_bench(
+    working_set: int = DEFAULT_WORKING_SET,
+    n_accesses: int = DEFAULT_ACCESSES,
+    page_size: int = PAGE_64K,
+    repeats: int = 3,
+    seed: int = 0,
+    system: Optional[SystemSpec] = None,
+) -> dict:
+    """Time reference vs batch engine on one pointer-chase trace.
+
+    Both engines run the identical warmed trace; the result records the
+    per-access cost of each, the speedup, and the (identical) simulated
+    mean latency as a cross-check.
+    """
+    spec = system if system is not None else e870()
+    chip = spec.chip
+    line = chip.core.l1d.line_size
+    warm = random_chase_addresses(working_set, line, passes=1, seed=seed)
+    trace = _chase_trace(working_set, line, n_accesses, seed)
+
+    ref = MemoryHierarchy(chip, page_size=page_size)
+    ref_s, ref_latency = _time_engine(ref, trace, warm, repeats)
+
+    batch = BatchMemoryHierarchy(chip, page_size=page_size)
+    batch_s, batch_latency = _time_engine(batch, trace, warm, repeats)
+
+    if ref_latency != batch_latency:
+        raise AssertionError(
+            f"engines disagree: reference {ref_latency} ns vs batch {batch_latency} ns"
+        )
+    return {
+        "benchmark": "trace_engine_pointer_chase",
+        "working_set_bytes": int(working_set),
+        "accesses": int(n_accesses),
+        "page_size": int(page_size),
+        "repeats": int(repeats),
+        "seed": int(seed),
+        "reference_s": ref_s,
+        "batch_s": batch_s,
+        "reference_ns_per_access": 1e9 * ref_s / n_accesses,
+        "batch_ns_per_access": 1e9 * batch_s / n_accesses,
+        "speedup": ref_s / batch_s,
+        "simulated_mean_latency_ns": batch_latency,
+    }
+
+
+def write_trace_bench(path: str, result: Optional[dict] = None, **kwargs) -> dict:
+    """Run the benchmark (unless ``result`` is given) and write it as JSON."""
+    if result is None:
+        result = run_trace_bench(**kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    return result

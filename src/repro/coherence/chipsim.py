@@ -11,14 +11,19 @@ driven by real multi-core traces instead of the pooled approximation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Sequence, Union
+
+import numpy as np
 
 from ..arch.specs import ChipSpec
 from ..mem.cache import Cache
 from ..mem.dram import DRAMModel
-from ..mem.hierarchy import DEFAULT_REMOTE_L3_EXTRA_NS
+from ..mem.hierarchy import DEFAULT_REMOTE_L3_EXTRA_NS, TraceResult
 from ..mem.line import line_index
 from .mesi import Directory, State
+
+#: Servicing-level order used by :meth:`ChipSimulator.access_trace` codes.
+CHIP_LEVELS = ("L1", "L2", "C2C", "L3", "L4", "DRAM")
 
 
 @dataclass
@@ -96,6 +101,68 @@ class ChipSimulator:
 
     def write(self, core: int, addr: int) -> float:
         return self.access(core, addr, is_write=True)
+
+    def access_trace(
+        self,
+        cores: Union[int, Sequence[int], np.ndarray],
+        addrs: Union[Sequence[int], np.ndarray],
+        is_write: Union[bool, Sequence[bool], np.ndarray] = False,
+    ) -> TraceResult:
+        """Run a whole interleaved multi-core trace in one call.
+
+        ``cores`` is either one core id (the whole trace runs on it) or a
+        per-access array aligned with ``addrs``; ``is_write`` likewise is
+        a scalar or per-access array.  Address slicing and level-code
+        accounting are vectorized; the coherence protocol itself stays
+        per-access (directory transitions are inherently sequential).
+        Returns a :class:`repro.mem.hierarchy.TraceResult` whose level
+        codes index :data:`CHIP_LEVELS` (which includes ``C2C``).
+        """
+        addr_arr = np.ascontiguousarray(addrs, dtype=np.int64)
+        n = addr_arr.size
+        lines = (addr_arr // self.line_size).tolist()
+        if np.isscalar(cores) or getattr(cores, "ndim", 1) == 0:
+            core_id = int(cores)
+            if not 0 <= core_id < self.chip.cores_per_chip:
+                raise ValueError(f"core {core_id} out of range")
+            core_list = [core_id] * n
+        else:
+            core_arr = np.ascontiguousarray(cores, dtype=np.int64)
+            if core_arr.size != n:
+                raise ValueError("cores and addrs must have the same length")
+            if core_arr.size and not (
+                0 <= int(core_arr.min()) and int(core_arr.max()) < self.chip.cores_per_chip
+            ):
+                raise ValueError("core id out of range in trace")
+            core_list = core_arr.tolist()
+        if isinstance(is_write, (bool, np.bool_)):
+            write_list = [bool(is_write)] * n
+        else:
+            write_arr = np.ascontiguousarray(is_write, dtype=bool)
+            if write_arr.size != n:
+                raise ValueError("is_write and addrs must have the same length")
+            write_list = write_arr.tolist()
+
+        latency = np.empty(n, dtype=np.float64)
+        codes = np.empty(n, dtype=np.int8)
+        level_code = {name: i for i, name in enumerate(CHIP_LEVELS)}
+        demand = self._demand
+        level_hits = self.stats.level_hits
+        total = 0.0
+        for i in range(n):
+            lat, level = demand(core_list[i], lines[i], write_list[i])
+            latency[i] = lat
+            codes[i] = level_code[level]
+            level_hits[level] += 1
+            total += lat
+        self.stats.accesses += n
+        self.stats.total_latency_ns += total
+        return TraceResult(
+            latency_ns=latency,
+            level_codes=codes,
+            translation_cycles=np.zeros(n, dtype=np.float64),
+            level_names=CHIP_LEVELS,
+        )
 
     # -- internals ------------------------------------------------------------
     def _demand(self, core: int, line: int, is_write: bool) -> tuple[float, str]:

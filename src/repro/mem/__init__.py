@@ -1,6 +1,7 @@
 """POWER8 memory subsystem: caches, TLB, Centaur links, DRAM, hierarchy."""
 
 from .analytic import AnalyticHierarchy, resident_fraction
+from .batch import ArrayCache, BatchMemoryHierarchy
 from .cache import Cache, CacheStats
 from .centaur import (
     RANDOM_ACCESS_EFFICIENCY,
@@ -11,7 +12,7 @@ from .centaur import (
     read_fraction,
 )
 from .dram import DRAMModel, DRAMStats
-from .hierarchy import AccessResult, HierarchyStats, MemoryHierarchy
+from .hierarchy import AccessResult, HierarchyStats, MemoryHierarchy, TraceResult
 from .tlb import TLB, TLBStats
 from .traffic import (
     StoreConvention,
@@ -27,6 +28,8 @@ __all__ = [
     "RANDOM_ACCESS_EFFICIENCY",
     "AccessResult",
     "AnalyticHierarchy",
+    "ArrayCache",
+    "BatchMemoryHierarchy",
     "Cache",
     "CacheStats",
     "DRAMModel",
@@ -37,6 +40,7 @@ __all__ = [
     "StoreConvention",
     "TLB",
     "TLBStats",
+    "TraceResult",
     "TrafficMix",
     "dcbz_gain",
     "effective_traffic",

@@ -19,7 +19,7 @@ from typing import Dict, Iterator, Optional, Tuple
 from ..arch.specs import CacheSpec
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss/traffic counters for one cache instance."""
 
@@ -145,3 +145,13 @@ class Cache:
         dirty = sum(1 for s in self._sets.values() for d in s.values() if d)
         self._sets.clear()
         return dirty
+
+    def dump_state(self) -> Dict[int, Tuple[Tuple[int, bool], ...]]:
+        """Full replacement state: set index -> ((line, dirty), ...) LRU->MRU.
+
+        Canonical across cache implementations — the equivalence tests
+        compare this against :class:`repro.mem.batch.ArrayCache`.
+        """
+        return {
+            idx: tuple(s.items()) for idx, s in self._sets.items() if s
+        }

@@ -15,7 +15,7 @@ from typing import Dict
 from .line import check_power_of_two
 
 
-@dataclass
+@dataclass(slots=True)
 class DRAMStats:
     accesses: int = 0
     row_hits: int = 0

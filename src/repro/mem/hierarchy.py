@@ -18,7 +18,9 @@ trace through this object directly reproduces Figure 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Protocol
+from typing import Dict, List, Optional, Protocol, Tuple
+
+import numpy as np
 
 from ..arch.specs import ChipSpec
 from .cache import Cache
@@ -51,6 +53,36 @@ class AccessResult:
 
 
 @dataclass
+class TraceResult:
+    """Outcome of a whole trace run through :meth:`access_trace`.
+
+    Per-access outcomes are stored as parallel NumPy arrays; ``level_codes``
+    indexes into ``level_names`` (``LEVELS`` for the single-core hierarchy).
+    """
+
+    latency_ns: np.ndarray
+    level_codes: np.ndarray
+    translation_cycles: np.ndarray
+    level_names: Tuple[str, ...] = LEVELS
+
+    def __len__(self) -> int:
+        return int(self.latency_ns.size)
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return float(self.latency_ns.mean()) if self.latency_ns.size else 0.0
+
+    def levels(self) -> List[str]:
+        """Per-access servicing level names (decoded from the codes)."""
+        names = self.level_names
+        return [names[c] for c in self.level_codes.tolist()]
+
+    def level_counts(self) -> Dict[str, int]:
+        counts = np.bincount(self.level_codes, minlength=len(self.level_names))
+        return {name: int(counts[i]) for i, name in enumerate(self.level_names)}
+
+
+@dataclass(slots=True)
 class HierarchyStats:
     level_hits: Dict[str, int] = field(default_factory=lambda: {l: 0 for l in LEVELS})
     accesses: int = 0
@@ -76,6 +108,7 @@ class MemoryHierarchy:
         remote_l3_extra_ns: float = DEFAULT_REMOTE_L3_EXTRA_NS,
         prefetcher: Optional[PrefetcherProtocol] = None,
         dram: Optional[DRAMModel] = None,
+        record_victims: bool = False,
     ) -> None:
         self.chip = chip
         core = chip.core
@@ -107,6 +140,15 @@ class MemoryHierarchy:
         self.dram = dram if dram is not None else DRAMModel()
         self.prefetcher = prefetcher
         self.stats = HierarchyStats()
+        #: Lines installed by the prefetcher that no demand access has
+        #: touched yet; a prefetch is only *useful* once demanded.
+        self._pf_pending: set[int] = set()
+        #: Optional (level, line, dirty) stream of every line evicted from
+        #: a cache, in program order — the eviction/write-back stream the
+        #: equivalence tests compare across engines.
+        self.victim_log: Optional[List[Tuple[str, int, bool]]] = (
+            [] if record_victims else None
+        )
 
         self._lat_l1 = chip.cycles_to_ns(core.l1d.latency_cycles)
         self._lat_l2 = chip.cycles_to_ns(core.l2.latency_cycles)
@@ -121,6 +163,12 @@ class MemoryHierarchy:
         trans_cycles = self.tlb.translate(addr)
         trans_ns = self.chip.cycles_to_ns(trans_cycles)
         latency, level = self._demand(line, is_write)
+        if line in self._pf_pending:
+            # First demand touch of a prefetched line: useful only if the
+            # prefetch is still resident somewhere faster than DRAM.
+            self._pf_pending.discard(line)
+            if level != "DRAM":
+                self.stats.prefetch_useful += 1
         total = latency + trans_ns
         self.stats.accesses += 1
         self.stats.level_hits[level] += 1
@@ -129,6 +177,29 @@ class MemoryHierarchy:
             for pf_addr in self.prefetcher.observe(line * self.line_size, is_write):
                 self._prefetch_fill(line_index(pf_addr, self.line_size))
         return AccessResult(total, level, trans_cycles)
+
+    def access_trace(self, addrs, is_write=False) -> TraceResult:
+        """Run a whole address trace; returns per-access arrays.
+
+        This is the *reference* (per-access loop) implementation of the
+        batch API; :class:`repro.mem.batch.BatchMemoryHierarchy` provides
+        the vectorized engine with identical semantics.  ``is_write`` is a
+        scalar or a per-access boolean array.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64).ravel()
+        n = addrs.size
+        writes = _per_access_writes(is_write, n)
+        lat = np.empty(n, dtype=np.float64)
+        lvl = np.empty(n, dtype=np.uint8)
+        trans = np.empty(n, dtype=np.float64)
+        codes = {name: i for i, name in enumerate(LEVELS)}
+        addr_list = addrs.tolist()
+        for i in range(n):
+            res = self.access(addr_list[i], writes[i] if writes is not None else False)
+            lat[i] = res.latency_ns
+            lvl[i] = codes[res.level]
+            trans[i] = res.translation_cycles
+        return TraceResult(lat, lvl, trans)
 
     def read(self, addr: int) -> AccessResult:
         return self.access(addr, is_write=False)
@@ -189,8 +260,10 @@ class MemoryHierarchy:
         if not (line in self.l3 or (self._has_remote_l3 and line in self.l3_remote) or line in self.l4):
             self.dram.access(line * self.line_size)
             self._fill_l4(line)
-        self.stats.prefetch_useful += 1
         self._fill_l2(line, dirty=False)
+        # Usefulness is credited when (and if) a demand access hits the
+        # line, not at install time — see access().
+        self._pf_pending.add(line)
 
     def _l2_write_through(self, line: int) -> None:
         """Propagate a store-through write from L1 into the L2."""
@@ -210,23 +283,31 @@ class MemoryHierarchy:
         self._fill_l2(line, dirty=True)
 
     def _fill_l1(self, line: int) -> None:
-        self.l1.fill(line)  # store-through: evictions are silent drops
+        evicted = self.l1.fill(line)  # store-through: evictions are silent drops
+        if evicted is not None and self.victim_log is not None:
+            self.victim_log.append(("L1", evicted[0], evicted[1]))
 
     def _fill_l2(self, line: int, dirty: bool) -> None:
         evicted = self.l2.fill(line, dirty)
         if evicted is not None:
             ev_line, ev_dirty = evicted
+            if self.victim_log is not None:
+                self.victim_log.append(("L2", ev_line, ev_dirty))
             self._castout_to_l3(ev_line, ev_dirty)
 
     def _castout_to_l3(self, line: int, dirty: bool) -> None:
         evicted = self.l3.fill(line, dirty)
         if evicted is not None:
             ev_line, ev_dirty = evicted
+            if self.victim_log is not None:
+                self.victim_log.append(("L3", ev_line, ev_dirty))
             self._lateral_castout(ev_line, ev_dirty)
 
     def _lateral_castout(self, line: int, dirty: bool) -> None:
         if self._has_remote_l3:
             evicted = self.l3_remote.insert_victim(line, dirty)
+            if evicted is not None and self.victim_log is not None:
+                self.victim_log.append(("L3R", evicted[0], evicted[1]))
         else:
             evicted = (line, dirty)
         if evicted is not None:
@@ -238,4 +319,21 @@ class MemoryHierarchy:
     def _fill_l4(self, line: int) -> None:
         evicted = self.l4.fill(line)
         # L4 evictions go to DRAM; no state to track beyond the counters.
-        del evicted
+        if evicted is not None and self.victim_log is not None:
+            self.victim_log.append(("L4", evicted[0], evicted[1]))
+
+
+def _per_access_writes(is_write, n: int):
+    """Normalize a scalar-or-array write flag to a per-access list.
+
+    Returns ``None`` when every access is a read (the common case, letting
+    engines skip per-access indexing entirely).
+    """
+    if isinstance(is_write, (bool, int, np.bool_)):
+        return [True] * n if is_write else None
+    arr = np.asarray(is_write, dtype=bool).ravel()
+    if arr.size != n:
+        raise ValueError(f"is_write has {arr.size} flags for {n} addresses")
+    if not arr.any():
+        return None
+    return arr.tolist()

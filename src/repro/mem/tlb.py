@@ -10,12 +10,15 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
 
 from ..arch.specs import TLBSpec
 from .line import check_power_of_two, page_index
 
 
-@dataclass
+@dataclass(slots=True)
 class TLBStats:
     accesses: int = 0
     erat_misses: int = 0
@@ -54,6 +57,14 @@ class _FullyAssociativeLRU:
     def __contains__(self, page: int) -> bool:
         return page in self._set
 
+    def touch(self, page: int) -> None:
+        """Move a *known-resident* page to MRU (batch fast-path commit)."""
+        self._set.move_to_end(page)
+
+    def state(self) -> Tuple[int, ...]:
+        """Resident pages in LRU->MRU order (for equivalence checks)."""
+        return tuple(self._set)
+
 
 class TLB:
     """ERAT + TLB translation path returning per-access penalty cycles."""
@@ -73,7 +84,14 @@ class TLB:
         access).  An ERAT miss that hits the TLB pays the ERAT reload
         penalty; a full TLB miss additionally pays the table-walk cost.
         """
-        page = page_index(addr, self.page_size)
+        return self.translate_page(page_index(addr, self.page_size))
+
+    def translate_page(self, page: int) -> float:
+        """Like :meth:`translate` but on a pre-computed page number.
+
+        The batch engine slices whole address arrays into page numbers in
+        one vectorized shift, then feeds them here on the scalar path.
+        """
         self.stats.accesses += 1
         if self._erat.access(page):
             # ERAT hit implies the translation is also hot in the TLB.
@@ -85,6 +103,51 @@ class TLB:
             self.stats.tlb_misses += 1
             penalty += self.spec.tlb_miss_penalty_cycles
         return penalty
+
+    def translate_batch(self, addrs) -> np.ndarray:
+        """Translate a whole address array; returns per-access penalty cycles.
+
+        Consecutive same-page accesses skip the LRU bookkeeping entirely
+        (the page is already MRU in both levels), which is exact and makes
+        dense scans cheap.
+        """
+        pages = np.asarray(addrs, dtype=np.int64) // self.page_size
+        out = np.empty(pages.size, dtype=np.float64)
+        translate_page = self.translate_page
+        last_page = None
+        hot = 0  # consecutive same-page accesses after the first
+        for i, page in enumerate(pages.tolist()):
+            if page == last_page:
+                out[i] = 0.0
+                hot += 1
+                continue
+            out[i] = translate_page(page)
+            last_page = page
+        self.stats.accesses += hot
+        return out
+
+    def pages_resident(self, pages: Iterable[int]) -> bool:
+        """True when every page hits both the ERAT and the TLB.
+
+        A batch of such accesses is pure LRU reordering — no misses, no
+        insertions — which is what the vectorized fast path exploits.
+        """
+        erat, tlb = self._erat, self._tlb
+        return all(p in erat and p in tlb for p in pages)
+
+    def commit_resident_batch(self, n_accesses: int, ordered_pages: Iterable[int]) -> None:
+        """Apply a batch of ``n_accesses`` all-ERAT-hit translations.
+
+        ``ordered_pages`` are the distinct pages touched, in ascending
+        order of *last* occurrence — replaying the moves-to-MRU in that
+        order reproduces the exact sequential LRU state.
+        """
+        self.stats.accesses += n_accesses
+        erat_touch = self._erat.touch
+        tlb_touch = self._tlb.touch
+        for p in ordered_pages:
+            erat_touch(p)
+            tlb_touch(p)
 
     @property
     def erat_reach(self) -> int:

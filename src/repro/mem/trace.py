@@ -1,7 +1,10 @@
 """Address-trace generators for the trace-driven hierarchy simulator.
 
-All generators yield byte addresses.  They are deterministic given a
-seed, which keeps the unit tests and the model-fidelity cross-checks
+Traces are produced as NumPy ``int64`` byte-address arrays (the form the
+batched engine in :mod:`repro.mem.batch` consumes in one call); the
+original generator functions survive as thin iterator wrappers for
+per-access consumers.  All generators are deterministic given a seed,
+which keeps the unit tests and the model-fidelity cross-checks
 reproducible.
 """
 
@@ -12,7 +15,9 @@ from typing import Iterator, Optional
 import numpy as np
 
 
-def sequential(start: int, nbytes: int, stride: int, count: Optional[int] = None) -> Iterator[int]:
+def sequential_addresses(
+    start: int, nbytes: int, stride: int, count: Optional[int] = None
+) -> np.ndarray:
     """Addresses walking ``[start, start+nbytes)`` with ``stride``, wrapping.
 
     ``count`` limits the number of addresses; default one full pass.
@@ -20,17 +25,17 @@ def sequential(start: int, nbytes: int, stride: int, count: Optional[int] = None
     if stride <= 0 or nbytes <= 0:
         raise ValueError("stride and extent must be positive")
     steps = nbytes // stride if count is None else count
-    for i in range(steps):
-        yield start + (i * stride) % nbytes
+    i = np.arange(steps, dtype=np.int64)
+    return start + (i * stride) % nbytes
 
 
-def random_chase(
+def random_chase_addresses(
     nbytes: int,
     line_size: int,
     passes: int = 1,
     seed: int = 0,
     start: int = 0,
-) -> Iterator[int]:
+) -> np.ndarray:
     """Pointer-chase order over every line of a buffer, lmbench-style.
 
     Builds one random cyclic permutation of the buffer's lines and walks
@@ -41,35 +46,34 @@ def random_chase(
         raise ValueError("buffer smaller than one line")
     num_lines = nbytes // line_size
     rng = np.random.default_rng(seed)
-    order = rng.permutation(num_lines)
-    for _ in range(passes):
-        for idx in order:
-            yield start + int(idx) * line_size
+    order = rng.permutation(num_lines).astype(np.int64)
+    one_pass = start + order * line_size
+    return np.tile(one_pass, passes) if passes != 1 else one_pass
 
 
-def uniform_random(
+def uniform_random_addresses(
     nbytes: int,
     line_size: int,
     count: int,
     seed: int = 0,
     start: int = 0,
-) -> Iterator[int]:
+) -> np.ndarray:
     """Independent uniformly-random line addresses (no chase dependency)."""
     num_lines = nbytes // line_size
     if num_lines <= 0:
         raise ValueError("buffer smaller than one line")
     rng = np.random.default_rng(seed)
-    for idx in rng.integers(0, num_lines, size=count):
-        yield start + int(idx) * line_size
+    idx = rng.integers(0, num_lines, size=count).astype(np.int64)
+    return start + idx * line_size
 
 
-def blocked_random(
+def blocked_random_addresses(
     nbytes: int,
     block_size: int,
     element_size: int,
     seed: int = 0,
     start: int = 0,
-) -> Iterator[int]:
+) -> np.ndarray:
     """Figure 8's pattern: sequential within a block, random block order.
 
     The buffer is divided into ``block_size``-byte blocks; each block is
@@ -82,7 +86,51 @@ def blocked_random(
     if num_blocks <= 0:
         raise ValueError("buffer smaller than one block")
     rng = np.random.default_rng(seed)
-    for block in rng.permutation(num_blocks):
-        base = start + int(block) * block_size
-        for off in range(0, block_size, element_size):
-            yield base + off
+    blocks = rng.permutation(num_blocks).astype(np.int64)
+    offsets = np.arange(0, block_size, element_size, dtype=np.int64)
+    return (start + blocks[:, None] * block_size + offsets[None, :]).ravel()
+
+
+# -- iterator views ---------------------------------------------------------
+# The per-access simulator API predates the batch engine; these wrappers
+# keep it working while the arrays above stay the single source of truth.
+
+
+def sequential(start: int, nbytes: int, stride: int, count: Optional[int] = None) -> Iterator[int]:
+    """Iterator view of :func:`sequential_addresses`."""
+    return iter(sequential_addresses(start, nbytes, stride, count).tolist())
+
+
+def random_chase(
+    nbytes: int,
+    line_size: int,
+    passes: int = 1,
+    seed: int = 0,
+    start: int = 0,
+) -> Iterator[int]:
+    """Iterator view of :func:`random_chase_addresses`."""
+    return iter(random_chase_addresses(nbytes, line_size, passes, seed, start).tolist())
+
+
+def uniform_random(
+    nbytes: int,
+    line_size: int,
+    count: int,
+    seed: int = 0,
+    start: int = 0,
+) -> Iterator[int]:
+    """Iterator view of :func:`uniform_random_addresses`."""
+    return iter(uniform_random_addresses(nbytes, line_size, count, seed, start).tolist())
+
+
+def blocked_random(
+    nbytes: int,
+    block_size: int,
+    element_size: int,
+    seed: int = 0,
+    start: int = 0,
+) -> Iterator[int]:
+    """Iterator view of :func:`blocked_random_addresses`."""
+    return iter(
+        blocked_random_addresses(nbytes, block_size, element_size, seed, start).tolist()
+    )

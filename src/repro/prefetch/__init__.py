@@ -14,6 +14,13 @@ from .dscr import (
 )
 from .engine import CONFIRM_ACCESSES, StreamPrefetcher
 from .stride import MAX_STRIDED_DISTANCE, stride_sweep, strided_latency_ns
+from .traced import (
+    scaled_demo_chip,
+    traced_block_scan,
+    traced_dcbt_compare,
+    traced_dscr_sweep,
+    traced_sequential_scan,
+)
 
 __all__ = [
     "CONFIRM_ACCESSES",
@@ -29,9 +36,14 @@ __all__ = [
     "dscr_sweep",
     "prefetch_distance",
     "row_efficiency",
+    "scaled_demo_chip",
     "sequential_latency_ns",
     "stream_bandwidth",
     "strided_latency_ns",
     "stride_sweep",
+    "traced_block_scan",
+    "traced_dcbt_compare",
+    "traced_dscr_sweep",
+    "traced_sequential_scan",
     "validate_depth",
 ]

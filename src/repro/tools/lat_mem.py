@@ -48,7 +48,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--page", type=parse_size, default=PAGE_64K,
                         help="page size (64K or 16M, like the paper's two curves)")
     parser.add_argument("--trace", action="store_true",
-                        help="use the trace-driven simulator (small sizes only)")
+                        help="use the trace-driven simulator (batch engine; "
+                             "practical up to ~256M working sets)")
     args = parser.parse_args(argv)
 
     system = e870()
@@ -57,8 +58,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.trace:
         size = args.size if args.size else args.min_size
-        if size > 64 << 20:
-            parser.error("--trace is only practical up to ~64M working sets")
+        if size > 256 << 20:
+            parser.error("--trace is only practical up to ~256M working sets")
         latency = traced_latency_ns(system, size, page_size=args.page)
         print(f"{size} {latency:.2f}")
         return 0

@@ -11,6 +11,7 @@ from repro.apps.jaccard import (
     jaccard_reference,
     spgemm_flops,
     top_k_reducer,
+    validate_adjacency,
 )
 from repro.workloads.rmat import RMATConfig, rmat_adjacency
 
@@ -56,9 +57,10 @@ class TestKnownGraphs:
 class TestAgainstReference:
     @pytest.mark.parametrize("seed", [1, 2, 3])
     def test_rmat_matches_brute_force(self, seed):
-        adj = rmat_adjacency(RMATConfig(scale=6, edge_factor=4, seed=seed))
-        res = all_pairs_jaccard(adj)
-        ref = jaccard_reference(adj)
+        # Validate once; both implementations reuse the canonical matrix.
+        adj = validate_adjacency(rmat_adjacency(RMATConfig(scale=6, edge_factor=4, seed=seed)))
+        res = all_pairs_jaccard(adj, assume_validated=True)
+        ref = jaccard_reference(adj, assume_validated=True)
         got = {
             (i, j): res.similarity[i, j]
             for i, j in zip(*res.similarity.nonzero())
@@ -83,6 +85,23 @@ class TestValidation:
         m[0, 0] = 1.0
         res = all_pairs_jaccard(m.tocsr())
         assert res.pair(0, 1) == pytest.approx(1.0 / 3.0)
+
+    def test_validate_adjacency_canonicalizes(self):
+        m = complete_graph(3).tolil()
+        m[0, 0] = 7.0  # self-loop with a non-binary weight
+        m[0, 1] = 5.0
+        m[1, 0] = 5.0
+        a = validate_adjacency(m.tocsr())
+        assert sp.isspmatrix_csr(a)
+        assert a.diagonal().sum() == 0.0
+        assert set(np.unique(a.data)) == {1.0}
+
+    def test_assume_validated_matches_full_path(self):
+        adj = rmat_adjacency(RMATConfig(scale=6, edge_factor=4, seed=9))
+        a = validate_adjacency(adj)
+        fast = all_pairs_jaccard(a, assume_validated=True)
+        slow = all_pairs_jaccard(adj)
+        assert abs(fast.similarity - slow.similarity).max() < 1e-15
 
 
 class TestFootprint:

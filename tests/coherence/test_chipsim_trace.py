@@ -1,0 +1,68 @@
+"""Batch trace API of the multi-core chip simulator."""
+
+import numpy as np
+import pytest
+
+from repro.arch import e870
+from repro.coherence.chipsim import CHIP_LEVELS, ChipSimulator
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return e870().chip
+
+
+def test_trace_matches_per_access_loop(chip):
+    rng = np.random.default_rng(0)
+    n = 5000
+    cores = rng.integers(0, chip.cores_per_chip, n)
+    addrs = rng.integers(0, 1 << 22, n) * 8
+    writes = rng.random(n) < 0.3
+
+    ref = ChipSimulator(chip)
+    lat = np.empty(n)
+    levels = []
+    for i in range(n):
+        l, lv = ref.access_ex(int(cores[i]), int(addrs[i]), bool(writes[i]))
+        lat[i] = l
+        levels.append(lv)
+
+    bat = ChipSimulator(chip)
+    res = bat.access_trace(cores, addrs, writes)
+    assert np.array_equal(lat, res.latency_ns)
+    assert levels == res.levels()
+    assert ref.stats.level_hits == bat.stats.level_hits
+    assert ref.stats.accesses == bat.stats.accesses
+    assert ref.stats.total_latency_ns == pytest.approx(bat.stats.total_latency_ns)
+
+
+def test_scalar_core_and_write_broadcast(chip):
+    sim = ChipSimulator(chip)
+    line = sim.line_size
+    addrs = np.arange(8) * line
+    res = sim.access_trace(0, addrs)  # one core, all reads
+    assert len(res) == 8
+    assert res.level_names == CHIP_LEVELS
+    assert res.level_counts()["DRAM"] > 0
+    # Same lines again: now L1 hits on core 0.
+    again = sim.access_trace(0, addrs)
+    assert again.level_counts()["L1"] == 8
+
+
+def test_c2c_levels_appear_in_shared_trace(chip):
+    sim = ChipSimulator(chip)
+    line = sim.line_size
+    addrs = np.tile(np.arange(4) * line, 2)
+    cores = np.repeat([0, 1], 4)
+    res = sim.access_trace(cores, addrs, True)
+    assert res.level_counts()["C2C"] == 4  # core 1 pulls all 4 from core 0
+
+
+def test_trace_validation(chip):
+    sim = ChipSimulator(chip)
+    with pytest.raises(ValueError, match="out of range"):
+        sim.access_trace(chip.cores_per_chip, np.array([0]))
+    with pytest.raises(ValueError, match="same length"):
+        sim.access_trace(np.array([0, 1]), np.array([0]))
+    with pytest.raises(ValueError, match="same length"):
+        sim.access_trace(0, np.array([0, 64]), np.array([True]))

@@ -1,0 +1,223 @@
+"""Unit tests for the vectorized batch trace engine and its pieces."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.arch import e870
+from repro.arch.specs import CacheSpec
+from repro.mem.batch import ArrayCache, BatchMemoryHierarchy, _last_occurrence_order
+from repro.mem.cache import Cache
+from repro.mem.hierarchy import MemoryHierarchy, TraceResult
+from repro.mem.tlb import TLB
+from repro.mem.trace import (
+    blocked_random,
+    blocked_random_addresses,
+    random_chase,
+    random_chase_addresses,
+    sequential,
+    sequential_addresses,
+    uniform_random,
+    uniform_random_addresses,
+)
+
+
+def make_pair(capacity=512, line=64, ways=2, policy="store-in"):
+    spec = CacheSpec("t", capacity, line, ways, 1.0, policy)
+    return Cache(spec), ArrayCache(spec)
+
+
+def assert_same_state(ref: Cache, arr: ArrayCache):
+    assert ref.dump_state() == arr.dump_state()
+    assert dataclasses.asdict(ref.stats) == dataclasses.asdict(arr.stats)
+
+
+class TestArrayCacheParity:
+    """ArrayCache must behave identically to the OrderedDict Cache."""
+
+    @pytest.mark.parametrize("policy", ["store-in", "store-through"])
+    def test_random_op_sequence(self, policy):
+        ref, arr = make_pair(policy=policy)
+        rng = np.random.default_rng(42)
+        for _ in range(2000):
+            op = rng.integers(0, 6)
+            line = int(rng.integers(0, 64))
+            if op == 0:
+                assert ref.lookup(line, False) == arr.lookup(line, False)
+            elif op == 1:
+                assert ref.lookup(line, True) == arr.lookup(line, True)
+            elif op == 2:
+                dirty = bool(rng.integers(0, 2))
+                assert ref.fill(line, dirty) == arr.fill(line, dirty)
+            elif op == 3:
+                dirty = bool(rng.integers(0, 2))
+                assert ref.insert_victim(line, dirty) == arr.insert_victim(line, dirty)
+            elif op == 4:
+                assert ref.invalidate(line) == arr.invalidate(line)
+            else:
+                assert (line in ref) == (line in arr)
+                assert ref.is_dirty(line) == arr.is_dirty(line)
+        assert_same_state(ref, arr)
+        assert len(ref) == len(arr)
+        assert sorted(ref.lines()) == sorted(arr.lines())
+
+    def test_touch_dirty_and_flush(self):
+        ref, arr = make_pair()
+        for c in (ref, arr):
+            c.fill(0)
+            c.fill(1, dirty=True)
+            c.touch_dirty(0)
+        assert_same_state(ref, arr)
+        assert ref.flush() == arr.flush()
+        assert ref.dump_state() == arr.dump_state() == {}
+
+    def test_touch_dirty_missing_raises(self):
+        _, arr = make_pair()
+        with pytest.raises(KeyError):
+            arr.touch_dirty(99)
+
+    def test_contains_all_and_commit_read_hits(self):
+        ref, arr = make_pair(capacity=1024, ways=4)
+        lines = [0, 16, 32, 48, 1, 17]
+        for c in (ref, arr):
+            for l in lines:
+                c.fill(l)
+        assert arr.contains_all(lines)
+        assert not arr.contains_all(lines + [99])
+        # Bulk commit == replaying the same hits one by one.
+        trace = [0, 16, 0, 32, 0]
+        for l in trace:
+            assert ref.lookup(l, False)
+        arr.commit_read_hits(len(trace), _last_occurrence_order(np.array(trace)))
+        assert_same_state(ref, arr)
+
+    def test_state_arrays_shape(self):
+        _, arr = make_pair(capacity=512, line=64, ways=2)
+        arr.fill(0, dirty=True)
+        tags, dirty, occ = arr.state_arrays()
+        assert tags.shape == dirty.shape == (arr.spec.num_sets, 2)
+        assert occ[0] == 1 and bool(dirty[0, occ[0] - 1])
+
+
+class TestLastOccurrenceOrder:
+    def test_order(self):
+        assert _last_occurrence_order(np.array([3, 1, 3, 2, 1])) == [3, 2, 1]
+
+    def test_lru_replay_matches_sequential(self):
+        ref, arr = make_pair(capacity=1024, ways=8)
+        lines = [0, 8, 16, 24]
+        for c in (ref, arr):
+            for l in lines:
+                c.fill(l)
+        trace = np.array([16, 0, 16, 8, 0, 24, 8])
+        for l in trace.tolist():
+            ref.lookup(l, False)
+        arr.commit_read_hits(len(trace), _last_occurrence_order(trace))
+        assert ref.dump_state() == arr.dump_state()
+
+
+class TestTLBBatch:
+    def test_translate_batch_matches_scalar(self):
+        chip = e870().chip
+        rng = np.random.default_rng(7)
+        addrs = rng.integers(0, 1 << 30, 5000) * 8
+        a = TLB(chip.core.tlb, 64 * 1024)
+        b = TLB(chip.core.tlb, 64 * 1024)
+        scalar = np.array([a.translate(int(x)) for x in addrs])
+        batch = b.translate_batch(addrs)
+        assert np.array_equal(scalar, batch)
+        assert dataclasses.asdict(a.stats) == dataclasses.asdict(b.stats)
+        assert a._erat.state() == b._erat.state()
+        assert a._tlb.state() == b._tlb.state()
+
+    def test_pages_resident(self):
+        chip = e870().chip
+        t = TLB(chip.core.tlb, 64 * 1024)
+        t.translate_page(5)
+        assert t.pages_resident([5])
+        assert not t.pages_resident([5, 6])
+
+
+class TestTraceGenerators:
+    def test_arrays_match_iterators(self):
+        line = 128
+        cases = [
+            (sequential(0, 64 * line, line), sequential_addresses(0, 64 * line, line)),
+            (random_chase(1 << 16, line, passes=2, seed=3),
+             random_chase_addresses(1 << 16, line, passes=2, seed=3)),
+            (uniform_random(1 << 16, line, 500, seed=4),
+             uniform_random_addresses(1 << 16, line, 500, seed=4)),
+            (blocked_random(1 << 16, 16 * line, line, seed=5),
+             blocked_random_addresses(1 << 16, 16 * line, line, seed=5)),
+        ]
+        for it, arr in cases:
+            assert isinstance(arr, np.ndarray)
+            assert list(it) == arr.tolist()
+
+
+class TestTraceResult:
+    def test_helpers(self):
+        res = TraceResult(
+            latency_ns=np.array([1.0, 2.0, 3.0]),
+            level_codes=np.array([0, 0, 5], dtype=np.uint8),
+            translation_cycles=np.zeros(3),
+        )
+        assert len(res) == 3
+        assert res.mean_latency_ns == pytest.approx(2.0)
+        assert res.levels() == ["L1", "L1", "DRAM"]
+        counts = res.level_counts()
+        assert counts["L1"] == 2 and counts["DRAM"] == 1
+
+
+class TestEngineParity:
+    """Focused parity checks (the property suite does the heavy fuzzing)."""
+
+    def _compare(self, addrs, is_write=False):
+        chip = e870().chip
+        ref = MemoryHierarchy(chip, record_victims=True)
+        bat = BatchMemoryHierarchy(chip, record_victims=True, chunk=512)
+        r = ref.access_trace(addrs, is_write)
+        b = bat.access_trace(addrs, is_write)
+        assert np.array_equal(r.latency_ns, b.latency_ns)
+        assert np.array_equal(r.level_codes, b.level_codes)
+        assert np.array_equal(r.translation_cycles, b.translation_cycles)
+        assert ref.victim_log == bat.victim_log
+        r_stats = dataclasses.asdict(ref.stats)
+        b_stats = dataclasses.asdict(bat.stats)
+        # The fast path commits n*L1 latency in one multiply; the summation
+        # order differs from one-by-one accumulation at the last ulp.
+        assert b_stats.pop("total_latency_ns") == pytest.approx(
+            r_stats.pop("total_latency_ns"), rel=1e-12
+        )
+        assert r_stats == b_stats
+        for lvl in ("l1", "l2", "l3", "l3_remote", "l4"):
+            assert getattr(ref, lvl).dump_state() == getattr(bat, lvl).dump_state(), lvl
+        assert ref.tlb._erat.state() == bat.tlb._erat.state()
+        assert ref.tlb._tlb.state() == bat.tlb._tlb.state()
+        assert ref.dram._open_rows == bat.dram._open_rows
+
+    def test_l1_resident_chase(self):
+        self._compare(random_chase_addresses(16 << 10, 128, passes=8, seed=0))
+
+    def test_out_of_cache_mixed_writes(self):
+        rng = np.random.default_rng(1)
+        addrs = rng.integers(0, 1 << 26, 20000) * 8
+        writes = rng.random(20000) < 0.3
+        self._compare(addrs, writes)
+
+    def test_empty_trace(self):
+        chip = e870().chip
+        res = BatchMemoryHierarchy(chip).access_trace(np.array([], dtype=np.int64))
+        assert len(res) == 0 and res.mean_latency_ns == 0.0
+
+    def test_scalar_access_api(self):
+        chip = e870().chip
+        ref = MemoryHierarchy(chip)
+        bat = BatchMemoryHierarchy(chip)
+        for addr in (0, 64, 128, 0, 1 << 20):
+            assert ref.access(addr).latency_ns == bat.access(addr).latency_ns
+
+    def test_bad_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            BatchMemoryHierarchy(e870().chip, chunk=0)

@@ -106,6 +106,43 @@ class TestInvalidateAndFlush:
         assert c.flush() == 1
         assert len(c) == 0
 
+    def test_flush_empty_cache(self):
+        c = make_cache()
+        assert c.flush() == 0
+        assert len(c) == 0
+
+    def test_flush_preserves_stats_and_cache_stays_usable(self):
+        c = make_cache()
+        c.fill(0, dirty=True)
+        c.lookup(0, is_write=False)
+        hits, fills = c.stats.hits, c.stats.fills
+        c.flush()
+        assert (c.stats.hits, c.stats.fills) == (hits, fills)
+        assert not c.lookup(0, is_write=False)  # flushed line is gone
+        c.fill(0)
+        assert 0 in c
+
+    def test_flush_store_through_never_counts_dirty(self):
+        c = make_cache(policy="store-through")
+        c.fill(0, dirty=True)
+        c.fill(1, dirty=True)
+        assert c.flush() == 0
+
+    def test_touch_dirty_store_through_is_noop_when_resident(self):
+        c = make_cache(policy="store-through")
+        c.fill(2)
+        c.touch_dirty(2)  # must not raise, must not dirty
+        assert not c.is_dirty(2)
+
+    def test_touch_dirty_does_not_refresh_lru(self):
+        c = make_cache()
+        sets = c.spec.num_sets
+        c.fill(0)
+        c.fill(sets)
+        c.touch_dirty(0)  # 0 stays LRU despite being touched
+        evicted = c.fill(2 * sets)
+        assert evicted == (0, True)
+
 
 class TestVictimInsert:
     def test_counts_victims(self):
@@ -113,6 +150,28 @@ class TestVictimInsert:
         c.insert_victim(5, dirty=True)
         assert c.stats.victim_inserts == 1
         assert c.is_dirty(5)
+
+    def test_victim_insert_can_cascade_an_eviction(self):
+        c = make_cache()
+        sets = c.spec.num_sets
+        c.fill(0, dirty=True)
+        c.fill(sets)
+        evicted = c.insert_victim(2 * sets, dirty=False)
+        assert evicted == (0, True)
+        assert c.stats.victim_inserts == 1
+        assert c.stats.writebacks == 1
+
+    def test_victim_insert_into_store_through_drops_dirty(self):
+        c = make_cache(policy="store-through")
+        c.insert_victim(5, dirty=True)
+        assert 5 in c and not c.is_dirty(5)
+
+    def test_victim_insert_of_resident_line_merges_dirty(self):
+        c = make_cache()
+        c.fill(3, dirty=True)
+        assert c.insert_victim(3, dirty=False) is None
+        assert c.is_dirty(3)  # residency's dirty bit survives the merge
+        assert c.stats.evictions == 0
 
 
 class TestStats:

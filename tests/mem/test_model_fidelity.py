@@ -26,6 +26,7 @@ def analytic(chip):
     return AnalyticHierarchy(chip)
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize(
     "working_set,level",
     [
@@ -42,6 +43,7 @@ def test_plateau_agreement(chip, analytic, working_set, level):
     assert closed == pytest.approx(traced, rel=0.4), (level, traced, closed)
 
 
+@pytest.mark.slow
 def test_ordering_agreement(chip, analytic):
     """Latency grows with working set in both models, in the same order."""
     sizes = [32 * KIB, 256 * KIB, 2 * MIB, 16 * MIB]

@@ -1,0 +1,44 @@
+"""Trace-driven DSCR/DCBT sweeps over the batch engine."""
+
+import pytest
+
+from repro.arch import e870
+from repro.prefetch import (
+    scaled_demo_chip,
+    traced_dcbt_compare,
+    traced_dscr_sweep,
+    traced_sequential_scan,
+)
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return scaled_demo_chip(e870().chip)
+
+
+def test_scaled_demo_chip_shrinks(chip):
+    full = e870().chip
+    assert chip.cores_per_chip == 1
+    assert chip.core.l3_slice.capacity < full.core.l3_slice.capacity
+
+
+def test_depth_one_disables_prefetching(chip):
+    row = traced_sequential_scan(chip, depth=1, n_lines=512)
+    assert row["prefetch_issued"] == 0
+    assert row["dram_misses"] == row["accesses"]
+
+
+def test_deeper_dscr_reduces_latency(chip):
+    rows = traced_dscr_sweep(chip, depths=[1, 4, 7], n_lines=1024)
+    lat = [r["mean_latency_ns"] for r in rows]
+    assert lat[1] < lat[0]  # enabling the engine is a big win
+    assert lat[2] <= lat[1] + 1e-9  # deeper never hurts a pure stream
+    assert rows[2]["prefetch_useful"] > 0
+
+
+def test_dcbt_beats_hardware_detection_on_small_blocks(chip):
+    # The array must be comfortably out-of-cache (the scaled chip holds
+    # ~3 MB across L3+L4) for stream restarts to dominate.
+    cmp = traced_dcbt_compare(chip, array_bytes=4 << 20)
+    assert cmp["dcbt_latency_ns"] < cmp["hw_latency_ns"]
+    assert cmp["gain"] > 0.25  # the paper's ">25% on small arrays"

@@ -1,0 +1,140 @@
+"""Property tests: the batch engine is bit-identical to the reference.
+
+For randomized traces (addresses, read/write mix, page size, chunking),
+:class:`repro.mem.batch.BatchMemoryHierarchy` must reproduce the
+per-access reference :class:`repro.mem.hierarchy.MemoryHierarchy`
+*exactly*: per-access latencies/levels/translation penalties, per-level
+hit counts, the full LRU+dirty state of every cache, the ERAT/TLB
+contents, the DRAM open rows, and the ordered victim/write-back stream.
+"""
+
+import dataclasses
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.arch import e870
+from repro.mem.batch import BatchMemoryHierarchy
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.prefetch import StreamPrefetcher
+
+CHIP = e870().chip
+
+# Address pools chosen to exercise distinct regimes: L1-resident reuse,
+# set conflicts, out-of-cache misses, and ERAT/TLB churn.
+address_pools = st.sampled_from(
+    [
+        1 << 14,  # fits in L1: fast-path chunks
+        1 << 17,  # fits in L2
+        1 << 22,  # L3 territory
+        1 << 28,  # out of cache, TLB pressure
+    ]
+)
+
+traces = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=(1 << 20) - 1), st.booleans()),
+    min_size=1,
+    max_size=400,
+)
+
+
+def run_both(addr_writes, pool, page_size, chunk):
+    scale = pool // (1 << 20) or 1
+    addrs = np.array([(a * scale * 8) % pool for a, _ in addr_writes], dtype=np.int64)
+    writes = np.array([w for _, w in addr_writes], dtype=bool)
+    ref = MemoryHierarchy(CHIP, page_size=page_size, record_victims=True)
+    bat = BatchMemoryHierarchy(
+        CHIP, page_size=page_size, record_victims=True, chunk=chunk
+    )
+    return ref, bat, ref.access_trace(addrs, writes), bat.access_trace(addrs, writes)
+
+
+def assert_equivalent(ref, bat, r, b):
+    assert np.array_equal(r.latency_ns, b.latency_ns)
+    assert np.array_equal(r.level_codes, b.level_codes)
+    assert np.array_equal(r.translation_cycles, b.translation_cycles)
+    # Eviction/write-back streams, in program order.
+    assert ref.victim_log == bat.victim_log
+    # Full replacement state of every level.
+    for lvl in ("l1", "l2", "l3", "l3_remote", "l4"):
+        assert getattr(ref, lvl).dump_state() == getattr(bat, lvl).dump_state(), lvl
+    assert ref.tlb._erat.state() == bat.tlb._erat.state()
+    assert ref.tlb._tlb.state() == bat.tlb._tlb.state()
+    assert dataclasses.asdict(ref.tlb.stats) == dataclasses.asdict(bat.tlb.stats)
+    assert ref.dram._open_rows == bat.dram._open_rows
+    assert dataclasses.asdict(ref.dram.stats) == dataclasses.asdict(bat.dram.stats)
+    r_stats = dataclasses.asdict(ref.stats)
+    b_stats = dataclasses.asdict(bat.stats)
+    assert b_stats.pop("total_latency_ns") == pytest.approx(
+        r_stats.pop("total_latency_ns"), rel=1e-12
+    )
+    assert r_stats == b_stats
+    for lvl in ("l1", "l2", "l3", "l3_remote", "l4"):
+        assert dataclasses.asdict(getattr(ref, lvl).stats) == dataclasses.asdict(
+            getattr(bat, lvl).stats
+        ), lvl
+
+
+@given(
+    addr_writes=traces,
+    pool=address_pools,
+    page_size=st.sampled_from([64 * 1024, 16 << 20]),
+    chunk=st.sampled_from([1, 7, 64, 16384]),
+)
+@settings(max_examples=60, deadline=None)
+@pytest.mark.slow
+def test_batch_equals_reference(addr_writes, pool, page_size, chunk):
+    ref, bat, r, b = run_both(addr_writes, pool, page_size, chunk)
+    assert_equivalent(ref, bat, r, b)
+
+
+@given(
+    n_lines=st.integers(min_value=1, max_value=600),
+    depth=st.sampled_from([1, 3, 5, 7]),
+    chunk=st.sampled_from([5, 100, 16384]),
+)
+@settings(max_examples=25, deadline=None)
+@pytest.mark.slow
+def test_batch_equals_reference_with_prefetcher(n_lines, depth, chunk):
+    """Sequential scans through the stream prefetcher stay identical."""
+    line = CHIP.core.l1d.line_size
+    addrs = np.arange(n_lines, dtype=np.int64) * line
+    ref = MemoryHierarchy(
+        CHIP, prefetcher=StreamPrefetcher(line_size=line, depth=depth),
+        record_victims=True,
+    )
+    bat = BatchMemoryHierarchy(
+        CHIP, prefetcher=StreamPrefetcher(line_size=line, depth=depth),
+        record_victims=True, chunk=chunk,
+    )
+    r = ref.access_trace(addrs)
+    b = bat.access_trace(addrs)
+    assert_equivalent(ref, bat, r, b)
+    assert ref.stats.prefetch_issued == bat.stats.prefetch_issued
+    assert ref.stats.prefetch_useful == bat.stats.prefetch_useful
+
+
+@given(
+    addr_writes=traces,
+    split=st.integers(min_value=0, max_value=400),
+)
+@settings(max_examples=25, deadline=None)
+@pytest.mark.slow
+def test_trace_split_invariance(addr_writes, split):
+    """Splitting one trace into two calls cannot change the outcome."""
+    addrs = np.array([(a * 8) % (1 << 20) for a, _ in addr_writes], dtype=np.int64)
+    writes = np.array([w for _, w in addr_writes], dtype=bool)
+    split = min(split, addrs.size)
+    whole = BatchMemoryHierarchy(CHIP, record_victims=True)
+    r_whole = whole.access_trace(addrs, writes)
+    parts = BatchMemoryHierarchy(CHIP, record_victims=True)
+    r1 = parts.access_trace(addrs[:split], writes[:split])
+    r2 = parts.access_trace(addrs[split:], writes[split:])
+    assert np.array_equal(
+        r_whole.latency_ns, np.concatenate([r1.latency_ns, r2.latency_ns])
+    )
+    assert whole.victim_log == parts.victim_log
+    for lvl in ("l1", "l2", "l3", "l3_remote", "l4"):
+        assert getattr(whole, lvl).dump_state() == getattr(parts, lvl).dump_state()
