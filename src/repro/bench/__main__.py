@@ -33,7 +33,27 @@ def main(argv: list[str] | None = None) -> int:
         "--out", metavar="FILE", default="BENCH_trace.json",
         help="output JSON for --trace-perf (default: BENCH_trace.json)",
     )
+    parser.add_argument(
+        "--counters", action="store_true",
+        help="print the PMU counter report for the headline pointer-chase "
+             "trace (standalone or after --trace-perf)",
+    )
+    parser.add_argument(
+        "--counters-selftest", action="store_true",
+        help="run the PMU self-test (conservation + engine agreement + "
+             "prefetch cross-check) and exit non-zero on any violation",
+    )
     args = parser.parse_args(argv)
+
+    if args.counters_selftest:
+        # Lazy import: selftest pulls in the simulators, the rest of the
+        # CLI does not need them.
+        from ..pmu.selftest import run_selftest
+
+        ok, lines = run_selftest()
+        print("\n".join(lines))
+        print("PMU selftest " + ("PASSED" if ok else "FAILED"))
+        return 0 if ok else 1
 
     if args.trace_perf:
         from .trace_perf import write_trace_bench
@@ -43,6 +63,17 @@ def main(argv: list[str] | None = None) -> int:
         print(f"batch:     {result['batch_ns_per_access']:8.1f} ns/access")
         print(f"speedup:   {result['speedup']:8.1f}x")
         print(f"[wrote {args.out}]")
+        if args.counters:
+            from .trace_perf import trace_bench_counter_report
+
+            print()
+            print(trace_bench_counter_report())
+        return 0
+
+    if args.counters:
+        from .trace_perf import trace_bench_counter_report
+
+        print(trace_bench_counter_report())
         return 0
 
     if args.list:

@@ -63,6 +63,30 @@ def traced_latency_ns(
     (default) or the per-access ``"reference"`` simulator; the two are
     equivalence-tested to produce identical latencies.
     """
+    latency, _ = traced_latency_pmu(
+        system, working_set, page_size=page_size, passes=passes,
+        seed=seed, engine=engine,
+    )
+    return latency
+
+
+def traced_latency_pmu(
+    system: SystemSpec,
+    working_set: int,
+    page_size: int = PAGE_64K,
+    passes: int = 3,
+    seed: int = 0,
+    engine: str = "batch",
+):
+    """Like :func:`traced_latency_ns` but also returns the attached PMU.
+
+    The PMU snapshot is taken after warm-up, so its diffed ``counters``
+    describe exactly the measured passes (``pmu.read()`` still gives the
+    cumulative view the warm-up excluded by design contributes nothing
+    to).
+    """
+    from ..pmu import PMU
+
     if passes < 2:
         raise ValueError("need a warm-up pass plus at least one measured pass")
     if engine == "batch":
@@ -74,7 +98,10 @@ def traced_latency_ns(
     line = hier.line_size
     hier.warm(random_chase_addresses(working_set, line, passes=1, seed=seed))
     measured = random_chase_addresses(working_set, line, passes=passes - 1, seed=seed)
-    return hier.access_trace(measured).mean_latency_ns
+    pmu = PMU(hier)
+    with pmu:
+        result = hier.access_trace(measured)
+    return result.mean_latency_ns, pmu
 
 
 def plateau_summary(rows: List[dict], key: str = "latency_64k_ns") -> dict:

@@ -63,12 +63,15 @@ def run_trace_bench(
     repeats: int = 3,
     seed: int = 0,
     system: Optional[SystemSpec] = None,
+    counters: bool = True,
 ) -> dict:
     """Time reference vs batch engine on one pointer-chase trace.
 
     Both engines run the identical warmed trace; the result records the
     per-access cost of each, the speedup, and the (identical) simulated
-    mean latency as a cross-check.
+    mean latency as a cross-check.  ``counters`` toggles the engines'
+    live PMU increments — ``benchmarks/test_perf_pmu_overhead.py`` runs
+    both settings and bounds the difference.
     """
     spec = system if system is not None else e870()
     chip = spec.chip
@@ -76,10 +79,10 @@ def run_trace_bench(
     warm = random_chase_addresses(working_set, line, passes=1, seed=seed)
     trace = _chase_trace(working_set, line, n_accesses, seed)
 
-    ref = MemoryHierarchy(chip, page_size=page_size)
+    ref = MemoryHierarchy(chip, page_size=page_size, counters=counters)
     ref_s, ref_latency = _time_engine(ref, trace, warm, repeats)
 
-    batch = BatchMemoryHierarchy(chip, page_size=page_size)
+    batch = BatchMemoryHierarchy(chip, page_size=page_size, counters=counters)
     batch_s, batch_latency = _time_engine(batch, trace, warm, repeats)
 
     if ref_latency != batch_latency:
@@ -93,6 +96,7 @@ def run_trace_bench(
         "page_size": int(page_size),
         "repeats": int(repeats),
         "seed": int(seed),
+        "counters": bool(counters),
         "reference_s": ref_s,
         "batch_s": batch_s,
         "reference_ns_per_access": 1e9 * ref_s / n_accesses,
@@ -100,6 +104,25 @@ def run_trace_bench(
         "speedup": ref_s / batch_s,
         "simulated_mean_latency_ns": batch_latency,
     }
+
+
+def trace_bench_counter_report(
+    working_set: int = DEFAULT_WORKING_SET,
+    n_accesses: int = DEFAULT_ACCESSES,
+    page_size: int = PAGE_64K,
+    seed: int = 0,
+) -> str:
+    """PMU counter report for one (warmed) headline pointer-chase run."""
+    from ..pmu import PMU
+
+    chip = e870().chip
+    line = chip.core.l1d.line_size
+    hier = BatchMemoryHierarchy(chip, page_size=page_size)
+    hier.warm(random_chase_addresses(working_set, line, passes=1, seed=seed))
+    hier.access_trace(_chase_trace(working_set, line, n_accesses, seed))
+    return PMU(hier).report(
+        title=f"PMU counters ({working_set}-byte chase, {n_accesses} accesses)"
+    )
 
 
 def write_trace_bench(path: str, result: Optional[dict] = None, **kwargs) -> dict:

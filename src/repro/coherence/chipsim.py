@@ -17,6 +17,8 @@ import numpy as np
 
 from ..arch.specs import ChipSpec
 from ..mem.cache import Cache
+from ..pmu import events as pmu_events
+from ..pmu.counters import CounterBank
 from ..mem.dram import DRAMModel
 from ..mem.hierarchy import DEFAULT_REMOTE_L3_EXTRA_NS, TraceResult
 from ..mem.line import line_index
@@ -46,7 +48,7 @@ class ChipSimulator:
     #: supplier's L2 latency (on-chip fabric hop).
     INTERVENTION_EXTRA_NS = 12.0
 
-    def __init__(self, chip: ChipSpec) -> None:
+    def __init__(self, chip: ChipSpec, counters: bool = True) -> None:
         self.chip = chip
         core = chip.core
         self.line_size = core.l1d.line_size
@@ -71,6 +73,10 @@ class ChipSimulator:
         self.dram = DRAMModel()
         self.directory = Directory(n)
         self.stats = ChipStats()
+        #: Live PMU events (store refs); coherence traffic is harvested
+        #: from the directory by :class:`repro.pmu.PMU`.
+        self.bank = CounterBank()
+        self._counters = counters
 
         self._lat_l1 = chip.cycles_to_ns(core.l1d.latency_cycles)
         self._lat_l2 = chip.cycles_to_ns(core.l2.latency_cycles)
@@ -94,6 +100,8 @@ class ChipSimulator:
         self.stats.accesses += 1
         self.stats.total_latency_ns += latency
         self.stats.level_hits[level] += 1
+        if is_write and self._counters:
+            self.bank[pmu_events.PM_ST_REF] += 1
         return latency, level
 
     def read(self, core: int, addr: int) -> float:
@@ -157,6 +165,8 @@ class ChipSimulator:
             total += lat
         self.stats.accesses += n
         self.stats.total_latency_ns += total
+        if self._counters:
+            self.bank.inc(pmu_events.PM_ST_REF, sum(write_list))
         return TraceResult(
             latency_ns=latency,
             level_codes=codes,

@@ -155,6 +155,18 @@ class Directory:
             del self._lines[line]
         return False
 
+    def pmu_events(self) -> Dict[str, int]:
+        """Directory transition tallies as PMU coherence events."""
+        from ..pmu import events as pmu_events
+
+        return {
+            pmu_events.PM_COH_READ_REQ: self.stats["reads"],
+            pmu_events.PM_COH_WRITE_REQ: self.stats["writes"],
+            pmu_events.PM_COH_INTERVENTION: self.stats["interventions"],
+            pmu_events.PM_COH_INVALIDATION: self.stats["invalidations"],
+            pmu_events.PM_COH_WB: self.stats["writebacks"],
+        }
+
     # -- introspection --------------------------------------------------------------
     def state(self, core: int, line: int) -> State:
         entry = self._lines.get(line)

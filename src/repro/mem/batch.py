@@ -48,6 +48,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from ..arch.specs import CacheSpec, ChipSpec
+from ..pmu import events as pmu_events
+from ..pmu.counters import CounterBank
 from .cache import CacheStats
 from .dram import DRAMModel
 from .hierarchy import (
@@ -264,6 +266,7 @@ class BatchMemoryHierarchy:
         dram: Optional[DRAMModel] = None,
         record_victims: bool = False,
         chunk: int = DEFAULT_CHUNK,
+        counters: bool = True,
     ) -> None:
         from dataclasses import replace
 
@@ -295,6 +298,10 @@ class BatchMemoryHierarchy:
         self.dram = dram if dram is not None else DRAMModel()
         self.prefetcher = prefetcher
         self.stats = HierarchyStats()
+        #: Live PMU events (store refs, castouts to memory); mirrors
+        #: :class:`repro.mem.hierarchy.MemoryHierarchy` exactly.
+        self.bank = CounterBank()
+        self._counters = counters
         self._pf_pending: set[int] = set()
         self.victim_log: Optional[List[Tuple[str, int, bool]]] = (
             [] if record_victims else None
@@ -372,6 +379,8 @@ class BatchMemoryHierarchy:
         self.stats.accesses += 1
         self.stats.level_hits[level] += 1
         self.stats.total_latency_ns += total
+        if is_write and self._counters:
+            self.bank[pmu_events.PM_ST_REF] += 1
         if self.prefetcher is not None:
             for pf_addr in self.prefetcher.observe(line * self.line_size, is_write):
                 self._prefetch_fill(pf_addr // self.line_size)
@@ -385,10 +394,11 @@ class BatchMemoryHierarchy:
 
     def warm(self, addrs, is_write=False) -> None:
         """Run a trace without recording hierarchy statistics (warm-up)."""
-        saved = self.stats
+        saved, saved_bank = self.stats, self.bank
         self.stats = HierarchyStats()
+        self.bank = CounterBank()
         self.access_trace(np.fromiter(addrs, dtype=np.int64) if not isinstance(addrs, np.ndarray) else addrs, is_write)
-        self.stats = saved
+        self.stats, self.bank = saved, saved_bank
 
     # -- fast path ----------------------------------------------------------
     def _try_fast_chunk(self, lines: np.ndarray, pages: np.ndarray, pos: int, end: int) -> bool:
@@ -463,6 +473,8 @@ class BatchMemoryHierarchy:
                     self._prefetch_fill(pf_addr // line_size)
         stats.accesses += end - pos
         stats.total_latency_ns += total_ns
+        if writes is not None and self._counters:
+            self.bank.inc(pmu_events.PM_ST_REF, sum(writes[pos:end]))
         for c, count in enumerate(hit_counts):
             if count:
                 level_hits[level_names[c]] += count
@@ -562,6 +574,8 @@ class BatchMemoryHierarchy:
         if evicted is not None:
             ev_line, ev_dirty = evicted
             if ev_dirty:
+                if self._counters:
+                    self.bank[pmu_events.PM_MEM_CO] += 1
                 self._fill_l4(ev_line)
 
     def _fill_l4(self, line: int) -> None:

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, Tuple
 
 from ..arch.specs import CacheSpec
+from ..pmu.events import cache_event
 
 
 @dataclass(slots=True)
@@ -29,6 +30,17 @@ class CacheStats:
     writebacks: int = 0
     fills: int = 0
     victim_inserts: int = 0
+
+    def pmu_events(self, level: str) -> Dict[str, int]:
+        """These counters as PMU events for hierarchy level ``level``."""
+        return {
+            cache_event(level, "HIT"): self.hits,
+            cache_event(level, "MISS"): self.misses,
+            cache_event(level, "EVICT"): self.evictions,
+            cache_event(level, "WB"): self.writebacks,
+            cache_event(level, "FILL"): self.fills,
+            cache_event(level, "VICTIM_IN"): self.victim_inserts,
+        }
 
     @property
     def accesses(self) -> int:

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..arch.specs import ChipSpec, SystemSpec
+from ..pmu import events as pmu_events
+from ..pmu.counters import CounterBank
 
 #: Fraction of the raw read-link bandwidth attainable by a pure read
 #: stream (DRAM page management, ECC and framing overheads).
@@ -97,3 +99,18 @@ class MemoryLinkModel:
 def optimal_read_fraction() -> float:
     """The mix that maximises POWER8 memory throughput (2 reads : 1 write)."""
     return 2.0 / 3.0
+
+
+def link_byte_counters(bytes_read: int, bytes_written: int) -> CounterBank:
+    """Centaur link traffic as PMU byte events (the ``--counters`` view).
+
+    The STREAM tooling counts its kernel traffic exactly; expressing it
+    as ``PM_MEM_READ_BYTES`` / ``PM_MEM_WRITE_BYTES`` feeds the same
+    derived-metric arithmetic the trace-driven simulators use.
+    """
+    if bytes_read < 0 or bytes_written < 0:
+        raise ValueError(f"negative byte counts {bytes_read}/{bytes_written}")
+    bank = CounterBank()
+    bank.inc(pmu_events.PM_MEM_READ_BYTES, int(bytes_read))
+    bank.inc(pmu_events.PM_MEM_WRITE_BYTES, int(bytes_written))
+    return bank

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from ..pmu import events as pmu_events
 from .line import check_power_of_two
 
 
@@ -21,8 +22,20 @@ class DRAMStats:
     row_hits: int = 0
 
     @property
+    def row_misses(self) -> int:
+        return self.accesses - self.row_hits
+
+    @property
     def row_hit_rate(self) -> float:
         return self.row_hits / self.accesses if self.accesses else 0.0
+
+    def pmu_events(self) -> Dict[str, int]:
+        """These counters as PMU DRAM events."""
+        return {
+            pmu_events.PM_DRAM_READ: self.accesses,
+            pmu_events.PM_DRAM_ROW_HIT: self.row_hits,
+            pmu_events.PM_DRAM_ROW_MISS: self.row_misses,
+        }
 
 
 @dataclass

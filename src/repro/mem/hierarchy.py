@@ -23,6 +23,8 @@ from typing import Dict, List, Optional, Protocol, Tuple
 import numpy as np
 
 from ..arch.specs import ChipSpec
+from ..pmu import events as pmu_events
+from ..pmu.counters import CounterBank
 from .cache import Cache
 from .dram import DRAMModel
 from .line import line_index
@@ -109,6 +111,7 @@ class MemoryHierarchy:
         prefetcher: Optional[PrefetcherProtocol] = None,
         dram: Optional[DRAMModel] = None,
         record_victims: bool = False,
+        counters: bool = True,
     ) -> None:
         self.chip = chip
         core = chip.core
@@ -140,6 +143,10 @@ class MemoryHierarchy:
         self.dram = dram if dram is not None else DRAMModel()
         self.prefetcher = prefetcher
         self.stats = HierarchyStats()
+        #: Live PMU events (store refs, castouts to memory); everything
+        #: else is harvested from module stats by :class:`repro.pmu.PMU`.
+        self.bank = CounterBank()
+        self._counters = counters
         #: Lines installed by the prefetcher that no demand access has
         #: touched yet; a prefetch is only *useful* once demanded.
         self._pf_pending: set[int] = set()
@@ -173,6 +180,8 @@ class MemoryHierarchy:
         self.stats.accesses += 1
         self.stats.level_hits[level] += 1
         self.stats.total_latency_ns += total
+        if is_write and self._counters:
+            self.bank[pmu_events.PM_ST_REF] += 1
         if self.prefetcher is not None:
             for pf_addr in self.prefetcher.observe(line * self.line_size, is_write):
                 self._prefetch_fill(line_index(pf_addr, self.line_size))
@@ -209,11 +218,12 @@ class MemoryHierarchy:
 
     def warm(self, addrs, is_write: bool = False) -> None:
         """Run a trace without recording statistics (cache warm-up)."""
-        saved = self.stats
+        saved, saved_bank = self.stats, self.bank
         self.stats = HierarchyStats()
+        self.bank = CounterBank()
         for a in addrs:
             self.access(a, is_write)
-        self.stats = saved
+        self.stats, self.bank = saved, saved_bank
 
     # -- internals ------------------------------------------------------------
     def _demand(self, line: int, is_write: bool) -> tuple[float, str]:
@@ -314,6 +324,8 @@ class MemoryHierarchy:
             ev_line, ev_dirty = evicted
             if ev_dirty:
                 # Dirty data leaves the chip; lands in the L4 on its way out.
+                if self._counters:
+                    self.bank[pmu_events.PM_MEM_CO] += 1
                 self._fill_l4(ev_line)
 
     def _fill_l4(self, line: int) -> None:

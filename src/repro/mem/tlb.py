@@ -10,11 +10,12 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, Tuple
+from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
 from ..arch.specs import TLBSpec
+from ..pmu import events as pmu_events
 from .line import check_power_of_two, page_index
 
 
@@ -23,6 +24,14 @@ class TLBStats:
     accesses: int = 0
     erat_misses: int = 0
     tlb_misses: int = 0
+
+    def pmu_events(self) -> Dict[str, int]:
+        """These counters as PMU translation events."""
+        return {
+            pmu_events.PM_MMU_TRANSLATIONS: self.accesses,
+            pmu_events.PM_ERAT_MISS: self.erat_misses,
+            pmu_events.PM_DTLB_MISS: self.tlb_misses,
+        }
 
     @property
     def erat_miss_rate(self) -> float:

@@ -1,0 +1,37 @@
+"""Emulated POWER8 performance-monitoring unit (the observability spine).
+
+The paper's methodology (§III) derives every reported latency,
+bandwidth and prefetch-accuracy figure from hardware performance
+counters; this package gives the simulators the same instrument.  See
+:mod:`repro.pmu.events` for the event taxonomy, :class:`PMU` for the
+snapshot/diff API, and EXPERIMENTS.md ("Reading the counters") for the
+mapping onto real POWER8 events.
+"""
+
+from . import events
+from .counters import CounterBank
+from .invariants import assert_conservation, conservation_violations
+from .metrics import (
+    derived_metrics,
+    latency_stack,
+    prefetch_accuracy,
+    prefetch_coverage,
+)
+from .pmu import PMU, read_counters
+from .report import full_report, metrics_table, stack_table
+
+__all__ = [
+    "CounterBank",
+    "PMU",
+    "assert_conservation",
+    "conservation_violations",
+    "derived_metrics",
+    "events",
+    "full_report",
+    "latency_stack",
+    "metrics_table",
+    "prefetch_accuracy",
+    "prefetch_coverage",
+    "read_counters",
+    "stack_table",
+]

@@ -1,0 +1,71 @@
+"""The counter store behind the emulated PMU.
+
+A :class:`CounterBank` is a ``dict`` subclass mapping event name ->
+integer count, chosen so the simulators' hot paths pay exactly one
+C-level dict store per increment (``bank[event] += n`` — the
+``__missing__`` hook makes absent events read as 0).  Banks support
+snapshot/diff arithmetic and dict/JSON/CSV export; all comparisons in
+the test-suite go through :meth:`nonzero` so that a harvested zero and
+an absent event are the same thing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Mapping, Tuple
+
+
+class CounterBank(dict):
+    """Event-name -> count mapping with diff and export helpers."""
+
+    def __missing__(self, key: str) -> int:
+        # Reads of never-incremented events count as zero; nothing is
+        # inserted, so iteration only sees touched events.
+        return 0
+
+    # -- increments ------------------------------------------------------
+    def inc(self, event: str, n: int = 1) -> None:
+        """Add ``n`` to ``event`` (no-op when ``n`` is zero)."""
+        if n:
+            self[event] = self.get(event, 0) + n
+
+    def add_events(self, events: Mapping[str, int]) -> None:
+        """Merge another event mapping into this bank (summing counts)."""
+        for key, value in events.items():
+            if value:
+                self[key] = self.get(key, 0) + value
+
+    # -- snapshot / diff -------------------------------------------------
+    def snapshot(self) -> "CounterBank":
+        """An independent copy of the current counts."""
+        return CounterBank(self)
+
+    def diff(self, baseline: Mapping[str, int]) -> "CounterBank":
+        """Counts accumulated since ``baseline`` (zero deltas dropped)."""
+        out = CounterBank()
+        for key in self.keys() | baseline.keys():
+            delta = self.get(key, 0) - baseline.get(key, 0)
+            if delta:
+                out[key] = delta
+        return out
+
+    def __sub__(self, baseline: "CounterBank") -> "CounterBank":
+        return self.diff(baseline)
+
+    # -- export ----------------------------------------------------------
+    def nonzero(self) -> Dict[str, int]:
+        """Sorted plain dict of the non-zero counters (canonical form)."""
+        return {k: self[k] for k in sorted(self) if self[k]}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.nonzero(), indent=indent)
+
+    def to_csv(self) -> str:
+        """``event,count`` lines, sorted by event name."""
+        lines = ["event,count"]
+        lines.extend(f"{k},{v}" for k, v in self.nonzero().items())
+        return "\n".join(lines) + "\n"
+
+    def rows(self) -> Iterable[Tuple[str, int]]:
+        """Sorted (event, count) pairs for table rendering."""
+        return list(self.nonzero().items())

@@ -1,0 +1,140 @@
+"""Emulated POWER8 performance-monitoring event taxonomy.
+
+Every observable the simulators can count is named here, once, in the
+style of the POWER8 PMU event mnemonics the paper's methodology (§III)
+relies on.  The names are *emulated* events: each maps onto (one or a
+small set of) real POWER8 PMU events, documented in :data:`EVENTS` and
+in EXPERIMENTS.md's "Reading the counters" section.  Modules increment
+these through a :class:`repro.pmu.counters.CounterBank`; the
+:class:`repro.pmu.PMU` harvests the rest from module statistics at
+snapshot time so the hot simulation paths stay hot.
+
+This module is dependency-free on purpose: ``repro.mem``,
+``repro.coherence`` and ``repro.prefetch`` all import it, never the
+other way around.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# -- demand reference stream -------------------------------------------------
+PM_MEM_REF = "PM_MEM_REF"  # all demand references (loads + stores)
+PM_LD_REF = "PM_LD_REF"  # demand loads
+PM_ST_REF = "PM_ST_REF"  # demand stores
+PM_LD_MISS_L1 = "PM_LD_MISS_L1"  # demand refs not serviced by the L1
+
+# -- data-source events (which level serviced the demand) --------------------
+PM_DATA_FROM_L1 = "PM_DATA_FROM_L1"
+PM_DATA_FROM_L2 = "PM_DATA_FROM_L2"
+PM_DATA_FROM_L3 = "PM_DATA_FROM_L3"
+PM_DATA_FROM_L3_REMOTE = "PM_DATA_FROM_L3_REMOTE"  # lateral NUCA pool hit
+PM_DATA_FROM_L4 = "PM_DATA_FROM_L4"  # Centaur memory-side cache
+PM_DATA_FROM_MEM = "PM_DATA_FROM_MEM"  # serviced by DRAM
+PM_DATA_FROM_C2C = "PM_DATA_FROM_C2C"  # cache-to-cache intervention
+
+#: Servicing-level name (as the hierarchies report it) -> data-source event.
+DATA_FROM_EVENTS: Dict[str, str] = {
+    "L1": PM_DATA_FROM_L1,
+    "L2": PM_DATA_FROM_L2,
+    "L3": PM_DATA_FROM_L3,
+    "L3R": PM_DATA_FROM_L3_REMOTE,
+    "L4": PM_DATA_FROM_L4,
+    "DRAM": PM_DATA_FROM_MEM,
+    "C2C": PM_DATA_FROM_C2C,
+}
+
+# -- per-cache structural events ---------------------------------------------
+#: Suffixes of the per-cache-level events built by :func:`cache_event`.
+CACHE_EVENT_KINDS: Tuple[str, ...] = (
+    "HIT", "MISS", "EVICT", "WB", "FILL", "VICTIM_IN",
+)
+
+
+def cache_event(level: str, kind: str) -> str:
+    """Event name for one cache level, e.g. ``cache_event("L2", "WB")``.
+
+    ``level`` is the hierarchy-level key (``L1``/``L2``/``L3``/``L3R``/
+    ``L4``); ``kind`` one of :data:`CACHE_EVENT_KINDS`.
+    """
+    if kind not in CACHE_EVENT_KINDS:
+        raise ValueError(f"unknown cache event kind {kind!r}")
+    return f"PM_{level}_{kind}"
+
+
+# -- address translation -----------------------------------------------------
+PM_MMU_TRANSLATIONS = "PM_MMU_TRANSLATIONS"  # translations performed
+PM_ERAT_MISS = "PM_ERAT_MISS"  # first-level (ERAT) misses
+PM_DTLB_MISS = "PM_DTLB_MISS"  # full TLB misses (table walks)
+
+# -- DRAM / Centaur ----------------------------------------------------------
+PM_DRAM_READ = "PM_DRAM_READ"  # line reads serviced by DRAM (demand + prefetch + allocate)
+PM_DRAM_ROW_HIT = "PM_DRAM_ROW_HIT"  # open-page row-buffer hits
+PM_DRAM_ROW_MISS = "PM_DRAM_ROW_MISS"  # precharge + activate accesses
+PM_MEM_CO = "PM_MEM_CO"  # dirty castouts leaving the chip toward memory
+PM_MEM_READ_BYTES = "PM_MEM_READ_BYTES"  # Centaur read-link bytes
+PM_MEM_WRITE_BYTES = "PM_MEM_WRITE_BYTES"  # Centaur write-link bytes
+
+# -- prefetch ----------------------------------------------------------------
+PM_PREF_ISSUED = "PM_PREF_ISSUED"  # prefetched lines installed by the hierarchy
+PM_PREF_USEFUL = "PM_PREF_USEFUL"  # prefetched lines later hit by demand
+PM_PREF_STREAM_CONFIRMED = "PM_PREF_STREAM_CONFIRMED"  # engine streams confirmed
+PM_PREF_LINES_EMITTED = "PM_PREF_LINES_EMITTED"  # lines the engine asked for
+
+# -- coherence ---------------------------------------------------------------
+PM_COH_READ_REQ = "PM_COH_READ_REQ"  # directory read requests
+PM_COH_WRITE_REQ = "PM_COH_WRITE_REQ"  # directory write/upgrade requests
+PM_COH_INTERVENTION = "PM_COH_INTERVENTION"  # M/E owner supplied or downgraded
+PM_COH_INVALIDATION = "PM_COH_INVALIDATION"  # sharer copies killed
+PM_COH_WB = "PM_COH_WB"  # dirty data pushed home by the protocol
+
+#: Event name -> (description, closest real POWER8 PMU event(s)).
+EVENTS: Dict[str, Tuple[str, str]] = {
+    PM_MEM_REF: ("demand loads+stores issued", "PM_LD_REF_L1 + PM_ST_REF_L1"),
+    PM_LD_REF: ("demand loads issued", "PM_LD_REF_L1"),
+    PM_ST_REF: ("demand stores issued", "PM_ST_REF_L1"),
+    PM_LD_MISS_L1: ("demand refs not serviced by L1", "PM_LD_MISS_L1"),
+    PM_DATA_FROM_L1: ("demand refs serviced by the L1D", "PM_LD_REF_L1 - PM_LD_MISS_L1"),
+    PM_DATA_FROM_L2: ("demand refs serviced by the L2", "PM_DATA_FROM_L2"),
+    PM_DATA_FROM_L3: ("demand refs serviced by the local L3 slice", "PM_DATA_FROM_L3"),
+    PM_DATA_FROM_L3_REMOTE: (
+        "demand refs serviced by a peer core's L3 slice", "PM_DATA_FROM_L3.1_SHR/MOD"
+    ),
+    PM_DATA_FROM_L4: ("demand refs serviced by the Centaur L4", "PM_DATA_FROM_LMEM (L4 portion)"),
+    PM_DATA_FROM_MEM: ("demand refs serviced by DRAM", "PM_DATA_FROM_LMEM"),
+    PM_DATA_FROM_C2C: (
+        "demand refs supplied by another core's cache", "PM_DATA_FROM_L2.1_SHR/MOD"
+    ),
+    PM_MMU_TRANSLATIONS: ("address translations performed", "PM_LSU_DERAT + ERAT lookups"),
+    PM_ERAT_MISS: ("first-level ERAT reloads", "PM_LSU_DERAT_MISS"),
+    PM_DTLB_MISS: ("TLB misses (table walks)", "PM_DTLB_MISS"),
+    PM_DRAM_READ: ("cache-line reads serviced by DRAM", "Centaur-side read counts"),
+    PM_DRAM_ROW_HIT: ("DRAM open-page row hits", "Centaur/MCS row-hit counters"),
+    PM_DRAM_ROW_MISS: ("DRAM precharge+activate accesses", "Centaur/MCS row-miss counters"),
+    PM_MEM_CO: ("dirty castouts leaving the chip", "PM_L3_CO_MEM"),
+    PM_MEM_READ_BYTES: ("bytes moved over the Centaur read lanes", "MCS read-link byte counters"),
+    PM_MEM_WRITE_BYTES: ("bytes moved over the Centaur write lane", "MCS write-link byte counters"),
+    PM_PREF_ISSUED: ("prefetched lines installed", "PM_L1_PREF / PM_L3_PREF"),
+    PM_PREF_USEFUL: ("prefetched lines consumed by demand", "PM_LD_HIT_PREF"),
+    PM_PREF_STREAM_CONFIRMED: ("prefetch streams confirmed/declared", "PM_STREAM_CONFIRMED"),
+    PM_PREF_LINES_EMITTED: ("lines the stream engine requested", "PM_L3_PREF_ALL"),
+    PM_COH_READ_REQ: ("coherence read requests", "directory read ops"),
+    PM_COH_WRITE_REQ: ("coherence write/upgrade requests", "directory RWITM ops"),
+    PM_COH_INTERVENTION: ("owner interventions (M/E supplier)", "PM_DATA_FROM_*_SHR/MOD"),
+    PM_COH_INVALIDATION: ("sharer copies invalidated", "snoop invalidations"),
+    PM_COH_WB: ("protocol write-backs toward memory", "PM_SN_WR / castout WBs"),
+}
+
+for _level in ("L1", "L2", "L3", "L3R", "L4"):
+    for _kind, _desc in (
+        ("HIT", "lookup hits"),
+        ("MISS", "lookup misses"),
+        ("EVICT", "capacity/conflict evictions"),
+        ("WB", "dirty-line write-backs on eviction"),
+        ("FILL", "line installs"),
+        ("VICTIM_IN", "lateral victim installs"),
+    ):
+        EVENTS[cache_event(_level, _kind)] = (
+            f"{_level} {_desc}", f"{_level}-side cache counters"
+        )
+del _level, _kind, _desc

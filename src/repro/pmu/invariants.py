@@ -1,0 +1,88 @@
+"""Counter-conservation invariants.
+
+Hardware counters are only trustworthy when they balance: every demand
+access must be serviced by exactly one level, a prefetch can only be
+useful if it was issued, a table walk implies an ERAT reload, and the
+DRAM row counters must partition the DRAM accesses.  These checks are
+the self-test behind ``python -m repro.bench --counters-selftest`` and
+the Hypothesis properties in ``tests/property/test_pmu_conservation.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from . import events as ev
+
+
+def conservation_violations(bank: Mapping[str, int]) -> List[str]:
+    """All violated invariants for ``bank`` (empty list == conserved).
+
+    Only invariants whose counters are present are checked, so the same
+    function serves the single-core hierarchies (no coherence events)
+    and the chip simulator (no TLB).
+    """
+    violations: List[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            violations.append(message)
+
+    refs = bank.get(ev.PM_MEM_REF, 0)
+    services = sum(bank.get(e, 0) for e in ev.DATA_FROM_EVENTS.values())
+    check(
+        refs == services,
+        f"accesses ({refs}) != sum of per-level services ({services})",
+    )
+    if ev.PM_LD_REF in bank or ev.PM_ST_REF in bank:
+        loads = bank.get(ev.PM_LD_REF, 0)
+        stores = bank.get(ev.PM_ST_REF, 0)
+        check(loads >= 0, f"negative load count ({loads})")
+        check(
+            loads + stores == refs,
+            f"loads ({loads}) + stores ({stores}) != accesses ({refs})",
+        )
+    check(
+        refs - bank.get(ev.PM_DATA_FROM_L1, 0) == bank.get(ev.PM_LD_MISS_L1, 0),
+        "L1 misses != accesses - L1 services",
+    )
+
+    issued = bank.get(ev.PM_PREF_ISSUED, 0)
+    useful = bank.get(ev.PM_PREF_USEFUL, 0)
+    check(useful <= issued, f"prefetch useful ({useful}) > issued ({issued})")
+
+    translations = bank.get(ev.PM_MMU_TRANSLATIONS, 0)
+    erat = bank.get(ev.PM_ERAT_MISS, 0)
+    tlb = bank.get(ev.PM_DTLB_MISS, 0)
+    check(tlb <= erat, f"TLB misses ({tlb}) > ERAT misses ({erat})")
+    check(erat <= translations, f"ERAT misses ({erat}) > translations ({translations})")
+
+    dram = bank.get(ev.PM_DRAM_READ, 0)
+    row_hit = bank.get(ev.PM_DRAM_ROW_HIT, 0)
+    row_miss = bank.get(ev.PM_DRAM_ROW_MISS, 0)
+    check(
+        row_hit + row_miss == dram,
+        f"row hits ({row_hit}) + row misses ({row_miss}) != DRAM reads ({dram})",
+    )
+    check(
+        bank.get(ev.PM_DATA_FROM_MEM, 0) <= dram,
+        "demand DRAM services exceed total DRAM reads",
+    )
+
+    for level in ("L1", "L2", "L3", "L3R", "L4"):
+        evictions = bank.get(ev.cache_event(level, "EVICT"), 0)
+        writebacks = bank.get(ev.cache_event(level, "WB"), 0)
+        check(
+            writebacks <= evictions,
+            f"{level} writebacks ({writebacks}) > evictions ({evictions})",
+        )
+    return violations
+
+
+def assert_conservation(bank: Mapping[str, int]) -> None:
+    """Raise ``AssertionError`` listing every violated invariant."""
+    violations = conservation_violations(bank)
+    if violations:
+        raise AssertionError(
+            "counter conservation violated:\n  " + "\n  ".join(violations)
+        )

@@ -1,0 +1,108 @@
+"""Derived metrics over a :class:`~repro.pmu.counters.CounterBank`.
+
+Everything the paper's §III methodology derives from raw counters is
+computed here, in one place: per-level hit rates, translation miss
+rates, DRAM row-buffer locality, prefetch accuracy *and* coverage, the
+read/write byte split over the Centaur links, and a latency stack (the
+CPI-stack analogue for a memory-latency simulator).  Both the scalar
+and batch engines therefore report through the same arithmetic — the
+unification the prefetch cross-check tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from . import events as ev
+
+
+def _rate(numerator: int, denominator: int) -> float:
+    """A safe ratio: 0.0 when the denominator is zero."""
+    return numerator / denominator if denominator else 0.0
+
+
+def prefetch_accuracy(bank: Mapping[str, int]) -> float:
+    """Fraction of issued prefetches that a demand access consumed."""
+    return _rate(bank.get(ev.PM_PREF_USEFUL, 0), bank.get(ev.PM_PREF_ISSUED, 0))
+
+
+def prefetch_coverage(bank: Mapping[str, int]) -> float:
+    """Fraction of would-be memory misses the prefetcher eliminated.
+
+    Useful prefetches turned demand DRAM services into cache hits, so
+    coverage is useful / (useful + demand accesses still serviced by
+    DRAM).
+    """
+    useful = bank.get(ev.PM_PREF_USEFUL, 0)
+    return _rate(useful, useful + bank.get(ev.PM_DATA_FROM_MEM, 0))
+
+
+def derived_metrics(
+    bank: Mapping[str, int], total_latency_ns: Optional[float] = None
+) -> Dict[str, float]:
+    """The standard derived-metric report for one counter bank.
+
+    ``total_latency_ns`` (the hierarchy's accumulated serial latency)
+    unlocks the time-based metrics: mean latency and the read/write
+    bandwidth split.  Counts-only metrics are always present.
+    """
+    refs = bank.get(ev.PM_MEM_REF, 0)
+    translations = bank.get(ev.PM_MMU_TRANSLATIONS, 0)
+    dram_reads = bank.get(ev.PM_DRAM_READ, 0)
+    out: Dict[str, float] = {
+        "accesses": float(refs),
+        "loads": float(bank.get(ev.PM_LD_REF, 0)),
+        "stores": float(bank.get(ev.PM_ST_REF, 0)),
+        "l1_hit_rate": _rate(bank.get(ev.PM_DATA_FROM_L1, 0), refs),
+        "l2_hit_rate": _rate(bank.get(ev.PM_DATA_FROM_L2, 0), refs),
+        "l3_hit_rate": _rate(bank.get(ev.PM_DATA_FROM_L3, 0), refs),
+        "l3_remote_hit_rate": _rate(bank.get(ev.PM_DATA_FROM_L3_REMOTE, 0), refs),
+        "l4_hit_rate": _rate(bank.get(ev.PM_DATA_FROM_L4, 0), refs),
+        "c2c_fraction": _rate(bank.get(ev.PM_DATA_FROM_C2C, 0), refs),
+        "dram_fraction": _rate(bank.get(ev.PM_DATA_FROM_MEM, 0), refs),
+        "l1_miss_rate": _rate(bank.get(ev.PM_LD_MISS_L1, 0), refs),
+        "erat_miss_rate": _rate(bank.get(ev.PM_ERAT_MISS, 0), translations),
+        "dtlb_miss_rate": _rate(bank.get(ev.PM_DTLB_MISS, 0), translations),
+        "dram_row_hit_rate": _rate(bank.get(ev.PM_DRAM_ROW_HIT, 0), dram_reads),
+        "prefetch_accuracy": prefetch_accuracy(bank),
+        "prefetch_coverage": prefetch_coverage(bank),
+        "mem_read_bytes": float(bank.get(ev.PM_MEM_READ_BYTES, 0)),
+        "mem_write_bytes": float(bank.get(ev.PM_MEM_WRITE_BYTES, 0)),
+        "read_byte_fraction": _rate(
+            bank.get(ev.PM_MEM_READ_BYTES, 0),
+            bank.get(ev.PM_MEM_READ_BYTES, 0) + bank.get(ev.PM_MEM_WRITE_BYTES, 0),
+        ),
+    }
+    if total_latency_ns is not None:
+        out["mean_latency_ns"] = _rate(total_latency_ns, refs)
+        # bytes / ns == GB/s: the modelled serial-time bandwidth split.
+        out["read_bandwidth_gbs"] = _rate(
+            bank.get(ev.PM_MEM_READ_BYTES, 0), total_latency_ns
+        )
+        out["write_bandwidth_gbs"] = _rate(
+            bank.get(ev.PM_MEM_WRITE_BYTES, 0), total_latency_ns
+        )
+    return out
+
+
+def latency_stack(
+    bank: Mapping[str, int],
+    level_latencies_ns: Mapping[str, float],
+    total_latency_ns: Optional[float] = None,
+) -> Dict[str, float]:
+    """Nanoseconds attributable to each servicing level (CPI-stack style).
+
+    Cached levels contribute ``hits x hit-latency``; when the total is
+    known, the residual (DRAM service time plus translation penalties)
+    is reported under ``"MEM"``.
+    """
+    stack: Dict[str, float] = {}
+    accounted = 0.0
+    for level, lat_ns in level_latencies_ns.items():
+        hits = bank.get(ev.DATA_FROM_EVENTS.get(level, ""), 0)
+        contribution = hits * lat_ns
+        stack[level] = contribution
+        accounted += contribution
+    if total_latency_ns is not None:
+        stack["MEM"] = max(total_latency_ns - accounted, 0.0)
+    return stack

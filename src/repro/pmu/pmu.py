@@ -1,0 +1,226 @@
+"""The emulated performance-monitoring unit.
+
+A :class:`PMU` attaches to any simulator object — the reference
+:class:`~repro.mem.hierarchy.MemoryHierarchy`, the vectorized
+:class:`~repro.mem.batch.BatchMemoryHierarchy`, or the multi-core
+:class:`~repro.coherence.chipsim.ChipSimulator` — and materialises one
+canonical :class:`~repro.pmu.counters.CounterBank` for it on demand.
+
+Two kinds of events feed the bank:
+
+* **live** events the modules increment as they run (store refs, dirty
+  castouts to memory, prefetch-engine emissions) — cheap enough to stay
+  on in production, and bulk-added on the batch engine's fast path;
+* **harvested** events read from the modules' existing statistics
+  objects at :meth:`PMU.read` time (cache hit/miss/eviction tallies,
+  ERAT/TLB misses, DRAM row hits, directory transitions) — zero cost on
+  the simulation path.
+
+Because the harvest is a pure function of state the PR-1 equivalence
+suite already proves identical across engines, the scalar and batch
+engines produce identical banks — the property
+``tests/property/test_pmu_equivalence.py`` fuzzes.
+
+Usage::
+
+    pmu = PMU(hier)
+    with pmu:
+        hier.access_trace(addrs)
+    pmu.counters[PM_DATA_FROM_MEM]     # events inside the with-block
+    pmu.derived()["prefetch_accuracy"] # cumulative derived metrics
+
+or as a decorator::
+
+    @pmu.measure
+    def run():
+        return hier.access_trace(addrs)
+
+    result, counters = run()
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from . import events as ev
+from .counters import CounterBank
+from .invariants import assert_conservation, conservation_violations
+from .metrics import derived_metrics, latency_stack
+
+#: (level key, attribute name) pairs probed on hierarchy-like targets.
+_CACHE_ATTRS: Tuple[Tuple[str, str], ...] = (
+    ("L1", "l1"),
+    ("L2", "l2"),
+    ("L3", "l3"),
+    ("L3R", "l3_remote"),
+    ("L4", "l4"),
+)
+
+_LEVEL_LAT_ATTRS: Tuple[Tuple[str, str], ...] = (
+    ("L1", "_lat_l1"),
+    ("L2", "_lat_l2"),
+    ("L3", "_lat_l3"),
+    ("L3R", "_lat_l3r"),
+    ("L4", "_lat_l4"),
+    ("C2C", "_lat_c2c"),
+)
+
+
+def read_counters(target) -> CounterBank:
+    """Materialise the canonical counter bank for a simulator object.
+
+    Duck-typed: any attribute a target lacks (no TLB on the chip
+    simulator, no directory on the single-core hierarchies) is simply
+    skipped, so one harvester serves every engine.
+    """
+    bank = CounterBank()
+    live = getattr(target, "bank", None)
+    if isinstance(live, Mapping):
+        bank.add_events(live)
+
+    stats = getattr(target, "stats", None)
+    refs = int(getattr(stats, "accesses", 0) or 0)
+    bank.inc(ev.PM_MEM_REF, refs)
+    level_hits = getattr(stats, "level_hits", None)
+    if level_hits:
+        for level, hits in level_hits.items():
+            bank.inc(ev.DATA_FROM_EVENTS[level], hits)
+    bank.inc(ev.PM_PREF_ISSUED, getattr(stats, "prefetch_issued", 0))
+    bank.inc(ev.PM_PREF_USEFUL, getattr(stats, "prefetch_useful", 0))
+
+    for level, attr in _CACHE_ATTRS:
+        cache = getattr(target, attr, None)
+        if cache is None:
+            continue
+        for one in cache if isinstance(cache, list) else (cache,):
+            bank.add_events(one.stats.pmu_events(level))
+
+    tlb = getattr(target, "tlb", None)
+    if tlb is not None:
+        bank.add_events(tlb.stats.pmu_events())
+    dram = getattr(target, "dram", None)
+    if dram is not None:
+        bank.add_events(dram.stats.pmu_events())
+    prefetcher = getattr(target, "prefetcher", None)
+    pf_bank = getattr(prefetcher, "bank", None)
+    if isinstance(pf_bank, Mapping):
+        bank.add_events(pf_bank)
+    directory = getattr(target, "directory", None)
+    if directory is not None:
+        bank.add_events(directory.pmu_events())
+
+    # Derived count events (linear in the above, so diffs stay exact).
+    if getattr(target, "_counters", False):
+        bank.inc(ev.PM_LD_REF, refs - bank.get(ev.PM_ST_REF, 0))
+    bank.inc(ev.PM_LD_MISS_L1, refs - bank.get(ev.PM_DATA_FROM_L1, 0))
+    line_size = int(getattr(target, "line_size", 0) or 0)
+    if line_size:
+        bank.inc(ev.PM_MEM_READ_BYTES, bank.get(ev.PM_DRAM_READ, 0) * line_size)
+        # Write traffic leaves the chip as dirty castouts (single-core
+        # hierarchies) or protocol write-backs (the coherent chip).
+        writes_out = (
+            bank.get(ev.PM_MEM_CO, 0)
+            if directory is None
+            else bank.get(ev.PM_COH_WB, 0)
+        )
+        bank.inc(ev.PM_MEM_WRITE_BYTES, writes_out * line_size)
+    return bank
+
+
+class PMU:
+    """Snapshot/diff view over a simulator's performance counters."""
+
+    def __init__(self, target) -> None:
+        self.target = target
+        self._base = CounterBank()
+        self._base_latency_ns = 0.0
+        #: Events accumulated during the most recent ``with`` block.
+        self.counters = CounterBank()
+
+    # -- raw counter access ----------------------------------------------
+    def read(self) -> CounterBank:
+        """The cumulative counter bank (live + harvested events)."""
+        return read_counters(self.target)
+
+    def snapshot(self) -> CounterBank:
+        """Record the current counts as the diff baseline."""
+        self._base = self.read()
+        self._base_latency_ns = self._total_latency_ns()
+        return self._base
+
+    def __enter__(self) -> "PMU":
+        self.snapshot()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.counters = self.read() - self._base
+        return False
+
+    def measure(self, func: Callable) -> Callable:
+        """Decorator: run ``func`` under the PMU, return (result, counters)."""
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            with self:
+                result = func(*args, **kwargs)
+            return result, self.counters
+
+        return wrapper
+
+    # -- derived metrics --------------------------------------------------
+    def _total_latency_ns(self) -> float:
+        return float(getattr(getattr(self.target, "stats", None),
+                             "total_latency_ns", 0.0) or 0.0)
+
+    def _level_latencies_ns(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for level, attr in _LEVEL_LAT_ATTRS:
+            value = getattr(self.target, attr, None)
+            if value is not None:
+                out[level] = float(value)
+        return out
+
+    def derived(self, bank: Optional[CounterBank] = None) -> Dict[str, float]:
+        """Derived metrics; cumulative unless a (diffed) bank is given."""
+        if bank is None:
+            bank = self.read()
+            total = self._total_latency_ns()
+        else:
+            # A diffed bank pairs with the latency accumulated since the
+            # snapshot that produced it.
+            total = self._total_latency_ns() - self._base_latency_ns
+        return derived_metrics(bank, total_latency_ns=total)
+
+    def stack(self, bank: Optional[CounterBank] = None) -> Dict[str, float]:
+        """Latency attribution per servicing level (CPI-stack analogue)."""
+        if bank is None:
+            bank = self.read()
+            total = self._total_latency_ns()
+        else:
+            total = self._total_latency_ns() - self._base_latency_ns
+        return latency_stack(bank, self._level_latencies_ns(), total)
+
+    # -- conservation ------------------------------------------------------
+    def violations(self) -> list:
+        return conservation_violations(self.read())
+
+    def assert_conserved(self) -> None:
+        assert_conservation(self.read())
+
+    # -- export ------------------------------------------------------------
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(
+            {"counters": self.read().nonzero(), "derived": self.derived()},
+            indent=2,
+        )
+
+    def to_csv(self) -> str:
+        return self.read().to_csv()
+
+    def report(self, title: str = "PMU counters") -> str:
+        from .report import full_report
+
+        return full_report(self, title=title)

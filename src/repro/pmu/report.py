@@ -1,0 +1,46 @@
+"""Human-readable counter reports (the ``--counters`` CLI output).
+
+Rendering goes through :mod:`repro.reporting.tables` so PMU reports
+look like every other reproduced table in the harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..reporting.tables import format_counter_table, format_table
+
+
+def metrics_table(metrics: Mapping[str, float], title: str = "derived metrics") -> str:
+    """Render a derived-metrics mapping as a two-column table."""
+    rows = []
+    for key in sorted(metrics):
+        value = metrics[key]
+        if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+            rows.append((key, int(value)))
+        else:
+            rows.append((key, value))
+    return format_table(["metric", "value"], rows, title=title, float_format="{:.6g}")
+
+
+def stack_table(stack: Dict[str, float], title: str = "latency stack (ns)") -> str:
+    total = sum(stack.values())
+    rows = [
+        (level, ns, (ns / total if total else 0.0))
+        for level, ns in stack.items()
+    ]
+    return format_table([ "level", "total_ns", "fraction"], rows, title=title,
+                        float_format="{:.4g}")
+
+
+def full_report(pmu, title: str = "PMU counters") -> str:
+    """Counter table + derived metrics + latency stack for one PMU."""
+    parts = [
+        format_counter_table(pmu.read(), title=title),
+        "",
+        metrics_table(pmu.derived()),
+    ]
+    stack = pmu.stack()
+    if stack:
+        parts += ["", stack_table(stack)]
+    return "\n".join(parts)

@@ -1,0 +1,77 @@
+"""Counter self-test: conservation + engine agreement on a small trace.
+
+``python -m repro.bench --counters-selftest`` runs this.  It drives one
+seeded mixed read/write trace through the reference and batch engines,
+checks every conservation invariant on both banks, checks the banks are
+identical, and cross-checks the prefetch engine's emitted-line counter
+against the hierarchy's issued counter on a sequential scan.
+
+Imported lazily by the CLI (this module pulls in the simulators; the
+rest of :mod:`repro.pmu` stays dependency-free).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..arch import e870
+from ..mem.batch import BatchMemoryHierarchy
+from ..mem.hierarchy import MemoryHierarchy
+from ..prefetch.engine import StreamPrefetcher
+from . import events as ev
+from .invariants import conservation_violations
+from .pmu import read_counters
+
+
+def run_selftest(
+    n_accesses: int = 4096, pool: int = 1 << 20, seed: int = 0
+) -> Tuple[bool, List[str]]:
+    """Returns (ok, report lines); ok is False on any violation."""
+    chip = e870().chip
+    line = chip.core.l1d.line_size
+    rng = np.random.default_rng(seed)
+    addrs = (rng.integers(0, pool // 8, size=n_accesses) * 8).astype(np.int64)
+    writes = rng.random(n_accesses) < 0.25
+
+    lines: List[str] = []
+    problems = 0
+
+    ref = MemoryHierarchy(chip)
+    bat = BatchMemoryHierarchy(chip)
+    ref.access_trace(addrs, writes)
+    bat.access_trace(addrs, writes)
+    banks = {"reference": read_counters(ref), "batch": read_counters(bat)}
+    for name, bank in banks.items():
+        violations = conservation_violations(bank)
+        problems += len(violations)
+        status = "ok" if not violations else "; ".join(violations)
+        lines.append(f"{name:9} conservation: {status}")
+    if banks["reference"].nonzero() != banks["batch"].nonzero():
+        problems += 1
+        lines.append("engines disagree: reference and batch banks differ")
+    else:
+        lines.append(
+            f"engines agree on {len(banks['batch'].nonzero())} non-zero counters"
+        )
+
+    # Prefetch cross-check: the engine's emitted lines must equal the
+    # hierarchy's issued installs on the same sequential scan.
+    pf = StreamPrefetcher(line_size=line, depth=5)
+    hier = BatchMemoryHierarchy(chip, prefetcher=pf)
+    hier.access_trace(np.arange(512, dtype=np.int64) * line)
+    bank = read_counters(hier)
+    emitted = bank[ev.PM_PREF_LINES_EMITTED]
+    issued = bank[ev.PM_PREF_ISSUED]
+    if emitted != issued:
+        problems += 1
+        lines.append(f"prefetch paths disagree: emitted {emitted} != issued {issued}")
+    else:
+        lines.append(f"prefetch paths agree: emitted == issued == {issued}")
+    violations = conservation_violations(bank)
+    problems += len(violations)
+    lines.append(
+        "prefetch  conservation: " + ("ok" if not violations else "; ".join(violations))
+    )
+    return problems == 0, lines

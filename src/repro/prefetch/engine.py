@@ -15,6 +15,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..pmu import events as pmu_events
+from ..pmu.counters import CounterBank
 from .dscr import DEFAULT_DEPTH, prefetch_distance, validate_depth
 
 #: Demand accesses needed to confirm a candidate stream.
@@ -67,7 +69,18 @@ class StreamPrefetcher:
         self._streams: "OrderedDict[int, _Stream]" = OrderedDict()
         self._last_lines: List[int] = []  # recent demand lines for detection
         self._next_id = 0
-        self.streams_confirmed = 0
+        #: Engine-side PMU events; the hierarchy credits usefulness, so
+        #: accuracy is computed from the two banks together (see
+        #: :func:`repro.pmu.metrics.derived_metrics`).
+        self.bank = CounterBank()
+
+    @property
+    def streams_confirmed(self) -> int:
+        return self.bank[pmu_events.PM_PREF_STREAM_CONFIRMED]
+
+    @property
+    def lines_emitted(self) -> int:
+        return self.bank[pmu_events.PM_PREF_LINES_EMITTED]
 
     # -- PrefetcherProtocol ---------------------------------------------------
     def observe(self, line_addr: int, is_write: bool) -> List[int]:
@@ -80,6 +93,8 @@ class StreamPrefetcher:
         if issued is None:
             self._detect(line)
             issued = []
+        elif issued:
+            self.bank.inc(pmu_events.PM_PREF_LINES_EMITTED, len(issued))
         return [l * self.line_size for l in issued]
 
     # -- DCBT -----------------------------------------------------------------
@@ -102,7 +117,7 @@ class StreamPrefetcher:
             depth=self.max_distance,
         )
         self._remember(stream)
-        self.streams_confirmed += 1
+        self.bank[pmu_events.PM_PREF_STREAM_CONFIRMED] += 1
         end = start + stride * max(0, length_bytes // self.line_size - 1)
         burst = self._issue(stream, from_line=start)
         # Clip the burst to the declared extent.
@@ -110,6 +125,7 @@ class StreamPrefetcher:
             burst = [l for l in burst if l >= end]
         else:
             burst = [l for l in burst if l <= end]
+        self.bank.inc(pmu_events.PM_PREF_LINES_EMITTED, len(burst))
         return [l * self.line_size for l in burst]
 
     # -- internals --------------------------------------------------------------
@@ -161,7 +177,7 @@ class StreamPrefetcher:
                     depth=RAMP_START,
                 )
                 self._remember(stream)
-                self.streams_confirmed += 1
+                self.bank[pmu_events.PM_PREF_STREAM_CONFIRMED] += 1
                 break
         self._last_lines.append(line)
         if len(self._last_lines) > 8:

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 from ..arch.specs import CentaurSpec, ChipSpec
 from ..mem.batch import BatchMemoryHierarchy
 from ..mem.trace import blocked_random_addresses, sequential_addresses
+from ..pmu import PMU, events as pmu_events, prefetch_accuracy
 from .dscr import DEPTH_LINES
 from .engine import StreamPrefetcher
 
@@ -54,13 +55,17 @@ def traced_sequential_scan(
     pf = StreamPrefetcher(line_size=line, depth=depth)
     hier = BatchMemoryHierarchy(chip, prefetcher=pf)
     res = hier.access_trace(sequential_addresses(0, n_lines * line, line))
+    # All counters come off the PMU bank so this report, the engine's own
+    # tallies and the --counters CLI views can never disagree.
+    bank = PMU(hier).read()
     return {
         "depth": depth,
         "mean_latency_ns": res.mean_latency_ns,
-        "dram_misses": hier.stats.level_hits["DRAM"],
-        "accesses": len(res),
-        "prefetch_issued": hier.stats.prefetch_issued,
-        "prefetch_useful": hier.stats.prefetch_useful,
+        "dram_misses": bank[pmu_events.PM_DATA_FROM_MEM],
+        "accesses": bank[pmu_events.PM_MEM_REF],
+        "prefetch_issued": bank[pmu_events.PM_PREF_ISSUED],
+        "prefetch_useful": bank[pmu_events.PM_PREF_USEFUL],
+        "prefetch_accuracy": prefetch_accuracy(bank),
     }
 
 

@@ -9,12 +9,13 @@ from .compare import (
     relative_error,
     within_factor,
 )
-from .tables import format_comparison, format_table
+from .tables import format_comparison, format_counter_table, format_table
 
 __all__ = [
     "argmax_index",
     "crossover_index",
     "format_comparison",
+    "format_counter_table",
     "format_table",
     "is_monotone",
     "paper_values",

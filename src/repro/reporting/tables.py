@@ -6,7 +6,7 @@ format the paper uses, via these helpers — no plotting dependencies.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Mapping, Sequence
 
 
 def format_table(
@@ -42,6 +42,27 @@ def format_table(
     for row in rendered:
         lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def format_counter_table(
+    bank: Mapping[str, int],
+    title: str | None = "PMU counters",
+    describe: bool = True,
+) -> str:
+    """Render a PMU counter bank as an event/count(/description) table.
+
+    Zero counters are dropped (a harvested zero and an absent event are
+    the same thing); descriptions come from the event registry in
+    :mod:`repro.pmu.events`.
+    """
+    # events.py is dependency-free, so this import cannot cycle back.
+    from ..pmu.events import EVENTS
+
+    items = sorted((k, v) for k, v in bank.items() if v)
+    if describe:
+        rows = [(k, v, EVENTS.get(k, ("", ""))[0]) for k, v in items]
+        return format_table(["event", "count", "description"], rows, title=title)
+    return format_table(["event", "count"], items, title=title)
 
 
 def format_comparison(

@@ -50,18 +50,31 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", action="store_true",
                         help="use the trace-driven simulator (batch engine; "
                              "practical up to ~256M working sets)")
+    parser.add_argument("--counters", action="store_true",
+                        help="with --trace: also print the PMU counter report "
+                             "for the measured passes")
     args = parser.parse_args(argv)
 
     system = e870()
     if args.page not in (PAGE_64K, PAGE_16M):
         print(f"note: unusual page size {args.page}", file=sys.stderr)
+    if args.counters and not args.trace:
+        parser.error("--counters needs the trace-driven simulator; add --trace")
 
     if args.trace:
         size = args.size if args.size else args.min_size
         if size > 256 << 20:
             parser.error("--trace is only practical up to ~256M working sets")
-        latency = traced_latency_ns(system, size, page_size=args.page)
-        print(f"{size} {latency:.2f}")
+        if args.counters:
+            from ..bench.latency import traced_latency_pmu
+
+            latency, pmu = traced_latency_pmu(system, size, page_size=args.page)
+            print(f"{size} {latency:.2f}")
+            print()
+            print(pmu.report(title=f"PMU counters ({size}-byte working set)"))
+        else:
+            latency = traced_latency_ns(system, size, page_size=args.page)
+            print(f"{size} {latency:.2f}")
         return 0
 
     model = AnalyticHierarchy(system.chip, page_size=args.page)

@@ -46,6 +46,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="cores on one chip (Figure 3 mode)")
     parser.add_argument("--threads", type=int, default=8,
                         help="threads per core (Figure 3 mode)")
+    parser.add_argument("--counters", action="store_true",
+                        help="also print each kernel's Centaur link-byte "
+                             "counters (classic-kernel mode)")
     args = parser.parse_args(argv)
 
     system = e870()
@@ -70,9 +73,23 @@ def main(argv: list[str] | None = None) -> int:
 
     kernels = StreamKernels(system, elements=1 << 16)
     print(f"{'kernel':8} {'mix':>6} {'GB/s':>9}")
-    for result in kernels.all_classic():
+    results = kernels.all_classic()
+    for result in results:
         print(f"{result.kernel:8} {result.read_ratio:>4.0f}:1 "
               f"{result.modeled_bandwidth / GB:>9.1f}")
+    if args.counters:
+        from ..mem.centaur import link_byte_counters
+        from ..reporting.tables import format_counter_table
+
+        for result in results:
+            bank = link_byte_counters(result.bytes_read, result.bytes_written)
+            print()
+            print(format_counter_table(
+                bank,
+                title=(f"{result.kernel}: link bytes "
+                       f"(read fraction {result.read_byte_fraction:.3f})"),
+                describe=False,
+            ))
     return 0
 
 

@@ -1,0 +1,76 @@
+"""Golden-value generator for the PMU derived-metric regression test.
+
+The golden workload is fully deterministic (seeded PCG64 trace, fixed
+chip spec), so the counters and derived metrics it produces are stable
+across runs; ``tests/pmu/test_derived_metrics.py`` pins them.  After an
+*intentional* change to the counting semantics, regenerate with::
+
+    PYTHONPATH=src python -m tests.pmu.regen_golden
+
+and commit the updated ``golden_metrics.json`` together with the change
+that motivated it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.arch import e870
+from repro.mem.batch import BatchMemoryHierarchy
+from repro.pmu import PMU
+from repro.prefetch import StreamPrefetcher
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden_metrics.json"
+
+#: Workload shape — part random mixed read/write (exercises every cache
+#: level, the TLB and the DRAM row buffers), part sequential scan
+#: through the stream prefetcher (exercises the prefetch counters).
+SEED = 2016
+N_RANDOM = 8192
+POOL = 1 << 22
+WRITE_FRACTION = 0.3
+N_SEQ_LINES = 1024
+DEPTH = 5
+
+
+def golden_payload() -> dict:
+    """Run the golden workload; returns counters + derived metrics."""
+    chip = e870().chip
+    line = chip.core.l1d.line_size
+    rng = np.random.default_rng(SEED)
+    addrs = (rng.integers(0, POOL // 8, size=N_RANDOM) * 8).astype(np.int64)
+    writes = rng.random(N_RANDOM) < WRITE_FRACTION
+
+    hier = BatchMemoryHierarchy(
+        chip, prefetcher=StreamPrefetcher(line_size=line, depth=DEPTH)
+    )
+    hier.access_trace(addrs, writes)
+    hier.access_trace(np.arange(N_SEQ_LINES, dtype=np.int64) * line)
+
+    pmu = PMU(hier)
+    return {
+        "workload": {
+            "seed": SEED,
+            "n_random": N_RANDOM,
+            "pool": POOL,
+            "write_fraction": WRITE_FRACTION,
+            "n_seq_lines": N_SEQ_LINES,
+            "depth": DEPTH,
+        },
+        "counters": pmu.read().nonzero(),
+        "derived": pmu.derived(),
+        "stack": pmu.stack(),
+    }
+
+
+def main() -> None:
+    payload = golden_payload()
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {GOLDEN_PATH} ({len(payload['counters'])} non-zero counters)")
+
+
+if __name__ == "__main__":
+    main()

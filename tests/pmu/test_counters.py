@@ -1,0 +1,197 @@
+"""Unit tests for the PMU layer: bank semantics, API surface, CLIs.
+
+Quick-lane coverage of everything the heavier property suites assume:
+:class:`~repro.pmu.counters.CounterBank` arithmetic, the
+:class:`~repro.pmu.PMU` context-manager/decorator/export API, the event
+registry, and the ``--counters`` CLI surfaces.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.arch import e870
+from repro.mem.batch import BatchMemoryHierarchy
+from repro.mem.centaur import link_byte_counters
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.pmu import PMU, CounterBank, events as ev, read_counters
+from repro.pmu.events import EVENTS, cache_event
+
+CHIP = e870().chip
+
+
+# -- CounterBank -----------------------------------------------------------
+def test_bank_missing_reads_as_zero_without_insert():
+    bank = CounterBank()
+    assert bank["PM_NEVER_TOUCHED"] == 0
+    assert "PM_NEVER_TOUCHED" not in bank
+    bank["PM_X"] += 3
+    assert bank["PM_X"] == 3
+
+
+def test_bank_inc_and_add_events():
+    bank = CounterBank()
+    bank.inc("A", 2)
+    bank.inc("A")
+    bank.inc("B", 0)  # no-op: zero increments don't materialise events
+    bank.add_events({"A": 1, "C": 5, "D": 0})
+    assert bank.nonzero() == {"A": 4, "C": 5}
+    assert "B" not in bank and "D" not in bank
+
+
+def test_bank_snapshot_diff_and_sub():
+    bank = CounterBank({"A": 5, "B": 2})
+    snap = bank.snapshot()
+    bank.inc("A", 3)
+    bank.inc("C", 1)
+    delta = bank - snap
+    assert delta.nonzero() == {"A": 3, "C": 1}
+    assert bank.diff(snap) == delta
+    snap.inc("A", 100)  # the snapshot is independent of the live bank
+    assert bank["A"] == 8
+
+
+def test_bank_export_roundtrip():
+    bank = CounterBank({"B": 2, "A": 1, "Z": 0})
+    assert json.loads(bank.to_json()) == {"A": 1, "B": 2}
+    assert bank.to_csv() == "event,count\nA,1\nB,2\n"
+    assert bank.rows() == [("A", 1), ("B", 2)]
+
+
+# -- event taxonomy --------------------------------------------------------
+def test_every_named_event_is_registered():
+    for name, value in vars(ev).items():
+        if name.startswith("PM_") and isinstance(value, str):
+            assert value in EVENTS, f"{value} missing from the EVENTS registry"
+
+
+def test_cache_event_builder():
+    assert cache_event("L2", "WB") == "PM_L2_WB"
+    with pytest.raises(ValueError):
+        cache_event("L2", "BOGUS")
+
+
+def test_data_from_events_cover_all_levels():
+    from repro.coherence.chipsim import CHIP_LEVELS
+    from repro.mem.hierarchy import LEVELS
+
+    for level in set(LEVELS) | set(CHIP_LEVELS):
+        assert level in ev.DATA_FROM_EVENTS
+
+
+# -- PMU API ---------------------------------------------------------------
+def _mixed_trace(n=512, seed=1):
+    rng = np.random.default_rng(seed)
+    addrs = (rng.integers(0, 1 << 15, size=n) * 8).astype(np.int64)
+    writes = rng.random(n) < 0.25
+    return addrs, writes
+
+
+def test_pmu_context_manager_diffs():
+    addrs, writes = _mixed_trace()
+    hier = MemoryHierarchy(CHIP)
+    hier.access_trace(addrs, writes)  # pre-existing history
+    pmu = PMU(hier)
+    with pmu:
+        hier.access_trace(addrs, writes)
+    assert pmu.counters[ev.PM_MEM_REF] == addrs.size
+    assert pmu.counters[ev.PM_ST_REF] == int(writes.sum())
+    # The diff excludes the pre-snapshot history...
+    assert pmu.read()[ev.PM_MEM_REF] == 2 * addrs.size
+
+
+def test_pmu_measure_decorator():
+    addrs, writes = _mixed_trace()
+    hier = BatchMemoryHierarchy(CHIP)
+    pmu = PMU(hier)
+
+    @pmu.measure
+    def run():
+        return hier.access_trace(addrs, writes)
+
+    result, counters = run()
+    assert len(result) == addrs.size
+    assert counters[ev.PM_MEM_REF] == addrs.size
+
+
+def test_pmu_exports_and_report():
+    addrs, writes = _mixed_trace()
+    hier = BatchMemoryHierarchy(CHIP)
+    hier.access_trace(addrs, writes)
+    pmu = PMU(hier)
+    payload = json.loads(pmu.to_json())
+    assert payload["counters"][ev.PM_MEM_REF] == addrs.size
+    assert 0.0 <= payload["derived"]["l1_hit_rate"] <= 1.0
+    assert pmu.to_csv().startswith("event,count\n")
+    report = pmu.report()
+    assert "PM_MEM_REF" in report and "derived metrics" in report
+    assert "latency stack" in report
+    assert pmu.violations() == []
+
+
+def test_counters_flag_disables_live_events():
+    addrs, writes = _mixed_trace()
+    on = BatchMemoryHierarchy(CHIP, counters=True)
+    off = BatchMemoryHierarchy(CHIP, counters=False)
+    on.access_trace(addrs, writes)
+    off.access_trace(addrs, writes)
+    assert on.bank[ev.PM_ST_REF] == int(writes.sum())
+    assert not off.bank
+    # Harvested events still work with live counting off; only the
+    # load/store split (and its dependents) goes away.
+    bank = read_counters(off)
+    assert bank[ev.PM_MEM_REF] == addrs.size
+    assert ev.PM_ST_REF not in bank and ev.PM_LD_REF not in bank
+
+
+def test_warm_is_unobserved():
+    addrs, writes = _mixed_trace()
+    hier = MemoryHierarchy(CHIP)
+    hier.warm(addrs, True)
+    assert not hier.bank  # warm-up stores left no live events
+    hier.access_trace(addrs, writes)
+    bank = read_counters(hier)
+    assert bank[ev.PM_MEM_REF] == addrs.size
+    assert bank[ev.PM_ST_REF] == int(writes.sum())
+
+
+# -- centaur link bytes ----------------------------------------------------
+def test_link_byte_counters():
+    bank = link_byte_counters(2048, 1024)
+    assert bank.nonzero() == {
+        ev.PM_MEM_READ_BYTES: 2048,
+        ev.PM_MEM_WRITE_BYTES: 1024,
+    }
+    with pytest.raises(ValueError):
+        link_byte_counters(-1, 0)
+
+
+# -- CLI smoke -------------------------------------------------------------
+def test_bench_counters_selftest_cli():
+    from repro.bench.__main__ import main
+
+    assert main(["--counters-selftest"]) == 0
+
+
+def test_lat_mem_counters_cli(capsys):
+    from repro.tools.lat_mem import main
+
+    assert main(["--size", "64K", "--trace", "--counters"]) == 0
+    out = capsys.readouterr().out
+    assert "PM_MEM_REF" in out
+
+
+def test_lat_mem_counters_requires_trace():
+    from repro.tools.lat_mem import main
+
+    with pytest.raises(SystemExit):
+        main(["--size", "64K", "--counters"])
+
+
+def test_stream_counters_cli(capsys):
+    from repro.tools.stream import main
+
+    assert main(["--counters"]) == 0
+    out = capsys.readouterr().out
+    assert "PM_MEM_READ_BYTES" in out and "Triad" in out

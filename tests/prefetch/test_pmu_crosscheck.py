@@ -1,0 +1,76 @@
+"""Cross-check: prefetch accuracy is one number, however you compute it.
+
+Before the PMU layer, the stream engine and the hierarchies kept
+separate prefetch tallies that could silently drift.  These tests pin
+the unification: the engine's ``PM_PREF_LINES_EMITTED`` equals the
+hierarchy's ``PM_PREF_ISSUED`` (every emitted line is installed exactly
+once), the engine's legacy ``streams_confirmed`` attribute is a view of
+its PMU bank, and the :func:`repro.prefetch.traced.traced_sequential_scan`
+report is PMU-derived so it cannot disagree with either.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import e870
+from repro.mem.batch import BatchMemoryHierarchy
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.pmu import events as ev, prefetch_accuracy, read_counters
+from repro.prefetch import StreamPrefetcher, scaled_demo_chip, traced_sequential_scan
+
+CHIP = e870().chip
+LINE = CHIP.core.l1d.line_size
+
+
+@pytest.mark.parametrize("engine_cls", [MemoryHierarchy, BatchMemoryHierarchy])
+@pytest.mark.parametrize("depth", [2, 5, 7])
+def test_emitted_equals_issued_on_streams(engine_cls, depth):
+    pf = StreamPrefetcher(line_size=LINE, depth=depth)
+    hier = engine_cls(CHIP, prefetcher=pf)
+    hier.access_trace(np.arange(768, dtype=np.int64) * LINE)
+    bank = read_counters(hier)
+    assert bank[ev.PM_PREF_LINES_EMITTED] == bank[ev.PM_PREF_ISSUED]
+    assert bank[ev.PM_PREF_ISSUED] > 0
+    assert bank[ev.PM_PREF_USEFUL] <= bank[ev.PM_PREF_ISSUED]
+
+
+def test_emitted_equals_issued_via_dcbt():
+    """declare_stream's burst is installed line-for-line too."""
+    pf = StreamPrefetcher(line_size=LINE, depth=7)
+    hier = BatchMemoryHierarchy(CHIP, prefetcher=pf)
+    block = 32 * LINE
+    for start in (0, 1 << 20):
+        for pf_addr in pf.declare_stream(start, block):
+            hier._prefetch_fill(pf_addr // LINE)
+        hier.access_trace(start + np.arange(32, dtype=np.int64) * LINE)
+    bank = read_counters(hier)
+    assert bank[ev.PM_PREF_LINES_EMITTED] == bank[ev.PM_PREF_ISSUED]
+    assert bank[ev.PM_PREF_STREAM_CONFIRMED] >= 2  # the two declared streams
+
+
+def test_streams_confirmed_is_a_bank_view():
+    pf = StreamPrefetcher(line_size=LINE, depth=5)
+    assert pf.streams_confirmed == 0
+    pf.declare_stream(0, 16 * LINE)
+    assert pf.streams_confirmed == 1
+    assert pf.streams_confirmed == pf.bank[ev.PM_PREF_STREAM_CONFIRMED]
+    assert pf.lines_emitted == pf.bank[ev.PM_PREF_LINES_EMITTED]
+
+
+def test_traced_scan_reports_pmu_numbers():
+    """The sweep row equals an independent PMU harvest of the same run."""
+    chip = scaled_demo_chip(CHIP)
+    row = traced_sequential_scan(chip, depth=5, n_lines=1024)
+
+    line = chip.core.l1d.line_size
+    pf = StreamPrefetcher(line_size=line, depth=5)
+    hier = BatchMemoryHierarchy(chip, prefetcher=pf)
+    hier.access_trace(np.arange(1024, dtype=np.int64) * line)
+    bank = read_counters(hier)
+
+    assert row["accesses"] == bank[ev.PM_MEM_REF]
+    assert row["dram_misses"] == bank[ev.PM_DATA_FROM_MEM]
+    assert row["prefetch_issued"] == bank[ev.PM_PREF_ISSUED]
+    assert row["prefetch_useful"] == bank[ev.PM_PREF_USEFUL]
+    assert row["prefetch_accuracy"] == pytest.approx(prefetch_accuracy(bank))
+    assert 0.0 < row["prefetch_accuracy"] <= 1.0

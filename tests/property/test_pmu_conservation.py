@@ -1,0 +1,124 @@
+"""Hypothesis properties: counter conservation on every engine.
+
+For any randomized workload the harvested bank must balance: demand
+accesses equal the sum of per-level services, loads + stores equal
+accesses, prefetch useful never exceeds issued, table-walk misses never
+exceed ERAT reloads which never exceed translations, and the DRAM row
+hit/miss counters partition the DRAM reads.  The invariants are checked
+on the reference hierarchy, the batch engine (across chunkings), the
+prefetcher-equipped hierarchy, and the coherent multi-core chip
+simulator.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.arch import e870
+from repro.coherence.chipsim import ChipSimulator
+from repro.mem.batch import BatchMemoryHierarchy
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.pmu import assert_conservation, events as ev, read_counters
+from repro.prefetch import StreamPrefetcher
+
+CHIP = e870().chip
+
+traces = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=(1 << 20) - 1), st.booleans()),
+    min_size=1,
+    max_size=300,
+)
+
+
+def _addr_arrays(addr_writes, pool):
+    scale = pool // (1 << 20) or 1
+    addrs = np.array([(a * scale * 8) % pool for a, _ in addr_writes], dtype=np.int64)
+    writes = np.array([w for _, w in addr_writes], dtype=bool)
+    return addrs, writes
+
+
+@given(
+    addr_writes=traces,
+    pool=st.sampled_from([1 << 14, 1 << 22, 1 << 28]),
+    engine=st.sampled_from(["reference", "batch"]),
+    chunk=st.sampled_from([1, 64, 16384]),
+)
+@settings(max_examples=50, deadline=None)
+@pytest.mark.slow
+def test_hierarchy_banks_conserve(addr_writes, pool, engine, chunk):
+    addrs, writes = _addr_arrays(addr_writes, pool)
+    if engine == "reference":
+        hier = MemoryHierarchy(CHIP)
+    else:
+        hier = BatchMemoryHierarchy(CHIP, chunk=chunk)
+    hier.access_trace(addrs, writes)
+    bank = read_counters(hier)
+    assert_conservation(bank)
+    # The load/store split must be present and exact on these engines.
+    assert bank[ev.PM_LD_REF] + bank[ev.PM_ST_REF] == bank[ev.PM_MEM_REF]
+    assert bank[ev.PM_ST_REF] == int(writes.sum())
+
+
+@given(
+    n_lines=st.integers(min_value=1, max_value=500),
+    depth=st.sampled_from([1, 3, 5, 7]),
+)
+@settings(max_examples=25, deadline=None)
+@pytest.mark.slow
+def test_prefetch_banks_conserve(n_lines, depth):
+    """Useful <= issued == engine-emitted on prefetched sequential scans."""
+    line = CHIP.core.l1d.line_size
+    hier = BatchMemoryHierarchy(
+        CHIP, prefetcher=StreamPrefetcher(line_size=line, depth=depth)
+    )
+    hier.access_trace(np.arange(n_lines, dtype=np.int64) * line)
+    bank = read_counters(hier)
+    assert_conservation(bank)
+    assert bank[ev.PM_PREF_USEFUL] <= bank[ev.PM_PREF_ISSUED]
+    assert bank[ev.PM_PREF_LINES_EMITTED] == bank[ev.PM_PREF_ISSUED]
+
+
+@given(
+    addr_writes=traces,
+    n_cores=st.sampled_from([1, 2, 4]),
+)
+@settings(max_examples=30, deadline=None)
+@pytest.mark.slow
+def test_chipsim_banks_conserve(addr_writes, n_cores):
+    """The coherent chip's bank balances, including directory events."""
+    import dataclasses
+
+    chip = dataclasses.replace(CHIP, cores_per_chip=n_cores)
+    sim = ChipSimulator(chip)
+    addrs = np.array([(a * 8) % (1 << 20) for a, _ in addr_writes], dtype=np.int64)
+    writes = np.array([w for _, w in addr_writes], dtype=bool)
+    cores = np.array(
+        [a % n_cores for a, _ in addr_writes], dtype=np.int64
+    )
+    sim.access_trace(cores, addrs, writes)
+    bank = read_counters(sim)
+    assert_conservation(bank)
+    # Every private-cache miss consults the directory, so coherence
+    # requests can never exceed demand accesses.
+    assert (
+        bank[ev.PM_COH_READ_REQ] + bank[ev.PM_COH_WRITE_REQ]
+        <= bank[ev.PM_MEM_REF]
+    )
+    assert bank[ev.PM_ST_REF] == int(writes.sum())
+
+
+def test_quick_smoke_conservation():
+    """Quick-lane guard: fixed traces conserve on all three engines."""
+    rng = np.random.default_rng(7)
+    addrs = (rng.integers(0, 1 << 18, size=1024) * 8).astype(np.int64)
+    writes = rng.random(1024) < 0.25
+
+    for hier in (MemoryHierarchy(CHIP), BatchMemoryHierarchy(CHIP)):
+        hier.access_trace(addrs, writes)
+        assert_conservation(read_counters(hier))
+
+    sim = ChipSimulator(CHIP)
+    cores = rng.integers(0, CHIP.cores_per_chip, size=1024)
+    sim.access_trace(cores, addrs, writes)
+    assert_conservation(read_counters(sim))
