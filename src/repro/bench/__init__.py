@@ -9,14 +9,21 @@ from .stream_kernels import (
 )
 from .runner import (
     ExperimentResult,
+    ExperimentTimeout,
+    RunPolicy,
     experiment,
     experiment_ids,
+    experiment_timeout_s,
     run_all,
     run_experiment,
+    run_suite,
+    run_with_policy,
 )
 
 __all__ = [
     "ExperimentResult",
+    "ExperimentTimeout",
+    "RunPolicy",
     "StreamKernels",
     "StreamResult",
     "best_kernel_for_machine",
@@ -24,9 +31,12 @@ __all__ = [
     "kernel_mix_table",
     "experiment",
     "experiment_ids",
+    "experiment_timeout_s",
     "fig2_rows",
     "plateau_summary",
     "run_all",
     "run_experiment",
+    "run_suite",
+    "run_with_policy",
     "traced_latency_ns",
 ]

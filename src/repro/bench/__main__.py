@@ -3,8 +3,20 @@
 Without arguments, runs every registered experiment on the E870 and
 prints each reproduced table/figure.  Pass experiment ids (``table3``,
 ``fig4``, ...) to run a subset; ``--list`` shows the available ids.
-``--trace-perf`` instead times the batched trace engine against the
-per-access reference simulator and writes the result JSON.
+Experiments run **fail-soft**: each gets a wall-clock budget and a
+retry with backoff (tune with ``--timeout``/``--retries``), and a
+persistently failing experiment prints a structured error row while
+the rest of the suite continues (``--fail-fast`` restores the old
+abort-on-first-error behaviour; the exit code reports failures either
+way).  ``--trace-perf`` instead times the batched trace engine against
+the per-access reference simulator and writes the result JSON.
+
+RAS options: ``--ras-sweep`` prints bandwidth/latency degradation vs
+injected fault rate, ``--ras-selftest`` checks the fault-injection
+invariants (engine bit-identity, counter conservation, monotone
+degradation, zero-rate bit-exactness), and ``--inject SPEC`` applies a
+fault plan to the sweep (see :mod:`repro.ras.injector` for the spec
+grammar).
 """
 
 from __future__ import annotations
@@ -12,7 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .runner import experiment_ids, run_experiment
+from .runner import RunPolicy, experiment_ids, run_with_policy
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -43,11 +55,60 @@ def main(argv: list[str] | None = None) -> int:
         help="run the PMU self-test (conservation + engine agreement + "
              "prefetch cross-check) and exit non-zero on any violation",
     )
+    ras = parser.add_argument_group("RAS / fault injection")
+    ras.add_argument(
+        "--ras-sweep", action="store_true",
+        help="print the degradation curve (bandwidth, latency, RAS counters) "
+             "vs injected fault rate and exit",
+    )
+    ras.add_argument(
+        "--ras-selftest", action="store_true",
+        help="run the RAS self-test (scalar/batch fault bit-identity, counter "
+             "conservation, monotone degradation, zero-rate bit-exactness)",
+    )
+    ras.add_argument(
+        "--inject", metavar="SPEC", default=None,
+        help="fault plan for --ras-sweep, e.g. "
+             "'dram_bit:rate=0;link_crc:rate=0;ecc:secded' (rates are swept)",
+    )
+    ras.add_argument(
+        "--seed", type=int, default=0, help="fault-injection seed (default: 0)"
+    )
+    failsoft = parser.add_argument_group("fail-soft execution")
+    failsoft.add_argument(
+        "--timeout", type=float, metavar="S", default=None,
+        help="per-experiment wall-clock budget in seconds "
+             "(default: each experiment's declared budget)",
+    )
+    failsoft.add_argument(
+        "--retries", type=int, metavar="N", default=1,
+        help="extra attempts per failing experiment (default: 1)",
+    )
+    failsoft.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort on the first failing experiment instead of continuing",
+    )
     args = parser.parse_args(argv)
 
+    # Lazy imports throughout: each mode pulls in only what it needs.
+    if args.ras_selftest:
+        from ..ras.sweep import ras_selftest
+
+        ok, lines = ras_selftest(seed=args.seed)
+        print("\n".join(lines))
+        print("RAS selftest " + ("PASSED" if ok else "FAILED"))
+        return 0 if ok else 1
+
+    if args.ras_sweep:
+        from ..ras.sweep import DEFAULT_SWEEP_SPEC, format_sweep, ras_sweep
+
+        spec = args.inject if args.inject is not None else DEFAULT_SWEEP_SPEC
+        points = ras_sweep(spec=spec, seed=args.seed)
+        print(format_sweep(points))
+        print(f"[plan: {spec!r}, seed {args.seed}; rates sweep every rate-clause]")
+        return 0
+
     if args.counters_selftest:
-        # Lazy import: selftest pulls in the simulators, the rest of the
-        # CLI does not need them.
         from ..pmu.selftest import run_selftest
 
         ok, lines = run_selftest()
@@ -85,16 +146,26 @@ def main(argv: list[str] | None = None) -> int:
     unknown = [t for t in targets if t not in experiment_ids()]
     if unknown:
         parser.error(f"unknown experiment(s): {unknown}; use --list")
+    policy = RunPolicy(
+        timeout_s=args.timeout,
+        retries=max(0, args.retries),
+        fail_soft=not args.fail_fast,
+    )
+    failures = 0
     for eid in targets:
-        result = run_experiment(eid)
+        result = run_with_policy(eid, policy=policy)
         print(result.render())
-        if args.csv:
+        if not result.ok:
+            failures += 1
+        elif args.csv:
             from ..reporting.figures import write_csv
 
             path = write_csv(args.csv, result.experiment_id, result.headers, result.rows)
             print(f"[wrote {path}]")
         print()
-    return 0
+    if failures:
+        print(f"{failures}/{len(targets)} experiment(s) failed (fail-soft)")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -74,7 +74,7 @@ def table2_e870(system: SystemSpec) -> ExperimentResult:
                             ["characteristic", "model", "paper"], rows)
 
 
-@experiment("fig2")
+@experiment("fig2", timeout_s=180)
 def fig2_latency(system: SystemSpec) -> ExperimentResult:
     """Figure 2: memory read latency vs working set, both page sizes."""
     rows_raw = fig2_rows(system)
@@ -171,7 +171,7 @@ def table4_interconnect(system: SystemSpec) -> ExperimentResult:
     )
 
 
-@experiment("fig4")
+@experiment("fig4", timeout_s=120)
 def fig4_random(system: SystemSpec) -> ExperimentResult:
     """Figure 4: random-access bandwidth vs SMT level and streams."""
     model = RandomAccessModel(system)
@@ -210,7 +210,7 @@ def fig5_fma(system: SystemSpec) -> ExperimentResult:
     )
 
 
-@experiment("fig6")
+@experiment("fig6", timeout_s=120)
 def fig6_dscr(system: SystemSpec) -> ExperimentResult:
     """Figure 6: latency and bandwidth vs DSCR prefetch depth."""
     rows = [
@@ -225,7 +225,7 @@ def fig6_dscr(system: SystemSpec) -> ExperimentResult:
     )
 
 
-@experiment("fig7")
+@experiment("fig7", timeout_s=120)
 def fig7_striden(system: SystemSpec) -> ExperimentResult:
     """Figure 7: stride-256 latency with stride-N detection on/off."""
     rows = [
@@ -240,7 +240,7 @@ def fig7_striden(system: SystemSpec) -> ExperimentResult:
     )
 
 
-@experiment("fig8")
+@experiment("fig8", timeout_s=120)
 def fig8_dcbt(system: SystemSpec) -> ExperimentResult:
     """Figure 8: DCBT benefit for randomly-ordered small-block scans."""
     sizes = [1 << s for s in range(8, 21)]  # 256 B .. 1 MB
@@ -280,7 +280,7 @@ def fig9_roofline(system: SystemSpec) -> ExperimentResult:
     )
 
 
-@experiment("fig10")
+@experiment("fig10", timeout_s=600)
 def fig10_jaccard(system: SystemSpec) -> ExperimentResult:
     """Figure 10: all-pairs Jaccard time and memory vs R-MAT scale."""
     model = JaccardPerfModel(system, sample_scales=(9, 10, 11, 12))
@@ -298,7 +298,7 @@ def fig10_jaccard(system: SystemSpec) -> ExperimentResult:
     )
 
 
-@experiment("fig11")
+@experiment("fig11", timeout_s=600)
 def fig11_spmv_csr(system: SystemSpec) -> ExperimentResult:
     """Figure 11: CSR SpMV across the (synthetic) UF matrix suite."""
     rates = suite_performance(system, SUITE, rows=16_000)
@@ -316,7 +316,7 @@ def fig11_spmv_csr(system: SystemSpec) -> ExperimentResult:
     )
 
 
-@experiment("fig12")
+@experiment("fig12", timeout_s=300)
 def fig12_spmv_rmat(system: SystemSpec) -> ExperimentResult:
     """Figure 12: two-scan SpMV on R-MAT graphs up to scale 31."""
     from ..apps.spmv.perf import rmat_tile_elements
@@ -333,7 +333,7 @@ def fig12_spmv_rmat(system: SystemSpec) -> ExperimentResult:
     )
 
 
-@experiment("table5")
+@experiment("table5", timeout_s=300)
 def table5_molecules(system: SystemSpec) -> ExperimentResult:
     """Table V: the molecular systems and their ERI statistics."""
     del system
@@ -353,7 +353,7 @@ def table5_molecules(system: SystemSpec) -> ExperimentResult:
     )
 
 
-@experiment("table6")
+@experiment("table6", timeout_s=300)
 def table6_hf(system: SystemSpec) -> ExperimentResult:
     """Table VI: HF-Comp vs HF-Mem timings."""
     model = HFPerfModel(system)

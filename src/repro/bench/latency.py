@@ -54,6 +54,7 @@ def traced_latency_ns(
     passes: int = 3,
     seed: int = 0,
     engine: str = "batch",
+    ras=None,
 ) -> float:
     """Mean chase latency measured on the trace-driven simulator.
 
@@ -61,11 +62,12 @@ def traced_latency_ns(
     the remaining passes, fed to the simulator as one NumPy address
     array per phase.  ``engine`` selects the vectorized batch engine
     (default) or the per-access ``"reference"`` simulator; the two are
-    equivalence-tested to produce identical latencies.
+    equivalence-tested to produce identical latencies.  ``ras`` attaches
+    a :class:`repro.ras.FaultInjector` to the hierarchy.
     """
     latency, _ = traced_latency_pmu(
         system, working_set, page_size=page_size, passes=passes,
-        seed=seed, engine=engine,
+        seed=seed, engine=engine, ras=ras,
     )
     return latency
 
@@ -77,6 +79,7 @@ def traced_latency_pmu(
     passes: int = 3,
     seed: int = 0,
     engine: str = "batch",
+    ras=None,
 ):
     """Like :func:`traced_latency_ns` but also returns the attached PMU.
 
@@ -90,9 +93,9 @@ def traced_latency_pmu(
     if passes < 2:
         raise ValueError("need a warm-up pass plus at least one measured pass")
     if engine == "batch":
-        hier = BatchMemoryHierarchy(system.chip, page_size=page_size)
+        hier = BatchMemoryHierarchy(system.chip, page_size=page_size, ras=ras)
     elif engine == "reference":
-        hier = MemoryHierarchy(system.chip, page_size=page_size)
+        hier = MemoryHierarchy(system.chip, page_size=page_size, ras=ras)
     else:
         raise ValueError(f"unknown engine {engine!r}; use 'batch' or 'reference'")
     line = hier.line_size

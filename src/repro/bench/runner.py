@@ -5,12 +5,25 @@ with the same rows the paper reports, plus the corresponding paper
 values where they are known.  The ``benchmarks/`` harness, the examples
 and ``python -m repro.bench`` all run experiments through this
 registry, so the reproduced numbers are defined in exactly one place.
+
+Fail-soft execution
+-------------------
+A 17-experiment suite should not lose 16 results because one driver
+regressed.  :func:`run_suite` therefore runs each experiment under a
+:class:`RunPolicy` — a per-experiment wall-clock timeout plus
+retry-with-exponential-backoff — and converts a persistent failure
+into a structured **error row** (an :class:`ExperimentResult` whose
+``error`` field is set) instead of an exception, so the rest of the
+suite still runs.  ``run_experiment`` keeps its original fail-fast
+semantics for tests and library callers.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..arch import e870
 from ..arch.specs import SystemSpec
@@ -25,8 +38,27 @@ class ExperimentResult:
     rows: List[Sequence]
     notes: str = ""
     metrics: Dict[str, float] = field(default_factory=dict)
+    #: Fail-soft fields: a non-empty ``error`` marks a structured error
+    #: row produced by :func:`run_with_policy` in place of a crash.
+    error: str = ""
+    attempts: int = 1
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the experiment actually produced its table."""
+        return not self.error
 
     def render(self) -> str:
+        if self.error:
+            text = (
+                f"{self.experiment_id}: {self.title}\n"
+                f"  FAILED after {self.attempts} attempt(s) "
+                f"({self.elapsed_s:.1f}s): {self.error}"
+            )
+            if self.notes:
+                text += f"\n{self.notes}"
+            return text
         text = format_table(self.headers, self.rows, title=f"{self.experiment_id}: {self.title}")
         if self.notes:
             text += f"\n{self.notes}"
@@ -36,15 +68,28 @@ class ExperimentResult:
 ExperimentFn = Callable[[SystemSpec], ExperimentResult]
 
 _REGISTRY: Dict[str, ExperimentFn] = {}
+#: Per-experiment wall-clock budgets (seconds) declared at registration.
+_TIMEOUTS: Dict[str, float] = {}
 
 
-def experiment(experiment_id: str) -> Callable[[ExperimentFn], ExperimentFn]:
-    """Register a function as the driver for one table/figure."""
+def experiment(
+    experiment_id: str, timeout_s: Optional[float] = None
+) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Register a function as the driver for one table/figure.
+
+    ``timeout_s`` declares the experiment's wall-clock budget; policy
+    runs without an explicit timeout fall back to it (heavy trace-driven
+    figures declare minutes, analytic tables need none).
+    """
 
     def decorator(fn: ExperimentFn) -> ExperimentFn:
         if experiment_id in _REGISTRY:
             raise ValueError(f"duplicate experiment id {experiment_id!r}")
         _REGISTRY[experiment_id] = fn
+        if timeout_s is not None:
+            if timeout_s <= 0:
+                raise ValueError(f"timeout must be positive, got {timeout_s}")
+            _TIMEOUTS[experiment_id] = float(timeout_s)
         return fn
 
     return decorator
@@ -53,6 +98,12 @@ def experiment(experiment_id: str) -> Callable[[ExperimentFn], ExperimentFn]:
 def experiment_ids() -> List[str]:
     _ensure_loaded()
     return sorted(_REGISTRY)
+
+
+def experiment_timeout_s(experiment_id: str) -> Optional[float]:
+    """The wall-clock budget declared for an experiment, if any."""
+    _ensure_loaded()
+    return _TIMEOUTS.get(experiment_id)
 
 
 def run_experiment(experiment_id: str, system: SystemSpec | None = None) -> ExperimentResult:
@@ -71,6 +122,146 @@ def run_all(system: SystemSpec | None = None) -> List[ExperimentResult]:
     _ensure_loaded()
     sys = system if system is not None else e870()
     return [run_experiment(eid, sys) for eid in experiment_ids()]
+
+
+# -- fail-soft execution ----------------------------------------------------
+
+
+class ExperimentTimeout(RuntimeError):
+    """An experiment exceeded its wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class RunPolicy:
+    """How hard to try before giving up on one experiment.
+
+    ``timeout_s=None`` defers to the experiment's own declared budget
+    (and applies none when the experiment declares none).  ``retries``
+    counts *extra* attempts after the first; consecutive attempts are
+    separated by ``backoff_s * backoff_factor**(attempt-1)`` seconds.
+    With ``fail_soft`` (the default) a persistent failure becomes a
+    structured error row; otherwise the last exception propagates.
+    """
+
+    timeout_s: Optional[float] = None
+    retries: int = 1
+    backoff_s: float = 0.25
+    backoff_factor: float = 2.0
+    fail_soft: bool = True
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout_s}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError(
+                f"invalid backoff {self.backoff_s}s x{self.backoff_factor}"
+            )
+
+    def backoff_after(self, attempt: int) -> float:
+        """Delay (s) inserted after failed attempt ``attempt`` (1-based)."""
+        return self.backoff_s * self.backoff_factor ** (attempt - 1)
+
+
+DEFAULT_POLICY = RunPolicy()
+
+
+def _call_with_timeout(
+    fn: ExperimentFn, system: SystemSpec, timeout_s: Optional[float]
+) -> ExperimentResult:
+    if timeout_s is None:
+        return fn(system)
+    # A worker thread bounds the *wait*, which is what fail-soft needs:
+    # the suite moves on even if a wedged experiment thread lingers.
+    executor = concurrent.futures.ThreadPoolExecutor(max_workers=1)
+    try:
+        future = executor.submit(fn, system)
+        try:
+            return future.result(timeout=timeout_s)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise ExperimentTimeout(
+                f"exceeded wall-clock budget of {timeout_s:g}s"
+            ) from None
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def error_result(
+    experiment_id: str, error: str, attempts: int = 1, elapsed_s: float = 0.0
+) -> ExperimentResult:
+    """The structured error row standing in for a failed experiment."""
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="(failed)",
+        headers=("status", "detail"),
+        rows=[("error", error)],
+        notes="fail-soft: suite execution continued past this failure",
+        error=error,
+        attempts=attempts,
+        elapsed_s=elapsed_s,
+    )
+
+
+def run_with_policy(
+    experiment_id: str,
+    system: SystemSpec | None = None,
+    policy: RunPolicy = DEFAULT_POLICY,
+) -> ExperimentResult:
+    """Run one experiment under a :class:`RunPolicy` (fail-soft core).
+
+    Unknown ids still raise ``KeyError`` (a typo is a caller bug, not a
+    benchmark failure); everything the experiment itself does wrong —
+    exceptions and blown timeouts — is retried with backoff and, when
+    ``policy.fail_soft`` holds, reported as an error row.
+    """
+    _ensure_loaded()
+    try:
+        fn = _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {experiment_ids()}"
+        ) from None
+    sys_spec = system if system is not None else e870()
+    timeout_s = policy.timeout_s if policy.timeout_s is not None else _TIMEOUTS.get(experiment_id)
+    start = time.monotonic()
+    attempts = policy.retries + 1
+    last_error = "never ran"
+    for attempt in range(1, attempts + 1):
+        try:
+            result = _call_with_timeout(fn, sys_spec, timeout_s)
+        except Exception as exc:  # noqa: BLE001 — fail-soft boundary
+            last_error = f"{type(exc).__name__}: {exc}"
+            if attempt < attempts:
+                time.sleep(policy.backoff_after(attempt))
+                continue
+            if policy.fail_soft:
+                return error_result(
+                    experiment_id, last_error, attempt, time.monotonic() - start
+                )
+            raise
+        result.attempts = attempt
+        result.elapsed_s = time.monotonic() - start
+        return result
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def run_suite(
+    ids: Sequence[str] | None = None,
+    system: SystemSpec | None = None,
+    policy: RunPolicy = DEFAULT_POLICY,
+) -> List[ExperimentResult]:
+    """Run many experiments fail-soft; one result per id, errors included.
+
+    The suite always returns ``len(ids)`` results in order: a failing
+    experiment contributes its error row and the remaining experiments
+    still run — the property ``tests/bench/test_failsoft.py`` pins.
+    """
+    _ensure_loaded()
+    sys_spec = system if system is not None else e870()
+    targets = list(ids) if ids is not None else experiment_ids()
+    return [run_with_policy(eid, sys_spec, policy) for eid in targets]
 
 
 def _ensure_loaded() -> None:

@@ -48,7 +48,13 @@ class ChipSimulator:
     #: supplier's L2 latency (on-chip fabric hop).
     INTERVENTION_EXTRA_NS = 12.0
 
-    def __init__(self, chip: ChipSpec, counters: bool = True) -> None:
+    def __init__(
+        self,
+        chip: ChipSpec,
+        counters: bool = True,
+        dram: DRAMModel | None = None,
+        ras=None,
+    ) -> None:
         self.chip = chip
         core = chip.core
         self.line_size = core.l1d.line_size
@@ -70,7 +76,12 @@ class ChipSimulator:
             associativity=16,
         )
         self.l4 = Cache(l4_spec)
-        self.dram = DRAMModel()
+        self.dram = dram if dram is not None else DRAMModel()
+        #: Optional RAS fault injector; the chip simulator has no TLB,
+        #: so only the DRAM-side sites (data, bank, link) are wired.
+        self.ras = ras
+        if ras is not None:
+            self.dram.ras = ras
         self.directory = Directory(n)
         self.stats = ChipStats()
         #: Live PMU events (store refs); coherence traffic is harvested

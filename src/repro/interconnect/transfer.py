@@ -48,6 +48,7 @@ class RouteTransferSimulator:
         route: Sequence[LinkId],
         efficiency: float = EFF_SINGLE_FLOW,
         line_bytes: int = 128,
+        injector=None,
     ) -> None:
         if not route:
             raise ValueError("route must have at least one link")
@@ -56,6 +57,10 @@ class RouteTransferSimulator:
         self.topology = topology
         self.route = list(route)
         self.line_bytes = line_bytes
+        #: Optional RAS fault injector (:mod:`repro.ras`): each line on
+        #: each hop is one link transfer; a CRC error pays the replay
+        #: backoff and retransmits through the same serialised channel.
+        self.injector = injector
         self._channels: List[Channel] = []
         self._hop_latency_ns: List[float] = []
         for link_id in self.route:
@@ -73,12 +78,21 @@ class RouteTransferSimulator:
         deliveries: Dict[int, float] = {}
         # Per-line completion time at the previous hop (seconds).
         ready_at = [0.0] * lines
+        injector = self.injector
 
         def send_hop(hop: int) -> None:
             channel = self._channels[hop]
             latency_s = self._hop_latency_ns[hop] * 1e-9
             for line in range(lines):
                 start, finish = channel.acquire(ready_at[line], self.line_bytes)
+                if injector is not None:
+                    replay_ns = injector.on_link_transfer()
+                    if replay_ns:
+                        # The corrupted frame is retransmitted after the
+                        # backoff: it re-serialises on the same channel.
+                        start, finish = channel.acquire(
+                            finish + replay_ns * 1e-9, self.line_bytes
+                        )
                 ready_at[line] = finish + latency_s
                 del start
 
@@ -111,10 +125,10 @@ class RouteTransferSimulator:
 
 
 def simulate_pair_transfer(
-    topology: SMPTopology, src: int, dst: int, lines: int = 2048
+    topology: SMPTopology, src: int, dst: int, lines: int = 2048, injector=None
 ) -> TransferResult:
     """Convenience: simulate over the pair's primary route."""
     route = topology.routes(src, dst)[0]
     if not route:
         raise ValueError("source and destination are the same chip")
-    return RouteTransferSimulator(topology, route).simulate(lines)
+    return RouteTransferSimulator(topology, route, injector=injector).simulate(lines)

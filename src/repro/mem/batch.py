@@ -267,6 +267,7 @@ class BatchMemoryHierarchy:
         record_victims: bool = False,
         chunk: int = DEFAULT_CHUNK,
         counters: bool = True,
+        ras=None,
     ) -> None:
         from dataclasses import replace
 
@@ -296,6 +297,14 @@ class BatchMemoryHierarchy:
         self.l4 = ArrayCache(l4_spec)
         self.tlb = TLB(core.tlb, page_size)
         self.dram = dram if dram is not None else DRAMModel()
+        #: RAS injector wiring mirrors the reference engine: faults fire
+        #: only on DRAM accesses and ERAT reloads, which the bulk
+        #: all-L1-hit fast path can never produce — so the batch engine
+        #: reports bit-identical fault outcomes under the same seed.
+        self.ras = ras
+        if ras is not None:
+            self.dram.ras = ras
+            self.tlb.parity_hook = ras.on_erat_miss
         self.prefetcher = prefetcher
         self.stats = HierarchyStats()
         #: Live PMU events (store refs, castouts to memory); mirrors

@@ -101,6 +101,42 @@ def optimal_read_fraction() -> float:
     return 2.0 / 3.0
 
 
+def degraded_chip_bandwidth(
+    chip: ChipSpec,
+    f: float,
+    injector,
+    transfers: int = 20_000,
+    line_bytes: int = 128,
+) -> float:
+    """Sustained chip bandwidth (bytes/s) under link fault injection.
+
+    Drives ``transfers`` cache-line frames through ``injector``'s link
+    site (accumulating CRC replays and any lane sparing they trigger),
+    then discounts the nominal mix-efficiency bandwidth by the replay
+    time and evaluates it on the lane-degraded chip spec:
+
+        B_eff = B(degraded chip, f) * wire_time / (wire_time + replay_time)
+
+    With no injector, a zero rate, or a plan without link clauses this
+    returns exactly ``MemoryLinkModel(chip).chip_bandwidth(f)`` — the
+    calibrated Table III value, bit for bit.  Because the injector's
+    draws are counter-keyed, raising the CRC rate strictly grows the
+    replay time, so degradation is monotone in the rate.
+    """
+    if transfers < 1:
+        raise ValueError(f"need at least one transfer, got {transfers}")
+    if injector is None:
+        return MemoryLinkModel(chip).chip_bandwidth(f)
+    before_ns = injector.added_replay_latency_ns
+    for _ in range(transfers):
+        injector.on_link_transfer()
+    replay_ns = injector.added_replay_latency_ns - before_ns
+    model = MemoryLinkModel(injector.degraded_chip(chip))
+    bandwidth = model.chip_bandwidth(f)
+    wire_ns = transfers * line_bytes / bandwidth * 1e9
+    return bandwidth * wire_ns / (wire_ns + replay_ns)
+
+
 def link_byte_counters(bytes_read: int, bytes_written: int) -> CounterBank:
     """Centaur link traffic as PMU byte events (the ``--counters`` view).
 

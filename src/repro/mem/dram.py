@@ -10,10 +10,18 @@ row misses — the mechanism behind the ~41% random-access efficiency in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional, Protocol
 
 from ..pmu import events as pmu_events
 from .line import check_power_of_two
+
+
+class DRAMRasProtocol(Protocol):
+    """Interface the DRAM expects from an attached fault injector."""
+
+    def on_dram_access(self, dram: "DRAMModel", addr: int, bank_idx: int, row: int) -> float:
+        """Extra service latency (ns) for this access; may retire banks."""
+        ...
 
 
 @dataclass(slots=True)
@@ -24,6 +32,11 @@ class DRAMStats:
     @property
     def row_misses(self) -> int:
         return self.accesses - self.row_hits
+
+    def clear(self) -> None:
+        """Zero the counters *in place* (references stay valid)."""
+        self.accesses = 0
+        self.row_hits = 0
 
     @property
     def row_hit_rate(self) -> float:
@@ -52,12 +65,23 @@ class DRAMModel:
     hit_latency_ns: float = 60.0
     miss_extra_ns: float = 35.0
     stats: DRAMStats = field(default_factory=DRAMStats)
+    #: Optional fault injector (see :mod:`repro.ras`): consulted on every
+    #: access, may add recovery latency and retire banks.
+    ras: Optional[DRAMRasProtocol] = None
     _open_rows: Dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         check_power_of_two(self.row_size, "DRAM row size")
         if self.num_banks <= 0:
             raise ValueError("DRAM needs at least one bank")
+        if self.hit_latency_ns < 0:
+            raise ValueError(
+                f"DRAM hit latency must be >= 0 ns, got {self.hit_latency_ns}"
+            )
+        if self.miss_extra_ns < 0:
+            raise ValueError(
+                f"DRAM row-miss penalty must be >= 0 ns, got {self.miss_extra_ns}"
+            )
 
     def access(self, addr: int) -> float:
         """Return the DRAM service latency (ns) for a line at ``addr``."""
@@ -66,10 +90,31 @@ class DRAMModel:
         self.stats.accesses += 1
         if self._open_rows.get(bank) == row:
             self.stats.row_hits += 1
-            return self.hit_latency_ns
-        self._open_rows[bank] = row
-        return self.hit_latency_ns + self.miss_extra_ns
+            latency = self.hit_latency_ns
+        else:
+            self._open_rows[bank] = row
+            latency = self.hit_latency_ns + self.miss_extra_ns
+        if self.ras is not None:
+            latency += self.ras.on_dram_access(self, addr, bank, row)
+        return latency
+
+    def retire_bank(self) -> bool:
+        """Take one bank out of the interleave after a whole-bank fault.
+
+        Shrinking ``num_banks`` remaps every row (``row % num_banks``
+        changes) and forgets the open rows, so row locality worsens for
+        all subsequent traffic — the RAS degraded mode the sweep curves
+        show.  The last bank is never retired; returns True when a bank
+        was actually removed.
+        """
+        if self.num_banks <= 1:
+            return False
+        self.num_banks -= 1
+        self._open_rows.clear()
+        return True
 
     def reset(self) -> None:
         self._open_rows.clear()
-        self.stats = DRAMStats()
+        # In place, not a fresh object: PMU harvest hooks hold references
+        # to this DRAMStats and must observe the reset.
+        self.stats.clear()

@@ -112,6 +112,7 @@ class MemoryHierarchy:
         dram: Optional[DRAMModel] = None,
         record_victims: bool = False,
         counters: bool = True,
+        ras=None,
     ) -> None:
         self.chip = chip
         core = chip.core
@@ -141,6 +142,15 @@ class MemoryHierarchy:
         self.l4 = Cache(l4_spec)
         self.tlb = TLB(core.tlb, page_size)
         self.dram = dram if dram is not None else DRAMModel()
+        #: Optional RAS fault injector (:class:`repro.ras.FaultInjector`):
+        #: wired into the DRAM (data/bank/link faults on every line
+        #: access) and the TLB (parity errors on ERAT reloads).  Both
+        #: sites see identical event streams in the scalar and batch
+        #: engines, so injection stays bit-identical across them.
+        self.ras = ras
+        if ras is not None:
+            self.dram.ras = ras
+            self.tlb.parity_hook = ras.on_erat_miss
         self.prefetcher = prefetcher
         self.stats = HierarchyStats()
         #: Live PMU events (store refs, castouts to memory); everything

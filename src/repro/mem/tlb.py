@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -85,6 +85,11 @@ class TLB:
         self.stats = TLBStats()
         self._erat = _FullyAssociativeLRU(spec.erat_entries)
         self._tlb = _FullyAssociativeLRU(spec.tlb_entries)
+        #: RAS hook fired on every ERAT reload (see :mod:`repro.ras`);
+        #: returns extra penalty cycles (parity-error re-walks).  ERAT
+        #: misses occur identically in the scalar and batch engines, so
+        #: keying injection here keeps the two bit-identical.
+        self.parity_hook: Optional[Callable[[int], float]] = None
 
     def translate(self, addr: int) -> float:
         """Translate ``addr``; returns the translation penalty in cycles.
@@ -111,6 +116,8 @@ class TLB:
         if not self._tlb.access(page):
             self.stats.tlb_misses += 1
             penalty += self.spec.tlb_miss_penalty_cycles
+        if self.parity_hook is not None:
+            penalty += self.parity_hook(page)
         return penalty
 
     def translate_batch(self, addrs) -> np.ndarray:

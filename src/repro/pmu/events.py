@@ -75,6 +75,17 @@ PM_MEM_CO = "PM_MEM_CO"  # dirty castouts leaving the chip toward memory
 PM_MEM_READ_BYTES = "PM_MEM_READ_BYTES"  # Centaur read-link bytes
 PM_MEM_WRITE_BYTES = "PM_MEM_WRITE_BYTES"  # Centaur write-link bytes
 
+# -- RAS (fault injection / recovery) ----------------------------------------
+PM_RAS_FAULT_INJECTED = "PM_RAS_FAULT_INJECTED"  # effective injected faults
+PM_MEM_ECC_CORRECTED = "PM_MEM_ECC_CORRECTED"  # ECC corrected-in-line faults
+PM_MEM_ECC_UE = "PM_MEM_ECC_UE"  # detected-uncorrectable faults
+PM_MEM_ECC_SILENT = "PM_MEM_ECC_SILENT"  # faults that escaped the ECC code
+PM_LINK_CRC_ERROR = "PM_LINK_CRC_ERROR"  # Centaur/DMI frames failing CRC
+PM_LINK_REPLAY = "PM_LINK_REPLAY"  # link retransmissions (>= CRC errors)
+PM_LINK_LANE_SPARED = "PM_LINK_LANE_SPARED"  # lanes mapped out by sparing
+PM_DRAM_BANK_RETIRED = "PM_DRAM_BANK_RETIRED"  # banks taken out of the interleave
+PM_TLB_PARITY = "PM_TLB_PARITY"  # translation-entry parity errors
+
 # -- prefetch ----------------------------------------------------------------
 PM_PREF_ISSUED = "PM_PREF_ISSUED"  # prefetched lines installed by the hierarchy
 PM_PREF_USEFUL = "PM_PREF_USEFUL"  # prefetched lines later hit by demand
@@ -114,6 +125,19 @@ EVENTS: Dict[str, Tuple[str, str]] = {
     PM_MEM_CO: ("dirty castouts leaving the chip", "PM_L3_CO_MEM"),
     PM_MEM_READ_BYTES: ("bytes moved over the Centaur read lanes", "MCS read-link byte counters"),
     PM_MEM_WRITE_BYTES: ("bytes moved over the Centaur write lane", "MCS write-link byte counters"),
+    PM_RAS_FAULT_INJECTED: (
+        "faults injected by the RAS emulation layer", "(injection oracle; no HW event)"
+    ),
+    PM_MEM_ECC_CORRECTED: ("DRAM faults corrected in-line by ECC", "MEM_ECC_CE / MCS CE counters"),
+    PM_MEM_ECC_UE: ("detected-uncorrectable DRAM faults", "MEM_ECC_UE / machine-check UE"),
+    PM_MEM_ECC_SILENT: (
+        "faults that escaped the ECC code", "(oracle only; silent by definition)"
+    ),
+    PM_LINK_CRC_ERROR: ("Centaur link frames failing CRC", "DMI CRC-error FIRs"),
+    PM_LINK_REPLAY: ("link frame retransmissions", "DMI retry/replay counters"),
+    PM_LINK_LANE_SPARED: ("link lanes mapped out by sparing", "DMI lane-spare FIRs"),
+    PM_DRAM_BANK_RETIRED: ("DRAM banks retired after whole-bank faults", "Centaur bank-sparing FIRs"),
+    PM_TLB_PARITY: ("translation-entry parity errors", "SLB/TLB parity machine checks"),
     PM_PREF_ISSUED: ("prefetched lines installed", "PM_L1_PREF / PM_L3_PREF"),
     PM_PREF_USEFUL: ("prefetched lines consumed by demand", "PM_LD_HIT_PREF"),
     PM_PREF_STREAM_CONFIRMED: ("prefetch streams confirmed/declared", "PM_STREAM_CONFIRMED"),

@@ -69,6 +69,39 @@ def conservation_violations(bank: Mapping[str, int]) -> List[str]:
         "demand DRAM services exceed total DRAM reads",
     )
 
+    ras_events = (
+        ev.PM_RAS_FAULT_INJECTED,
+        ev.PM_MEM_ECC_CORRECTED,
+        ev.PM_MEM_ECC_UE,
+        ev.PM_MEM_ECC_SILENT,
+        ev.PM_LINK_CRC_ERROR,
+        ev.PM_LINK_REPLAY,
+        ev.PM_TLB_PARITY,
+        ev.PM_DRAM_BANK_RETIRED,
+    )
+    if any(e in bank for e in ras_events):
+        injected = bank.get(ev.PM_RAS_FAULT_INJECTED, 0)
+        classified = (
+            bank.get(ev.PM_MEM_ECC_CORRECTED, 0)
+            + bank.get(ev.PM_MEM_ECC_UE, 0)
+            + bank.get(ev.PM_MEM_ECC_SILENT, 0)
+            + bank.get(ev.PM_LINK_CRC_ERROR, 0)
+            + bank.get(ev.PM_TLB_PARITY, 0)
+            + bank.get(ev.PM_DRAM_BANK_RETIRED, 0)
+        )
+        check(
+            injected == classified,
+            f"injected faults ({injected}) != classified outcomes ({classified})",
+        )
+        crc = bank.get(ev.PM_LINK_CRC_ERROR, 0)
+        replays = bank.get(ev.PM_LINK_REPLAY, 0)
+        check(
+            replays >= crc,
+            f"link replays ({replays}) < CRC errors ({crc}); every error replays",
+        )
+        if crc == 0:
+            check(replays == 0, f"link replays ({replays}) with no CRC errors")
+
     for level in ("L1", "L2", "L3", "L3R", "L4"):
         evictions = bank.get(ev.cache_event(level, "EVICT"), 0)
         writebacks = bank.get(ev.cache_event(level, "WB"), 0)

@@ -73,6 +73,18 @@ def derived_metrics(
             bank.get(ev.PM_MEM_READ_BYTES, 0) + bank.get(ev.PM_MEM_WRITE_BYTES, 0),
         ),
     }
+    # RAS fault counts appear only when an injector actually fired, so
+    # fault-free banks (and their golden regression files) are unchanged.
+    injected = bank.get(ev.PM_RAS_FAULT_INJECTED, 0)
+    if injected:
+        out["ras_faults_injected"] = float(injected)
+        out["ras_ecc_corrected_rate"] = _rate(
+            bank.get(ev.PM_MEM_ECC_CORRECTED, 0), injected
+        )
+        out["ras_ecc_ue_rate"] = _rate(bank.get(ev.PM_MEM_ECC_UE, 0), injected)
+        out["ras_replays_per_crc_error"] = _rate(
+            bank.get(ev.PM_LINK_REPLAY, 0), bank.get(ev.PM_LINK_CRC_ERROR, 0)
+        )
     if total_latency_ns is not None:
         out["mean_latency_ns"] = _rate(total_latency_ns, refs)
         # bytes / ns == GB/s: the modelled serial-time bandwidth split.

@@ -106,6 +106,10 @@ def read_counters(target) -> CounterBank:
     pf_bank = getattr(prefetcher, "bank", None)
     if isinstance(pf_bank, Mapping):
         bank.add_events(pf_bank)
+    ras = getattr(target, "ras", None)
+    ras_events = getattr(ras, "pmu_events", None)
+    if callable(ras_events):
+        bank.add_events(ras_events())
     directory = getattr(target, "directory", None)
     if directory is not None:
         bank.add_events(directory.pmu_events())
@@ -190,7 +194,14 @@ class PMU:
             # A diffed bank pairs with the latency accumulated since the
             # snapshot that produced it.
             total = self._total_latency_ns() - self._base_latency_ns
-        return derived_metrics(bank, total_latency_ns=total)
+        metrics = derived_metrics(bank, total_latency_ns=total)
+        # Degraded-mode metrics from an attached RAS fault injector:
+        # added recovery latency and effective-vs-nominal link bandwidth.
+        ras = getattr(self.target, "ras", None)
+        ras_metrics = getattr(ras, "derived_metrics", None)
+        if callable(ras_metrics):
+            metrics.update(ras_metrics())
+        return metrics
 
     def stack(self, bank: Optional[CounterBank] = None) -> Dict[str, float]:
         """Latency attribution per servicing level (CPI-stack analogue)."""

@@ -1,0 +1,46 @@
+"""RAS emulation: deterministic fault injection, ECC, and recovery.
+
+The paper's E870 measurements are taken on a fault-free machine; this
+package models what POWER8's RAS machinery (Chipkill-class ECC, DRAM
+bank retirement, Centaur link CRC replay and lane sparing, TLB parity
+recovery) does to those numbers when faults *do* occur.  Everything is
+seeded and counter-keyed, so fault outcomes are reproducible and
+bit-identical across the scalar and batch simulation engines.
+"""
+
+from .ecc import EccMode, EccModel, parse_ecc_mode
+from .faults import EccVerdict, FaultEvent, FaultKind, deterministic_draw
+from .injector import FaultClause, FaultInjector, InjectionPlan, build_injector
+from .recovery import LaneState, LinkRasState, ReplayOutcome, ReplayPolicy
+from .sweep import (
+    DEFAULT_RATES,
+    RasSweepPoint,
+    degraded_system_stream_bandwidth,
+    format_sweep,
+    ras_selftest,
+    ras_sweep,
+)
+
+__all__ = [
+    "DEFAULT_RATES",
+    "EccMode",
+    "EccModel",
+    "EccVerdict",
+    "FaultClause",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "InjectionPlan",
+    "LaneState",
+    "LinkRasState",
+    "RasSweepPoint",
+    "ReplayOutcome",
+    "ReplayPolicy",
+    "build_injector",
+    "degraded_system_stream_bandwidth",
+    "deterministic_draw",
+    "format_sweep",
+    "parse_ecc_mode",
+    "ras_selftest",
+    "ras_sweep",
+]

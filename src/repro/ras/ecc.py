@@ -1,0 +1,101 @@
+"""ECC classification: what the memory code does with each data fault.
+
+POWER8 DIMMs behind Centaur run a Chipkill-class code (IBM markets it
+as Chipkill / DRAM device sparing): any error confined to one DRAM
+device symbol is corrected in-line, a two-symbol error is detected but
+uncorrectable, and wider errors can escape the code entirely.  The
+classic SEC-DED (single-error-correct / double-error-detect) mode is
+also provided for comparison sweeps, plus a no-ECC mode in which every
+fault is silent.
+
+Every :class:`~repro.ras.faults.FaultEvent` is classified into exactly
+one :class:`~repro.ras.faults.EccVerdict` — the partition invariant the
+Hypothesis suite checks — and each verdict carries a recovery-latency
+cost model evaluated against the DRAM timing it protects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .faults import EccVerdict, FaultEvent
+
+
+class EccMode(str, enum.Enum):
+    """Which code protects the DRAM words."""
+
+    NONE = "none"
+    SECDED = "secded"
+    CHIPKILL = "chipkill"
+
+
+#: Spec-string aliases accepted by :meth:`EccMode.parse`.
+_ALIASES = {
+    "none": EccMode.NONE,
+    "off": EccMode.NONE,
+    "secded": EccMode.SECDED,
+    "sec-ded": EccMode.SECDED,
+    "chipkill": EccMode.CHIPKILL,
+}
+
+
+def parse_ecc_mode(text: str) -> EccMode:
+    """Parse an ECC mode name (``secded``, ``chipkill``, ``none``)."""
+    try:
+        return _ALIASES[text.strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown ECC mode {text!r}; use one of {sorted(set(_ALIASES))}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class EccModel:
+    """Classifier + correction-cost model for one ECC mode.
+
+    ``correct_extra_ns`` is the in-line correction pipeline cost a
+    corrected fault adds to the access (tiny: the syndrome decode is
+    overlapped on real machines, but a scrub write-back is not).
+    ``ue_extra_ns`` is the detected-uncorrectable recovery cost: the
+    controller re-reads the row (precharge + activate + read again)
+    before signalling a machine check, so the access pays roughly one
+    extra row-miss service time.
+    """
+
+    mode: EccMode = EccMode.CHIPKILL
+    correct_extra_ns: float = 2.0
+    ue_extra_ns: float = 95.0
+
+    def classify(self, fault: FaultEvent) -> EccVerdict:
+        """Map one data fault to exactly one verdict.
+
+        * ``NONE``: nothing is checked; every fault is silent.
+        * ``SECDED``: 1 bit corrected, 2 bits detected, >=3 bits alias
+          into a valid-looking word (silent).
+        * ``CHIPKILL``: any damage confined to one device symbol is
+          corrected, two symbols detected, wider damage silent.
+        """
+        if self.mode is EccMode.NONE:
+            return EccVerdict.SILENT
+        if self.mode is EccMode.SECDED:
+            if fault.bits == 1:
+                return EccVerdict.CORRECTED
+            if fault.bits == 2:
+                return EccVerdict.DETECTED_UE
+            return EccVerdict.SILENT
+        # Chipkill.
+        if fault.symbols == 1:
+            return EccVerdict.CORRECTED
+        if fault.symbols == 2:
+            return EccVerdict.DETECTED_UE
+        return EccVerdict.SILENT
+
+    def recovery_latency_ns(self, verdict: EccVerdict) -> float:
+        """Extra access latency the verdict costs (silent faults are free
+        by definition — the machine never notices them)."""
+        if verdict is EccVerdict.CORRECTED:
+            return self.correct_extra_ns
+        if verdict is EccVerdict.DETECTED_UE:
+            return self.ue_extra_ns
+        return 0.0

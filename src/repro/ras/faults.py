@@ -1,0 +1,107 @@
+"""Fault taxonomy and the deterministic pseudo-random draw behind it.
+
+The E870 the paper measures is an enterprise RAS machine: Chipkill-class
+ECC on DRAM, CRC retry/replay with lane sparing on the Centaur (DMI)
+links, and parity-protected translation structures.  Every fault the
+:mod:`repro.ras` subsystem can inject is named here, together with the
+one primitive everything else builds on: a *counter-keyed* uniform draw.
+
+Determinism contract
+--------------------
+Faults are never drawn from shared mutable RNG state.  Each injection
+site keeps its own event counter, and the draw for event ``n`` at site
+``s`` under seed ``k`` is a pure function ``draw(k, s, n)`` (a
+splitmix64-style hash).  Two consequences the test-suite relies on:
+
+* the scalar and batch hierarchy engines observe the *same* site-event
+  sequences (DRAM accesses, ERAT misses, link transfers), so they
+  inject bit-identical faults under the same seed and plan;
+* a fault fires when ``draw < rate``, so the fault set at a higher rate
+  is a *superset* of the fault set at a lower rate — degradation curves
+  are monotone in the injected rate by construction, and a zero rate
+  injects exactly nothing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def deterministic_draw(seed: int, site: int, counter: int) -> float:
+    """Uniform draw in ``[0, 1)`` as a pure function of its arguments.
+
+    A splitmix64 finalizer over a linear combination of the inputs:
+    statistically uniform enough for rate thresholding, and — unlike a
+    shared RNG — immune to engines consuming site streams in different
+    interleavings.
+    """
+    x = (seed * _GOLDEN + site * _MIX1 + counter * _MIX2 + _GOLDEN) & _MASK64
+    x ^= x >> 30
+    x = (x * _MIX1) & _MASK64
+    x ^= x >> 27
+    x = (x * _MIX2) & _MASK64
+    x ^= x >> 31
+    return x / 2.0**64
+
+
+class FaultKind(str, enum.Enum):
+    """Every fault class the injector can produce."""
+
+    DRAM_BIT_FLIP = "dram_bit"  # transient bit flip(s) in a DRAM word
+    DRAM_STUCK_ROW = "stuck_row"  # hard fault: a row that always reads bad
+    DRAM_BANK_FAIL = "bank_fail"  # whole-bank failure -> bank retirement
+    LINK_CRC = "link_crc"  # Centaur/DMI link CRC error -> replay
+    TLB_PARITY = "tlb_parity"  # parity error in a translation entry
+
+
+class EccVerdict(str, enum.Enum):
+    """What the ECC code did with a data fault (exactly one per fault)."""
+
+    CORRECTED = "corrected"  # fixed in-line; data unaffected
+    DETECTED_UE = "detected_ue"  # caught but uncorrectable -> recovery
+    SILENT = "silent"  # escaped the code: silent data corruption
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, fully described.
+
+    ``bits`` is the number of flipped bits and ``symbols`` the number of
+    distinct DRAM-device symbols they span — the two quantities ECC
+    classification depends on.  ``seq`` is the site-local event counter
+    at which the fault fired, which (with the seed) makes every event
+    reproducible.
+    """
+
+    kind: FaultKind
+    seq: int
+    addr: int = 0
+    bank: int = 0
+    row: int = 0
+    bits: int = 1
+    symbols: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"a fault flips at least one bit, got {self.bits}")
+        if not 1 <= self.symbols <= self.bits:
+            raise ValueError(
+                f"symbols must be in [1, bits]; got {self.symbols} for {self.bits} bits"
+            )
+
+
+#: Injection-site identifiers (one independent draw stream each).  Site
+#: numbers are offsets added to the plan-clause index so two clauses of
+#: the same kind also draw independently.
+SITE_DRAM = 0x100
+SITE_LINK = 0x200
+SITE_TLB = 0x300
+SITE_BANK = 0x400
+SITE_SEVERITY = 0x500  # sub-stream for per-fault severity draws
+SITE_REPLAY = 0x600  # sub-stream for retry success/failure draws

@@ -1,0 +1,325 @@
+"""Seeded, deterministic fault injection with rate- and trigger-plans.
+
+A :class:`FaultInjector` is attached to the memory simulators (the
+``ras=`` parameter on both hierarchy engines and the chip simulator,
+or the ``injector=`` parameter of the interconnect transfer simulator)
+and consulted at three kinds of site:
+
+* every DRAM line access (:meth:`on_dram_access`) — DRAM data faults,
+  whole-bank faults, and Centaur-link CRC errors on the line transfer;
+* every ERAT reload (:meth:`on_erat_miss`) — TLB parity errors;
+* every explicit link transfer (:meth:`on_link_transfer`) — used by the
+  SMP route simulator, which moves lines without touching DRAM.
+
+Each plan clause owns an independent counter-keyed draw stream (see
+:mod:`repro.ras.faults`), so the batch engine reports bit-identical
+fault outcomes to the scalar engine under the same seed, and raising a
+rate strictly grows the fault set (monotone degradation).  All RAS
+observables land in the injector's own :class:`CounterBank`, harvested
+by :func:`repro.pmu.pmu.read_counters` like any other module bank.
+
+Plan specs
+----------
+``--inject`` accepts a compact string: semicolon-separated clauses,
+each ``kind:key=value,...``::
+
+    dram_bit:rate=1e-3,bits=1;link_crc:rate=5e-4;ecc:chipkill
+    stuck_row:row=42,bits=2;bank_fail:at=10000
+    tlb_parity:rate=1e-4,penalty=160
+
+Keys: ``rate`` (per-opportunity probability), ``at`` (fire exactly once
+on the Nth opportunity, 1-based), ``bits``/``symbols`` (fault severity,
+for ECC classification), ``row`` (stuck-row target), ``penalty``
+(TLB-parity re-walk cost, cycles).  The ``ecc:`` clause selects the
+code (``secded``, ``chipkill``, ``none``; default chipkill).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..pmu import events as ev
+from ..pmu.counters import CounterBank
+from .ecc import EccMode, EccModel, parse_ecc_mode
+from .faults import (
+    SITE_BANK,
+    SITE_DRAM,
+    SITE_LINK,
+    SITE_REPLAY,
+    SITE_TLB,
+    EccVerdict,
+    FaultEvent,
+    FaultKind,
+    deterministic_draw,
+)
+from .recovery import LinkRasState, ReplayPolicy
+
+_SITE_BASE = {
+    FaultKind.DRAM_BIT_FLIP: SITE_DRAM,
+    FaultKind.DRAM_STUCK_ROW: SITE_DRAM,
+    FaultKind.DRAM_BANK_FAIL: SITE_BANK,
+    FaultKind.LINK_CRC: SITE_LINK,
+    FaultKind.TLB_PARITY: SITE_TLB,
+}
+
+#: Clause index stride so two clauses of the same kind draw independently.
+_SITE_STRIDE = 0x1000
+
+_VERDICT_EVENTS = {
+    EccVerdict.CORRECTED: ev.PM_MEM_ECC_CORRECTED,
+    EccVerdict.DETECTED_UE: ev.PM_MEM_ECC_UE,
+    EccVerdict.SILENT: ev.PM_MEM_ECC_SILENT,
+}
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One line of an injection plan: what fires, when, how hard."""
+
+    kind: FaultKind
+    rate: float = 0.0
+    at: Optional[int] = None
+    bits: int = 1
+    symbols: int = 1
+    row: Optional[int] = None
+    penalty_cycles: float = 160.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0,1], got {self.rate}")
+        if self.at is not None and self.at < 1:
+            raise ValueError(f"trigger counts are 1-based, got at={self.at}")
+        if self.bits < 1 or not 1 <= self.symbols <= self.bits:
+            raise ValueError(
+                f"invalid severity bits={self.bits} symbols={self.symbols}"
+            )
+        if self.kind is FaultKind.DRAM_STUCK_ROW and self.row is None:
+            raise ValueError("stuck_row clauses need row=<N>")
+        if self.penalty_cycles < 0:
+            raise ValueError(f"penalty must be >= 0, got {self.penalty_cycles}")
+
+    def fires(self, seed: int, site: int, count: int) -> bool:
+        """Deterministically decide opportunity ``count`` (1-based)."""
+        if self.at is not None and count == self.at:
+            return True
+        if self.rate > 0.0:
+            return deterministic_draw(seed, site, count) < self.rate
+        return False
+
+
+@dataclass(frozen=True)
+class InjectionPlan:
+    """An ECC mode plus an ordered list of fault clauses."""
+
+    clauses: Tuple[FaultClause, ...] = ()
+    ecc: EccMode = EccMode.CHIPKILL
+
+    @classmethod
+    def parse(cls, spec: str) -> "InjectionPlan":
+        """Parse a ``--inject`` spec string (see module docstring)."""
+        clauses: List[FaultClause] = []
+        ecc = EccMode.CHIPKILL
+        for token in filter(None, (t.strip() for t in spec.split(";"))):
+            name, _, argtext = token.partition(":")
+            name = name.strip().lower()
+            if name == "ecc":
+                ecc = parse_ecc_mode(argtext or "chipkill")
+                continue
+            try:
+                kind = FaultKind(name)
+            except ValueError:
+                known = sorted(k.value for k in FaultKind)
+                raise ValueError(
+                    f"unknown fault kind {name!r}; use one of {known} or 'ecc'"
+                ) from None
+            kwargs: Dict[str, object] = {}
+            for kv in filter(None, (p.strip() for p in argtext.split(","))):
+                key, sep, value = kv.partition("=")
+                if not sep:
+                    raise ValueError(f"expected key=value in clause {token!r}")
+                key = key.strip().lower()
+                value = value.strip()
+                if key == "rate":
+                    kwargs["rate"] = float(value)
+                elif key == "at":
+                    kwargs["at"] = int(value)
+                elif key in ("bits", "symbols", "row"):
+                    kwargs[key] = int(value)
+                elif key == "penalty":
+                    kwargs["penalty_cycles"] = float(value)
+                else:
+                    raise ValueError(f"unknown key {key!r} in clause {token!r}")
+            clauses.append(FaultClause(kind=kind, **kwargs))  # type: ignore[arg-type]
+        return cls(clauses=tuple(clauses), ecc=ecc)
+
+    def describe(self) -> str:
+        parts = [f"ecc={self.ecc.value}"]
+        for c in self.clauses:
+            bits = f",bits={c.bits}" if c.bits != 1 else ""
+            when = f"at={c.at}" if c.at is not None else f"rate={c.rate:g}"
+            row = f",row={c.row}" if c.row is not None else ""
+            parts.append(f"{c.kind.value}:{when}{bits}{row}")
+        return "; ".join(parts)
+
+    def scaled(self, rate: float) -> "InjectionPlan":
+        """A copy with every rate-based clause set to ``rate`` (sweeps)."""
+        from dataclasses import replace
+
+        return InjectionPlan(
+            clauses=tuple(
+                replace(c, rate=rate) if c.at is None and c.row is None else c
+                for c in self.clauses
+            ),
+            ecc=self.ecc,
+        )
+
+
+class FaultInjector:
+    """Deterministic fault source shared by one simulator instance.
+
+    Construct one injector per simulator: the injector carries mutable
+    per-site counters, so two engines compared for equivalence must each
+    get their *own* injector built from the same plan and seed.
+    """
+
+    def __init__(
+        self,
+        plan: InjectionPlan,
+        seed: int = 0,
+        ecc: Optional[EccModel] = None,
+        link: Optional[LinkRasState] = None,
+        record_events: bool = False,
+    ) -> None:
+        self.plan = plan
+        self.seed = seed
+        self.ecc = ecc if ecc is not None else EccModel(mode=plan.ecc)
+        self.link = link if link is not None else LinkRasState()
+        #: RAS observables as PMU events (harvested by ``read_counters``).
+        self.bank = CounterBank()
+        #: Latency the injector added, by path (derived-metric inputs).
+        self.added_dram_latency_ns = 0.0
+        self.added_replay_latency_ns = 0.0
+        self.added_translation_cycles = 0.0
+        self.events: Optional[List[Tuple[FaultEvent, EccVerdict]]] = (
+            [] if record_events else None
+        )
+        self._counts = [0] * len(plan.clauses)
+        self._dram_clauses = self._select(
+            FaultKind.DRAM_BIT_FLIP, FaultKind.DRAM_STUCK_ROW, FaultKind.DRAM_BANK_FAIL
+        )
+        self._link_clauses = self._select(FaultKind.LINK_CRC)
+        self._tlb_clauses = self._select(FaultKind.TLB_PARITY)
+
+    def _select(self, *kinds: FaultKind) -> List[Tuple[int, int, FaultClause]]:
+        """(index, site, clause) triples for the given kinds, plan order."""
+        return [
+            (i, _SITE_BASE[c.kind] + _SITE_STRIDE * i, c)
+            for i, c in enumerate(self.plan.clauses)
+            if c.kind in kinds
+        ]
+
+    # -- injection sites -------------------------------------------------
+    def on_dram_access(self, dram, addr: int, bank_idx: int, row: int) -> float:
+        """Consult every DRAM-side clause for one line access.
+
+        Returns the extra service latency (ns) the access pays: ECC
+        correction/recovery plus link CRC replay for the line transfer.
+        Bank faults retire a bank on ``dram`` as a side effect.
+        """
+        extra = 0.0
+        for i, site, clause in self._dram_clauses:
+            self._counts[i] += 1
+            n = self._counts[i]
+            if clause.kind is FaultKind.DRAM_STUCK_ROW:
+                if row != clause.row:
+                    continue
+            elif not clause.fires(self.seed, site, n):
+                continue
+            if clause.kind is FaultKind.DRAM_BANK_FAIL:
+                if dram.retire_bank():
+                    self.bank.inc(ev.PM_RAS_FAULT_INJECTED)
+                    self.bank.inc(ev.PM_DRAM_BANK_RETIRED)
+                continue
+            fault = FaultEvent(
+                kind=clause.kind, seq=n, addr=addr, bank=bank_idx, row=row,
+                bits=clause.bits, symbols=clause.symbols,
+            )
+            verdict = self.ecc.classify(fault)
+            self.bank.inc(ev.PM_RAS_FAULT_INJECTED)
+            self.bank.inc(_VERDICT_EVENTS[verdict])
+            extra += self.ecc.recovery_latency_ns(verdict)
+            if self.events is not None:
+                self.events.append((fault, verdict))
+        extra += self.on_link_transfer()
+        self.added_dram_latency_ns += extra
+        return extra
+
+    def on_link_transfer(self) -> float:
+        """One line crossing a Centaur link; returns replay latency (ns)."""
+        extra = 0.0
+        for i, site, clause in self._link_clauses:
+            self._counts[i] += 1
+            n = self._counts[i]
+            if not clause.fires(self.seed, site, n):
+                continue
+            self.bank.inc(ev.PM_RAS_FAULT_INJECTED)
+            self.bank.inc(ev.PM_LINK_CRC_ERROR)
+            outcome = self.link.replay.replay(
+                lambda k: deterministic_draw(
+                    self.seed, SITE_REPLAY + _SITE_STRIDE * i, (n << 4) + k
+                )
+                < clause.rate
+            )
+            self.bank.inc(ev.PM_LINK_REPLAY, outcome.retries)
+            if self.link.read_lanes.record_crc_error(outcome.escalated):
+                self.bank.inc(ev.PM_LINK_LANE_SPARED)
+            extra += outcome.latency_ns
+            self.added_replay_latency_ns += outcome.latency_ns
+        return extra
+
+    def on_erat_miss(self, page: int) -> float:
+        """One ERAT reload; returns extra translation penalty (cycles)."""
+        extra = 0.0
+        for i, site, clause in self._tlb_clauses:
+            self._counts[i] += 1
+            if not clause.fires(self.seed, site, self._counts[i]):
+                continue
+            self.bank.inc(ev.PM_RAS_FAULT_INJECTED)
+            self.bank.inc(ev.PM_TLB_PARITY)
+            extra += clause.penalty_cycles
+        self.added_translation_cycles += extra
+        return extra
+
+    # -- degraded-mode views ---------------------------------------------
+    def degraded_chip(self, chip):
+        """``chip`` with lane-sparing bandwidth degradation applied."""
+        return self.link.degraded_chip(chip)
+
+    def pmu_events(self) -> Dict[str, int]:
+        """The RAS counter bank (the harvest hook's view)."""
+        return dict(self.bank)
+
+    def derived_metrics(self) -> Dict[str, float]:
+        """Degraded-mode metrics merged into :meth:`repro.pmu.PMU.derived`."""
+        return {
+            "ras_added_dram_latency_ns": self.added_dram_latency_ns,
+            "ras_added_replay_latency_ns": self.added_replay_latency_ns,
+            "ras_added_translation_cycles": self.added_translation_cycles,
+            "ras_read_bw_factor": self.link.read_lanes.bandwidth_factor(),
+            "ras_write_bw_factor": self.link.write_lanes.bandwidth_factor(),
+        }
+
+
+def build_injector(
+    spec: Optional[str],
+    seed: int = 0,
+    replay: Optional[ReplayPolicy] = None,
+    record_events: bool = False,
+) -> Optional[FaultInjector]:
+    """CLI helper: an injector from an ``--inject`` spec (None passes through)."""
+    if spec is None:
+        return None
+    plan = InjectionPlan.parse(spec)
+    link = LinkRasState(replay=replay) if replay is not None else None
+    return FaultInjector(plan, seed=seed, link=link, record_events=record_events)

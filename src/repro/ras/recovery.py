@@ -1,0 +1,165 @@
+"""Recovery mechanisms and their cost models.
+
+Three POWER8 RAS mechanisms are modelled, each with the latency or
+bandwidth cost the paper's fault-free measurements silently assume
+away:
+
+* **Link CRC retry/replay** — a corrupted Centaur (DMI) frame is
+  retransmitted.  Retries back off exponentially (bounded), and every
+  retry adds wire time to the transfer that suffered it.
+* **Lane sparing** — links ship spare lanes; a lane that keeps failing
+  CRC is mapped out.  Spares absorb the first failures for free; once
+  they are exhausted the link retrains at reduced width, *permanently*
+  degrading the chip's read/write bandwidth.
+* **DRAM bank retirement** — a whole-bank fault takes the bank out of
+  the interleave (sparing/steering at Centaur granularity is modelled
+  as losing the bank).  Fewer banks means fewer concurrently-open rows,
+  so row locality worsens for every later access.
+
+Bank retirement itself lives on :class:`repro.mem.dram.DRAMModel`
+(``retire_bank``); this module holds the link-side state machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List
+
+from ..arch.specs import ChipSpec
+
+
+@dataclass(frozen=True)
+class ReplayPolicy:
+    """Bounded exponential backoff for link CRC retries.
+
+    Retry ``k`` (1-based) costs ``base_ns * backoff_factor**(k-1)``,
+    capped at ``max_backoff_ns``; after ``max_retries`` consecutive
+    failures the link escalates (recalibration, which lane sparing
+    observes) and the transfer is forced through.
+    """
+
+    base_ns: float = 40.0
+    backoff_factor: float = 2.0
+    max_retries: int = 4
+    max_backoff_ns: float = 640.0
+
+    def __post_init__(self) -> None:
+        if self.base_ns < 0:
+            raise ValueError(f"replay base latency must be >= 0, got {self.base_ns}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.max_retries < 1:
+            raise ValueError(f"need at least one retry, got {self.max_retries}")
+
+    def retry_delay_ns(self, attempt: int) -> float:
+        """Backoff delay of retry ``attempt`` (1-based), bounded."""
+        if attempt < 1:
+            raise ValueError(f"retry attempts are 1-based, got {attempt}")
+        return min(
+            self.base_ns * self.backoff_factor ** (attempt - 1),
+            self.max_backoff_ns,
+        )
+
+    def replay(self, retry_fails: Callable[[int], bool]) -> "ReplayOutcome":
+        """Resolve one CRC error; ``retry_fails(k)`` draws retry ``k``'s fate.
+
+        Returns the number of retries performed, the summed backoff
+        latency, and whether the bounded budget was exhausted (an
+        escalation the lane-sparing state machine counts against the
+        lane).
+        """
+        total_ns = 0.0
+        for attempt in range(1, self.max_retries + 1):
+            total_ns += self.retry_delay_ns(attempt)
+            if not retry_fails(attempt):
+                return ReplayOutcome(attempt, total_ns, escalated=False)
+        return ReplayOutcome(self.max_retries, total_ns, escalated=True)
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    retries: int
+    latency_ns: float
+    escalated: bool
+
+
+@dataclass
+class LaneState:
+    """Spare-lane bookkeeping for one link direction.
+
+    ``width`` active lanes carry the nominal bandwidth; ``spares`` extra
+    lanes absorb the first failures at full speed.  Every
+    ``errors_per_lane_fail`` CRC errors (or any escalated replay) retire
+    one lane: spares first, then live width — at which point
+    :meth:`bandwidth_factor` drops below 1 permanently.
+    """
+
+    width: int = 8
+    spares: int = 2
+    errors_per_lane_fail: int = 64
+    crc_errors: int = 0
+    lanes_failed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"a link needs at least one lane, got {self.width}")
+        if self.spares < 0 or self.errors_per_lane_fail < 1:
+            raise ValueError("spares must be >= 0 and errors_per_lane_fail >= 1")
+
+    def record_crc_error(self, escalated: bool = False) -> bool:
+        """Count one CRC error; returns True when it retires a lane."""
+        self.crc_errors += 1
+        wear_fail = self.crc_errors % self.errors_per_lane_fail == 0
+        if not (wear_fail or escalated):
+            return False
+        if self.lanes_failed >= self.width + self.spares - 1:
+            return False  # last lane soldiers on; the link never dies here
+        self.lanes_failed += 1
+        return True
+
+    @property
+    def lanes_spared(self) -> int:
+        """Failures absorbed by spare lanes (no bandwidth cost)."""
+        return min(self.lanes_failed, self.spares)
+
+    @property
+    def active_lanes(self) -> int:
+        return self.width - max(0, self.lanes_failed - self.spares)
+
+    def bandwidth_factor(self) -> float:
+        """Sustained/nominal bandwidth ratio after lane sparing (<= 1)."""
+        return self.active_lanes / self.width
+
+
+@dataclass
+class LinkRasState:
+    """Both directions of one chip's memory links, plus the replay policy."""
+
+    replay: ReplayPolicy = field(default_factory=ReplayPolicy)
+    read_lanes: LaneState = field(default_factory=LaneState)
+    write_lanes: LaneState = field(default_factory=LaneState)
+
+    def degraded_chip(self, chip: ChipSpec) -> ChipSpec:
+        """``chip`` with its Centaur bandwidths degraded by lane sparing.
+
+        With no lanes lost beyond the spares this returns a spec equal
+        to the input (factor 1.0), so fault-free runs keep the
+        calibrated Table III bandwidths bit-for-bit.
+        """
+        rf = self.read_lanes.bandwidth_factor()
+        wf = self.write_lanes.bandwidth_factor()
+        if rf == 1.0 and wf == 1.0:
+            return chip
+        centaur = replace(
+            chip.centaur,
+            read_bandwidth=chip.centaur.read_bandwidth * rf,
+            write_bandwidth=chip.centaur.write_bandwidth * wf,
+        )
+        return replace(chip, centaur=centaur)
+
+
+def bounded_backoff_schedule(policy: ReplayPolicy) -> List[float]:
+    """The full (bounded) backoff ladder, for tests and documentation."""
+    return [policy.retry_delay_ns(k) for k in range(1, policy.max_retries + 1)]

@@ -1,0 +1,257 @@
+"""Degraded-mode sweeps: bandwidth / latency vs injected fault rate.
+
+``python -m repro.bench --ras-sweep`` drives :func:`ras_sweep`, which
+answers the question the paper's fault-free measurements cannot: how do
+the calibrated Table III bandwidth and Figure 2 latency numbers degrade
+as DRAM and link fault rates rise?  By construction (counter-keyed
+draws, see :mod:`repro.ras.faults`):
+
+* a **zero** rate injects nothing, so the zero-rate row reproduces the
+  calibrated numbers bit for bit;
+* a **higher** rate injects a strict superset of faults, so bandwidth
+  degrades and latency grows monotonically with the rate.
+
+:func:`ras_selftest` (the ``--ras-selftest`` CLI / CI smoke step)
+asserts those two properties plus the scalar-vs-batch bit-identity of
+fault outcomes and the RAS counter-conservation invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..arch import e870
+from ..arch.specs import SystemSpec
+from ..core.lsu import core_stream_bandwidth
+from ..mem.centaur import MemoryLinkModel, degraded_chip_bandwidth, read_fraction
+from ..pmu import events as ev
+from ..pmu.invariants import conservation_violations
+from ..pmu.pmu import read_counters
+from .injector import FaultInjector, InjectionPlan
+
+GB = 1e9
+
+#: Default sweep points: zero (the calibration anchor) plus four decades.
+DEFAULT_RATES = (0.0, 1e-5, 1e-4, 1e-3, 1e-2)
+
+#: Default spec template swept by rate (``InjectionPlan.scaled``).
+DEFAULT_SWEEP_SPEC = "dram_bit:rate=0;link_crc:rate=0;ecc:chipkill"
+
+
+@dataclass(frozen=True)
+class RasSweepPoint:
+    """One row of the degradation curve."""
+
+    rate: float
+    bandwidth: float  # bytes/s, 2:1 mix, whole system
+    bandwidth_fraction: float  # vs the fault-free (nominal) value
+    latency_ns: float  # mean random-chase latency on one core
+    added_latency_ns: float  # latency attributable to fault recovery
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+def degraded_system_stream_bandwidth(
+    system: SystemSpec,
+    injector: Optional[FaultInjector],
+    threads_per_core: int = 8,
+    read_ratio: float = 2.0,
+    write_ratio: float = 1.0,
+    transfers: int = 20_000,
+) -> float:
+    """System STREAM bandwidth with link-fault degradation applied.
+
+    Mirrors :func:`repro.perfmodel.stream_model.system_stream_bandwidth`
+    (min of core- and link-level limits, all chips streaming locally)
+    but evaluates the link limit through the injector's replay and
+    lane-sparing state.  ``injector=None`` — or any plan that injects
+    nothing — reproduces the calibrated value exactly.
+    """
+    chip = system.chip
+    f = read_fraction(read_ratio, write_ratio)
+    core_limit = chip.cores_per_chip * core_stream_bandwidth(chip, threads_per_core)
+    if injector is None:
+        link_limit = MemoryLinkModel(chip).chip_bandwidth(f)
+    else:
+        link_limit = degraded_chip_bandwidth(chip, f, injector, transfers=transfers)
+    return system.num_chips * min(core_limit, link_limit)
+
+
+def _latency_trace(working_set: int, line_size: int, n: int, seed: int) -> np.ndarray:
+    """A fixed random-access trace over ``working_set`` bytes."""
+    rng = np.random.default_rng(seed)
+    lines = working_set // line_size
+    return (rng.integers(0, lines, size=n) * line_size).astype(np.int64)
+
+
+def ras_sweep(
+    system: Optional[SystemSpec] = None,
+    rates: Sequence[float] = DEFAULT_RATES,
+    spec: str = DEFAULT_SWEEP_SPEC,
+    seed: int = 0,
+    accesses: int = 20_000,
+    working_set: int = 8 << 20,
+) -> List[RasSweepPoint]:
+    """Bandwidth/latency degradation curve vs fault rate.
+
+    Every rate-based clause of ``spec`` is set to each rate in turn;
+    each point gets fresh injectors (bandwidth and latency paths draw
+    from independent instances of the same plan/seed, as two machines
+    would).  The latency path runs the batch trace engine over a fixed
+    seeded random trace; the bandwidth path runs the link replay model
+    at the 2:1 Table III optimum.
+    """
+    from ..mem.batch import BatchMemoryHierarchy
+
+    sys_spec = system if system is not None else e870()
+    template = InjectionPlan.parse(spec)
+    nominal = degraded_system_stream_bandwidth(sys_spec, None)
+    trace = _latency_trace(working_set, sys_spec.chip.core.l1d.line_size,
+                           accesses, seed)
+    points: List[RasSweepPoint] = []
+    for rate in rates:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rates must be in [0,1], got {rate}")
+        plan = template.scaled(rate)
+        bw_injector = FaultInjector(plan, seed=seed)
+        bandwidth = degraded_system_stream_bandwidth(sys_spec, bw_injector)
+        lat_injector = FaultInjector(plan, seed=seed)
+        hier = BatchMemoryHierarchy(sys_spec.chip, ras=lat_injector)
+        result = hier.access_trace(trace)
+        counters = bw_injector.bank.snapshot()
+        counters.add_events(lat_injector.bank)
+        points.append(
+            RasSweepPoint(
+                rate=rate,
+                bandwidth=bandwidth,
+                bandwidth_fraction=bandwidth / nominal if nominal else 0.0,
+                latency_ns=result.mean_latency_ns,
+                added_latency_ns=(
+                    lat_injector.added_dram_latency_ns
+                    + sys_spec.chip.cycles_to_ns(lat_injector.added_translation_cycles)
+                ),
+                counters=counters.nonzero(),
+            )
+        )
+    return points
+
+
+def format_sweep(points: Sequence[RasSweepPoint]) -> str:
+    """The ``--ras-sweep`` table, ready to print."""
+    from ..reporting.tables import format_table
+
+    rows = [
+        (
+            f"{p.rate:g}",
+            f"{p.bandwidth / GB:.1f}",
+            f"{100 * p.bandwidth_fraction:.2f}%",
+            f"{p.latency_ns:.2f}",
+            f"{p.added_latency_ns:.1f}",
+            p.counters.get(ev.PM_MEM_ECC_CORRECTED, 0),
+            p.counters.get(ev.PM_MEM_ECC_UE, 0),
+            p.counters.get(ev.PM_LINK_CRC_ERROR, 0),
+            p.counters.get(ev.PM_LINK_REPLAY, 0),
+        )
+        for p in points
+    ]
+    return format_table(
+        ["fault rate", "BW (GB/s)", "vs nominal", "latency (ns)",
+         "added (ns)", "ECC corr", "ECC UE", "CRC err", "replays"],
+        rows,
+        title="RAS degradation sweep (2:1 STREAM mix; random-chase latency)",
+    )
+
+
+#: The mixed fault plan the self-test exercises on both engines.
+SELFTEST_SPEC = (
+    "dram_bit:rate=2e-3,bits=1;dram_bit:rate=5e-4,bits=2;"
+    "link_crc:rate=1e-3;tlb_parity:rate=2e-3;bank_fail:at=500;ecc:secded"
+)
+
+
+def ras_selftest(seed: int = 7, n_accesses: int = 6000) -> Tuple[bool, List[str]]:
+    """RAS self-test: engine bit-identity, conservation, monotonicity.
+
+    Returns ``(ok, report lines)``; run by ``python -m repro.bench
+    --ras-selftest`` and as the CI smoke step.
+    """
+    from ..mem.batch import BatchMemoryHierarchy
+    from ..mem.hierarchy import MemoryHierarchy
+
+    system = e870()
+    chip = system.chip
+    lines_out: List[str] = []
+    problems = 0
+
+    plan = InjectionPlan.parse(SELFTEST_SPEC)
+    trace = _latency_trace(16 << 20, chip.core.l1d.line_size, n_accesses, seed)
+    rng = np.random.default_rng(seed)
+    writes = rng.random(n_accesses) < 0.25
+
+    ref = MemoryHierarchy(chip, ras=FaultInjector(plan, seed=seed))
+    bat = BatchMemoryHierarchy(chip, ras=FaultInjector(plan, seed=seed))
+    res_ref = ref.access_trace(trace, writes)
+    res_bat = bat.access_trace(trace, writes)
+    banks = {"reference": read_counters(ref), "batch": read_counters(bat)}
+    if banks["reference"].nonzero() != banks["batch"].nonzero():
+        problems += 1
+        lines_out.append("engines disagree: scalar and batch RAS banks differ")
+    else:
+        ras_events = sum(
+            1 for k in banks["batch"] if k.startswith(("PM_RAS", "PM_MEM_ECC",
+                                                       "PM_LINK", "PM_TLB_PARITY",
+                                                       "PM_DRAM_BANK"))
+        )
+        lines_out.append(
+            f"engines agree: identical banks incl. {ras_events} RAS counters "
+            f"({banks['batch'].get(ev.PM_RAS_FAULT_INJECTED, 0)} faults injected)"
+        )
+    if not np.array_equal(res_ref.latency_ns, res_bat.latency_ns):
+        problems += 1
+        lines_out.append("engines disagree: per-access latencies differ under faults")
+    else:
+        lines_out.append("engines agree: per-access fault latencies identical")
+    for name, bank in banks.items():
+        violations = conservation_violations(bank)
+        problems += len(violations)
+        lines_out.append(
+            f"{name:9} conservation: " + ("ok" if not violations else "; ".join(violations))
+        )
+
+    # Zero-rate injection must reproduce the calibrated Table III numbers
+    # bit for bit, for every read:write mix the paper measures.
+    from ..perfmodel.stream_model import table3_rows
+
+    zero = InjectionPlan.parse(DEFAULT_SWEEP_SPEC).scaled(0.0)
+    exact = 0
+    for row in table3_rows(system):
+        injector = FaultInjector(zero, seed=seed)
+        degraded = degraded_system_stream_bandwidth(
+            system, injector, read_ratio=row["read"], write_ratio=row["write"]
+        )
+        if degraded == row["bandwidth"]:
+            exact += 1
+        else:
+            problems += 1
+            lines_out.append(
+                f"zero-rate mismatch at {row['read']:g}:{row['write']:g}: "
+                f"{degraded} != {row['bandwidth']}"
+            )
+    lines_out.append(f"zero-rate injection: {exact}/9 Table III mixes bit-exact")
+
+    points = ras_sweep(system, seed=seed, accesses=4000)
+    bw = [p.bandwidth for p in points]
+    lat = [p.latency_ns for p in points]
+    if all(b1 >= b2 for b1, b2 in zip(bw, bw[1:])) and bw[0] > bw[-1]:
+        lines_out.append("bandwidth degrades monotonically with fault rate")
+    else:
+        problems += 1
+        lines_out.append(f"bandwidth not monotone in fault rate: {bw}")
+    if all(l1 <= l2 for l1, l2 in zip(lat, lat[1:])) and lat[-1] > lat[0]:
+        lines_out.append("latency grows monotonically with fault rate")
+    else:
+        problems += 1
+        lines_out.append(f"latency not monotone in fault rate: {lat}")
+    return problems == 0, lines_out

@@ -53,6 +53,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--counters", action="store_true",
                         help="with --trace: also print the PMU counter report "
                              "for the measured passes")
+    parser.add_argument("--inject", metavar="SPEC", default=None,
+                        help="with --trace: inject faults, e.g. "
+                             "'dram_bit:rate=1e-3;ecc:chipkill' "
+                             "(see repro.ras for the grammar)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fault-injection seed (default: 0)")
     args = parser.parse_args(argv)
 
     system = e870()
@@ -60,21 +66,38 @@ def main(argv: list[str] | None = None) -> int:
         print(f"note: unusual page size {args.page}", file=sys.stderr)
     if args.counters and not args.trace:
         parser.error("--counters needs the trace-driven simulator; add --trace")
+    if args.inject and not args.trace:
+        parser.error("--inject needs the trace-driven simulator; add --trace")
 
     if args.trace:
         size = args.size if args.size else args.min_size
         if size > 256 << 20:
             parser.error("--trace is only practical up to ~256M working sets")
+        from ..ras.injector import build_injector
+
+        injector = build_injector(args.inject, seed=args.seed)
         if args.counters:
             from ..bench.latency import traced_latency_pmu
 
-            latency, pmu = traced_latency_pmu(system, size, page_size=args.page)
+            latency, pmu = traced_latency_pmu(
+                system, size, page_size=args.page, ras=injector
+            )
             print(f"{size} {latency:.2f}")
             print()
             print(pmu.report(title=f"PMU counters ({size}-byte working set)"))
         else:
-            latency = traced_latency_ns(system, size, page_size=args.page)
+            latency = traced_latency_ns(system, size, page_size=args.page,
+                                        ras=injector)
             print(f"{size} {latency:.2f}")
+        if injector is not None and not args.counters:
+            from ..reporting.tables import format_counter_table
+
+            print()
+            print(format_counter_table(
+                injector.bank,
+                title=f"RAS counters (plan: {injector.plan.describe()})",
+                describe=False,
+            ))
         return 0
 
     model = AnalyticHierarchy(system.chip, page_size=args.page)

@@ -49,11 +49,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--counters", action="store_true",
                         help="also print each kernel's Centaur link-byte "
                              "counters (classic-kernel mode)")
+    parser.add_argument("--inject", metavar="SPEC", default=None,
+                        help="inject link/DRAM faults and print degraded "
+                             "bandwidth (--ratio and --table3 modes), e.g. "
+                             "'link_crc:rate=1e-3'")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fault-injection seed (default: 0)")
     args = parser.parse_args(argv)
 
     system = e870()
+    if args.inject is not None and not (args.table3 or args.ratio is not None):
+        parser.error("--inject applies to the --ratio and --table3 modes")
 
     if args.table3:
+        if args.inject is not None:
+            from ..ras.injector import build_injector
+            from ..ras.sweep import degraded_system_stream_bandwidth
+
+            for row in table3_rows(system):
+                # Fresh injector per mix: each row is its own run.
+                degraded = degraded_system_stream_bandwidth(
+                    system, build_injector(args.inject, seed=args.seed),
+                    read_ratio=row["read"], write_ratio=row["write"],
+                )
+                print(f"{row['read']:>4.0f}:{row['write']:<4.0f} "
+                      f"{row['bandwidth'] / GB:8.1f} GB/s  "
+                      f"degraded {degraded / GB:8.1f} GB/s "
+                      f"({100 * degraded / row['bandwidth']:.1f}%)")
+            return 0
         for row in table3_rows(system):
             print(f"{row['read']:>4.0f}:{row['write']:<4.0f} "
                   f"{row['bandwidth'] / GB:8.1f} GB/s")
@@ -68,7 +91,17 @@ def main(argv: list[str] | None = None) -> int:
         from ..perfmodel.stream_model import system_stream_bandwidth
 
         bw = system_stream_bandwidth(system, 8, *args.ratio)
-        print(f"{args.ratio[0]:.0f}:{args.ratio[1]:.0f}  {bw / GB:.1f} GB/s")
+        line = f"{args.ratio[0]:.0f}:{args.ratio[1]:.0f}  {bw / GB:.1f} GB/s"
+        if args.inject is not None:
+            from ..ras.injector import build_injector
+            from ..ras.sweep import degraded_system_stream_bandwidth
+
+            degraded = degraded_system_stream_bandwidth(
+                system, build_injector(args.inject, seed=args.seed),
+                read_ratio=args.ratio[0], write_ratio=args.ratio[1],
+            )
+            line += f"  degraded {degraded / GB:.1f} GB/s ({100 * degraded / bw:.1f}%)"
+        print(line)
         return 0
 
     kernels = StreamKernels(system, elements=1 << 16)

@@ -1,0 +1,151 @@
+"""Fail-soft execution: timeouts, retries, and error rows.
+
+A deliberately failing experiment must no longer abort the bench suite
+— the acceptance criterion of the RAS/robustness PR.  Temporary
+experiments are registered directly in the registry dict and removed in
+``finally`` blocks so the registry (and the EXPECTED_IDS test) stays
+clean.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.runner import (
+    ExperimentResult,
+    ExperimentTimeout,
+    RunPolicy,
+    _REGISTRY,
+    error_result,
+    experiment_timeout_s,
+    run_suite,
+    run_with_policy,
+)
+
+FAST = RunPolicy(retries=0, backoff_s=0.0)
+
+
+def _register(eid, fn):
+    assert eid not in _REGISTRY
+    _REGISTRY[eid] = fn
+
+
+def _ok_result(eid):
+    return ExperimentResult(eid, "ok", ("x",), [(1,)])
+
+
+class TestRunPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunPolicy(timeout_s=0)
+        with pytest.raises(ValueError):
+            RunPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RunPolicy(backoff_factor=0.9)
+
+    def test_backoff_grows_exponentially(self):
+        policy = RunPolicy(backoff_s=0.5, backoff_factor=2.0)
+        assert [policy.backoff_after(k) for k in (1, 2, 3)] == [0.5, 1.0, 2.0]
+
+    def test_declared_timeouts_registered(self):
+        # Heavy trace-driven figures declare budgets; analytic tables don't.
+        assert experiment_timeout_s("fig10") is not None
+        assert experiment_timeout_s("table1") is None
+
+
+class TestFailSoft:
+    def test_failing_experiment_yields_error_row(self, e870_system):
+        def boom(system):
+            raise RuntimeError("deliberate failure")
+
+        _register("boom", boom)
+        try:
+            result = run_with_policy("boom", e870_system, FAST)
+        finally:
+            del _REGISTRY["boom"]
+        assert not result.ok
+        assert "deliberate failure" in result.error
+        assert result.attempts == 1
+        assert "FAILED" in result.render()
+
+    def test_suite_continues_past_failure(self, e870_system):
+        """The acceptance criterion: one bad experiment, full suite output."""
+        def boom(system):
+            raise RuntimeError("deliberate failure")
+
+        _register("boom", boom)
+        try:
+            results = run_suite(["table1", "boom", "table2"], e870_system, FAST)
+        finally:
+            del _REGISTRY["boom"]
+        assert [r.experiment_id for r in results] == ["table1", "boom", "table2"]
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok
+
+    def test_retry_recovers_flaky_experiment(self, e870_system):
+        calls = []
+
+        def flaky(system):
+            calls.append(1)
+            if len(calls) < 3:
+                raise RuntimeError("transient")
+            return _ok_result("flaky")
+
+        _register("flaky", flaky)
+        try:
+            result = run_with_policy(
+                "flaky", e870_system, RunPolicy(retries=2, backoff_s=0.0)
+            )
+        finally:
+            del _REGISTRY["flaky"]
+        assert result.ok
+        assert result.attempts == 3
+
+    def test_timeout_produces_error_row(self, e870_system):
+        def sleepy(system):
+            time.sleep(5.0)
+            return _ok_result("sleepy")
+
+        _register("sleepy", sleepy)
+        try:
+            start = time.monotonic()
+            result = run_with_policy(
+                "sleepy", e870_system, RunPolicy(timeout_s=0.2, retries=0)
+            )
+            elapsed = time.monotonic() - start
+        finally:
+            del _REGISTRY["sleepy"]
+        assert not result.ok
+        assert "ExperimentTimeout" in result.error
+        assert elapsed < 4.0  # the suite did not wait out the sleep
+
+    def test_fail_fast_raises(self, e870_system):
+        def boom(system):
+            raise RuntimeError("deliberate failure")
+
+        _register("boom", boom)
+        try:
+            with pytest.raises(RuntimeError, match="deliberate failure"):
+                run_with_policy(
+                    "boom", e870_system,
+                    RunPolicy(retries=0, backoff_s=0.0, fail_soft=False),
+                )
+        finally:
+            del _REGISTRY["boom"]
+
+    def test_unknown_id_still_raises(self, e870_system):
+        # A typo is a caller bug, not a benchmark failure.
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_with_policy("fig99", e870_system, FAST)
+
+    def test_error_result_shape(self):
+        row = error_result("x", "broke", attempts=2, elapsed_s=1.5)
+        assert not row.ok
+        assert row.rows == [("error", "broke")]
+        assert ExperimentTimeout.__mro__  # exported type is importable
+
+    def test_successful_run_records_attempts_and_elapsed(self, e870_system):
+        result = run_with_policy("table1", e870_system, FAST)
+        assert result.ok
+        assert result.attempts == 1
+        assert result.elapsed_s >= 0.0

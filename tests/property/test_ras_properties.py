@@ -1,0 +1,183 @@
+"""Property tests for the RAS fault-injection subsystem.
+
+Four guarantees, fuzzed:
+
+* **Partition** — every fault is classified into exactly one ECC
+  verdict, and the verdict counters sum to the injected count
+  (conservation, including the new RAS invariants).
+* **Corrected is invisible** — corrected faults never alter the
+  data-visible state: servicing levels and cache contents match a
+  fault-free run exactly (only latency may differ).
+* **Engine bit-identity** — under the same seed and plan, the scalar
+  and batch engines report identical RAS counter banks and identical
+  per-access latencies.
+* **Monotone superset** — a higher injection rate fires a superset of
+  the lower rate's fault events at every site.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.arch import e870
+from repro.mem.batch import BatchMemoryHierarchy
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.pmu import events as ev
+from repro.pmu import read_counters
+from repro.pmu.invariants import conservation_violations
+from repro.ras import (
+    EccMode,
+    EccModel,
+    EccVerdict,
+    FaultClause,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    InjectionPlan,
+)
+
+CHIP = e870().chip
+
+ecc_modes = st.sampled_from(list(EccMode))
+severities = st.tuples(st.integers(1, 8), st.integers(1, 8)).map(
+    lambda t: (max(t), min(t))  # bits >= symbols
+)
+
+plans = st.builds(
+    lambda dram_rate, link_rate, tlb_rate, bits_symbols, mode: InjectionPlan(
+        clauses=(
+            FaultClause(kind=FaultKind.DRAM_BIT_FLIP, rate=dram_rate,
+                        bits=bits_symbols[0], symbols=bits_symbols[1]),
+            FaultClause(kind=FaultKind.LINK_CRC, rate=link_rate),
+            FaultClause(kind=FaultKind.TLB_PARITY, rate=tlb_rate),
+        ),
+        ecc=mode,
+    ),
+    dram_rate=st.floats(0.0, 0.2),
+    link_rate=st.floats(0.0, 0.1),
+    tlb_rate=st.floats(0.0, 0.2),
+    bits_symbols=severities,
+    mode=ecc_modes,
+)
+
+traces = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=(1 << 16) - 1), st.booleans()),
+    min_size=1,
+    max_size=300,
+)
+
+
+def as_arrays(addr_writes, spread=1 << 24):
+    scale = max(spread // (1 << 16), 1)
+    addrs = np.array([(a * scale) % spread for a, _ in addr_writes], dtype=np.int64)
+    writes = np.array([w for _, w in addr_writes], dtype=bool)
+    return addrs, writes
+
+
+@given(mode=ecc_modes, bits_symbols=severities)
+@settings(max_examples=200, deadline=None)
+def test_every_fault_classified_exactly_once(mode, bits_symbols):
+    bits, symbols = bits_symbols
+    model = EccModel(mode=mode)
+    fault = FaultEvent(kind=FaultKind.DRAM_BIT_FLIP, seq=1, bits=bits, symbols=symbols)
+    verdict = model.classify(fault)
+    # Exactly one verdict: membership in the enum is the partition.
+    assert verdict in EccVerdict
+    assert sum(verdict is v for v in EccVerdict) == 1
+
+
+@given(plan=plans, addr_writes=traces, seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+@pytest.mark.slow
+def test_injected_faults_conserve(plan, addr_writes, seed):
+    """Verdict counters partition the injected count (plus conservation)."""
+    addrs, writes = as_arrays(addr_writes)
+    hier = BatchMemoryHierarchy(CHIP, ras=FaultInjector(plan, seed=seed))
+    hier.access_trace(addrs, writes)
+    bank = read_counters(hier)
+    assert conservation_violations(bank) == []
+    injected = bank.get(ev.PM_RAS_FAULT_INJECTED, 0)
+    classified = (
+        bank.get(ev.PM_MEM_ECC_CORRECTED, 0)
+        + bank.get(ev.PM_MEM_ECC_UE, 0)
+        + bank.get(ev.PM_MEM_ECC_SILENT, 0)
+        + bank.get(ev.PM_LINK_CRC_ERROR, 0)
+        + bank.get(ev.PM_TLB_PARITY, 0)
+        + bank.get(ev.PM_DRAM_BANK_RETIRED, 0)
+    )
+    assert injected == classified
+
+
+@given(addr_writes=traces, seed=st.integers(0, 2**16), rate=st.floats(0.0, 0.3))
+@settings(max_examples=30, deadline=None)
+@pytest.mark.slow
+def test_corrected_faults_never_alter_visible_state(addr_writes, seed, rate):
+    """Single-bit faults under chipkill are always corrected, so the
+    data-visible outcome (servicing levels, cache contents) must equal
+    the fault-free run's — only latency may differ."""
+    addrs, writes = as_arrays(addr_writes)
+    plan = InjectionPlan(
+        clauses=(FaultClause(kind=FaultKind.DRAM_BIT_FLIP, rate=rate,
+                             bits=1, symbols=1),),
+        ecc=EccMode.CHIPKILL,
+    )
+    clean = BatchMemoryHierarchy(CHIP)
+    faulty = BatchMemoryHierarchy(CHIP, ras=FaultInjector(plan, seed=seed))
+    res_clean = clean.access_trace(addrs, writes)
+    res_faulty = faulty.access_trace(addrs, writes)
+    bank = read_counters(faulty)
+    assert bank.get(ev.PM_MEM_ECC_UE, 0) == 0
+    assert bank.get(ev.PM_MEM_ECC_SILENT, 0) == 0
+    assert np.array_equal(res_clean.level_codes, res_faulty.level_codes)
+    assert clean.l1.dump_state() == faulty.l1.dump_state()
+    assert clean.l2.dump_state() == faulty.l2.dump_state()
+    # Latency differs exactly by the injector's accounted recovery time.
+    delta = float(res_faulty.latency_ns.sum() - res_clean.latency_ns.sum())
+    assert delta == pytest.approx(faulty.ras.added_dram_latency_ns)
+
+
+@given(plan=plans, addr_writes=traces, seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=30, deadline=None)
+@pytest.mark.slow
+def test_scalar_and_batch_report_identical_fault_outcomes(plan, addr_writes, seed):
+    """The tentpole acceptance criterion, fuzzed over plans and traces."""
+    addrs, writes = as_arrays(addr_writes)
+    ref = MemoryHierarchy(CHIP, ras=FaultInjector(plan, seed=seed))
+    bat = BatchMemoryHierarchy(CHIP, ras=FaultInjector(plan, seed=seed))
+    res_ref = ref.access_trace(addrs, writes)
+    res_bat = bat.access_trace(addrs, writes)
+    assert read_counters(ref).nonzero() == read_counters(bat).nonzero()
+    assert np.array_equal(res_ref.latency_ns, res_bat.latency_ns)
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    low=st.floats(0.001, 0.2),
+    factor=st.floats(1.0, 20.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_higher_rate_fires_superset(seed, low, factor):
+    high = min(low * factor, 1.0)
+    lo_clause = FaultClause(kind=FaultKind.DRAM_BIT_FLIP, rate=low)
+    hi_clause = FaultClause(kind=FaultKind.DRAM_BIT_FLIP, rate=high)
+    fired_lo = {n for n in range(1, 500) if lo_clause.fires(seed, 0x100, n)}
+    fired_hi = {n for n in range(1, 500) if hi_clause.fires(seed, 0x100, n)}
+    assert fired_lo <= fired_hi
+
+
+def test_quick_smoke_engines_agree_under_faults():
+    """Quick-lane guard: one fixed plan/trace, identical RAS banks."""
+    rng = np.random.default_rng(11)
+    addrs = (rng.integers(0, 1 << 18, size=1500) * 128).astype(np.int64)
+    plan = InjectionPlan.parse(
+        "dram_bit:rate=5e-3;link_crc:rate=2e-3;tlb_parity:rate=5e-3;ecc:secded"
+    )
+    ref = MemoryHierarchy(CHIP, ras=FaultInjector(plan, seed=3))
+    bat = BatchMemoryHierarchy(CHIP, ras=FaultInjector(plan, seed=3))
+    ref.access_trace(addrs)
+    bat.access_trace(addrs)
+    ref_bank, bat_bank = read_counters(ref), read_counters(bat)
+    assert ref_bank.nonzero() == bat_bank.nonzero()
+    assert ref_bank.get(ev.PM_RAS_FAULT_INJECTED, 0) > 0
+    assert conservation_violations(ref_bank) == []

@@ -1,0 +1,82 @@
+"""ECC classification: the verdict partition and its cost model."""
+
+import pytest
+
+from repro.ras import EccMode, EccModel, EccVerdict, FaultEvent, FaultKind, parse_ecc_mode
+
+
+def fault(bits=1, symbols=1):
+    return FaultEvent(kind=FaultKind.DRAM_BIT_FLIP, seq=1, bits=bits, symbols=symbols)
+
+
+class TestParse:
+    @pytest.mark.parametrize("text,mode", [
+        ("secded", EccMode.SECDED),
+        ("SEC-DED", EccMode.SECDED),
+        ("chipkill", EccMode.CHIPKILL),
+        (" none ", EccMode.NONE),
+        ("off", EccMode.NONE),
+    ])
+    def test_aliases(self, text, mode):
+        assert parse_ecc_mode(text) is mode
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown ECC mode"):
+            parse_ecc_mode("raid5")
+
+
+class TestSecded:
+    model = EccModel(mode=EccMode.SECDED)
+
+    def test_single_bit_corrected(self):
+        assert self.model.classify(fault(bits=1)) is EccVerdict.CORRECTED
+
+    def test_double_bit_detected(self):
+        assert self.model.classify(fault(bits=2, symbols=1)) is EccVerdict.DETECTED_UE
+
+    def test_triple_bit_silent(self):
+        assert self.model.classify(fault(bits=3, symbols=1)) is EccVerdict.SILENT
+
+
+class TestChipkill:
+    model = EccModel(mode=EccMode.CHIPKILL)
+
+    def test_one_symbol_corrected_regardless_of_bits(self):
+        # A whole-device failure confined to one symbol is chipkill's
+        # headline case: corrected even at 8 flipped bits.
+        assert self.model.classify(fault(bits=8, symbols=1)) is EccVerdict.CORRECTED
+
+    def test_two_symbols_detected(self):
+        assert self.model.classify(fault(bits=2, symbols=2)) is EccVerdict.DETECTED_UE
+
+    def test_three_symbols_silent(self):
+        assert self.model.classify(fault(bits=3, symbols=3)) is EccVerdict.SILENT
+
+
+class TestNone:
+    def test_everything_silent(self):
+        model = EccModel(mode=EccMode.NONE)
+        for bits, symbols in ((1, 1), (2, 2), (8, 3)):
+            assert model.classify(fault(bits, symbols)) is EccVerdict.SILENT
+
+
+class TestRecoveryCost:
+    def test_latency_ordering(self):
+        model = EccModel()
+        corrected = model.recovery_latency_ns(EccVerdict.CORRECTED)
+        ue = model.recovery_latency_ns(EccVerdict.DETECTED_UE)
+        assert 0 < corrected < ue
+
+    def test_silent_faults_are_free(self):
+        # By definition: the machine never notices silent corruption.
+        assert EccModel().recovery_latency_ns(EccVerdict.SILENT) == 0.0
+
+
+class TestFaultEventValidation:
+    def test_zero_bits_rejected(self):
+        with pytest.raises(ValueError, match="at least one bit"):
+            fault(bits=0)
+
+    def test_symbols_cannot_exceed_bits(self):
+        with pytest.raises(ValueError, match="symbols"):
+            fault(bits=2, symbols=3)

@@ -1,0 +1,151 @@
+"""The injection-plan grammar and the FaultInjector's site semantics."""
+
+import pytest
+
+from repro.mem.dram import DRAMModel
+from repro.pmu import events as ev
+from repro.ras import (
+    EccMode,
+    FaultClause,
+    FaultInjector,
+    FaultKind,
+    InjectionPlan,
+    build_injector,
+    deterministic_draw,
+)
+
+
+class TestDeterministicDraw:
+    def test_pure_function(self):
+        assert deterministic_draw(1, 2, 3) == deterministic_draw(1, 2, 3)
+
+    def test_in_unit_interval(self):
+        draws = [deterministic_draw(s, 0x100, n) for s in range(4) for n in range(200)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+
+    def test_sites_are_independent(self):
+        a = [deterministic_draw(0, 0x100, n) for n in range(50)]
+        b = [deterministic_draw(0, 0x200, n) for n in range(50)]
+        assert a != b
+
+    def test_empirical_rate_tracks_threshold(self):
+        hits = sum(deterministic_draw(3, 0x100, n) < 0.1 for n in range(10_000))
+        assert 800 <= hits <= 1200
+
+
+class TestPlanParsing:
+    def test_round_trip(self):
+        plan = InjectionPlan.parse(
+            "dram_bit:rate=1e-3,bits=2,symbols=2;link_crc:rate=5e-4;"
+            "stuck_row:row=42;bank_fail:at=10;tlb_parity:rate=1e-4,penalty=200;"
+            "ecc:secded"
+        )
+        assert plan.ecc is EccMode.SECDED
+        kinds = [c.kind for c in plan.clauses]
+        assert kinds == [
+            FaultKind.DRAM_BIT_FLIP, FaultKind.LINK_CRC, FaultKind.DRAM_STUCK_ROW,
+            FaultKind.DRAM_BANK_FAIL, FaultKind.TLB_PARITY,
+        ]
+        assert plan.clauses[0].bits == 2
+        assert plan.clauses[2].row == 42
+        assert plan.clauses[3].at == 10
+        assert plan.clauses[4].penalty_cycles == 200.0
+        assert "secded" in plan.describe()
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            InjectionPlan.parse("cosmic_ray:rate=1")
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            InjectionPlan.parse("dram_bit:chance=0.5")
+
+    def test_rate_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="rate must be in"):
+            InjectionPlan.parse("dram_bit:rate=1.5")
+
+    def test_stuck_row_requires_row(self):
+        with pytest.raises(ValueError, match="row="):
+            InjectionPlan.parse("stuck_row:rate=0.1")
+
+    def test_scaled_only_touches_rate_clauses(self):
+        plan = InjectionPlan.parse("dram_bit:rate=0;bank_fail:at=5;link_crc:rate=0")
+        scaled = plan.scaled(0.25)
+        assert [c.rate for c in scaled.clauses] == [0.25, 0.0, 0.25]
+        assert scaled.clauses[1].at == 5
+
+
+class TestInjectorSites:
+    def test_zero_rate_injects_nothing(self):
+        injector = FaultInjector(InjectionPlan.parse("dram_bit:rate=0;link_crc:rate=0"))
+        dram = DRAMModel(ras=injector)
+        assert sum(injector.on_dram_access(dram, a * 128, 0, 0) for a in range(500)) == 0.0
+        assert injector.bank.nonzero() == {}
+        assert injector.added_dram_latency_ns == 0.0
+
+    def test_trigger_clause_fires_exactly_once(self):
+        injector = FaultInjector(InjectionPlan.parse("dram_bit:rate=0,bits=2;bank_fail:at=3"))
+        dram = DRAMModel(num_banks=8)
+        for a in range(10):
+            injector.on_dram_access(dram, a * 128, 0, 0)
+        assert dram.num_banks == 7
+        assert injector.bank[ev.PM_DRAM_BANK_RETIRED] == 1
+        assert injector.bank[ev.PM_RAS_FAULT_INJECTED] == 1
+
+    def test_higher_rate_superset(self):
+        """The fault set at a higher rate contains the lower-rate set."""
+        def fired(rate):
+            clause = FaultClause(kind=FaultKind.DRAM_BIT_FLIP, rate=rate)
+            return {n for n in range(1, 2000) if clause.fires(seed=5, site=0x100, count=n)}
+
+        low, high = fired(0.01), fired(0.05)
+        assert low <= high
+        assert len(low) < len(high)
+
+    def test_stuck_row_hits_only_its_row(self):
+        injector = FaultInjector(InjectionPlan.parse("stuck_row:row=7;ecc:secded"))
+        dram = DRAMModel()
+        assert injector.on_dram_access(dram, 0, 0, row=3) == 0.0
+        assert injector.on_dram_access(dram, 0, 0, row=7) > 0.0
+        assert injector.bank[ev.PM_MEM_ECC_CORRECTED] == 1
+
+    def test_link_crc_replays_and_counts(self):
+        injector = FaultInjector(InjectionPlan.parse("link_crc:rate=0.2"), seed=1)
+        total = sum(injector.on_link_transfer() for _ in range(400))
+        crc = injector.bank[ev.PM_LINK_CRC_ERROR]
+        assert crc > 0
+        assert injector.bank[ev.PM_LINK_REPLAY] >= crc
+        assert total > 0.0
+        assert injector.added_replay_latency_ns == pytest.approx(total)
+
+    def test_erat_miss_parity_penalty(self):
+        injector = FaultInjector(
+            InjectionPlan.parse("tlb_parity:rate=1,penalty=123")
+        )
+        assert injector.on_erat_miss(page=0) == 123.0
+        assert injector.bank[ev.PM_TLB_PARITY] == 1
+
+    def test_recorded_events_match_counters(self):
+        plan = InjectionPlan.parse("dram_bit:rate=0.05;ecc:chipkill")
+        injector = FaultInjector(plan, seed=2, record_events=True)
+        dram = DRAMModel()
+        for a in range(300):
+            injector.on_dram_access(dram, a * 128, 0, 0)
+        assert len(injector.events) == injector.bank[ev.PM_RAS_FAULT_INJECTED]
+
+    def test_derived_metrics_keys(self):
+        injector = FaultInjector(InjectionPlan.parse("dram_bit:rate=0"))
+        metrics = injector.derived_metrics()
+        assert metrics["ras_read_bw_factor"] == 1.0
+        assert metrics["ras_write_bw_factor"] == 1.0
+        assert metrics["ras_added_dram_latency_ns"] == 0.0
+
+
+class TestBuildInjector:
+    def test_none_spec_passes_through(self):
+        assert build_injector(None) is None
+
+    def test_spec_builds_injector(self):
+        injector = build_injector("dram_bit:rate=1e-3;ecc:none", seed=9)
+        assert injector.seed == 9
+        assert injector.ecc.mode is EccMode.NONE

@@ -1,0 +1,89 @@
+"""Link replay backoff, lane sparing, and degraded chip specs."""
+
+import pytest
+
+from repro.arch import power8_chip
+from repro.ras import LaneState, LinkRasState, ReplayPolicy
+from repro.ras.recovery import bounded_backoff_schedule
+
+
+class TestReplayPolicy:
+    def test_backoff_ladder_is_bounded_exponential(self):
+        policy = ReplayPolicy(base_ns=40.0, backoff_factor=2.0,
+                              max_retries=6, max_backoff_ns=160.0)
+        assert bounded_backoff_schedule(policy) == [40.0, 80.0, 160.0, 160.0, 160.0, 160.0]
+
+    def test_first_retry_success(self):
+        outcome = ReplayPolicy().replay(lambda k: False)
+        assert outcome.retries == 1
+        assert outcome.latency_ns == ReplayPolicy().base_ns
+        assert not outcome.escalated
+
+    def test_exhausted_budget_escalates(self):
+        policy = ReplayPolicy(max_retries=3)
+        outcome = policy.replay(lambda k: True)
+        assert outcome.retries == 3
+        assert outcome.latency_ns == sum(bounded_backoff_schedule(policy))
+        assert outcome.escalated
+
+    def test_partial_retry_latency_accumulates(self):
+        policy = ReplayPolicy(base_ns=10.0, backoff_factor=2.0, max_retries=4)
+        outcome = policy.replay(lambda k: k < 3)  # succeeds on retry 3
+        assert outcome.retries == 3
+        assert outcome.latency_ns == 10.0 + 20.0 + 40.0
+        assert not outcome.escalated
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplayPolicy(base_ns=-1.0)
+        with pytest.raises(ValueError):
+            ReplayPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            ReplayPolicy(max_retries=0)
+
+
+class TestLaneSparing:
+    def test_spares_absorb_first_failures_for_free(self):
+        lanes = LaneState(width=8, spares=2, errors_per_lane_fail=4)
+        for _ in range(8):  # two wear-out failures, both absorbed
+            lanes.record_crc_error()
+        assert lanes.lanes_failed == 2
+        assert lanes.lanes_spared == 2
+        assert lanes.bandwidth_factor() == 1.0
+
+    def test_exhausted_spares_degrade_bandwidth_permanently(self):
+        lanes = LaneState(width=8, spares=1, errors_per_lane_fail=1)
+        for _ in range(3):
+            lanes.record_crc_error()
+        assert lanes.active_lanes == 6
+        assert lanes.bandwidth_factor() == pytest.approx(6 / 8)
+
+    def test_escalated_replay_counts_as_lane_failure(self):
+        lanes = LaneState(width=8, spares=0, errors_per_lane_fail=1000)
+        assert lanes.record_crc_error(escalated=True)
+        assert lanes.bandwidth_factor() == pytest.approx(7 / 8)
+
+    def test_last_lane_never_dies(self):
+        lanes = LaneState(width=2, spares=0, errors_per_lane_fail=1)
+        for _ in range(10):
+            lanes.record_crc_error()
+        assert lanes.active_lanes == 1
+        assert lanes.bandwidth_factor() == 0.5
+
+
+class TestDegradedChip:
+    def test_pristine_links_return_the_same_spec_object(self):
+        chip = power8_chip()
+        state = LinkRasState()
+        assert state.degraded_chip(chip) is chip  # bit-identity at zero faults
+
+    def test_lane_loss_scales_centaur_bandwidth(self):
+        chip = power8_chip()
+        state = LinkRasState(read_lanes=LaneState(width=8, spares=0,
+                                                  errors_per_lane_fail=1))
+        state.read_lanes.record_crc_error()
+        degraded = state.degraded_chip(chip)
+        assert degraded.centaur.read_bandwidth == pytest.approx(
+            chip.centaur.read_bandwidth * 7 / 8
+        )
+        assert degraded.centaur.write_bandwidth == chip.centaur.write_bandwidth

@@ -1,0 +1,68 @@
+"""Degradation sweeps: monotonicity, zero-rate bit-exactness, selftest."""
+
+import pytest
+
+from repro.perfmodel.stream_model import table3_rows
+from repro.ras import (
+    FaultInjector,
+    InjectionPlan,
+    degraded_system_stream_bandwidth,
+    format_sweep,
+    ras_sweep,
+)
+from repro.ras.sweep import DEFAULT_SWEEP_SPEC, ras_selftest
+
+
+@pytest.fixture(scope="module")
+def sweep_points(e870_system):
+    return ras_sweep(e870_system, rates=(0.0, 1e-4, 1e-3, 1e-2),
+                     accesses=3000, working_set=4 << 20)
+
+
+class TestSweep:
+    def test_zero_rate_matches_nominal_bit_for_bit(self, sweep_points, e870_system):
+        nominal = degraded_system_stream_bandwidth(e870_system, None)
+        assert sweep_points[0].bandwidth == nominal
+        assert sweep_points[0].bandwidth_fraction == 1.0
+        assert sweep_points[0].counters == {}
+        assert sweep_points[0].added_latency_ns == 0.0
+
+    def test_bandwidth_monotone_nonincreasing(self, sweep_points):
+        bw = [p.bandwidth for p in sweep_points]
+        assert all(a >= b for a, b in zip(bw, bw[1:]))
+        assert bw[0] > bw[-1]
+
+    def test_latency_monotone_nondecreasing(self, sweep_points):
+        lat = [p.latency_ns for p in sweep_points]
+        assert all(a <= b for a, b in zip(lat, lat[1:]))
+        assert lat[-1] > lat[0]
+
+    def test_rate_out_of_range_rejected(self, e870_system):
+        with pytest.raises(ValueError, match="rates must be in"):
+            ras_sweep(e870_system, rates=(2.0,), accesses=10)
+
+    def test_format_sweep_renders_table(self, sweep_points):
+        text = format_sweep(sweep_points)
+        assert "fault rate" in text
+        assert "vs nominal" in text
+        assert "100.00%" in text
+
+
+class TestZeroRateTable3:
+    def test_every_mix_bit_exact(self, e870_system):
+        """Zero-rate injection reproduces the calibrated Table III numbers."""
+        zero = InjectionPlan.parse(DEFAULT_SWEEP_SPEC).scaled(0.0)
+        for row in table3_rows(e870_system):
+            degraded = degraded_system_stream_bandwidth(
+                e870_system, FaultInjector(zero),
+                read_ratio=row["read"], write_ratio=row["write"],
+            )
+            assert degraded == row["bandwidth"], (row["read"], row["write"])
+
+
+@pytest.mark.slow
+class TestSelftest:
+    def test_selftest_passes(self):
+        ok, lines = ras_selftest(seed=7, n_accesses=3000)
+        assert ok, "\n".join(lines)
+        assert any("bit-exact" in line for line in lines)
