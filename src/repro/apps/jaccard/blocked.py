@@ -20,21 +20,35 @@ from .similarity import JaccardResult, _as_validated
 
 
 def jaccard_blocks(
-    adj: sp.spmatrix, block_cols: int = 4096, assume_validated: bool = False
+    adj: sp.spmatrix,
+    block_cols: int = 4096,
+    assume_validated: bool = False,
+    col_start: int = 0,
+    col_stop: Optional[int] = None,
 ) -> Iterator[Tuple[int, int, sp.csr_matrix]]:
     """Yield ``(col_start, col_end, J_block)`` column blocks of J.
 
     Each block is the exact slice ``J[:, col_start:col_end]``; iterating
     all blocks reproduces :func:`all_pairs_jaccard` without holding more
-    than one block of the output.
+    than one block of the output.  ``col_start``/``col_stop`` restrict
+    the iteration to a column range; ``col_start`` must sit on a block
+    boundary so a restricted run computes exactly the same tiles as the
+    full sweep — the contract the tile-grid shards of
+    :mod:`repro.parallel.apps` rely on.
     """
     if block_cols < 1:
         raise ValueError(f"block width must be positive, got {block_cols}")
+    if col_start % block_cols:
+        raise ValueError(
+            f"column range must start on a {block_cols}-column block boundary, "
+            f"got {col_start}"
+        )
     a = _as_validated(adj, assume_validated)
     degrees = np.asarray(a.sum(axis=1)).ravel()
     n = a.shape[0]
-    for start in range(0, n, block_cols):
-        end = min(start + block_cols, n)
+    stop = n if col_stop is None else min(col_stop, n)
+    for start in range(col_start, stop, block_cols):
+        end = min(start + block_cols, stop)
         c_block = (a @ a[:, start:end]).tocoo()
         union = degrees[c_block.row] + degrees[start + c_block.col] - c_block.data
         with np.errstate(divide="ignore", invalid="ignore"):

@@ -59,12 +59,24 @@ class CSRSpMV:
             self.matrix, num_threads, threads_per_socket
         )
 
-    def multiply(self, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
+    def multiply(
+        self,
+        x: np.ndarray,
+        y: Optional[np.ndarray] = None,
+        partitions: Optional[List[RowPartition]] = None,
+    ) -> np.ndarray:
         """Compute ``y = A @ x`` partition by partition.
 
         Each partition reads the replica of ``x`` on its own socket,
         mirroring the paper's placement (results are identical; the
         traversal order exercises the partitioned code path).
+
+        ``partitions`` restricts the multiply to a subset of this
+        executor's partitions (rows outside them stay 0 in ``y``).  The
+        per-partition reduction is a pure function of the partition's
+        rows, so executing a subset — even in another process — yields
+        bit-identical values for the covered rows; this is what
+        :func:`repro.parallel.apps.sharded_csr_spmv` shards over.
         """
         n_rows, n_cols = self.matrix.shape
         if x.shape != (n_cols,):
@@ -79,7 +91,7 @@ class CSRSpMV:
             self.matrix.indices,
             self.matrix.data,
         )
-        for part in self.partitions:
+        for part in self.partitions if partitions is None else partitions:
             local_x = replicas.on_socket(part.socket)
             lo, hi = indptr[part.row_start], indptr[part.row_end]
             products = data[lo:hi] * local_x[indices[lo:hi]]

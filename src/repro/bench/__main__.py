@@ -17,14 +17,24 @@ invariants (engine bit-identity, counter conservation, monotone
 degradation, zero-rate bit-exactness), and ``--inject SPEC`` applies a
 fault plan to the sweep (see :mod:`repro.ras.injector` for the spec
 grammar).
+
+Sharded execution (``repro.parallel``): ``--workers N`` fans the
+selected experiments over a process pool (same results, same order);
+``--shards N`` sets the shard count for sharded modes;
+``--parallel-perf`` times the sharded trace engine against the serial
+one and writes ``BENCH_parallel.json``.  Results cache on disk when
+``--cache-dir`` (or ``$REPRO_CACHE_DIR``) is configured — a second run
+prints ``[cache hit <id>]`` and renders the stored rows, bit-identical
+to a re-run; ``--no-cache`` bypasses the cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
-from .runner import RunPolicy, experiment_ids, run_with_policy
+from .runner import ExperimentResult, RunPolicy, experiment_ids
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -74,6 +84,30 @@ def main(argv: list[str] | None = None) -> int:
     ras.add_argument(
         "--seed", type=int, default=0, help="fault-injection seed (default: 0)"
     )
+    par = parser.add_argument_group("sharded execution / result cache")
+    par.add_argument(
+        "--workers", type=int, metavar="N", default=1,
+        help="process-pool size for experiment execution and --parallel-perf "
+             "(default: 1 = in-process serial oracle)",
+    )
+    par.add_argument(
+        "--shards", type=int, metavar="N", default=8,
+        help="shard count for --parallel-perf (default: 8)",
+    )
+    par.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache even when it is configured",
+    )
+    par.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR when set; "
+             "caching is off when neither is given)",
+    )
+    par.add_argument(
+        "--parallel-perf", action="store_true",
+        help="run the sharded-execution micro-benchmark (serial engine vs "
+             "sharded plan vs multiprocess pool) and write BENCH_parallel.json",
+    )
     failsoft = parser.add_argument_group("fail-soft execution")
     failsoft.add_argument(
         "--timeout", type=float, metavar="S", default=None,
@@ -116,6 +150,21 @@ def main(argv: list[str] | None = None) -> int:
         print("PMU selftest " + ("PASSED" if ok else "FAILED"))
         return 0 if ok else 1
 
+    if args.parallel_perf:
+        from .parallel_perf import write_parallel_bench
+
+        out = args.out if args.out != "BENCH_trace.json" else "BENCH_parallel.json"
+        result = write_parallel_bench(
+            out, shards=args.shards, workers=args.workers, seed=args.seed
+        )
+        print(f"serial engine:  {result['serial_s']:8.2f} s")
+        print(f"sharded plan:   {result['plan_serial_s']:8.2f} s (workers=1)")
+        print(f"sharded pool:   {result['parallel_s']:8.2f} s (workers={result['workers']})")
+        print(f"speedup:        {result['speedup']:8.2f}x (vs serial engine)")
+        print(f"bit-identical:  {result['bit_identical']}")
+        print(f"[wrote {out}]")
+        return 0 if result["bit_identical"] else 1
+
     if args.trace_perf:
         from .trace_perf import write_trace_bench
 
@@ -151,9 +200,42 @@ def main(argv: list[str] | None = None) -> int:
         retries=max(0, args.retries),
         fail_soft=not args.fail_fast,
     )
+
+    # Cache is active only when a directory is configured (flag or env):
+    # experiments are deterministic given (machine, code version), so a
+    # hit is a bit-for-bit stand-in for a re-run.
+    cache = keys = None
+    if not args.no_cache and (args.cache_dir or os.environ.get("REPRO_CACHE_DIR")):
+        from ..arch import e870
+        from ..parallel.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+        machine = e870()
+        keys = {
+            eid: cache.key(machine=machine, workload={"experiment": eid}, seed=0)
+            for eid in targets
+        }
+
+    results = {}
+    if cache is not None:
+        for eid in targets:
+            payload = cache.get(keys[eid])
+            if payload is not None:
+                results[eid] = ExperimentResult.from_dict(payload)
+    misses = [eid for eid in targets if eid not in results]
+    if misses:
+        from .runner import run_suite
+
+        for result in run_suite(misses, policy=policy, workers=args.workers):
+            results[result.experiment_id] = result
+            if cache is not None and result.ok:
+                cache.put(keys[result.experiment_id], result.to_dict())
+
     failures = 0
     for eid in targets:
-        result = run_with_policy(eid, policy=policy)
+        result = results[eid]
+        if cache is not None and eid not in misses:
+            print(f"[cache hit {eid}]")
         print(result.render())
         if not result.ok:
             failures += 1

@@ -20,10 +20,10 @@ semantics for tests and library callers.
 
 from __future__ import annotations
 
-import concurrent.futures
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..arch import e870
 from ..arch.specs import SystemSpec
@@ -49,6 +49,39 @@ class ExperimentResult:
         """True when the experiment actually produced its table."""
         return not self.error
 
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-able snapshot (numpy scalars collapsed to Python ones).
+
+        The round-trip through :meth:`from_dict` is what the result
+        cache (:mod:`repro.parallel.cache`) stores, so everything the
+        CLI renders must survive it.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": [_jsonable(h) for h in self.headers],
+            "rows": [[_jsonable(v) for v in row] for row in self.rows],
+            "notes": self.notes,
+            "metrics": {k: _jsonable(v) for k, v in self.metrics.items()},
+            "error": self.error,
+            "attempts": int(self.attempts),
+            "elapsed_s": float(self.elapsed_s),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentResult":
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            headers=tuple(data["headers"]),
+            rows=[tuple(row) for row in data["rows"]],
+            notes=data.get("notes", ""),
+            metrics=dict(data.get("metrics", {})),
+            error=data.get("error", ""),
+            attempts=int(data.get("attempts", 1)),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+        )
+
     def render(self) -> str:
         if self.error:
             text = (
@@ -63,6 +96,14 @@ class ExperimentResult:
         if self.notes:
             text += f"\n{self.notes}"
         return text
+
+
+def _jsonable(value: Any) -> Any:
+    """Collapse numpy scalars to the Python types ``json`` accepts."""
+    item = getattr(value, "item", None)
+    if item is not None and getattr(value, "shape", None) == ():
+        return item()
+    return value
 
 
 ExperimentFn = Callable[[SystemSpec], ExperimentResult]
@@ -174,18 +215,32 @@ def _call_with_timeout(
         return fn(system)
     # A worker thread bounds the *wait*, which is what fail-soft needs:
     # the suite moves on even if a wedged experiment thread lingers.
-    executor = concurrent.futures.ThreadPoolExecutor(max_workers=1)
-    try:
-        future = executor.submit(fn, system)
+    # The thread must be a daemon: executor threads are non-daemon and
+    # joined at interpreter exit, so a wedged experiment would block
+    # process shutdown — including the exit of multiprocessing pool
+    # workers that ran the suite (see repro.parallel), turning one
+    # timeout into a hung pool.  A daemon thread lingers harmlessly and
+    # dies with the process.
+    outcome: Dict[str, Any] = {}
+
+    def _invoke() -> None:
         try:
-            return future.result(timeout=timeout_s)
-        except concurrent.futures.TimeoutError:
-            future.cancel()
-            raise ExperimentTimeout(
-                f"exceeded wall-clock budget of {timeout_s:g}s"
-            ) from None
-    finally:
-        executor.shutdown(wait=False, cancel_futures=True)
+            outcome["result"] = fn(system)
+        except BaseException as exc:  # noqa: BLE001 — marshalled to caller
+            outcome["error"] = exc
+
+    thread = threading.Thread(
+        target=_invoke, name=f"experiment-{getattr(fn, '__name__', 'fn')}", daemon=True
+    )
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise ExperimentTimeout(
+            f"exceeded wall-clock budget of {timeout_s:g}s"
+        ) from None
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["result"]
 
 
 def error_result(
@@ -247,20 +302,42 @@ def run_with_policy(
     raise AssertionError("unreachable")  # pragma: no cover
 
 
+def run_policy_task(task: Tuple[str, Optional[SystemSpec], RunPolicy]) -> ExperimentResult:
+    """Pool-safe wrapper around :func:`run_with_policy`.
+
+    Top-level so :class:`repro.parallel.ShardPool` can pickle it;
+    ``task`` is ``(experiment_id, system_or_None, policy)`` — everything
+    frozen dataclasses, so the whole task round-trips to a worker
+    process.  Each worker resolves the default system itself to avoid
+    shipping one spec object per task.
+    """
+    experiment_id, system, policy = task
+    return run_with_policy(experiment_id, system, policy)
+
+
 def run_suite(
     ids: Sequence[str] | None = None,
     system: SystemSpec | None = None,
     policy: RunPolicy = DEFAULT_POLICY,
+    workers: int = 1,
 ) -> List[ExperimentResult]:
     """Run many experiments fail-soft; one result per id, errors included.
 
     The suite always returns ``len(ids)`` results in order: a failing
     experiment contributes its error row and the remaining experiments
     still run — the property ``tests/bench/test_failsoft.py`` pins.
+    With ``workers > 1`` the experiments fan out over a process pool
+    (same results, same order; every experiment is deterministic given
+    its system spec).
     """
     _ensure_loaded()
     sys_spec = system if system is not None else e870()
     targets = list(ids) if ids is not None else experiment_ids()
+    if workers > 1 and len(targets) > 1:
+        from ..parallel.pool import ShardPool
+
+        tasks = [(eid, system, policy) for eid in targets]
+        return ShardPool(workers).map(run_policy_task, tasks)
     return [run_with_policy(eid, sys_spec, policy) for eid in targets]
 
 

@@ -11,7 +11,7 @@ driven by real multi-core traces instead of the pooled approximation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Union
+from typing import Dict, Iterable, Sequence, Union
 
 import numpy as np
 
@@ -39,6 +39,17 @@ class ChipStats:
     @property
     def mean_latency_ns(self) -> float:
         return self.total_latency_ns / self.accesses if self.accesses else 0.0
+
+    @classmethod
+    def merged(cls, parts: "Iterable[ChipStats]") -> "ChipStats":
+        """Sum many per-shard stats into one (``repro.parallel`` reduce)."""
+        out = cls()
+        for s in parts:
+            for level, hits in s.level_hits.items():
+                out.level_hits[level] = out.level_hits.get(level, 0) + hits
+            out.accesses += s.accesses
+            out.total_latency_ns += s.total_latency_ns
+        return out
 
 
 class ChipSimulator:

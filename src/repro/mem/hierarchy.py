@@ -18,7 +18,7 @@ trace through this object directly reproduces Figure 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Protocol, Tuple
+from typing import Dict, Iterable, List, Optional, Protocol, Tuple
 
 import numpy as np
 
@@ -98,6 +98,24 @@ class HierarchyStats:
 
     def hit_fraction(self, level: str) -> float:
         return self.level_hits[level] / self.accesses if self.accesses else 0.0
+
+    @classmethod
+    def merged(cls, parts: "Iterable[HierarchyStats]") -> "HierarchyStats":
+        """Sum many per-shard stats into one (``repro.parallel`` reduce).
+
+        Integer fields sum exactly; ``total_latency_ns`` is accumulated
+        in the iteration order, so callers wanting bit-reproducible
+        floats must pass shards in a canonical (shard-id) order.
+        """
+        out = cls()
+        for s in parts:
+            for level, hits in s.level_hits.items():
+                out.level_hits[level] = out.level_hits.get(level, 0) + hits
+            out.accesses += s.accesses
+            out.total_latency_ns += s.total_latency_ns
+            out.prefetch_issued += s.prefetch_issued
+            out.prefetch_useful += s.prefetch_useful
+        return out
 
 
 class MemoryHierarchy:

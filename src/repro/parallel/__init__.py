@@ -1,0 +1,84 @@
+"""Deterministic sharded execution layer (the ``repro.parallel`` package).
+
+Fans the trace-driven memory engines and the three application kernels
+out over a multiprocessing pool while keeping results **bit-identical**
+to serial execution:
+
+* shard plans are pure functions of (workload, shard count)
+  (:mod:`~repro.parallel.shards`);
+* each shard draws a counter-keyed RAS sub-seed
+  (:mod:`~repro.parallel.seeds`) and runs on a fresh engine with its
+  own PMU bank (:mod:`~repro.parallel.runner`);
+* merges are explicit, order-fixed reductions
+  (:mod:`~repro.parallel.merge`, :meth:`repro.pmu.CounterBank.merge`);
+* completed runs land in a content-addressed on-disk cache
+  (:mod:`~repro.parallel.cache`).
+
+The conformance suite in ``tests/parallel/`` pins the contract: merged
+results depend only on (config, seed, shard count), never on worker
+count or completion order.
+"""
+
+from .cache import CACHE_VERSION, ResultCache, default_cache_dir
+from .merge import (
+    DEFAULT_LATENCY_EDGES,
+    LatencyHistogram,
+    scatter_shard_arrays,
+    union_ras_events,
+)
+from .pool import ShardPool, default_workers
+from .runner import (
+    ShardedTraceResult,
+    TraceShardOutcome,
+    TraceShardTask,
+    merge_trace_outcomes,
+    plan_trace_tasks,
+    run_trace_shard,
+    run_trace_sharded,
+    sharded_traced_latency,
+)
+from .seeds import shard_seed, shard_seeds
+from .shards import (
+    interleave_trace,
+    row_block_spans,
+    shell_pair_batches,
+    split_blocks,
+    tile_column_spans,
+)
+from .apps import (
+    sharded_csr_spmv,
+    sharded_eri_tensor,
+    sharded_jaccard,
+    sharded_twoscan_spmv,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_LATENCY_EDGES",
+    "LatencyHistogram",
+    "ResultCache",
+    "ShardPool",
+    "ShardedTraceResult",
+    "TraceShardOutcome",
+    "TraceShardTask",
+    "default_cache_dir",
+    "default_workers",
+    "interleave_trace",
+    "merge_trace_outcomes",
+    "plan_trace_tasks",
+    "row_block_spans",
+    "run_trace_shard",
+    "run_trace_sharded",
+    "scatter_shard_arrays",
+    "shard_seed",
+    "shard_seeds",
+    "sharded_csr_spmv",
+    "sharded_eri_tensor",
+    "sharded_jaccard",
+    "sharded_traced_latency",
+    "sharded_twoscan_spmv",
+    "shell_pair_batches",
+    "split_blocks",
+    "tile_column_spans",
+    "union_ras_events",
+]

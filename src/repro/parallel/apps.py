@@ -1,0 +1,253 @@
+"""Sharded drivers for the three application kernels (§V).
+
+Each driver fans the kernel's natural decomposition out over a
+:class:`~repro.parallel.pool.ShardPool` and merges by the shape's exact
+rule:
+
+* **Jaccard** — tile-grid (column-block) shards; shard boundaries fall
+  on tile boundaries, so the merged ``hstack`` reproduces the serial
+  blocked kernel's similarity matrix bit-for-bit.
+* **SpMV** — CSR shards at the granularity of the serial executor's
+  nnz-balanced partitions (the reduceat grouping fixes the float sums,
+  so workers must replay exactly the serial partitions); two-scan
+  shards by row block (its per-row accumulation order is
+  block-independent), and both reassemble bit-identical to the serial
+  multiply.
+* **HF ERI** — shell-pair batches over the canonical ``i >= j`` outer
+  pairs; the 8-fold symmetry orbits of different canonical quartets are
+  disjoint, so summing the per-batch tensors is bit-identical to the
+  serial ``eri_tensor``.
+
+All workers receive read-only inputs and return their partial output;
+no worker mutates shared state, so results are independent of worker
+count — the property ``tests/parallel/test_conformance_apps.py``
+asserts exactly (``==``, not ``allclose``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..apps.hf.basis import Molecule
+from ..apps.hf.integrals import _symmetry_images, eri_ssss
+from ..apps.jaccard.blocked import jaccard_blocks
+from ..apps.jaccard.similarity import validate_adjacency
+from ..apps.spmv.csr import CSRSpMV
+from ..apps.spmv.twoscan import DEFAULT_BLOCK_WIDTH, TwoScanSpMV
+from .pool import ShardPool
+from .shards import (
+    row_block_spans,
+    shell_pair_batches,
+    split_blocks,
+    tile_column_spans,
+)
+
+# -- Jaccard: tile-grid shards ----------------------------------------------
+
+
+@dataclass
+class _JaccardTask:
+    adj: sp.csr_matrix  # pre-validated
+    col_start: int
+    col_stop: int
+    block_cols: int
+
+
+def _jaccard_shard(task: _JaccardTask) -> sp.csr_matrix:
+    blocks = [
+        blk
+        for _, _, blk in jaccard_blocks(
+            task.adj,
+            task.block_cols,
+            assume_validated=True,
+            col_start=task.col_start,
+            col_stop=task.col_stop,
+        )
+    ]
+    if not blocks:
+        return sp.csr_matrix((task.adj.shape[0], task.col_stop - task.col_start))
+    return sp.hstack(blocks, format="csr")
+
+
+def sharded_jaccard(
+    adj: sp.spmatrix,
+    shards: int = 1,
+    workers: int = 1,
+    block_cols: int = 4096,
+    assume_validated: bool = False,
+) -> sp.csr_matrix:
+    """All-pairs Jaccard similarity, tile columns sharded over a pool.
+
+    Returns the full similarity matrix; bit-identical to the serial
+    blocked kernel (``all_pairs_jaccard_blocked`` with the same
+    ``block_cols``).  The adjacency is validated exactly once, here.
+    """
+    a = adj if assume_validated else validate_adjacency(adj)
+    a = sp.csr_matrix(a) if not sp.isspmatrix_csr(a) else a
+    spans = tile_column_spans(a.shape[0], block_cols, shards)
+    tasks = [
+        _JaccardTask(adj=a, col_start=c0, col_stop=c1, block_cols=block_cols)
+        for c0, c1 in spans
+    ]
+    parts = ShardPool(workers).map(_jaccard_shard, tasks)
+    nonempty = [p for p in parts if p.shape[1]]
+    if not nonempty:
+        return sp.csr_matrix(a.shape)
+    return sp.hstack(nonempty, format="csr")
+
+
+# -- SpMV: row-block shards --------------------------------------------------
+
+
+@dataclass
+class _CsrTask:
+    matrix: sp.csr_matrix
+    x: np.ndarray
+    num_threads: int
+    num_sockets: int
+    part_lo: int  # partition-index span [part_lo, part_hi)
+    part_hi: int
+
+
+def _csr_shard(task: _CsrTask) -> Tuple[int, int, np.ndarray]:
+    """Execute a slice of the serial partition plan; return its row span.
+
+    The worker rebuilds the executor on the full matrix, so
+    ``partition_rows`` reproduces the exact serial partition boundaries
+    — the per-partition reduceat grouping is what fixes the float
+    summation, so sharding must happen at partition granularity, not
+    arbitrary row blocks.
+    """
+    spmv = CSRSpMV(
+        task.matrix, num_threads=task.num_threads, num_sockets=task.num_sockets
+    )
+    parts = spmv.partitions[task.part_lo : task.part_hi]
+    y = spmv.multiply(task.x, partitions=parts)
+    r0 = parts[0].row_start
+    r1 = parts[-1].row_end
+    return r0, r1, y[r0:r1]
+
+
+def sharded_csr_spmv(
+    matrix: sp.spmatrix,
+    x: np.ndarray,
+    shards: int = 1,
+    workers: int = 1,
+    num_threads: int = 64,
+    num_sockets: int = 8,
+) -> np.ndarray:
+    """Partition-sharded CSR SpMV; bit-identical to :class:`CSRSpMV`.
+
+    The serial executor's nnz-balanced row partitions are grouped into
+    contiguous shards; each worker runs exactly its partitions of the
+    serial plan, so every row's reduction happens in the same grouping
+    as the serial multiply and the assembled result matches it
+    bit-for-bit.
+    """
+    spmv = CSRSpMV(matrix, num_threads=num_threads, num_sockets=num_sockets)
+    csr = spmv.matrix
+    spans = split_blocks(len(spmv.partitions), shards)
+    tasks = [
+        _CsrTask(csr, x, num_threads, num_sockets, p0, p1)
+        for p0, p1 in spans
+        if p1 > p0
+    ]
+    results = ShardPool(workers).map(_csr_shard, tasks)
+    y = np.zeros(csr.shape[0], dtype=np.result_type(csr.dtype, x.dtype))
+    for r0, r1, part in results:
+        y[r0:r1] = part
+    return y
+
+
+@dataclass
+class _TwoScanTask:
+    matrix: sp.csr_matrix
+    x: np.ndarray
+    block_width: int
+
+
+def _twoscan_shard(task: _TwoScanTask) -> np.ndarray:
+    return TwoScanSpMV(task.matrix, block_width=task.block_width).multiply(task.x)
+
+
+def sharded_twoscan_spmv(
+    matrix: sp.spmatrix,
+    x: np.ndarray,
+    shards: int = 1,
+    workers: int = 1,
+    block_width: int = DEFAULT_BLOCK_WIDTH,
+) -> np.ndarray:
+    """Row-block sharded two-scan SpMV; bit-identical to the serial kernel.
+
+    Within any row the two-scan pipeline accumulates elements in
+    ascending column order (stable column sort, then stable row sort),
+    for the full matrix and for any row block alike — so per-row
+    addition order, and hence the float result, is identical.
+    """
+    csr = matrix.tocsr()
+    spans = row_block_spans(csr.shape[0], shards)
+    tasks = [
+        _TwoScanTask(csr[r0:r1], x, block_width) for r0, r1 in spans if r1 > r0
+    ]
+    parts = ShardPool(workers).map(_twoscan_shard, tasks)
+    if not parts:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate(parts)
+
+
+# -- Hartree-Fock: shell-pair batches ---------------------------------------
+
+
+@dataclass
+class _EriTask:
+    molecule: Molecule
+    pairs: List[Tuple[int, int]]
+    screen: Optional[object]  # duck-typed .significant(i, j, k, l)
+
+
+def _eri_shard(task: _EriTask) -> np.ndarray:
+    """The canonical quartet loop of ``eri_tensor``, restricted to a batch."""
+    n = task.molecule.nbf
+    basis = task.molecule.basis
+    eri = np.zeros((n, n, n, n))
+    for i, j in task.pairs:
+        for k in range(i + 1):
+            l_max = j if k == i else k
+            for l in range(l_max + 1):
+                if task.screen is not None and not task.screen.significant(i, j, k, l):
+                    continue
+                val = eri_ssss(basis[i], basis[j], basis[k], basis[l])
+                for (p, q, r, s) in _symmetry_images(i, j, k, l):
+                    eri[p, q, r, s] = val
+    return eri
+
+
+def sharded_eri_tensor(
+    molecule: Molecule,
+    shards: int = 1,
+    workers: int = 1,
+    screening: Optional[object] = None,
+) -> np.ndarray:
+    """Shell-pair-batched ERI tensor; bit-identical to ``eri_tensor``.
+
+    The canonical outer pairs split into contiguous batches; per-batch
+    partial tensors have disjoint nonzero supports (symmetry orbits
+    partition the index space), so summing them in shard order assigns
+    every element exactly the value the serial loop assigns it.
+    """
+    batches = shell_pair_batches(molecule.nbf, shards)
+    tasks = [
+        _EriTask(molecule=molecule, pairs=batch, screen=screening)
+        for batch in batches
+        if batch
+    ]
+    parts = ShardPool(workers).map(_eri_shard, tasks)
+    n = molecule.nbf
+    eri = np.zeros((n, n, n, n))
+    for part in parts:
+        eri += part
+    return eri

@@ -1,0 +1,112 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Sharded runs are deterministic (see :mod:`repro.parallel.runner`), so a
+result is fully identified by *what was asked for*: the machine spec,
+the workload description, the seed, and the code that produced it.  The
+cache keys on a SHA-256 digest of exactly that content — no timestamps,
+no hostnames — so a hit is a bit-for-bit stand-in for a re-run and the
+CLI can skip the simulation entirely.
+
+Invalidation is by construction: bumping ``repro.__version__`` (or
+:data:`CACHE_VERSION` when only the cache format changes) changes every
+key, and deleting the cache directory is always safe.  The default
+location is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+from .. import __version__
+
+#: Bump when the stored payload format changes incompatibly.
+CACHE_VERSION = 1
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """A directory of ``<digest>.json`` files, one per cached result.
+
+    Each file stores the key material alongside the payload, so a cache
+    directory is self-describing and individual entries can be audited
+    (or deleted) by hand.
+    """
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def key(
+        self,
+        *,
+        machine: object,
+        workload: Mapping[str, Any],
+        seed: int = 0,
+    ) -> str:
+        """SHA-256 digest of the canonical key material.
+
+        ``machine`` is any spec object with a stable ``repr`` (the arch
+        specs are frozen dataclasses, so their repr pins every
+        parameter); ``workload`` is a JSON-able description of the run
+        (experiment id, shard count, flags, ...).
+        """
+        material = {
+            "cache_version": CACHE_VERSION,
+            "code_version": __version__,
+            "machine": repr(machine),
+            "workload": dict(workload),
+            "seed": int(seed),
+        }
+        blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``key``, or ``None`` on a miss.
+
+        Unreadable or corrupt entries count as misses — the cache never
+        raises on lookup, a re-run is always the fallback.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if entry.get("cache_version") != CACHE_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.get("payload")
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> Path:
+        """Store ``payload`` under ``key``; returns the entry's path.
+
+        Writes via a temp file + rename so concurrent readers never see
+        a partial entry.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        entry = {"cache_version": CACHE_VERSION, "key": key, "payload": dict(payload)}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True)
+        os.replace(tmp, path)
+        return path

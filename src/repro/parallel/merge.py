@@ -1,0 +1,110 @@
+"""Explicit merge semantics for sharded runs.
+
+Everything a sharded run reports is reduced here, and every reduction
+is a pure function of the per-shard outcomes taken in shard-id order:
+
+* per-access arrays are **scattered** back to their original trace
+  positions (an exact permutation — no arithmetic);
+* PMU counter banks reduce via :meth:`repro.pmu.CounterBank.merge`
+  (integer sums — order-free);
+* latency histograms reduce by bin-wise addition over a shared edge
+  vector, and the merged histogram equals the histogram of the merged
+  latency array (the property ``tests/parallel`` pins);
+* RAS fault events union into one list ordered by (shard id, original
+  event order), preserving each event's full description and verdict.
+
+Because each reduction is deterministic given the shard order, the
+merged result of a plan depends only on (config, seed, shard count) —
+never on worker count or completion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+#: Default latency histogram edges: a sub-ns bin (modelled L1 hits are
+#: ~0.7 ns), log-spaced 1 ns .. 1 µs, and an overflow bin — every access
+#: of the modelled hierarchy lands in some bin.
+DEFAULT_LATENCY_EDGES = np.concatenate(
+    [[0.0], np.logspace(0.0, 3.0, 31), [np.inf]]
+)
+
+
+@dataclass(frozen=True)
+class LatencyHistogram:
+    """Counts of per-access latencies over fixed bin edges."""
+
+    edges: np.ndarray
+    counts: np.ndarray
+
+    @classmethod
+    def of(cls, latency_ns: np.ndarray, edges: np.ndarray | None = None) -> "LatencyHistogram":
+        edges = DEFAULT_LATENCY_EDGES if edges is None else np.asarray(edges, dtype=np.float64)
+        counts, _ = np.histogram(np.asarray(latency_ns, dtype=np.float64), bins=edges)
+        return cls(edges=edges, counts=counts.astype(np.int64))
+
+    @classmethod
+    def merge(cls, parts: "Iterable[LatencyHistogram]") -> "LatencyHistogram":
+        """Bin-wise sum; all parts must share one edge vector."""
+        parts = list(parts)
+        if not parts:
+            return cls(edges=DEFAULT_LATENCY_EDGES,
+                       counts=np.zeros(DEFAULT_LATENCY_EDGES.size - 1, dtype=np.int64))
+        edges = parts[0].edges
+        for p in parts[1:]:
+            if not np.array_equal(p.edges, edges):
+                raise ValueError("cannot merge histograms with different edges")
+        counts = np.sum([p.counts for p in parts], axis=0).astype(np.int64)
+        return cls(edges=edges, counts=counts)
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+
+def scatter_shard_arrays(
+    n: int,
+    indices: Sequence[np.ndarray],
+    arrays: Sequence[np.ndarray],
+    dtype,
+) -> np.ndarray:
+    """Scatter per-shard result arrays back to original trace positions.
+
+    ``indices[s]`` are the original positions shard ``s`` owned and
+    ``arrays[s]`` its per-access results in the same order.  The index
+    arrays partition ``range(n)``, so the scatter is a permutation and
+    the merged array is exact.
+    """
+    out = np.empty(n, dtype=dtype)
+    filled = 0
+    for idx, arr in zip(indices, arrays):
+        if idx.size != arr.size:
+            raise ValueError(
+                f"shard index/result size mismatch: {idx.size} vs {arr.size}"
+            )
+        out[idx] = arr
+        filled += idx.size
+    if filled != n:
+        raise ValueError(f"shards cover {filled} of {n} accesses")
+    return out
+
+
+def union_ras_events(
+    per_shard_events: Sequence[Sequence[Tuple]],
+) -> List[Tuple[int, object, object]]:
+    """Union of per-shard RAS fault events, tagged with their shard id.
+
+    Each element of ``per_shard_events`` is a shard's recorded
+    ``(FaultEvent, EccVerdict)`` list (see
+    :class:`repro.ras.injector.FaultInjector`); the union keeps shard-id
+    order, then each shard's own event order — deterministic for a
+    given plan regardless of worker scheduling.
+    """
+    out: List[Tuple[int, object, object]] = []
+    for shard_id, events in enumerate(per_shard_events):
+        for fault, verdict in events:
+            out.append((shard_id, fault, verdict))
+    return out

@@ -1,0 +1,326 @@
+"""Sharded execution of the trace-driven memory engines.
+
+:func:`run_trace_sharded` fans an address trace out over a
+:class:`~repro.parallel.pool.ShardPool`: the trace is split into
+address-interleaved shards (:func:`repro.parallel.shards.interleave_trace`),
+each shard runs on a **fresh engine** — its own
+:class:`~repro.mem.batch.BatchMemoryHierarchy` or
+:class:`~repro.coherence.chipsim.ChipSimulator`, its own PMU bank, and
+its own RAS fault injector built from the shard's counter-keyed
+sub-seed — and the per-shard outcomes reduce through the explicit merge
+semantics in :mod:`repro.parallel.merge`.
+
+Determinism contract
+--------------------
+The merged result is a pure function of (engine config, plan seed,
+shard count).  Worker count and completion order never enter: tasks
+carry everything a worker needs, workers share no state, and the gather
+is order-preserving.  ``workers=1`` executes the identical tasks
+in-process — that run *is* the serial oracle, and the conformance suite
+in ``tests/parallel/`` asserts multiprocess runs match it bit-for-bit
+(latencies, merged PMU banks, RAS fault outcomes).  A 1-shard plan
+degenerates to the plain serial engine (same seed, same single
+instance), tying the whole scheme back to the unsharded simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..arch.specs import ChipSpec, SystemSpec
+from ..coherence.chipsim import CHIP_LEVELS, ChipSimulator, ChipStats
+from ..mem.batch import DEFAULT_CHUNK, BatchMemoryHierarchy
+from ..mem.hierarchy import LEVELS, HierarchyStats, TraceResult
+from ..pmu.counters import CounterBank
+from ..pmu.pmu import read_counters
+from ..ras.injector import build_injector
+from .merge import (
+    DEFAULT_LATENCY_EDGES,
+    LatencyHistogram,
+    scatter_shard_arrays,
+    union_ras_events,
+)
+from .pool import ShardPool
+from .seeds import shard_seeds
+from .shards import interleave_trace
+
+PAGE_64K = 64 * 1024
+
+
+@dataclass
+class TraceShardTask:
+    """Everything one worker needs to run one shard (fully picklable)."""
+
+    engine: str  # "batch" | "chip"
+    shard_id: int
+    shards: int
+    seed: int  # the shard's folded sub-seed, not the plan seed
+    chip: ChipSpec
+    addrs: np.ndarray
+    writes: Union[bool, np.ndarray] = False
+    cores: Union[int, np.ndarray, None] = None
+    warm_addrs: Optional[np.ndarray] = None
+    page_size: int = PAGE_64K
+    chunk: int = DEFAULT_CHUNK
+    inject: Optional[str] = None
+
+
+@dataclass
+class TraceShardOutcome:
+    """One shard's complete result, as returned from a worker process."""
+
+    shard_id: int
+    latency_ns: np.ndarray
+    level_codes: np.ndarray
+    translation_cycles: np.ndarray
+    counters: Dict[str, int]
+    stats: object  # HierarchyStats | ChipStats
+    ras_events: List[Tuple] = field(default_factory=list)
+    ras_derived: Dict[str, float] = field(default_factory=dict)
+
+
+def run_trace_shard(task: TraceShardTask) -> TraceShardOutcome:
+    """Execute one shard on a fresh engine (top-level: pool-safe).
+
+    This function is the unit of both serial and parallel execution —
+    the serial oracle is literally this code run in-process, so
+    shard-vs-serial equivalence reduces to process isolation, which the
+    engines guarantee by construction (no globals, no shared RNG).
+    """
+    injector = build_injector(task.inject, seed=task.seed, record_events=True)
+    if task.engine == "batch":
+        hier = BatchMemoryHierarchy(
+            task.chip, page_size=task.page_size, chunk=task.chunk, ras=injector
+        )
+        if task.warm_addrs is not None and task.warm_addrs.size:
+            hier.warm(task.warm_addrs)
+        res = hier.access_trace(task.addrs, task.writes)
+        stats: object = hier.stats
+        bank = read_counters(hier)
+    elif task.engine == "chip":
+        sim = ChipSimulator(task.chip, ras=injector)
+        cores = task.cores if task.cores is not None else 0
+        res = sim.access_trace(cores, task.addrs, task.writes)
+        stats = sim.stats
+        bank = read_counters(sim)
+    else:
+        raise ValueError(f"unknown engine {task.engine!r}; use 'batch' or 'chip'")
+    return TraceShardOutcome(
+        shard_id=task.shard_id,
+        latency_ns=res.latency_ns,
+        level_codes=res.level_codes,
+        translation_cycles=res.translation_cycles,
+        counters=dict(bank),
+        stats=stats,
+        ras_events=list(injector.events) if injector is not None else [],
+        ras_derived=injector.derived_metrics() if injector is not None else {},
+    )
+
+
+@dataclass
+class ShardedTraceResult:
+    """Merged outcome of a sharded trace run.
+
+    ``trace`` holds the per-access arrays scattered back to original
+    positions; ``bank`` is the merged PMU view (shard banks summed via
+    :meth:`~repro.pmu.CounterBank.merge`); ``stats`` the summed
+    hierarchy/chip statistics; ``ras_events`` the shard-ordered union of
+    injected fault events as ``(shard_id, FaultEvent, EccVerdict)``.
+    """
+
+    trace: TraceResult
+    bank: CounterBank
+    shard_banks: List[CounterBank]
+    stats: object
+    ras_events: List[Tuple[int, object, object]]
+    ras_derived: List[Dict[str, float]]
+    shards: int
+    workers: int
+    seed: int
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return self.trace.mean_latency_ns
+
+    def latency_histogram(self, edges: np.ndarray | None = None) -> LatencyHistogram:
+        """Histogram of the merged latencies over shared edges."""
+        return LatencyHistogram.of(
+            self.trace.latency_ns,
+            DEFAULT_LATENCY_EDGES if edges is None else edges,
+        )
+
+
+def plan_trace_tasks(
+    chip: ChipSpec,
+    addrs: np.ndarray,
+    is_write: Union[bool, np.ndarray] = False,
+    *,
+    cores: Union[int, np.ndarray, None] = None,
+    warm: Optional[np.ndarray] = None,
+    shards: int = 1,
+    seed: int = 0,
+    page_size: int = PAGE_64K,
+    chunk: int = DEFAULT_CHUNK,
+    inject: Optional[str] = None,
+    engine: Optional[str] = None,
+) -> Tuple[List[TraceShardTask], List[np.ndarray]]:
+    """Build the deterministic shard plan: tasks plus original indices.
+
+    Exposed separately from :func:`run_trace_sharded` so tests can
+    assert plan purity (same inputs, same tasks) and run the serial
+    oracle explicitly.
+    """
+    addrs = np.asarray(addrs, dtype=np.int64).ravel()
+    if engine is None:
+        engine = "chip" if cores is not None else "batch"
+    line_size = chip.core.l1d.line_size
+    indices = interleave_trace(addrs, line_size, shards)
+    warm_arr = None
+    warm_indices: Optional[List[np.ndarray]] = None
+    if warm is not None:
+        warm_arr = np.asarray(warm, dtype=np.int64).ravel()
+        warm_indices = interleave_trace(warm_arr, line_size, shards)
+    writes_arr: Optional[np.ndarray] = None
+    if not isinstance(is_write, (bool, np.bool_)):
+        writes_arr = np.asarray(is_write, dtype=bool).ravel()
+        if writes_arr.size != addrs.size:
+            raise ValueError("is_write and addrs must have the same length")
+    cores_arr: Optional[np.ndarray] = None
+    if cores is not None and not np.isscalar(cores):
+        cores_arr = np.asarray(cores, dtype=np.int64).ravel()
+        if cores_arr.size != addrs.size:
+            raise ValueError("cores and addrs must have the same length")
+    seeds = shard_seeds(seed, shards)
+    tasks = []
+    for s, idx in enumerate(indices):
+        tasks.append(
+            TraceShardTask(
+                engine=engine,
+                shard_id=s,
+                shards=shards,
+                seed=seeds[s],
+                chip=chip,
+                addrs=addrs[idx],
+                writes=bool(is_write) if writes_arr is None else writes_arr[idx],
+                cores=(
+                    None if cores is None
+                    else int(cores) if cores_arr is None
+                    else cores_arr[idx]
+                ),
+                warm_addrs=None if warm_indices is None else warm_arr[warm_indices[s]],
+                page_size=page_size,
+                chunk=chunk,
+                inject=inject,
+            )
+        )
+    return tasks, indices
+
+
+def run_trace_sharded(
+    chip: ChipSpec,
+    addrs: np.ndarray,
+    is_write: Union[bool, np.ndarray] = False,
+    *,
+    cores: Union[int, np.ndarray, None] = None,
+    warm: Optional[np.ndarray] = None,
+    shards: int = 1,
+    workers: int = 1,
+    seed: int = 0,
+    page_size: int = PAGE_64K,
+    chunk: int = DEFAULT_CHUNK,
+    inject: Optional[str] = None,
+    engine: Optional[str] = None,
+) -> ShardedTraceResult:
+    """Run a demand trace sharded over a process pool and merge.
+
+    With ``cores`` given (scalar or per-access array) the multi-core
+    :class:`ChipSimulator` services the trace, otherwise the single-core
+    batch engine does.  ``warm`` is an optional warm-up trace sharded by
+    the same rule and run (unrecorded) before the measured trace —
+    per-shard, mirroring the serial measurement protocol.
+    """
+    tasks, indices = plan_trace_tasks(
+        chip, addrs, is_write, cores=cores, warm=warm, shards=shards,
+        seed=seed, page_size=page_size, chunk=chunk, inject=inject,
+        engine=engine,
+    )
+    outcomes = ShardPool(workers).map(run_trace_shard, tasks)
+    return merge_trace_outcomes(
+        outcomes, indices, tasks[0].engine, shards=shards, workers=workers,
+        seed=seed,
+    )
+
+
+def merge_trace_outcomes(
+    outcomes: Sequence[TraceShardOutcome],
+    indices: Sequence[np.ndarray],
+    engine: str,
+    *,
+    shards: int,
+    workers: int,
+    seed: int,
+) -> ShardedTraceResult:
+    """Reduce per-shard outcomes (in shard-id order) into one result."""
+    outcomes = sorted(outcomes, key=lambda o: o.shard_id)
+    n = sum(idx.size for idx in indices)
+    code_dtype = outcomes[0].level_codes.dtype if outcomes else np.uint8
+    trace = TraceResult(
+        latency_ns=scatter_shard_arrays(
+            n, indices, [o.latency_ns for o in outcomes], np.float64
+        ),
+        level_codes=scatter_shard_arrays(
+            n, indices, [o.level_codes for o in outcomes], code_dtype
+        ),
+        translation_cycles=scatter_shard_arrays(
+            n, indices, [o.translation_cycles for o in outcomes], np.float64
+        ),
+        level_names=CHIP_LEVELS if engine == "chip" else LEVELS,
+    )
+    shard_banks = [CounterBank(o.counters) for o in outcomes]
+    stats_cls = ChipStats if engine == "chip" else HierarchyStats
+    return ShardedTraceResult(
+        trace=trace,
+        bank=CounterBank.merge(shard_banks),
+        shard_banks=shard_banks,
+        stats=stats_cls.merged([o.stats for o in outcomes]),
+        ras_events=union_ras_events([o.ras_events for o in outcomes]),
+        ras_derived=[o.ras_derived for o in outcomes],
+        shards=shards,
+        workers=workers,
+        seed=seed,
+    )
+
+
+def sharded_traced_latency(
+    system: SystemSpec,
+    working_set: int,
+    *,
+    page_size: int = PAGE_64K,
+    passes: int = 3,
+    seed: int = 0,
+    shards: int = 1,
+    workers: int = 1,
+    inject: Optional[str] = None,
+) -> Tuple[float, ShardedTraceResult]:
+    """Sharded counterpart of :func:`repro.bench.latency.traced_latency_ns`.
+
+    The chase trace is generated exactly as in the serial tool (one
+    warm-up pass, ``passes - 1`` measured passes), then both the warm
+    and measured traces are line-interleaved over the shards.  With
+    ``shards=1`` the result is bit-identical to the serial measurement.
+    """
+    from ..mem.trace import random_chase_addresses
+
+    if passes < 2:
+        raise ValueError("need a warm-up pass plus at least one measured pass")
+    line = system.chip.core.l1d.line_size
+    warm = random_chase_addresses(working_set, line, passes=1, seed=seed)
+    measured = random_chase_addresses(working_set, line, passes=passes - 1, seed=seed)
+    result = run_trace_sharded(
+        system.chip, measured, warm=warm, shards=shards, workers=workers,
+        seed=seed, page_size=page_size, inject=inject,
+    )
+    return result.mean_latency_ns, result

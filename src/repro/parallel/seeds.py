@@ -1,0 +1,43 @@
+"""Counter-keyed shard sub-seeds.
+
+Every shard of a sharded run owns an independent deterministic random
+universe: its RAS fault injector (and anything else that consumes a
+seed) is constructed from ``shard_seed(plan_seed, shard_id)`` — a
+splitmix64 fold of the plan seed with the shard id.  Because the fold
+is a pure function, the sub-seed stream depends only on (plan seed,
+shard id), never on worker scheduling, and two different shard counts
+give every shard a distinct universe while shard 0 of a 1-shard plan
+reproduces the serial engine's seed exactly (``shard_seed(s, 0, 1) ==
+s``), which is what makes the shards=1 case bit-identical to the
+unsharded run.
+"""
+
+from __future__ import annotations
+
+from ..ras.faults import _GOLDEN, _MASK64, _MIX1, splitmix64
+
+
+def shard_seed(seed: int, shard_id: int, shards: int = 0) -> int:
+    """The sub-seed for ``shard_id`` of a plan seeded with ``seed``.
+
+    A single-shard plan is the serial run, so it keeps the plan seed
+    unchanged; every other (shard id, shard count) pair folds both
+    numbers through splitmix64 so sibling shards — and the same shard
+    id under different shard counts — draw from unrelated universes.
+    """
+    if shard_id < 0:
+        raise ValueError(f"shard id must be >= 0, got {shard_id}")
+    if shards == 1:
+        if shard_id != 0:
+            raise ValueError(f"shard id {shard_id} out of range for 1 shard")
+        return seed
+    return splitmix64(
+        seed * _GOLDEN + (shard_id + 1) * _MIX1 + shards * _GOLDEN
+    ) & _MASK64
+
+
+def shard_seeds(seed: int, shards: int) -> list[int]:
+    """The full sub-seed vector of a plan (one entry per shard)."""
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    return [shard_seed(seed, s, shards) for s in range(shards)]

@@ -1,0 +1,126 @@
+"""Shard plans: how each workload splits into independent units.
+
+Four shapes cover the package's workloads:
+
+* **address-interleaved** trace shards for the memory-hierarchy engines
+  — accesses are assigned to shards by cache-line index modulo the
+  shard count, so every access to a given line lands in the same shard
+  and each shard's simulated cache state is self-consistent;
+* **tile-grid** (column-block) shards for all-pairs Jaccard;
+* **row-block** shards for SpMV (CSR and two-scan);
+* **shell-pair batches** for Hartree-Fock ERI construction.
+
+Each builder is a pure function of (workload shape, shard count), so
+the same plan is produced no matter where it is evaluated — the first
+half of the determinism contract (the second half is the
+order-preserving merge in :mod:`repro.parallel.merge`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def _check_shards(shards: int) -> None:
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+
+
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def _mix_lines(lines: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer over line ids (wrapping uint64)."""
+    x = lines.astype(np.uint64)
+    x = x ^ (x >> np.uint64(30))
+    x = x * _MIX1
+    x = x ^ (x >> np.uint64(27))
+    x = x * _MIX2
+    x = x ^ (x >> np.uint64(31))
+    return x
+
+
+def interleave_trace(
+    addrs: np.ndarray, line_size: int, shards: int
+) -> List[np.ndarray]:
+    """Original-trace index arrays, one per shard, line-interleaved.
+
+    Shard ``s`` owns every access whose cache line satisfies
+    ``splitmix64(line) % shards == s``; within a shard, accesses keep
+    their original relative order.  The line id is *hashed* before the
+    modulo because a plain ``line % shards`` aliases with the caches'
+    set-index function (also a line modulo): each shard's lines would
+    collapse into ``1/shards`` of the sets and conflict-thrash, where
+    the hash spreads every shard's footprint over all sets.  Empty
+    shards still get an (empty) index array so the sub-seed assignment
+    is stable across workloads.
+    """
+    _check_shards(shards)
+    addrs = np.asarray(addrs, dtype=np.int64).ravel()
+    if shards == 1:
+        return [np.arange(addrs.size, dtype=np.int64)]
+    with np.errstate(over="ignore"):
+        owner = _mix_lines(addrs // line_size) % np.uint64(shards)
+    return [np.nonzero(owner == s)[0].astype(np.int64) for s in range(shards)]
+
+
+def split_blocks(total: int, shards: int) -> List[Tuple[int, int]]:
+    """``[start, end)`` spans splitting ``total`` items into ``shards``.
+
+    Remainder items go to the leading shards (NumPy ``array_split``
+    convention); empty spans are kept so shard ids stay dense.
+    """
+    _check_shards(shards)
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    base, extra = divmod(total, shards)
+    spans = []
+    start = 0
+    for s in range(shards):
+        size = base + (1 if s < extra else 0)
+        spans.append((start, start + size))
+        start += size
+    return spans
+
+
+def tile_column_spans(
+    n_cols: int, block_cols: int, shards: int
+) -> List[Tuple[int, int]]:
+    """Column spans for Jaccard tile-grid shards.
+
+    Shard boundaries always fall on ``block_cols`` multiples, so the
+    sharded run computes the *same tiles* as the serial blocked kernel
+    (``repro.apps.jaccard.blocked``) and merging the shards' tile
+    groups reproduces its output bit-for-bit.
+    """
+    if block_cols < 1:
+        raise ValueError(f"block width must be positive, got {block_cols}")
+    n_blocks = -(-n_cols // block_cols) if n_cols else 0
+    # Both ends clamp to n_cols so trailing empty shards come out as
+    # (n_cols, n_cols) rather than an inverted span past the matrix edge.
+    return [
+        (min(b0 * block_cols, n_cols), min(b1 * block_cols, n_cols))
+        for b0, b1 in split_blocks(n_blocks, shards)
+    ]
+
+
+def row_block_spans(n_rows: int, shards: int) -> List[Tuple[int, int]]:
+    """Row spans for SpMV shards: contiguous, near-equal row blocks."""
+    return split_blocks(n_rows, shards)
+
+
+def shell_pair_batches(nbf: int, shards: int) -> List[List[Tuple[int, int]]]:
+    """Canonical (i, j) shell-pair batches for sharded ERI construction.
+
+    The canonical quartet loop of
+    :func:`repro.apps.hf.integrals.eri_tensor` iterates outer pairs
+    ``i >= j``; each batch is a contiguous slice of that pair list, so
+    the union of batches walks exactly the serial loop's quartets and
+    the per-quartet symmetry images of different batches never overlap
+    (orbits partition the index space) — merging by summation is exact.
+    """
+    pairs = [(i, j) for i in range(nbf) for j in range(i + 1)]
+    return [pairs[start:end] for start, end in split_blocks(len(pairs), shards)]

@@ -58,19 +58,23 @@ def system_stream_bandwidth(
     return system.num_chips * per_chip
 
 
+#: The read:write byte ratios of the paper's Table III, in row order.
+TABLE3_RATIOS: Tuple[Tuple[float, float], ...] = (
+    (1, 0),
+    (16, 1),
+    (8, 1),
+    (4, 1),
+    (2, 1),
+    (1, 1),
+    (1, 2),
+    (1, 4),
+    (0, 1),
+)
+
+
 def table3_rows(
     system: SystemSpec,
-    ratios: Iterable[Tuple[float, float]] = (
-        (1, 0),
-        (16, 1),
-        (8, 1),
-        (4, 1),
-        (2, 1),
-        (1, 1),
-        (1, 2),
-        (1, 4),
-        (0, 1),
-    ),
+    ratios: Iterable[Tuple[float, float]] = TABLE3_RATIOS,
 ) -> List[dict]:
     """Observed-bandwidth rows for every read:write ratio in Table III."""
     rows = []

@@ -35,6 +35,22 @@ class CounterBank(dict):
             if value:
                 self[key] = self.get(key, 0) + value
 
+    @classmethod
+    def merge(cls, banks: Iterable[Mapping[str, int]]) -> "CounterBank":
+        """Reduce many banks into one by event-wise summation.
+
+        This is the canonical reduction of the sharded execution layer
+        (:mod:`repro.parallel`): per-shard banks are integer-valued, so
+        the merge is commutative, associative and has the empty bank as
+        identity — merged counters are independent of worker scheduling
+        and shard completion order, and any linear conservation
+        invariant that holds per shard holds for the merged bank.
+        """
+        out = cls()
+        for bank in banks:
+            out.add_events(bank)
+        return out
+
     # -- snapshot / diff -------------------------------------------------
     def snapshot(self) -> "CounterBank":
         """An independent copy of the current counts."""

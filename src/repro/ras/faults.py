@@ -33,6 +33,22 @@ _MIX1 = 0xBF58476D1CE4E5B9
 _MIX2 = 0x94D049BB133111EB
 
 
+def splitmix64(x: int) -> int:
+    """The splitmix64 finalizer: a 64-bit bijective avalanche mix.
+
+    Shared by :func:`deterministic_draw` and the shard sub-seed fold in
+    :mod:`repro.parallel.seeds` so every derived random stream in the
+    package traces back to the same primitive.
+    """
+    x &= _MASK64
+    x ^= x >> 30
+    x = (x * _MIX1) & _MASK64
+    x ^= x >> 27
+    x = (x * _MIX2) & _MASK64
+    x ^= x >> 31
+    return x
+
+
 def deterministic_draw(seed: int, site: int, counter: int) -> float:
     """Uniform draw in ``[0, 1)`` as a pure function of its arguments.
 
@@ -41,12 +57,7 @@ def deterministic_draw(seed: int, site: int, counter: int) -> float:
     shared RNG — immune to engines consuming site streams in different
     interleavings.
     """
-    x = (seed * _GOLDEN + site * _MIX1 + counter * _MIX2 + _GOLDEN) & _MASK64
-    x ^= x >> 30
-    x = (x * _MIX1) & _MASK64
-    x ^= x >> 27
-    x = (x * _MIX2) & _MASK64
-    x ^= x >> 31
+    x = splitmix64(seed * _GOLDEN + site * _MIX1 + counter * _MIX2 + _GOLDEN)
     return x / 2.0**64
 
 

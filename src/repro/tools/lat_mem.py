@@ -59,6 +59,15 @@ def main(argv: list[str] | None = None) -> int:
                              "(see repro.ras for the grammar)")
     parser.add_argument("--seed", type=int, default=0,
                         help="fault-injection seed (default: 0)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="with --trace: line-interleave the chase over N "
+                             "shards (repro.parallel; default: 1 = unsharded)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="with --trace and --shards: process-pool size "
+                             "(default: 1 = in-process serial oracle)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache even when "
+                             "$REPRO_CACHE_DIR is configured")
     args = parser.parse_args(argv)
 
     system = e870()
@@ -68,36 +77,90 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--counters needs the trace-driven simulator; add --trace")
     if args.inject and not args.trace:
         parser.error("--inject needs the trace-driven simulator; add --trace")
+    if args.shards < 1 or args.workers < 1:
+        parser.error("--shards and --workers must be >= 1")
+    if args.shards > 1 and not args.trace:
+        parser.error("--shards needs the trace-driven simulator; add --trace")
 
     if args.trace:
         size = args.size if args.size else args.min_size
         if size > 256 << 20:
             parser.error("--trace is only practical up to ~256M working sets")
-        from ..ras.injector import build_injector
 
-        injector = build_injector(args.inject, seed=args.seed)
-        if args.counters:
-            from ..bench.latency import traced_latency_pmu
+        import os
 
-            latency, pmu = traced_latency_pmu(
-                system, size, page_size=args.page, ras=injector
+        cache = key = None
+        if not args.no_cache and os.environ.get("REPRO_CACHE_DIR"):
+            from ..parallel.cache import ResultCache
+
+            cache = ResultCache()
+            key = cache.key(
+                machine=system,
+                workload={
+                    "tool": "lat_mem",
+                    "size": size,
+                    "page": args.page,
+                    "shards": args.shards,
+                    "inject": args.inject,
+                },
+                seed=args.seed,
+            )
+            # Only the plain latency point is cacheable; counter/RAS
+            # reports re-run so their tables stay complete.
+            if not args.counters and not args.inject:
+                payload = cache.get(key)
+                if payload is not None:
+                    print(f"[cache hit {size}]", file=sys.stderr)
+                    print(f"{size} {payload['latency_ns']:.2f}")
+                    return 0
+
+        if args.shards > 1:
+            from ..parallel import sharded_traced_latency
+
+            latency, sharded = sharded_traced_latency(
+                system, size, page_size=args.page, seed=args.seed,
+                shards=args.shards, workers=args.workers, inject=args.inject,
             )
             print(f"{size} {latency:.2f}")
-            print()
-            print(pmu.report(title=f"PMU counters ({size}-byte working set)"))
-        else:
-            latency = traced_latency_ns(system, size, page_size=args.page,
-                                        ras=injector)
-            print(f"{size} {latency:.2f}")
-        if injector is not None and not args.counters:
-            from ..reporting.tables import format_counter_table
+            if args.counters or args.inject:
+                from ..reporting.tables import format_counter_table
 
-            print()
-            print(format_counter_table(
-                injector.bank,
-                title=f"RAS counters (plan: {injector.plan.describe()})",
-                describe=False,
-            ))
+                print()
+                print(format_counter_table(
+                    sharded.bank,
+                    title=f"merged PMU counters ({size}-byte working set, "
+                          f"{args.shards} shards, {len(sharded.ras_events)} "
+                          f"RAS events)",
+                    describe=False,
+                ))
+        else:
+            from ..ras.injector import build_injector
+
+            injector = build_injector(args.inject, seed=args.seed)
+            if args.counters:
+                from ..bench.latency import traced_latency_pmu
+
+                latency, pmu = traced_latency_pmu(
+                    system, size, page_size=args.page, ras=injector
+                )
+                print(f"{size} {latency:.2f}")
+                print()
+                print(pmu.report(title=f"PMU counters ({size}-byte working set)"))
+            else:
+                latency = traced_latency_ns(system, size, page_size=args.page,
+                                            ras=injector)
+                print(f"{size} {latency:.2f}")
+            if injector is not None and not args.counters:
+                from ..reporting.tables import format_counter_table
+
+                print()
+                print(format_counter_table(
+                    injector.bank,
+                    title=f"RAS counters (plan: {injector.plan.describe()})",
+                    describe=False,
+                ))
+        if cache is not None and not args.counters and not args.inject:
+            cache.put(key, {"latency_ns": float(latency), "size": size})
         return 0
 
     model = AnalyticHierarchy(system.chip, page_size=args.page)

@@ -11,6 +11,7 @@ Mirrors the paper's modified STREAM benchmark::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from ..arch import e870
@@ -18,6 +19,20 @@ from ..bench.stream_kernels import StreamKernels
 from ..perfmodel.stream_model import chip_stream_bandwidth, table3_rows
 
 GB = 1e9
+
+_CLASSIC = ("copy", "scale", "add", "triad")
+
+
+def _classic_worker(task):
+    """Run one classic kernel (top-level: pool-safe across processes)."""
+    system, elements, kernel = task
+    return getattr(StreamKernels(system, elements=elements), kernel)()
+
+
+def _table3_worker(task):
+    """Model one shard's slice of the Table III ratio sweep."""
+    system, ratios = task
+    return table3_rows(system, ratios=ratios)
 
 
 def parse_ratio(text: str) -> tuple[float, float]:
@@ -55,11 +70,39 @@ def main(argv: list[str] | None = None) -> int:
                              "'link_crc:rate=1e-3'")
     parser.add_argument("--seed", type=int, default=0,
                         help="fault-injection seed (default: 0)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size for the classic kernels and "
+                             "the --table3 sweep (default: 1 = in-process)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="with --table3: split the ratio sweep into N "
+                             "row groups for the pool (default: 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache even when "
+                             "$REPRO_CACHE_DIR is configured")
     args = parser.parse_args(argv)
 
     system = e870()
     if args.inject is not None and not (args.table3 or args.ratio is not None):
         parser.error("--inject applies to the --ratio and --table3 modes")
+    if args.workers < 1 or args.shards < 1:
+        parser.error("--workers and --shards must be >= 1")
+    if args.shards > 1 and not args.table3:
+        parser.error("--shards applies to the --table3 sweep")
+
+    if args.table3 and args.shards > 1 and args.inject is None:
+        from ..parallel.pool import ShardPool
+        from ..parallel.shards import split_blocks
+        from ..perfmodel.stream_model import TABLE3_RATIOS
+
+        spans = split_blocks(len(TABLE3_RATIOS), args.shards)
+        tasks = [
+            (system, TABLE3_RATIOS[r0:r1]) for r0, r1 in spans if r1 > r0
+        ]
+        for group in ShardPool(args.workers).map(_table3_worker, tasks):
+            for row in group:
+                print(f"{row['read']:>4.0f}:{row['write']:<4.0f} "
+                      f"{row['bandwidth'] / GB:8.1f} GB/s")
+        return 0
 
     if args.table3:
         if args.inject is not None:
@@ -104,12 +147,45 @@ def main(argv: list[str] | None = None) -> int:
         print(line)
         return 0
 
-    kernels = StreamKernels(system, elements=1 << 16)
+    elements = 1 << 16
+    cache = key = None
+    if not args.no_cache and os.environ.get("REPRO_CACHE_DIR"):
+        from ..parallel.cache import ResultCache
+
+        cache = ResultCache()
+        key = cache.key(
+            machine=system,
+            workload={"tool": "stream", "mode": "classic", "elements": elements},
+        )
+        payload = cache.get(key)
+        if payload is not None and not args.counters:
+            print("[cache hit classic kernels]", file=sys.stderr)
+            print(f"{'kernel':8} {'mix':>6} {'GB/s':>9}")
+            for row in payload["rows"]:
+                print(f"{row['kernel']:8} {row['read_ratio']:>4.0f}:1 "
+                      f"{row['bandwidth'] / GB:>9.1f}")
+            return 0
+
     print(f"{'kernel':8} {'mix':>6} {'GB/s':>9}")
-    results = kernels.all_classic()
+    if args.workers > 1:
+        from ..parallel.pool import ShardPool
+
+        tasks = [(system, elements, kernel) for kernel in _CLASSIC]
+        results = ShardPool(args.workers).map(_classic_worker, tasks)
+    else:
+        results = StreamKernels(system, elements=elements).all_classic()
     for result in results:
         print(f"{result.kernel:8} {result.read_ratio:>4.0f}:1 "
               f"{result.modeled_bandwidth / GB:>9.1f}")
+    if cache is not None:
+        cache.put(key, {"rows": [
+            {
+                "kernel": r.kernel,
+                "read_ratio": float(r.read_ratio),
+                "bandwidth": float(r.modeled_bandwidth),
+            }
+            for r in results
+        ]})
     if args.counters:
         from ..mem.centaur import link_byte_counters
         from ..reporting.tables import format_counter_table

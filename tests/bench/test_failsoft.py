@@ -119,6 +119,33 @@ class TestFailSoft:
         assert "ExperimentTimeout" in result.error
         assert elapsed < 4.0  # the suite did not wait out the sleep
 
+    def test_timed_out_experiment_leaves_only_daemon_threads(self, e870_system):
+        # A wedged experiment thread must not block interpreter (or
+        # multiprocessing pool worker) shutdown: whatever the timeout
+        # path leaves behind has to be a daemon.  A non-daemon leak here
+        # turns one timeout into a hung pool in repro.parallel.
+        import threading
+
+        release = threading.Event()
+
+        def wedged(system):
+            release.wait(30.0)
+            return _ok_result("wedged")
+
+        _register("wedged", wedged)
+        try:
+            before = set(threading.enumerate())
+            result = run_with_policy(
+                "wedged", e870_system, RunPolicy(timeout_s=0.1, retries=0)
+            )
+            leaked = [t for t in threading.enumerate() if t not in before]
+        finally:
+            release.set()  # let the wedged thread finish promptly
+            del _REGISTRY["wedged"]
+        assert not result.ok
+        assert leaked, "the wedged experiment thread should still be alive"
+        assert all(t.daemon for t in leaked)
+
     def test_fail_fast_raises(self, e870_system):
         def boom(system):
             raise RuntimeError("deliberate failure")
@@ -149,3 +176,13 @@ class TestFailSoft:
         assert result.ok
         assert result.attempts == 1
         assert result.elapsed_s >= 0.0
+
+    def test_pooled_suite_matches_serial_suite(self, e870_system):
+        ids = ["table1", "table2"]
+        serial = run_suite(ids, e870_system, FAST, workers=1)
+        pooled = run_suite(ids, e870_system, FAST, workers=2)
+        assert [r.experiment_id for r in pooled] == ids
+        for s, p in zip(serial, pooled):
+            assert s.ok and p.ok
+            assert s.headers == p.headers
+            assert s.rows == p.rows

@@ -1,0 +1,111 @@
+"""Golden-value generator for the sharded-execution regression test.
+
+One canonical sharded run per workload family — memory chase with RAS
+injection, multi-core chip trace, Jaccard, CSR SpMV, two-scan SpMV and
+the HF ERI tensor — pinning the merged PMU counters, summary scalars
+and a SHA-256 over each merged output array's bytes.  Everything is
+seeded, so these values are stable across runs and worker counts; after
+an *intentional* change to shard planning, sub-seed folding or merge
+semantics, regenerate with::
+
+    PYTHONPATH=src python -m tests.parallel.regen_golden
+
+and commit the updated ``golden_sharded.json`` with the change that
+motivated it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.apps.hf.basis import h_chain
+from repro.apps.spmv.csr import CSRSpMV  # noqa: F401  (documents the oracle)
+from repro.arch import e870
+from repro.mem.trace import random_chase_addresses, uniform_random_addresses
+from repro.parallel import (
+    run_trace_sharded,
+    sharded_csr_spmv,
+    sharded_eri_tensor,
+    sharded_jaccard,
+    sharded_twoscan_spmv,
+)
+from repro.workloads.rmat import RMATConfig, rmat_adjacency
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden_sharded.json"
+
+SEED = 2016
+SHARDS = 7
+INJECT = "dram_bit:rate=0.001;tlb_parity:rate=0.0005;ecc:chipkill"
+
+
+def _sha(arr: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
+
+
+def golden_payload() -> dict:
+    chip = e870().chip
+    line = chip.core.l1d.line_size
+
+    # Memory chase through the batch engine, with fault injection.
+    chase = random_chase_addresses(4096 * line, line, passes=3, seed=SEED)
+    mem = run_trace_sharded(chip, chase, shards=SHARDS, seed=SEED, inject=INJECT)
+
+    # Interleaved multi-core trace through the chip simulator.
+    addrs = uniform_random_addresses(2048 * line, line, count=12_000, seed=SEED)
+    rng = np.random.default_rng(SEED)
+    cores = rng.integers(0, chip.cores_per_chip, size=addrs.size)
+    writes = rng.random(addrs.size) < 0.25
+    sim = run_trace_sharded(
+        chip, addrs, writes, cores=cores, shards=SHARDS, seed=SEED
+    )
+
+    adj = rmat_adjacency(RMATConfig(scale=8, edge_factor=8, seed=SEED))
+    jac = sharded_jaccard(adj, shards=SHARDS, block_cols=64)
+
+    m = sp.random(
+        500, 500, density=0.02,
+        random_state=np.random.default_rng(SEED), format="csr",
+    )
+    x = np.random.default_rng(SEED).standard_normal(500)
+    csr_y = sharded_csr_spmv(m, x, shards=SHARDS)
+    two_y = sharded_twoscan_spmv(m, x, shards=SHARDS)
+
+    eri = sharded_eri_tensor(h_chain(4), shards=SHARDS)
+
+    return {
+        "workload": {"seed": SEED, "shards": SHARDS, "inject": INJECT},
+        "mem": {
+            "counters": {k: int(v) for k, v in sorted(mem.bank.items()) if v},
+            "mean_latency_ns": float(mem.mean_latency_ns),
+            "latency_sha256": _sha(mem.trace.latency_ns),
+            "level_codes_sha256": _sha(mem.trace.level_codes),
+            "ras_event_count": len(mem.ras_events),
+        },
+        "chip": {
+            "counters": {k: int(v) for k, v in sorted(sim.bank.items()) if v},
+            "mean_latency_ns": float(sim.mean_latency_ns),
+            "latency_sha256": _sha(sim.trace.latency_ns),
+        },
+        "apps": {
+            "jaccard_nnz": int(jac.nnz),
+            "jaccard_sha256": _sha(jac.data),
+            "csr_sha256": _sha(csr_y),
+            "twoscan_sha256": _sha(two_y),
+            "eri_sha256": _sha(eri),
+        },
+    }
+
+
+def main() -> None:
+    payload = golden_payload()
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Content-addressed result cache: keys, round-trips, CLI integration."""
+
+import json
+
+import pytest
+
+from repro.arch import e870
+from repro.bench.__main__ import main as bench_main
+from repro.parallel import ResultCache
+from repro.tools.lat_mem import main as lat_mem_main
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def test_round_trip(cache):
+    key = cache.key(machine=e870(), workload={"experiment": "table1"})
+    assert cache.get(key) is None
+    cache.put(key, {"rows": [1, 2, 3]})
+    assert cache.get(key) == {"rows": [1, 2, 3]}
+    assert cache.misses == 1 and cache.hits == 1
+
+
+def test_key_is_content_addressed(cache):
+    base = dict(machine=e870(), workload={"experiment": "table1"}, seed=0)
+    key = cache.key(**base)
+    assert key == cache.key(**base)  # pure function of the content
+    assert key != cache.key(**{**base, "seed": 1})
+    assert key != cache.key(**{**base, "workload": {"experiment": "table2"}})
+    other_machine = e870().chip  # different spec repr → different key
+    assert key != cache.key(**{**base, "machine": other_machine})
+
+
+def test_corrupt_entry_is_a_miss(cache):
+    key = cache.key(machine=e870(), workload={"w": 1})
+    path = cache.put(key, {"value": 7})
+    path.write_text("{ not json")
+    assert cache.get(key) is None
+
+
+def test_version_mismatch_is_a_miss(cache):
+    key = cache.key(machine=e870(), workload={"w": 2})
+    path = cache.put(key, {"value": 9})
+    entry = json.loads(path.read_text())
+    entry["cache_version"] = -1
+    path.write_text(json.dumps(entry))
+    assert cache.get(key) is None
+
+
+def test_entry_is_self_describing(cache):
+    key = cache.key(machine=e870(), workload={"w": 3})
+    entry = json.loads(cache.put(key, {"value": 11}).read_text())
+    assert entry["key"] == key
+    assert entry["payload"] == {"value": 11}
+
+
+def test_bench_cli_second_run_hits_the_cache(tmp_path, capsys):
+    argv = ["table1", "--cache-dir", str(tmp_path / "cache")]
+    assert bench_main(argv) == 0
+    first = capsys.readouterr().out
+    assert "cache hit" not in first
+    assert bench_main(argv) == 0
+    second = capsys.readouterr().out
+    assert "[cache hit table1]" in second
+    # The cached render is the fresh render, byte for byte.
+    stripped = "\n".join(
+        line for line in second.splitlines() if "cache hit" not in line
+    )
+    assert stripped.strip() == first.strip()
+
+
+def test_bench_cli_no_cache_flag_bypasses(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert bench_main(["table1", "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    assert bench_main(["table1", "--cache-dir", cache_dir, "--no-cache"]) == 0
+    assert "cache hit" not in capsys.readouterr().out
+
+
+def test_lat_mem_cli_cache_hit(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    argv = ["--trace", "--size", "64K"]
+    assert lat_mem_main(argv) == 0
+    first = capsys.readouterr()
+    assert "cache hit" not in first.err
+    assert lat_mem_main(argv) == 0
+    second = capsys.readouterr()
+    assert "cache hit" in second.err
+    assert second.out == first.out

@@ -1,0 +1,140 @@
+"""Shard-vs-serial conformance for the three app kernels.
+
+Each sharded driver must reproduce its serial kernel *exactly* —
+``np.array_equal`` on dense arrays, zero-nonzero difference on sparse —
+because the shard plans were designed to preserve the serial kernel's
+floating-point accumulation order (or, for ERI, to partition disjoint
+symmetry orbits).  Quick smokes run unmarked; wide sweeps are ``slow``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.apps.hf.basis import h_chain, h_ring
+from repro.apps.hf.integrals import eri_tensor
+from repro.apps.hf.screening import SchwarzScreening
+from repro.apps.jaccard.blocked import all_pairs_jaccard_blocked
+from repro.apps.spmv.csr import CSRSpMV
+from repro.apps.spmv.twoscan import TwoScanSpMV
+from repro.parallel import (
+    sharded_csr_spmv,
+    sharded_eri_tensor,
+    sharded_jaccard,
+    sharded_twoscan_spmv,
+)
+from repro.workloads.rmat import RMATConfig, rmat_adjacency
+
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
+QUICK_SHARDS = (1, 2, 7)
+DEEP_SHARDS = (16,)
+
+
+def rmat(scale=8, seed=0):
+    return rmat_adjacency(RMATConfig(scale=scale, edge_factor=8, seed=seed))
+
+
+def random_csr(n, density, seed):
+    rng = np.random.default_rng(seed)
+    return sp.random(n, n, density=density, random_state=rng, format="csr")
+
+
+@pytest.mark.parametrize("shards", QUICK_SHARDS)
+def test_jaccard_matches_serial_blocked_kernel(shards):
+    adj = rmat(scale=8, seed=1)
+    block_cols = 64
+    ref = all_pairs_jaccard_blocked(adj, block_cols=block_cols).similarity
+    got = sharded_jaccard(
+        adj, shards=shards, workers=WORKERS, block_cols=block_cols
+    )
+    assert (ref != got).nnz == 0
+    assert np.array_equal(ref.data, got.data)
+    assert np.array_equal(ref.indices, got.indices)
+    assert np.array_equal(ref.indptr, got.indptr)
+
+
+@pytest.mark.parametrize("shards", QUICK_SHARDS)
+def test_csr_spmv_matches_serial_executor(shards):
+    m = random_csr(500, 0.02, seed=2)
+    x = np.random.default_rng(2).standard_normal(500)
+    ref = CSRSpMV(m).multiply(x)
+    got = sharded_csr_spmv(m, x, shards=shards, workers=WORKERS)
+    assert np.array_equal(ref, got)
+
+
+@pytest.mark.parametrize("shards", QUICK_SHARDS)
+def test_twoscan_spmv_matches_serial_executor(shards):
+    m = random_csr(400, 0.03, seed=3)
+    x = np.random.default_rng(3).standard_normal(400)
+    ref = TwoScanSpMV(m).multiply(x)
+    got = sharded_twoscan_spmv(m, x, shards=shards, workers=WORKERS)
+    assert np.array_equal(ref, got)
+
+
+def test_twoscan_custom_block_width_still_matches():
+    m = random_csr(300, 0.05, seed=4)
+    x = np.random.default_rng(4).standard_normal(300)
+    ref = TwoScanSpMV(m, block_width=64).multiply(x)
+    got = sharded_twoscan_spmv(m, x, shards=5, workers=WORKERS, block_width=64)
+    assert np.array_equal(ref, got)
+
+
+@pytest.mark.parametrize("shards", QUICK_SHARDS)
+def test_eri_tensor_matches_serial_loop(shards):
+    mol = h_chain(4)
+    ref = eri_tensor(mol)
+    got = sharded_eri_tensor(mol, shards=shards, workers=WORKERS)
+    assert np.array_equal(ref, got)
+
+
+def test_eri_tensor_with_schwarz_screening():
+    mol = h_chain(6, spacing=2.2)
+    screen = SchwarzScreening(mol)
+    ref = eri_tensor(mol, screening=screen)
+    got = sharded_eri_tensor(mol, shards=3, workers=WORKERS, screening=screen)
+    assert np.array_equal(ref, got)
+
+
+def test_worker_count_never_changes_app_results():
+    m = random_csr(350, 0.03, seed=6)
+    x = np.random.default_rng(6).standard_normal(350)
+    serial = sharded_csr_spmv(m, x, shards=6, workers=1)
+    pooled = sharded_csr_spmv(m, x, shards=6, workers=WORKERS)
+    assert np.array_equal(serial, pooled)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shards", DEEP_SHARDS)
+def test_jaccard_deep_sweep(shards):
+    adj = rmat(scale=10, seed=8)
+    ref = all_pairs_jaccard_blocked(adj, block_cols=128).similarity
+    got = sharded_jaccard(adj, shards=shards, workers=WORKERS, block_cols=128)
+    assert (ref != got).nnz == 0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shards", DEEP_SHARDS)
+@pytest.mark.parametrize("seed", [0, 21])
+def test_spmv_deep_sweep(shards, seed):
+    m = random_csr(2000, 0.01, seed=seed)
+    x = np.random.default_rng(seed).standard_normal(2000)
+    assert np.array_equal(
+        CSRSpMV(m).multiply(x),
+        sharded_csr_spmv(m, x, shards=shards, workers=WORKERS),
+    )
+    assert np.array_equal(
+        TwoScanSpMV(m).multiply(x),
+        sharded_twoscan_spmv(m, x, shards=shards, workers=WORKERS),
+    )
+
+
+@pytest.mark.slow
+def test_eri_deep_sweep():
+    mol = h_ring(6)
+    ref = eri_tensor(mol)
+    for shards in (2, 7, 16):
+        assert np.array_equal(
+            ref, sharded_eri_tensor(mol, shards=shards, workers=WORKERS)
+        )

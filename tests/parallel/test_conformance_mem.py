@@ -1,0 +1,156 @@
+"""Shard-vs-serial conformance for the memory-hierarchy engines.
+
+The serial oracle is the *same shard plan* executed in-process
+(``workers=1``); multiprocess runs must match it bit-for-bit —
+latencies, level codes, translation cycles, merged PMU banks, summed
+stats, and RAS fault outcomes.  A 1-shard plan additionally matches the
+plain unsharded engine.  Quick smokes run unmarked on small traces;
+wider sweeps carry ``@pytest.mark.slow``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.coherence.chipsim import ChipSimulator
+from repro.mem.batch import BatchMemoryHierarchy
+from repro.mem.trace import random_chase_addresses, uniform_random_addresses
+from repro.parallel import run_trace_sharded, sharded_traced_latency
+from repro.pmu import read_counters
+
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
+INJECT = "dram_bit:rate=0.001;tlb_parity:rate=0.0005;ecc:chipkill"
+
+QUICK_SHARDS = (1, 2, 7)
+DEEP_SHARDS = (16,)
+
+
+def assert_results_identical(oracle, pooled):
+    assert np.array_equal(oracle.trace.latency_ns, pooled.trace.latency_ns)
+    assert np.array_equal(oracle.trace.level_codes, pooled.trace.level_codes)
+    assert np.array_equal(
+        oracle.trace.translation_cycles, pooled.trace.translation_cycles
+    )
+    assert dict(oracle.bank) == dict(pooled.bank)
+    assert [dict(b) for b in oracle.shard_banks] == [
+        dict(b) for b in pooled.shard_banks
+    ]
+    assert oracle.stats == pooled.stats
+    assert oracle.ras_events == pooled.ras_events
+    assert oracle.ras_derived == pooled.ras_derived
+
+
+def chase(n_lines, chip, passes=2, seed=0):
+    return random_chase_addresses(
+        n_lines * chip.core.l1d.line_size, chip.core.l1d.line_size,
+        passes=passes, seed=seed,
+    )
+
+
+@pytest.mark.parametrize("shards", QUICK_SHARDS)
+def test_batch_engine_pool_matches_serial_oracle(p8_chip, shards):
+    addrs = chase(4096, p8_chip, passes=3)
+    oracle = run_trace_sharded(p8_chip, addrs, shards=shards, workers=1)
+    pooled = run_trace_sharded(p8_chip, addrs, shards=shards, workers=WORKERS)
+    assert_results_identical(oracle, pooled)
+
+
+@pytest.mark.parametrize("shards", QUICK_SHARDS)
+def test_batch_engine_with_ras_injection(p8_chip, shards):
+    addrs = chase(4096, p8_chip, passes=3, seed=7)
+    oracle = run_trace_sharded(
+        p8_chip, addrs, shards=shards, workers=1, inject=INJECT, seed=7
+    )
+    pooled = run_trace_sharded(
+        p8_chip, addrs, shards=shards, workers=WORKERS, inject=INJECT, seed=7
+    )
+    assert_results_identical(oracle, pooled)
+    if shards > 1:
+        # The fault plan actually fired somewhere, so the RAS half of
+        # the conformance claim is non-vacuous.
+        assert oracle.ras_events
+
+
+@pytest.mark.parametrize("shards", QUICK_SHARDS)
+def test_chip_engine_pool_matches_serial_oracle(p8_chip, shards):
+    line = p8_chip.core.l1d.line_size
+    addrs = uniform_random_addresses(2048 * line, line, count=12_000, seed=3)
+    rng = np.random.default_rng(3)
+    cores = rng.integers(0, p8_chip.cores_per_chip, size=addrs.size)
+    writes = rng.random(addrs.size) < 0.25
+    oracle = run_trace_sharded(
+        p8_chip, addrs, writes, cores=cores, shards=shards, workers=1
+    )
+    pooled = run_trace_sharded(
+        p8_chip, addrs, writes, cores=cores, shards=shards, workers=WORKERS
+    )
+    assert_results_identical(oracle, pooled)
+
+
+def test_single_shard_plan_is_the_plain_batch_engine(p8_chip):
+    addrs = chase(2048, p8_chip, passes=2)
+    sharded = run_trace_sharded(p8_chip, addrs, shards=1, workers=1)
+    hier = BatchMemoryHierarchy(p8_chip)
+    direct = hier.access_trace(addrs)
+    assert np.array_equal(sharded.trace.latency_ns, direct.latency_ns)
+    assert np.array_equal(sharded.trace.level_codes, direct.level_codes)
+    assert dict(sharded.bank) == dict(read_counters(hier))
+    assert sharded.stats == hier.stats
+
+
+def test_single_shard_plan_is_the_plain_chip_engine(p8_chip):
+    line = p8_chip.core.l1d.line_size
+    addrs = uniform_random_addresses(512 * line, line, count=4_000, seed=5)
+    cores = np.arange(addrs.size) % p8_chip.cores_per_chip
+    sharded = run_trace_sharded(p8_chip, addrs, cores=cores, shards=1, workers=1)
+    sim = ChipSimulator(p8_chip)
+    direct = sim.access_trace(cores, addrs)
+    assert np.array_equal(sharded.trace.latency_ns, direct.latency_ns)
+    assert np.array_equal(sharded.trace.level_codes, direct.level_codes)
+    assert dict(sharded.bank) == dict(read_counters(sim))
+    assert sharded.stats == sim.stats
+
+
+def test_sharded_traced_latency_is_worker_invariant(e870_system):
+    serial_lat, serial = sharded_traced_latency(
+        e870_system, 256 << 10, shards=4, workers=1
+    )
+    pooled_lat, pooled = sharded_traced_latency(
+        e870_system, 256 << 10, shards=4, workers=WORKERS
+    )
+    assert serial_lat == pooled_lat
+    assert_results_identical(serial, pooled)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shards", DEEP_SHARDS)
+@pytest.mark.parametrize("seed", [0, 11, 12345])
+def test_batch_engine_deep_sweep(p8_chip, shards, seed):
+    addrs = chase(8192, p8_chip, passes=4, seed=seed)
+    oracle = run_trace_sharded(
+        p8_chip, addrs, shards=shards, workers=1, inject=INJECT, seed=seed
+    )
+    pooled = run_trace_sharded(
+        p8_chip, addrs, shards=shards, workers=WORKERS, inject=INJECT, seed=seed
+    )
+    assert_results_identical(oracle, pooled)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shards", DEEP_SHARDS)
+def test_chip_engine_deep_sweep(p8_chip, shards):
+    line = p8_chip.core.l1d.line_size
+    addrs = uniform_random_addresses(8192 * line, line, count=60_000, seed=9)
+    rng = np.random.default_rng(9)
+    cores = rng.integers(0, p8_chip.cores_per_chip, size=addrs.size)
+    writes = rng.random(addrs.size) < 0.4
+    oracle = run_trace_sharded(
+        p8_chip, addrs, writes, cores=cores, shards=shards, workers=1,
+        inject=INJECT, seed=9,
+    )
+    pooled = run_trace_sharded(
+        p8_chip, addrs, writes, cores=cores, shards=shards, workers=WORKERS,
+        inject=INJECT, seed=9,
+    )
+    assert_results_identical(oracle, pooled)

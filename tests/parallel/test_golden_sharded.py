@@ -1,0 +1,43 @@
+"""Seed-determinism regression: canonical sharded runs pinned to golden JSON.
+
+These values were produced by ``tests/parallel/regen_golden.py`` — one
+canonical sharded run per workload family.  A failure here means shard
+planning, sub-seed folding, merge semantics, or an underlying engine
+changed behaviour; if the change was intentional, regenerate with::
+
+    PYTHONPATH=src python -m tests.parallel.regen_golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tests.parallel.regen_golden import GOLDEN_PATH, golden_payload
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(Path(GOLDEN_PATH).read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def current():
+    return golden_payload()
+
+
+def test_golden_file_matches_generator_config(golden):
+    assert golden["workload"]["seed"] == 2016
+    assert golden["workload"]["shards"] == 7
+
+
+def test_merged_memory_counters_are_pinned(golden, current):
+    assert current["mem"] == golden["mem"]
+
+
+def test_merged_chip_counters_are_pinned(golden, current):
+    assert current["chip"] == golden["chip"]
+
+
+def test_app_outputs_are_pinned(golden, current):
+    assert current["apps"] == golden["apps"]

@@ -1,0 +1,113 @@
+"""Merge semantics: scatter permutation, histogram reduction, RAS union."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.parallel import (
+    DEFAULT_LATENCY_EDGES,
+    LatencyHistogram,
+    interleave_trace,
+    scatter_shard_arrays,
+    union_ras_events,
+)
+from repro.pmu import CounterBank
+
+# The default edges cover [0, inf), so every non-negative sample bins —
+# including sub-ns modelled L1 hits.
+latencies = st.lists(
+    st.floats(min_value=0.0, max_value=2000.0, allow_nan=False),
+    min_size=0, max_size=300,
+)
+
+
+@given(values=latencies, shards=st.integers(min_value=1, max_value=9))
+def test_merged_histogram_equals_histogram_of_merged_array(values, shards):
+    arr = np.asarray(values, dtype=np.float64)
+    # Any partition works; reuse the line-interleave as a convenient one.
+    indices = interleave_trace((arr * 128).astype(np.int64), 128, shards)
+    parts = [LatencyHistogram.of(arr[ix]) for ix in indices]
+    merged = LatencyHistogram.merge(parts)
+    whole = LatencyHistogram.of(arr)
+    assert np.array_equal(merged.counts, whole.counts)
+    assert merged.total == arr.size
+
+
+def test_histogram_merge_rejects_mismatched_edges():
+    a = LatencyHistogram.of(np.array([1.0, 5.0]))
+    b = LatencyHistogram.of(np.array([2.0]), edges=np.array([0.0, 10.0, np.inf]))
+    with pytest.raises(ValueError):
+        LatencyHistogram.merge([a, b])
+
+
+def test_histogram_merge_of_nothing_is_empty():
+    merged = LatencyHistogram.merge([])
+    assert merged.total == 0
+    assert np.array_equal(merged.edges, DEFAULT_LATENCY_EDGES)
+
+
+@given(
+    n=st.integers(min_value=0, max_value=200),
+    shards=st.integers(min_value=1, max_value=9),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_scatter_inverts_the_shard_gather(n, shards, seed):
+    rng = np.random.default_rng(seed)
+    original = rng.integers(0, 1 << 20, size=n).astype(np.int64)
+    indices = interleave_trace(original, 128, shards)
+    arrays = [original[ix] for ix in indices]
+    merged = scatter_shard_arrays(n, indices, arrays, dtype=np.int64)
+    assert np.array_equal(merged, original)
+
+
+def test_scatter_rejects_size_mismatch():
+    with pytest.raises(ValueError, match="size mismatch"):
+        scatter_shard_arrays(
+            2,
+            [np.array([0, 1])],
+            [np.array([5.0])],
+            dtype=np.float64,
+        )
+
+
+def test_scatter_rejects_incomplete_coverage():
+    with pytest.raises(ValueError, match="cover"):
+        scatter_shard_arrays(
+            3,
+            [np.array([0, 1])],
+            [np.array([5.0, 6.0])],
+            dtype=np.float64,
+        )
+
+
+def test_ras_union_keeps_shard_then_event_order():
+    events = [
+        [("f0", "v0"), ("f1", "v1")],
+        [],
+        [("f2", "v2")],
+    ]
+    assert union_ras_events(events) == [
+        (0, "f0", "v0"),
+        (0, "f1", "v1"),
+        (2, "f2", "v2"),
+    ]
+
+
+bank_dicts = st.dictionaries(
+    st.sampled_from(["PM_LD_MISS_L1", "PM_DATA_FROM_L2", "PM_RUN_CYC",
+                     "PM_DTLB_MISS", "PM_INST_CMPL"]),
+    st.integers(min_value=0, max_value=1 << 40),
+    max_size=5,
+)
+
+
+@given(banks=st.lists(bank_dicts, min_size=0, max_size=6))
+def test_counterbank_merge_is_order_free(banks):
+    forward = CounterBank.merge(banks)
+    backward = CounterBank.merge(reversed(banks))
+    assert dict(forward) == dict(backward)
+    sequential = CounterBank()
+    for bank in banks:
+        sequential.add_events(bank)
+    assert dict(forward) == dict(sequential)

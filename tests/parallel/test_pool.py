@@ -1,0 +1,57 @@
+"""ShardPool behaviour: ordering, serial short-circuit, clamping."""
+
+import os
+
+import pytest
+
+from repro.parallel import ShardPool
+from repro.parallel.pool import default_workers
+
+
+def _square(task):
+    return (os.getpid(), task * task)
+
+
+def _raise(task):
+    raise RuntimeError(f"task {task} failed")
+
+
+def test_results_come_back_in_task_order():
+    tasks = list(range(17))
+    results = ShardPool(2).map(_square, tasks)
+    assert [value for _, value in results] == [t * t for t in tasks]
+
+
+def test_serial_pool_runs_in_process():
+    parent = os.getpid()
+    for workers in (0, 1):
+        results = ShardPool(workers).map(_square, [1, 2, 3])
+        assert all(pid == parent for pid, _ in results)
+
+
+def test_single_task_stays_in_process():
+    # Pool start-up for one task is pure overhead; it runs inline.
+    [(pid, value)] = ShardPool(4).map(_square, [9])
+    assert pid == os.getpid()
+    assert value == 81
+
+
+def test_worker_exceptions_propagate():
+    with pytest.raises(RuntimeError, match="task 2 failed"):
+        ShardPool(2).map(_raise, [2, 3])
+
+
+def test_negative_workers_rejected():
+    with pytest.raises(ValueError):
+        ShardPool(-1)
+
+
+def test_pool_matches_serial_map():
+    tasks = list(range(11))
+    serial = [v for _, v in ShardPool(1).map(_square, tasks)]
+    pooled = [v for _, v in ShardPool(3).map(_square, tasks)]
+    assert pooled == serial
+
+
+def test_default_workers_positive():
+    assert default_workers() >= 1

@@ -1,0 +1,45 @@
+"""Shard sub-seed derivation: deterministic, distinct, and 1-shard-neutral."""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.parallel import shard_seed, shard_seeds
+
+seeds = st.integers(min_value=0, max_value=(1 << 64) - 1)
+shard_counts = st.integers(min_value=2, max_value=64)
+
+
+def test_single_shard_keeps_the_plan_seed():
+    # A 1-shard plan must degenerate to the plain serial engine, which
+    # includes feeding it the unmodified plan seed.
+    for seed in (0, 1, 42, (1 << 63) + 17):
+        assert shard_seed(seed, 0, shards=1) == seed
+        assert shard_seeds(seed, 1) == [seed]
+
+
+@given(seed=seeds, shards=shard_counts)
+def test_sub_seeds_are_deterministic_and_distinct(seed, shards):
+    first = shard_seeds(seed, shards)
+    assert first == shard_seeds(seed, shards)
+    assert len(set(first)) == shards
+    assert all(0 <= s < (1 << 64) for s in first)
+
+
+@given(seed=seeds, shards=shard_counts)
+def test_sub_seeds_depend_on_shard_count(seed, shards):
+    # Folding the shard count in keeps (seed, shard_id) pairs from
+    # colliding across different plans of the same trace.
+    a = shard_seeds(seed, shards)
+    b = shard_seeds(seed, shards + 1)
+    assert a != b[: len(a)]
+
+
+def test_shard_id_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        shard_seed(0, -1, shards=4)
+    with pytest.raises(ValueError):
+        shard_seed(0, 1, shards=1)
+    with pytest.raises(ValueError):
+        shard_seeds(0, 0)

@@ -1,0 +1,105 @@
+"""Shard-plan purity: every builder is a pure function of its inputs."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.parallel import (
+    interleave_trace,
+    row_block_spans,
+    shell_pair_batches,
+    split_blocks,
+    tile_column_spans,
+)
+
+shard_counts = st.integers(min_value=1, max_value=16)
+
+
+@given(
+    addrs=st.lists(st.integers(min_value=0, max_value=(1 << 30) - 1),
+                   min_size=0, max_size=400),
+    shards=shard_counts,
+)
+def test_interleave_partitions_the_trace(addrs, shards):
+    arr = np.asarray(addrs, dtype=np.int64)
+    indices = interleave_trace(arr, 128, shards)
+    assert len(indices) == shards
+    # A partition of range(n): disjoint, complete, order-preserving.
+    merged = np.concatenate([ix for ix in indices]) if shards else arr
+    assert sorted(merged.tolist()) == list(range(arr.size))
+    for ix in indices:
+        assert np.all(np.diff(ix) > 0) or ix.size <= 1
+
+
+@given(
+    addrs=st.lists(st.integers(min_value=0, max_value=(1 << 30) - 1),
+                   min_size=1, max_size=400),
+    shards=st.integers(min_value=2, max_value=16),
+)
+def test_interleave_keeps_lines_together(addrs, shards):
+    # All accesses to one cache line must land in one shard, or the
+    # per-shard simulated cache state would be inconsistent.
+    arr = np.asarray(addrs, dtype=np.int64)
+    line_size = 128
+    indices = interleave_trace(arr, line_size, shards)
+    owner = {}
+    for s, ix in enumerate(indices):
+        for ln in (arr[ix] // line_size).tolist():
+            assert owner.setdefault(ln, s) == s
+
+
+def test_interleave_single_shard_is_identity():
+    arr = np.arange(10, dtype=np.int64) * 128
+    (ix,) = interleave_trace(arr, 128, 1)
+    assert np.array_equal(ix, np.arange(10))
+
+
+@given(total=st.integers(min_value=0, max_value=2000), shards=shard_counts)
+def test_split_blocks_partitions(total, shards):
+    spans = split_blocks(total, shards)
+    assert len(spans) == shards
+    assert spans[0][0] == 0 and spans[-1][1] == total
+    for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+        assert a1 == b0 and a0 <= a1
+    sizes = [e - s for s, e in spans]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@given(
+    n_cols=st.integers(min_value=0, max_value=5000),
+    block=st.integers(min_value=1, max_value=512),
+    shards=shard_counts,
+)
+def test_tile_spans_fall_on_block_boundaries(n_cols, block, shards):
+    spans = tile_column_spans(n_cols, block, shards)
+    assert len(spans) == shards
+    assert spans[-1][1] == n_cols or n_cols == 0
+    for start, end in spans:
+        # Starts are block-aligned except trailing empty shards, which
+        # clamp to (n_cols, n_cols).
+        assert start % block == 0 or start == end == n_cols
+        assert start <= end <= n_cols
+
+
+@given(n_rows=st.integers(min_value=0, max_value=5000), shards=shard_counts)
+def test_row_block_spans_cover_all_rows(n_rows, shards):
+    spans = row_block_spans(n_rows, shards)
+    assert spans[0][0] == 0 and spans[-1][1] == n_rows
+
+
+@given(nbf=st.integers(min_value=0, max_value=24), shards=shard_counts)
+def test_shell_pair_batches_walk_the_canonical_loop(nbf, shards):
+    batches = shell_pair_batches(nbf, shards)
+    assert len(batches) == shards
+    flat = [p for batch in batches for p in batch]
+    assert flat == [(i, j) for i in range(nbf) for j in range(i + 1)]
+
+
+def test_invalid_shard_counts_raise():
+    with pytest.raises(ValueError):
+        interleave_trace(np.zeros(1, dtype=np.int64), 128, 0)
+    with pytest.raises(ValueError):
+        split_blocks(10, 0)
+    with pytest.raises(ValueError):
+        tile_column_spans(10, 0, 2)

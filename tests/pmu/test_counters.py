@@ -59,6 +59,39 @@ def test_bank_export_roundtrip():
     assert bank.rows() == [("A", 1), ("B", 2)]
 
 
+def test_bank_merge_is_commutative_and_associative():
+    a = {"A": 1, "B": 2}
+    b = {"B": 3, "C": 4}
+    c = {"A": 5, "C": 6}
+    ab_c = CounterBank.merge([CounterBank.merge([a, b]), c])
+    a_bc = CounterBank.merge([a, CounterBank.merge([b, c])])
+    cba = CounterBank.merge([c, b, a])
+    assert dict(ab_c) == dict(a_bc) == dict(cba) == {"A": 6, "B": 5, "C": 10}
+
+
+def test_bank_merge_identity_is_the_empty_bank():
+    bank = {"A": 7, "B": 1}
+    merged = CounterBank.merge([CounterBank(), bank, CounterBank()])
+    assert dict(merged) == bank
+    assert dict(CounterBank.merge([])) == {}
+
+
+def test_bank_merge_equals_sequential_add_events():
+    parts = [{"A": 1}, {"A": 2, "B": 3}, {"C": 4}]
+    sequential = CounterBank()
+    for part in parts:
+        sequential.add_events(part)
+    assert dict(CounterBank.merge(parts)) == dict(sequential)
+
+
+def test_bank_merge_leaves_inputs_untouched():
+    a = CounterBank({"A": 1})
+    b = CounterBank({"A": 2})
+    merged = CounterBank.merge([a, b])
+    merged.inc("A", 100)
+    assert a["A"] == 1 and b["A"] == 2
+
+
 # -- event taxonomy --------------------------------------------------------
 def test_every_named_event_is_registered():
     for name, value in vars(ev).items():

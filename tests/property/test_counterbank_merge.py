@@ -1,0 +1,82 @@
+"""Hypothesis properties: CounterBank.merge is a lawful monoid reduction.
+
+The sharded execution layer (:mod:`repro.parallel`) leans on three
+algebraic facts — merge is commutative, associative, and has the empty
+bank as identity — plus one physical one: merging banks harvested from
+real engine runs preserves every linear conservation invariant, because
+the invariants are linear in the counters and each shard's bank
+satisfies them individually.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.arch import e870
+from repro.mem.batch import BatchMemoryHierarchy
+from repro.pmu import CounterBank, assert_conservation, read_counters
+
+CHIP = e870().chip
+
+events = st.sampled_from([
+    "PM_LD_REF", "PM_ST_REF", "PM_L1_HIT", "PM_LD_MISS_L1",
+    "PM_DATA_FROM_L2", "PM_DATA_FROM_MEM", "PM_DTLB_MISS", "PM_RUN_CYC",
+])
+banks = st.dictionaries(events, st.integers(min_value=0, max_value=1 << 48),
+                        max_size=8)
+
+
+@given(a=banks, b=banks)
+def test_merge_is_commutative(a, b):
+    assert dict(CounterBank.merge([a, b])) == dict(CounterBank.merge([b, a]))
+
+
+@given(a=banks, b=banks, c=banks)
+def test_merge_is_associative(a, b, c):
+    left = CounterBank.merge([CounterBank.merge([a, b]), c])
+    right = CounterBank.merge([a, CounterBank.merge([b, c])])
+    assert dict(left) == dict(right)
+
+
+@given(bank=banks)
+def test_empty_bank_is_the_identity(bank):
+    assert dict(CounterBank.merge([CounterBank(), bank])) == \
+        dict(CounterBank.merge([bank, CounterBank()])) == \
+        dict(CounterBank.merge([bank]))
+
+
+@given(parts=st.lists(banks, min_size=0, max_size=8))
+def test_merge_equals_sequential_accumulation(parts):
+    sequential = CounterBank()
+    for part in parts:
+        sequential.add_events(part)
+    merged = CounterBank.merge(parts)
+    assert dict(merged) == dict(sequential)
+    # Event-wise totals are conserved: nothing appears or vanishes.
+    keys = {k for part in parts for k in part}
+    for key in keys:
+        assert merged[key] == sum(part.get(key, 0) for part in parts)
+
+
+@given(
+    seeds=st.lists(st.integers(min_value=0, max_value=999),
+                   min_size=1, max_size=4),
+    n=st.integers(min_value=16, max_value=200),
+)
+@settings(max_examples=20, deadline=None)
+@pytest.mark.slow
+def test_merged_engine_banks_conserve(seeds, n):
+    # Per-shard banks from real engine runs each satisfy the linear
+    # conservation invariants; so must any merge of them.
+    parts = []
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        addrs = (rng.integers(0, 1 << 18, size=n) * 8).astype(np.int64)
+        writes = rng.random(n) < 0.3
+        hier = BatchMemoryHierarchy(CHIP)
+        hier.access_trace(addrs, writes)
+        bank = read_counters(hier)
+        assert_conservation(bank)
+        parts.append(bank)
+    assert_conservation(CounterBank.merge(parts))
