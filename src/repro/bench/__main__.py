@@ -9,7 +9,10 @@ persistently failing experiment prints a structured error row while
 the rest of the suite continues (``--fail-fast`` restores the old
 abort-on-first-error behaviour; the exit code reports failures either
 way).  ``--trace-perf`` instead times the batched trace engine against
-the per-access reference simulator and writes the result JSON.
+the per-access reference simulator and writes the result JSON;
+``--stream-fastpath-perf`` times the steady-state bulk regime paths
+(streaming, write, prefetcher-on) against the scalar-chunk baseline
+and writes ``BENCH_stream_fastpath.json``.
 
 RAS options: ``--ras-sweep`` prints bandwidth/latency degradation vs
 injected fault rate, ``--ras-selftest`` checks the fault-injection
@@ -50,6 +53,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--trace-perf", action="store_true",
         help="run the trace-engine throughput micro-benchmark instead of experiments",
+    )
+    parser.add_argument(
+        "--stream-fastpath-perf", action="store_true",
+        help="time the steady-state bulk regime paths (streaming, write, "
+             "prefetcher-on) against the scalar-chunk baseline and write "
+             "BENCH_stream_fastpath.json",
     )
     parser.add_argument(
         "--out", metavar="FILE", default="BENCH_trace.json",
@@ -164,6 +173,23 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bit-identical:  {result['bit_identical']}")
         print(f"[wrote {out}]")
         return 0 if result["bit_identical"] else 1
+
+    if args.stream_fastpath_perf:
+        from .stream_fastpath_perf import write_stream_fastpath_bench
+
+        out = (
+            args.out if args.out != "BENCH_trace.json"
+            else "BENCH_stream_fastpath.json"
+        )
+        result = write_stream_fastpath_bench(out)
+        for name, lane in result["lanes"].items():
+            print(
+                f"{name:>14}: scalar {lane['scalar_ns_per_access']:8.1f} ns/access"
+                f"  fast {lane['fast_ns_per_access']:8.1f} ns/access"
+                f"  speedup {lane['speedup']:6.2f}x"
+            )
+        print(f"[wrote {out}]")
+        return 0
 
     if args.trace_perf:
         from .trace_perf import write_trace_bench

@@ -18,7 +18,7 @@ from ..arch.specs import SystemSpec
 from ..mem.analytic import AnalyticHierarchy
 from ..mem.batch import BatchMemoryHierarchy
 from ..mem.hierarchy import MemoryHierarchy
-from ..mem.trace import random_chase_addresses
+from ..mem.trace import random_chase_addresses, sequential_addresses
 
 
 def default_working_sets(min_bytes: int = 16 * 1024, max_bytes: int = 8 << 30) -> List[int]:
@@ -105,6 +105,35 @@ def traced_latency_pmu(
     with pmu:
         result = hier.access_trace(measured)
     return result.mean_latency_ns, pmu
+
+
+def traced_stream_latency_ns(
+    system: SystemSpec,
+    working_set: int,
+    page_size: int = PAGE_64K,
+    depth: int = 0,
+    ras=None,
+) -> float:
+    """Mean latency of a sequential sweep on the trace-driven simulator.
+
+    A STREAM-style pass over ``working_set`` bytes at line granularity,
+    committed by the batch engine's bulk streaming path (or the bulk
+    prefetcher path when ``depth`` selects a DSCR setting 1-7; 0 runs
+    with hardware prefetching off).  One warm-up sweep of the TLB-sized
+    prefix is deliberately omitted: the interesting steady state of a
+    stream *is* its cold monotone miss train.
+    """
+    from ..prefetch.engine import StreamPrefetcher
+
+    pf = None
+    line = system.chip.core.l1d.line_size
+    if depth:
+        pf = StreamPrefetcher(line_size=line, depth=depth)
+    hier = BatchMemoryHierarchy(
+        system.chip, page_size=page_size, prefetcher=pf, ras=ras
+    )
+    addrs = sequential_addresses(0, working_set, line)
+    return hier.access_trace(addrs).mean_latency_ns
 
 
 def plateau_summary(rows: List[dict], key: str = "latency_64k_ns") -> dict:

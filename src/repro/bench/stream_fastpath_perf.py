@@ -1,0 +1,161 @@
+"""Steady-state fast-path micro-benchmark: bulk regime paths vs scalar chunks.
+
+Times the batch trace engine with its regime-classified bulk commit
+paths enabled (``fast_paths=True``, the default) against the same
+engine restricted to the original resident-read path + scalar loop
+(``fast_paths=False``) on the paper's steady-state regimes:
+
+* ``stream_read`` — a STREAM-style sequential read sweep (Table III),
+  committed by the monotone all-miss streaming path;
+* ``stream_write`` — the same sweep with a store mix (triad-like),
+  exercising the streaming path's write support;
+* ``resident_write`` — an L1-resident read/write chase (lmbench
+  plateau), exercising the write-enabled resident fast path;
+* ``prefetch`` — the sequential sweep with a confirmed
+  :class:`~repro.prefetch.engine.StreamPrefetcher` stream (Figs 6-8),
+  committed by the closed-form prefetcher-advance path.
+
+Every lane simulates the identical trace both ways and cross-checks the
+mean simulated latency, so the speedup it reports is for bit-identical
+results.  ``python -m repro.bench --stream-fastpath-perf`` runs it and
+writes ``BENCH_stream_fastpath.json``; the
+``benchmarks/test_perf_stream_fastpath.py`` harness asserts the >=5x
+acceptance bar on the prefetcher-on lane from the same entry point.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..arch import e870
+from ..arch.power8 import PAGE_64K
+from ..arch.specs import SystemSpec
+from ..mem.batch import BatchMemoryHierarchy
+from ..prefetch.engine import StreamPrefetcher
+
+#: Headline configuration (the acceptance-criteria point).
+DEFAULT_ACCESSES = 200_000
+DEFAULT_PREFETCH_DEPTH = 7
+DEFAULT_RESIDENT_SET = 16 << 10
+
+
+def _lane_traces(line: int, n_accesses: int, resident_set: int):
+    """The four regime traces as ``name -> (addrs, is_write, depth)``."""
+    seq = np.arange(n_accesses, dtype=np.int64) * line
+    writes = np.zeros(n_accesses, dtype=bool)
+    writes[::3] = True  # triad-like: one store per three references
+    resident = np.tile(
+        np.arange(0, resident_set, line, dtype=np.int64),
+        -(-n_accesses // (resident_set // line)),
+    )[:n_accesses]
+    res_writes = np.zeros(n_accesses, dtype=bool)
+    res_writes[::3] = True
+    return {
+        "stream_read": (seq, False, None),
+        "stream_write": (seq, writes, None),
+        "resident_write": (resident, res_writes, None),
+        "prefetch": (seq, False, DEFAULT_PREFETCH_DEPTH),
+    }
+
+
+def _time_lane(
+    chip,
+    addrs: np.ndarray,
+    is_write,
+    depth: Optional[int],
+    fast_paths: bool,
+    page_size: int,
+    repeats: int,
+    warm: Optional[np.ndarray],
+) -> tuple[float, float]:
+    """Best-of-``repeats`` wall time (s) and the simulated mean latency."""
+    best = float("inf")
+    mean_latency = 0.0
+    for _ in range(repeats):
+        prefetcher = (
+            StreamPrefetcher(chip.core.l1d.line_size, depth=depth)
+            if depth is not None
+            else None
+        )
+        hier = BatchMemoryHierarchy(
+            chip,
+            page_size=page_size,
+            prefetcher=prefetcher,
+            fast_paths=fast_paths,
+        )
+        if warm is not None:
+            hier.warm(warm)
+        start = time.perf_counter()
+        res = hier.access_trace(addrs, is_write)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+            mean_latency = res.mean_latency_ns
+    return best, mean_latency
+
+
+def run_stream_fastpath_bench(
+    n_accesses: int = DEFAULT_ACCESSES,
+    page_size: int = PAGE_64K,
+    repeats: int = 3,
+    system: Optional[SystemSpec] = None,
+) -> dict:
+    """Time ``fast_paths=True`` vs ``False`` on each steady-state regime.
+
+    Both settings simulate the identical trace (fresh hierarchy per run)
+    and must report the identical mean latency — the speedups are for
+    bit-identical results, not an approximation trade.
+    """
+    spec = system if system is not None else e870()
+    chip = spec.chip
+    line = chip.core.l1d.line_size
+    warm_resident = np.arange(0, DEFAULT_RESIDENT_SET, line, dtype=np.int64)
+    lanes = {}
+    for name, (addrs, is_write, depth) in _lane_traces(
+        line, n_accesses, DEFAULT_RESIDENT_SET
+    ).items():
+        warm = warm_resident if name == "resident_write" else None
+        scalar_s, scalar_latency = _time_lane(
+            chip, addrs, is_write, depth, False, page_size, repeats, warm
+        )
+        fast_s, fast_latency = _time_lane(
+            chip, addrs, is_write, depth, True, page_size, repeats, warm
+        )
+        if scalar_latency != fast_latency:
+            raise AssertionError(
+                f"{name}: fast paths changed the simulation "
+                f"({scalar_latency} ns vs {fast_latency} ns)"
+            )
+        lanes[name] = {
+            "scalar_s": scalar_s,
+            "fast_s": fast_s,
+            "scalar_ns_per_access": 1e9 * scalar_s / n_accesses,
+            "fast_ns_per_access": 1e9 * fast_s / n_accesses,
+            "speedup": scalar_s / fast_s,
+            "simulated_mean_latency_ns": fast_latency,
+        }
+    return {
+        "benchmark": "stream_fastpath_regimes",
+        "accesses": int(n_accesses),
+        "page_size": int(page_size),
+        "repeats": int(repeats),
+        "prefetch_depth": DEFAULT_PREFETCH_DEPTH,
+        "resident_set_bytes": DEFAULT_RESIDENT_SET,
+        "lanes": lanes,
+    }
+
+
+def write_stream_fastpath_bench(
+    path: str, result: Optional[dict] = None, **kwargs
+) -> dict:
+    """Run the benchmark (unless ``result`` is given) and write it as JSON."""
+    if result is None:
+        result = run_stream_fastpath_bench(**kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    return result

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Protocol
 
+import numpy as np
+
 from ..pmu import events as pmu_events
 from .line import check_power_of_two
 
@@ -97,6 +99,56 @@ class DRAMModel:
         if self.ras is not None:
             latency += self.ras.on_dram_access(self, addr, bank, row)
         return latency
+
+    def access_batch(self, addrs) -> np.ndarray:
+        """Vectorized :meth:`access` over a whole address array.
+
+        Returns the per-access service latencies (ns) with the row-hit
+        outcomes, stats and final open rows identical to calling
+        :meth:`access` on each address in order.  The row-buffer state is
+        per-bank, so a stable sort by bank turns the hit test into one
+        shifted comparison per array: within a bank, an access hits iff
+        it repeats the previous access's row, and the first access of
+        each bank group compares against that bank's open row.
+
+        With a RAS injector attached this falls back to the scalar loop:
+        fault draws are counter-keyed per access *site*, so they must be
+        taken one access at a time (and a fault may retire a bank, which
+        remaps every subsequent row).
+        """
+        addrs = np.asarray(addrs, dtype=np.int64).ravel()
+        n = addrs.size
+        out = np.empty(n, dtype=np.float64)
+        if n == 0:
+            return out
+        if self.ras is not None:
+            access = self.access
+            for i, addr in enumerate(addrs.tolist()):
+                out[i] = access(addr)
+            return out
+        rows = addrs // self.row_size
+        banks = rows % self.num_banks
+        order = np.argsort(banks, kind="stable")
+        srows = rows[order]
+        sbanks = banks[order]
+        hits = np.zeros(n, dtype=bool)
+        head_mask = np.ones(n, dtype=bool)
+        if n > 1:
+            same_bank = sbanks[1:] == sbanks[:-1]
+            head_mask[1:] = ~same_bank
+            hits[1:] = same_bank & (srows[1:] == srows[:-1])
+        heads = np.flatnonzero(head_mask)
+        tails = np.concatenate((heads[1:], np.array([n], dtype=heads.dtype))) - 1
+        open_rows = self._open_rows
+        for h, t in zip(heads.tolist(), tails.tolist()):
+            if open_rows.get(int(sbanks[h])) == int(srows[h]):
+                hits[h] = True
+            open_rows[int(sbanks[h])] = int(srows[t])
+        self.stats.accesses += n
+        self.stats.row_hits += int(np.count_nonzero(hits))
+        lat = np.where(hits, self.hit_latency_ns, self.hit_latency_ns + self.miss_extra_ns)
+        out[order] = lat
+        return out
 
     def retire_bank(self) -> bool:
         """Take one bank out of the interleave after a whole-bank fault.

@@ -26,6 +26,29 @@ CONFIRM_ACCESSES = 3
 RAMP_START = 2
 
 
+def ramp_schedule(depth: int, max_distance: int, n: int) -> List[int]:
+    """Per-advance depth sequence for ``n`` confirmed accesses of a stream.
+
+    Element ``i`` is the stream's depth after its ``i``-th consecutive
+    confirmed advance, mirroring the ramp line in
+    :meth:`StreamPrefetcher._advance_matching_stream` exactly (the
+    caller must have ``confidence >= CONFIRM_ACCESSES - 1`` so every
+    advance ramps).  Stops once the depth saturates at ``max_distance``
+    — every later advance keeps it there — so the list is at most
+    ``log2``-short and a caller treats indices past the end as
+    ``max_distance``.  This closed form is what lets the batch engine
+    commit a steady-state prefetcher chunk without running the state
+    machine per access.
+    """
+    out: List[int] = []
+    while len(out) < n:
+        depth = min(max_distance, max(RAMP_START, depth * 2))
+        out.append(depth)
+        if depth == max_distance:
+            break
+    return out
+
+
 @dataclass
 class _Stream:
     next_line: int  # next line number the demand stream should touch

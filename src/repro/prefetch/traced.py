@@ -44,16 +44,19 @@ def scaled_demo_chip(chip: ChipSpec) -> ChipSpec:
 
 
 def traced_sequential_scan(
-    chip: ChipSpec, depth: int, n_lines: int = 4096
+    chip: ChipSpec, depth: int, n_lines: int = 4096, fast_paths: bool = True
 ) -> Dict[str, float]:
     """One dependent sequential scan at a DSCR ``depth`` setting.
 
     Returns the measured mean latency plus the prefetch-engine counters
     that explain it (demand DRAM misses shrink as the depth grows).
+    Sequential scans are exactly the regime the batch engine's bulk
+    prefetcher path commits; ``fast_paths=False`` pins the scalar loop
+    for A/B timing (the metrics are bit-identical either way).
     """
     line = chip.core.l1d.line_size
     pf = StreamPrefetcher(line_size=line, depth=depth)
-    hier = BatchMemoryHierarchy(chip, prefetcher=pf)
+    hier = BatchMemoryHierarchy(chip, prefetcher=pf, fast_paths=fast_paths)
     res = hier.access_trace(sequential_addresses(0, n_lines * line, line))
     # All counters come off the PMU bank so this report, the engine's own
     # tallies and the --counters CLI views can never disagree.

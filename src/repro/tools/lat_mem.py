@@ -4,6 +4,7 @@ Mirrors the lmbench tool the paper uses for Figure 2::
 
     python -m repro.tools.lat_mem --max-size 8G --page 64K
     python -m repro.tools.lat_mem --size 32M --trace   # trace-driven point
+    python -m repro.tools.lat_mem --size 32M --trace --stream --depth 7
 
 Prints ``size_bytes latency_ns`` pairs, one per line, like the original.
 """
@@ -50,6 +51,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", action="store_true",
                         help="use the trace-driven simulator (batch engine; "
                              "practical up to ~256M working sets)")
+    parser.add_argument("--stream", action="store_true",
+                        help="with --trace: sequential sweep instead of the "
+                             "random pointer chase (the batch engine's bulk "
+                             "streaming regime)")
+    parser.add_argument("--depth", type=int, default=0,
+                        help="with --stream: DSCR prefetch depth 1-7 "
+                             "(default: 0 = hardware prefetch off, like the "
+                             "chase)")
     parser.add_argument("--counters", action="store_true",
                         help="with --trace: also print the PMU counter report "
                              "for the measured passes")
@@ -81,11 +90,38 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--shards and --workers must be >= 1")
     if args.shards > 1 and not args.trace:
         parser.error("--shards needs the trace-driven simulator; add --trace")
+    if args.stream and not args.trace:
+        parser.error("--stream needs the trace-driven simulator; add --trace")
+    if args.stream and (args.shards > 1 or args.counters):
+        parser.error("--stream does not combine with --shards or --counters")
+    if args.depth and not args.stream:
+        parser.error("--depth applies to the --stream sweep")
 
     if args.trace:
         size = args.size if args.size else args.min_size
         if size > 256 << 20:
             parser.error("--trace is only practical up to ~256M working sets")
+
+        if args.stream:
+            from ..bench.latency import traced_stream_latency_ns
+            from ..ras.injector import build_injector
+
+            injector = build_injector(args.inject, seed=args.seed)
+            latency = traced_stream_latency_ns(
+                system, size, page_size=args.page, depth=args.depth,
+                ras=injector,
+            )
+            print(f"{size} {latency:.2f}")
+            if injector is not None:
+                from ..reporting.tables import format_counter_table
+
+                print()
+                print(format_counter_table(
+                    injector.bank,
+                    title=f"RAS counters (plan: {injector.plan.describe()})",
+                    describe=False,
+                ))
+            return 0
 
         import os
 

@@ -6,6 +6,13 @@ Mirrors the paper's modified STREAM benchmark::
     python -m repro.tools.stream --ratio 2:1      # one Table III mix
     python -m repro.tools.stream --table3         # the full ratio sweep
     python -m repro.tools.stream --cores 1 --threads 4   # Figure 3 points
+    python -m repro.tools.stream --trace --depth 7       # measured sweep
+
+``--trace`` leaves the analytic bandwidth model entirely: it runs a
+sequential sweep through the trace-driven batch engine (whose bulk
+streaming/prefetcher paths commit this exact regime) and reports the
+measured mean latency, effective per-stream bandwidth and prefetch
+counters.
 """
 
 from __future__ import annotations
@@ -79,6 +86,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache even when "
                              "$REPRO_CACHE_DIR is configured")
+    parser.add_argument("--trace", action="store_true",
+                        help="measure a sequential sweep on the trace-driven "
+                             "batch engine instead of the analytic model")
+    parser.add_argument("--depth", type=int, default=7,
+                        help="with --trace: DSCR prefetch depth 1-7 "
+                             "(default: 7, deepest)")
+    parser.add_argument("--sweep-mb", type=int, default=4,
+                        help="with --trace: sweep size in MiB (default: 4)")
     args = parser.parse_args(argv)
 
     system = e870()
@@ -88,6 +103,27 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--workers and --shards must be >= 1")
     if args.shards > 1 and not args.table3:
         parser.error("--shards applies to the --table3 sweep")
+    if args.trace and (args.table3 or args.ratio is not None
+                       or args.cores is not None):
+        parser.error("--trace is its own mode; drop --table3/--ratio/--cores")
+    if args.sweep_mb < 1:
+        parser.error("--sweep-mb must be >= 1")
+
+    if args.trace:
+        from ..prefetch.traced import traced_sequential_scan
+
+        line = system.chip.core.l1d.line_size
+        n_lines = (args.sweep_mb << 20) // line
+        row = traced_sequential_scan(system.chip, args.depth, n_lines=n_lines)
+        eff_bw = line / (row["mean_latency_ns"] * 1e-9)
+        print(f"sequential sweep: {args.sweep_mb} MiB, depth {args.depth}")
+        print(f"mean latency     {row['mean_latency_ns']:8.2f} ns/line")
+        print(f"per-stream bw    {eff_bw / GB:8.1f} GB/s")
+        print(f"dram misses      {row['dram_misses']:8d} / {row['accesses']} refs")
+        print(f"prefetch issued  {row['prefetch_issued']:8d}  "
+              f"useful {row['prefetch_useful']}  "
+              f"accuracy {row['prefetch_accuracy']:.3f}")
+        return 0
 
     if args.table3 and args.shards > 1 and args.inject is None:
         from ..parallel.pool import ShardPool

@@ -92,6 +92,44 @@ class TestArrayCacheParity:
         arr.commit_read_hits(len(trace), _last_occurrence_order(np.array(trace)))
         assert_same_state(ref, arr)
 
+    def test_contains_none(self):
+        _, arr = make_pair(capacity=1024, ways=4)
+        for l in (0, 16, 32):
+            arr.fill(l)
+        assert arr.contains_none([1, 17, 99])
+        assert not arr.contains_none([1, 16])
+        assert arr.contains_none([])
+
+    @pytest.mark.parametrize("policy", ["store-in", "store-through"])
+    def test_commit_write_hits_matches_sequential(self, policy):
+        ref, arr = make_pair(capacity=1024, ways=4, policy=policy)
+        lines = [0, 16, 32, 48, 1]
+        for c in (ref, arr):
+            for l in lines:
+                c.fill(l)
+        trace = [16, 0, 16, 48, 0]
+        for l in trace:
+            assert ref.lookup(l, True)
+        arr.commit_write_hits(len(trace), _last_occurrence_order(np.array(trace)))
+        assert_same_state(ref, arr)
+
+    def test_commit_fill_stream_matches_sequential(self):
+        ref, arr = make_pair(capacity=512, ways=2)
+        # Pre-dirty an old line so an eviction writeback is exercised.
+        for c in (ref, arr):
+            c.fill(0, dirty=True)
+            c.fill(4, dirty=True)
+        new = np.array([8, 12, 16, 20, 24], dtype=np.int64)
+        for l in new.tolist():
+            ref.fill(l)  # victims dropped on the floor (streaming L1)
+        arr.commit_fill_stream(new)
+        assert_same_state(ref, arr)
+
+    def test_commit_fill_stream_empty(self):
+        ref, arr = make_pair()
+        arr.commit_fill_stream(np.array([], dtype=np.int64))
+        assert_same_state(ref, arr)
+
     def test_state_arrays_shape(self):
         _, arr = make_pair(capacity=512, line=64, ways=2)
         arr.fill(0, dirty=True)
@@ -137,6 +175,29 @@ class TestTLBBatch:
         t.translate_page(5)
         assert t.pages_resident([5])
         assert not t.pages_resident([5, 6])
+
+    def test_translate_monotone_chunk_matches_scalar(self):
+        chip = e870().chip
+        a = TLB(chip.core.tlb, 64 * 1024)
+        b = TLB(chip.core.tlb, 64 * 1024)
+        pages = np.repeat(np.arange(200, dtype=np.int64), 3)
+        scalar = np.array([a.translate_page(int(p)) for p in pages])
+        starts, penalties = b.translate_monotone_chunk(pages)
+        expect = np.zeros(pages.size)
+        expect[starts] = penalties
+        assert np.array_equal(scalar, expect)
+        assert dataclasses.asdict(a.stats) == dataclasses.asdict(b.stats)
+        assert a._erat.state() == b._erat.state()
+        assert a._tlb.state() == b._tlb.state()
+
+    def test_translate_monotone_chunk_empty(self):
+        chip = e870().chip
+        t = TLB(chip.core.tlb, 64 * 1024)
+        starts, penalties = t.translate_monotone_chunk(
+            np.array([], dtype=np.int64)
+        )
+        assert starts.size == 0 and penalties.size == 0
+        assert t.stats.accesses == 0
 
 
 class TestTraceGenerators:
@@ -221,3 +282,29 @@ class TestEngineParity:
     def test_bad_chunk_rejected(self):
         with pytest.raises(ValueError):
             BatchMemoryHierarchy(e870().chip, chunk=0)
+
+    def test_warm_shields_stats_but_mutates_state(self):
+        chip = e870().chip
+        bat = BatchMemoryHierarchy(chip)
+        ws = np.arange(0, 16 << 10, chip.core.l1d.line_size, dtype=np.int64)
+        bat.warm(ws.tolist())  # any int array-like is accepted
+        # Engine-level stats and the PMU bank are untouched...
+        assert bat.stats.accesses == 0
+        assert bat.stats.total_latency_ns == 0.0
+        assert not any(bat.bank.values())
+        # ...but the hierarchy state evolved: the set is now resident.
+        assert len(bat.l1) == ws.size
+        assert bat.tlb.stats.accesses == ws.size
+        assert bat.dram.stats.accesses == ws.size
+        # A recorded run after warm-up sees all-L1 hits.
+        res = bat.access_trace(ws)
+        assert res.level_counts()["L1"] == ws.size
+        assert bat.stats.accesses == ws.size
+
+    def test_warm_stats_restored_on_error(self):
+        chip = e870().chip
+        bat = BatchMemoryHierarchy(chip)
+        stats, bank = bat.stats, bat.bank
+        with pytest.raises(ValueError):
+            bat.warm(np.zeros(3), is_write=np.zeros(2, dtype=bool))
+        assert bat.stats is stats and bat.bank is bank

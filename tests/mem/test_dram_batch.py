@@ -1,0 +1,105 @@
+"""Differential tests: ``DRAMModel.access_batch`` vs the scalar loop.
+
+The batch entry point must be bit-identical to calling
+:meth:`DRAMModel.access` once per address, in order — latencies, row-hit
+counts, and the final open-row state — including the scalar fallback it
+takes when a RAS injector is attached.
+"""
+
+import dataclasses
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.mem.dram import DRAMModel
+
+
+def make_pair(num_banks=4, row_size=1024):
+    return (
+        DRAMModel(num_banks=num_banks, row_size=row_size),
+        DRAMModel(num_banks=num_banks, row_size=row_size),
+    )
+
+
+def assert_same(ref: DRAMModel, bat: DRAMModel):
+    assert dataclasses.asdict(ref.stats) == dataclasses.asdict(bat.stats)
+    assert ref._open_rows == bat._open_rows
+
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=(1 << 22) - 1), min_size=0, max_size=300
+)
+
+
+@given(addrs=addresses, num_banks=st.sampled_from([1, 3, 16]))
+@settings(max_examples=80, deadline=None)
+def test_access_batch_matches_scalar(addrs, num_banks):
+    ref, bat = make_pair(num_banks=num_banks)
+    scalar = np.array([ref.access(a) for a in addrs], dtype=np.float64)
+    batch = bat.access_batch(np.array(addrs, dtype=np.int64))
+    assert np.array_equal(scalar, batch)
+    assert_same(ref, bat)
+
+
+@given(
+    chunks=st.lists(addresses, min_size=1, max_size=4),
+    scalar_between=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_interleaved_batches_share_row_state(chunks, scalar_between):
+    """Back-to-back batches (with scalar calls between) stay exact."""
+    ref, bat = make_pair()
+    for chunk in chunks:
+        scalar = np.array([ref.access(a) for a in chunk], dtype=np.float64)
+        batch = bat.access_batch(np.array(chunk, dtype=np.int64))
+        assert np.array_equal(scalar, batch)
+        if scalar_between and chunk:
+            assert ref.access(chunk[0]) == bat.access(chunk[0])
+    assert_same(ref, bat)
+
+
+def test_empty_batch():
+    ref, bat = make_pair()
+    out = bat.access_batch(np.array([], dtype=np.int64))
+    assert out.size == 0
+    assert_same(ref, bat)
+
+
+def test_streaming_trace_is_mostly_row_hits():
+    dram = DRAMModel(num_banks=8, row_size=8192)
+    addrs = np.arange(0, 1 << 20, 128, dtype=np.int64)
+    lat = dram.access_batch(addrs)
+    assert dram.stats.row_hit_rate > 0.95
+    assert lat.min() == dram.hit_latency_ns
+    assert lat.max() == dram.hit_latency_ns + dram.miss_extra_ns
+
+
+class _CountingInjector:
+    """Deterministic per-site injector: order-sensitive on purpose."""
+
+    def __init__(self):
+        self.sites = []
+
+    def on_dram_access(self, dram, addr, bank_idx, row):
+        self.sites.append((addr, bank_idx, row))
+        n = len(self.sites)
+        if n % 7 == 0:
+            return 25.0  # recovery penalty on every 7th site
+        if n == 11:
+            dram.retire_bank()  # remaps all later rows
+        return 0.0
+
+
+@given(addrs=addresses)
+@settings(max_examples=40, deadline=None)
+def test_ras_attached_falls_back_to_scalar_order(addrs):
+    """With RAS attached the batch path must preserve per-site order."""
+    ref, bat = make_pair(num_banks=4)
+    ref.ras, bat.ras = _CountingInjector(), _CountingInjector()
+    scalar = np.array([ref.access(a) for a in addrs], dtype=np.float64)
+    batch = bat.access_batch(np.array(addrs, dtype=np.int64))
+    assert np.array_equal(scalar, batch)
+    assert ref.ras.sites == bat.ras.sites
+    assert ref.num_banks == bat.num_banks
+    assert_same(ref, bat)

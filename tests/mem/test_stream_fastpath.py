@@ -1,0 +1,182 @@
+"""Differential tests for the steady-state bulk regime paths.
+
+Each test simulates the same trace on the per-access reference
+:class:`~repro.mem.hierarchy.MemoryHierarchy` and on the batch engine
+(whose bulk streaming / resident-write / prefetcher paths must engage),
+and checks *bit* equality of everything observable: per-access
+latencies, levels and translation penalties, every cache's LRU+dirty
+state and stats, TLB state/stats, DRAM stats and open rows, hierarchy
+stats (including prefetch issued/useful credit), both PMU banks, the
+prefetcher's stream table, and the pending-prefetch set.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.arch import e870
+from repro.mem.batch import BatchMemoryHierarchy
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.prefetch.engine import StreamPrefetcher
+
+CHIP = e870().chip
+LINE = CHIP.core.l1d.line_size
+
+
+def nonzero(bank):
+    return {k: v for k, v in bank.items() if v}
+
+
+def compare(
+    addrs,
+    is_write=False,
+    depth=None,
+    stride_n=False,
+    warm=None,
+    chunk=1024,
+    fast_paths=True,
+):
+    ref_pf = bat_pf = None
+    if depth is not None:
+        ref_pf = StreamPrefetcher(LINE, depth=depth, stride_n=stride_n)
+        bat_pf = StreamPrefetcher(LINE, depth=depth, stride_n=stride_n)
+    ref = MemoryHierarchy(CHIP, prefetcher=ref_pf)
+    bat = BatchMemoryHierarchy(
+        CHIP, prefetcher=bat_pf, chunk=chunk, fast_paths=fast_paths
+    )
+    if warm is not None:
+        ref.warm(warm)
+        bat.warm(warm)
+    r = ref.access_trace(addrs, is_write)
+    b = bat.access_trace(addrs, is_write)
+    assert np.array_equal(r.latency_ns, b.latency_ns)
+    assert np.array_equal(r.level_codes, b.level_codes)
+    assert np.array_equal(r.translation_cycles, b.translation_cycles)
+    r_stats = dataclasses.asdict(ref.stats)
+    b_stats = dataclasses.asdict(bat.stats)
+    assert b_stats.pop("total_latency_ns") == pytest.approx(
+        r_stats.pop("total_latency_ns"), rel=1e-12
+    )
+    assert r_stats == b_stats
+    for lvl in ("l1", "l2", "l3", "l3_remote", "l4"):
+        assert getattr(ref, lvl).dump_state() == getattr(bat, lvl).dump_state(), lvl
+        assert dataclasses.asdict(getattr(ref, lvl).stats) == dataclasses.asdict(
+            getattr(bat, lvl).stats
+        ), lvl
+    assert ref.tlb._erat.state() == bat.tlb._erat.state()
+    assert ref.tlb._tlb.state() == bat.tlb._tlb.state()
+    assert dataclasses.asdict(ref.tlb.stats) == dataclasses.asdict(bat.tlb.stats)
+    assert ref.dram._open_rows == bat.dram._open_rows
+    assert dataclasses.asdict(ref.dram.stats) == dataclasses.asdict(bat.dram.stats)
+    assert nonzero(ref.bank) == nonzero(bat.bank)
+    assert ref._pf_pending == bat._pf_pending
+    if ref_pf is not None:
+        assert nonzero(ref_pf.bank) == nonzero(bat_pf.bank)
+        assert list(ref_pf._streams) == list(bat_pf._streams)
+        for rv, bv in zip(
+            ref_pf._streams.values(), bat_pf._streams.values()
+        ):
+            assert dataclasses.asdict(rv) == dataclasses.asdict(bv)
+        assert ref_pf._last_lines == bat_pf._last_lines
+    return bat
+
+
+class TestStreamingPath:
+    def test_line_granular_reads(self):
+        compare(np.arange(12000, dtype=np.int64) * LINE)
+
+    def test_element_granular_mixed_writes(self):
+        rng = np.random.default_rng(0)
+        n = 20000
+        addrs = np.arange(n, dtype=np.int64) * 8
+        compare(addrs, rng.random(n) < 0.3)
+
+    def test_all_writes(self):
+        compare(np.arange(8000, dtype=np.int64) * LINE, True)
+
+    @pytest.mark.parametrize("chunk", [64, 1000, 16384])
+    def test_chunk_boundaries(self, chunk):
+        compare(np.arange(9000, dtype=np.int64) * LINE, chunk=chunk)
+
+    def test_wide_stride_reads(self):
+        # 3-line stride: still monotone/all-miss but bank-hopping DRAM.
+        compare(np.arange(8000, dtype=np.int64) * 3 * LINE)
+
+    def test_revisit_leaves_watermark_path(self):
+        seq = np.arange(9000, dtype=np.int64) * LINE
+        compare(np.concatenate((seq, seq[:2048], seq)))
+
+    def test_random_prefix_then_stream(self):
+        rng = np.random.default_rng(1)
+        base = rng.integers(0, 1 << 22, 2500) * 8
+        stream = (np.arange(12000, dtype=np.int64) + (1 << 16)) * LINE
+        compare(np.concatenate((base, stream)), chunk=777)
+
+    def test_descending_falls_back_scalar(self):
+        compare(np.arange(6000, dtype=np.int64)[::-1].copy() * LINE)
+
+
+class TestResidentWritePath:
+    def test_warmed_write_chase(self):
+        ws = np.arange(0, 16 << 10, LINE, dtype=np.int64)
+        chase = np.tile(ws, 30)
+        w = np.zeros(chase.size, dtype=bool)
+        w[::3] = True
+        compare(chase, w, warm=ws)
+
+    def test_write_only_resident(self):
+        ws = np.arange(0, 8 << 10, LINE, dtype=np.int64)
+        compare(np.tile(ws, 20), True, warm=ws)
+
+
+class TestPrefetcherPath:
+    @pytest.mark.parametrize("depth", list(range(1, 8)))
+    def test_sequential_depths(self, depth):
+        compare(np.arange(8000, dtype=np.int64) * LINE, depth=depth)
+
+    def test_stride_n_stream(self):
+        compare(
+            np.arange(6000, dtype=np.int64) * 3 * LINE, depth=7, stride_n=True
+        )
+
+    def test_prefetch_with_revisit(self):
+        seq = np.arange(6000, dtype=np.int64) * LINE
+        compare(np.concatenate((seq, seq[:1024])), depth=5)
+
+    @pytest.mark.parametrize("chunk", [257, 4096])
+    def test_chunk_boundaries(self, chunk):
+        compare(np.arange(7000, dtype=np.int64) * LINE, depth=7, chunk=chunk)
+
+    def test_two_interleaved_streams_fall_back(self):
+        a = np.arange(3000, dtype=np.int64) * LINE
+        b = a + (1 << 24)
+        inter = np.empty(a.size * 2, dtype=np.int64)
+        inter[0::2] = a
+        inter[1::2] = b
+        compare(inter, depth=7)
+
+
+class TestFastPathsToggle:
+    def test_fast_paths_off_is_identical(self):
+        """``fast_paths=False`` must match the reference too (baseline)."""
+        n = 6000
+        addrs = np.arange(n, dtype=np.int64) * LINE
+        compare(addrs, fast_paths=False)
+        compare(addrs, depth=7, fast_paths=False)
+
+    def test_fast_and_slow_settings_agree(self):
+        rng = np.random.default_rng(2)
+        n = 10000
+        addrs = np.arange(n, dtype=np.int64) * 8
+        writes = rng.random(n) < 0.2
+        fast = BatchMemoryHierarchy(CHIP, fast_paths=True, chunk=512)
+        slow = BatchMemoryHierarchy(CHIP, fast_paths=False, chunk=512)
+        rf = fast.access_trace(addrs, writes)
+        rs = slow.access_trace(addrs, writes)
+        assert np.array_equal(rf.latency_ns, rs.latency_ns)
+        assert np.array_equal(rf.level_codes, rs.level_codes)
+        for lvl in ("l1", "l2", "l3", "l3_remote", "l4"):
+            assert (
+                getattr(fast, lvl).dump_state() == getattr(slow, lvl).dump_state()
+            )

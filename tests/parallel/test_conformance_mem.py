@@ -88,6 +88,31 @@ def test_chip_engine_pool_matches_serial_oracle(p8_chip, shards):
     assert_results_identical(oracle, pooled)
 
 
+@pytest.mark.parametrize("shards", QUICK_SHARDS)
+def test_sequential_stream_stays_bit_identical(p8_chip, shards):
+    """STREAM-style sweeps (the new bulk regime paths) conform sharded.
+
+    A sequential read+write mix drives the batch engine's streaming
+    fast path inside every shard; pool runs must still merge
+    bit-identically, and the 1-shard plan must match the plain engine.
+    """
+    line = p8_chip.core.l1d.line_size
+    addrs = np.arange(20_000, dtype=np.int64) * line
+    writes = np.zeros(addrs.size, dtype=bool)
+    writes[::3] = True
+    oracle = run_trace_sharded(p8_chip, addrs, writes, shards=shards, workers=1)
+    pooled = run_trace_sharded(
+        p8_chip, addrs, writes, shards=shards, workers=WORKERS
+    )
+    assert_results_identical(oracle, pooled)
+    if shards == 1:
+        hier = BatchMemoryHierarchy(p8_chip)
+        direct = hier.access_trace(addrs, writes)
+        assert np.array_equal(oracle.trace.latency_ns, direct.latency_ns)
+        assert np.array_equal(oracle.trace.level_codes, direct.level_codes)
+        assert dict(oracle.bank) == dict(read_counters(hier))
+
+
 def test_single_shard_plan_is_the_plain_batch_engine(p8_chip):
     addrs = chase(2048, p8_chip, passes=2)
     sharded = run_trace_sharded(p8_chip, addrs, shards=1, workers=1)

@@ -117,6 +117,71 @@ def test_batch_equals_reference_with_prefetcher(n_lines, depth, chunk):
 
 
 @given(
+    start=st.integers(min_value=0, max_value=1 << 16),
+    stride_lines=st.integers(min_value=1, max_value=4),
+    n_lines=st.integers(min_value=1, max_value=800),
+    write_every=st.sampled_from([0, 2, 3]),
+    chunk=st.sampled_from([33, 512, 16384]),
+)
+@settings(max_examples=40, deadline=None)
+@pytest.mark.slow
+def test_streaming_bulk_equals_reference(
+    start, stride_lines, n_lines, write_every, chunk
+):
+    """Monotone miss streams (the bulk streaming path) stay identical.
+
+    Without victim recording the batch engine takes its vectorized
+    streaming commit; everything observable must still match the
+    reference bit-for-bit, reads and writes alike.
+    """
+    line = CHIP.core.l1d.line_size
+    addrs = (start + np.arange(n_lines, dtype=np.int64) * stride_lines) * line
+    writes = np.zeros(n_lines, dtype=bool)
+    if write_every:
+        writes[::write_every] = True
+    ref = MemoryHierarchy(CHIP)
+    bat = BatchMemoryHierarchy(CHIP, chunk=chunk)
+    r = ref.access_trace(addrs, writes)
+    b = bat.access_trace(addrs, writes)
+    assert_equivalent(ref, bat, r, b)
+
+
+@given(
+    n_lines=st.integers(min_value=1, max_value=800),
+    depth=st.sampled_from([1, 4, 7]),
+    chunk=st.sampled_from([17, 300, 16384]),
+    revisit=st.booleans(),
+)
+@settings(max_examples=30, deadline=None)
+@pytest.mark.slow
+def test_prefetcher_bulk_equals_reference(n_lines, depth, chunk, revisit):
+    """The closed-form prefetcher-advance path stays identical.
+
+    Unlike ``test_batch_equals_reference_with_prefetcher`` (which
+    records victims and so pins the scalar loop), this runs without
+    victim logs, letting the bulk prefetcher path commit the steady
+    state; an optional revisit forces it off the watermark screen.
+    """
+    line = CHIP.core.l1d.line_size
+    addrs = np.arange(n_lines, dtype=np.int64) * line
+    if revisit:
+        addrs = np.concatenate((addrs, addrs[: max(1, n_lines // 2)]))
+    ref = MemoryHierarchy(
+        CHIP, prefetcher=StreamPrefetcher(line_size=line, depth=depth)
+    )
+    bat = BatchMemoryHierarchy(
+        CHIP, prefetcher=StreamPrefetcher(line_size=line, depth=depth),
+        chunk=chunk,
+    )
+    r = ref.access_trace(addrs)
+    b = bat.access_trace(addrs)
+    assert_equivalent(ref, bat, r, b)
+    assert ref.stats.prefetch_issued == bat.stats.prefetch_issued
+    assert ref.stats.prefetch_useful == bat.stats.prefetch_useful
+    assert ref._pf_pending == bat._pf_pending
+
+
+@given(
     addr_writes=traces,
     split=st.integers(min_value=0, max_value=400),
 )
