@@ -60,6 +60,24 @@ def main(argv: list[str] | None = None) -> int:
              "prefetcher-on) against the scalar-chunk baseline and write "
              "BENCH_stream_fastpath.json",
     )
+    analytic = parser.add_argument_group("analytic oracle")
+    analytic.add_argument(
+        "--analytic", nargs="*", metavar="KIND", default=None,
+        help="print the oracle's O(1) predictions instead of running "
+             "experiments; pass request kinds (chase, stream_table3, "
+             "prefetch_sweep, ...) or nothing for every kind",
+    )
+    analytic.add_argument(
+        "--analytic-perf", action="store_true",
+        help="time the analytic oracle against the trace engine on the "
+             "lat_mem/STREAM/prefetch prediction lanes and write "
+             "BENCH_analytic.json",
+    )
+    analytic.add_argument(
+        "--analytic-selftest", action="store_true",
+        help="run the oracle-vs-trace differential suite against the golden "
+             "per-figure tolerances and exit non-zero on any violation",
+    )
     parser.add_argument(
         "--out", metavar="FILE", default="BENCH_trace.json",
         help="output JSON for --trace-perf (default: BENCH_trace.json)",
@@ -134,6 +152,49 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     # Lazy imports throughout: each mode pulls in only what it needs.
+    if args.analytic_selftest:
+        from ..perfmodel.differential import selftest
+
+        ok, lines = selftest()
+        print("\n".join(lines))
+        print("Analytic selftest " + ("PASSED" if ok else "FAILED"))
+        return 0 if ok else 1
+
+    if args.analytic_perf:
+        from .analytic_perf import write_analytic_bench
+
+        out = args.out if args.out != "BENCH_trace.json" else "BENCH_analytic.json"
+        result = write_analytic_bench(out)
+        for name, lane in result["lanes"].items():
+            print(
+                f"{name:>9}: trace {lane['trace_s']:7.3f} s"
+                f"  oracle {1e6 * lane['oracle_s']:8.2f} us"
+                f"  speedup {lane['speedup']:10.0f}x"
+                f"  max_rel_err {lane['max_rel_err']:.3e}"
+                f"  {'ok' if lane['within_tolerance'] else 'OUT OF TOLERANCE'}"
+            )
+        print(f"min speedup {result['min_speedup']:.0f}x, "
+              f"max rel err {result['max_rel_err']:.3e}")
+        print(f"[wrote {out}]")
+        return 0 if result["all_within_tolerance"] else 1
+
+    if args.analytic is not None:
+        from ..arch import e870
+        from ..perfmodel.oracle import REQUEST_KINDS, AnalyticOracle, OracleRequest
+
+        kinds = args.analytic or sorted(REQUEST_KINDS)
+        unknown_kinds = [k for k in kinds if k not in REQUEST_KINDS]
+        if unknown_kinds:
+            parser.error(
+                f"unknown oracle kind(s): {unknown_kinds}; "
+                f"known: {sorted(REQUEST_KINDS)}"
+            )
+        oracle = AnalyticOracle(e870())
+        for kind in kinds:
+            print(oracle.predict(OracleRequest(kind=kind)).render())
+            print()
+        return 0
+
     if args.ras_selftest:
         from ..ras.sweep import ras_selftest
 

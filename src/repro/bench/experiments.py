@@ -20,6 +20,7 @@ from ..interconnect.bandwidth import BandwidthModel
 from ..interconnect.latency import LatencyModel
 from ..interconnect.topology import SMPTopology
 from ..perfmodel.littles_law import RandomAccessModel
+from ..perfmodel.oracle import roofline_rows
 from ..perfmodel.stream_model import fig3a_points, fig3b_points, table3_rows
 from ..prefetch.dcbt import dcbt_sweep
 from ..prefetch.dscr import dscr_sweep
@@ -260,12 +261,7 @@ def fig8_dcbt(system: SystemSpec) -> ExperimentResult:
 def fig9_roofline(system: SystemSpec) -> ExperimentResult:
     """Figure 9: the E870 roofline with the asymmetric write roof."""
     roof = Roofline(system)
-    rows = []
-    for point in roof.place_all(paper_kernels_with_write_case()):
-        rows.append((
-            point.name, point.operational_intensity, point.bound_gflops,
-            "memory" if point.memory_bound else "compute",
-        ))
+    rows = roofline_rows(roof)
     return ExperimentResult(
         "fig9", "Roofline bounds for the scientific-kernel suite",
         ["kernel", "OI (flop/byte)", "bound (GFLOP/s)", "bound by"], rows,

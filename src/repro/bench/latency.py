@@ -15,35 +15,40 @@ import numpy as np
 
 from ..arch.power8 import PAGE_16M, PAGE_64K
 from ..arch.specs import SystemSpec
-from ..mem.analytic import AnalyticHierarchy
 from ..mem.batch import BatchMemoryHierarchy
 from ..mem.hierarchy import MemoryHierarchy
 from ..mem.trace import random_chase_addresses, sequential_addresses
+from ..perfmodel.oracle import AnalyticOracle, default_working_sets
 
-
-def default_working_sets(min_bytes: int = 16 * 1024, max_bytes: int = 8 << 30) -> List[int]:
-    """Log-spaced working-set sizes, four points per octave."""
-    sizes = []
-    size = float(min_bytes)
-    while size <= max_bytes:
-        sizes.append(int(size))
-        size *= 2 ** 0.25
-    return sizes
+__all__ = [
+    "default_working_sets",
+    "fig2_rows",
+    "traced_latency_ns",
+    "traced_latency_pmu",
+    "traced_stream_latency_ns",
+    "plateau_summary",
+]
 
 
 def fig2_rows(system: SystemSpec, working_sets: Sequence[int] | None = None) -> List[dict]:
-    """Latency at each working set for 64 KB and 16 MB pages."""
+    """Latency at each working set for 64 KB and 16 MB pages.
+
+    Routed through the :class:`AnalyticOracle` so the experiment
+    registry, ``tools/lat_mem`` and direct oracle queries share one
+    implementation.
+    """
     if working_sets is None:
         working_sets = default_working_sets()
-    regular = AnalyticHierarchy(system.chip, page_size=PAGE_64K)
-    huge = AnalyticHierarchy(system.chip, page_size=PAGE_16M)
+    oracle = AnalyticOracle(system)
+    regular = oracle.latency_curve(working_sets, page_size=PAGE_64K)
+    huge = oracle.latency_curve(working_sets, page_size=PAGE_16M)
     return [
         {
-            "working_set": int(w),
-            "latency_64k_ns": regular.latency_ns(w),
-            "latency_16m_ns": huge.latency_ns(w),
+            "working_set": w,
+            "latency_64k_ns": lat64,
+            "latency_16m_ns": lat16m,
         }
-        for w in working_sets
+        for (w, lat64), (_, lat16m) in zip(regular, huge)
     ]
 
 

@@ -127,6 +127,22 @@ class AnalyticHierarchy:
             + miss_tlb * tlb.tlb_miss_penalty_cycles
         )
 
+    def latency_breakdown_ns(self, working_set: float) -> Dict[str, float]:
+        """Per-component latency contribution (ns); sums to ``latency_ns``.
+
+        Keys are the level names plus ``DRAM`` and ``translation`` — the
+        ECM-style decomposition the oracle reports alongside the
+        headline number.
+        """
+        fractions = self.level_fractions(working_set)
+        breakdown = {
+            level.name: fractions[level.name] * level.latency_ns
+            for level in self.levels
+        }
+        breakdown["DRAM"] = fractions["DRAM"] * self.dram_latency_ns
+        breakdown["translation"] = self.translation_penalty_ns(working_set)
+        return breakdown
+
     # -- headline number ----------------------------------------------------------
     def latency_ns(self, working_set: float) -> float:
         """Mean load-to-use latency for a random chase over ``working_set``."""

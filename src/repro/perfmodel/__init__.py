@@ -1,7 +1,15 @@
-"""Calibrated performance models: Little's law, STREAM scaling, kernel time."""
+"""Calibrated performance models and the analytic steady-state oracle."""
 
 from .kernel_time import KernelProfile, MachineModel
 from .littles_law import LMQ_ENTRIES, RandomAccessModel, RandomAccessPoint
+from .oracle import (
+    REQUEST_KINDS,
+    AnalyticOracle,
+    OracleRequest,
+    OracleResult,
+    StreamSweepPrediction,
+    default_working_sets,
+)
 from .smt_advisor import SMTAdvice, SMTPoint, advise_smt
 from .stream_model import (
     StreamPoint,
@@ -14,15 +22,21 @@ from .stream_model import (
 
 __all__ = [
     "LMQ_ENTRIES",
+    "REQUEST_KINDS",
+    "AnalyticOracle",
     "KernelProfile",
     "MachineModel",
+    "OracleRequest",
+    "OracleResult",
     "RandomAccessModel",
     "RandomAccessPoint",
     "SMTAdvice",
     "SMTPoint",
+    "StreamSweepPrediction",
     "advise_smt",
     "StreamPoint",
     "chip_stream_bandwidth",
+    "default_working_sets",
     "fig3a_points",
     "fig3b_points",
     "system_stream_bandwidth",

@@ -1,0 +1,283 @@
+"""Tolerance-gated cross-validation of the oracle against the simulators.
+
+Every paper figure the :class:`~repro.perfmodel.oracle.AnalyticOracle`
+predicts is checked here against ground truth, under a per-figure
+tolerance recorded in ``golden_tolerances.json`` (package data, shipped
+next to this module).  Two kinds of case:
+
+* **trace cases** run the trace-driven batch engine and compare the
+  oracle's twin prediction — exact (1e-9) for the deterministic
+  sequential-sweep regimes, a few percent to ~30% for the random chase
+  whose sharp LRU knees the smooth capacity model rounds off;
+* **figure cases** run the registered experiment and compare the
+  oracle's rendering of the same figure — exact, because the two are
+  required to share one implementation (that is the point).
+
+Regenerate the golden file after an intentional model change with::
+
+    PYTHONPATH=src python -m tests.oracle.regen_golden
+
+``repro.bench`` is only imported inside case runners: the bench package
+imports ``perfmodel`` at module level, so the reverse edge must stay
+lazy.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..arch.specs import SystemSpec
+from .oracle import AnalyticOracle, OracleRequest
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden_tolerances.json"
+
+KIB = 1024
+MIB = 1024 * KIB
+
+#: Working sets of the random-chase trace cases (one per plateau the
+#: fidelity suite already covers, plus the remote-L3 region).
+CHASE_POINTS = {
+    "chase_32k": 32 * KIB,
+    "chase_256k": 256 * KIB,
+    "chase_1m": 1 * MIB,
+    "chase_4m": 4 * MIB,
+    "chase_16m": 16 * MIB,
+}
+
+#: Sweep shape of the deterministic trace cases.
+STREAM_SWEEP_BYTES = 4 * MIB
+PREFETCH_SWEEP_LINES = 2048
+
+#: Tolerance floor written by the regenerator: deterministic regimes
+#: are exact to float rounding, the chase model is only plateau-faithful.
+EXACT_FLOOR = 1e-9
+CHASE_FLOOR = 0.02
+#: Headroom factor over the measured error at regeneration time.
+GOLDEN_HEADROOM = 1.5
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """One differential case's outcome against its golden tolerance."""
+
+    name: str
+    figure: str
+    rel_err: float
+    tolerance: float
+    detail: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return self.rel_err <= self.tolerance
+
+    def line(self) -> str:
+        status = "ok  " if self.passed else "FAIL"
+        return (
+            f"{status} {self.name:24s} {self.figure:8s} "
+            f"rel_err={self.rel_err:.3e} tol={self.tolerance:.3e}  {self.detail}"
+        )
+
+
+def _max_rel(pairs: Sequence[Tuple[float, float]]) -> float:
+    """Max relative error over (truth, predicted) pairs."""
+    worst = 0.0
+    for truth, pred in pairs:
+        scale = max(abs(truth), 1e-30)
+        worst = max(worst, abs(truth - pred) / scale)
+    return worst
+
+
+def _count_err(expected: int, got: int) -> float:
+    return abs(expected - got) / max(1.0, abs(expected))
+
+
+# -- trace cases --------------------------------------------------------------
+
+def _run_chase(system: SystemSpec, oracle: AnalyticOracle, working_set: int):
+    from ..bench.latency import traced_latency_ns
+
+    traced = traced_latency_ns(system, working_set, passes=3)
+    predicted = oracle.chase_latency_ns(working_set)
+    return (
+        _max_rel([(traced, predicted)]),
+        f"trace={traced:.2f}ns oracle={predicted:.2f}ns",
+    )
+
+
+def _run_stream_cold(system: SystemSpec, oracle: AnalyticOracle, depth: int):
+    from ..bench.latency import traced_stream_latency_ns
+
+    traced = traced_stream_latency_ns(system, STREAM_SWEEP_BYTES, depth=depth)
+    predicted = oracle.stream_sweep(STREAM_SWEEP_BYTES, depth=depth)
+    return (
+        _max_rel([(traced, predicted.mean_latency_ns)]),
+        f"trace={traced:.3f}ns oracle={predicted.mean_latency_ns:.3f}ns",
+    )
+
+
+def _run_prefetch_sweep(system: SystemSpec, oracle: AnalyticOracle):
+    """Latency *and* PMU counters across every DSCR depth, exactly."""
+    from ..prefetch.traced import traced_dscr_sweep
+
+    traced = traced_dscr_sweep(system.chip, n_lines=PREFETCH_SWEEP_LINES)
+    predicted = oracle.prefetch_depth_sweep(n_lines=PREFETCH_SWEEP_LINES)
+    worst = 0.0
+    for t, p in zip(traced, predicted):
+        worst = max(worst, _max_rel([(t["mean_latency_ns"], p.mean_latency_ns)]))
+        for key, got in (
+            ("dram_misses", p.dram_misses),
+            ("prefetch_issued", p.prefetch_issued),
+            ("prefetch_useful", p.prefetch_useful),
+        ):
+            worst = max(worst, _count_err(int(t[key]), got))
+    return worst, f"{len(traced)} depths, latency + 3 counters each"
+
+
+# -- figure cases -------------------------------------------------------------
+
+def _experiment(system: SystemSpec, exp_id: str):
+    from ..bench.runner import run_experiment
+
+    return run_experiment(exp_id, system)
+
+
+def _run_fig2(system: SystemSpec, oracle: AnalyticOracle):
+    exp = _experiment(system, "fig2")
+    pred = oracle.predict(OracleRequest(kind="lat_mem")).rows
+    pairs = [(er[1], pr[1]) for er, pr in zip(exp.rows, pred)]
+    pairs += [(er[0], pr[0]) for er, pr in zip(exp.rows, pred)]
+    return _max_rel(pairs), f"{len(pred)} working sets (64K pages)"
+
+
+def _run_table3(system: SystemSpec, oracle: AnalyticOracle):
+    exp = _experiment(system, "table3")
+    pred = oracle.predict(OracleRequest(kind="stream_table3")).rows
+    pairs = [(er[1], pr[2]) for er, pr in zip(exp.rows, pred)]
+    return _max_rel(pairs), f"{len(pred)} read:write mixes"
+
+
+def _run_fig3(system: SystemSpec, oracle: AnalyticOracle):
+    exp = _experiment(system, "fig3")
+    pred = oracle.predict(OracleRequest(kind="stream_scaling")).rows
+    pairs = [(er[2], pr[2]) for er, pr in zip(exp.rows, pred)]
+    return _max_rel(pairs), f"{len(pred)} placements"
+
+
+def _run_fig4(system: SystemSpec, oracle: AnalyticOracle):
+    exp = _experiment(system, "fig4")
+    pred = oracle.predict(OracleRequest(kind="random_access")).rows
+    pairs = [(er[2], pr[3]) for er, pr in zip(exp.rows, pred)]
+    return _max_rel(pairs), f"{len(pred)} grid points"
+
+
+def _run_fig6(system: SystemSpec, oracle: AnalyticOracle):
+    exp = _experiment(system, "fig6")
+    pred = oracle.predict(OracleRequest(kind="dscr_model")).rows
+    pairs = [(er[2], pr[2]) for er, pr in zip(exp.rows, pred)]
+    pairs += [(er[3], pr[3]) for er, pr in zip(exp.rows, pred)]
+    return _max_rel(pairs), f"{len(pred)} DSCR settings"
+
+
+def _run_fig7(system: SystemSpec, oracle: AnalyticOracle):
+    exp = _experiment(system, "fig7")
+    pred = oracle.predict(OracleRequest(kind="stride")).rows
+    pairs = [(er[i], pr[i]) for er, pr in zip(exp.rows, pred) for i in (1, 2)]
+    return _max_rel(pairs), f"{len(pred)} depths, detection on/off"
+
+
+def _run_fig8(system: SystemSpec, oracle: AnalyticOracle):
+    exp = _experiment(system, "fig8")
+    pred = oracle.predict(OracleRequest(kind="dcbt")).rows
+    # The experiment reports percentages; the oracle raw efficiencies.
+    pairs = [
+        (er[i], 100.0 * pr[i]) for er, pr in zip(exp.rows, pred) for i in (1, 2)
+    ]
+    return _max_rel(pairs), f"{len(pred)} block sizes"
+
+
+def _run_fig9(system: SystemSpec, oracle: AnalyticOracle):
+    exp = _experiment(system, "fig9")
+    pred = oracle.predict(OracleRequest(kind="roofline")).rows
+    pairs = [(er[2], pr[2]) for er, pr in zip(exp.rows, pred)]
+    return _max_rel(pairs), f"{len(pred)} kernels"
+
+
+#: name -> (figure, tolerance floor, runner).  Trace cases first; the
+#: figure cases assert the one-implementation property and are exact.
+Runner = Callable[[SystemSpec, AnalyticOracle], Tuple[float, str]]
+CASES: Dict[str, Tuple[str, float, Runner]] = {
+    **{
+        name: (
+            "fig2",
+            CHASE_FLOOR,
+            (lambda ws: lambda s, o: _run_chase(s, o, ws))(ws),
+        )
+        for name, ws in CHASE_POINTS.items()
+    },
+    "stream_cold_depth0": (
+        "stream", EXACT_FLOOR, lambda s, o: _run_stream_cold(s, o, 0)
+    ),
+    "stream_cold_depth7": (
+        "stream", EXACT_FLOOR, lambda s, o: _run_stream_cold(s, o, 7)
+    ),
+    "prefetch_sweep": ("fig6", EXACT_FLOOR, _run_prefetch_sweep),
+    "figure_fig2": ("fig2", EXACT_FLOOR, _run_fig2),
+    "figure_table3": ("table3", EXACT_FLOOR, _run_table3),
+    "figure_fig3": ("fig3", EXACT_FLOOR, _run_fig3),
+    "figure_fig4": ("fig4", EXACT_FLOOR, _run_fig4),
+    "figure_fig6": ("fig6", EXACT_FLOOR, _run_fig6),
+    "figure_fig7": ("fig7", EXACT_FLOOR, _run_fig7),
+    "figure_fig8": ("fig8", EXACT_FLOOR, _run_fig8),
+    "figure_fig9": ("fig9", EXACT_FLOOR, _run_fig9),
+}
+
+#: The fast subset: everything that never touches a trace engine.
+FIGURE_CASES = tuple(name for name in CASES if name.startswith("figure_"))
+
+
+def load_golden_tolerances(path: Optional[Path] = None) -> Dict[str, float]:
+    payload = json.loads((path or GOLDEN_PATH).read_text(encoding="utf-8"))
+    return {name: float(tol) for name, tol in payload["tolerances"].items()}
+
+
+def run_differential(
+    system: Optional[SystemSpec] = None,
+    names: Optional[Sequence[str]] = None,
+    tolerances: Optional[Dict[str, float]] = None,
+) -> List[CaseResult]:
+    """Run the differential cases; every result carries its tolerance."""
+    if system is None:
+        from ..arch import e870
+
+        system = e870()
+    if tolerances is None:
+        tolerances = load_golden_tolerances()
+    oracle = AnalyticOracle(system)
+    results = []
+    for name in names if names is not None else CASES:
+        figure, floor, runner = CASES[name]
+        rel_err, detail = runner(system, oracle)
+        results.append(
+            CaseResult(name, figure, rel_err, tolerances.get(name, floor), detail)
+        )
+    return results
+
+
+def measure_errors(system: Optional[SystemSpec] = None) -> Dict[str, float]:
+    """Measured rel errors per case (the regenerator's raw material)."""
+    return {r.name: r.rel_err for r in run_differential(system, tolerances={})}
+
+
+def selftest(system: Optional[SystemSpec] = None) -> Tuple[bool, List[str]]:
+    """Run every case against the golden tolerances; (ok, report lines)."""
+    results = run_differential(system)
+    lines = [r.line() for r in results]
+    failed = [r for r in results if not r.passed]
+    lines.append(
+        f"{len(results) - len(failed)}/{len(results)} differential cases "
+        "within golden tolerance"
+    )
+    return not failed, lines

@@ -79,6 +79,9 @@ class RandomAccessModel:
         line = self.system.chip.core.l1d.line_size
         b_max = self.peak_bandwidth
         n_half = b_max * self.unloaded_latency_ns * 1e-9 / line
+        if n_half <= 0.0:
+            # Zero-latency link: any concurrency saturates immediately.
+            return b_max
         return b_max * (1.0 - math.exp(-n / n_half))
 
     def sweep(

@@ -10,10 +10,15 @@ from .compare import (
     within_factor,
 )
 from .tables import format_comparison, format_counter_table, format_table
+from .trajectory import Drift, check_trajectory, compare_payloads, flatten_metrics
 
 __all__ = [
+    "Drift",
     "argmax_index",
+    "check_trajectory",
+    "compare_payloads",
     "crossover_index",
+    "flatten_metrics",
     "format_comparison",
     "format_counter_table",
     "format_table",

@@ -5,8 +5,13 @@ Mirrors the lmbench tool the paper uses for Figure 2::
     python -m repro.tools.lat_mem --max-size 8G --page 64K
     python -m repro.tools.lat_mem --size 32M --trace   # trace-driven point
     python -m repro.tools.lat_mem --size 32M --trace --stream --depth 7
+    python -m repro.tools.lat_mem --size 32M --analytic --stream --depth 7
 
 Prints ``size_bytes latency_ns`` pairs, one per line, like the original.
+The default (no ``--trace``) path asks the
+:class:`~repro.perfmodel.oracle.AnalyticOracle` — the same engine the
+experiment registry renders Figure 2 through — and ``--analytic``
+extends it to the oracle's O(1) twin of any ``--trace`` mode.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ import sys
 from ..arch import e870
 from ..arch.power8 import PAGE_16M, PAGE_64K
 from ..bench.latency import default_working_sets, traced_latency_ns
-from ..mem.analytic import AnalyticHierarchy
+from ..perfmodel.oracle import AnalyticOracle
 
 _UNITS = {"": 1, "K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
 
@@ -51,6 +56,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", action="store_true",
                         help="use the trace-driven simulator (batch engine; "
                              "practical up to ~256M working sets)")
+    parser.add_argument("--analytic", action="store_true",
+                        help="ask the analytic oracle explicitly; with "
+                             "--stream, predicts the sequential-sweep twin "
+                             "of --trace --stream in O(1)")
     parser.add_argument("--stream", action="store_true",
                         help="with --trace: sequential sweep instead of the "
                              "random pointer chase (the batch engine's bulk "
@@ -90,12 +99,16 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--shards and --workers must be >= 1")
     if args.shards > 1 and not args.trace:
         parser.error("--shards needs the trace-driven simulator; add --trace")
-    if args.stream and not args.trace:
-        parser.error("--stream needs the trace-driven simulator; add --trace")
+    if args.analytic and args.trace:
+        parser.error("--analytic and --trace are alternatives; pick one")
+    if args.stream and not (args.trace or args.analytic):
+        parser.error("--stream needs --trace or --analytic")
     if args.stream and (args.shards > 1 or args.counters):
         parser.error("--stream does not combine with --shards or --counters")
     if args.depth and not args.stream:
         parser.error("--depth applies to the --stream sweep")
+    if args.analytic and args.inject:
+        parser.error("--inject needs the trace-driven simulator; add --trace")
 
     if args.trace:
         size = args.size if args.size else args.min_size
@@ -199,10 +212,21 @@ def main(argv: list[str] | None = None) -> int:
             cache.put(key, {"latency_ns": float(latency), "size": size})
         return 0
 
-    model = AnalyticHierarchy(system.chip, page_size=args.page)
+    oracle = AnalyticOracle(system)
+    if args.stream:
+        size = args.size if args.size else args.min_size
+        predicted = oracle.stream_sweep(size, depth=args.depth, page_size=args.page)
+        print(f"{size} {predicted.mean_latency_ns:.2f}")
+        print(
+            f"[oracle twin: {predicted.accesses} accesses, "
+            f"{predicted.dram_misses} dram misses, "
+            f"{predicted.prefetch_issued} prefetches issued]",
+            file=sys.stderr,
+        )
+        return 0
     sizes = [args.size] if args.size else default_working_sets(args.min_size, args.max_size)
-    for size in sizes:
-        print(f"{size} {model.latency_ns(size):.2f}")
+    for size, latency in oracle.latency_curve(sizes, page_size=args.page):
+        print(f"{size} {latency:.2f}")
     return 0
 
 

@@ -12,7 +12,11 @@ Mirrors the paper's modified STREAM benchmark::
 sequential sweep through the trace-driven batch engine (whose bulk
 streaming/prefetcher paths commit this exact regime) and reports the
 measured mean latency, effective per-stream bandwidth and prefetch
-counters.
+counters.  ``--analytic`` prints the same report from the
+:class:`~repro.perfmodel.oracle.AnalyticOracle`'s O(1) closed-form twin
+— the two are differential-tested to agree exactly.  All bandwidth
+modes route through the oracle, which is the single shared front end
+over :mod:`repro.perfmodel.stream_model`.
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ import sys
 
 from ..arch import e870
 from ..bench.stream_kernels import StreamKernels
-from ..perfmodel.stream_model import chip_stream_bandwidth, table3_rows
+from ..perfmodel.oracle import AnalyticOracle
 
 GB = 1e9
 
@@ -39,7 +43,7 @@ def _classic_worker(task):
 def _table3_worker(task):
     """Model one shard's slice of the Table III ratio sweep."""
     system, ratios = task
-    return table3_rows(system, ratios=ratios)
+    return AnalyticOracle(system).table3(ratios=ratios)
 
 
 def parse_ratio(text: str) -> tuple[float, float]:
@@ -89,6 +93,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", action="store_true",
                         help="measure a sequential sweep on the trace-driven "
                              "batch engine instead of the analytic model")
+    parser.add_argument("--analytic", action="store_true",
+                        help="predict the --trace sequential sweep with the "
+                             "analytic oracle's O(1) closed-form twin")
     parser.add_argument("--depth", type=int, default=7,
                         help="with --trace: DSCR prefetch depth 1-7 "
                              "(default: 7, deepest)")
@@ -106,17 +113,34 @@ def main(argv: list[str] | None = None) -> int:
     if args.trace and (args.table3 or args.ratio is not None
                        or args.cores is not None):
         parser.error("--trace is its own mode; drop --table3/--ratio/--cores")
+    if args.analytic and not args.trace:
+        parser.error("--analytic twins the --trace sweep; add --trace")
     if args.sweep_mb < 1:
         parser.error("--sweep-mb must be >= 1")
 
     if args.trace:
-        from ..prefetch.traced import traced_sequential_scan
-
         line = system.chip.core.l1d.line_size
         n_lines = (args.sweep_mb << 20) // line
-        row = traced_sequential_scan(system.chip, args.depth, n_lines=n_lines)
+        if args.analytic:
+            p = AnalyticOracle(system).stream_sweep(
+                depth=args.depth, n_lines=n_lines
+            )
+            row = {
+                "mean_latency_ns": p.mean_latency_ns,
+                "dram_misses": p.dram_misses,
+                "accesses": p.accesses,
+                "prefetch_issued": p.prefetch_issued,
+                "prefetch_useful": p.prefetch_useful,
+                "prefetch_accuracy": p.prefetch_accuracy,
+            }
+            label = "sequential sweep (oracle prediction)"
+        else:
+            from ..prefetch.traced import traced_sequential_scan
+
+            row = traced_sequential_scan(system.chip, args.depth, n_lines=n_lines)
+            label = "sequential sweep"
         eff_bw = line / (row["mean_latency_ns"] * 1e-9)
-        print(f"sequential sweep: {args.sweep_mb} MiB, depth {args.depth}")
+        print(f"{label}: {args.sweep_mb} MiB, depth {args.depth}")
         print(f"mean latency     {row['mean_latency_ns']:8.2f} ns/line")
         print(f"per-stream bw    {eff_bw / GB:8.1f} GB/s")
         print(f"dram misses      {row['dram_misses']:8d} / {row['accesses']} refs")
@@ -124,6 +148,8 @@ def main(argv: list[str] | None = None) -> int:
               f"useful {row['prefetch_useful']}  "
               f"accuracy {row['prefetch_accuracy']:.3f}")
         return 0
+
+    oracle = AnalyticOracle(system)
 
     if args.table3 and args.shards > 1 and args.inject is None:
         from ..parallel.pool import ShardPool
@@ -145,7 +171,7 @@ def main(argv: list[str] | None = None) -> int:
             from ..ras.injector import build_injector
             from ..ras.sweep import degraded_system_stream_bandwidth
 
-            for row in table3_rows(system):
+            for row in oracle.table3():
                 # Fresh injector per mix: each row is its own run.
                 degraded = degraded_system_stream_bandwidth(
                     system, build_injector(args.inject, seed=args.seed),
@@ -156,20 +182,18 @@ def main(argv: list[str] | None = None) -> int:
                       f"degraded {degraded / GB:8.1f} GB/s "
                       f"({100 * degraded / row['bandwidth']:.1f}%)")
             return 0
-        for row in table3_rows(system):
+        for row in oracle.table3():
             print(f"{row['read']:>4.0f}:{row['write']:<4.0f} "
                   f"{row['bandwidth'] / GB:8.1f} GB/s")
         return 0
 
     if args.cores is not None:
-        bw = chip_stream_bandwidth(system.chip, args.cores, args.threads)
+        bw = oracle.chip_bandwidth(args.cores, args.threads)
         print(f"{args.cores} cores x {args.threads} threads: {bw / GB:.1f} GB/s")
         return 0
 
     if args.ratio is not None:
-        from ..perfmodel.stream_model import system_stream_bandwidth
-
-        bw = system_stream_bandwidth(system, 8, *args.ratio)
+        bw = oracle.stream_bandwidth(*args.ratio)
         line = f"{args.ratio[0]:.0f}:{args.ratio[1]:.0f}  {bw / GB:.1f} GB/s"
         if args.inject is not None:
             from ..ras.injector import build_injector

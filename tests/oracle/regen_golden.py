@@ -1,0 +1,51 @@
+"""Golden-tolerance generator for the oracle differential suite.
+
+Every differential case (``repro.perfmodel.differential``) is gated by
+a per-figure tolerance stored as package data at
+``src/repro/perfmodel/golden_tolerances.json``.  The deterministic
+cases get their float-rounding floor; the random-chase cases get the
+measured model error plus headroom, so an unintended model regression
+trips the gate while refactors sail through.  After an *intentional*
+model change, regenerate with::
+
+    PYTHONPATH=src python -m tests.oracle.regen_golden
+
+and commit the updated JSON together with the change that motivated it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.perfmodel.differential import (
+    CASES,
+    GOLDEN_HEADROOM,
+    GOLDEN_PATH,
+    measure_errors,
+)
+
+
+def golden_payload() -> dict:
+    measured = measure_errors()
+    tolerances = {
+        name: max(GOLDEN_HEADROOM * measured[name], CASES[name][1])
+        for name in CASES
+    }
+    return {
+        "generated_by": "tests/oracle/regen_golden.py",
+        "headroom": GOLDEN_HEADROOM,
+        "measured": measured,
+        "tolerances": tolerances,
+    }
+
+
+def main() -> None:
+    payload = golden_payload()
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {GOLDEN_PATH} ({len(payload['tolerances'])} cases)")
+    for name, tol in payload["tolerances"].items():
+        print(f"  {name:24s} measured={payload['measured'][name]:.3e} tol={tol:.3e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Tolerance-gated differential suite: oracle vs simulators.
+
+Each case compares an :class:`~repro.perfmodel.oracle.AnalyticOracle`
+prediction against ground truth (the trace-driven batch engine or the
+registered experiment) under the tolerance recorded in the golden file.
+The figure cases are exact by construction — the oracle and the
+experiment registry share one implementation — so they run in the quick
+lane; the trace cases replay real sweeps and are marked slow.
+"""
+
+import pytest
+
+from repro.arch import e870
+from repro.perfmodel.differential import (
+    CASES,
+    FIGURE_CASES,
+    GOLDEN_PATH,
+    load_golden_tolerances,
+    run_differential,
+    selftest,
+)
+
+TRACE_CASES = tuple(name for name in CASES if name not in FIGURE_CASES)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return e870()
+
+
+@pytest.fixture(scope="module")
+def tolerances():
+    return load_golden_tolerances()
+
+
+def test_golden_file_covers_every_case(tolerances):
+    assert set(tolerances) == set(CASES), (
+        "golden_tolerances.json out of date; regenerate with "
+        "PYTHONPATH=src python -m tests.oracle.regen_golden"
+    )
+
+
+def test_golden_file_is_package_data():
+    """The file ships inside the package so --analytic-selftest finds it."""
+    assert GOLDEN_PATH.name == "golden_tolerances.json"
+    assert GOLDEN_PATH.parent.name == "perfmodel"
+
+
+@pytest.mark.parametrize("name", FIGURE_CASES)
+def test_figure_case(system, tolerances, name):
+    (result,) = run_differential(system, names=[name], tolerances=tolerances)
+    assert result.passed, result.line()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", TRACE_CASES)
+def test_trace_case(system, tolerances, name):
+    (result,) = run_differential(system, names=[name], tolerances=tolerances)
+    assert result.passed, result.line()
+
+
+@pytest.mark.slow
+def test_selftest_passes(system):
+    ok, lines = selftest(system)
+    assert ok, "\n".join(lines)
+    assert any("within golden tolerance" in line for line in lines)

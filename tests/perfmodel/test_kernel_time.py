@@ -103,3 +103,41 @@ class TestTimeEstimates:
     def test_rejects_bad_core_count(self, model):
         with pytest.raises(ValueError):
             model.time(stream_kernel(cores=1000))
+
+
+class TestEdgeCases:
+    """Degenerate working sets and shapes the oracle may produce."""
+
+    def test_write_only_kernel(self, model):
+        k = stream_kernel(flops=0, bytes_read=0, bytes_written=1e12)
+        assert k.read_byte_fraction == 0.0
+        assert model.time(k) > 0.0
+
+    def test_zero_byte_kernel_reads_like_pure_compute(self, model):
+        k = stream_kernel(bytes_read=0, bytes_written=0)
+        assert k.read_byte_fraction == 1.0
+        assert model.time(k) == pytest.approx(
+            k.flops / model.compute_rate(k)
+        )
+
+    def test_single_core_single_thread(self, model):
+        k = stream_kernel(flops=0, cores=1, threads_per_core=1)
+        bw = model.effective_bandwidth(k)
+        assert 0 < bw < model.effective_bandwidth(stream_kernel(flops=0))
+
+    def test_one_line_blocked_kernel(self, model, e870_system):
+        """The smallest legal block (one cache line) still has positive
+        efficiency — the degenerate all-cold-lines case."""
+        line = e870_system.chip.core.l1d.line_size
+        k = stream_kernel(flops=0, pattern="blocked", block_bytes=line)
+        assert 0 < model.effective_bandwidth(k) < model.effective_bandwidth(
+            stream_kernel(flops=0)
+        )
+
+    def test_time_monotone_in_bytes(self, model):
+        """More traffic can never make a memory-bound kernel faster."""
+        times = [
+            model.time(stream_kernel(flops=0, bytes_read=b, bytes_written=0))
+            for b in (1e9, 1e10, 1e11, 1e12)
+        ]
+        assert times == sorted(times)

@@ -79,6 +79,39 @@ class TestLMQCap:
             model.core_concurrency(9, 1)
 
 
+class TestEdgeCases:
+    """Degenerate machines the oracle may hand the model."""
+
+    def test_zero_latency_link_saturates_immediately(self, model, e870_system):
+        """A zero-latency memory gives N_half = 0; any concurrency must
+        return the ceiling rather than divide by zero."""
+        class _ZeroLatency:
+            def interleaved_latency_ns(self, home):
+                return 0.0
+
+        fast = RandomAccessModel(e870_system)
+        fast._latency = _ZeroLatency()
+        assert fast.bandwidth(1, 1) == pytest.approx(fast.peak_bandwidth)
+        assert fast.bandwidth(8, 32) == pytest.approx(fast.peak_bandwidth)
+
+    def test_single_thread_single_stream_floor(self, model, e870_system):
+        """The minimum configuration still follows Little's law."""
+        line = e870_system.chip.core.l1d.line_size
+        n = e870_system.num_cores  # one in-flight line per core
+        expected = n * line / (model.unloaded_latency_ns * 1e-9)
+        assert model.bandwidth(1, 1) == pytest.approx(expected, rel=0.05)
+
+    def test_lmq_of_one_serializes_everything(self, e870_system):
+        tiny = RandomAccessModel(e870_system, lmq_entries=1)
+        assert tiny.core_concurrency(8, 32) == 1
+        assert tiny.bandwidth(8, 32) == pytest.approx(tiny.bandwidth(1, 1))
+
+    def test_sweep_respects_custom_grids(self, model):
+        points = model.sweep(thread_counts=(1,), stream_counts=(1,))
+        assert len(points) == 1
+        assert points[0].concurrency == model.system.num_cores
+
+
 class TestSweep:
     def test_grid(self, model):
         points = model.sweep(thread_counts=(1, 8), stream_counts=(1, 4))

@@ -1,0 +1,131 @@
+"""Unit tests for the analytic steady-state oracle."""
+
+import pytest
+
+from repro.arch.power8 import PAGE_16M, PAGE_64K
+from repro.perfmodel.oracle import (
+    REQUEST_KINDS,
+    AnalyticOracle,
+    OracleRequest,
+    default_working_sets,
+)
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+@pytest.fixture(scope="module")
+def oracle(e870_system):
+    return AnalyticOracle(e870_system)
+
+
+class TestRequestSchema:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown oracle request kind"):
+            OracleRequest(kind="teleport")
+
+    def test_round_trips_through_dict(self):
+        req = OracleRequest(kind="prefetch_sweep", depths=(2, 7), working_set=1 * MIB)
+        assert OracleRequest.from_dict(req.to_dict()) == req
+
+    @pytest.mark.parametrize("kind", sorted(REQUEST_KINDS))
+    def test_every_kind_produces_rows(self, oracle, kind):
+        result = oracle.predict(OracleRequest(kind=kind))
+        assert result.kind == kind
+        assert result.rows
+        assert result.request is not None
+        assert result.request.kind == kind
+
+    @pytest.mark.parametrize("kind", sorted(REQUEST_KINDS))
+    def test_every_result_serializes_and_renders(self, oracle, kind):
+        result = oracle.predict(OracleRequest(kind=kind))
+        payload = result.to_dict()
+        assert payload["kind"] == kind
+        assert len(payload["rows"]) == len(result.rows)
+        assert f"oracle:{kind}" in result.render()
+
+
+class TestLatencyCurve:
+    def test_curve_is_monotone(self, oracle):
+        curve = oracle.latency_curve([32 * KIB, 256 * KIB, 4 * MIB, 64 * MIB, 1 << 30])
+        latencies = [lat for _, lat in curve]
+        assert latencies == sorted(latencies)
+
+    def test_huge_pages_cheaper_out_of_cache(self, oracle):
+        regular = oracle.latency_ns(1 << 30, page_size=PAGE_64K)
+        huge = oracle.latency_ns(1 << 30, page_size=PAGE_16M)
+        assert huge < regular
+
+    def test_default_working_sets_grid(self):
+        sizes = default_working_sets(16 * KIB, 128 * KIB)
+        assert sizes[0] == 16 * KIB
+        assert len(sizes) == 13  # four points per octave over three octaves
+        assert sizes == sorted(sizes)
+
+
+class TestStreamSweepTwin:
+    def test_depth_zero_all_accesses_miss(self, oracle):
+        p = oracle.stream_sweep(working_set=1 * MIB, depth=0)
+        assert p.dram_misses == p.accesses
+        assert p.prefetch_issued == 0
+
+    def test_deep_prefetch_leaves_three_cold_misses(self, oracle):
+        p = oracle.stream_sweep(n_lines=4096, depth=7)
+        assert p.dram_misses == 3
+        assert p.prefetch_useful == 4093
+        assert 0.9 < p.prefetch_accuracy < 1.0
+
+    def test_depth_one_disables_engine(self, oracle):
+        p = oracle.stream_sweep(n_lines=512, depth=1)
+        assert p.dram_misses == 512
+        assert p.prefetch_issued == 0
+
+    def test_prefetch_cuts_latency(self, oracle):
+        cold = oracle.stream_sweep(n_lines=4096, depth=0)
+        deep = oracle.stream_sweep(n_lines=4096, depth=7)
+        assert deep.mean_latency_ns < cold.mean_latency_ns / 5
+
+    def test_tiny_sweeps_stay_consistent(self, oracle):
+        for n in (1, 2, 3, 4):
+            p = oracle.stream_sweep(n_lines=n, depth=7)
+            assert p.accesses == n
+            assert p.dram_misses == min(n, 3)
+            assert p.prefetch_useful == max(0, n - 3)
+
+    def test_rejects_empty_sweep(self, oracle):
+        with pytest.raises(ValueError, match="at least one line"):
+            oracle.stream_sweep(n_lines=0)
+        with pytest.raises(ValueError, match="working_set bytes or n_lines"):
+            oracle.stream_sweep()
+
+    def test_bandwidth_matches_latency(self, oracle):
+        p = oracle.stream_sweep(n_lines=1024, depth=7)
+        line = oracle.chip.core.l1d.line_size
+        assert p.per_stream_bandwidth == pytest.approx(
+            line / (p.mean_latency_ns * 1e-9)
+        )
+
+
+class TestComposedModels:
+    def test_models_are_cached(self, oracle):
+        assert oracle.hierarchy() is oracle.hierarchy()
+        assert oracle.random_access is oracle.random_access
+        assert oracle.roofline is oracle.roofline
+
+    def test_table3_peak_at_two_to_one(self, oracle):
+        rows = oracle.table3()
+        best = max(rows, key=lambda r: r["bandwidth"])
+        assert (best["read"], best["write"]) == (2, 1)
+
+    def test_stream_point_placement_vs_mix(self, oracle):
+        by_mix = oracle.predict(OracleRequest(kind="stream_point", read_ratio=2.0))
+        by_cores = oracle.predict(OracleRequest(kind="stream_point", cores=1))
+        assert by_mix.metrics["bandwidth"] > by_cores.metrics["bandwidth"]
+
+    def test_kernel_time_delegates(self, oracle):
+        from repro.perfmodel.kernel_time import KernelProfile
+
+        k = KernelProfile("k", flops=0, bytes_read=1e12, bytes_written=0)
+        t = oracle.kernel_time(k)
+        assert t == pytest.approx(1e12 / oracle.machine_model.effective_bandwidth(k))
+        assert oracle.kernel_gflops(k) == 0.0
