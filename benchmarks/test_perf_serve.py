@@ -1,0 +1,40 @@
+"""Bench: the serve daemon's hot path vs cold-start process launches.
+
+The acceptance bar for the serving layer (``repro.serve``) is a >=100x
+throughput win for LRU-hot requests over the cold-start rate (one
+``python -c`` oracle query per process) — the whole point of keeping a
+daemon resident.  The measured run is written to ``BENCH_serve.json``
+at the repo root — the same artifact ``python -m repro.bench
+--serve-perf`` produces — and refuses to pass unless the conformance
+pass inside the harness found every served payload bit-identical to
+the direct in-process computation.
+"""
+
+from pathlib import Path
+
+from repro.bench.serve_perf import write_serve_bench
+from repro.serve.loadgen import run_serve_bench
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+
+def test_serve_hot_path_speedup(benchmark):
+    result = benchmark.pedantic(
+        run_serve_bench,
+        rounds=1,
+        iterations=1,
+    )
+    write_serve_bench(str(BENCH_JSON), result=result)
+    # Served payloads must be bit-identical to direct runs on every
+    # temperature (the harness ran the conformance pass already)...
+    assert result["bit_identical"], "\n".join(result["conformance"])
+    # ...identical concurrent requests must have computed once...
+    assert result["dedup_executions"] == 1
+    assert result["dedup_ratio"] >= (result["dedup_clients"] - 1) / result["dedup_clients"]
+    # ...the mixed-phase hit rate must match the schedule's hot fraction...
+    assert result["lru_hit_rate"] >= result["hot_fraction"] - 0.01
+    # ...and the LRU-hot path must clear the 100x acceptance bar.
+    assert result["hot"]["rps"] >= 100.0 * result["cold_start_rps"], (
+        f"hot path only {result['hot_rps_over_cold']:.1f}x the cold-start "
+        f"rate ({result['hot']['rps']:.0f} vs {result['cold_start_rps']:.2f} req/s)"
+    )

@@ -25,7 +25,11 @@ Sharded execution (``repro.parallel``): ``--workers N`` fans the
 selected experiments over a process pool (same results, same order);
 ``--shards N`` sets the shard count for sharded modes;
 ``--parallel-perf`` times the sharded trace engine against the serial
-one and writes ``BENCH_parallel.json``.  Results cache on disk when
+one and writes ``BENCH_parallel.json``; ``--serve-perf`` spawns a
+``repro.serve`` daemon and replays mixed cache-hit/miss request streams
+against it, writing p50/p99 latency, RPS, dedup ratio and LRU hit rate
+to ``BENCH_serve.json`` (conformance-gated: the served payloads must be
+bit-identical to direct in-process runs).  Results cache on disk when
 ``--cache-dir`` (or ``$REPRO_CACHE_DIR``) is configured — a second run
 prints ``[cache hit <id>]`` and renders the stored rows, bit-identical
 to a re-run; ``--no-cache`` bypasses the cache.
@@ -135,6 +139,17 @@ def main(argv: list[str] | None = None) -> int:
         help="run the sharded-execution micro-benchmark (serial engine vs "
              "sharded plan vs multiprocess pool) and write BENCH_parallel.json",
     )
+    serve = parser.add_argument_group("serve daemon")
+    serve.add_argument(
+        "--serve-perf", action="store_true",
+        help="spawn a serve daemon, replay mixed hit/miss request streams "
+             "against it (conformance-gated) and write BENCH_serve.json",
+    )
+    serve.add_argument(
+        "--serve-requests", type=int, metavar="N", default=None,
+        help="mixed-phase request count for --serve-perf (default: "
+             "the full load; use ~20000 for a CI smoke)",
+    )
     failsoft = parser.add_argument_group("fail-soft execution")
     failsoft.add_argument(
         "--timeout", type=float, metavar="S", default=None,
@@ -232,6 +247,21 @@ def main(argv: list[str] | None = None) -> int:
         print(f"sharded pool:   {result['parallel_s']:8.2f} s (workers={result['workers']})")
         print(f"speedup:        {result['speedup']:8.2f}x (vs serial engine)")
         print(f"bit-identical:  {result['bit_identical']}")
+        print(f"[wrote {out}]")
+        return 0 if result["bit_identical"] else 1
+
+    if args.serve_perf:
+        from .serve_perf import format_serve_summary, write_serve_bench
+
+        out = args.out if args.out != "BENCH_trace.json" else "BENCH_serve.json"
+        kwargs = {}
+        if args.serve_requests is not None:
+            if args.serve_requests <= 0:
+                parser.error("--serve-requests must be positive")
+            kwargs["mixed_requests"] = args.serve_requests
+            kwargs["hot_requests"] = max(2000, args.serve_requests // 2)
+        result = write_serve_bench(out, **kwargs)
+        print(format_serve_summary(result))
         print(f"[wrote {out}]")
         return 0 if result["bit_identical"] else 1
 

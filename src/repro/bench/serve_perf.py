@@ -1,0 +1,57 @@
+"""Serve-daemon micro-benchmark (``--serve-perf``).
+
+Thin wrapper over :func:`repro.serve.loadgen.run_serve_bench`: spawns a
+real daemon subprocess, runs the conformance / dedup / mixed / hot
+phases plus the cold-start reference, and writes ``BENCH_serve.json``
+at the repo root — the artifact ``benchmarks/test_perf_serve.py`` and
+the CI trajectory gate consume.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from ..serve.loadgen import run_serve_bench
+
+
+def write_serve_bench(path: str, result: Optional[Dict] = None, **kwargs) -> Dict:
+    """Run (unless given) and write the benchmark JSON; returns the dict."""
+    if result is None:
+        result = run_serve_bench(**kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return result
+
+
+def format_serve_summary(result: Dict) -> str:
+    """The human-readable lines ``python -m repro.bench`` prints."""
+    lines = [
+        f"conformance:   {'bit-identical' if result['bit_identical'] else 'MISMATCH'}",
+        *(f"  {line}" for line in result["conformance"]),
+        (
+            f"dedup:         {result['dedup_clients']} identical requests -> "
+            f"{result['dedup_executions']} execution(s), "
+            f"ratio {result['dedup_ratio']:.3f}"
+        ),
+        (
+            f"mixed phase:   {result['mixed']['requests']} requests, "
+            f"{result['mixed']['rps']:10.0f} req/s, "
+            f"p50 {result['mixed']['p50_ms']:.3f} ms, "
+            f"p99 {result['mixed']['p99_ms']:.3f} ms, "
+            f"LRU hit rate {result['lru_hit_rate']:.3f}"
+        ),
+        (
+            f"hot phase:     {result['hot']['requests']} requests, "
+            f"{result['hot']['rps']:10.0f} req/s, "
+            f"p50 {result['hot']['p50_ms']:.3f} ms, "
+            f"p99 {result['hot']['p99_ms']:.3f} ms"
+        ),
+        (
+            f"cold start:    {result['cold_start_s']:.3f} s/request "
+            f"({result['cold_start_rps']:.2f} req/s); hot path is "
+            f"{result['hot_rps_over_cold']:.0f}x that"
+        ),
+    ]
+    return "\n".join(lines)

@@ -19,7 +19,7 @@ results depend only on (config, seed, shard count), never on worker
 count or completion order.
 """
 
-from .cache import CACHE_VERSION, ResultCache, default_cache_dir
+from .cache import CACHE_VERSION, ResultCache, cache_key, default_cache_dir
 from .merge import (
     DEFAULT_LATENCY_EDGES,
     LatencyHistogram,
@@ -61,6 +61,7 @@ __all__ = [
     "ShardedTraceResult",
     "TraceShardOutcome",
     "TraceShardTask",
+    "cache_key",
     "default_cache_dir",
     "default_workers",
     "interleave_trace",

@@ -16,8 +16,10 @@ location is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
 
@@ -28,6 +30,11 @@ CACHE_VERSION = 1
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 
+#: Process-wide monotonic sequence for temp-file names.  ``next()`` on a
+#: C-implemented iterator is atomic, so concurrent writers of the same
+#: key draw distinct suffixes without a lock.
+_PUT_SEQ = itertools.count()
+
 
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
@@ -35,6 +42,27 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro"
+
+
+def cache_key(*, machine: object, workload: Mapping[str, Any], seed: int = 0) -> str:
+    """SHA-256 digest of the canonical key material.
+
+    ``machine`` is any spec object with a stable ``repr`` (the arch
+    specs are frozen dataclasses, so their repr pins every parameter);
+    ``workload`` is a JSON-able description of the run (experiment id,
+    shard count, flags, ...).  Module-level so callers that only need
+    the key — the serve daemon normalizing request specs — don't have
+    to build a cache around a directory.
+    """
+    material = {
+        "cache_version": CACHE_VERSION,
+        "code_version": __version__,
+        "machine": repr(machine),
+        "workload": dict(workload),
+        "seed": int(seed),
+    }
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 class ResultCache:
@@ -49,6 +77,10 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        # hits/misses are bumped under this lock so concurrent lookups
+        # (the serve daemon runs them from worker threads) never lose
+        # increments to a read-modify-write race.
+        self._lock = threading.Lock()
 
     def key(
         self,
@@ -57,22 +89,8 @@ class ResultCache:
         workload: Mapping[str, Any],
         seed: int = 0,
     ) -> str:
-        """SHA-256 digest of the canonical key material.
-
-        ``machine`` is any spec object with a stable ``repr`` (the arch
-        specs are frozen dataclasses, so their repr pins every
-        parameter); ``workload`` is a JSON-able description of the run
-        (experiment id, shard count, flags, ...).
-        """
-        material = {
-            "cache_version": CACHE_VERSION,
-            "code_version": __version__,
-            "machine": repr(machine),
-            "workload": dict(workload),
-            "seed": int(seed),
-        }
-        blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        """See :func:`cache_key` (pure function of the content)."""
+        return cache_key(machine=machine, workload=workload, seed=seed)
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -88,24 +106,31 @@ class ResultCache:
             with open(path, "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
         except (OSError, ValueError):
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
         if entry.get("cache_version") != CACHE_VERSION:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return entry.get("payload")
 
     def put(self, key: str, payload: Mapping[str, Any]) -> Path:
         """Store ``payload`` under ``key``; returns the entry's path.
 
         Writes via a temp file + rename so concurrent readers never see
-        a partial entry.
+        a partial entry.  The temp name carries the pid *and* a
+        process-wide monotonic sequence number: two threads (or asyncio
+        worker tasks) of one process storing the same key get distinct
+        temp files instead of clobbering each other mid-write, and each
+        rename still lands atomically on the final path.
         """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         entry = {"cache_version": CACHE_VERSION, "key": key, "payload": dict(payload)}
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = path.parent / f"{key}.{os.getpid()}.{next(_PUT_SEQ)}.tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(entry, fh, sort_keys=True)
         os.replace(tmp, path)

@@ -1,0 +1,71 @@
+"""Simulation-as-a-service: the ``repro.serve`` package.
+
+A persistent asyncio front-end over the layers the earlier PRs built —
+the O(1) :class:`~repro.perfmodel.oracle.AnalyticOracle`, the sharded
+:class:`~repro.parallel.pool.ShardPool` trace engine, the fail-soft
+experiment registry and the content-addressed
+:class:`~repro.parallel.cache.ResultCache` — so repeated questions
+about the modelled machine cost a cache lookup instead of a process.
+
+Layers (one module each):
+
+* :mod:`~repro.serve.protocol` — NDJSON framing, request
+  normalization → cache key, served-payload projections;
+* :mod:`~repro.serve.lru` — the bounded in-memory LRU tier above the
+  on-disk cache;
+* :mod:`~repro.serve.daemon` — the server: dedup of in-flight
+  identical requests, tiered lookup, compute lanes;
+* :mod:`~repro.serve.client` — blocking client library;
+* :mod:`~repro.serve.loadgen` — the ``--serve-perf`` load generator.
+
+Everything is conformance-first: ``tests/serve/`` gates every lane on
+bit-identity with the direct in-process path (cold, LRU-hot and
+disk-hot), and the perf harness refuses to report throughput unless
+that check passes.
+
+Run a daemon with ``python -m repro.serve``; benchmark one with
+``python -m repro.bench --serve-perf``.
+"""
+
+from .client import ServeClient, ServeError
+from .daemon import DEFAULT_HOST, DEFAULT_PORT, ReproServer, ServeStats, ServerThread
+from .lru import DEFAULT_LRU_CAPACITY, LRUTier, TieredResultCache
+from .protocol import (
+    MACHINES,
+    NormalizedRequest,
+    ProtocolError,
+    canonical,
+    decode_message,
+    encode_message,
+    error_response,
+    experiment_payload,
+    get_system,
+    normalize_request,
+    ok_response,
+    trace_payload,
+)
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_LRU_CAPACITY",
+    "DEFAULT_PORT",
+    "LRUTier",
+    "MACHINES",
+    "NormalizedRequest",
+    "ProtocolError",
+    "ReproServer",
+    "ServeClient",
+    "ServeError",
+    "ServeStats",
+    "ServerThread",
+    "TieredResultCache",
+    "canonical",
+    "decode_message",
+    "encode_message",
+    "error_response",
+    "experiment_payload",
+    "get_system",
+    "normalize_request",
+    "ok_response",
+    "trace_payload",
+]

@@ -1,0 +1,77 @@
+"""Run the serve daemon: ``python -m repro.serve [--port N] [...]``.
+
+Binds, prints one ``listening on HOST:PORT`` line (flushed, so parents
+spawning the daemon as a subprocess can scrape the bound ephemeral
+port), then serves until SIGINT or a ``shutdown`` request.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from ..bench.runner import RunPolicy
+from .daemon import DEFAULT_HOST, DEFAULT_PORT, ReproServer
+from .lru import DEFAULT_LRU_CAPACITY
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Long-running simulation service over the pool + caches.",
+    )
+    parser.add_argument("--host", default=DEFAULT_HOST, help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"bind port; 0 picks an ephemeral one (default: {DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="on-disk result-cache directory (default: no disk tier)",
+    )
+    parser.add_argument(
+        "--lru-capacity", type=int, metavar="N", default=DEFAULT_LRU_CAPACITY,
+        help=f"in-memory LRU entry bound (default: {DEFAULT_LRU_CAPACITY})",
+    )
+    parser.add_argument(
+        "--workers", type=int, metavar="N", default=1,
+        help="shard-pool width for the trace lane (default: 1, in-process)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, metavar="S", default=None,
+        help="per-experiment wall-clock budget (default: declared budgets)",
+    )
+    parser.add_argument(
+        "--retries", type=int, metavar="N", default=1,
+        help="extra attempts per failing computation (default: 1)",
+    )
+    args = parser.parse_args(argv)
+    if args.lru_capacity <= 0:
+        parser.error("--lru-capacity must be positive")
+    if args.workers <= 0:
+        parser.error("--workers must be positive")
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        lru_capacity=args.lru_capacity,
+        policy=RunPolicy(timeout_s=args.timeout, retries=max(0, args.retries)),
+        workers=args.workers,
+    )
+
+    async def amain() -> None:
+        host, port = await server.start()
+        print(f"listening on {host}:{port}", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(amain())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

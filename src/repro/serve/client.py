@@ -1,0 +1,94 @@
+"""Blocking client for the serve daemon.
+
+One TCP connection, newline-delimited JSON both ways.  The client is
+deliberately synchronous: the consumers of the service are test
+harnesses, load generators and CLI scripts, which all want a plain
+call-and-return API::
+
+    with ServeClient(host, port) as client:
+        response = client.run(kind="analytic",
+                              request={"kind": "chase", "working_set": 4 << 20})
+        payload = response["payload"]        # bit-identical to a local run
+        assert response["source"] in ("computed", "lru", "disk", "inflight")
+
+``run`` raises :class:`ServeError` when the daemon answers ``ok:
+false`` (malformed spec, lane failure after retries); the response is
+attached for inspection.  The load generator bypasses this class and
+pipelines raw frames itself — see :mod:`repro.serve.loadgen`.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional
+
+from .protocol import decode_message, encode_message
+
+
+class ServeError(RuntimeError):
+    """The daemon answered a request with a structured error."""
+
+    def __init__(self, message: str, response: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.response = response or {}
+
+
+class ServeClient:
+    """One blocking connection to a :class:`~repro.serve.daemon.ReproServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # -- core ----------------------------------------------------------------
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one message and block for its response.
+
+        A message without an ``id`` gets a connection-local sequence
+        number, so responses are attributable when callers log them.
+        """
+        if "id" not in message:
+            message = {**message, "id": self._next_id}
+            self._next_id += 1
+        self._sock.sendall(encode_message(message))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("serve daemon closed the connection")
+        return decode_message(line)
+
+    def run(self, **spec: Any) -> Dict[str, Any]:
+        """Submit one run spec; returns the full response on success."""
+        response = self.request({"op": "run", **spec})
+        if not response.get("ok"):
+            raise ServeError(
+                response.get("error", "request failed"), response=response
+            )
+        return response
+
+    # -- ops -----------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("ok"))
+
+    def stats(self) -> Dict[str, Any]:
+        response = self.request({"op": "stats"})
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "stats failed"), response=response)
+        return response
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop accepting work and exit its serve loop."""
+        self.request({"op": "shutdown"})
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,395 @@
+"""The ``repro.serve`` asyncio daemon.
+
+One long-running :class:`ReproServer` amortizes everything a CLI
+invocation pays per query: interpreter start-up, spec construction,
+model warm-up, and — through its two cache tiers — the computation
+itself.  A request travels::
+
+    spec --normalize--> key --LRU?--> disk?--> in-flight?--> compute
+
+* **LRU tier** (:class:`~repro.serve.lru.LRUTier`): bounded in-memory
+  payload store; a hot repeat costs one dict lookup plus JSON framing.
+* **Disk tier** (:class:`~repro.parallel.cache.ResultCache`): the
+  existing content-addressed cache; survives restarts and is shared
+  with nothing else (serve workloads carry their own namespace marker).
+* **In-flight dedup**: identical normalized specs arriving while the
+  first is still computing await the *same* ``asyncio.Task``; the
+  simulation runs exactly once.  Waiters await through
+  ``asyncio.shield``, so a client that disconnects (or a cancelled
+  waiter) never poisons the shared computation for the others.
+* **Compute lanes**: ``analytic`` requests go to the
+  :class:`~repro.perfmodel.oracle.AnalyticOracle` (O(1), microseconds);
+  ``experiment`` requests run fail-soft through
+  :func:`~repro.bench.runner.run_with_policy` (a persistent failure is
+  served as the registry's structured error row and not cached);
+  ``trace`` requests run the sharded engine with the same
+  :class:`~repro.bench.runner.RunPolicy` retry/backoff semantics.
+  Lanes execute in worker threads (``asyncio.to_thread``), so the event
+  loop keeps serving cache hits while a trace computes.
+
+Connections are handled concurrently; within one connection requests
+are answered in order (clients may pipeline).  Any per-request failure
+— undecodable line, unknown spec, lane exception after retries —
+becomes a structured error *response*; the daemon itself never dies of
+a bad request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from ..bench.runner import RunPolicy, run_with_policy
+from ..parallel.cache import ResultCache
+from ..parallel.runner import sharded_traced_latency
+from .lru import DEFAULT_LRU_CAPACITY, LRUTier, TieredResultCache
+from .protocol import (
+    NormalizedRequest,
+    ProtocolError,
+    canonical,
+    decode_message,
+    encode_message,
+    error_response,
+    experiment_payload,
+    normalize_request,
+    ok_response,
+    trace_payload,
+)
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8737
+
+
+class ServeStats:
+    """Monotonic request counters; every mutation happens under a lock.
+
+    ``deduped`` counts requests that joined an in-flight computation,
+    ``computed`` counts computations actually executed — the load
+    generator's dedup ratio and LRU hit rate come straight from a
+    snapshot of these.
+    """
+
+    _FIELDS = (
+        "requests",
+        "ops",
+        "ok",
+        "errors",
+        "lru_hits",
+        "disk_hits",
+        "computed",
+        "deduped",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in self._FIELDS:
+            setattr(self, name, 0)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def to_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return {name: getattr(self, name) for name in self._FIELDS}
+
+
+class ReproServer:
+    """The serve daemon: normalize, dedup, cache, compute, stream back."""
+
+    def __init__(
+        self,
+        *,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        cache_dir: Optional[str] = None,
+        lru_capacity: int = DEFAULT_LRU_CAPACITY,
+        policy: Optional[RunPolicy] = None,
+        workers: int = 1,
+    ) -> None:
+        disk = ResultCache(cache_dir) if cache_dir is not None else None
+        self.tier = TieredResultCache(LRUTier(lru_capacity), disk)
+        self.policy = policy if policy is not None else RunPolicy()
+        #: Pool width handed to the trace lane's shard pool.
+        self.workers = int(workers)
+        self.host = host
+        self.port = port
+        self.stats = ServeStats()
+        self._inflight: Dict[str, asyncio.Task] = {}
+        self._oracles: Dict[str, Any] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self.started_at = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and listen; returns the bound (host, port)."""
+        self._shutdown = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`close` or a ``shutdown`` request."""
+        if self._server is None:
+            await self.start()
+        assert self._shutdown is not None
+        await self._shutdown.wait()
+        await self.close()
+
+    async def close(self) -> None:
+        if self._shutdown is not None:
+            self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self.handle_line(line)
+                writer.write(encode_message(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def handle_line(self, line: bytes) -> Dict[str, Any]:
+        try:
+            message = decode_message(line)
+        except ProtocolError as exc:
+            self.stats.bump("requests")
+            self.stats.bump("errors")
+            return error_response(None, str(exc))
+        return await self.handle_request(message)
+
+    async def handle_request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer one decoded message (ops and run specs alike).
+
+        Public so in-process callers (tests, the load generator's
+        conformance pass) can exercise the full dedup/cache path
+        without a socket.
+        """
+        request_id = message.get("id")
+        op = message.get("op", "run")
+        # Ops count separately from run requests, so the hit/dedup
+        # ratios the load generator derives from a stats snapshot are
+        # exact fractions of the replayed run stream.
+        if op == "ping":
+            self.stats.bump("ops")
+            return ok_response(request_id, op="ping")
+        if op == "stats":
+            self.stats.bump("ops")
+            return ok_response(
+                request_id,
+                op="stats",
+                stats=self.stats.to_dict(),
+                tiers=self.tier.stats(),
+                inflight=len(self._inflight),
+                uptime_s=time.monotonic() - self.started_at,
+            )
+        if op == "shutdown":
+            self.stats.bump("ops")
+            if self._shutdown is not None:
+                self._shutdown.set()
+            return ok_response(request_id, op="shutdown")
+        self.stats.bump("requests")
+        if op != "run":
+            self.stats.bump("errors")
+            return error_response(request_id, f"unknown op {op!r}")
+        try:
+            normalized = normalize_request(message)
+        except ProtocolError as exc:
+            self.stats.bump("errors")
+            return error_response(request_id, str(exc))
+        key = normalized.key()
+
+        payload, tier = self.tier.get(key)
+        if tier == "lru":
+            self.stats.bump("lru_hits")
+            self.stats.bump("ok")
+            return ok_response(request_id, key=key, source="lru", payload=payload)
+        if tier == "disk":
+            self.stats.bump("disk_hits")
+            self.stats.bump("ok")
+            return ok_response(request_id, key=key, source="disk", payload=payload)
+
+        task = self._inflight.get(key)
+        if task is not None:
+            self.stats.bump("deduped")
+            source = "inflight"
+        else:
+            task = asyncio.ensure_future(self._compute_and_store(normalized, key))
+            self._inflight[key] = task
+            task.add_done_callback(lambda _t, k=key: self._inflight.pop(k, None))
+            source = "computed"
+        try:
+            # shield: cancelling THIS waiter (client gone) must not
+            # cancel the shared computation other waiters still need.
+            payload = await asyncio.shield(task)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — fail-soft boundary
+            self.stats.bump("errors")
+            return error_response(
+                request_id, f"{type(exc).__name__}: {exc}", key=key
+            )
+        self.stats.bump("ok")
+        return ok_response(request_id, key=key, source=source, payload=payload)
+
+    # -- compute lanes -------------------------------------------------------
+    async def _compute_and_store(
+        self, normalized: NormalizedRequest, key: str
+    ) -> Dict[str, Any]:
+        payload, cacheable = await asyncio.to_thread(self._compute, normalized)
+        self.stats.bump("computed")
+        if cacheable:
+            self.tier.put(key, payload)
+        return payload
+
+    def _compute(self, normalized: NormalizedRequest) -> Tuple[Dict[str, Any], bool]:
+        """Run one lane synchronously; returns ``(payload, cacheable)``.
+
+        Tests monkeypatch this with a spy to count executions — the
+        dedup contract is "``_compute`` runs once per distinct key".
+        """
+        workload = normalized.workload_dict()
+        if normalized.kind == "analytic":
+            from ..perfmodel.oracle import OracleRequest
+
+            oracle = self._oracle(normalized.machine)
+            result = oracle.predict(OracleRequest.from_dict(workload["request"]))
+            return canonical(result.to_dict()), True
+        if normalized.kind == "experiment":
+            result = run_with_policy(
+                workload["experiment"], self._system(normalized.machine), self.policy
+            )
+            # Error rows are served (fail-soft) but never cached: the
+            # next request retries instead of replaying the failure.
+            return experiment_payload(result), result.ok
+        return self._compute_trace(normalized, workload), True
+
+    def _compute_trace(
+        self, normalized: NormalizedRequest, workload: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """The trace lane, retried under the daemon's :class:`RunPolicy`."""
+        policy = self.policy
+        last_exc: Optional[BaseException] = None
+        for attempt in range(1, policy.retries + 2):
+            try:
+                _, result = sharded_traced_latency(
+                    self._system(normalized.machine),
+                    workload["working_set"],
+                    page_size=workload["page_size"],
+                    passes=workload["passes"],
+                    seed=normalized.seed,
+                    shards=workload["shards"],
+                    workers=self.workers,
+                    inject=workload["inject"],
+                )
+                return trace_payload(result)
+            except Exception as exc:  # noqa: BLE001 — retried, then surfaced
+                last_exc = exc
+                if attempt <= policy.retries:
+                    time.sleep(policy.backoff_after(attempt))
+        assert last_exc is not None
+        raise last_exc
+
+    def _system(self, machine: str):
+        from .protocol import get_system
+
+        return get_system(machine)
+
+    def _oracle(self, machine: str):
+        if machine not in self._oracles:
+            from ..perfmodel.oracle import AnalyticOracle
+
+            self._oracles[machine] = AnalyticOracle(self._system(machine))
+        return self._oracles[machine]
+
+
+class ServerThread:
+    """A running daemon on a background thread (its own event loop).
+
+    The synchronous harnesses — pytest suites, the load generator, the
+    ``--serve-perf`` benchmark — need a live server next to blocking
+    client code.  Use as a context manager::
+
+        with ServerThread(cache_dir=str(tmp)) as st:
+            client = ServeClient(st.host, st.port)
+    """
+
+    def __init__(self, **server_kwargs: Any) -> None:
+        self.server = ReproServer(**server_kwargs)
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # noqa: BLE001 — surfaced in start()
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.server.close())
+            # Let in-flight compute tasks finish before tearing down.
+            pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise RuntimeError("serve daemon failed to start") from self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -1,0 +1,128 @@
+"""Bounded in-memory LRU tier above the on-disk result cache.
+
+The on-disk :class:`~repro.parallel.cache.ResultCache` makes a repeated
+experiment free of *computation*; this tier also makes it free of
+*deserialization* — a hot entry is returned as the live payload object
+without touching the filesystem.  The tier is a transparent overlay:
+any sequence of ``get``/``put`` operations observes exactly the
+payloads the on-disk cache alone would serve (the Hypothesis property
+``tests/serve/test_lru.py`` pins), it only changes where they come
+from.  Eviction is strict least-recently-used over both reads and
+writes, and the tier never holds more than ``capacity`` entries.
+
+All operations take an internal lock: the serve daemon touches the tier
+from ``asyncio.to_thread`` workers, and the load generator hammers it
+from client threads, so the counters and the recency order must not
+race.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from ..parallel.cache import ResultCache
+
+#: Default entry bound for the daemon's hot tier.
+DEFAULT_LRU_CAPACITY = 4096
+
+
+class LRUTier:
+    """A thread-safe, bounded, least-recently-used key/value store."""
+
+    def __init__(self, capacity: int = DEFAULT_LRU_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._data: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[Any]:
+        """The stored value, freshened to most-recently-used; None on miss."""
+        with self._lock:
+            if key not in self._data:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert/overwrite ``key`` as most-recently-used, evicting LRU."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        """Membership without touching the recency order."""
+        with self._lock:
+            return key in self._data
+
+    def keys(self) -> Tuple[str, ...]:
+        """Snapshot of stored keys, least- to most-recently-used."""
+        with self._lock:
+            return tuple(self._data)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._data),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+class TieredResultCache:
+    """LRU tier composed over an optional on-disk :class:`ResultCache`.
+
+    ``get`` answers from memory when it can, falls through to disk on an
+    LRU miss (promoting the entry back into memory), and reports which
+    tier answered; ``put`` writes through to both tiers.  With no disk
+    cache configured the daemon still gets its hot tier — results just
+    don't survive a restart.
+    """
+
+    def __init__(
+        self,
+        lru: Optional[LRUTier] = None,
+        disk: Optional[ResultCache] = None,
+    ) -> None:
+        self.lru = lru if lru is not None else LRUTier()
+        self.disk = disk
+
+    def get(self, key: str) -> Tuple[Optional[Any], Optional[str]]:
+        """``(payload, tier)`` where tier is ``"lru"``, ``"disk"`` or None."""
+        payload = self.lru.get(key)
+        if payload is not None:
+            return payload, "lru"
+        if self.disk is not None:
+            payload = self.disk.get(key)
+            if payload is not None:
+                self.lru.put(key, payload)
+                return payload, "disk"
+        return None, None
+
+    def put(self, key: str, payload: Any) -> None:
+        self.lru.put(key, payload)
+        if self.disk is not None:
+            self.disk.put(key, payload)
+
+    def stats(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"lru": self.lru.stats()}
+        if self.disk is not None:
+            out["disk"] = {"hits": self.disk.hits, "misses": self.disk.misses}
+        return out

@@ -1,0 +1,320 @@
+"""Wire protocol and request normalization for the serve daemon.
+
+Framing is newline-delimited JSON: one request object per line in, one
+response object per line out, in order.  A request is either an ``op``
+message (``ping``, ``stats``, ``shutdown``) or a **run spec** — the
+JSON description of one experiment:
+
+``kind: "analytic"``
+    ``request`` holds an :class:`~repro.perfmodel.oracle.OracleRequest`
+    as a dict (the oracle's own schema); answered by the O(1) lane.
+``kind: "experiment"``
+    ``experiment`` names a registry id (``table3``, ``fig2``, ...);
+    answered fail-soft through :func:`repro.bench.runner.run_with_policy`.
+``kind: "trace"``
+    ``working_set`` (+ optional ``page_size``, ``passes``, ``shards``,
+    ``inject``, ``seed``) describes a pointer-chase measurement on the
+    sharded trace engine
+    (:func:`repro.parallel.runner.sharded_traced_latency`).
+
+Every spec **normalizes** before anything else happens: defaults are
+filled in, field types pinned, and the canonical form is hashed into
+the same content-addressed key space the on-disk
+:class:`~repro.parallel.cache.ResultCache` uses.  Two specs that differ
+only in spelling (omitted defaults, key order) therefore share one
+cache entry and one in-flight computation — normalization *is* the
+dedup relation.  Unknown fields are rejected rather than ignored: a
+typo that silently didn't change the key would silently dedup onto the
+wrong result.
+
+Payload projections (:func:`experiment_payload`, :func:`trace_payload`)
+define what a lane serves, as a deterministic pure function of the
+normalized spec — wall-clock fields are zeroed, numpy scalars
+collapsed, and everything is round-tripped through JSON once so the
+cold, LRU-hot and disk-hot paths are bit-identical (the contract
+``tests/serve/test_conformance.py`` pins against direct in-process
+runs).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from ..arch import e870, power8_192way
+from ..arch.specs import SystemSpec
+from ..parallel.cache import cache_key
+
+#: Machine presets a request may name.  Key material uses the spec's
+#: repr, so two names aliasing one spec would share cache entries.
+MACHINES: Dict[str, Callable[[], SystemSpec]] = {
+    "e870": e870,
+    "power8_192way": power8_192way,
+}
+
+_SYSTEMS: Dict[str, SystemSpec] = {}
+
+
+def get_system(machine: str) -> SystemSpec:
+    """The (memoized) spec for a preset name.
+
+    Specs are frozen dataclasses, so sharing one instance across
+    requests is safe — and keeps spec construction off the per-request
+    hot path.
+    """
+    if machine not in _SYSTEMS:
+        _SYSTEMS[machine] = MACHINES[machine]()
+    return _SYSTEMS[machine]
+
+#: The run-spec kinds the daemon routes.
+RUN_KINDS = ("analytic", "experiment", "trace")
+
+#: Non-run operations.
+OPS = ("run", "ping", "stats", "shutdown")
+
+#: Fields every run spec may carry, plus the per-kind ones.
+_COMMON_FIELDS = {"op", "id", "kind", "machine", "seed"}
+_KIND_FIELDS = {
+    "analytic": {"request"},
+    "experiment": {"experiment"},
+    "trace": {"working_set", "page_size", "passes", "shards", "inject"},
+}
+
+#: Trace-lane defaults (mirror repro.bench.latency.traced_latency_ns).
+TRACE_PAGE_SIZE = 64 * 1024
+TRACE_PASSES = 3
+
+
+class ProtocolError(ValueError):
+    """A request that cannot be normalized (malformed, unknown, typo'd)."""
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def encode_message(message: Mapping[str, Any]) -> bytes:
+    """One protocol message as a compact JSON line."""
+    return json.dumps(message, separators=(",", ":"), default=_collapse).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one received line; raises :class:`ProtocolError` on junk."""
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def _collapse(value: Any) -> Any:
+    """JSON fallback: numpy scalars become their Python equivalents."""
+    item = getattr(value, "item", None)
+    if item is not None and getattr(value, "shape", None) in ((), None):
+        return item()
+    raise TypeError(f"not JSON serializable: {type(value).__name__}")
+
+
+def canonical(payload: Any) -> Any:
+    """One round-trip through JSON: exactly what a client receives.
+
+    Served payloads are defined *post*-serialization (tuples are lists,
+    numpy scalars are numbers), so equality between the cold, LRU-hot,
+    disk-hot and direct in-process paths is equality of this form.
+    """
+    return json.loads(json.dumps(payload, default=_collapse))
+
+
+# -- normalization -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NormalizedRequest:
+    """The canonical form of one run spec.
+
+    ``workload_json`` is the filled-in, type-pinned description (a
+    sorted-key compact JSON object) that, with the machine spec and
+    seed, addresses the result: the daemon's cache key, dedup identity
+    and compute instructions are all derived from it and nothing else.
+    """
+
+    kind: str
+    machine: str
+    seed: int
+    workload_json: str
+
+    def workload_dict(self) -> Dict[str, Any]:
+        return json.loads(self.workload_json)
+
+    def system(self) -> SystemSpec:
+        return get_system(self.machine)
+
+    def key(self) -> str:
+        """Content-addressed key, shared with the on-disk cache scheme."""
+        return cache_key(
+            machine=self.system(), workload=self.workload_dict(), seed=self.seed
+        )
+
+
+def _freeze(workload: Mapping[str, Any]) -> str:
+    return json.dumps(workload, sort_keys=True, separators=(",", ":"))
+
+
+def _int_field(spec: Mapping[str, Any], name: str, default: int, minimum: int) -> int:
+    value = spec.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"{name} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ProtocolError(f"{name} must be >= {minimum}, got {value}")
+    return int(value)
+
+
+def normalize_request(spec: Mapping[str, Any]) -> NormalizedRequest:
+    """Validate one run spec and fill in every default.
+
+    Raises :class:`ProtocolError` on unknown kinds/machines/fields and
+    ill-typed values; the daemon converts that into a structured error
+    response without touching any lane.
+    """
+    kind = spec.get("kind")
+    if kind not in RUN_KINDS:
+        raise ProtocolError(f"unknown run kind {kind!r}; known: {list(RUN_KINDS)}")
+    machine = spec.get("machine", "e870")
+    if machine not in MACHINES:
+        raise ProtocolError(
+            f"unknown machine {machine!r}; known: {sorted(MACHINES)}"
+        )
+    allowed = _COMMON_FIELDS | _KIND_FIELDS[kind]
+    unknown = sorted(set(spec) - allowed)
+    if unknown:
+        raise ProtocolError(
+            f"unknown field(s) {unknown} for kind {kind!r}; "
+            f"allowed: {sorted(allowed)}"
+        )
+    seed = _int_field(spec, "seed", 0, 0)
+
+    if kind == "analytic":
+        request = spec.get("request")
+        if not isinstance(request, Mapping):
+            raise ProtocolError("analytic spec needs a 'request' object")
+        from ..perfmodel.oracle import OracleRequest
+
+        try:
+            oracle_request = OracleRequest.from_dict(dict(request))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad oracle request: {exc}") from None
+        workload = {"serve": "analytic", "request": canonical(oracle_request.to_dict())}
+    elif kind == "experiment":
+        if seed != 0:
+            raise ProtocolError(
+                "experiment runs are seedless (registry experiments are "
+                "deterministic); omit 'seed' or pass 0"
+            )
+        experiment = spec.get("experiment")
+        from ..bench.runner import experiment_ids
+
+        if experiment not in experiment_ids():
+            raise ProtocolError(
+                f"unknown experiment {experiment!r}; known: {experiment_ids()}"
+            )
+        workload = {"serve": "experiment", "experiment": experiment}
+    else:  # trace
+        working_set = spec.get("working_set")
+        if isinstance(working_set, bool) or not isinstance(working_set, int):
+            raise ProtocolError("trace spec needs an integer 'working_set' (bytes)")
+        if working_set <= 0:
+            raise ProtocolError(f"working_set must be positive, got {working_set}")
+        inject = spec.get("inject")
+        if inject is not None and not isinstance(inject, str):
+            raise ProtocolError(f"inject must be a fault-plan string, got {inject!r}")
+        workload = {
+            "serve": "trace",
+            "working_set": int(working_set),
+            "page_size": _int_field(spec, "page_size", TRACE_PAGE_SIZE, 1),
+            "passes": _int_field(spec, "passes", TRACE_PASSES, 2),
+            "shards": _int_field(spec, "shards", 1, 1),
+            "inject": inject,
+        }
+    return NormalizedRequest(
+        kind=kind, machine=machine, seed=seed, workload_json=_freeze(workload)
+    )
+
+
+# -- payload projections -----------------------------------------------------
+
+
+def experiment_payload(result) -> Dict[str, Any]:
+    """The served form of an :class:`ExperimentResult`: its dict with
+    wall-clock zeroed.
+
+    ``elapsed_s`` is the one field of a registry result that is not a
+    pure function of (machine, experiment id); serving it would make
+    the cold and cached paths observably different, so the daemon
+    serves the deterministic projection.
+    """
+    payload = result.to_dict()
+    payload["elapsed_s"] = 0.0
+    return canonical(payload)
+
+
+def trace_payload(result) -> Dict[str, Any]:
+    """The served summary of a :class:`ShardedTraceResult`.
+
+    Per-access arrays stay server-side (a million-access trace is not a
+    useful wire payload); what crosses the socket is the deterministic
+    reduction — mean latency, the level-hit and latency-histogram
+    shapes, the merged PMU bank and the RAS outcome — every field a
+    pure function of (machine, workload, seed).
+    """
+    hist = result.latency_histogram()
+    return canonical(
+        {
+            "accesses": int(result.trace.latency_ns.size),
+            "mean_latency_ns": float(result.mean_latency_ns),
+            "level_names": list(result.trace.level_names),
+            "level_hits": {k: int(v) for k, v in result.stats.level_hits.items()},
+            "latency_hist_counts": [int(c) for c in hist.counts],
+            "counters": {k: int(v) for k, v in dict(result.bank).items()},
+            "ras_events": len(result.ras_events),
+            "ras_derived": result.ras_derived,
+            "shards": int(result.shards),
+            "seed": int(result.seed),
+        }
+    )
+
+
+# -- response helpers --------------------------------------------------------
+
+
+def ok_response(
+    request_id: Any,
+    *,
+    key: Optional[str] = None,
+    source: Optional[str] = None,
+    payload: Any = None,
+    **extra: Any,
+) -> Dict[str, Any]:
+    response: Dict[str, Any] = {"id": request_id, "ok": True}
+    if key is not None:
+        response["key"] = key
+    if source is not None:
+        response["source"] = source
+    if payload is not None:
+        response["payload"] = payload
+    response.update(extra)
+    return response
+
+
+def error_response(
+    request_id: Any, error: str, *, key: Optional[str] = None
+) -> Dict[str, Any]:
+    response: Dict[str, Any] = {"id": request_id, "ok": False, "error": error}
+    if key is not None:
+        response["key"] = key
+    return response

@@ -1,12 +1,13 @@
 """Content-addressed result cache: keys, round-trips, CLI integration."""
 
 import json
+from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
 from repro.arch import e870
 from repro.bench.__main__ import main as bench_main
-from repro.parallel import ResultCache
+from repro.parallel import ResultCache, cache_key
 from repro.tools.lat_mem import main as lat_mem_main
 
 
@@ -54,6 +55,54 @@ def test_entry_is_self_describing(cache):
     entry = json.loads(cache.put(key, {"value": 11}).read_text())
     assert entry["key"] == key
     assert entry["payload"] == {"value": 11}
+
+
+def test_module_level_cache_key_matches_method(cache):
+    kwargs = dict(machine=e870(), workload={"experiment": "table1"}, seed=2)
+    assert cache_key(**kwargs) == cache.key(**kwargs)
+
+
+def test_concurrent_puts_of_one_key_never_corrupt(cache):
+    """Regression: the temp-file name used to be pid-only, so two
+    threads storing the same key wrote through ONE temp file — torn
+    JSON, or a rename racing a file that the other thread had already
+    renamed away.  With the per-put sequence number every writer owns
+    its temp file; hammering must end with a clean entry and no debris.
+    """
+    key = cache.key(machine=e870(), workload={"hammer": True})
+    payloads = [{"value": i, "blob": "x" * 4096} for i in range(16)]
+
+    def store(payload):
+        for _ in range(20):
+            cache.put(key, payload)
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        list(pool.map(store, payloads))
+
+    # The surviving entry is one of the writers' payloads, intact.
+    assert cache.get(key) in payloads
+    # No temp files leaked and no stray entries appeared.
+    leftovers = [p.name for p in cache.root.iterdir() if p.suffix != ".json"]
+    assert leftovers == []
+    assert len(list(cache.root.glob("*.json"))) == 1
+
+
+def test_concurrent_mixed_get_put_keeps_counters_exact(cache):
+    """hits/misses are bumped under a lock; N threads doing one lookup
+    each must account for exactly N lookups."""
+    key = cache.key(machine=e870(), workload={"counted": 1})
+    cache.put(key, {"v": 1})
+    hits_before, misses_before = cache.hits, cache.misses
+
+    def lookup(i):
+        return cache.get(key if i % 2 == 0 else f"{'0' * 64}")
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        results = list(pool.map(lookup, range(200)))
+
+    assert results.count({"v": 1}) == 100
+    assert cache.hits - hits_before == 100
+    assert cache.misses - misses_before == 100
 
 
 def test_bench_cli_second_run_hits_the_cache(tmp_path, capsys):

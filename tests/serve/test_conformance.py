@@ -1,0 +1,168 @@
+"""End-to-end bit-identity: served payloads vs direct in-process runs.
+
+For every request kind the daemon routes — analytic oracle, registry
+experiment, plain trace, sharded trace, RAS-injected trace — the
+payload that crosses the socket must equal the result of computing the
+same thing directly, bit for bit, on all three temperature paths:
+
+* **cold**: fresh daemon, fresh cache directory (source ``computed``);
+* **LRU-hot**: the repeat on the same daemon (source ``lru``);
+* **disk-hot**: a *new* daemon over the same cache directory, so the
+  in-memory tier is empty and the entry comes off disk (source
+  ``disk``), then once more to prove the promotion back into the LRU.
+
+"Direct" is spelled with the public APIs a script would use —
+``AnalyticOracle.predict``, ``run_with_policy``,
+``sharded_traced_latency`` — projected through the same served-payload
+definition (:func:`~repro.serve.protocol.experiment_payload`,
+:func:`~repro.serve.protocol.trace_payload`, one JSON round-trip).
+"""
+
+import pytest
+
+from repro.arch import e870
+from repro.bench.runner import run_with_policy
+from repro.parallel.runner import sharded_traced_latency
+from repro.perfmodel.oracle import AnalyticOracle, OracleRequest
+from repro.serve import (
+    ServeClient,
+    ServerThread,
+    canonical,
+    experiment_payload,
+    trace_payload,
+)
+
+INJECT = "dram_bit:rate=0.001;tlb_parity:rate=0.0005;ecc:chipkill"
+WS = 64 * 1024
+
+
+def direct_analytic(request):
+    oracle = AnalyticOracle(e870())
+    return canonical(oracle.predict(OracleRequest.from_dict(dict(request))).to_dict())
+
+
+def direct_experiment(experiment_id):
+    return experiment_payload(run_with_policy(experiment_id, e870()))
+
+
+def direct_trace(**kwargs):
+    _, result = sharded_traced_latency(e870(), **kwargs)
+    return trace_payload(result)
+
+
+CASES = [
+    pytest.param(
+        {"kind": "analytic", "request": {"kind": "chase", "working_set": 1 << 20}},
+        lambda: direct_analytic({"kind": "chase", "working_set": 1 << 20}),
+        id="analytic-chase",
+    ),
+    pytest.param(
+        {"kind": "analytic", "request": {"kind": "stream_table3"}},
+        lambda: direct_analytic({"kind": "stream_table3"}),
+        id="analytic-table3",
+    ),
+    pytest.param(
+        {"kind": "experiment", "experiment": "table1"},
+        lambda: direct_experiment("table1"),
+        id="experiment-table1",
+    ),
+    pytest.param(
+        {"kind": "trace", "working_set": WS},
+        lambda: direct_trace(working_set=WS),
+        id="trace-serial",
+    ),
+    pytest.param(
+        {"kind": "trace", "working_set": WS, "shards": 4, "seed": 5},
+        lambda: direct_trace(working_set=WS, shards=4, seed=5),
+        id="trace-sharded",
+    ),
+    pytest.param(
+        {"kind": "trace", "working_set": WS, "shards": 2, "seed": 7, "inject": INJECT},
+        lambda: direct_trace(working_set=WS, shards=2, seed=7, inject=INJECT),
+        id="trace-ras-injected",
+    ),
+]
+
+
+@pytest.mark.parametrize("spec,direct_fn", CASES)
+def test_served_equals_direct_on_every_temperature(spec, direct_fn, tmp_path):
+    direct = direct_fn()
+    cache_dir = str(tmp_path / "cache")
+
+    with ServerThread(cache_dir=cache_dir, lru_capacity=32) as st:
+        with ServeClient(st.host, st.port) as client:
+            cold = client.run(**spec)
+            assert cold["source"] == "computed"
+            assert cold["payload"] == direct
+
+            hot = client.run(**spec)
+            assert hot["source"] == "lru"
+            assert hot["payload"] == direct
+            assert hot["key"] == cold["key"]
+
+    # A fresh daemon over the same cache directory: disk tier answers,
+    # then the promoted entry serves the fourth request from memory.
+    with ServerThread(cache_dir=cache_dir, lru_capacity=32) as st:
+        with ServeClient(st.host, st.port) as client:
+            disk = client.run(**spec)
+            assert disk["source"] == "disk"
+            assert disk["payload"] == direct
+
+            promoted = client.run(**spec)
+            assert promoted["source"] == "lru"
+            assert promoted["payload"] == direct
+
+
+def test_spelling_variants_share_one_entry(tmp_path):
+    """Omitted defaults normalize away: one key, one computation."""
+    with ServerThread(cache_dir=str(tmp_path / "cache")) as st:
+        with ServeClient(st.host, st.port) as client:
+            sparse = client.run(kind="trace", working_set=WS)
+            explicit = client.run(
+                kind="trace", working_set=WS, page_size=64 * 1024,
+                passes=3, shards=1, seed=0, machine="e870",
+            )
+            assert sparse["source"] == "computed"
+            assert explicit["source"] == "lru"
+            assert explicit["key"] == sparse["key"]
+            assert explicit["payload"] == sparse["payload"]
+
+
+def test_machines_do_not_share_entries(tmp_path):
+    """Same workload on a different preset is a different result."""
+    spec = {"kind": "analytic", "request": {"kind": "stream_table3"}}
+    with ServerThread(cache_dir=str(tmp_path / "cache")) as st:
+        with ServeClient(st.host, st.port) as client:
+            first = client.run(**spec)
+            other = client.run(machine="power8_192way", **spec)
+            assert other["source"] == "computed"
+            assert other["key"] != first["key"]
+
+
+def test_experiment_error_rows_serve_but_do_not_cache(tmp_path, monkeypatch):
+    """A failing experiment serves its fail-soft error row; the next
+    request retries instead of replaying the cached failure."""
+    from repro.bench import runner as bench_runner
+    from repro.serve import daemon as serve_daemon
+
+    calls = {"n": 0}
+    real = bench_runner.run_with_policy
+
+    def flaky(experiment_id, system=None, policy=bench_runner.DEFAULT_POLICY):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            return bench_runner.error_result(experiment_id, "synthetic failure")
+        return real(experiment_id, system, policy)
+
+    monkeypatch.setattr(serve_daemon, "run_with_policy", flaky)
+    with ServerThread(cache_dir=str(tmp_path / "cache")) as st:
+        with ServeClient(st.host, st.port) as client:
+            first = client.run(kind="experiment", experiment="table1")
+            assert first["payload"]["error"] == "synthetic failure"
+            second = client.run(kind="experiment", experiment="table1")
+            assert second["source"] == "computed"  # not served from a cache
+            assert second["payload"]["error"] == ""
+            assert second["payload"] == direct_experiment("table1")
+            third = client.run(kind="experiment", experiment="table1")
+            assert third["source"] == "lru"  # the good row did get cached
+    assert calls["n"] == 2

@@ -1,0 +1,170 @@
+"""In-flight dedup: identical concurrent requests compute exactly once.
+
+These tests drive :meth:`ReproServer.handle_request` directly (no
+socket) with ``server._compute`` replaced by a spy that counts
+executions and blocks on an event, so the tests control exactly when
+the "simulation" finishes.  The contracts:
+
+* N identical concurrent requests → one ``_compute`` execution, N
+  identical payloads, ``stats.deduped == N - 1``;
+* requests differing only in seed do **not** dedup — one execution
+  each;
+* cancelling one waiter (client gone mid-request) must not cancel the
+  shared computation the other waiters are shielded behind;
+* a computation that raises fails *all* current waiters with an error
+  response, then clears the in-flight slot so the next request retries
+  fresh.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.serve import ReproServer
+
+
+def spec(seed=0, request_id=None):
+    return {
+        "op": "run",
+        "id": request_id,
+        "kind": "trace",
+        "working_set": 4096,
+        "seed": seed,
+    }
+
+
+class ComputeSpy:
+    """Stands in for ``ReproServer._compute``; blocks until released."""
+
+    def __init__(self, fail_first=False):
+        self.calls = []
+        self.release = threading.Event()
+        self.fail_first = fail_first
+        self._lock = threading.Lock()
+
+    def __call__(self, normalized):
+        with self._lock:
+            self.calls.append(normalized.key())
+            ordinal = len(self.calls)
+        assert self.release.wait(timeout=30), "spy never released"
+        if self.fail_first and ordinal == 1:
+            raise RuntimeError("synthetic lane failure")
+        return {"execution": ordinal, "seed": normalized.seed}, True
+
+
+async def wait_until(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("timed out waiting for daemon state")
+        await asyncio.sleep(0.005)
+
+
+def test_identical_concurrent_requests_execute_once():
+    async def scenario():
+        server = ReproServer()
+        spy = ComputeSpy()
+        server._compute = spy
+        n = 8
+
+        waiters = [
+            asyncio.create_task(server.handle_request(spec(request_id=i)))
+            for i in range(n)
+        ]
+        # All but the first join the in-flight task instead of spawning.
+        await wait_until(lambda: server.stats.deduped == n - 1)
+        assert len(spy.calls) == 1
+        assert len(server._inflight) == 1
+        spy.release.set()
+        responses = await asyncio.gather(*waiters)
+
+        assert [r["ok"] for r in responses] == [True] * n
+        assert {r["payload"]["execution"] for r in responses} == {1}
+        assert {r["key"] for r in responses} == {spy.calls[0]}
+        assert server.stats.computed == 1
+        assert server.stats.deduped == n - 1
+        # The in-flight slot is cleared once the task resolves.
+        await wait_until(lambda: not server._inflight)
+
+    asyncio.run(scenario())
+
+
+def test_distinct_seeds_fan_out():
+    async def scenario():
+        server = ReproServer()
+        spy = ComputeSpy()
+        server._compute = spy
+        spy.release.set()  # no gating needed — just count executions
+
+        responses = await asyncio.gather(
+            *(server.handle_request(spec(seed=s)) for s in range(5))
+        )
+        assert len(spy.calls) == len(set(spy.calls)) == 5
+        assert server.stats.deduped == 0
+        assert server.stats.computed == 5
+        assert {r["payload"]["seed"] for r in responses} == set(range(5))
+
+    asyncio.run(scenario())
+
+
+def test_cancelled_waiter_does_not_poison_the_shared_future():
+    async def scenario():
+        server = ReproServer()
+        spy = ComputeSpy()
+        server._compute = spy
+
+        first = asyncio.create_task(server.handle_request(spec(request_id=1)))
+        await wait_until(lambda: len(spy.calls) == 1)
+        second = asyncio.create_task(server.handle_request(spec(request_id=2)))
+        await wait_until(lambda: server.stats.deduped == 1)
+
+        # The first client hangs up; its waiter is cancelled.
+        first.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await first
+
+        # The shared computation must still be alive for the survivor.
+        spy.release.set()
+        response = await second
+        assert response["ok"] is True
+        assert response["payload"]["execution"] == 1
+        assert len(spy.calls) == 1  # never re-executed
+
+        # And the result was cached on the way out.
+        third = await server.handle_request(spec(request_id=3))
+        assert third["source"] == "lru"
+        assert third["payload"] == response["payload"]
+
+    asyncio.run(scenario())
+
+
+def test_compute_failure_fails_all_waiters_then_clears_the_slot():
+    async def scenario():
+        server = ReproServer()
+        spy = ComputeSpy(fail_first=True)
+        server._compute = spy
+
+        waiters = [
+            asyncio.create_task(server.handle_request(spec(request_id=i)))
+            for i in range(3)
+        ]
+        await wait_until(lambda: server.stats.deduped == 2)
+        spy.release.set()
+        responses = await asyncio.gather(*waiters)
+
+        # One failed execution poisons every waiter of THAT attempt...
+        assert [r["ok"] for r in responses] == [False] * 3
+        assert all("synthetic lane failure" in r["error"] for r in responses)
+        assert len(spy.calls) == 1
+        assert server.stats.errors == 3
+
+        # ...but not the key: the next request computes fresh.
+        await wait_until(lambda: not server._inflight)
+        retry = await server.handle_request(spec(request_id=99))
+        assert retry["ok"] is True
+        assert retry["source"] == "computed"
+        assert len(spy.calls) == 2
+
+    asyncio.run(scenario())

@@ -1,0 +1,193 @@
+"""Protocol unit tests: framing, normalization, strict validation.
+
+Normalization *is* the dedup relation, so most of these tests are about
+keys: specs that differ only in spelling must share one, specs that
+differ in meaning must not, and anything unknown or ill-typed must be
+rejected loudly (a typo that silently kept the same key would silently
+dedup onto the wrong result).  The tail of the file checks the failure
+modes over a live socket — a malformed line gets a structured error
+response and the daemon keeps serving.
+"""
+
+import json
+import socket
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    ServeClient,
+    ServeError,
+    ServerThread,
+    canonical,
+    decode_message,
+    encode_message,
+    normalize_request,
+)
+from repro.serve.protocol import ProtocolError
+
+
+def key_of(**spec):
+    return normalize_request(spec).key()
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def test_encode_decode_round_trip():
+    message = {"op": "run", "id": 7, "kind": "trace", "working_set": 4096}
+    line = encode_message(message)
+    assert line.endswith(b"\n")
+    assert b"\n" not in line[:-1]
+    assert decode_message(line) == message
+
+
+def test_encode_collapses_numpy_scalars():
+    line = encode_message({"v": np.int64(3), "f": np.float64(1.5)})
+    assert decode_message(line) == {"v": 3, "f": 1.5}
+
+
+def test_decode_rejects_junk_and_non_objects():
+    with pytest.raises(ProtocolError):
+        decode_message(b"{not json\n")
+    with pytest.raises(ProtocolError):
+        decode_message(b"[1,2,3]\n")
+
+
+def test_canonical_is_the_wire_form():
+    assert canonical({"t": (1, 2), "x": np.int64(5)}) == {"t": [1, 2], "x": 5}
+    payload = {"nested": {"tuple": ((1,), 2.0)}}
+    assert canonical(payload) == json.loads(json.dumps({"nested": {"tuple": [[1], 2.0]}}))
+
+
+# -- normalization: spelling never matters, meaning always does --------------
+
+
+def test_defaults_fill_to_the_same_key():
+    sparse = key_of(kind="trace", working_set=1 << 20)
+    explicit = key_of(
+        kind="trace", working_set=1 << 20, page_size=64 * 1024,
+        passes=3, shards=1, seed=0, machine="e870",
+    )
+    assert sparse == explicit
+
+
+def test_request_id_and_op_do_not_enter_the_key():
+    a = normalize_request({"op": "run", "id": 1, "kind": "trace", "working_set": 4096})
+    b = normalize_request({"op": "run", "id": 999, "kind": "trace", "working_set": 4096})
+    assert a == b
+    assert a.key() == b.key()
+
+
+def test_meaningful_fields_all_change_the_key():
+    base = dict(kind="trace", working_set=1 << 20)
+    reference = key_of(**base)
+    for delta in (
+        {"working_set": 2 << 20},
+        {"seed": 1},
+        {"shards": 2},
+        {"passes": 4},
+        {"page_size": 4096},
+        {"inject": "dram_bit:rate=0.001"},
+        {"machine": "power8_192way"},
+    ):
+        assert key_of(**{**base, **delta}) != reference, delta
+
+
+def test_analytic_request_normalizes_through_oracle_schema():
+    sparse = key_of(kind="analytic", request={"kind": "chase"})
+    # OracleRequest fills its own defaults; spelling them out is a no-op.
+    explicit = key_of(
+        kind="analytic", request={"kind": "chase", "working_set": 4 << 20}
+    )
+    assert sparse == explicit
+
+
+def test_kinds_are_namespaced_apart():
+    # A trace and an experiment can never collide: the workload carries
+    # a serve-kind marker into the key material.
+    trace = normalize_request({"kind": "trace", "working_set": 4096})
+    assert json.loads(trace.workload_json)["serve"] == "trace"
+
+
+# -- strict rejection ---------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "spec,fragment",
+    [
+        ({"kind": "nope"}, "unknown run kind"),
+        ({}, "unknown run kind"),
+        ({"kind": "trace", "working_set": 4096, "machine": "cray"}, "unknown machine"),
+        ({"kind": "trace", "working_set": 4096, "wrkng_set": 1}, "unknown field"),
+        ({"kind": "analytic", "request": {"kind": "chase"}, "working_set": 1}, "unknown field"),
+        ({"kind": "analytic"}, "'request' object"),
+        ({"kind": "analytic", "request": {"kind": "warp_drive"}}, "bad oracle request"),
+        ({"kind": "experiment", "experiment": "table99"}, "unknown experiment"),
+        ({"kind": "experiment", "experiment": "table1", "seed": 3}, "seedless"),
+        ({"kind": "trace"}, "working_set"),
+        ({"kind": "trace", "working_set": -4}, "positive"),
+        ({"kind": "trace", "working_set": True}, "integer"),
+        ({"kind": "trace", "working_set": 4096, "passes": 1}, "passes"),
+        ({"kind": "trace", "working_set": 4096, "seed": -1}, "seed"),
+        ({"kind": "trace", "working_set": 4096, "inject": 7}, "fault-plan"),
+    ],
+)
+def test_normalize_rejects(spec, fragment):
+    with pytest.raises(ProtocolError, match=fragment):
+        normalize_request(spec)
+
+
+# -- failure modes over a live socket ----------------------------------------
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    with ServerThread(lru_capacity=8) as st:
+        yield st
+
+
+def test_bad_spec_gets_error_response_and_daemon_survives(live_server):
+    with ServeClient(live_server.host, live_server.port) as client:
+        with pytest.raises(ServeError) as excinfo:
+            client.run(kind="trace")  # missing working_set
+        assert "working_set" in str(excinfo.value)
+        assert excinfo.value.response["ok"] is False
+        # Same connection still serves real work afterwards.
+        response = client.run(kind="analytic", request={"kind": "chase"})
+        assert response["ok"] is True
+
+
+def test_malformed_line_gets_error_response_and_daemon_survives(live_server):
+    raw = socket.create_connection(
+        (live_server.host, live_server.port), timeout=30
+    )
+    try:
+        reader = raw.makefile("rb")
+        raw.sendall(b"this is not json\n")
+        response = decode_message(reader.readline())
+        assert response["ok"] is False
+        assert "undecodable" in response["error"]
+        # The connection is intact: a good request on the same socket works.
+        raw.sendall(encode_message({"op": "ping", "id": 1}))
+        assert decode_message(reader.readline()) == {"id": 1, "ok": True, "op": "ping"}
+    finally:
+        raw.close()
+
+
+def test_unknown_op_is_an_error_response(live_server):
+    with ServeClient(live_server.host, live_server.port) as client:
+        response = client.request({"op": "dance"})
+        assert response["ok"] is False
+        assert "unknown op" in response["error"]
+
+
+def test_ping_and_stats_ops(live_server):
+    with ServeClient(live_server.host, live_server.port) as client:
+        assert client.ping() is True
+        stats = client.stats()
+        assert stats["ok"] is True
+        for field in ("requests", "lru_hits", "computed", "deduped"):
+            assert field in stats["stats"]
+        assert "lru" in stats["tiers"]
+        assert stats["uptime_s"] >= 0
