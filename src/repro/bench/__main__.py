@@ -150,6 +150,18 @@ def main(argv: list[str] | None = None) -> int:
         help="mixed-phase request count for --serve-perf (default: "
              "the full load; use ~20000 for a CI smoke)",
     )
+    serve.add_argument(
+        "--chaos-perf", action="store_true",
+        help="spawn chaos-armed serve daemons, replay a seeded mixed-fault "
+             "stream (crashing/slow lanes, disk corruption, dropped "
+             "connections, malformed lines) and write availability/"
+             "p99-under-fault to BENCH_chaos.json",
+    )
+    serve.add_argument(
+        "--chaos-requests", type=int, metavar="N", default=None,
+        help="mixed-fault replay request count for --chaos-perf (default: "
+             "4000; use ~1000 for a CI smoke)",
+    )
     failsoft = parser.add_argument_group("fail-soft execution")
     failsoft.add_argument(
         "--timeout", type=float, metavar="S", default=None,
@@ -264,6 +276,25 @@ def main(argv: list[str] | None = None) -> int:
         print(format_serve_summary(result))
         print(f"[wrote {out}]")
         return 0 if result["bit_identical"] else 1
+
+    if args.chaos_perf:
+        from .chaos_perf import format_chaos_summary, write_chaos_bench
+
+        out = args.out if args.out != "BENCH_trace.json" else "BENCH_chaos.json"
+        kwargs = {}
+        if args.chaos_requests is not None:
+            if args.chaos_requests <= 0:
+                parser.error("--chaos-requests must be positive")
+            kwargs["requests"] = args.chaos_requests
+        result = write_chaos_bench(out, **kwargs)
+        print(format_chaos_summary(result))
+        print(f"[wrote {out}]")
+        ok = (
+            result["mixed_fault"]["violations"] == 0
+            and result["quarantine"]["payload_identical"]
+            and result["drain"]["exit_code"] == 0
+        )
+        return 0 if ok else 1
 
     if args.stream_fastpath_perf:
         from .stream_fastpath_perf import write_stream_fastpath_bench

@@ -1,0 +1,63 @@
+"""Serve-daemon chaos benchmark (``--chaos-perf``).
+
+Thin wrapper over :func:`repro.serve.loadgen.run_chaos_bench`: spawns
+chaos-armed daemon subprocesses, runs the mixed-fault replay plus the
+deterministic quarantine, overload and drain probes, and writes
+``BENCH_chaos.json`` at the repo root — the artifact
+``benchmarks/test_perf_chaos.py`` and the CI trajectory gate consume.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from ..serve.loadgen import run_chaos_bench
+
+
+def write_chaos_bench(path: str, result: Optional[Dict] = None, **kwargs) -> Dict:
+    """Run (unless given) and write the benchmark JSON; returns the dict."""
+    if result is None:
+        result = run_chaos_bench(**kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return result
+
+
+def format_chaos_summary(result: Dict) -> str:
+    """The human-readable lines ``python -m repro.bench`` prints."""
+    mixed = result["mixed_fault"]
+    quarantine = result["quarantine"]
+    overload = result["overload"]
+    drain = result["drain"]
+    lines = [
+        (
+            f"mixed faults:  {mixed['requests']} requests, "
+            f"availability {mixed['availability']:.4f}, "
+            f"violations {mixed['violations']}, "
+            f"p50 {mixed['p50_ms']:.3f} ms, p99 {mixed['p99_ms']:.3f} ms"
+        ),
+        (
+            f"  injected:    {mixed['malformed_sent']} malformed, "
+            f"{mixed['oversized_sent']} oversized, "
+            f"{mixed['disconnects_injected']} client disconnects; "
+            f"server drops {mixed['dropped']}, timeouts {mixed['timeouts']}"
+        ),
+        (
+            f"quarantine:    corrupt entry -> "
+            f"{'healed bit-identical' if quarantine['payload_identical'] else 'MISMATCH'} "
+            f"({quarantine['quarantined']} file(s) quarantined, "
+            f"healed via {quarantine['healed_source']})"
+        ),
+        (
+            f"overload:      {overload['total_shed']} shed "
+            f"(busy {overload['busy']}, quota {overload['quota']}), "
+            f"{overload['ok']} served"
+        ),
+        (
+            f"drain:         SIGTERM exit code {drain['exit_code']}, "
+            f"banner {'present' if drain['drained_line_present'] else 'MISSING'}"
+        ),
+    ]
+    return "\n".join(lines)

@@ -19,7 +19,7 @@ results depend only on (config, seed, shard count), never on worker
 count or completion order.
 """
 
-from .cache import CACHE_VERSION, ResultCache, cache_key, default_cache_dir
+from .cache import CACHE_VERSION, ResultCache, cache_key, default_cache_dir, payload_digest
 from .merge import (
     DEFAULT_LATENCY_EDGES,
     LatencyHistogram,
@@ -63,6 +63,7 @@ __all__ = [
     "TraceShardTask",
     "cache_key",
     "default_cache_dir",
+    "payload_digest",
     "default_workers",
     "interleave_trace",
     "merge_trace_outcomes",

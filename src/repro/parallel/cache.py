@@ -11,6 +11,16 @@ Invalidation is by construction: bumping ``repro.__version__`` (or
 :data:`CACHE_VERSION` when only the cache format changes) changes every
 key, and deleting the cache directory is always safe.  The default
 location is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
+
+Integrity is verified on every read: each entry stores a SHA-256 digest
+of its payload (:func:`payload_digest`), and :meth:`ResultCache.get`
+recomputes it before serving.  Anything wrong with an entry — a
+truncated or bit-flipped file, junk bytes, a JSON document that is not
+an entry object, a digest mismatch — is **quarantined** (renamed aside
+so the evidence survives and the bad bytes are never read again) and
+reported as a miss, so a corrupted disk costs a recompute, never a
+wrong result.  The serve daemon's chaos suite (``repro.serve.chaos``)
+drives exactly these paths with deliberately corrupted payload files.
 """
 
 from __future__ import annotations
@@ -26,7 +36,8 @@ from typing import Any, Dict, Mapping, Optional
 from .. import __version__
 
 #: Bump when the stored payload format changes incompatibly.
-CACHE_VERSION = 1
+#: 2: entries carry a payload SHA-256, verified on every read.
+CACHE_VERSION = 2
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 
@@ -65,6 +76,18 @@ def cache_key(*, machine: object, workload: Mapping[str, Any], seed: int = 0) ->
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def payload_digest(payload: Any) -> str:
+    """SHA-256 of a payload's canonical JSON form.
+
+    Computed over ``json.dumps(..., sort_keys=True)`` so the digest is
+    stable across a store/load round trip (tuples serialize as arrays,
+    key order never matters).  Shared by the on-disk entries and the
+    serve daemon's in-memory tier, so both tiers verify the same bytes.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 class ResultCache:
     """A directory of ``<digest>.json`` files, one per cached result.
 
@@ -77,6 +100,7 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
         # hits/misses are bumped under this lock so concurrent lookups
         # (the serve daemon runs them from worker threads) never lose
         # increments to a read-modify-write race.
@@ -98,14 +122,31 @@ class ResultCache:
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The cached payload for ``key``, or ``None`` on a miss.
 
-        Unreadable or corrupt entries count as misses — the cache never
-        raises on lookup, a re-run is always the fallback.
+        The cache never raises on lookup — a re-run is always the
+        fallback.  A missing file or a stale-format entry is a plain
+        miss; anything *corrupt* — truncated or non-JSON bytes, a JSON
+        document that is not an entry object, a payload whose stored
+        SHA-256 no longer matches — is quarantined (renamed aside) and
+        then reported as a miss, so the bad bytes are recomputed instead
+        of re-read forever.
         """
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
-                entry = json.load(fh)
-        except (OSError, ValueError):
+                raw = fh.read()
+        except OSError:
+            # Absent (normal miss) or unreadable (nothing to rename).
+            with self._lock:
+                self.misses += 1
+            return None
+        try:
+            entry = json.loads(raw)
+            if not isinstance(entry, dict):
+                raise ValueError("cache entry is not a JSON object")
+        except ValueError:
+            # Half-written, truncated or bit-flipped into non-JSON: the
+            # file is evidence of corruption, not a servable entry.
+            self._quarantine(path)
             with self._lock:
                 self.misses += 1
             return None
@@ -113,9 +154,29 @@ class ResultCache:
             with self._lock:
                 self.misses += 1
             return None
+        payload = entry.get("payload")
+        if entry.get("sha256") != payload_digest(payload):
+            # Verify-on-read: a flipped bit inside an otherwise valid
+            # JSON document still never crosses this boundary.
+            self._quarantine(path)
+            with self._lock:
+                self.misses += 1
+            return None
         with self._lock:
             self.hits += 1
-        return entry.get("payload")
+        return payload
+
+    def _quarantine(self, path: Path) -> None:
+        """Rename a corrupt entry aside (``*.quarantined``) and count it."""
+        aside = path.parent / (
+            f"{path.stem}.{os.getpid()}.{next(_PUT_SEQ)}.quarantined"
+        )
+        try:
+            os.replace(path, aside)
+        except OSError:
+            return  # already replaced/removed by a concurrent writer
+        with self._lock:
+            self.quarantined += 1
 
     def put(self, key: str, payload: Mapping[str, Any]) -> Path:
         """Store ``payload`` under ``key``; returns the entry's path.
@@ -129,7 +190,12 @@ class ResultCache:
         """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        entry = {"cache_version": CACHE_VERSION, "key": key, "payload": dict(payload)}
+        entry = {
+            "cache_version": CACHE_VERSION,
+            "key": key,
+            "payload": dict(payload),
+            "sha256": payload_digest(dict(payload)),
+        }
         tmp = path.parent / f"{key}.{os.getpid()}.{next(_PUT_SEQ)}.tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(entry, fh, sort_keys=True)

@@ -27,12 +27,31 @@ Run a daemon with ``python -m repro.serve``; benchmark one with
 ``python -m repro.bench --serve-perf``.
 """
 
-from .client import ServeClient, ServeError
-from .daemon import DEFAULT_HOST, DEFAULT_PORT, ReproServer, ServeStats, ServerThread
+from .chaos import (
+    ChaosClause,
+    ChaosError,
+    ChaosInjector,
+    ChaosPlan,
+    build_chaos,
+)
+from .client import ServeClient, ServeError, ServeTimeout
+from .daemon import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    CircuitBreaker,
+    ReproServer,
+    ResilienceConfig,
+    ServeStats,
+    ServerThread,
+)
 from .lru import DEFAULT_LRU_CAPACITY, LRUTier, TieredResultCache
 from .protocol import (
+    ERROR_CODES,
     MACHINES,
+    MAX_LINE_BYTES,
+    LineReader,
     NormalizedRequest,
+    OversizedLineError,
     ProtocolError,
     canonical,
     decode_message,
@@ -42,23 +61,36 @@ from .protocol import (
     get_system,
     normalize_request,
     ok_response,
+    request_deadline,
     trace_payload,
 )
 
 __all__ = [
+    "ChaosClause",
+    "ChaosError",
+    "ChaosInjector",
+    "ChaosPlan",
+    "CircuitBreaker",
     "DEFAULT_HOST",
     "DEFAULT_LRU_CAPACITY",
     "DEFAULT_PORT",
+    "ERROR_CODES",
     "LRUTier",
+    "LineReader",
     "MACHINES",
+    "MAX_LINE_BYTES",
     "NormalizedRequest",
+    "OversizedLineError",
     "ProtocolError",
     "ReproServer",
+    "ResilienceConfig",
     "ServeClient",
     "ServeError",
     "ServeStats",
+    "ServeTimeout",
     "ServerThread",
     "TieredResultCache",
+    "build_chaos",
     "canonical",
     "decode_message",
     "encode_message",
@@ -67,5 +99,6 @@ __all__ = [
     "get_system",
     "normalize_request",
     "ok_response",
+    "request_deadline",
     "trace_payload",
 ]

@@ -1,0 +1,307 @@
+"""Deterministic service-level fault injection for the serve daemon.
+
+:mod:`repro.ras` injects faults *inside* the simulated machine; this
+module injects them into the machinery that serves it — the compute
+lanes, the on-disk cache, and the wire.  The design is the same
+counter-keyed-draw scheme as :class:`repro.ras.injector.FaultInjector`:
+every clause of a plan owns an independent injection site, each site
+keeps its own opportunity counter, and whether opportunity ``n`` fires
+is the pure function ``deterministic_draw(seed, site, n) < rate`` (or
+an exact ``at=n`` trigger).  Two consequences the chaos suite relies
+on:
+
+* a replay under the same plan and seed injects the identical fault
+  sequence, so availability numbers in ``BENCH_chaos.json`` are
+  reproducible modulo wall-clock;
+* raising a rate strictly grows the fault set — degradation under
+  chaos is monotone in the injected rate, exactly like the RAS layer.
+
+Fault classes
+-------------
+Server-side (consulted by :class:`~repro.serve.daemon.ReproServer`):
+
+``slow_lane``
+    the compute lane sleeps ``delay_ms`` before running (tail latency);
+``hang_lane``
+    the lane wedges for ``hang_s`` seconds (deadline / timeout food);
+``lane_error``
+    the lane raises :class:`ChaosError` (worker crash);
+``corrupt_disk``
+    the on-disk cache entry just written is damaged in place
+    (``mode=truncate|bitflip|junk``) — exercising quarantine +
+    recompute in :class:`repro.parallel.cache.ResultCache`;
+``drop_conn``
+    the connection is aborted instead of the response being written
+    (the client observes a mid-response disconnect).
+
+Client-side (consulted by the load generator's chaos phase, never by
+the daemon — the site streams are independent either way):
+
+``malformed_line``
+    a non-JSON line is sent in place of the request;
+``oversized_line``
+    a line beyond :data:`repro.serve.protocol.MAX_LINE_BYTES` is sent;
+``client_disconnect``
+    the client aborts its socket mid-request and reconnects.
+
+Plan grammar
+------------
+``--chaos`` accepts the same compact shape as ``--inject``:
+semicolon-separated clauses, each ``kind:key=value,...``::
+
+    slow_lane:rate=0.01,delay_ms=5;lane_error:rate=0.02
+    corrupt_disk:at=1,mode=bitflip;drop_conn:rate=0.005
+    hang_lane:at=40,hang_s=1.5,lane=trace
+
+Keys: ``rate`` (per-opportunity probability), ``at`` (fire exactly once
+on the Nth opportunity, 1-based), ``delay_ms``/``hang_s`` (severity),
+``mode`` (disk corruption flavour), ``lane`` (restrict a lane clause to
+``analytic``/``experiment``/``trace`` requests).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..ras.faults import deterministic_draw
+
+#: Lane-facing fault kinds (consulted per compute-lane execution).
+LANE_KINDS = ("slow_lane", "hang_lane", "lane_error")
+#: All server-side kinds (the daemon consults these).
+SERVER_KINDS = LANE_KINDS + ("corrupt_disk", "drop_conn")
+#: Client-side kinds (the load generator consults these).
+CLIENT_KINDS = ("malformed_line", "oversized_line", "client_disconnect")
+#: Every kind a plan may name.
+CHAOS_KINDS = SERVER_KINDS + CLIENT_KINDS
+
+#: Disk-corruption flavours ``corrupt_disk`` can apply.
+CORRUPT_MODES = ("truncate", "bitflip", "junk")
+
+#: Lane names a ``lane=`` filter may restrict a clause to.
+LANES = ("analytic", "experiment", "trace")
+
+#: Site bases per kind; clause index is added so two clauses of the
+#: same kind draw from independent streams (mirrors repro.ras).
+_SITE_BASE = {kind: 0x100000 * (i + 1) for i, kind in enumerate(CHAOS_KINDS)}
+
+
+class ChaosError(RuntimeError):
+    """The injected worker exception (a crash the daemon must absorb)."""
+
+
+@dataclass(frozen=True)
+class ChaosClause:
+    """One line of a chaos plan: what breaks, when, how hard."""
+
+    kind: str
+    rate: float = 0.0
+    at: Optional[int] = None
+    delay_ms: float = 25.0
+    hang_s: float = 5.0
+    mode: str = "truncate"
+    lane: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ValueError(
+                f"unknown chaos kind {self.kind!r}; known: {sorted(CHAOS_KINDS)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"chaos rate must be in [0,1], got {self.rate}")
+        if self.at is not None and self.at < 1:
+            raise ValueError(f"trigger counts are 1-based, got at={self.at}")
+        if self.delay_ms < 0 or self.hang_s < 0:
+            raise ValueError(
+                f"delays must be >= 0, got delay_ms={self.delay_ms} "
+                f"hang_s={self.hang_s}"
+            )
+        if self.mode not in CORRUPT_MODES:
+            raise ValueError(
+                f"unknown corrupt mode {self.mode!r}; known: {CORRUPT_MODES}"
+            )
+        if self.lane is not None:
+            if self.kind not in LANE_KINDS:
+                raise ValueError(
+                    f"lane= only applies to lane clauses {LANE_KINDS}, "
+                    f"not {self.kind!r}"
+                )
+            if self.lane not in LANES:
+                raise ValueError(
+                    f"unknown lane {self.lane!r}; known: {LANES}"
+                )
+
+    def fires(self, seed: int, site: int, count: int) -> bool:
+        """Deterministically decide opportunity ``count`` (1-based)."""
+        if self.at is not None and count == self.at:
+            return True
+        if self.rate > 0.0:
+            return deterministic_draw(seed, site, count) < self.rate
+        return False
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """An ordered list of chaos clauses (the ``--chaos SPEC`` form)."""
+
+    clauses: Tuple[ChaosClause, ...] = ()
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosPlan":
+        """Parse a ``--chaos`` spec string (see module docstring)."""
+        clauses: List[ChaosClause] = []
+        for token in filter(None, (t.strip() for t in spec.split(";"))):
+            name, _, argtext = token.partition(":")
+            kwargs: Dict[str, object] = {"kind": name.strip().lower()}
+            for kv in filter(None, (p.strip() for p in argtext.split(","))):
+                key, sep, value = kv.partition("=")
+                if not sep:
+                    raise ValueError(f"expected key=value in clause {token!r}")
+                key = key.strip().lower()
+                value = value.strip()
+                if key == "rate":
+                    kwargs["rate"] = float(value)
+                elif key == "at":
+                    kwargs["at"] = int(value)
+                elif key == "delay_ms":
+                    kwargs["delay_ms"] = float(value)
+                elif key == "hang_s":
+                    kwargs["hang_s"] = float(value)
+                elif key in ("mode", "lane"):
+                    kwargs[key] = value.lower()
+                else:
+                    raise ValueError(f"unknown key {key!r} in clause {token!r}")
+            clauses.append(ChaosClause(**kwargs))  # type: ignore[arg-type]
+        return cls(clauses=tuple(clauses))
+
+    def describe(self) -> str:
+        parts = []
+        for c in self.clauses:
+            when = f"at={c.at}" if c.at is not None else f"rate={c.rate:g}"
+            extra = ""
+            if c.kind == "slow_lane":
+                extra = f",delay_ms={c.delay_ms:g}"
+            elif c.kind == "hang_lane":
+                extra = f",hang_s={c.hang_s:g}"
+            elif c.kind == "corrupt_disk":
+                extra = f",mode={c.mode}"
+            if c.lane is not None:
+                extra += f",lane={c.lane}"
+            parts.append(f"{c.kind}:{when}{extra}")
+        return "; ".join(parts) if parts else "(no chaos)"
+
+
+class ChaosInjector:
+    """Deterministic chaos source shared by one daemon (or one loadgen).
+
+    Carries mutable per-clause opportunity counters under a lock — the
+    daemon consults it from compute-lane threads and the event loop
+    concurrently, and the counts must stay exact for the draws to be
+    reproducible.
+    """
+
+    def __init__(self, plan: ChaosPlan, seed: int = 0) -> None:
+        self.plan = plan
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._counts = [0] * len(plan.clauses)
+        #: Faults actually fired, by kind (surfaced in the stats op).
+        self.injected: Dict[str, int] = {}
+        self._by_kind = [
+            (i, _SITE_BASE[c.kind] + i, c) for i, c in enumerate(plan.clauses)
+        ]
+
+    def _consult(
+        self, kinds: Tuple[str, ...], lane: Optional[str] = None
+    ) -> List[ChaosClause]:
+        """Advance every matching clause one opportunity; return the firers."""
+        fired: List[ChaosClause] = []
+        with self._lock:
+            for i, site, clause in self._by_kind:
+                if clause.kind not in kinds:
+                    continue
+                if clause.lane is not None and lane is not None and clause.lane != lane:
+                    continue
+                self._counts[i] += 1
+                if clause.fires(self.seed, site, self._counts[i]):
+                    self.injected[clause.kind] = self.injected.get(clause.kind, 0) + 1
+                    fired.append(clause)
+        return fired
+
+    # -- server-side sites ---------------------------------------------------
+    def on_lane(self, lane: str, deadline_s: Optional[float] = None) -> None:
+        """One compute-lane execution (called in the lane thread).
+
+        Applies slow/hang sleeps in plan order and raises
+        :class:`ChaosError` for a fired ``lane_error``.  Hang sleeps are
+        capped at ``deadline_s`` plus a small grace when the initiating
+        request carried a deadline, so a wedged lane does not pin its
+        daemon thread long after every waiter has given up.
+        """
+        fired = self._consult(LANE_KINDS, lane)
+        for clause in fired:
+            if clause.kind == "slow_lane":
+                time.sleep(clause.delay_ms / 1e3)
+            elif clause.kind == "hang_lane":
+                hang = clause.hang_s
+                if deadline_s is not None:
+                    hang = min(hang, deadline_s + 0.25)
+                time.sleep(hang)
+        for clause in fired:
+            if clause.kind == "lane_error":
+                raise ChaosError(f"chaos: injected {lane} lane failure")
+
+    def on_disk_put(self, path: Path) -> bool:
+        """One on-disk cache write; damages the file when a clause fires.
+
+        Returns True when the entry was corrupted.  The damage is the
+        kind a real disk produces: a truncated write, a flipped bit, or
+        overwritten junk — all of which :class:`ResultCache` must
+        quarantine on the next read instead of serving.
+        """
+        fired = [c for c in self._consult(("corrupt_disk",)) if True]
+        if not fired:
+            return False
+        mode = fired[0].mode
+        try:
+            data = bytearray(Path(path).read_bytes())
+            if mode == "truncate":
+                data = data[: max(1, len(data) // 2)]
+            elif mode == "bitflip":
+                data[len(data) // 2] ^= 0x08
+            else:  # junk
+                data = bytearray(b"\x00corrupt" + bytes(data[:32]))
+            tmp = Path(path).with_suffix(f".chaos.{os.getpid()}.tmp")
+            tmp.write_bytes(bytes(data))
+            os.replace(tmp, path)
+        except OSError:
+            return False
+        return True
+
+    def on_response(self) -> bool:
+        """One response about to be written; True = abort the connection."""
+        return bool(self._consult(("drop_conn",)))
+
+    # -- client-side sites ---------------------------------------------------
+    def on_client_send(self) -> Optional[str]:
+        """One client request about to be sent; returns the fault kind to
+        apply (``malformed_line``/``oversized_line``/``client_disconnect``)
+        or None."""
+        fired = self._consult(CLIENT_KINDS)
+        return fired[0].kind if fired else None
+
+    def counts(self) -> Dict[str, int]:
+        """Faults fired so far, by kind (a copy)."""
+        with self._lock:
+            return dict(self.injected)
+
+
+def build_chaos(spec: Optional[str], seed: int = 0) -> Optional[ChaosInjector]:
+    """CLI helper: an injector from a ``--chaos`` spec (None passes through)."""
+    if spec is None:
+        return None
+    return ChaosInjector(ChaosPlan.parse(spec), seed=seed)

@@ -11,18 +11,26 @@ from.  Eviction is strict least-recently-used over both reads and
 writes, and the tier never holds more than ``capacity`` entries.
 
 All operations take an internal lock: the serve daemon touches the tier
-from ``asyncio.to_thread`` workers, and the load generator hammers it
-from client threads, so the counters and the recency order must not
-race.
+from compute-lane workers, and the load generator hammers it from
+client threads, so the counters and the recency order must not race.
+
+Integrity mirrors the disk tier: :class:`TieredResultCache` pins each
+cached payload's SHA-256 (:func:`repro.parallel.cache.payload_digest`)
+when it enters the hot tier and re-verifies it on every LRU hit.  A
+mutated in-memory entry is discarded (counted in
+``integrity_failures``) and the lookup falls through to disk — which
+runs its own verify-on-read — so a corrupt payload never crosses the
+serving boundary from either tier.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
-from ..parallel.cache import ResultCache
+from ..parallel.cache import ResultCache, payload_digest
 
 #: Default entry bound for the daemon's hot tier.
 DEFAULT_LRU_CAPACITY = 4096
@@ -61,6 +69,14 @@ class LRUTier:
                 self._data.popitem(last=False)
                 self.evictions += 1
 
+    def discard(self, key: str) -> bool:
+        """Drop ``key`` if present (no recency change); True if it was."""
+        with self._lock:
+            if key not in self._data:
+                return False
+            del self._data[key]
+            return True
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._data)
@@ -94,6 +110,11 @@ class TieredResultCache:
     tier answered; ``put`` writes through to both tiers.  With no disk
     cache configured the daemon still gets its hot tier — results just
     don't survive a restart.
+
+    The hot tier stores ``(payload, sha256)`` pairs internally and
+    verifies the digest on every hit; an entry whose bytes no longer
+    hash to what was stored is discarded and re-fetched from disk (or
+    recomputed) instead of served.
     """
 
     def __init__(
@@ -103,26 +124,46 @@ class TieredResultCache:
     ) -> None:
         self.lru = lru if lru is not None else LRUTier()
         self.disk = disk
+        self.integrity_failures = 0
+        self._lock = threading.Lock()
 
     def get(self, key: str) -> Tuple[Optional[Any], Optional[str]]:
         """``(payload, tier)`` where tier is ``"lru"``, ``"disk"`` or None."""
-        payload = self.lru.get(key)
-        if payload is not None:
-            return payload, "lru"
+        cached = self.lru.get(key)
+        if cached is not None:
+            payload, digest = cached
+            if payload_digest(payload) == digest:
+                return payload, "lru"
+            # A mutated hot entry: drop it and fall through to disk,
+            # which re-verifies independently.
+            self.lru.discard(key)
+            with self._lock:
+                self.integrity_failures += 1
         if self.disk is not None:
             payload = self.disk.get(key)
             if payload is not None:
-                self.lru.put(key, payload)
+                self.lru.put(key, (payload, payload_digest(payload)))
                 return payload, "disk"
         return None, None
 
-    def put(self, key: str, payload: Any) -> None:
-        self.lru.put(key, payload)
+    def put(self, key: str, payload: Any) -> Optional[Path]:
+        """Write through both tiers; returns the on-disk entry path (or
+        None without a disk tier) so callers — the chaos injector's
+        ``corrupt_disk`` site — can address the file just written."""
+        self.lru.put(key, (payload, payload_digest(payload)))
         if self.disk is not None:
-            self.disk.put(key, payload)
+            return self.disk.put(key, payload)
+        return None
 
     def stats(self) -> Dict[str, Any]:
-        out: Dict[str, Any] = {"lru": self.lru.stats()}
+        out: Dict[str, Any] = {
+            "lru": self.lru.stats(),
+            "integrity_failures": self.integrity_failures,
+        }
         if self.disk is not None:
-            out["disk"] = {"hits": self.disk.hits, "misses": self.disk.misses}
+            out["disk"] = {
+                "hits": self.disk.hits,
+                "misses": self.disk.misses,
+                "quarantined": self.disk.quarantined,
+            }
         return out

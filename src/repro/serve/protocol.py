@@ -74,7 +74,10 @@ RUN_KINDS = ("analytic", "experiment", "trace")
 OPS = ("run", "ping", "stats", "shutdown")
 
 #: Fields every run spec may carry, plus the per-kind ones.
-_COMMON_FIELDS = {"op", "id", "kind", "machine", "seed"}
+#: ``deadline_ms`` is transport-level — it bounds how long *this caller*
+#: waits, never what is computed — so it is accepted everywhere and
+#: excluded from the cache key.
+_COMMON_FIELDS = {"op", "id", "kind", "machine", "seed", "deadline_ms"}
 _KIND_FIELDS = {
     "analytic": {"request"},
     "experiment": {"experiment"},
@@ -85,9 +88,32 @@ _KIND_FIELDS = {
 TRACE_PAGE_SIZE = 64 * 1024
 TRACE_PASSES = 3
 
+#: Hard cap on one request line.  Far above any legitimate spec (the
+#: largest is an oracle request, well under 4 KiB) yet small enough
+#: that a misbehaving client cannot grow the daemon's read buffer
+#: without bound.
+MAX_LINE_BYTES = 64 * 1024
+
+#: Structured error codes a response may carry (``error_response``).
+ERROR_CODES = (
+    "protocol",      # malformed / unknown / typo'd request
+    "oversized",     # request line exceeded MAX_LINE_BYTES
+    "busy",          # load shed: global in-flight bound reached
+    "quota",         # load shed: this client's in-flight quota reached
+    "deadline",      # the request's own deadline_ms expired
+    "circuit_open",  # lane circuit breaker open, no fallback available
+    "draining",      # daemon is shutting down, not accepting work
+    "lane",          # the compute lane itself failed (fail-soft row)
+    "internal",      # unexpected server-side exception
+)
+
 
 class ProtocolError(ValueError):
     """A request that cannot be normalized (malformed, unknown, typo'd)."""
+
+
+class OversizedLineError(ProtocolError):
+    """A request line exceeded :data:`MAX_LINE_BYTES`."""
 
 
 # -- framing -----------------------------------------------------------------
@@ -111,6 +137,75 @@ def decode_message(line: bytes) -> Dict[str, Any]:
             f"message must be a JSON object, got {type(message).__name__}"
         )
     return message
+
+
+class LineReader:
+    """Bounded line framing over an :class:`asyncio.StreamReader`.
+
+    ``StreamReader.readline`` raises an unrecoverable ``ValueError``
+    once its internal buffer overflows; this reader owns its own buffer
+    instead, so an oversized line is reported as a structured
+    :class:`OversizedLineError` *and then skipped* — the stream resyncs
+    at the next newline and the connection keeps serving.
+    """
+
+    def __init__(self, reader, limit: int = MAX_LINE_BYTES) -> None:
+        self._reader = reader
+        self._limit = int(limit)
+        self._buffer = bytearray()
+        self._eof = False
+
+    async def _fill(self) -> bool:
+        """Pull one chunk into the buffer; False at EOF."""
+        if self._eof:
+            return False
+        chunk = await self._reader.read(65536)
+        if not chunk:
+            self._eof = True
+            return False
+        self._buffer.extend(chunk)
+        return True
+
+    async def readline(self) -> Optional[bytes]:
+        """The next line without its newline, or None at EOF.
+
+        Raises :class:`OversizedLineError` once per oversized line,
+        after discarding it up to (and including) its terminator.
+        """
+        while True:
+            idx = self._buffer.find(b"\n")
+            if idx >= 0:
+                if idx > self._limit:
+                    del self._buffer[: idx + 1]
+                    raise OversizedLineError(
+                        f"request line exceeds {self._limit} bytes"
+                    )
+                line = bytes(self._buffer[:idx])
+                del self._buffer[: idx + 1]
+                return line
+            if len(self._buffer) > self._limit:
+                # No newline yet and already over budget: drain until
+                # the terminator arrives, then surface one error.
+                await self._discard_to_newline()
+                raise OversizedLineError(
+                    f"request line exceeds {self._limit} bytes"
+                )
+            if not await self._fill():
+                if self._buffer:
+                    line = bytes(self._buffer)
+                    self._buffer.clear()
+                    return line
+                return None
+
+    async def _discard_to_newline(self) -> None:
+        while True:
+            idx = self._buffer.find(b"\n")
+            if idx >= 0:
+                del self._buffer[: idx + 1]
+                return
+            self._buffer.clear()
+            if not await self._fill():
+                return
 
 
 def _collapse(value: Any) -> Any:
@@ -173,6 +268,24 @@ def _int_field(spec: Mapping[str, Any], name: str, default: int, minimum: int) -
     if value < minimum:
         raise ProtocolError(f"{name} must be >= {minimum}, got {value}")
     return int(value)
+
+
+def request_deadline(spec: Mapping[str, Any]) -> Optional[float]:
+    """The request's deadline in **seconds**, or None.
+
+    ``deadline_ms`` is validated here but deliberately left out of the
+    normalized workload: it bounds how long the requesting client
+    waits, not what gets computed, so two requests differing only in
+    deadline still share one cache entry and one in-flight run.
+    """
+    value = spec.get("deadline_ms")
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"deadline_ms must be a number, got {value!r}")
+    if value <= 0:
+        raise ProtocolError(f"deadline_ms must be positive, got {value}")
+    return float(value) / 1e3
 
 
 def normalize_request(spec: Mapping[str, Any]) -> NormalizedRequest:
@@ -312,9 +425,26 @@ def ok_response(
 
 
 def error_response(
-    request_id: Any, error: str, *, key: Optional[str] = None
+    request_id: Any,
+    error: str,
+    *,
+    key: Optional[str] = None,
+    code: Optional[str] = None,
+    retry_after: Optional[float] = None,
 ) -> Dict[str, Any]:
+    """A structured failure row.
+
+    ``code`` (one of :data:`ERROR_CODES`) lets clients branch without
+    parsing message text; ``retry_after`` (seconds) rides along on load
+    sheds so backpressure carries its own pacing hint.
+    """
     response: Dict[str, Any] = {"id": request_id, "ok": False, "error": error}
     if key is not None:
         response["key"] = key
+    if code is not None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}; known: {ERROR_CODES}")
+        response["code"] = code
+    if retry_after is not None:
+        response["retry_after"] = float(retry_after)
     return response

@@ -138,3 +138,77 @@ def test_lat_mem_cli_cache_hit(tmp_path, monkeypatch, capsys):
     second = capsys.readouterr()
     assert "cache hit" in second.err
     assert second.out == first.out
+
+
+# -- integrity hardening (chaos PR) ------------------------------------------
+
+
+def test_truncated_entry_is_a_miss_and_quarantined(cache):
+    """Regression for the chaos ``corrupt_disk:mode=truncate`` class: an
+    entry cut mid-JSON must read as a miss, not raise, and the damaged
+    file is renamed aside so it cannot poison later reads."""
+    key = cache.key(machine=e870(), workload={"w": 10})
+    path = cache.put(key, {"rows": list(range(100))})
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    assert cache.get(key) is None
+    assert cache.quarantined == 1
+    assert not path.exists()  # renamed aside, no longer a .json entry
+    assert len(list(path.parent.glob("*.quarantined"))) == 1
+    # The key is writable and readable again after the quarantine.
+    cache.put(key, {"rows": [1]})
+    assert cache.get(key) == {"rows": [1]}
+
+
+def test_non_dict_json_entry_is_a_miss(cache):
+    key = cache.key(machine=e870(), workload={"w": 11})
+    path = cache.put(key, {"value": 1})
+    path.write_text("[1, 2, 3]")
+    assert cache.get(key) is None
+    assert cache.quarantined == 1
+
+
+def test_sha_mismatch_is_quarantined(cache):
+    """A bit-flipped payload fails checksum verification even though the
+    entry is perfectly well-formed JSON."""
+    key = cache.key(machine=e870(), workload={"w": 12})
+    path = cache.put(key, {"value": 7})
+    entry = json.loads(path.read_text())
+    entry["payload"]["value"] = 8  # flip a bit, keep the old sha256
+    path.write_text(json.dumps(entry))
+    assert cache.get(key) is None
+    assert cache.quarantined == 1
+    assert not path.exists()
+
+
+def test_unreadable_entry_is_a_plain_miss(cache):
+    """I/O errors that are not corruption (here: the entry path is not
+    even a regular file) are misses without quarantine — there is no
+    evidence of bad bytes worth renaming aside."""
+    key = cache.key(machine=e870(), workload={"w": 13})
+    path = cache.put(key, {"value": 7})
+    path.unlink()
+    path.mkdir()  # open() now raises IsADirectoryError, an OSError
+    assert cache.get(key) is None
+    assert cache.quarantined == 0
+    path.rmdir()
+    cache.put(key, {"value": 7})
+    assert cache.get(key) == {"value": 7}
+
+
+def test_payload_digest_is_stable_across_json_round_trip():
+    from repro.parallel import payload_digest
+
+    payload = {"rows": [(1, 2), (3, 4)], "meta": {"b": 2, "a": 1}}
+    round_tripped = json.loads(json.dumps({"rows": [[1, 2], [3, 4]],
+                                           "meta": {"a": 1, "b": 2}}))
+    assert payload_digest(payload) == payload_digest(round_tripped)
+    assert payload_digest({"rows": []}) != payload_digest({"rows": [0]})
+
+
+def test_entry_carries_its_checksum(cache):
+    from repro.parallel import payload_digest
+
+    key = cache.key(machine=e870(), workload={"w": 14})
+    entry = json.loads(cache.put(key, {"value": 11}).read_text())
+    assert entry["sha256"] == payload_digest({"value": 11})

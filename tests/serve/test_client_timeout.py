@@ -1,0 +1,90 @@
+"""Client timeouts against a wedged daemon (satellite d).
+
+A hung compute lane must cost the timed-out client exactly one
+reconnect — and nothing else: the shared in-flight computation keeps
+running for (and stays joinable by) everyone else, so a client giving
+up can never poison the dedup future other waiters hold.
+"""
+
+import time
+
+import pytest
+
+from repro.serve import (
+    ServeClient,
+    ServeError,
+    ServeTimeout,
+    ServerThread,
+    build_chaos,
+)
+
+HUNG_TRACE = {"kind": "trace", "working_set": 64 * 1024, "seed": 9}
+
+
+def hang_first_trace(hang_s=1.2):
+    return build_chaos(f"hang_lane:at=1,hang_s={hang_s},lane=trace", seed=0)
+
+
+def test_timeout_raises_and_reconnects_transparently():
+    with ServerThread(lru_capacity=8, chaos=hang_first_trace()) as st:
+        with ServeClient(st.host, st.port) as client:
+            with pytest.raises(ServeTimeout):
+                client.run(_timeout=0.3, **HUNG_TRACE)
+            # The old socket can no longer pair responses to requests;
+            # the next call must transparently use a fresh connection.
+            assert client.ping() is True
+            assert client.reconnects == 1
+
+
+def test_timed_out_client_does_not_poison_the_shared_future():
+    """Client A times out on the hung compute; client B, asking the
+    identical question, must still receive the full payload from the
+    very computation A abandoned."""
+    with ServerThread(lru_capacity=8, chaos=hang_first_trace()) as st:
+        with ServeClient(st.host, st.port) as a, ServeClient(st.host, st.port) as b:
+            with pytest.raises(ServeTimeout):
+                a.run(_timeout=0.3, **HUNG_TRACE)
+            # B joins (or, post-completion, hits the cache of) the same
+            # computation A walked away from.
+            response = b.run(**HUNG_TRACE)
+            assert response["ok"] is True
+            assert response["source"] in ("inflight", "computed", "lru")
+            # And A, reconnected, sees the cached bit-identical result.
+            again = a.run(**HUNG_TRACE)
+            assert again["source"] == "lru"
+            assert again["payload"] == response["payload"]
+
+
+def test_server_side_deadline_then_cached_retry():
+    """deadline_ms bounds the wait server-side: the daemon answers with
+    a structured ``deadline`` error, the computation still completes and
+    lands in the cache, and the retry is a hit with the same payload."""
+    with ServerThread(lru_capacity=8, chaos=hang_first_trace(hang_s=0.8)) as st:
+        with ServeClient(st.host, st.port) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.run(deadline_ms=150, **HUNG_TRACE)
+            assert excinfo.value.code == "deadline"
+            assert client.reconnects == 0  # structured error, socket fine
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                response = client.run(**HUNG_TRACE)
+                if response["source"] in ("lru", "disk"):
+                    break
+                time.sleep(0.05)
+            assert response["source"] in ("lru", "disk", "inflight", "computed")
+            assert response["payload"]
+            assert client.stats()["stats"]["deadline_misses"] == 1
+
+
+def test_request_timeout_override_restores_default():
+    with ServerThread(lru_capacity=8, chaos=hang_first_trace()) as st:
+        client = ServeClient(st.host, st.port, timeout=60.0)
+        try:
+            with pytest.raises(ServeTimeout):
+                client.run(_timeout=0.2, **HUNG_TRACE)
+            # The per-request override must not stick to the socket.
+            assert client.timeout == 60.0
+            assert client.ping() is True
+            assert client._sock.gettimeout() == 60.0
+        finally:
+            client.close()

@@ -1,0 +1,104 @@
+"""Graceful drain: SIGTERM / ``shutdown`` end the daemon cleanly.
+
+A draining daemon stops accepting work, settles (or cancels, against
+the drain timeout) what is already in flight, prints its flushed final
+stats as a ``drained {...}`` banner, and exits 0 — so orchestrators can
+tell a clean rollover from a crash by exit code alone.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.serve import ServeClient, ServeError, ServerThread, build_chaos
+from repro.serve.loadgen import DaemonProcess
+
+
+def parse_drained_banner(out):
+    for line in out.splitlines():
+        if line.startswith("drained "):
+            return json.loads(line.partition("drained ")[2])
+    return None
+
+
+def test_sigterm_drains_and_exits_zero(tmp_path):
+    daemon = DaemonProcess(str(tmp_path), lru_capacity=8)
+    try:
+        with ServeClient(daemon.host, daemon.port) as client:
+            response = client.run(
+                kind="analytic", request={"kind": "chase", "working_set": 4 << 20}
+            )
+            assert response["ok"] is True
+        exit_code, out = daemon.terminate_and_wait()
+    finally:
+        daemon.stop()
+    assert exit_code == 0
+    stats = parse_drained_banner(out)
+    assert stats is not None, f"no drained banner in {out!r}"
+    assert stats["requests"] == 1 and stats["ok"] == 1
+
+
+def test_shutdown_op_drains_and_exits_zero(tmp_path):
+    daemon = DaemonProcess(str(tmp_path), lru_capacity=8)
+    try:
+        with ServeClient(daemon.host, daemon.port) as client:
+            client.shutdown()
+        exit_code = daemon.proc.wait(timeout=30)
+        out = daemon.proc.stdout.read()
+    finally:
+        daemon.stop()
+    assert exit_code == 0
+    assert parse_drained_banner(out) is not None
+
+
+def test_sigterm_lets_inflight_work_finish(tmp_path):
+    """A trace started before SIGTERM completes during the drain window
+    and its client receives the full payload."""
+    daemon = DaemonProcess(
+        str(tmp_path),
+        lru_capacity=8,
+        extra_args=[
+            "--chaos", "slow_lane:rate=1,delay_ms=400,lane=trace",
+            "--drain-timeout", "10",
+        ],
+    )
+    results = []
+
+    def work():
+        with ServeClient(daemon.host, daemon.port) as client:
+            results.append(client.run(kind="trace", working_set=64 * 1024, seed=3))
+
+    try:
+        thread = threading.Thread(target=work)
+        thread.start()
+        time.sleep(0.15)  # the slow trace is now in flight
+        exit_code, out = daemon.terminate_and_wait()
+        thread.join()
+    finally:
+        daemon.stop()
+    assert exit_code == 0
+    assert results and results[0]["ok"] is True
+    stats = parse_drained_banner(out)
+    assert stats["computed"] == 1
+
+
+def test_draining_server_rejects_new_runs():
+    """In-process flavour: after request_shutdown, run requests get a
+    structured ``draining`` error while ops still answer."""
+    with ServerThread(lru_capacity=8) as st:
+        with ServeClient(st.host, st.port) as client:
+            st._loop.call_soon_threadsafe(st.server.request_shutdown)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                try:
+                    client.run(kind="analytic", request={"kind": "chase"})
+                except ServeError as exc:
+                    assert exc.code == "draining"
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("daemon never started draining")
+            # Ops keep answering so orchestrators can watch the drain.
+            assert client.stats()["resilience"]["draining"] is True

@@ -156,3 +156,65 @@ def test_overlay_without_disk_is_just_the_lru():
     tiered.put("y", {"v": 2})
     assert tiered.get("x") == (None, None)
     assert tiered.get("y") == ({"v": 2}, "lru")
+
+
+# -- integrity (self-healing cache) ------------------------------------------
+
+
+def test_lru_hit_verifies_digest_and_falls_back_to_disk():
+    """A payload mutated in memory after insertion fails its SHA-256
+    check on the next hit: the poisoned entry is discarded, the
+    integrity counter bumps, and the read falls through to disk."""
+    with tempfile.TemporaryDirectory() as tmp:
+        tiered = TieredResultCache(LRUTier(4), ResultCache(tmp))
+        tiered.put("x", {"v": 1, "rows": [1, 2]})
+        stored_payload, _ = tiered.lru._data["x"]
+        stored_payload["v"] = 999  # memory corruption stand-in
+        got, source = tiered.get("x")
+        assert got == {"v": 1, "rows": [1, 2]}  # healed from disk
+        assert source == "disk"
+        assert tiered.integrity_failures == 1
+        assert tiered.stats()["integrity_failures"] == 1
+        # The disk copy re-promoted a good entry; subsequent hits are clean.
+        assert tiered.get("x") == ({"v": 1, "rows": [1, 2]}, "lru")
+        assert tiered.integrity_failures == 1
+
+
+def test_lru_integrity_failure_without_disk_is_a_miss():
+    tiered = TieredResultCache(LRUTier(4), None)
+    tiered.put("x", {"v": 1})
+    payload, _ = tiered.lru._data["x"]
+    payload["v"] = 2
+    assert tiered.get("x") == (None, None)
+    assert tiered.integrity_failures == 1
+    assert "x" not in tiered.lru  # the poisoned entry was dropped
+
+
+def test_tiered_put_returns_the_disk_path():
+    with tempfile.TemporaryDirectory() as tmp:
+        tiered = TieredResultCache(LRUTier(2), ResultCache(tmp))
+        path = tiered.put("x", {"v": 1})
+        assert path is not None and path.is_file()
+    assert TieredResultCache(LRUTier(2), None).put("x", {"v": 1}) is None
+
+
+def test_lru_tier_discard():
+    tier = LRUTier(2)
+    tier.put("a", {"v": 1})
+    assert tier.discard("a") is True
+    assert tier.discard("a") is False
+    assert "a" not in tier
+    assert tier.get("a") is None
+
+
+def test_quarantined_disk_entry_surfaces_in_tier_stats():
+    from repro.parallel.cache import payload_digest  # noqa: F401 - import guard
+
+    with tempfile.TemporaryDirectory() as tmp:
+        disk = ResultCache(tmp)
+        tiered = TieredResultCache(LRUTier(1), disk)
+        path = tiered.put("x", {"v": 1})
+        tiered.put("y", {"v": 2})  # evict "x" from memory
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        assert tiered.get("x") == (None, None)  # truncated -> quarantined miss
+        assert tiered.stats()["disk"]["quarantined"] == 1

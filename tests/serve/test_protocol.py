@@ -191,3 +191,138 @@ def test_ping_and_stats_ops(live_server):
             assert field in stats["stats"]
         assert "lru" in stats["tiers"]
         assert stats["uptime_s"] >= 0
+
+
+# -- line-length cap and LineReader (satellite c) ----------------------------
+
+
+def test_oversized_line_gets_error_and_connection_survives(live_server):
+    """A line beyond MAX_LINE_BYTES is answered with a structured
+    ``oversized`` error, discarded, and the same socket keeps working."""
+    from repro.serve import MAX_LINE_BYTES
+
+    raw = socket.create_connection((live_server.host, live_server.port), timeout=30)
+    try:
+        reader = raw.makefile("rb")
+        padding = "x" * (MAX_LINE_BYTES + 1024)
+        raw.sendall(json.dumps({"op": "run", "pad": padding}).encode() + b"\n")
+        response = decode_message(reader.readline())
+        assert response["ok"] is False
+        assert response["code"] == "oversized"
+        assert str(MAX_LINE_BYTES) in response["error"]
+        # Resync worked: the next well-formed frame round-trips.
+        raw.sendall(encode_message({"op": "ping", "id": 2}))
+        assert decode_message(reader.readline()) == {"id": 2, "ok": True, "op": "ping"}
+    finally:
+        raw.close()
+
+
+def test_oversized_then_pipelined_good_line_in_one_write(live_server):
+    from repro.serve import MAX_LINE_BYTES
+
+    raw = socket.create_connection((live_server.host, live_server.port), timeout=30)
+    try:
+        reader = raw.makefile("rb")
+        blob = b"y" * (2 * MAX_LINE_BYTES) + b"\n" + encode_message({"op": "ping", "id": 3})
+        raw.sendall(blob)
+        first = decode_message(reader.readline())
+        assert first["ok"] is False and first["code"] == "oversized"
+        assert decode_message(reader.readline()) == {"id": 3, "ok": True, "op": "ping"}
+    finally:
+        raw.close()
+
+
+def test_line_reader_units():
+    import asyncio
+
+    from repro.serve import LineReader, OversizedLineError
+
+    async def scenario():
+        reader = asyncio.StreamReader()
+        lines = LineReader(reader, limit=16)
+        reader.feed_data(b"short\n" + b"z" * 40 + b"\nafter\n")
+        reader.feed_eof()
+        got = []
+        while True:
+            try:
+                line = await lines.readline()
+            except OversizedLineError as exc:
+                got.append(("oversized", exc))
+                continue
+            if line is None:
+                break
+            got.append(("line", line))
+        return got
+
+    got = asyncio.run(scenario())
+    assert [tag for tag, _ in got] == ["line", "oversized", "line"]
+    assert got[0][1] == b"short" and got[2][1] == b"after"
+
+
+def test_line_reader_handles_split_frames():
+    import asyncio
+
+    from repro.serve import LineReader
+
+    async def scenario():
+        reader = asyncio.StreamReader()
+        lines = LineReader(reader)
+        reader.feed_data(b'{"op": "pi')
+        reader.feed_data(b'ng"}\n')
+        reader.feed_eof()
+        first = await lines.readline()
+        second = await lines.readline()
+        return first, second
+
+    first, second = asyncio.run(scenario())
+    assert first == b'{"op": "ping"}'
+    assert second is None
+
+
+# -- deadline field ----------------------------------------------------------
+
+
+def test_request_deadline_parses_and_validates():
+    from repro.serve import request_deadline
+
+    assert request_deadline({"kind": "trace"}) is None
+    assert request_deadline({"deadline_ms": 250}) == 0.25
+    with pytest.raises(ProtocolError):
+        request_deadline({"deadline_ms": 0})
+    with pytest.raises(ProtocolError):
+        request_deadline({"deadline_ms": -5})
+    with pytest.raises(ProtocolError):
+        request_deadline({"deadline_ms": "soon"})
+    with pytest.raises(ProtocolError):
+        request_deadline({"deadline_ms": True})
+
+
+def test_deadline_ms_is_transport_only_never_in_the_key():
+    base = dict(kind="analytic", request={"kind": "chase", "working_set": 1 << 20})
+    assert key_of(**base) == key_of(deadline_ms=50, **base)
+
+
+def test_bad_deadline_gets_protocol_error_over_the_wire(live_server):
+    with ServeClient(live_server.host, live_server.port) as client:
+        with pytest.raises(ServeError) as excinfo:
+            client.run(kind="analytic", request={"kind": "chase"}, deadline_ms=-1)
+        assert excinfo.value.code == "protocol"
+
+
+# -- structured error rows ---------------------------------------------------
+
+
+def test_error_response_shape():
+    from repro.serve import ERROR_CODES, error_response
+
+    row = error_response(5, "too busy", code="busy", retry_after=0.25)
+    assert row == {
+        "id": 5,
+        "ok": False,
+        "error": "too busy",
+        "code": "busy",
+        "retry_after": 0.25,
+    }
+    assert "busy" in ERROR_CODES and "oversized" in ERROR_CODES
+    with pytest.raises(ValueError):
+        error_response(5, "nope", code="not-a-code")
