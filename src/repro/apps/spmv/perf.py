@@ -95,7 +95,9 @@ def csr_performance(
         cache_bytes = system.chip.l3_capacity
     nnz = int(matrix.nnz)
     rows = matrix.shape[0]
-    x_bytes = vector_traffic_bytes(matrix, cache_bytes)
+    x_bytes = vector_traffic_bytes(
+        matrix, cache_bytes, line_size=system.chip.core.l1d.line_size
+    )
     bytes_read = nnz * CSR_NNZ_BYTES + (rows + 1) * 4 + x_bytes
     bytes_written = rows * 8
     profile = KernelProfile(

@@ -1,8 +1,25 @@
-"""Machine descriptions: POWER7/POWER8 chips and SMP system topologies."""
+"""Machine descriptions: the cross-architecture zoo and its registry.
 
+POWER7/POWER8, SPARC T3-4, Broadwell-EP and Cascade Lake-SP chips and
+SMP system topologies, all expressed in the same :class:`SystemSpec`
+vocabulary, plus the name registry that makes every engine
+machine-generic.
+"""
+
+from .broadwell import INTEL_LINE_SIZE, PAGE_2M, PAGE_4K, broadwell_2s, broadwell_chip, broadwell_core
+from .cascade_lake import cascade_lake_2s, cascade_lake_chip, cascade_lake_core
 from .e870 import e870, power8_192way
 from .power7 import power7_chip, power7_core
 from .power8 import PAGE_16M, PAGE_64K, POWER8_LINE_SIZE, power8_chip, power8_core
+from .registry import (
+    MACHINES,
+    available_machines,
+    canonical_name,
+    get_system,
+    power7_4s,
+    register_machine,
+)
+from .sparc_t3_4 import PAGE_4M, PAGE_8K, SPARC_LINE_SIZE, sparc_t3_4, sparc_t3_chip, sparc_t3_core
 from .specs import (
     GB,
     GIB,
@@ -14,6 +31,10 @@ from .specs import (
     CentaurSpec,
     ChipSpec,
     CoreSpec,
+    LSUSpec,
+    MachineSpec,
+    PowerSpec,
+    PrefetchSpec,
     RegisterFileSpec,
     SpecError,
     SystemSpec,
@@ -26,22 +47,47 @@ __all__ = [
     "KIB",
     "MIB",
     "TIB",
+    "INTEL_LINE_SIZE",
     "PAGE_16M",
+    "PAGE_2M",
+    "PAGE_4K",
+    "PAGE_4M",
     "PAGE_64K",
+    "PAGE_8K",
     "POWER8_LINE_SIZE",
+    "SPARC_LINE_SIZE",
     "BusSpec",
     "CacheSpec",
     "CentaurSpec",
     "ChipSpec",
     "CoreSpec",
+    "LSUSpec",
+    "MACHINES",
+    "MachineSpec",
+    "PowerSpec",
+    "PrefetchSpec",
     "RegisterFileSpec",
     "SpecError",
     "SystemSpec",
     "TLBSpec",
+    "available_machines",
+    "broadwell_2s",
+    "broadwell_chip",
+    "broadwell_core",
+    "canonical_name",
+    "cascade_lake_2s",
+    "cascade_lake_chip",
+    "cascade_lake_core",
     "e870",
+    "get_system",
+    "power7_4s",
     "power7_chip",
     "power7_core",
     "power8_192way",
     "power8_chip",
     "power8_core",
+    "register_machine",
+    "sparc_t3_4",
+    "sparc_t3_chip",
+    "sparc_t3_core",
 ]

@@ -1,0 +1,137 @@
+"""Intel Broadwell-EP description (Alappat et al.'s ECM study, PAPERS.md).
+
+A two-socket Xeon E5-2697 v4 node: 18 cores per chip with 2-way
+hyper-threading at 2.3 GHz (nominal), AVX2 FMA pipes, an inclusive
+ring-connected L3 of 2.5 MB 20-way slices, and four DDR4-2400 channels
+per socket behind on-die controllers — a *shared* bidirectional bus,
+unlike POWER8's asymmetric Centaur links, so the optimal STREAM mix is
+one-sided rather than 2:1.
+
+The 20-way L3 slice (2048 sets from a non-power-of-two associativity)
+and the 4 KB base pages are the geometry/translation extremes the zoo
+conformance suite sweeps.
+"""
+
+from __future__ import annotations
+
+from .specs import (
+    GB,
+    GIB,
+    KIB,
+    MIB,
+    BusSpec,
+    CacheSpec,
+    CentaurSpec,
+    ChipSpec,
+    CoreSpec,
+    LSUSpec,
+    PowerSpec,
+    PrefetchSpec,
+    RegisterFileSpec,
+    SystemSpec,
+    TLBSpec,
+)
+
+#: Cache line size of every Intel cache level.
+INTEL_LINE_SIZE = 64
+
+#: x86 base and huge page sizes.
+PAGE_4K = 4 * KIB
+PAGE_2M = 2 * MIB
+
+
+def broadwell_core() -> CoreSpec:
+    """One Broadwell core: 8-wide OOO, 2 AVX2 FMA pipes, HT-2."""
+    return CoreSpec(
+        name="BDW",
+        smt_ways=2,
+        issue_width=8,
+        commit_width=4,
+        load_ports=2,
+        store_ports=1,
+        vsx_pipes=2,  # two 256-bit FMA pipes
+        fma_latency_cycles=5,
+        vector_width_dp=4,  # 4 DP lanes per pipe -> 16 flops/cycle
+        l1i=CacheSpec("L1I", 32 * KIB, INTEL_LINE_SIZE, 8, 3.0, "store-in"),
+        l1d=CacheSpec("L1D", 32 * KIB, INTEL_LINE_SIZE, 8, 4.0, "store-through"),
+        l2=CacheSpec("L2", 256 * KIB, INTEL_LINE_SIZE, 8, 12.0),
+        # Inclusive L3 slice: 2.5 MB, 20 ways -> 2048 sets.  The trace
+        # engines populate L3 by castout regardless; ``victim=False``
+        # records the real design point.
+        l3_slice=CacheSpec("L3", 2560 * KIB, INTEL_LINE_SIZE, 20, 34.0,
+                           victim=False),
+        registers=RegisterFileSpec(architected=16, renames=168,
+                                   spill_penalty_cycles=2.0),
+        tlb=TLBSpec(
+            erat_entries=64,  # first-level dTLB
+            tlb_entries=1536,  # unified STLB
+            erat_miss_penalty_cycles=9.0,
+            tlb_miss_penalty_cycles=120.0,
+        ),
+        max_outstanding_misses=10,  # line-fill buffers
+        lsu=LSUSpec(mem_bytes_per_cycle=8.0, streams_per_thread=5,
+                    lmq_entries=10),
+    )
+
+
+def broadwell_chip(cores: int = 18, frequency_ghz: float = 2.3) -> ChipSpec:
+    """An E5-2697 v4 chip: ring-connected cores, 4x DDR4-2400."""
+    return ChipSpec(
+        name="BDW-E5-2697v4",
+        core=broadwell_core(),
+        cores_per_chip=cores,
+        frequency_hz=frequency_ghz * 1e9,
+        centaurs_per_chip=1,
+        centaur=CentaurSpec(
+            l4_capacity=0,
+            dram_capacity=64 * GIB,
+            read_bandwidth=76.8 * GB,  # 4 channels x DDR4-2400
+            write_bandwidth=76.8 * GB,
+            shared_bus=True,
+            l4_latency_ns=85.0,  # degenerate level; rarely hit
+            dram_latency_ns=89.0,
+            read_lane_efficiency=0.86,
+            write_lane_efficiency=0.78,  # RFO write traffic
+            turnaround_coef=0.18,
+            turnaround_exp=1.5,
+            random_access_efficiency=0.33,
+        ),
+        x_links=2,  # QPI ports
+        a_links=1,
+        # L2 streamer + adjacent-line prefetchers: quick confirmation,
+        # moderate maximum distance.
+        prefetch=PrefetchSpec(
+            depth_lines=((1, 0), (2, 1), (3, 2), (4, 4), (5, 8), (6, 12), (7, 20)),
+            default_depth=5,
+            row_efficiency_floor=0.55,
+            row_recovery_lines=16,
+            stride_overlap_factor=0.5,
+            max_strided_distance=4,
+        ),
+        page_size=PAGE_4K,
+        huge_page_size=PAGE_2M,
+        remote_l3_extra_ns=11.0,  # ring hops to a far slice
+        core_knee_exponent=2.0,
+        memside_knee_exponent=1.0,
+    )
+
+
+def broadwell_2s() -> SystemSpec:
+    """The two-socket node: one QPI-linked group of two."""
+    return SystemSpec(
+        name="Intel Xeon E5-2697 v4 (2S)",
+        chip=broadwell_chip(),
+        num_chips=2,
+        group_size=2,
+        x_bus=BusSpec("QPI", 19.2 * GB, latency_ns=48.0),
+        a_bus=BusSpec("unused-a", 19.2 * GB, latency_ns=48.0),
+        x_layout_delta_ns=(),  # a single symmetric link
+        transit_x_hop_ns=20.0,
+        prefetch_residual_fraction=0.15,
+        fabric_raw_bandwidth=60.0e9,
+        power=PowerSpec(
+            pj_per_flop=35.0,
+            pj_per_byte=130.0,
+            constant_power_w=320.0,
+        ),
+    )

@@ -1,0 +1,128 @@
+"""Intel Cascade Lake-SP description (Alappat et al., PAPERS.md).
+
+A two-socket Xeon Gold 6248 node: 20 cores per chip with 2-way
+hyper-threading at 2.5 GHz, AVX-512 FMA pipes (32 DP flops/cycle), a
+*non-inclusive victim* L3 of 1.375 MB 11-way slices on a 2D mesh, and
+six DDR4-2933 channels per socket — again a shared bidirectional bus.
+
+The 11-way slice associativity (2048 sets, prime way count) is the
+sharpest geometry test in the zoo: any set-index or replacement code
+that silently assumes power-of-two ways breaks here first.  Unlike
+Broadwell, the victim L3 matches the trace engines' castout population
+policy exactly.
+"""
+
+from __future__ import annotations
+
+from .broadwell import INTEL_LINE_SIZE, PAGE_2M, PAGE_4K
+from .specs import (
+    GB,
+    GIB,
+    KIB,
+    MIB,
+    BusSpec,
+    CacheSpec,
+    CentaurSpec,
+    ChipSpec,
+    CoreSpec,
+    LSUSpec,
+    PowerSpec,
+    PrefetchSpec,
+    RegisterFileSpec,
+    SystemSpec,
+    TLBSpec,
+)
+
+
+def cascade_lake_core() -> CoreSpec:
+    """One Cascade Lake core: AVX-512, 1 MB private L2, HT-2."""
+    return CoreSpec(
+        name="CLX",
+        smt_ways=2,
+        issue_width=8,
+        commit_width=4,
+        load_ports=2,
+        store_ports=1,
+        vsx_pipes=2,  # two 512-bit FMA pipes
+        fma_latency_cycles=4,
+        vector_width_dp=8,  # 8 DP lanes per pipe -> 32 flops/cycle
+        l1i=CacheSpec("L1I", 32 * KIB, INTEL_LINE_SIZE, 8, 3.0, "store-in"),
+        l1d=CacheSpec("L1D", 32 * KIB, INTEL_LINE_SIZE, 8, 4.0, "store-through"),
+        l2=CacheSpec("L2", 1 * MIB, INTEL_LINE_SIZE, 16, 14.0),
+        # Non-inclusive victim L3 slice: 1.375 MB, 11 ways -> 2048 sets.
+        l3_slice=CacheSpec("L3", 1408 * KIB, INTEL_LINE_SIZE, 11, 44.0,
+                           victim=True),
+        registers=RegisterFileSpec(architected=32, renames=180,
+                                   spill_penalty_cycles=2.0),
+        tlb=TLBSpec(
+            erat_entries=64,
+            tlb_entries=1536,
+            erat_miss_penalty_cycles=9.0,
+            tlb_miss_penalty_cycles=120.0,
+        ),
+        max_outstanding_misses=12,  # line-fill buffers
+        lsu=LSUSpec(mem_bytes_per_cycle=10.0, streams_per_thread=6,
+                    lmq_entries=12),
+    )
+
+
+def cascade_lake_chip(cores: int = 20, frequency_ghz: float = 2.5) -> ChipSpec:
+    """A Gold 6248 chip: mesh-connected cores, 6x DDR4-2933."""
+    return ChipSpec(
+        name="CLX-Gold-6248",
+        core=cascade_lake_core(),
+        cores_per_chip=cores,
+        frequency_hz=frequency_ghz * 1e9,
+        centaurs_per_chip=1,
+        centaur=CentaurSpec(
+            l4_capacity=0,
+            dram_capacity=96 * GIB,
+            read_bandwidth=140.8 * GB,  # 6 channels x DDR4-2933
+            write_bandwidth=140.8 * GB,
+            shared_bus=True,
+            l4_latency_ns=75.0,  # degenerate level; rarely hit
+            dram_latency_ns=81.0,
+            read_lane_efficiency=0.80,
+            write_lane_efficiency=0.70,
+            turnaround_coef=0.15,
+            turnaround_exp=1.5,
+            random_access_efficiency=0.30,
+        ),
+        x_links=2,  # UPI ports
+        a_links=1,
+        # Aggressive L2 streamer: deep maximum distance, quick ramp.
+        prefetch=PrefetchSpec(
+            depth_lines=((1, 0), (2, 2), (3, 4), (4, 8), (5, 16), (6, 24), (7, 32)),
+            default_depth=5,
+            row_efficiency_floor=0.50,
+            row_recovery_lines=16,
+            stride_overlap_factor=0.45,
+            max_strided_distance=8,
+        ),
+        page_size=PAGE_4K,
+        huge_page_size=PAGE_2M,
+        remote_l3_extra_ns=14.0,  # mesh hops to a far slice
+        core_knee_exponent=2.0,
+        memside_knee_exponent=1.0,
+    )
+
+
+def cascade_lake_2s() -> SystemSpec:
+    """The two-socket node: one UPI-linked group of two."""
+    return SystemSpec(
+        name="Intel Xeon Gold 6248 (2S)",
+        chip=cascade_lake_chip(),
+        num_chips=2,
+        group_size=2,
+        x_bus=BusSpec("UPI", 23.3 * GB, latency_ns=51.0),
+        a_bus=BusSpec("unused-a", 23.3 * GB, latency_ns=51.0),
+        x_layout_delta_ns=(),  # a single symmetric link
+        transit_x_hop_ns=20.0,
+        prefetch_residual_fraction=0.12,
+        fabric_raw_bandwidth=110.0e9,
+        power=PowerSpec(
+            pj_per_flop=18.0,
+            pj_per_byte=110.0,
+            constant_power_w=400.0,
+        ),
+    )

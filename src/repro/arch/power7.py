@@ -23,7 +23,7 @@ def power7_core() -> CoreSpec:
         l1d=CacheSpec("L1D", 32 * KIB, POWER7_LINE_SIZE, 8, 3.0, "store-through"),
         l2=CacheSpec("L2", 256 * KIB, POWER7_LINE_SIZE, 8, 12.0),
         l3_slice=CacheSpec("L3", 4 * MIB, POWER7_LINE_SIZE, 8, 28.0, victim=True),
-        tlb=TLBSpec(erat_entries=32, tlb_entries=512),
+        tlb=TLBSpec(erat_entries=32, tlb_entries=512, erat_granule=64 * KIB),
         max_outstanding_misses=8,
     )
 

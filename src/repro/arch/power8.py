@@ -45,7 +45,8 @@ def power8_core() -> CoreSpec:
                                    spill_penalty_cycles=2.0),
         tlb=TLBSpec(erat_entries=48, tlb_entries=2048,
                     erat_miss_penalty_cycles=13.0,
-                    tlb_miss_penalty_cycles=160.0),
+                    tlb_miss_penalty_cycles=160.0,
+                    erat_granule=PAGE_64K),
         max_outstanding_misses=16,
     )
 

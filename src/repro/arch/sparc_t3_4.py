@@ -1,0 +1,145 @@
+"""Oracle SPARC T3-4 description (van Tol's characterization, PAPERS.md).
+
+A four-socket SPARC T3 server: 16 in-order cores per chip, 8 hardware
+threads per core (512 threads system-wide) at 1.65 GHz.  The memory
+system is the structural opposite of POWER8's: tiny per-core L1s in
+front of one shared 6 MB 24-way L2 (no L3, no memory-side cache), DDR3
+behind on-die controllers over a *shared* bidirectional bus, and a
+point-to-point coherence hop between any two sockets (one group of
+four, so every pair is directly linked and no layout asymmetry exists).
+
+Mapping onto the generic hierarchy: the shared L2 plays the ``l2``
+level (every thread sees its full capacity), a deliberately degenerate
+32 KB ``l3_slice`` stands in for the non-existent L3 (its capacity is
+noise next to the L2), and ``l4_capacity=0`` collapses the memory-side
+cache to the 16-line floor.  The 24-way L2 and the 3-way-ineligible set
+counts it produces are exactly the non-power-of-two geometry the zoo
+conformance suite exists to exercise.
+"""
+
+from __future__ import annotations
+
+from .specs import (
+    GB,
+    GIB,
+    KIB,
+    MIB,
+    BusSpec,
+    CacheSpec,
+    CentaurSpec,
+    ChipSpec,
+    CoreSpec,
+    LSUSpec,
+    PowerSpec,
+    PrefetchSpec,
+    SystemSpec,
+    TLBSpec,
+)
+
+#: Cache line size of every T3 cache level we model.
+SPARC_LINE_SIZE = 64
+
+#: Solaris/SPARC base and large page sizes.
+PAGE_8K = 8 * KIB
+PAGE_4M = 4 * MIB
+
+
+def sparc_t3_core() -> CoreSpec:
+    """One S2 core: in-order, 2-issue, 8 threads, one FPU.
+
+    The shared 6 MB 24-way L2 is attached here as the core's ``l2``
+    (all threads address its full capacity); the ``l3_slice`` is a
+    degenerate placeholder so the generic five-level hierarchy stays
+    well-formed on a machine with only two real levels.
+    """
+    return CoreSpec(
+        name="SPARC-T3",
+        smt_ways=8,
+        issue_width=2,
+        commit_width=2,
+        load_ports=1,
+        store_ports=1,
+        vsx_pipes=1,
+        fma_latency_cycles=6,
+        vector_width_dp=1,
+        l1i=CacheSpec("L1I", 16 * KIB, SPARC_LINE_SIZE, 8, 3.0, "store-in"),
+        l1d=CacheSpec("L1D", 8 * KIB, SPARC_LINE_SIZE, 4, 3.0, "store-through"),
+        # The shared L2: 6 MB, 24 ways — a non-power-of-two geometry.
+        l2=CacheSpec("L2", 6 * MIB, SPARC_LINE_SIZE, 24, 23.0),
+        # Degenerate stand-in for the missing L3.
+        l3_slice=CacheSpec("L3", 32 * KIB, SPARC_LINE_SIZE, 8, 26.0, victim=True),
+        tlb=TLBSpec(
+            erat_entries=128,
+            tlb_entries=1024,
+            erat_miss_penalty_cycles=24.0,
+            tlb_miss_penalty_cycles=180.0,
+        ),
+        max_outstanding_misses=4,
+        # In-order cores track very little memory-level parallelism:
+        # one demand miss per thread, a shallow per-core miss queue.
+        lsu=LSUSpec(mem_bytes_per_cycle=4.0, streams_per_thread=1, lmq_entries=8),
+    )
+
+
+def sparc_t3_chip(cores: int = 16, frequency_ghz: float = 1.65) -> ChipSpec:
+    """A SPARC T3 chip: 16 cores, on-die DDR3 controllers, no L4."""
+    return ChipSpec(
+        name="SPARC-T3",
+        core=sparc_t3_core(),
+        cores_per_chip=cores,
+        frequency_hz=frequency_ghz * 1e9,
+        centaurs_per_chip=1,
+        centaur=CentaurSpec(
+            l4_capacity=0,
+            dram_capacity=128 * GIB,
+            read_bandwidth=34.1 * GB,
+            write_bandwidth=34.1 * GB,
+            shared_bus=True,
+            l4_latency_ns=120.0,  # degenerate level; rarely hit
+            dram_latency_ns=175.0,
+            read_lane_efficiency=0.82,
+            write_lane_efficiency=0.74,
+            turnaround_coef=0.20,
+            turnaround_exp=1.5,
+            random_access_efficiency=0.55,  # banked DDR3 behind 512 threads
+        ),
+        x_links=3,
+        a_links=3,
+        # Niagara-class chips have essentially no hardware stream
+        # prefetcher; the depth register is modelled with tiny distances
+        # so "deepest" still only runs a few lines ahead.
+        prefetch=PrefetchSpec(
+            depth_lines=((1, 0), (2, 0), (3, 1), (4, 1), (5, 2), (6, 2), (7, 4)),
+            default_depth=5,
+            row_efficiency_floor=0.60,
+            row_recovery_lines=8,
+            stride_overlap_factor=0.9,  # in-order: almost no OOO overlap
+            max_strided_distance=1,
+        ),
+        page_size=PAGE_8K,
+        huge_page_size=PAGE_4M,
+        remote_l3_extra_ns=6.0,  # crossbar hop to the shared L2 banks
+        core_knee_exponent=2.0,
+        memside_knee_exponent=1.0,
+    )
+
+
+def sparc_t3_4() -> SystemSpec:
+    """The four-socket T3-4: one group, all pairs directly linked."""
+    return SystemSpec(
+        name="Oracle SPARC T3-4",
+        chip=sparc_t3_chip(),
+        num_chips=4,
+        group_size=4,
+        x_bus=BusSpec("coherence", 9.6 * GB, latency_ns=85.0),
+        a_bus=BusSpec("unused-a", 9.6 * GB, latency_ns=85.0),
+        x_layout_delta_ns=(),  # symmetric point-to-point: no layout skew
+        transit_x_hop_ns=30.0,
+        prefetch_residual_fraction=0.6,  # little prefetch to hide the hop
+        fabric_raw_bandwidth=28.0e9,
+        power=PowerSpec(
+            pj_per_flop=180.0,  # scalar FPU, low clock, high static share
+            pj_per_byte=160.0,
+            constant_power_w=900.0,
+        ),
+    )

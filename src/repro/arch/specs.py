@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
 
 KIB = 1024
 MIB = 1024 * KIB
@@ -105,6 +106,25 @@ class TLBSpec:
     tlb_entries: int = 2048
     erat_miss_penalty_cycles: float = 13.0
     tlb_miss_penalty_cycles: float = 160.0
+    #: Largest page granule a first-level entry covers, bytes.  POWER8
+    #: fragments 16 MB pages into 64 KB ERAT entries (the Figure 2
+    #: "both curves spike at 3 MB" effect); 0 means entries hold whole
+    #: pages at their native size (the SPARC/x86 behaviour).
+    erat_granule: int = 0
+
+    def __post_init__(self) -> None:
+        if self.erat_entries <= 0 or self.tlb_entries <= 0:
+            raise SpecError("translation structures need at least one entry")
+        if self.erat_granule < 0 or (
+            self.erat_granule and self.erat_granule & (self.erat_granule - 1)
+        ):
+            raise SpecError("ERAT granule must be 0 or a power of two")
+
+    def erat_granule_for(self, page_size: int) -> int:
+        """Coverage of one first-level entry when mapping ``page_size`` pages."""
+        if self.erat_granule:
+            return min(page_size, self.erat_granule)
+        return page_size
 
     def erat_reach(self, page_size: int) -> int:
         return self.erat_entries * page_size
@@ -134,6 +154,130 @@ class RegisterFileSpec:
 
 
 @dataclass(frozen=True)
+class LSUSpec:
+    """Load/store-unit throughput and concurrency limits of one core.
+
+    Defaults are POWER8's: a ~6 B/cycle core-to-NEST interface (26 GB/s
+    at 4.35 GHz, the Figure 3a single-core STREAM plateau), six
+    hardware prefetch streams per thread, and a 44-entry load-miss
+    queue bounding outstanding demand misses (Figure 4's concurrency
+    cap).
+    """
+
+    #: Sustained bytes/cycle one core moves to/from the memory subsystem.
+    mem_bytes_per_cycle: float = 6.0
+    #: Prefetch streams one thread sustains toward memory.
+    streams_per_thread: int = 6
+    #: Outstanding demand misses one core can track (load-miss queue).
+    lmq_entries: int = 44
+
+    def __post_init__(self) -> None:
+        if self.mem_bytes_per_cycle <= 0:
+            raise SpecError("core memory interface must move >0 bytes/cycle")
+        if self.streams_per_thread <= 0 or self.lmq_entries <= 0:
+            raise SpecError("LSU stream and miss-queue limits must be positive")
+
+
+@dataclass(frozen=True)
+class PrefetchSpec:
+    """Hardware prefetch-engine semantics, hoisted out of the engines.
+
+    Defaults reproduce POWER8's DSCR: settings 1 (off) through 7
+    (deepest) map to prefetch-ahead distances in cache lines, a stream
+    confirms after three consecutive-line touches and then ramps its
+    depth doubling per advance, and shallow settings fragment DRAM
+    bursts (the row-efficiency derate of Figure 6).  Other machines
+    keep the seven-setting shape — requests stay portable — but remap
+    the distances (weak SPARC T3 next-line engine, aggressive Intel L2
+    streamer).
+    """
+
+    #: (setting, prefetch-ahead distance in lines) pairs; a tuple of
+    #: pairs so the spec stays hashable.
+    depth_lines: Tuple[Tuple[int, int], ...] = (
+        (1, 0), (2, 2), (3, 4), (4, 8), (5, 16), (6, 32), (7, 64),
+    )
+    #: Depth programmed when applications do not touch the control register.
+    default_depth: int = 5
+    #: Demand accesses needed to confirm a candidate stream.
+    confirm_accesses: int = 3
+    #: Initial ramped depth; doubles per confirmed advance.
+    ramp_start: int = 2
+    #: DRAM row-buffer efficiency with prefetching off (demand traffic
+    #: interleaves at line granularity and almost always reopens a row).
+    row_efficiency_floor: float = 0.42
+    #: Prefetch distance at which row-buffer locality is fully recovered.
+    row_recovery_lines: int = 32
+    #: Stride-N engines: fraction of memory latency exposed by OOO overlap.
+    stride_overlap_factor: float = 0.55
+    #: In-flight line cap of the strided (non-dense) prefetch machines.
+    max_strided_distance: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.depth_lines:
+            raise SpecError("prefetch spec needs at least one depth setting")
+        seen = set()
+        for depth, lines in self.depth_lines:
+            if depth in seen:
+                raise SpecError(f"duplicate prefetch depth setting {depth}")
+            seen.add(depth)
+            if lines < 0:
+                raise SpecError(f"prefetch distance must be >= 0, got {lines}")
+        if self.default_depth not in seen:
+            raise SpecError(
+                f"default depth {self.default_depth} not among settings {sorted(seen)}"
+            )
+        if self.confirm_accesses < 2:
+            raise SpecError("stream confirmation needs at least two accesses")
+        if self.ramp_start < 1:
+            raise SpecError("ramp must start at depth >= 1")
+        if not 0.0 < self.row_efficiency_floor <= 1.0:
+            raise SpecError("row-efficiency floor must be in (0, 1]")
+        if self.row_recovery_lines < 1:
+            raise SpecError("row recovery distance must be >= 1 line")
+        if not 0.0 < self.stride_overlap_factor <= 1.0:
+            raise SpecError("stride overlap factor must be in (0, 1]")
+        if self.max_strided_distance < 0:
+            raise SpecError("strided distance cap must be >= 0")
+
+    @property
+    def depth_map(self) -> Dict[int, int]:
+        """Setting -> distance as a plain dict (not cached; specs are data)."""
+        return dict(self.depth_lines)
+
+    def validate_depth(self, depth: int) -> int:
+        if dict(self.depth_lines).get(depth) is None:
+            raise ValueError(
+                f"prefetch depth must be one of {sorted(d for d, _ in self.depth_lines)}, "
+                f"got {depth}"
+            )
+        return depth
+
+    def distance(self, depth: int) -> int:
+        """Lines the engine runs ahead of the demand stream at ``depth``."""
+        return dict(self.depth_lines)[self.validate_depth(depth)]
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Per-machine energy parameters for the energy roofline.
+
+    Defaults are the POWER8-era estimates the energy roofline shipped
+    with; they are parameters, not measurements.
+    """
+
+    pj_per_flop: float = 40.0
+    pj_per_byte: float = 220.0
+    constant_power_w: float = 1500.0
+
+    def __post_init__(self) -> None:
+        if self.pj_per_flop <= 0 or self.pj_per_byte <= 0:
+            raise SpecError("energy coefficients must be positive")
+        if self.constant_power_w < 0:
+            raise SpecError("constant power must be >= 0")
+
+
+@dataclass(frozen=True)
 class CoreSpec:
     """A POWER-family core: SMT, pipelines, LSU and L1/L2/L3 slices."""
 
@@ -155,6 +299,7 @@ class CoreSpec:
     # Maximum outstanding demand L1D misses a single core can sustain
     # (load-miss queue / LMQ size).
     max_outstanding_misses: int = 16
+    lsu: LSUSpec = field(default_factory=LSUSpec)
 
     def __post_init__(self) -> None:
         if self.smt_ways not in (1, 2, 4, 8):
@@ -166,6 +311,16 @@ class CoreSpec:
         """Double-precision FLOPs per cycle: pipes x lanes x 2 (mul+add)."""
         return self.vsx_pipes * self.vector_width_dp * 2
 
+    @property
+    def thread_sweep(self) -> tuple:
+        """Feasible SMT levels for thread-scaling sweeps: 1..smt_ways.
+
+        ``(1, 2, 4, 8)`` on an SMT-8 core, ``(1, 2)`` with 2-way
+        hyper-threading — the machine-generic replacement for the
+        POWER8-era hardcoded grids.
+        """
+        return tuple(t for t in (1, 2, 4, 8) if t <= self.smt_ways)
+
 
 @dataclass(frozen=True)
 class CentaurSpec:
@@ -174,6 +329,13 @@ class CentaurSpec:
     Each Centaur provides 16 MiB of eDRAM acting as L4, up to 128 GiB of
     DRAM, and connects to the processor through two read links and one
     write link, yielding an asymmetric 2:1 read:write bandwidth ratio.
+
+    Machines without a buffer chip reuse this spec as "one memory
+    attach": no L4 (``l4_capacity=0``), and — for commodity DDR behind
+    an on-die controller — ``shared_bus=True``, meaning reads and
+    writes share one bidirectional bus (``read_bandwidth`` must equal
+    ``write_bandwidth``, both set to the total bus rate), so the peak
+    does not sum the two directions.
     """
 
     l4_capacity: int = 16 * MIB
@@ -182,15 +344,63 @@ class CentaurSpec:
     write_bandwidth: float = 9.6 * GB
     l4_latency_ns: float = 55.0
     dram_latency_ns: float = 90.0
+    #: True when reads and writes time-share one bus (commodity DDR):
+    #: the link bound is mix-independent and the peak is the bus rate.
+    shared_bus: bool = False
+    #: Fraction of the raw read bandwidth a pure read stream attains
+    #: (DRAM page management, ECC and framing overheads).
+    read_lane_efficiency: float = 0.93
+    #: Same, for writes; posted writes pipeline slightly better.
+    write_lane_efficiency: float = 0.96
+    #: Strength and shape of the read/write turnaround penalty, worst
+    #: for alternating traffic (calibrated on POWER8's Table III).
+    turnaround_coef: float = 0.257
+    turnaround_exp: float = 1.5
+    #: DRAM efficiency for isolated-cache-line random reads (every
+    #: access opens a new row; the Figure 4 ceiling).
+    random_access_efficiency: float = 0.41
 
     def __post_init__(self) -> None:
         if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
             raise SpecError("Centaur link bandwidths must be positive")
+        if self.l4_capacity < 0 or self.dram_capacity <= 0:
+            raise SpecError("memory capacities must be non-negative/positive")
+        if self.shared_bus and self.read_bandwidth != self.write_bandwidth:
+            raise SpecError(
+                "a shared bus has one rate: set read_bandwidth == "
+                "write_bandwidth to the total bus bandwidth"
+            )
+        for name in ("read_lane_efficiency", "write_lane_efficiency",
+                     "random_access_efficiency"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise SpecError(f"{name} must be in (0, 1], got {value}")
+        if self.turnaround_coef < 0 or self.turnaround_exp <= 0:
+            raise SpecError("turnaround penalty parameters out of range")
 
     @property
     def peak_bandwidth(self) -> float:
-        """Best sustainable bandwidth, achieved at a 2:1 read:write mix."""
+        """Best sustainable raw bandwidth over all read:write mixes.
+
+        Asymmetric links sum the two directions (attained at the
+        ``R:W`` mix); a shared bus is its single rate regardless of mix.
+        """
+        if self.shared_bus:
+            return self.read_bandwidth
         return self.read_bandwidth + self.write_bandwidth
+
+    @property
+    def optimal_read_fraction(self) -> float:
+        """The read byte-fraction that maximises sustained bandwidth.
+
+        For asymmetric links this is the link-balance point
+        ``R / (R + W)`` (POWER8's 2/3, the paper's 2:1 optimum).  On a
+        shared bus the link bound is flat, so the best mix avoids bus
+        turnarounds entirely on whichever lane is more efficient.
+        """
+        if self.shared_bus:
+            return 1.0 if self.read_lane_efficiency >= self.write_lane_efficiency else 0.0
+        return self.read_bandwidth / (self.read_bandwidth + self.write_bandwidth)
 
 
 @dataclass(frozen=True)
@@ -219,12 +429,33 @@ class ChipSpec:
     centaur: CentaurSpec = field(default_factory=CentaurSpec)
     x_links: int = 3
     a_links: int = 3
+    prefetch: PrefetchSpec = field(default_factory=PrefetchSpec)
+    #: Regular and huge page sizes of the machine's default configuration.
+    page_size: int = 64 * KIB
+    huge_page_size: int = 16 * MIB
+    #: Extra ns to reach a peer core's LLC slice across the on-chip
+    #: fabric, relative to the local slice (Figure 2's remote-L3 shoulder).
+    remote_l3_extra_ns: float = 15.5
+    #: Knee sharpness of the capacity model: core-side caches (sharp LRU
+    #: knees) vs the memory-side cache (gradual slope, per Figure 2).
+    core_knee_exponent: float = 2.0
+    memside_knee_exponent: float = 1.0
 
     def __post_init__(self) -> None:
         if self.cores_per_chip <= 0:
             raise SpecError(f"{self.name}: need at least one core")
         if self.frequency_hz <= 0:
             raise SpecError(f"{self.name}: frequency must be positive")
+        for name in ("page_size", "huge_page_size"):
+            size = getattr(self, name)
+            if size <= 0 or size & (size - 1):
+                raise SpecError(f"{self.name}: {name} must be a power of two")
+        if self.huge_page_size < self.page_size:
+            raise SpecError(f"{self.name}: huge pages smaller than regular pages")
+        if self.remote_l3_extra_ns < 0:
+            raise SpecError(f"{self.name}: remote-L3 penalty must be >= 0")
+        if self.core_knee_exponent <= 0 or self.memside_knee_exponent <= 0:
+            raise SpecError(f"{self.name}: knee exponents must be positive")
 
     # -- derived capacities -------------------------------------------------
     @property
@@ -255,8 +486,12 @@ class ChipSpec:
 
     @property
     def peak_memory_bandwidth(self) -> float:
-        """Sustainable local-memory bandwidth at the optimal 2:1 mix."""
-        return self.read_bandwidth + self.write_bandwidth
+        """Sustainable local-memory bandwidth at the optimal mix.
+
+        Delegates to the memory attach: asymmetric Centaur links sum
+        read+write, a shared DDR bus is its single rate.
+        """
+        return self.centaurs_per_chip * self.centaur.peak_bandwidth
 
     @property
     def peak_gflops(self) -> float:
@@ -293,12 +528,31 @@ class SystemSpec:
     a_bus: BusSpec = field(
         default_factory=lambda: BusSpec("A-bus", 12.8 * GB, latency_ns=123.0)
     )
+    #: Extra ns on an X hop by intra-group position distance (physical
+    #: drawer layout, Table IV); tuple-of-pairs so the spec is hashable.
+    #: Positions absent from the table cost no delta.
+    x_layout_delta_ns: Tuple[Tuple[int, float], ...] = (
+        (1, -2.0), (2, 0.0), (3, 8.0),
+    )
+    #: X-hop cost when used as the transit segment of an indirect route
+    #: (pure data forward, no coherence resolution).
+    transit_x_hop_ns: float = 24.0
+    #: Fraction of the unprefetched remote latency still visible once
+    #: the prefetch engine has locked on (Table IV's 123 ns -> 12 ns).
+    prefetch_residual_fraction: float = 0.075
+    #: Raw per-chip SMP fabric (injection/extraction) capacity, bytes/s.
+    fabric_raw_bandwidth: float = 90.0e9
+    power: PowerSpec = field(default_factory=PowerSpec)
 
     def __post_init__(self) -> None:
         if self.num_chips <= 0:
             raise SpecError(f"{self.name}: need at least one chip")
         if self.group_size <= 0:
             raise SpecError(f"{self.name}: group size must be positive")
+        if self.transit_x_hop_ns < 0 or self.fabric_raw_bandwidth <= 0:
+            raise SpecError(f"{self.name}: fabric parameters out of range")
+        if not 0.0 <= self.prefetch_residual_fraction <= 1.0:
+            raise SpecError(f"{self.name}: prefetch residual must be in [0, 1]")
         num_groups = math.ceil(self.num_chips / self.group_size)
         # Each chip owns a fixed number of X and A ports; check the wiring
         # demanded by the grouped topology is realisable.
@@ -334,6 +588,13 @@ class SystemSpec:
             raise SpecError(
                 f"chip id {chip_id} out of range for {self.num_chips}-chip system"
             )
+
+    def x_layout_delta(self, distance: int) -> float:
+        """Layout delta (ns) for an X hop at intra-group position distance."""
+        for d, delta in self.x_layout_delta_ns:
+            if d == distance:
+                return delta
+        return 0.0
 
     # -- derived system-level numbers -----------------------------------------
     @property
@@ -373,3 +634,9 @@ class SystemSpec:
     def balance(self) -> float:
         """FLOP:byte system balance (the paper's headline 1.2 for E870)."""
         return self.peak_gflops * 1e9 / self.peak_memory_bandwidth
+
+
+#: A full machine description.  ``SystemSpec`` grew out of the POWER8
+#: reproduction; the zoo refactor made every engine read its knobs from
+#: the spec, so "machine" is the accurate name for what this carries.
+MachineSpec = SystemSpec

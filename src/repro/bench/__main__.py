@@ -21,6 +21,16 @@ degradation, zero-rate bit-exactness), and ``--inject SPEC`` applies a
 fault plan to the sweep (see :mod:`repro.ras.injector` for the spec
 grammar).
 
+Machine zoo (``repro.arch.registry``): ``--machine NAME`` runs any
+experiment on a registered zoo machine instead of the E870
+(``--list-machines`` enumerates them); ``--compare NAME...`` prints a
+side-by-side characterization — latency plateaus, STREAM mixes,
+prefetch, roofline, energy balance — one column per machine;
+``--compare-perf`` writes it to ``BENCH_compare.json`` for trajectory
+gating; ``--zoo-selftest`` runs the fast zoo gate (per-machine
+invariants, differential conformance, pinned golden headline tables
+vs published anchors).
+
 Sharded execution (``repro.parallel``): ``--workers N`` fans the
 selected experiments over a process pool (same results, same order);
 ``--shards N`` sets the shard count for sharded modes;
@@ -51,6 +61,31 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("experiments", nargs="*", help="experiment ids to run (default: all)")
     parser.add_argument("--list", action="store_true", help="list available experiment ids")
+    zoo = parser.add_argument_group("machine zoo")
+    zoo.add_argument(
+        "--machine", metavar="NAME", default=None,
+        help="run experiments on a zoo machine instead of the E870 "
+             "(power8, sparc-t3-4, broadwell, cascade-lake, ...)",
+    )
+    zoo.add_argument(
+        "--compare", nargs="+", metavar="NAME", default=None,
+        help="print the side-by-side characterization of the named zoo "
+             "machines (latency / STREAM / prefetch / roofline / energy)",
+    )
+    zoo.add_argument(
+        "--compare-perf", action="store_true",
+        help="write the zoo comparison to BENCH_compare.json (all machines "
+             "unless --compare names a subset) for trajectory gating",
+    )
+    zoo.add_argument(
+        "--list-machines", action="store_true",
+        help="list the registered zoo machines and exit",
+    )
+    zoo.add_argument(
+        "--zoo-selftest", action="store_true",
+        help="run the fast zoo gate: per-machine invariants, analytic "
+             "figure conformance and the pinned golden headline tables",
+    )
     parser.add_argument(
         "--csv", metavar="DIR", help="also write each experiment's rows to DIR/<id>.csv"
     )
@@ -179,10 +214,56 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     # Lazy imports throughout: each mode pulls in only what it needs.
+    if args.list_machines:
+        from ..arch.registry import available_machines
+
+        for name in available_machines():
+            print(name)
+        return 0
+
+    if args.zoo_selftest:
+        from .compare import zoo_selftest
+
+        ok, lines = zoo_selftest(args.compare)
+        print("\n".join(lines))
+        print("Zoo selftest " + ("PASSED" if ok else "FAILED"))
+        return 0 if ok else 1
+
+    if args.compare is not None or args.compare_perf:
+        from .compare import compare_reports, format_compare, write_compare_bench
+
+        try:
+            if args.compare is not None:
+                print(format_compare(compare_reports(args.compare)))
+            if args.compare_perf:
+                out = (
+                    args.out if args.out != "BENCH_trace.json"
+                    else "BENCH_compare.json"
+                )
+                payload = write_compare_bench(out, args.compare)
+                print(f"[wrote {out}: {len(payload['machines'])} machines]")
+        except KeyError as exc:
+            parser.error(str(exc.args[0]) if exc.args else str(exc))
+        return 0
+
+    system = None
+    if args.machine is not None:
+        from ..arch.registry import get_system
+
+        try:
+            system = get_system(args.machine)
+        except KeyError as exc:
+            parser.error(str(exc.args[0]) if exc.args else str(exc))
+        # Experiment titles are written against the paper's E870; make
+        # the substituted machine explicit in the transcript.
+        print(f"[machine: {system.name}]")
+
     if args.analytic_selftest:
+        from ..arch.registry import canonical_name
         from ..perfmodel.differential import selftest
 
-        ok, lines = selftest()
+        machine = canonical_name(args.machine) if args.machine else None
+        ok, lines = selftest(system, machine=machine)
         print("\n".join(lines))
         print("Analytic selftest " + ("PASSED" if ok else "FAILED"))
         return 0 if ok else 1
@@ -216,7 +297,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"unknown oracle kind(s): {unknown_kinds}; "
                 f"known: {sorted(REQUEST_KINDS)}"
             )
-        oracle = AnalyticOracle(e870())
+        oracle = AnalyticOracle(system if system is not None else e870())
         for kind in kinds:
             print(oracle.predict(OracleRequest(kind=kind)).render())
             print()
@@ -358,7 +439,7 @@ def main(argv: list[str] | None = None) -> int:
         from ..parallel.cache import ResultCache
 
         cache = ResultCache(args.cache_dir)
-        machine = e870()
+        machine = system if system is not None else e870()
         keys = {
             eid: cache.key(machine=machine, workload={"experiment": eid}, seed=0)
             for eid in targets
@@ -374,7 +455,9 @@ def main(argv: list[str] | None = None) -> int:
     if misses:
         from .runner import run_suite
 
-        for result in run_suite(misses, policy=policy, workers=args.workers):
+        for result in run_suite(
+            misses, system=system, policy=policy, workers=args.workers
+        ):
             results[result.experiment_id] = result
             if cache is not None and result.ok:
                 cache.put(keys[result.experiment_id], result.to_dict())

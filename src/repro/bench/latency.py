@@ -13,7 +13,6 @@ from typing import List, Sequence
 
 import numpy as np
 
-from ..arch.power8 import PAGE_16M, PAGE_64K
 from ..arch.specs import SystemSpec
 from ..mem.batch import BatchMemoryHierarchy
 from ..mem.hierarchy import MemoryHierarchy
@@ -40,8 +39,8 @@ def fig2_rows(system: SystemSpec, working_sets: Sequence[int] | None = None) -> 
     if working_sets is None:
         working_sets = default_working_sets()
     oracle = AnalyticOracle(system)
-    regular = oracle.latency_curve(working_sets, page_size=PAGE_64K)
-    huge = oracle.latency_curve(working_sets, page_size=PAGE_16M)
+    regular = oracle.latency_curve(working_sets, page_size=system.chip.page_size)
+    huge = oracle.latency_curve(working_sets, page_size=system.chip.huge_page_size)
     return [
         {
             "working_set": w,
@@ -55,7 +54,7 @@ def fig2_rows(system: SystemSpec, working_sets: Sequence[int] | None = None) -> 
 def traced_latency_ns(
     system: SystemSpec,
     working_set: int,
-    page_size: int = PAGE_64K,
+    page_size: int | None = None,
     passes: int = 3,
     seed: int = 0,
     engine: str = "batch",
@@ -80,7 +79,7 @@ def traced_latency_ns(
 def traced_latency_pmu(
     system: SystemSpec,
     working_set: int,
-    page_size: int = PAGE_64K,
+    page_size: int | None = None,
     passes: int = 3,
     seed: int = 0,
     engine: str = "batch",
@@ -115,7 +114,7 @@ def traced_latency_pmu(
 def traced_stream_latency_ns(
     system: SystemSpec,
     working_set: int,
-    page_size: int = PAGE_64K,
+    page_size: int | None = None,
     depth: int = 0,
     ras=None,
 ) -> float:
@@ -133,7 +132,7 @@ def traced_stream_latency_ns(
     pf = None
     line = system.chip.core.l1d.line_size
     if depth:
-        pf = StreamPrefetcher(line_size=line, depth=depth)
+        pf = StreamPrefetcher(line_size=line, depth=depth, spec=system.chip.prefetch)
     hier = BatchMemoryHierarchy(
         system.chip, page_size=page_size, prefetcher=pf, ras=ras
     )

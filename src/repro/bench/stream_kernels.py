@@ -67,7 +67,7 @@ class StreamKernels:
         nbytes = self.n * 8
         bytes_read, bytes_written = reads * nbytes, writes * nbytes
         ratio_r, ratio_w = reads, writes
-        bw = system_stream_bandwidth(self.system, 8, ratio_r, ratio_w)
+        bw = system_stream_bandwidth(self.system, None, ratio_r, ratio_w)
         return StreamResult(
             kernel=name,
             bytes_read=bytes_read,

@@ -40,6 +40,6 @@ def core_stream_bandwidth(chip: ChipSpec, threads: int) -> float:
         raise ValueError(f"threads must be in [1, {core.smt_ways}], got {threads}")
     line = core.l1d.line_size
     latency_s = chip.centaur.dram_latency_ns * 1e-9
-    per_thread = STREAMS_PER_THREAD * line / latency_s
-    cap = CORE_MEMORY_BYTES_PER_CYCLE * chip.frequency_hz
+    per_thread = core.lsu.streams_per_thread * line / latency_s
+    cap = core.lsu.mem_bytes_per_cycle * chip.frequency_hz
     return min(threads * per_thread, cap)

@@ -73,7 +73,7 @@ class BandwidthModel:
             return PairBandwidth(uni, 2.0 * uni * BIDIR_EFF_INTRA)
         bundle = self.topology.a_bundle_width * sys.a_bus.bandwidth
         uni = bundle * (1.0 + INDIRECT_SPILL_FRACTION) * EFF_SINGLE_FLOW
-        uni = min(uni, FABRIC_RAW_BANDWIDTH * EFF_SINGLE_FLOW)
+        uni = min(uni, sys.fabric_raw_bandwidth * EFF_SINGLE_FLOW)
         if self.topology.has_direct_a(a, b):
             return PairBandwidth(uni, 2.0 * uni * BIDIR_EFF_INTER_DIRECT)
         return PairBandwidth(uni, 2.0 * uni * BIDIR_EFF_INTER_INDIRECT)
@@ -85,7 +85,7 @@ class BandwidthModel:
         each); the binding constraint is the requester's own SMP fabric.
         """
         n = self.system.num_chips
-        fabric = FABRIC_RAW_BANDWIDTH * EFF_SINGLE_FLOW
+        fabric = self.system.fabric_raw_bandwidth * EFF_SINGLE_FLOW
         if n == 1:
             return self._local_read_bandwidth()
         # Per-home-chip route capacity limits 1/n of the stream each.

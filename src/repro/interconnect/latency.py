@@ -45,7 +45,7 @@ class LatencyModel:
     def _x_hop_ns(self, a: int, b: int) -> float:
         sys = self.system
         dist = abs(sys.position_in_group(a) - sys.position_in_group(b))
-        return sys.x_bus.latency_ns + X_LAYOUT_DELTA_NS.get(dist, 0.0)
+        return sys.x_bus.latency_ns + sys.x_layout_delta(dist)
 
     def _a_hop_ns(self) -> float:
         return self.system.a_bus.latency_ns
@@ -67,14 +67,15 @@ class LatencyModel:
             return base + self._a_hop_ns()
         # Indirect route: A-bundle across groups plus a transit X hop.
         dist = abs(sys.position_in_group(requester) - sys.position_in_group(home))
-        transit = TRANSIT_X_HOP_NS + X_LAYOUT_DELTA_NS.get(dist, 0.0)
+        transit = sys.transit_x_hop_ns + sys.x_layout_delta(dist)
         return base + self._a_hop_ns() + transit
 
     def pair_latency_prefetched_ns(self, requester: int, home: int) -> float:
         """Same access with the hardware prefetch engine streaming ahead."""
         chip = self.system.chip
         l2_hit = chip.cycles_to_ns(chip.core.l2.latency_cycles)
-        return l2_hit + PREFETCH_RESIDUAL_FRACTION * self.pair_latency_ns(requester, home)
+        residual = self.system.prefetch_residual_fraction
+        return l2_hit + residual * self.pair_latency_ns(requester, home)
 
     def interleaved_latency_ns(self, requester: int) -> float:
         """Mean latency with pages interleaved across every chip."""

@@ -63,7 +63,7 @@ class SMPTopology:
             self.graph.add_node(chip)
             for kind in ("inj", "ext"):
                 self._add_link(
-                    Link((kind, chip), kind, FABRIC_RAW_BANDWIDTH, 0.0)
+                    Link((kind, chip), kind, sys.fabric_raw_bandwidth, 0.0)
                 )
         # X-buses: all pairs within a group, both directions.
         for a in range(sys.num_chips):

@@ -86,7 +86,7 @@ class P8Machine:
         self,
         read_ratio: float = 2.0,
         write_ratio: float = 1.0,
-        threads_per_core: int = 8,
+        threads_per_core: int | None = None,
     ) -> float:
         """Sustained full-system STREAM bandwidth at a read:write ratio."""
         return system_stream_bandwidth(self.spec, threads_per_core, read_ratio, write_ratio)

@@ -71,12 +71,16 @@ class AnalyticHierarchy:
     def __init__(
         self,
         chip: ChipSpec,
-        page_size: int = 64 * 1024,
-        remote_l3_extra_ns: float = DEFAULT_REMOTE_L3_EXTRA_NS,
+        page_size: Optional[int] = None,
+        remote_l3_extra_ns: Optional[float] = None,
         dram_latency_ns: Optional[float] = None,
     ) -> None:
         self.chip = chip
-        self.page_size = page_size
+        self.page_size = chip.page_size if page_size is None else page_size
+        if remote_l3_extra_ns is None:
+            remote_l3_extra_ns = chip.remote_l3_extra_ns
+        core_knee = chip.core_knee_exponent
+        memside_knee = chip.memside_knee_exponent
         core = chip.core
         lat = chip.cycles_to_ns
         c_l1 = core.l1d.capacity
@@ -88,16 +92,16 @@ class AnalyticHierarchy:
             chip.centaur.dram_latency_ns if dram_latency_ns is None else dram_latency_ns
         )
         self.levels = (
-            LevelModel("L1", c_l1, lat(core.l1d.latency_cycles), CORE_KNEE_EXPONENT),
-            LevelModel("L2", c_l2, lat(core.l2.latency_cycles), CORE_KNEE_EXPONENT),
-            LevelModel("L3", c_l3, lat(core.l3_slice.latency_cycles), CORE_KNEE_EXPONENT),
+            LevelModel("L1", c_l1, lat(core.l1d.latency_cycles), core_knee),
+            LevelModel("L2", c_l2, lat(core.l2.latency_cycles), core_knee),
+            LevelModel("L3", c_l3, lat(core.l3_slice.latency_cycles), core_knee),
             LevelModel(
                 "L3R",
                 c_l3r,
                 lat(core.l3_slice.latency_cycles) + remote_l3_extra_ns,
-                CORE_KNEE_EXPONENT,
+                core_knee,
             ),
-            LevelModel("L4", c_l4, chip.centaur.l4_latency_ns, L4_KNEE_EXPONENT),
+            LevelModel("L4", c_l4, chip.centaur.l4_latency_ns, memside_knee),
         )
 
     # -- hit decomposition -----------------------------------------------------
@@ -117,11 +121,12 @@ class AnalyticHierarchy:
     def translation_penalty_ns(self, working_set: float) -> float:
         """Mean ERAT/TLB penalty per reference at this working-set size."""
         tlb = self.chip.core.tlb
-        erat_granule = min(self.page_size, ERAT_GRANULE)
+        knee = self.chip.core_knee_exponent
+        erat_granule = tlb.erat_granule_for(self.page_size)
         erat_reach = tlb.erat_entries * erat_granule
         tlb_reach = tlb.tlb_entries * self.page_size
-        miss_erat = 1.0 - resident_fraction(working_set, erat_reach, CORE_KNEE_EXPONENT)
-        miss_tlb = 1.0 - resident_fraction(working_set, tlb_reach, CORE_KNEE_EXPONENT)
+        miss_erat = 1.0 - resident_fraction(working_set, erat_reach, knee)
+        miss_tlb = 1.0 - resident_fraction(working_set, tlb_reach, knee)
         return self.chip.cycles_to_ns(
             miss_erat * tlb.erat_miss_penalty_cycles
             + miss_tlb * tlb.tlb_miss_penalty_cycles

@@ -82,6 +82,7 @@ from .hierarchy import (
     HierarchyStats,
     PrefetcherProtocol,
     TraceResult,
+    memory_side_cache_spec,
 )
 from .tlb import TLB
 
@@ -415,8 +416,8 @@ class BatchMemoryHierarchy:
     def __init__(
         self,
         chip: ChipSpec,
-        page_size: int = 64 * 1024,
-        remote_l3_extra_ns: float = DEFAULT_REMOTE_L3_EXTRA_NS,
+        page_size: Optional[int] = None,
+        remote_l3_extra_ns: Optional[float] = None,
         prefetcher: Optional[PrefetcherProtocol] = None,
         dram: Optional[DRAMModel] = None,
         record_victims: bool = False,
@@ -428,6 +429,10 @@ class BatchMemoryHierarchy:
         from dataclasses import replace
 
         self.chip = chip
+        if page_size is None:
+            page_size = chip.page_size
+        if remote_l3_extra_ns is None:
+            remote_l3_extra_ns = chip.remote_l3_extra_ns
         core = chip.core
         self.line_size = core.l1d.line_size
         self.l1 = ArrayCache(core.l1d)
@@ -444,13 +449,7 @@ class BatchMemoryHierarchy:
             self.l3_remote: Optional[ArrayCache] = ArrayCache(pooled)
         else:
             self.l3_remote = None
-        l4_spec = replace(
-            core.l3_slice,
-            name="L4",
-            capacity=chip.l4_capacity if chip.l4_capacity >= self.line_size * 16 else self.line_size * 16,
-            associativity=16,
-        )
-        self.l4 = ArrayCache(l4_spec)
+        self.l4 = ArrayCache(memory_side_cache_spec(chip))
         self.tlb = TLB(core.tlb, page_size)
         self.dram = dram if dram is not None else DRAMModel()
         #: RAS injector wiring mirrors the reference engine: faults fire
@@ -996,7 +995,7 @@ class BatchMemoryHierarchy:
                 break
         if stream is None or stream.stride != stride:
             return False
-        if stream.confidence < engine.CONFIRM_ACCESSES - 1:
+        if stream.confidence < pf.confirm_accesses - 1:
             return False
         prefetched_up_to = stream.prefetched_up_to
         if (
@@ -1026,7 +1025,7 @@ class BatchMemoryHierarchy:
         if 2 * ((2 * max_distance + 2) // period + 1) > l2._assoc - 2:
             return False
 
-        ramp = engine.ramp_schedule(stream.depth, max_distance, m)
+        ramp = engine.ramp_schedule(stream.depth, max_distance, m, pf.ramp_start)
         depth_final = ramp[-1]
         final_horizon = line_last + stride * depth_final
         n_targets = (

@@ -51,9 +51,16 @@ def read_fraction(read_ratio: float, write_ratio: float) -> float:
 
 
 def link_bound(chip: ChipSpec, f: float) -> float:
-    """Raw link-limited bandwidth (bytes/s) of one chip at read fraction f."""
+    """Raw link-limited bandwidth (bytes/s) of one chip at read fraction f.
+
+    Asymmetric buffered links (POWER8 Centaur) bound each direction
+    separately; a shared bidirectional bus (commodity DDR attach) carries
+    reads and writes over the same wires, so its bound is mix-independent.
+    """
     if not 0.0 <= f <= 1.0:
         raise ValueError(f"read fraction must be in [0,1], got {f}")
+    if chip.centaur.shared_bus:
+        return chip.read_bandwidth
     read_bw = chip.read_bandwidth
     write_bw = chip.write_bandwidth
     if f == 0.0:
@@ -63,13 +70,28 @@ def link_bound(chip: ChipSpec, f: float) -> float:
     return min(read_bw / f, write_bw / (1.0 - f))
 
 
-def mix_efficiency(f: float) -> float:
-    """Sustained/raw bandwidth ratio for a traffic mix with read fraction f."""
+def mix_efficiency(f: float, centaur=None) -> float:
+    """Sustained/raw bandwidth ratio for a traffic mix with read fraction f.
+
+    With a :class:`~repro.arch.specs.CentaurSpec` the lane efficiencies
+    and turnaround penalty come from the spec; without one the POWER8
+    calibration constants above apply (back-compat).
+    """
     if not 0.0 <= f <= 1.0:
         raise ValueError(f"read fraction must be in [0,1], got {f}")
-    base = READ_LANE_EFFICIENCY * f + WRITE_LANE_EFFICIENCY * (1.0 - f)
+    if centaur is None:
+        read_eff = READ_LANE_EFFICIENCY
+        write_eff = WRITE_LANE_EFFICIENCY
+        coef = TURNAROUND_COEF
+        exp = TURNAROUND_EXP
+    else:
+        read_eff = centaur.read_lane_efficiency
+        write_eff = centaur.write_lane_efficiency
+        coef = centaur.turnaround_coef
+        exp = centaur.turnaround_exp
+    base = read_eff * f + write_eff * (1.0 - f)
     symmetry = 2.0 * min(f, 1.0 - f)  # 0 for one-sided traffic, 1 at f=1/2
-    return base - TURNAROUND_COEF * symmetry**TURNAROUND_EXP
+    return base - coef * symmetry**exp
 
 
 @dataclass(frozen=True)
@@ -80,7 +102,7 @@ class MemoryLinkModel:
 
     def chip_bandwidth(self, f: float) -> float:
         """Sustained bandwidth of one chip (bytes/s) at read fraction f."""
-        return link_bound(self.chip, f) * mix_efficiency(f)
+        return link_bound(self.chip, f) * mix_efficiency(f, self.chip.centaur)
 
     def system_bandwidth(self, system: SystemSpec, f: float) -> float:
         """All chips streaming from their local memory concurrently."""
@@ -90,15 +112,22 @@ class MemoryLinkModel:
 
     def chip_random_read_bandwidth(self) -> float:
         """Ceiling for isolated-line random reads from one chip's memory."""
-        return self.chip.read_bandwidth * RANDOM_ACCESS_EFFICIENCY
+        return self.chip.read_bandwidth * self.chip.centaur.random_access_efficiency
 
     def system_random_read_bandwidth(self, system: SystemSpec) -> float:
         return system.num_chips * self.chip_random_read_bandwidth()
 
 
-def optimal_read_fraction() -> float:
-    """The mix that maximises POWER8 memory throughput (2 reads : 1 write)."""
-    return 2.0 / 3.0
+def optimal_read_fraction(chip: ChipSpec = None) -> float:
+    """The mix that maximises memory throughput for ``chip``.
+
+    For asymmetric links this is ``R/(R+W)`` — on POWER8, 2 reads to
+    1 write (Table III).  Without a chip the POWER8 value is returned
+    for back-compat.
+    """
+    if chip is None:
+        return 2.0 / 3.0
+    return chip.centaur.optimal_read_fraction
 
 
 def degraded_chip_bandwidth(

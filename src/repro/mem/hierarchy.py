@@ -37,6 +37,25 @@ DEFAULT_REMOTE_L3_EXTRA_NS = 15.5
 LEVELS = ("L1", "L2", "L3", "L3R", "L4", "DRAM")
 
 
+def memory_side_cache_spec(chip: ChipSpec):
+    """Geometry of the memory-side (L4) cache for ``chip``.
+
+    Rounds the chip's L4 capacity to whole lines, floors it at 16 lines
+    (a degenerate memory-side buffer for machines without an L4), and
+    picks the largest associativity <= 16 that divides the line count.
+    POWER8's 128 MB L4 gets exactly the 16 ways it always had, while
+    arbitrary zoo geometries stay valid instead of tripping
+    :class:`~repro.arch.specs.SpecError` on a non-divisible set count.
+    """
+    l3 = chip.core.l3_slice
+    line = l3.line_size
+    num_lines = max(chip.l4_capacity // line, 16)
+    assoc = 16
+    while assoc > 1 and num_lines % assoc:
+        assoc -= 1
+    return replace(l3, name="L4", capacity=num_lines * line, associativity=assoc)
+
+
 class PrefetcherProtocol(Protocol):
     """Interface the hierarchy expects from a prefetch engine."""
 
@@ -124,8 +143,8 @@ class MemoryHierarchy:
     def __init__(
         self,
         chip: ChipSpec,
-        page_size: int = 64 * 1024,
-        remote_l3_extra_ns: float = DEFAULT_REMOTE_L3_EXTRA_NS,
+        page_size: Optional[int] = None,
+        remote_l3_extra_ns: Optional[float] = None,
         prefetcher: Optional[PrefetcherProtocol] = None,
         dram: Optional[DRAMModel] = None,
         record_victims: bool = False,
@@ -133,6 +152,10 @@ class MemoryHierarchy:
         ras=None,
     ) -> None:
         self.chip = chip
+        if page_size is None:
+            page_size = chip.page_size
+        if remote_l3_extra_ns is None:
+            remote_l3_extra_ns = chip.remote_l3_extra_ns
         core = chip.core
         self.line_size = core.l1d.line_size
         self.l1 = Cache(core.l1d)
@@ -151,13 +174,7 @@ class MemoryHierarchy:
             self.l3_remote = Cache(pooled)
         else:
             self.l3_remote = None
-        l4_spec = replace(
-            core.l3_slice,
-            name="L4",
-            capacity=chip.l4_capacity if chip.l4_capacity >= self.line_size * 16 else self.line_size * 16,
-            associativity=16,
-        )
-        self.l4 = Cache(l4_spec)
+        self.l4 = Cache(memory_side_cache_spec(chip))
         self.tlb = TLB(core.tlb, page_size)
         self.dram = dram if dram is not None else DRAMModel()
         #: Optional RAS fault injector (:class:`repro.ras.FaultInjector`):

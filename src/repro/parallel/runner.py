@@ -47,7 +47,7 @@ from .pool import ShardPool
 from .seeds import shard_seeds
 from .shards import interleave_trace
 
-PAGE_64K = 64 * 1024
+PAGE_64K = 64 * 1024  # kept for callers that pin POWER8's base page explicitly
 
 
 @dataclass
@@ -63,7 +63,7 @@ class TraceShardTask:
     writes: Union[bool, np.ndarray] = False
     cores: Union[int, np.ndarray, None] = None
     warm_addrs: Optional[np.ndarray] = None
-    page_size: int = PAGE_64K
+    page_size: Optional[int] = None  # None: the chip's own base page
     chunk: int = DEFAULT_CHUNK
     inject: Optional[str] = None
 
@@ -162,7 +162,7 @@ def plan_trace_tasks(
     warm: Optional[np.ndarray] = None,
     shards: int = 1,
     seed: int = 0,
-    page_size: int = PAGE_64K,
+    page_size: Optional[int] = None,
     chunk: int = DEFAULT_CHUNK,
     inject: Optional[str] = None,
     engine: Optional[str] = None,
@@ -229,7 +229,7 @@ def run_trace_sharded(
     shards: int = 1,
     workers: int = 1,
     seed: int = 0,
-    page_size: int = PAGE_64K,
+    page_size: Optional[int] = None,
     chunk: int = DEFAULT_CHUNK,
     inject: Optional[str] = None,
     engine: Optional[str] = None,
@@ -298,7 +298,7 @@ def sharded_traced_latency(
     system: SystemSpec,
     working_set: int,
     *,
-    page_size: int = PAGE_64K,
+    page_size: Optional[int] = None,
     passes: int = 3,
     seed: int = 0,
     shards: int = 1,

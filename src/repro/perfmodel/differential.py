@@ -100,7 +100,7 @@ def _run_chase(system: SystemSpec, oracle: AnalyticOracle, working_set: int):
     from ..bench.latency import traced_latency_ns
 
     traced = traced_latency_ns(system, working_set, passes=3)
-    predicted = oracle.chase_latency_ns(working_set)
+    predicted = oracle.chase_latency_ns(working_set, system.chip.page_size)
     return (
         _max_rel([(traced, predicted)]),
         f"trace={traced:.2f}ns oracle={predicted:.2f}ns",
@@ -111,7 +111,9 @@ def _run_stream_cold(system: SystemSpec, oracle: AnalyticOracle, depth: int):
     from ..bench.latency import traced_stream_latency_ns
 
     traced = traced_stream_latency_ns(system, STREAM_SWEEP_BYTES, depth=depth)
-    predicted = oracle.stream_sweep(STREAM_SWEEP_BYTES, depth=depth)
+    predicted = oracle.stream_sweep(
+        STREAM_SWEEP_BYTES, depth=depth, page_size=system.chip.page_size
+    )
     return (
         _max_rel([(traced, predicted.mean_latency_ns)]),
         f"trace={traced:.3f}ns oracle={predicted.mean_latency_ns:.3f}ns",
@@ -146,10 +148,11 @@ def _experiment(system: SystemSpec, exp_id: str):
 
 def _run_fig2(system: SystemSpec, oracle: AnalyticOracle):
     exp = _experiment(system, "fig2")
-    pred = oracle.predict(OracleRequest(kind="lat_mem")).rows
+    req = OracleRequest(kind="lat_mem", page_size=system.chip.page_size)
+    pred = oracle.predict(req).rows
     pairs = [(er[1], pr[1]) for er, pr in zip(exp.rows, pred)]
     pairs += [(er[0], pr[0]) for er, pr in zip(exp.rows, pred)]
-    return _max_rel(pairs), f"{len(pred)} working sets (64K pages)"
+    return _max_rel(pairs), f"{len(pred)} working sets (base pages)"
 
 
 def _run_table3(system: SystemSpec, oracle: AnalyticOracle):
@@ -238,23 +241,48 @@ CASES: Dict[str, Tuple[str, float, Runner]] = {
 FIGURE_CASES = tuple(name for name in CASES if name.startswith("figure_"))
 
 
-def load_golden_tolerances(path: Optional[Path] = None) -> Dict[str, float]:
+def load_golden_tolerances(
+    path: Optional[Path] = None, machine: Optional[str] = None
+) -> Dict[str, float]:
+    """Per-case tolerances, optionally specialized to one zoo machine.
+
+    The golden file's top level holds the POWER8/E870 tolerances (the
+    historical format); a ``machines`` section overrides them per
+    machine.  Unknown machines fall back to the top-level values, so a
+    freshly added spec is gated at POWER8 strictness until its own
+    section is regenerated.
+    """
     payload = json.loads((path or GOLDEN_PATH).read_text(encoding="utf-8"))
-    return {name: float(tol) for name, tol in payload["tolerances"].items()}
+    tolerances = {name: float(tol) for name, tol in payload["tolerances"].items()}
+    if machine is not None:
+        overrides = payload.get("machines", {}).get(machine, {})
+        for name, tol in overrides.get("tolerances", {}).items():
+            tolerances[name] = float(tol)
+    return tolerances
 
 
 def run_differential(
     system: Optional[SystemSpec] = None,
     names: Optional[Sequence[str]] = None,
     tolerances: Optional[Dict[str, float]] = None,
+    machine: Optional[str] = None,
 ) -> List[CaseResult]:
-    """Run the differential cases; every result carries its tolerance."""
-    if system is None:
-        from ..arch import e870
+    """Run the differential cases; every result carries its tolerance.
 
-        system = e870()
+    ``machine`` names a registry entry: it resolves ``system`` when one
+    is not passed and selects that machine's golden tolerance section.
+    """
+    if system is None:
+        if machine is not None:
+            from ..arch.registry import get_system
+
+            system = get_system(machine)
+        else:
+            from ..arch import e870
+
+            system = e870()
     if tolerances is None:
-        tolerances = load_golden_tolerances()
+        tolerances = load_golden_tolerances(machine=machine)
     oracle = AnalyticOracle(system)
     results = []
     for name in names if names is not None else CASES:
@@ -266,18 +294,24 @@ def run_differential(
     return results
 
 
-def measure_errors(system: Optional[SystemSpec] = None) -> Dict[str, float]:
+def measure_errors(
+    system: Optional[SystemSpec] = None, machine: Optional[str] = None
+) -> Dict[str, float]:
     """Measured rel errors per case (the regenerator's raw material)."""
-    return {r.name: r.rel_err for r in run_differential(system, tolerances={})}
+    results = run_differential(system, tolerances={}, machine=machine)
+    return {r.name: r.rel_err for r in results}
 
 
-def selftest(system: Optional[SystemSpec] = None) -> Tuple[bool, List[str]]:
+def selftest(
+    system: Optional[SystemSpec] = None, machine: Optional[str] = None
+) -> Tuple[bool, List[str]]:
     """Run every case against the golden tolerances; (ok, report lines)."""
-    results = run_differential(system)
+    results = run_differential(system, machine=machine)
     lines = [r.line() for r in results]
     failed = [r for r in results if not r.passed]
+    label = f" [{machine}]" if machine else ""
     lines.append(
         f"{len(results) - len(failed)}/{len(results)} differential cases "
-        "within golden tolerance"
+        f"within golden tolerance{label}"
     )
     return not failed, lines

@@ -44,8 +44,10 @@ class RandomAccessPoint:
 class RandomAccessModel:
     """Little's-law bandwidth model for the Figure 4 sweep."""
 
-    def __init__(self, system: SystemSpec, lmq_entries: int = LMQ_ENTRIES) -> None:
+    def __init__(self, system: SystemSpec, lmq_entries: int = None) -> None:
         self.system = system
+        if lmq_entries is None:
+            lmq_entries = system.chip.core.lsu.lmq_entries
         self.lmq_entries = lmq_entries
         self._link = MemoryLinkModel(system.chip)
         self._latency = LatencyModel(SMPTopology(system))
@@ -86,12 +88,22 @@ class RandomAccessModel:
 
     def sweep(
         self,
-        thread_counts: Iterable[int] = (1, 2, 4, 8),
+        thread_counts: Iterable[int] | None = None,
         stream_counts: Iterable[int] = (1, 2, 4, 8, 16, 32),
     ) -> List[RandomAccessPoint]:
-        """The full Figure 4 grid."""
+        """The full Figure 4 grid.
+
+        ``thread_counts`` defaults to the machine's SMT grid; explicit
+        counts beyond ``smt_ways`` are skipped so one request shape
+        sweeps every zoo machine.
+        """
+        smt = self.system.chip.core.smt_ways
+        if thread_counts is None:
+            thread_counts = self.system.chip.core.thread_sweep
         points = []
         for t in thread_counts:
+            if t > smt:
+                continue
             for s in stream_counts:
                 points.append(
                     RandomAccessPoint(

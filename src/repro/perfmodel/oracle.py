@@ -38,8 +38,8 @@ from ..arch.specs import ChipSpec, SystemSpec
 from ..mem.analytic import AnalyticHierarchy
 from ..mem.dram import DRAMModel
 from ..prefetch.dcbt import dcbt_sweep
-from ..prefetch.dscr import DEPTH_LINES, dscr_sweep, prefetch_distance
-from ..prefetch.engine import CONFIRM_ACCESSES, RAMP_START, ramp_schedule
+from ..prefetch.dscr import dscr_sweep, prefetch_distance
+from ..prefetch.engine import ramp_schedule
 from ..prefetch.stride import stride_sweep
 from ..roofline.model import Roofline
 from .kernel_time import KernelProfile, MachineModel
@@ -226,7 +226,7 @@ class AnalyticOracle:
     # -- STREAM bandwidth (Table III / Figure 3) -----------------------------
     def stream_bandwidth(self, read_ratio: float = 2.0, write_ratio: float = 1.0) -> float:
         """Full-system STREAM bandwidth at a read:write byte ratio."""
-        return system_stream_bandwidth(self.system, 8, read_ratio, write_ratio)
+        return system_stream_bandwidth(self.system, None, read_ratio, write_ratio)
 
     def chip_bandwidth(
         self, cores: int, threads_per_core: int, f: Optional[float] = None
@@ -277,7 +277,10 @@ class AnalyticOracle:
         trans_ns = n_pages * chip.cycles_to_ns(
             tlb.erat_miss_penalty_cycles + tlb.tlb_miss_penalty_cycles
         )
-        distance = prefetch_distance(depth) if depth else 0
+        pf = chip.prefetch
+        confirm = pf.confirm_accesses
+        ramp_start = pf.ramp_start
+        distance = prefetch_distance(depth, pf) if depth else 0
 
         if distance == 0:
             # All-miss streaming: one row-miss precharge per distinct row.
@@ -286,7 +289,7 @@ class AnalyticOracle:
             misses, issued, useful = n, 0, 0
             total_ns = dram_ns + trans_ns
         else:
-            misses = min(n, CONFIRM_ACCESSES)
+            misses = min(n, confirm)
             # The leading demand misses walk the cold open-page state.
             open_rows: Dict[int, int] = {}
             dram_ns = 0.0
@@ -298,15 +301,15 @@ class AnalyticOracle:
                     dram_ns += dram.miss_extra_ns
                     open_rows[bank] = row
             issued = useful = 0
-            if n >= CONFIRM_ACCESSES:
+            if n >= confirm:
                 # Confirmed advances ramp along the engine's exact
                 # schedule; the horizon after the last access fixes the
                 # total lines ever emitted.
-                sched = ramp_schedule(RAMP_START, distance, n)
-                advances = n - (CONFIRM_ACCESSES - 1)
+                sched = ramp_schedule(ramp_start, distance, n, ramp_start)
+                advances = n - (confirm - 1)
                 final_depth = sched[min(advances, len(sched)) - 1]
-                issued = (n - 1) + final_depth - (CONFIRM_ACCESSES - 1)
-                useful = max(0, n - CONFIRM_ACCESSES)
+                issued = (n - 1) + final_depth - (confirm - 1)
+                useful = max(0, n - confirm)
             lat_l2 = chip.cycles_to_ns(chip.core.l2.latency_cycles)
             total_ns = dram_ns + (n - misses) * lat_l2 + trans_ns
 
@@ -323,13 +326,21 @@ class AnalyticOracle:
 
     def prefetch_depth_sweep(
         self,
-        depths: Sequence[int] = tuple(sorted(DEPTH_LINES)),
+        depths: Optional[Sequence[int]] = None,
         n_lines: int = 4096,
         chip: Optional[ChipSpec] = None,
     ) -> List[StreamSweepPrediction]:
         """Trace twin of :func:`repro.prefetch.traced.traced_dscr_sweep`."""
+        target = chip if chip is not None else self.chip
+        if depths is None:
+            depths = tuple(sorted(target.prefetch.depth_map))
+        # The traced sweep's hierarchy translates at the chip's own base
+        # page size; the twin must walk the identical page grid.
         return [
-            self.stream_sweep(depth=d, n_lines=n_lines, chip=chip) for d in depths
+            self.stream_sweep(
+                depth=d, n_lines=n_lines, page_size=target.page_size, chip=chip
+            )
+            for d in depths
         ]
 
     # -- random access (Figure 4) --------------------------------------------

@@ -38,7 +38,7 @@ def chip_stream_bandwidth(
     if not 1 <= cores <= chip.cores_per_chip:
         raise ValueError(f"cores must be in [1, {chip.cores_per_chip}], got {cores}")
     if f is None:
-        f = optimal_read_fraction()
+        f = optimal_read_fraction(chip)
     core_limit = cores * core_stream_bandwidth(chip, threads_per_core)
     link_limit = MemoryLinkModel(chip).chip_bandwidth(f)
     return min(core_limit, link_limit)
@@ -46,11 +46,16 @@ def chip_stream_bandwidth(
 
 def system_stream_bandwidth(
     system: SystemSpec,
-    threads_per_core: int = 8,
+    threads_per_core: int | None = None,
     read_ratio: float = 2.0,
     write_ratio: float = 1.0,
 ) -> float:
-    """All chips streaming locally at a read:write ratio (Table III rows)."""
+    """All chips streaming locally at a read:write ratio (Table III rows).
+
+    ``threads_per_core`` defaults to the machine's full SMT level.
+    """
+    if threads_per_core is None:
+        threads_per_core = system.chip.core.smt_ways
     f = read_fraction(read_ratio, write_ratio)
     per_chip = chip_stream_bandwidth(
         system.chip, system.chip.cores_per_chip, threads_per_core, f
@@ -83,27 +88,51 @@ def table3_rows(
             {
                 "read": r,
                 "write": w,
-                "bandwidth": system_stream_bandwidth(system, 8, r, w),
+                "bandwidth": system_stream_bandwidth(system, None, r, w),
             }
         )
     return rows
 
 
-def fig3a_points(chip: ChipSpec, thread_counts: Iterable[int] = (1, 2, 4, 8)) -> List[StreamPoint]:
-    """Figure 3a: one core, varying SMT level."""
+def fig3a_points(
+    chip: ChipSpec, thread_counts: Iterable[int] | None = None
+) -> List[StreamPoint]:
+    """Figure 3a: one core, varying SMT level.
+
+    ``thread_counts`` defaults to the machine's own SMT grid; explicit
+    counts beyond ``smt_ways`` are skipped, so one request shape sweeps
+    every zoo machine.
+    """
+    if thread_counts is None:
+        thread_counts = chip.core.thread_sweep
     return [
-        StreamPoint(1, t, chip_stream_bandwidth(chip, 1, t)) for t in thread_counts
+        StreamPoint(1, t, chip_stream_bandwidth(chip, 1, t))
+        for t in thread_counts
+        if t <= chip.core.smt_ways
     ]
 
 
 def fig3b_points(
     chip: ChipSpec,
-    core_counts: Iterable[int] = (1, 2, 4, 8),
-    thread_counts: Iterable[int] = (1, 2, 4, 8),
+    core_counts: Iterable[int] | None = None,
+    thread_counts: Iterable[int] | None = None,
 ) -> List[StreamPoint]:
-    """Figure 3b: one chip, varying cores and threads per core."""
+    """Figure 3b: one chip, varying cores and threads per core.
+
+    Defaults derive from the chip (power-of-two core counts up to 8 or
+    the chip's core count, SMT levels up to ``smt_ways``); explicit
+    values outside the machine's range are skipped.
+    """
+    if core_counts is None:
+        core_counts = tuple(c for c in (1, 2, 4, 8) if c <= chip.cores_per_chip)
+    if thread_counts is None:
+        thread_counts = chip.core.thread_sweep
     points = []
     for c in core_counts:
+        if c > chip.cores_per_chip:
+            continue
         for t in thread_counts:
+            if t > chip.core.smt_ways:
+                continue
             points.append(StreamPoint(c, t, chip_stream_bandwidth(chip, c, t)))
     return points

@@ -37,30 +37,44 @@ ROW_EFFICIENCY_FLOOR = 0.42
 ROW_RECOVERY_LINES = 32
 
 
-def validate_depth(depth: int) -> int:
+def validate_depth(depth: int, prefetch=None) -> int:
+    if prefetch is not None:
+        return prefetch.validate_depth(depth)
     if depth not in DEPTH_LINES:
         raise ValueError(f"DSCR depth must be in 1..7, got {depth}")
     return depth
 
 
-def prefetch_distance(depth: int) -> int:
-    """Lines the engine runs ahead of the demand stream at this setting."""
+def prefetch_distance(depth: int, prefetch=None) -> int:
+    """Lines the engine runs ahead of the demand stream at this setting.
+
+    With a :class:`~repro.arch.specs.PrefetchSpec` the machine's own
+    depth map applies; without one the POWER8 DSCR table above does.
+    """
+    if prefetch is not None:
+        return prefetch.distance(depth)
     return DEPTH_LINES[validate_depth(depth)]
 
 
 def sequential_latency_ns(chip: ChipSpec, depth: int) -> float:
     """Observed per-load latency of a dependent sequential scan."""
-    d = prefetch_distance(depth)
+    d = prefetch_distance(depth, chip.prefetch)
     l_hit = chip.cycles_to_ns(chip.core.l1d.latency_cycles)
     l_mem = chip.centaur.dram_latency_ns
     return l_hit + l_mem / (1.0 + d)
 
 
-def row_efficiency(depth: int) -> float:
+def row_efficiency(depth: int, prefetch=None) -> float:
     """DRAM row-buffer efficiency factor for the sustained-bandwidth model."""
-    d = prefetch_distance(depth)
-    frac = min(1.0, d / ROW_RECOVERY_LINES)
-    return ROW_EFFICIENCY_FLOOR + (1.0 - ROW_EFFICIENCY_FLOOR) * frac
+    d = prefetch_distance(depth, prefetch)
+    if prefetch is not None:
+        floor = prefetch.row_efficiency_floor
+        recovery = prefetch.row_recovery_lines
+    else:
+        floor = ROW_EFFICIENCY_FLOOR
+        recovery = ROW_RECOVERY_LINES
+    frac = min(1.0, d / recovery)
+    return floor + (1.0 - floor) * frac
 
 
 @dataclass(frozen=True)
@@ -72,20 +86,21 @@ class DSCRPoint:
 
 
 def stream_bandwidth(system: SystemSpec, depth: int) -> float:
-    """Full-system STREAM (2:1 mix) bandwidth at a DSCR setting."""
+    """Full-system STREAM (optimal-mix) bandwidth at a DSCR setting."""
     link = MemoryLinkModel(system.chip)
-    peak = link.system_bandwidth(system, optimal_read_fraction())
-    return peak * row_efficiency(depth)
+    peak = link.system_bandwidth(system, optimal_read_fraction(system.chip))
+    return peak * row_efficiency(depth, system.chip.prefetch)
 
 
 def dscr_sweep(system: SystemSpec) -> list[DSCRPoint]:
     """The Figure 6 sweep: latency and bandwidth at every DSCR setting."""
+    pf = system.chip.prefetch
     return [
         DSCRPoint(
             depth=d,
-            distance_lines=prefetch_distance(d),
+            distance_lines=prefetch_distance(d, pf),
             latency_ns=sequential_latency_ns(system.chip, d),
             bandwidth=stream_bandwidth(system, d),
         )
-        for d in sorted(DEPTH_LINES)
+        for d in sorted(pf.depth_map)
     ]

@@ -26,7 +26,9 @@ CONFIRM_ACCESSES = 3
 RAMP_START = 2
 
 
-def ramp_schedule(depth: int, max_distance: int, n: int) -> List[int]:
+def ramp_schedule(
+    depth: int, max_distance: int, n: int, ramp_start: int = RAMP_START
+) -> List[int]:
     """Per-advance depth sequence for ``n`` confirmed accesses of a stream.
 
     Element ``i`` is the stream's depth after its ``i``-th consecutive
@@ -42,7 +44,7 @@ def ramp_schedule(depth: int, max_distance: int, n: int) -> List[int]:
     """
     out: List[int] = []
     while len(out) < n:
-        depth = min(max_distance, max(RAMP_START, depth * 2))
+        depth = min(max_distance, max(ramp_start, depth * 2))
         out.append(depth)
         if depth == max_distance:
             break
@@ -72,21 +74,33 @@ class StreamPrefetcher:
         Enable stride-N stream detection (the Figure 7 DSCR bit).
     max_streams:
         Concurrent streams the engine tracks (LRU replacement).
+    spec:
+        Optional :class:`~repro.arch.specs.PrefetchSpec`; supplies the
+        machine's depth map, confirmation count and ramp start.  Without
+        one the POWER8 DSCR semantics apply.
     """
 
     def __init__(
         self,
         line_size: int,
-        depth: int = DEFAULT_DEPTH,
+        depth: int = None,
         stride_n: bool = False,
         max_streams: int = 16,
+        spec=None,
     ) -> None:
         if line_size <= 0:
             raise ValueError(f"line size must be positive, got {line_size}")
-        validate_depth(depth)
+        if depth is None:
+            depth = spec.default_depth if spec is not None else DEFAULT_DEPTH
+        validate_depth(depth, spec)
+        self.spec = spec
+        self.confirm_accesses = (
+            spec.confirm_accesses if spec is not None else CONFIRM_ACCESSES
+        )
+        self.ramp_start = spec.ramp_start if spec is not None else RAMP_START
         self.line_size = line_size
         self.depth_setting = depth
-        self.max_distance = prefetch_distance(depth)
+        self.max_distance = prefetch_distance(depth, spec)
         self.stride_n = stride_n
         self.max_streams = max_streams
         self._streams: "OrderedDict[int, _Stream]" = OrderedDict()
@@ -136,7 +150,7 @@ class StreamPrefetcher:
         stream = _Stream(
             next_line=start + stride,
             stride=stride,
-            confidence=CONFIRM_ACCESSES,
+            confidence=self.confirm_accesses,
             depth=self.max_distance,
         )
         self._remember(stream)
@@ -157,16 +171,16 @@ class StreamPrefetcher:
             if line == stream.next_line:
                 stream.next_line += stream.stride
                 stream.confidence += 1
-                if stream.confidence >= CONFIRM_ACCESSES:
+                if stream.confidence >= self.confirm_accesses:
                     stream.depth = min(
-                        self.max_distance, max(RAMP_START, stream.depth * 2)
+                        self.max_distance, max(self.ramp_start, stream.depth * 2)
                     )
                 self._streams.move_to_end(key)
                 return self._issue(stream, from_line=line)
         return None
 
     def _issue(self, stream: _Stream, from_line: int) -> List[int]:
-        if stream.confidence < CONFIRM_ACCESSES:
+        if stream.confidence < self.confirm_accesses:
             return []
         horizon = from_line + stream.stride * stream.depth
         start = stream.prefetched_up_to
@@ -197,7 +211,7 @@ class StreamPrefetcher:
                     next_line=line + stride,
                     stride=stride,
                     confidence=2,  # the (prev, line) pair counts as two
-                    depth=RAMP_START,
+                    depth=self.ramp_start,
                 )
                 self._remember(stream)
                 self.bank[pmu_events.PM_PREF_STREAM_CONFIRMED] += 1

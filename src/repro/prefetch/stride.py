@@ -34,17 +34,18 @@ def strided_latency_ns(
     """Mean latency of a stride-``N`` line scan at a DSCR setting."""
     if stride_lines < 1:
         raise ValueError(f"stride must be at least one line, got {stride_lines}")
-    validate_depth(depth)
-    l_mem = chip.centaur.dram_latency_ns * OOO_OVERLAP_FACTOR
+    pf = chip.prefetch
+    validate_depth(depth, pf)
+    l_mem = chip.centaur.dram_latency_ns * pf.stride_overlap_factor
     if not stride_detection or stride_lines == 1:
         # Dense streams are always detected; strided ones only with the
         # DSCR stride-N enable bit set.
         if stride_lines == 1:
-            d = prefetch_distance(depth)
+            d = prefetch_distance(depth, pf)
         else:
             d = 0
     else:
-        d = min(prefetch_distance(depth), MAX_STRIDED_DISTANCE)
+        d = min(prefetch_distance(depth, pf), pf.max_strided_distance)
     l_hit = chip.cycles_to_ns(chip.core.l1d.latency_cycles)
     return l_hit + l_mem / (1.0 + d)
 
@@ -52,7 +53,7 @@ def strided_latency_ns(
 def stride_sweep(chip: ChipSpec, stride_lines: int = 256) -> list[dict]:
     """Figure 7: latency vs DSCR depth, stride-N detection on and off."""
     rows = []
-    for depth in range(1, 8):
+    for depth in sorted(chip.prefetch.depth_map):
         rows.append(
             {
                 "depth": depth,

@@ -15,11 +15,10 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence
 
-from ..arch.specs import CentaurSpec, ChipSpec
+from ..arch.specs import ChipSpec
 from ..mem.batch import BatchMemoryHierarchy
 from ..mem.trace import blocked_random_addresses, sequential_addresses
 from ..pmu import PMU, events as pmu_events, prefetch_accuracy
-from .dscr import DEPTH_LINES
 from .engine import StreamPrefetcher
 
 
@@ -39,7 +38,7 @@ def scaled_demo_chip(chip: ChipSpec) -> ChipSpec:
         core=core,
         cores_per_chip=1,
         centaurs_per_chip=1,
-        centaur=CentaurSpec(l4_capacity=2 << 20),
+        centaur=dataclasses.replace(chip.centaur, l4_capacity=2 << 20),
     )
 
 
@@ -55,7 +54,7 @@ def traced_sequential_scan(
     for A/B timing (the metrics are bit-identical either way).
     """
     line = chip.core.l1d.line_size
-    pf = StreamPrefetcher(line_size=line, depth=depth)
+    pf = StreamPrefetcher(line_size=line, depth=depth, spec=chip.prefetch)
     hier = BatchMemoryHierarchy(chip, prefetcher=pf, fast_paths=fast_paths)
     res = hier.access_trace(sequential_addresses(0, n_lines * line, line))
     # All counters come off the PMU bank so this report, the engine's own
@@ -79,7 +78,7 @@ def traced_dscr_sweep(
 ) -> List[Dict[str, float]]:
     """Figure 6's latency curve measured on the simulator, per DSCR depth."""
     if depths is None:
-        depths = sorted(DEPTH_LINES)
+        depths = sorted(chip.prefetch.depth_map)
     return [traced_sequential_scan(chip, d, n_lines=n_lines) for d in depths]
 
 
@@ -101,7 +100,7 @@ def traced_block_scan(
     address.
     """
     line = chip.core.l1d.line_size
-    pf = StreamPrefetcher(line_size=line, depth=depth)
+    pf = StreamPrefetcher(line_size=line, depth=depth, spec=chip.prefetch)
     hier = BatchMemoryHierarchy(chip, prefetcher=pf)
     addrs = blocked_random_addresses(array_bytes, block_bytes, line, seed=seed)
     if not use_dcbt:

@@ -56,7 +56,7 @@ class RasSweepPoint:
 def degraded_system_stream_bandwidth(
     system: SystemSpec,
     injector: Optional[FaultInjector],
-    threads_per_core: int = 8,
+    threads_per_core: int | None = None,
     read_ratio: float = 2.0,
     write_ratio: float = 1.0,
     transfers: int = 20_000,
@@ -70,6 +70,8 @@ def degraded_system_stream_bandwidth(
     nothing — reproduces the calibrated value exactly.
     """
     chip = system.chip
+    if threads_per_core is None:
+        threads_per_core = chip.core.smt_ways
     f = read_fraction(read_ratio, write_ratio)
     core_limit = chip.cores_per_chip * core_stream_bandwidth(chip, threads_per_core)
     if injector is None:

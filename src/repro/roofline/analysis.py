@@ -41,7 +41,9 @@ def analyze(system: SystemSpec, kernel: KernelProfile) -> BottleneckReport:
     # Roof at this kernel's actual traffic mix.
     mix_bw = system.num_chips * link_bound(system.chip, f)
     bound = min(roof.peak_gflops, oi * mix_bw / 1e9) if oi != float("inf") else roof.peak_gflops
-    optimal_bw = system.num_chips * link_bound(system.chip, optimal_read_fraction())
+    optimal_bw = system.num_chips * link_bound(
+        system.chip, optimal_read_fraction(system.chip)
+    )
     optimal_bound = (
         min(roof.peak_gflops, oi * optimal_bw / 1e9)
         if oi != float("inf")

@@ -35,11 +35,20 @@ class EnergyRoofline:
     """Energy counterpart of :class:`repro.roofline.model.Roofline`."""
 
     system: SystemSpec
-    pj_per_flop: float = DEFAULT_PJ_PER_FLOP
-    pj_per_byte: float = DEFAULT_PJ_PER_BYTE
-    constant_power_w: float = DEFAULT_CONSTANT_POWER_W
+    pj_per_flop: float = None
+    pj_per_byte: float = None
+    constant_power_w: float = None
 
     def __post_init__(self) -> None:
+        # None means "use the system's PowerSpec" (a frozen dataclass,
+        # so the resolved values are pinned with object.__setattr__).
+        power = self.system.power
+        if self.pj_per_flop is None:
+            object.__setattr__(self, "pj_per_flop", power.pj_per_flop)
+        if self.pj_per_byte is None:
+            object.__setattr__(self, "pj_per_byte", power.pj_per_byte)
+        if self.constant_power_w is None:
+            object.__setattr__(self, "constant_power_w", power.constant_power_w)
         if self.pj_per_flop <= 0 or self.pj_per_byte <= 0:
             raise ValueError("energy coefficients must be positive")
 

@@ -42,30 +42,25 @@ import json
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
-from ..arch import e870, power8_192way
+from ..arch import registry as machine_registry
 from ..arch.specs import SystemSpec
 from ..parallel.cache import cache_key
 
-#: Machine presets a request may name.  Key material uses the spec's
-#: repr, so two names aliasing one spec would share cache entries.
-MACHINES: Dict[str, Callable[[], SystemSpec]] = {
-    "e870": e870,
-    "power8_192way": power8_192way,
-}
-
-_SYSTEMS: Dict[str, SystemSpec] = {}
+#: Machine presets a request may name — the whole zoo.  Key material
+#: uses the spec's repr, so names aliasing one spec (``e870`` and
+#: ``power8``) share cache entries; normalization canonicalizes first
+#: so the dedup happens before any lane runs.
+MACHINES: Dict[str, Callable[[], SystemSpec]] = machine_registry.MACHINES
 
 
 def get_system(machine: str) -> SystemSpec:
-    """The (memoized) spec for a preset name.
+    """The (memoized) spec for a registered machine name.
 
     Specs are frozen dataclasses, so sharing one instance across
     requests is safe — and keeps spec construction off the per-request
     hot path.
     """
-    if machine not in _SYSTEMS:
-        _SYSTEMS[machine] = MACHINES[machine]()
-    return _SYSTEMS[machine]
+    return machine_registry.get_system(machine)
 
 #: The run-spec kinds the daemon routes.
 RUN_KINDS = ("analytic", "experiment", "trace")
@@ -299,10 +294,14 @@ def normalize_request(spec: Mapping[str, Any]) -> NormalizedRequest:
     if kind not in RUN_KINDS:
         raise ProtocolError(f"unknown run kind {kind!r}; known: {list(RUN_KINDS)}")
     machine = spec.get("machine", "e870")
-    if machine not in MACHINES:
+    if not isinstance(machine, str):
+        raise ProtocolError(f"machine must be a string, got {machine!r}")
+    try:
+        machine = machine_registry.canonical_name(machine)
+    except KeyError:
         raise ProtocolError(
             f"unknown machine {machine!r}; known: {sorted(MACHINES)}"
-        )
+        ) from None
     allowed = _COMMON_FIELDS | _KIND_FIELDS[kind]
     unknown = sorted(set(spec) - allowed)
     if unknown:

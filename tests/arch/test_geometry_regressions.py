@@ -1,0 +1,178 @@
+"""Regressions for the POWER8-isms the machine zoo flushed out.
+
+Each test pins one assumption that used to be hardcoded into an engine
+and is now spec data: power-of-two memory-side-cache geometry, the
+asymmetric-link bandwidth mix, the X-bus layout skew, the SMT-8 sweep
+grids, and the 64 KB page default in the shard runner.  Every test also
+asserts the POWER8 behaviour is bit-for-bit what it was, so these
+double as the "no regression on the paper machine" gate.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.arch import MIB, broadwell_2s, e870, get_system, power8_chip, sparc_t3_4
+from repro.interconnect.latency import LatencyModel
+from repro.interconnect.topology import SMPTopology
+from repro.mem.batch import BatchMemoryHierarchy
+from repro.mem.centaur import link_bound, optimal_read_fraction
+from repro.mem.hierarchy import memory_side_cache_spec
+from repro.mem.trace import random_chase_addresses
+from repro.parallel import plan_trace_tasks, run_trace_sharded
+from repro.perfmodel.littles_law import RandomAccessModel
+from repro.perfmodel.stream_model import fig3a_points, fig3b_points, table3_rows
+
+
+class TestMemorySideCacheGeometry:
+    """L4 geometry derives from the spec instead of assuming 16 ways fit."""
+
+    def test_power8_keeps_its_16_ways(self):
+        spec = memory_side_cache_spec(power8_chip())
+        assert spec.associativity == 16
+        assert spec.capacity == power8_chip().l4_capacity
+
+    def test_non_divisible_line_count_degrades_associativity(self):
+        # 33 lines per Centaur x 8 Centaurs = 264 lines: 16 does not
+        # divide it, 12 is the largest associativity that does.
+        chip = power8_chip()
+        chip = replace(chip, centaur=replace(chip.centaur, l4_capacity=33 * 128))
+        spec = memory_side_cache_spec(chip)
+        assert spec.num_lines == 264
+        assert spec.associativity == 12
+        assert spec.num_lines % spec.associativity == 0
+
+    def test_zero_capacity_floors_at_16_lines(self):
+        spec = memory_side_cache_spec(sparc_t3_4().chip)
+        assert spec.num_lines == 16
+        # The floored geometry must still build a working hierarchy.
+        BatchMemoryHierarchy(sparc_t3_4().chip)
+
+    @pytest.mark.parametrize("l4_mib", (1, 3, 5, 7, 11))
+    def test_arbitrary_capacities_stay_well_formed(self, l4_mib):
+        chip = power8_chip()
+        chip = replace(
+            chip, centaur=replace(chip.centaur, l4_capacity=l4_mib * MIB)
+        )
+        spec = memory_side_cache_spec(chip)
+        assert spec.num_lines % spec.associativity == 0
+        assert 1 <= spec.associativity <= 16
+
+
+class TestSharedBusMix:
+    """A shared bidirectional bus is mix-independent; Centaur links aren't."""
+
+    def test_shared_bus_link_bound_is_flat(self):
+        chip = sparc_t3_4().chip
+        bounds = {link_bound(chip, f) for f in (0.0, 0.25, 0.5, 2 / 3, 1.0)}
+        assert bounds == {chip.read_bandwidth}
+
+    def test_power8_link_bound_still_peaks_at_two_to_one(self):
+        chip = power8_chip()
+        f_opt = optimal_read_fraction(chip)
+        assert f_opt == pytest.approx(2.0 / 3.0)
+        assert link_bound(chip, f_opt) > link_bound(chip, 1.0)
+        assert link_bound(chip, f_opt) > link_bound(chip, 0.0)
+
+    def test_shared_bus_optimal_mix_is_read_only(self):
+        assert optimal_read_fraction(sparc_t3_4().chip) == pytest.approx(1.0)
+
+
+class TestSymmetricLinks:
+    """Layout skew is spec data; a symmetric machine has none."""
+
+    def test_sparc_pairs_are_symmetric(self):
+        sys = sparc_t3_4()
+        model = LatencyModel(SMPTopology(sys))
+        lats = {
+            model.pair_latency_ns(a, b)
+            for a in range(sys.num_chips)
+            for b in range(sys.num_chips)
+            if a != b
+        }
+        assert len(lats) == 1
+
+    def test_power8_keeps_its_layout_skew(self):
+        sys = e870()
+        model = LatencyModel(SMPTopology(sys))
+        in_group = {
+            model.pair_latency_ns(0, b) for b in range(1, sys.group_size)
+        }
+        assert len(in_group) > 1  # the Figure-6 position-dependent deltas
+
+    def test_layout_delta_defaults_to_zero_beyond_table(self):
+        sys = sparc_t3_4()
+        assert sys.x_layout_delta(0) == 0.0
+        assert sys.x_layout_delta(3) == 0.0
+
+
+class TestSMTGrids:
+    """Sweep grids clamp to the machine's SMT level instead of assuming 8."""
+
+    def test_table3_runs_on_ht2(self):
+        rows = table3_rows(broadwell_2s())
+        assert len(rows) == 9
+        assert all(row["bandwidth"] > 0 for row in rows)
+
+    def test_fig3a_defaults_to_machine_grid(self):
+        bdw = broadwell_2s().chip
+        assert [p.threads_per_core for p in fig3a_points(bdw)] == [1, 2]
+        p8 = power8_chip()
+        assert [p.threads_per_core for p in fig3a_points(p8)] == [1, 2, 4, 8]
+
+    def test_fig3a_skips_infeasible_explicit_counts(self):
+        bdw = broadwell_2s().chip
+        pts = fig3a_points(bdw, thread_counts=(1, 2, 4, 8))
+        assert [p.threads_per_core for p in pts] == [1, 2]
+
+    def test_fig3b_clamps_both_axes(self):
+        chip = replace(broadwell_2s().chip, cores_per_chip=6)
+        pts = fig3b_points(chip)
+        assert {p.cores for p in pts} == {1, 2, 4}
+        assert {p.threads_per_core for p in pts} == {1, 2}
+
+    def test_random_access_sweep_clamps(self):
+        pts = RandomAccessModel(broadwell_2s()).sweep()
+        assert {p.threads_per_core for p in pts} == {1, 2}
+
+
+class TestShardRunnerPageSize:
+    """The shard runner follows the chip's base page, not POWER8's 64 K."""
+
+    def test_default_plan_uses_chip_page(self):
+        chip = sparc_t3_4().chip
+        addrs = np.arange(64, dtype=np.int64) * chip.core.l1d.line_size
+        tasks, _ = plan_trace_tasks(chip, addrs, shards=2)
+        assert all(t.page_size is None for t in tasks)
+
+    def test_sharded_translation_matches_direct_engine(self):
+        chip = sparc_t3_4().chip  # 8 K pages: 64 K default would diverge
+        line = chip.core.l1d.line_size
+        addrs = random_chase_addresses(2048 * line, line, passes=2, seed=4)
+        sharded = run_trace_sharded(chip, addrs, shards=1, workers=1)
+        direct = BatchMemoryHierarchy(chip).access_trace(addrs)
+        assert np.array_equal(
+            sharded.trace.translation_cycles, direct.translation_cycles
+        )
+        assert np.array_equal(sharded.trace.latency_ns, direct.latency_ns)
+
+    def test_explicit_page_still_honoured(self):
+        chip = power8_chip()
+        line = chip.core.l1d.line_size
+        addrs = random_chase_addresses(4096 * line, line, passes=2, seed=4)
+        base = run_trace_sharded(chip, addrs, shards=1, workers=1)
+        huge = run_trace_sharded(
+            chip, addrs, shards=1, workers=1, page_size=16 * MIB
+        )
+        assert huge.trace.translation_cycles.sum() < (
+            base.trace.translation_cycles.sum()
+        )
+
+
+def test_zoo_registry_round_trip():
+    """Aliases and case/underscore forms resolve to one spec object."""
+    assert get_system("SPARC_T3_4") is get_system("sparc-t3-4")
+    assert get_system("e870") is get_system("power8")
+    with pytest.raises(KeyError):
+        get_system("cray")

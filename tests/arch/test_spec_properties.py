@@ -1,0 +1,115 @@
+"""Hypothesis properties over *random* well-formed machine specs.
+
+The zoo conformance suite pins three named machines; these properties
+pin the claim behind it — "adding a machine is data, not code" — by
+drawing random spec mutations (SMT width, non-power-of-two cache
+geometries, core counts, clocks, page sizes) from each zoo base and
+checking that every engine stays healthy on machines nobody wrote:
+
+* PMU counter banks balance (conservation invariants) on random traces;
+* analytic chase latency is monotone non-decreasing in working-set;
+* the roofline is well-formed (positive ridge, attainable caps at the
+  peak, memory-bound below the ridge);
+* ``thread_sweep`` always spans exactly 1..smt_ways.
+"""
+
+from dataclasses import replace
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.arch import broadwell_2s, cascade_lake_2s, e870, sparc_t3_4
+from repro.mem.batch import BatchMemoryHierarchy
+from repro.mem.trace import random_chase_addresses
+from repro.perfmodel.oracle import AnalyticOracle
+from repro.pmu import assert_conservation, events as ev, read_counters
+from repro.roofline.model import Roofline
+
+BASES = (e870, sparc_t3_4, broadwell_2s, cascade_lake_2s)
+
+KIB = 1024
+WORKING_SETS = tuple(16 * KIB << (2 * i) for i in range(8))  # 16K..256M
+
+
+@st.composite
+def systems(draw):
+    """A random well-formed SystemSpec: a zoo base with mutated geometry."""
+    base = draw(st.sampled_from(BASES))()
+    core = base.chip.core
+    line = core.l1d.line_size
+    smt = draw(st.sampled_from((1, 2, 4, 8)))
+    l1_ways = draw(st.sampled_from((2, 3, 4, 6, 8)))
+    l1_sets = draw(st.sampled_from((16, 32, 64, 96)))
+    l1d = replace(
+        core.l1d, capacity=l1_ways * l1_sets * line, associativity=l1_ways
+    )
+    l2_ways = draw(st.sampled_from((4, 6, 8, 12, 24)))
+    l2_sets = draw(st.sampled_from((1024, 1536, 2048)))
+    l2 = replace(
+        core.l2, capacity=l2_ways * l2_sets * line, associativity=l2_ways
+    )
+    core = replace(core, smt_ways=smt, l1d=l1d, l2=l2)
+    chip = replace(
+        base.chip,
+        core=core,
+        cores_per_chip=draw(st.integers(min_value=2, max_value=12)),
+        frequency_hz=draw(st.sampled_from((1.65e9, 2.5e9, 4.1e9))),
+    )
+    return replace(base, chip=chip)
+
+
+@given(system=systems(), seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_random_spec_counters_conserve(system, seed):
+    chip = system.chip
+    line = chip.core.l1d.line_size
+    addrs = random_chase_addresses(512 * line, line, passes=2, seed=seed)
+    rng = np.random.default_rng(seed)
+    writes = rng.random(addrs.size) < 0.3
+    hier = BatchMemoryHierarchy(chip)
+    hier.access_trace(addrs, writes)
+    bank = read_counters(hier)
+    assert_conservation(bank)
+    assert bank[ev.PM_LD_REF] + bank[ev.PM_ST_REF] == bank[ev.PM_MEM_REF]
+    assert bank[ev.PM_ST_REF] == int(writes.sum())
+
+
+@given(system=systems())
+@settings(max_examples=15, deadline=None)
+def test_random_spec_latency_monotone(system):
+    oracle = AnalyticOracle(system)
+    page = system.chip.page_size
+    lats = [oracle.chase_latency_ns(ws, page) for ws in WORKING_SETS]
+    assert all(lat > 0 for lat in lats)
+    for lo, hi in zip(lats, lats[1:]):
+        assert hi >= lo * (1 - 1e-9), (
+            f"latency not monotone on {system.name}: {lats}"
+        )
+
+
+@given(system=systems(), oi=st.floats(min_value=0.01, max_value=1000.0))
+@settings(max_examples=30, deadline=None)
+def test_random_spec_roofline_well_formed(system, oi):
+    roof = Roofline(system)
+    ridge = roof.balance
+    assert roof.peak_gflops > 0 and roof.memory_bandwidth > 0
+    assert ridge > 0
+    got = roof.attainable_gflops(oi)
+    assert 0 < got <= roof.peak_gflops * (1 + 1e-12)
+    assert got <= oi * roof.memory_bandwidth / 1e9 * (1 + 1e-12)
+    assert roof.is_memory_bound(ridge * 0.5)
+    assert not roof.is_memory_bound(ridge * 2.0)
+    # Attainable performance is non-decreasing in intensity.
+    assert roof.attainable_gflops(oi * 2) >= got * (1 - 1e-12)
+
+
+@given(system=systems())
+@settings(max_examples=25, deadline=None)
+def test_thread_sweep_spans_smt(system):
+    core = system.chip.core
+    sweep = core.thread_sweep
+    assert sweep[0] == 1
+    assert sweep[-1] == core.smt_ways
+    assert all(t <= core.smt_ways for t in sweep)
+    assert sweep == tuple(sorted(set(sweep)))

@@ -1,0 +1,184 @@
+"""Differential conformance across the machine zoo.
+
+Every machine in the zoo must clear the same gates POWER8 does:
+
+* the trace-driven engines and the analytic oracle agree on every
+  differential case within that machine's golden tolerance
+  (``golden_tolerances.json`` → ``machines`` section);
+* the scalar reference hierarchy, the vectorized batch engine, and the
+  sharded pool produce bit-identical traces and PMU banks;
+* the pinned headline table (``golden_zoo.json``) matches the live
+  model exactly and stays within the per-machine factor of the
+  published figures.
+
+Figure cases are exact by construction and run in the quick lane; the
+replayed trace cases and the full selftest are marked slow.
+"""
+
+import dataclasses
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.arch import get_system
+from repro.bench.compare import characterize, zoo_selftest
+from repro.mem.batch import BatchMemoryHierarchy
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.trace import random_chase_addresses, sequential_addresses
+from repro.parallel import run_trace_sharded
+from repro.perfmodel.differential import (
+    CASES,
+    FIGURE_CASES,
+    load_golden_tolerances,
+    run_differential,
+    selftest,
+)
+from repro.pmu import read_counters
+from tests.arch.regen_golden import GOLDEN_ZOO_PATH, PINNED_KEYS, PUBLISHED
+
+ZOO = ("sparc-t3-4", "broadwell", "cascade-lake")
+TRACE_CASES = tuple(name for name in CASES if name not in FIGURE_CASES)
+
+
+@pytest.fixture(scope="module", params=ZOO)
+def machine(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def system(machine):
+    return get_system(machine)
+
+
+@pytest.fixture(scope="module")
+def tolerances(machine):
+    return load_golden_tolerances(machine=machine)
+
+
+@pytest.fixture(scope="module")
+def golden_zoo():
+    return json.loads(GOLDEN_ZOO_PATH.read_text(encoding="utf-8"))
+
+
+def test_golden_file_covers_every_case(tolerances):
+    assert set(tolerances) == set(CASES), (
+        "golden_tolerances.json lacks a machine section; regenerate with "
+        "PYTHONPATH=src python -m tests.oracle.regen_golden"
+    )
+
+
+@pytest.mark.parametrize("name", FIGURE_CASES)
+def test_figure_case(system, tolerances, machine, name):
+    (result,) = run_differential(system, names=[name], tolerances=tolerances)
+    assert result.passed, f"[{machine}] {result.line()}"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", TRACE_CASES)
+def test_trace_case(system, tolerances, machine, name):
+    (result,) = run_differential(system, names=[name], tolerances=tolerances)
+    assert result.passed, f"[{machine}] {result.line()}"
+
+
+@pytest.mark.slow
+def test_selftest_passes(machine):
+    ok, lines = selftest(machine=machine)
+    assert ok, "\n".join(lines)
+
+
+class TestBitIdentity:
+    """Scalar, batch, and sharded engines agree bit-for-bit per machine."""
+
+    def _traces(self, system, seed):
+        chip = system.chip
+        line = chip.core.l1d.line_size
+        chase = random_chase_addresses(
+            2048 * line, line, passes=2, seed=seed
+        )
+        stream = sequential_addresses(0, 512 * line, line, count=1536)
+        return chase, stream
+
+    def test_scalar_vs_batch(self, system, machine):
+        for addrs in self._traces(system, seed=1):
+            scalar = MemoryHierarchy(system.chip)
+            batch = BatchMemoryHierarchy(system.chip)
+            ref = scalar.access_trace(addrs)
+            vec = batch.access_trace(addrs)
+            assert np.array_equal(ref.latency_ns, vec.latency_ns), machine
+            assert np.array_equal(ref.level_codes, vec.level_codes), machine
+            assert dict(read_counters(scalar)) == dict(read_counters(batch))
+            ds = dataclasses.asdict(scalar.stats)
+            db = dataclasses.asdict(batch.stats)
+            # Per-access arrays are bit-identical; the running total is
+            # summed in a different order (scalar loop vs np.sum).
+            total_s = ds.pop("total_latency_ns")
+            total_b = db.pop("total_latency_ns")
+            assert ds == db, machine
+            assert math.isclose(total_s, total_b, rel_tol=1e-12)
+
+    @pytest.mark.parametrize("shards", (1, 3))
+    def test_batch_vs_sharded(self, system, machine, shards):
+        chase, _ = self._traces(system, seed=2)
+        writes = np.zeros(chase.size, dtype=bool)
+        writes[::5] = True
+        serial = run_trace_sharded(
+            system.chip, chase, writes, shards=shards, workers=1
+        )
+        pooled = run_trace_sharded(
+            system.chip, chase, writes, shards=shards, workers=2
+        )
+        assert np.array_equal(
+            serial.trace.latency_ns, pooled.trace.latency_ns
+        ), machine
+        assert np.array_equal(
+            serial.trace.level_codes, pooled.trace.level_codes
+        ), machine
+        assert dict(serial.bank) == dict(pooled.bank)
+        assert serial.stats == pooled.stats
+        if shards == 1:
+            direct = BatchMemoryHierarchy(system.chip).access_trace(
+                chase, writes
+            )
+            assert np.array_equal(serial.trace.latency_ns, direct.latency_ns)
+
+
+class TestGoldenZoo:
+    """The pinned headline tables stay live and honest."""
+
+    def test_covers_every_zoo_machine(self, golden_zoo):
+        assert set(golden_zoo["machines"]) == set(PUBLISHED)
+        for section in golden_zoo["machines"].values():
+            assert set(section["model"]) == set(PINNED_KEYS)
+            assert section["published"]
+            assert section["factor"] >= 1.0
+
+    @pytest.mark.slow
+    def test_model_matches_pinned(self, golden_zoo, machine):
+        report = characterize(machine)
+        for key, pinned in golden_zoo["machines"][machine]["model"].items():
+            got = report[key]
+            if isinstance(pinned, str):
+                assert got == pinned, f"[{machine}] {key}"
+            else:
+                rel = abs(got - pinned) / max(abs(pinned), 1e-12)
+                assert rel <= 1e-6, f"[{machine}] {key}: {got} vs {pinned}"
+
+    @pytest.mark.slow
+    def test_published_anchors_within_factor(self, golden_zoo, machine):
+        report = characterize(machine)
+        section = golden_zoo["machines"][machine]
+        factor = section["factor"]
+        for key, published in section["published"].items():
+            got = report[key]
+            ratio = max(got, published) / max(min(got, published), 1e-12)
+            assert ratio <= factor, (
+                f"[{machine}] {key}: model {got} vs published {published} "
+                f"outside {factor}x"
+            )
+
+    @pytest.mark.slow
+    def test_zoo_selftest_end_to_end(self):
+        ok, lines = zoo_selftest(ZOO)
+        assert ok, "\n".join(lines)

@@ -11,6 +11,11 @@ model change, regenerate with::
     PYTHONPATH=src python -m tests.oracle.regen_golden
 
 and commit the updated JSON together with the change that motivated it.
+
+The top-level ``tolerances`` section is the POWER8/E870 baseline (the
+historical format); the ``machines`` section adds one tolerance table
+per zoo machine for the cross-architecture conformance suite
+(``tests/arch/test_zoo_conformance.py``).
 """
 
 from __future__ import annotations
@@ -24,27 +29,49 @@ from repro.perfmodel.differential import (
     measure_errors,
 )
 
+#: Zoo machines that get their own tolerance table (POWER8 is the
+#: top-level baseline).
+ZOO_MACHINES = ("sparc-t3-4", "broadwell", "cascade-lake")
 
-def golden_payload() -> dict:
-    measured = measure_errors()
-    tolerances = {
+
+def _tolerances(measured: dict) -> dict:
+    return {
         name: max(GOLDEN_HEADROOM * measured[name], CASES[name][1])
         for name in CASES
     }
+
+
+def golden_payload() -> dict:
+    measured = measure_errors()
+    machines = {}
+    for machine in ZOO_MACHINES:
+        machine_measured = measure_errors(machine=machine)
+        machines[machine] = {
+            "measured": machine_measured,
+            "tolerances": _tolerances(machine_measured),
+        }
     return {
         "generated_by": "tests/oracle/regen_golden.py",
         "headroom": GOLDEN_HEADROOM,
         "measured": measured,
-        "tolerances": tolerances,
+        "tolerances": _tolerances(measured),
+        "machines": machines,
     }
 
 
 def main() -> None:
     payload = golden_payload()
     GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {GOLDEN_PATH} ({len(payload['tolerances'])} cases)")
+    n_machines = 1 + len(payload["machines"])
+    print(
+        f"wrote {GOLDEN_PATH} ({len(payload['tolerances'])} cases x "
+        f"{n_machines} machines)"
+    )
     for name, tol in payload["tolerances"].items():
         print(f"  {name:24s} measured={payload['measured'][name]:.3e} tol={tol:.3e}")
+    for machine, section in payload["machines"].items():
+        worst = max(section["measured"].items(), key=lambda kv: kv[1])
+        print(f"  [{machine}] worst case {worst[0]} measured={worst[1]:.3e}")
 
 
 if __name__ == "__main__":
