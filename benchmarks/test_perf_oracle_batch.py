@@ -1,0 +1,70 @@
+"""Bench: ``predict_batch`` vs a scalar ``predict`` loop (the >=5x gate).
+
+The batched oracle's acceptance bar: on serve-shaped workloads the big
+sweep kinds (``lat_mem``, ``stream_sweep``, ``prefetch_sweep``) must
+answer >= 5x faster through one ``predict_batch`` call than through the
+equivalent ``predict`` loop, on every sampled zoo machine, with every
+batched payload bit-identical to its scalar twin — and a real daemon
+with ``--batch-window-ms`` armed must coalesce a miss-heavy replay into
+batches averaging more than one request without changing a byte of any
+response.  The measured numbers are written to
+``BENCH_oracle_batch.json`` at the repo root — the same artifact
+``python -m repro.bench --oracle-batch-perf`` produces.
+"""
+
+from pathlib import Path
+
+from repro.bench.oracle_batch_perf import (
+    DEFAULT_MACHINES,
+    SWEEP_KINDS,
+    run_oracle_batch_bench,
+    write_oracle_batch_bench,
+)
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_oracle_batch.json"
+
+#: The ISSUE's acceptance criterion for the big sweep kinds; measured
+#: speedups run 5.8-56x on the dev box.
+SWEEP_SPEEDUP_FLOOR = 5.0
+
+
+def test_oracle_batch_speedups(benchmark):
+    result = benchmark.pedantic(
+        run_oracle_batch_bench,
+        rounds=1,
+        iterations=1,
+    )
+    write_oracle_batch_bench(str(BENCH_JSON), result=result)
+
+    assert result["bit_identical"], (
+        "a batched payload diverged from its scalar twin; see the "
+        "per-lane mismatch counts in BENCH_oracle_batch.json"
+    )
+    for machine in DEFAULT_MACHINES:
+        lanes = result["single_process"][machine]
+        for kind in SWEEP_KINDS:
+            lane = lanes[kind]
+            assert lane["mismatches"] == 0, f"{machine}/{kind}: payload mismatch"
+            assert lane["speedup"] >= SWEEP_SPEEDUP_FLOOR, (
+                f"{machine}/{kind}: batch only {lane['speedup']:.1f}x over "
+                f"the predict loop ({lane['loop_us_per_req']:.2f} vs "
+                f"{lane['batch_us_per_req']:.2f} us/req), floor "
+                f"{SWEEP_SPEEDUP_FLOOR:.0f}x"
+            )
+        # The non-gated kinds must still never lose to the loop.
+        for kind, lane in lanes.items():
+            assert lane["speedup"] >= 1.0, (
+                f"{machine}/{kind}: batching slower than the scalar loop "
+                f"({lane['speedup']:.2f}x)"
+            )
+
+    serve = result["serve_coalescing"]
+    assert serve["payloads_match"], (
+        "a coalesced daemon served a payload that differs from the direct "
+        "in-process prediction"
+    )
+    assert serve["coalesced"] and serve["mean_batch_size"] > 1.0, (
+        f"daemon failed to coalesce: mean batch size "
+        f"{serve['mean_batch_size']:.2f} over {serve['batches']} batches"
+    )
+    assert serve["failures"] == 0

@@ -1,0 +1,190 @@
+"""Batched-oracle micro-benchmark: ``predict_batch`` vs a ``predict`` loop.
+
+Two scenarios, written together to ``BENCH_oracle_batch.json``:
+
+* **single-process** — for every zoo machine and request kind, a
+  serve-shaped workload (distinct keys plus the duplicate traffic a
+  deduping front-end actually sees) is answered twice: once as a scalar
+  ``predict()`` loop, once as one ``predict_batch()`` call.  Payloads
+  are compared element for element (``bit_identical`` must hold — the
+  batch path's contract is *same bytes, sooner*), and the per-request
+  speedup is recorded.  The gate in
+  ``benchmarks/test_perf_oracle_batch.py`` requires >= 5x on the big
+  sweep kinds (``lat_mem``, ``stream_sweep``, ``prefetch_sweep``).
+* **serve coalescing** — a real daemon subprocess is spawned with
+  ``--batch-window-ms``/``--batch-max`` armed and replayed with a
+  pipelined all-miss analytic stream (see
+  :func:`repro.serve.loadgen.run_batch_serve_scenario`); the daemon's
+  own counters must show coalesced batches averaging > 1 request, and
+  sampled cached payloads must equal direct in-process predictions.
+
+Run with ``python -m repro.bench --oracle-batch-perf``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..perfmodel.oracle import AnalyticOracle, OracleRequest
+
+#: Machines the single-process scenario sweeps (a zoo cross-section:
+#: the paper's POWER8 pair plus one SPARC and one x86 comparator).
+DEFAULT_MACHINES = ("power8", "power8-192way", "sparc-t3-4", "broadwell")
+
+#: The kinds whose batch path must clear the 5x gate — the big sweeps,
+#: where one request fans out to a whole curve (or, for stream_sweep,
+#: where serve-style traffic repeats a bounded key population).
+SWEEP_KINDS = ("lat_mem", "stream_sweep", "prefetch_sweep")
+
+#: Best-of rounds for each timing side (keeps container noise out of
+#: the committed trajectory).
+TIMING_ROUNDS = 5
+
+_WS_BASE = 64 * 1024
+_WS_STEP = 4096
+
+
+def _workloads(scale: float = 1.0) -> Dict[str, List[OracleRequest]]:
+    """Serve-shaped request lists per kind (deterministic).
+
+    Key populations are bounded the way a deduping service sees them:
+    ``lat_mem`` traffic is dominated by the default Figure-2 sweep,
+    ``stream_sweep`` cycles a depth x working-set grid, ``chase`` and
+    ``prefetch_sweep`` mix repeats over a few hundred distinct points.
+    """
+
+    def n(count: int) -> int:
+        return max(1, int(count * scale))
+
+    return {
+        "chase": [
+            OracleRequest("chase", working_set=_WS_BASE + (i % 300) * _WS_STEP)
+            for i in range(n(1500))
+        ],
+        "lat_mem": [
+            OracleRequest("lat_mem")  # the default paper sweep, repeated
+            if i % 4
+            else OracleRequest(
+                "lat_mem",
+                working_sets=tuple(
+                    _WS_BASE + ((i // 4) % 8) * 131 + w * 65536 for w in range(65)
+                ),
+            )
+            for i in range(n(64))
+        ],
+        "stream_sweep": [
+            OracleRequest(
+                "stream_sweep",
+                working_set=_WS_BASE + (i % 16) * 65536,
+                depth=(i // 16) % 8,
+            )
+            for i in range(n(2048))
+        ],
+        "prefetch_sweep": [
+            OracleRequest(
+                "prefetch_sweep", working_set=(256 + (i % 128)) * 1024
+            )
+            for i in range(n(384))
+        ],
+        "dscr_model": [OracleRequest("dscr_model") for _ in range(n(800))],
+        "roofline": [OracleRequest("roofline") for _ in range(n(400))],
+    }
+
+
+def _best_of(fn: Callable[[], object], rounds: int = TIMING_ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _kind_lane(
+    oracle: AnalyticOracle, reqs: Sequence[OracleRequest]
+) -> Tuple[dict, bool]:
+    """Time loop vs batch on one kind's workload; verify bit-identity."""
+    from ..serve.protocol import canonical
+
+    reqs = list(reqs)
+    loop_results = [oracle.predict(r) for r in reqs]
+    batch_results = oracle.predict_batch(reqs)
+    mismatches = sum(
+        canonical(a.to_dict()) != canonical(b.to_dict())
+        for a, b in zip(loop_results, batch_results)
+    )
+    loop_s = _best_of(lambda: [oracle.predict(r) for r in reqs])
+    batch_s = _best_of(lambda: oracle.predict_batch(reqs))
+    lane = {
+        "requests": len(reqs),
+        "distinct_keys": len(
+            {json.dumps(r.to_dict(), sort_keys=True) for r in reqs}
+        ),
+        "loop_us_per_req": loop_s / len(reqs) * 1e6,
+        "batch_us_per_req": batch_s / len(reqs) * 1e6,
+        "speedup": loop_s / batch_s if batch_s else float("inf"),
+        "mismatches": int(mismatches),
+    }
+    return lane, mismatches == 0
+
+
+def run_oracle_batch_bench(
+    machines: Sequence[str] = DEFAULT_MACHINES,
+    scale: float = 1.0,
+    serve_requests: Optional[int] = None,
+) -> dict:
+    """Run both scenarios; returns the ``BENCH_oracle_batch.json`` payload."""
+    from ..arch.registry import get_system
+    from ..serve.loadgen import run_batch_serve_scenario
+
+    per_machine: Dict[str, dict] = {}
+    bit_identical = True
+    for name in machines:
+        oracle = AnalyticOracle(get_system(name))
+        lanes: Dict[str, dict] = {}
+        for kind, reqs in _workloads(scale).items():
+            lane, identical = _kind_lane(oracle, reqs)
+            bit_identical = bit_identical and identical
+            lanes[kind] = lane
+        per_machine[name] = lanes
+
+    sweep_speedups = [
+        per_machine[m][k]["speedup"] for m in per_machine for k in SWEEP_KINDS
+    ]
+    all_speedups = [
+        lane["speedup"] for lanes in per_machine.values() for lane in lanes.values()
+    ]
+    serve = run_batch_serve_scenario(requests=serve_requests)
+    return {
+        "benchmark": "oracle_batch",
+        "machines": list(machines),
+        "sweep_kinds": list(SWEEP_KINDS),
+        "timing_rounds": TIMING_ROUNDS,
+        "single_process": per_machine,
+        "min_sweep_speedup": min(sweep_speedups),
+        "min_speedup": min(all_speedups),
+        "bit_identical": bool(bit_identical),
+        "serve_coalescing": serve,
+        "note": (
+            "single_process times [predict(r) for r in reqs] vs one "
+            "predict_batch(reqs) per kind on serve-shaped workloads "
+            "(bounded key populations with duplicates); bit_identical "
+            "requires every batched payload to equal its scalar twin. "
+            "The gate needs min_sweep_speedup >= 5 and the serve "
+            "scenario's mean_batch_size > 1 with payloads_match."
+        ),
+    }
+
+
+def write_oracle_batch_bench(
+    path: str, result: Optional[dict] = None, **kwargs
+) -> dict:
+    """Run the benchmark (unless ``result`` is given) and write it as JSON."""
+    if result is None:
+        result = run_oracle_batch_bench(**kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    return result

@@ -1,0 +1,168 @@
+"""Property tests: ``predict_batch`` is bit-identical to a ``predict`` loop.
+
+The batched oracle's only contract is *same bytes, sooner*: for any
+list of requests — mixed kinds, mixed parameters, duplicates, empty,
+single-element — ``predict_batch(reqs)[i]`` must serialize to exactly
+the payload ``predict(reqs[i])`` produces (compared through the serve
+protocol's :func:`repro.serve.protocol.canonical`, the same
+round-tripped form a daemon caches and ships).  Randomization covers
+every zoo machine plus a synthetic system with non-integral knee
+exponents, so the ``np.power`` ufunc path is exercised alongside the
+exact ``ratio*ratio`` / identity reductions.
+"""
+
+import dataclasses
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.arch.registry import available_machines, get_system
+from repro.perfmodel.oracle import AnalyticOracle, OracleRequest, REQUEST_KINDS
+from repro.serve.protocol import canonical
+
+MACHINES = ("power8", "power8-192way", "broadwell", "sparc-t3-4")
+
+#: A spec whose knee exponents hit neither of the exact reductions in
+#: ``knee_pow`` (2.0 -> square, 1.0 -> identity), forcing the batch and
+#: scalar paths through the same ``np.power`` ufunc.
+_CURVY = "curvy-knee"
+
+
+def _oracles():
+    oracles = {name: AnalyticOracle(get_system(name)) for name in MACHINES}
+    base = get_system("power8")
+    chip = dataclasses.replace(
+        base.chip, core_knee_exponent=1.7, memside_knee_exponent=0.8
+    )
+    oracles[_CURVY] = AnalyticOracle(dataclasses.replace(base, chip=chip))
+    return oracles
+
+
+ORACLES = _oracles()
+
+_PAGE_SIZES = (4096, 64 * 1024, 16 << 20)
+_WORKING_SETS = st.integers(min_value=4096, max_value=1 << 36)
+
+# SMT-sensitive fields stay within every machine's smt_ways (broadwell
+# has 2) so no request raises: a raising element aborts the whole batch
+# call while the loop raises mid-iteration, and the equivalence below
+# only quantifies over lists where both sides produce results.
+_requests = st.one_of(
+    st.builds(
+        OracleRequest,
+        kind=st.just("chase"),
+        working_set=_WORKING_SETS,
+        page_size=st.sampled_from(_PAGE_SIZES),
+    ),
+    st.builds(
+        OracleRequest,
+        kind=st.just("lat_mem"),
+        working_sets=st.one_of(
+            st.just(()),  # the default Figure-2 sweep
+            st.lists(_WORKING_SETS, min_size=1, max_size=12).map(tuple),
+        ),
+        page_size=st.sampled_from(_PAGE_SIZES),
+    ),
+    st.builds(
+        OracleRequest,
+        kind=st.just("stream_sweep"),
+        working_set=_WORKING_SETS,
+        depth=st.integers(min_value=0, max_value=7),
+        page_size=st.sampled_from(_PAGE_SIZES),
+    ),
+    st.builds(
+        OracleRequest,
+        kind=st.just("prefetch_sweep"),
+        working_set=st.integers(min_value=64 * 1024, max_value=64 << 20),
+        depths=st.lists(
+            st.integers(min_value=1, max_value=7),
+            min_size=1, max_size=7, unique=True,
+        ).map(tuple),
+    ),
+    st.builds(
+        OracleRequest,
+        kind=st.just("stride"),
+        stride_lines=st.integers(min_value=1, max_value=512),
+    ),
+    st.builds(
+        OracleRequest,
+        kind=st.just("stream_scaling"),
+        thread_counts=st.lists(
+            st.sampled_from([1, 2]), min_size=1, max_size=2, unique=True
+        ).map(tuple),
+    ),
+    st.builds(
+        OracleRequest,
+        kind=st.just("random_access"),
+        thread_counts=st.lists(
+            st.sampled_from([1, 2]), min_size=1, max_size=2, unique=True
+        ).map(tuple),
+        stream_counts=st.lists(
+            st.sampled_from([1, 2, 4, 8, 16]), min_size=1, max_size=4, unique=True
+        ).map(tuple),
+    ),
+    st.builds(
+        OracleRequest,
+        kind=st.just("stream_point"),
+        threads_per_core=st.sampled_from([1, 2]),
+        read_ratio=st.sampled_from([0.5, 1.0, 2.0, 3.0]),
+        write_ratio=st.sampled_from([0.0, 1.0, 2.0]),
+    ),
+    st.builds(
+        OracleRequest,
+        kind=st.sampled_from(["stream_table3", "dscr_model", "dcbt", "roofline"]),
+    ),
+)
+
+
+def assert_batch_equals_loop(oracle, reqs):
+    loop = [oracle.predict(r) for r in reqs]
+    batch = oracle.predict_batch(reqs)
+    assert len(batch) == len(reqs)
+    for i, (a, b, req) in enumerate(zip(loop, batch, reqs)):
+        assert canonical(a.to_dict()) == canonical(b.to_dict()), (
+            f"element {i} ({req.kind}) diverged"
+        )
+        assert b.request is req  # results are scattered back in order
+    # Duplicate requests may share template row/metric objects, but each
+    # caller must get its own result instance to stamp/own.
+    assert len({id(b) for b in batch}) == len(batch)
+
+
+@given(
+    machine=st.sampled_from(list(ORACLES)),
+    reqs=st.lists(_requests, min_size=0, max_size=24),
+)
+@settings(max_examples=80, deadline=None)
+def test_predict_batch_is_bit_identical(machine, reqs):
+    assert_batch_equals_loop(ORACLES[machine], reqs)
+
+
+@given(
+    machine=st.sampled_from(list(ORACLES)),
+    req=_requests,
+    copies=st.integers(min_value=2, max_value=16),
+)
+@settings(max_examples=40, deadline=None)
+def test_duplicate_heavy_batches(machine, req, copies):
+    """All-duplicate batches (the serve daemon's common case)."""
+    assert_batch_equals_loop(ORACLES[machine], [req] * copies)
+
+
+def test_empty_batch():
+    assert ORACLES["power8"].predict_batch([]) == []
+
+
+def test_single_element_every_kind():
+    """Deterministic single-request coverage of all 12 kinds."""
+    oracle = ORACLES["power8"]
+    for kind in sorted(REQUEST_KINDS):
+        assert_batch_equals_loop(oracle, [OracleRequest(kind=kind)])
+
+
+def test_every_zoo_machine_default_requests():
+    """The full registry (not just the sampled subset) stays identical
+    on one mixed default batch per machine."""
+    reqs = [OracleRequest(kind=kind) for kind in sorted(REQUEST_KINDS)]
+    for name in available_machines():
+        assert_batch_equals_loop(AnalyticOracle(get_system(name)), reqs)

@@ -1,0 +1,186 @@
+"""Analytic micro-batching: coalescing is transport-only.
+
+Drives :meth:`ReproServer.handle_request` directly (no socket), same as
+the dedup suite.  The contracts:
+
+* concurrent analytic misses on a batching daemon return payloads
+  byte-identical to an unbatched daemon's (golden) responses;
+* a full window flushes early at ``batch_max`` waiters — a huge window
+  must not delay a full batch;
+* LRU hits and non-analytic lanes never enter the batcher;
+* a batch containing a request whose computation raises falls back to
+  per-request computation: good requests still succeed, the bad one
+  gets a structured error, nothing hangs;
+* ``stats`` exposes the ``batches``/``batched_requests`` counters and
+  the ``batching`` section (histogram, mean size, coalesce wait);
+* chaos-armed daemons bypass batching (fault injection targets single
+  computations);
+* ``drain()`` flushes a pending partial batch instead of abandoning it.
+"""
+
+import asyncio
+import time
+
+from repro.serve import ReproServer
+from repro.serve.chaos import build_chaos
+
+_WS_BASE = 32 << 20
+
+
+def spec(i=0, request_id=None, working_set=None):
+    return {
+        "op": "run",
+        "id": request_id,
+        "kind": "analytic",
+        "request": {
+            "kind": "chase",
+            "working_set": _WS_BASE + i * 4096 if working_set is None else working_set,
+        },
+    }
+
+
+async def _gather_concurrent(server, specs):
+    return await asyncio.gather(
+        *(server.handle_request(s) for s in specs), return_exceptions=False
+    )
+
+
+def test_batched_payloads_match_unbatched_golden():
+    async def scenario():
+        golden_server = ReproServer()
+        golden = [
+            await golden_server.handle_request(spec(i, request_id=i))
+            for i in range(12)
+        ]
+
+        server = ReproServer(batch_window_ms=20.0, batch_max=64)
+        responses = await _gather_concurrent(
+            server, [spec(i, request_id=i) for i in range(12)]
+        )
+        assert [r["ok"] for r in responses] == [True] * 12
+        for got, want in zip(responses, golden):
+            assert got["payload"] == want["payload"]
+        assert server.stats.batched_requests == 12
+        assert server.stats.batches >= 1
+        # All 12 arrived inside one window: they coalesced.
+        assert server.stats.batches < 12
+
+    asyncio.run(scenario())
+
+
+def test_full_batch_flushes_before_the_window():
+    async def scenario():
+        # A window long enough to fail the test if it is ever waited on.
+        server = ReproServer(batch_window_ms=60_000.0, batch_max=4)
+        start = time.monotonic()
+        responses = await _gather_concurrent(
+            server, [spec(i, request_id=i) for i in range(8)]
+        )
+        elapsed = time.monotonic() - start
+        assert [r["ok"] for r in responses] == [True] * 8
+        assert elapsed < 30.0  # nowhere near the 60 s window
+        assert server.stats.batches == 2
+        assert server.stats.batched_requests == 8
+        assert server.batcher.size_counts[2] == 2  # two "4-7" buckets
+
+    asyncio.run(scenario())
+
+
+def test_lru_hits_and_other_lanes_bypass_the_batcher():
+    async def scenario():
+        server = ReproServer(batch_window_ms=1.0, batch_max=64)
+        first = await server.handle_request(spec(0))
+        assert first["source"] == "computed"
+        assert server.stats.batched_requests == 1
+
+        repeat = await server.handle_request(spec(0))
+        assert repeat["source"] == "lru"
+        assert repeat["payload"] == first["payload"]
+        assert server.stats.batched_requests == 1  # hit never parked
+
+        server._compute = lambda normalized: ({"lane": normalized.kind}, True)
+        trace = await server.handle_request(
+            {"op": "run", "kind": "trace", "working_set": 4096, "seed": 1}
+        )
+        assert trace["ok"] is True
+        assert server.stats.batched_requests == 1  # trace lane untouched
+
+    asyncio.run(scenario())
+
+
+def test_failing_request_in_a_batch_degrades_to_per_request_compute():
+    async def scenario():
+        server = ReproServer(batch_window_ms=20.0, batch_max=64)
+        specs = [spec(i, request_id=i) for i in range(4)]
+        # working_set <= 0 is rejected by the oracle at compute time.
+        specs.append(spec(request_id=99, working_set=-4096))
+        responses = await _gather_concurrent(server, specs)
+        assert [r["ok"] for r in responses[:4]] == [True] * 4
+        bad = responses[4]
+        assert bad["ok"] is False
+        assert bad.get("error")
+
+        golden_server = ReproServer()
+        for got, want_spec in zip(responses[:4], specs[:4]):
+            want = await golden_server.handle_request(want_spec)
+            assert got["payload"] == want["payload"]
+
+    asyncio.run(scenario())
+
+
+def test_stats_expose_the_batching_section():
+    async def scenario():
+        server = ReproServer(batch_window_ms=20.0, batch_max=64)
+        await _gather_concurrent(server, [spec(i) for i in range(6)])
+        stats = await server.handle_request({"op": "stats"})
+        assert stats["stats"]["batches"] == server.stats.batches
+        assert stats["stats"]["batched_requests"] == 6
+        batching = stats["batching"]
+        assert batching["max_batch"] == 64
+        assert batching["window_ms"] == 20.0
+        assert batching["batched_requests"] == 6
+        assert batching["mean_batch_size"] > 1.0
+        assert sum(batching["size_histogram"].values()) == batching["batches"]
+        assert batching["mean_coalesce_wait_ms"] >= 0.0
+
+        unbatched = ReproServer()
+        stats = await unbatched.handle_request({"op": "stats"})
+        assert stats["batching"] is None
+        assert stats["stats"]["batches"] == 0
+
+    asyncio.run(scenario())
+
+
+def test_chaos_armed_daemon_bypasses_batching():
+    async def scenario():
+        server = ReproServer(
+            batch_window_ms=20.0,
+            batch_max=64,
+            chaos=build_chaos("lane_error:rate=0", seed=0),
+        )
+        responses = await _gather_concurrent(
+            server, [spec(i, request_id=i) for i in range(6)]
+        )
+        assert [r["ok"] for r in responses] == [True] * 6
+        assert server.stats.batches == 0
+        assert server.stats.batched_requests == 0
+
+    asyncio.run(scenario())
+
+
+def test_drain_flushes_a_pending_partial_batch():
+    async def scenario():
+        server = ReproServer(batch_window_ms=60_000.0, batch_max=64)
+        waiter = asyncio.create_task(server.handle_request(spec(0)))
+        # Let the request park in the batcher, then drain: the partial
+        # batch must flush rather than wait out the 60 s window.
+        while not server.batcher._pending:
+            await asyncio.sleep(0.005)
+        start = time.monotonic()
+        await server.drain()
+        response = await waiter
+        assert time.monotonic() - start < 30.0
+        assert response["ok"] is True
+        assert server.stats.batches == 1
+
+    asyncio.run(scenario())
